@@ -1,0 +1,349 @@
+(* Benchmark harness.
+
+   Part 1 — Bechamel micro-benchmarks: one Test.make per paper table /
+   figure, timing a single reduced-size generation of that experiment's
+   data, plus micro-benchmarks of the hot core operations.
+
+   Part 2 — Reproduction: regenerate every table and figure series at
+   the default Monte-Carlo scale and print them (tee this into
+   bench_output.txt; EXPERIMENTS.md interprets the rows against the
+   paper's plots).
+
+   Part 3 — Ablations: design-choice studies DESIGN.md calls out
+   (greedy-vs-exact fault tolerance, cushion-vs-replacement deletes,
+   collision-aware Hash-y sizing). *)
+
+open Bechamel
+open Toolkit
+open Plookup
+open Plookup_store
+open Plookup_util
+module Metrics = Plookup_metrics
+module Workload = Plookup_workload
+module Net = Plookup_net.Net
+module E = Plookup_experiments
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: bechamel micro-benchmarks                                   *)
+
+let tiny = E.Ctx.v ~seed:1 ~scale:0.02 ()
+
+let experiment_tests =
+  List.map
+    (fun e ->
+      Test.make ~name:e.E.Registry.id
+        (Staged.stage (fun () -> ignore (e.E.Registry.run tiny))))
+    E.Registry.all
+
+let core_op_tests =
+  let placed config =
+    let service = Service.create ~seed:3 ~n:10 config in
+    Service.place service (Entry.Gen.batch (Entry.Gen.create ()) 100);
+    service
+  in
+  let lookup_bench name config t =
+    let service = placed config in
+    Test.make ~name (Staged.stage (fun () -> ignore (Service.partial_lookup service t)))
+  in
+  let update_bench name config =
+    let service = placed config in
+    let i = ref 1000 in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           incr i;
+           Service.add service (Entry.v !i);
+           Service.delete service (Entry.v !i)))
+  in
+  let store = Server_store.create () in
+  List.iter (fun i -> ignore (Server_store.add store (Entry.v i))) (List.init 100 Fun.id);
+  let rng = Rng.create 9 in
+  [ Test.make ~name:"store:random_pick-20of100"
+      (Staged.stage (fun () -> ignore (Server_store.random_pick store rng 20)));
+    lookup_bench "lookup:full-t35" Service.Full_replication 35;
+    lookup_bench "lookup:round2-t35" (Service.Round_robin 2) 35;
+    lookup_bench "lookup:randomserver20-t35" (Service.Random_server 20) 35;
+    lookup_bench "lookup:hash2-t35" (Service.Hash 2) 35;
+    update_bench "update:fixed-50" (Service.Fixed 50);
+    update_bench "update:hash-2" (Service.Hash 2);
+    update_bench "update:round-2" (Service.Round_robin 2);
+    (let service = placed (Service.Random_server 20) in
+     let placement =
+       Metrics.Fault_tolerance.snapshot (Service.cluster service) ~capacity:100
+     in
+     Test.make ~name:"metric:greedy-fault-tolerance"
+       (Staged.stage (fun () -> ignore (Metrics.Fault_tolerance.greedy placement ~t:35))))
+  ]
+
+let run_bechamel tests =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~stabilize:false ~quota:(Time.second 0.25) ~kde:None ()
+  in
+  let grouped = Test.make_grouped ~name:"plookup" ~fmt:"%s %s" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let table =
+    Table.create ~title:"bechamel micro-benchmarks (monotonic clock)"
+      ~columns:[ "benchmark"; "time/run" ]
+  in
+  let pretty ns =
+    if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+    else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
+  List.iter
+    (fun (name, ols) ->
+      let estimate =
+        match Analyze.OLS.estimates ols with Some (e :: _) -> pretty e | _ -> "n/a"
+      in
+      Table.add_row table [ Table.S name; Table.S estimate ])
+    (List.sort (fun (a, _) (b, _) -> compare a b) rows);
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* Part 3: ablations                                                   *)
+
+(* Greedy heuristic vs exhaustive SET-COVER adversary: how optimistic is
+   Appendix A on real placements? *)
+let ablation_ft_heuristic () =
+  let table =
+    Table.create ~title:"ablation: greedy (Appendix A) vs exact fault tolerance (n=8, h=40)"
+      ~columns:[ "strategy"; "t"; "greedy mean"; "exact mean"; "mean gap"; "max gap" ]
+  in
+  let n = 8 and h = 40 and runs = 40 in
+  List.iter
+    (fun config ->
+      List.iter
+        (fun t ->
+          let gaps = ref [] in
+          let g_acc = Stats.Accum.create () and e_acc = Stats.Accum.create () in
+          for run = 1 to runs do
+            let service = Service.create ~seed:(run * 17) ~n config in
+            Service.place service (Entry.Gen.batch (Entry.Gen.create ()) h);
+            let placement =
+              Metrics.Fault_tolerance.snapshot (Service.cluster service) ~capacity:h
+            in
+            let g = Metrics.Fault_tolerance.greedy placement ~t in
+            let e = Metrics.Fault_tolerance.exact placement ~t in
+            Stats.Accum.add g_acc (float_of_int g);
+            Stats.Accum.add e_acc (float_of_int e);
+            gaps := float_of_int (g - e) :: !gaps
+          done;
+          let gaps = Array.of_list !gaps in
+          Table.add_row table
+            [ Table.S (Service.config_name config);
+              Table.I t;
+              Table.F (Stats.Accum.mean g_acc);
+              Table.F (Stats.Accum.mean e_acc);
+              Table.F (Stats.mean gaps);
+              Table.F (snd (Stats.min_max gaps)) ])
+        [ 10; 20 ])
+    [ Service.Random_server 10; Service.Hash 2; Service.Round_robin 2 ];
+  Table.print table
+
+(* Section 5.3's delete alternatives: the cushion scheme (holes) vs
+   actively fetching replacements.  The paper predicts replacement costs
+   more messages and does not help unfairness. *)
+let ablation_delete_policy () =
+  let table =
+    Table.create
+      ~title:"ablation: RandomServer-20 delete policy (cushion vs replacement), 2000 updates"
+      ~columns:[ "policy"; "msgs/update"; "unfairness after"; "mean occupancy" ]
+  in
+  let n = 10 and h = 100 and updates = 2000 in
+  List.iter
+    (fun (name, config) ->
+      let stream =
+        Workload.Update_gen.generate (Rng.create 21)
+          { Workload.Update_gen.steady_entries = h; add_period = 10.; tail_heavy = false;
+            updates }
+      in
+      let service = Service.create ~seed:21 ~n config in
+      let msgs = Workload.Replay.messages_for_updates ~service ~stream in
+      let live = Workload.Update_gen.live_after stream updates in
+      let unfairness = Metrics.Unfairness.of_instance service ~live ~t:1 ~lookups:4000 in
+      let occupancy =
+        float_of_int (Metrics.Storage.measured (Service.cluster service)) /. float_of_int n
+      in
+      Table.add_row table
+        [ Table.S name;
+          Table.F (float_of_int msgs /. float_of_int updates);
+          Table.F4 unfairness;
+          Table.F occupancy ])
+    [ ("cushion (paper's choice)", Service.Random_server 20);
+      ("active replacement", Service.Random_server_replacing 20) ];
+  Table.print table
+
+(* Section 6.3's bottleneck argument, quantified: Round-y funnels every
+   update through the coordinator (server 1), while Hash-y's updates
+   spread by the hash functions and Fixed-x's broadcasts touch everyone
+   equally. *)
+let ablation_coordinator_bottleneck () =
+  let table =
+    Table.create
+      ~title:"ablation: update-traffic concentration (Section 6.3 coordinator bottleneck)"
+      ~columns:
+        [ "strategy"; "msgs total"; "server-0 share %"; "peak/avg"; "load cov" ]
+  in
+  let n = 10 and h = 100 and updates = 4000 in
+  List.iter
+    (fun config ->
+      let stream =
+        Workload.Update_gen.generate (Rng.create 33)
+          { Workload.Update_gen.steady_entries = h; add_period = 10.; tail_heavy = false;
+            updates }
+      in
+      let service = Service.create ~seed:33 ~n config in
+      let msgs = Workload.Replay.messages_for_updates ~service ~stream in
+      let net = Cluster.net (Service.cluster service) in
+      let loads = Array.init n (fun i -> Net.messages_received_by net i) in
+      let summary = Metrics.Load.summarize loads in
+      Table.add_row table
+        [ Table.S (Service.config_name config);
+          Table.I msgs;
+          Table.F (100. *. float_of_int loads.(0) /. float_of_int (max 1 msgs));
+          Table.F summary.Metrics.Load.peak_to_average;
+          Table.F summary.Metrics.Load.cov ])
+    [ Service.Round_robin 2; Service.Hash 2; Service.Fixed 20; Service.Random_server 20 ];
+  Table.print table
+
+(* Footnote 1 of the paper: replicating the head/tail coordinator.  How
+   much update overhead does each extra replica cost, and how many
+   updates stop being lost when the coordinator's server churns? *)
+let ablation_coordinator_replication () =
+  let table =
+    Table.create
+      ~title:
+        "ablation: RoundRobin-2 coordinator replication (footnote 1), churn mttf=50 mttr=50"
+      ~columns:
+        [ "replicas"; "msgs/update (no churn)"; "updates accepted % (churn)" ]
+  in
+  let n = 10 and h = 100 and updates = 2000 in
+  let stream_spec =
+    { Workload.Update_gen.steady_entries = h; add_period = 10.; tail_heavy = false; updates }
+  in
+  List.iter
+    (fun coordinators ->
+      (* Cost: replay a stream with no failures and count messages. *)
+      let stream = Workload.Update_gen.generate (Rng.create 51) stream_spec in
+      let cluster = Cluster.create ~seed:51 ~n () in
+      let strategy = Round_robin.create ~coordinators cluster ~y:2 in
+      Round_robin.place strategy stream.Workload.Update_gen.initial;
+      Net.reset_counters (Cluster.net cluster);
+      List.iter
+        (fun ev ->
+          match ev.Workload.Update_gen.op with
+          | Workload.Update_gen.Add e -> Round_robin.add strategy e
+          | Workload.Update_gen.Delete e -> Round_robin.delete strategy e)
+        stream.Workload.Update_gen.events;
+      let msgs = Net.messages_received (Cluster.net cluster) in
+      (* Availability: interleave the same updates with coordinator-zone
+         churn and count how many adds actually landed. *)
+      let stream = Workload.Update_gen.generate (Rng.create 51) stream_spec in
+      let cluster = Cluster.create ~seed:52 ~n () in
+      let strategy = Round_robin.create ~coordinators cluster ~y:2 in
+      Round_robin.place strategy stream.Workload.Update_gen.initial;
+      let horizon =
+        List.fold_left
+          (fun acc ev -> Float.max acc ev.Workload.Update_gen.time)
+          0. stream.Workload.Update_gen.events
+      in
+      let churn_events =
+        Workload.Churn.generate (Rng.create 53) ~n ~mttf:50. ~mttr:50. ~horizon
+      in
+      let engine = Plookup_sim.Engine.create () in
+      Workload.Churn.drive engine
+        ~apply:(fun ev ->
+          if ev.Workload.Churn.up then Cluster.recover cluster ev.Workload.Churn.server
+          else Cluster.fail cluster ev.Workload.Churn.server)
+        churn_events;
+      let attempted = ref 0 and accepted = ref 0 in
+      List.iter
+        (fun ev ->
+          ignore
+            (Plookup_sim.Engine.schedule_at engine ~time:ev.Workload.Update_gen.time
+               (fun _ ->
+                 match ev.Workload.Update_gen.op with
+                 | Workload.Update_gen.Add e ->
+                   incr attempted;
+                   Round_robin.add strategy e;
+                   if Round_robin.position_of strategy e <> None then incr accepted
+                 | Workload.Update_gen.Delete e -> Round_robin.delete strategy e)))
+        stream.Workload.Update_gen.events;
+      ignore (Plookup_sim.Engine.run engine);
+      Table.add_row table
+        [ Table.I coordinators;
+          Table.F (float_of_int msgs /. float_of_int updates);
+          Table.F (100. *. float_of_int !accepted /. float_of_int (max 1 !attempted)) ])
+    [ 1; 2; 3 ];
+  Table.print table
+
+(* Hash-y sizing: the paper's y = ceil(tn/h) ignores hash collisions;
+   the collision-aware choice buys lookup cost with extra storage. *)
+let ablation_hash_sizing () =
+  let table =
+    Table.create ~title:"ablation: Hash-y sizing at t=40, n=10 (paper rule vs collision-aware)"
+      ~columns:
+        [ "h"; "y paper"; "y aware"; "cost paper"; "cost aware"; "storage paper";
+          "storage aware" ]
+  in
+  let n = 10 and t = 40 in
+  List.iter
+    (fun h ->
+      let y_plain = Metrics.Analytic.optimal_hash_y ~n ~h ~t in
+      let y_aware = Metrics.Analytic.optimal_hash_y_collision_aware ~n ~h ~t in
+      let measure y =
+        let m =
+          Metrics.Lookup_cost.measure_over_instances ~seed:h ~n ~entries:h
+            ~config:(Service.Hash y) ~t ~runs:30 ~lookups_per_run:100 ()
+        in
+        m.Metrics.Lookup_cost.mean_cost
+      in
+      Table.add_row table
+        [ Table.I h;
+          Table.I y_plain;
+          Table.I y_aware;
+          Table.F (measure y_plain);
+          Table.F (measure y_aware);
+          Table.F (Metrics.Analytic.storage (Service.Hash y_plain) ~n ~h);
+          Table.F (Metrics.Analytic.storage (Service.Hash y_aware) ~n ~h) ])
+    [ 100; 150; 200; 300; 400 ];
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  print_endline "=== Part 1: micro-benchmarks (one Test.make per table/figure) ===";
+  run_bechamel (experiment_tests @ core_op_tests);
+  print_newline ();
+  print_endline "=== Part 2: paper reproduction (tables and figures) ===";
+  print_newline ();
+  let ctx = E.Ctx.default in
+  List.iter
+    (fun e ->
+      let start = Unix.gettimeofday () in
+      Table.print (e.E.Registry.run ctx);
+      Printf.printf "(%s regenerated in %.1fs)\n\n%!" e.E.Registry.id
+        (Unix.gettimeofday () -. start))
+    E.Registry.all;
+  (let _, derived = E.Exp_table2.run_full ctx in
+   Table.print derived;
+   print_newline ());
+  Table.print E.Exp_table2.paper_stars;
+  print_newline ();
+  print_endline "=== Part 3: ablations ===";
+  print_newline ();
+  ablation_ft_heuristic ();
+  print_newline ();
+  ablation_delete_policy ();
+  print_newline ();
+  ablation_coordinator_bottleneck ();
+  print_newline ();
+  ablation_coordinator_replication ();
+  print_newline ();
+  ablation_hash_sizing ();
+  Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

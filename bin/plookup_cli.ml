@@ -1,0 +1,238 @@
+(* plookup — reproduce the tables and figures of "Partial Lookup
+   Services" (Sun & Garcia-Molina) and poke at the strategies
+   interactively. *)
+
+open Cmdliner
+module Experiments = Plookup_experiments
+module Table = Plookup_util.Table
+
+let seed_arg =
+  let doc = "Master random seed; every run is deterministic given the seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let scale_arg =
+  let doc =
+    "Monte-Carlo scale multiplier.  1.0 reproduces each series in seconds; the paper's \
+     own sample sizes correspond to roughly 50-100x (see EXPERIMENTS.md)."
+  in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"SCALE" ~doc)
+
+let csv_arg =
+  let doc = "Emit CSV instead of an aligned ASCII table." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let plot_arg =
+  let doc =
+    "Also draw the numeric columns as an ASCII line plot (x = first column), so curve \
+     shapes — staircases, decays, crossovers — are visible in the terminal."
+  in
+  Arg.(value & flag & info [ "plot" ] ~doc)
+
+let render ~csv ~plot table =
+  if csv then print_string (Table.to_csv table) else Table.print table;
+  if plot then begin
+    match Table.columns table with
+    | x :: rest ->
+      (* Plot every numeric column; skip label-like ones silently. *)
+      let numeric_columns =
+        List.filter
+          (fun name ->
+            match Plookup_util.Ascii_plot.of_table ~x ~columns:[ name ] table with
+            | Ok _ -> true
+            | Error _ -> false)
+          rest
+      in
+      (match Plookup_util.Ascii_plot.of_table ~x ~columns:numeric_columns table with
+      | Ok chart -> print_string chart
+      | Error msg -> Printf.printf "(not plottable: %s)\n" msg)
+    | [] -> ()
+  end
+
+(* run subcommand *)
+let run_experiment ids seed scale csv plot =
+  let ctx = Experiments.Ctx.v ~seed ~scale () in
+  let resolve id =
+    match Experiments.Registry.find id with
+    | Some e -> Ok e
+    | None ->
+      Error
+        (Printf.sprintf "unknown experiment %S; try one of: %s" id
+           (String.concat ", " (Experiments.Registry.ids ())))
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | id :: rest -> (
+      match resolve id with
+      | Error _ as e -> e
+      | Ok e ->
+        let t0 = Unix.gettimeofday () in
+        let table = e.Experiments.Registry.run ctx in
+        render ~csv ~plot table;
+        Printf.printf "(%s finished in %.1fs)\n\n%!" e.Experiments.Registry.id
+          (Unix.gettimeofday () -. t0);
+        go rest)
+  in
+  let ids = if ids = [] then Experiments.Registry.ids () else ids in
+  match go ids with
+  | Ok () -> `Ok ()
+  | Error msg -> `Error (false, msg)
+
+let run_cmd =
+  let ids =
+    let doc = "Experiments to run (default: all).  See $(b,plookup list)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let doc = "Regenerate one or more of the paper's tables/figures." in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(ret (const run_experiment $ ids $ seed_arg $ scale_arg $ csv_arg $ plot_arg))
+
+(* list subcommand *)
+let list_experiments () =
+  List.iter
+    (fun e ->
+      Printf.printf "%-8s %s\n" e.Experiments.Registry.id e.Experiments.Registry.title)
+    Experiments.Registry.all;
+  `Ok ()
+
+let list_cmd =
+  let doc = "List the reproducible tables and figures." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(ret (const list_experiments $ const ()))
+
+(* stars subcommand *)
+let stars () =
+  Table.print Experiments.Exp_table2.paper_stars;
+  `Ok ()
+
+let stars_cmd =
+  let doc = "Print the paper's Table 2 star ratings for comparison." in
+  Cmd.v (Cmd.info "stars" ~doc) Term.(ret (const stars $ const ()))
+
+(* demo subcommand: place some entries under a strategy and look up *)
+let demo strategy n entries target seed =
+  match Plookup.Service.config_of_string strategy with
+  | Error msg -> `Error (false, msg)
+  | Ok config ->
+    let open Plookup_store in
+    let service = Plookup.Service.create ~seed ~n config in
+    let gen = Entry.Gen.create () in
+    let batch = Entry.Gen.batch gen entries in
+    Plookup.Service.place service batch;
+    let cluster = Plookup.Service.cluster service in
+    Format.printf "%a" Plookup.Cluster.pp cluster;
+    let result = Plookup.Service.partial_lookup service target in
+    Format.printf "%a@." Plookup.Lookup_result.pp result;
+    Format.printf "returned: %a@."
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") Entry.pp)
+      (List.sort Entry.compare result.Plookup.Lookup_result.entries);
+    Printf.printf "storage cost: %d entries, coverage: %d\n"
+      (Plookup_metrics.Storage.measured cluster)
+      (Plookup_metrics.Coverage.measured cluster);
+    `Ok ()
+
+let demo_cmd =
+  let strategy =
+    let doc = "Strategy: full, fixed-X, randomserver-X, round-Y or hash-Y." in
+    Arg.(value & pos 0 string "round-2" & info [] ~docv:"STRATEGY" ~doc)
+  in
+  let n =
+    let doc = "Number of servers." in
+    Arg.(value & opt int 4 & info [ "n"; "servers" ] ~docv:"N" ~doc)
+  in
+  let entries =
+    let doc = "Number of entries to place." in
+    Arg.(value & opt int 12 & info [ "entries" ] ~docv:"H" ~doc)
+  in
+  let target =
+    let doc = "Target answer size for the demo lookup." in
+    Arg.(value & opt int 5 & info [ "t"; "target" ] ~docv:"T" ~doc)
+  in
+  let doc = "Place entries under a strategy, show the placement, do one lookup." in
+  Cmd.v (Cmd.info "demo" ~doc)
+    Term.(ret (const demo $ strategy $ n $ entries $ target $ seed_arg))
+
+(* sweep subcommand: custom parameter study over target answer sizes *)
+let sweep strategy n h budget t_lo t_hi t_step runs seed csv =
+  if t_lo <= 0 || t_hi < t_lo || t_step <= 0 then
+    `Error (false, "need 0 < t-lo <= t-hi and a positive step")
+  else begin
+    match Plookup.Service.config_of_string strategy with
+    | Error msg -> `Error (false, msg)
+    | Ok base ->
+      let config =
+        match budget with
+        | None -> base
+        | Some total -> Plookup.Service.storage_for_budget base ~n ~h ~total
+      in
+      let module Metrics = Plookup_metrics in
+      let table =
+        Plookup_util.Table.create
+          ~title:
+            (Printf.sprintf "sweep: %s, %d entries on %d servers, %d runs per point"
+               (Plookup.Service.config_name config)
+               h n runs)
+          ~columns:
+            [ "t"; "lookup cost"; "ci95"; "fail %"; "coverage"; "fault tolerance" ]
+      in
+      let coverage, _ =
+        Metrics.Coverage.measured_over_instances ~seed ~n ~entries:h ~config ~runs ()
+      in
+      let t = ref t_lo in
+      while !t <= t_hi do
+        let m =
+          Metrics.Lookup_cost.measure_over_instances ~seed ~n ~entries:h ~config ~t:!t
+            ~runs ~lookups_per_run:200 ()
+        in
+        let tolerance, _ =
+          Metrics.Fault_tolerance.measure_over_instances ~seed ~n ~entries:h ~config ~t:!t
+            ~runs ()
+        in
+        Plookup_util.Table.add_row table
+          [ Plookup_util.Table.I !t;
+            Plookup_util.Table.F m.Metrics.Lookup_cost.mean_cost;
+            Plookup_util.Table.F4 m.Metrics.Lookup_cost.ci95;
+            Plookup_util.Table.F (100. *. m.Metrics.Lookup_cost.failure_rate);
+            Plookup_util.Table.F coverage;
+            Plookup_util.Table.F tolerance ];
+        t := !t + t_step
+      done;
+      render ~csv ~plot:false table;
+      `Ok ()
+  end
+
+let sweep_cmd =
+  let strategy =
+    let doc = "Strategy (full, fixed-X, randomserver-X, round-Y, hash-Y)." in
+    Arg.(value & pos 0 string "round-2" & info [] ~docv:"STRATEGY" ~doc)
+  in
+  let n =
+    Arg.(value & opt int 10 & info [ "servers" ] ~docv:"N" ~doc:"Number of servers.")
+  in
+  let h =
+    Arg.(value & opt int 100 & info [ "entries" ] ~docv:"H" ~doc:"Number of entries.")
+  in
+  let budget =
+    let doc =
+      "Re-parameterize the strategy for this total storage budget (Table 1 formulas)."
+    in
+    Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"B" ~doc)
+  in
+  let t_lo = Arg.(value & opt int 10 & info [ "t-lo" ] ~docv:"T" ~doc:"Smallest target.") in
+  let t_hi = Arg.(value & opt int 50 & info [ "t-hi" ] ~docv:"T" ~doc:"Largest target.") in
+  let t_step = Arg.(value & opt int 5 & info [ "t-step" ] ~docv:"S" ~doc:"Target step.") in
+  let runs =
+    Arg.(value & opt int 30 & info [ "runs" ] ~docv:"R" ~doc:"Placements per data point.")
+  in
+  let doc = "Sweep target answer sizes for one strategy and print its metric profile." in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(
+      ret
+        (const sweep $ strategy $ n $ h $ budget $ t_lo $ t_hi $ t_step $ runs $ seed_arg
+        $ csv_arg))
+
+let main_cmd =
+  let doc = "partial lookup service — reproduction of Sun & Garcia-Molina (ICDCS 2003)" in
+  let info = Cmd.info "plookup" ~version:"1.0.0" ~doc in
+  Cmd.group info [ run_cmd; list_cmd; stars_cmd; demo_cmd; sweep_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

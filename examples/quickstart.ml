@@ -1,0 +1,46 @@
+(* Quickstart: build a partial lookup service, place entries, look some
+   of them up, apply updates, and survive a failure.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Plookup
+open Plookup_store
+
+let () =
+  (* A service is n servers running one placement strategy.  Round-
+     Robin-2 stores every entry on 2 consecutive servers. *)
+  let service = Service.create ~seed:42 ~n:4 (Service.Round_robin 2) in
+
+  (* One key maps to a set of entries — say, mirrors of a file. *)
+  let mirrors =
+    List.mapi
+      (fun i host -> Entry.v ~payload:host i)
+      [ "mirror-us.example"; "mirror-eu.example"; "mirror-ap.example";
+        "mirror-sa.example"; "mirror-af.example"; "mirror-au.example" ]
+  in
+  Service.place service mirrors;
+  Format.printf "placed %d mirrors on %d servers (%s)@." (List.length mirrors)
+    (Service.n service) (Service.name service);
+  Format.printf "%a@." Cluster.pp (Service.cluster service);
+
+  (* A client needs any 2 mirrors — not all 6. *)
+  let result = Service.partial_lookup service 2 in
+  Format.printf "partial_lookup(2) -> %a@." Lookup_result.pp result;
+  List.iter
+    (fun e -> Format.printf "  use %s@." (Option.value ~default:"?" (Entry.payload e)))
+    result.Lookup_result.entries;
+
+  (* Updates: a mirror goes away, a new one appears. *)
+  Service.delete service (List.hd mirrors);
+  Service.add service (Entry.v ~payload:"mirror-eu2.example" 6);
+  Format.printf "@.after one delete and one add:@.%a@." Cluster.pp (Service.cluster service);
+
+  (* A server crashes; lookups route around it. *)
+  Cluster.fail (Service.cluster service) 0;
+  let result = Service.partial_lookup service 2 in
+  Format.printf "with server 0 down: %a@." Lookup_result.pp result;
+
+  (* The cluster exposes the paper's cost metrics directly. *)
+  Format.printf "@.storage cost: %d entry copies, coverage: %d distinct entries@."
+    (Plookup_metrics.Storage.measured (Service.cluster service))
+    (Plookup_metrics.Coverage.measured (Service.cluster service))

@@ -1,0 +1,79 @@
+(* Yellow pages: a category directory with client preferences.
+
+   Categories ("news", "weather", ...) map to provider URLs.  Clients
+   have preferences — here, network latency to each provider — and want
+   the t *best* providers, not arbitrary ones.  This exercises the
+   Section 7.1 variation: partial_lookup_pref ranks the collected
+   entries under a client-supplied cost function.
+
+   Run with: dune exec examples/yellow_pages.exe *)
+
+open Plookup
+open Plookup_store
+open Plookup_util
+
+let categories =
+  [ ("news", [ "cnn.example"; "bbc.example"; "reuters.example"; "ap.example";
+               "aljazeera.example"; "npr.example" ]);
+    ("weather", [ "noaa.example"; "metoffice.example"; "wunderground.example";
+                  "accuweather.example" ]);
+    ("sports", [ "espn.example"; "skysports.example"; "beinsports.example";
+                 "eurosport.example"; "dazn.example" ]) ]
+
+let () =
+  let directory = Directory.create ~seed:3 ~n:6 ~default:(Service.Round_robin 2) () in
+  let gen = Entry.Gen.create () in
+  let by_id = Hashtbl.create 32 in
+  List.iter
+    (fun (category, providers) ->
+      let entries =
+        List.map
+          (fun url ->
+            let e = Entry.Gen.fresh ~payload:url gen in
+            Hashtbl.replace by_id (Entry.id e) url;
+            e)
+          providers
+      in
+      Directory.place directory ~key:category entries)
+    categories;
+  Format.printf "yellow pages: %d categories on %d servers@." (Directory.key_count directory)
+    (Directory.n directory);
+
+  (* Each client has its own latency map to providers. *)
+  let latency_of_client client_seed =
+    let rng = Rng.create client_seed in
+    let table = Hashtbl.create 32 in
+    fun e ->
+      let id = Entry.id e in
+      match Hashtbl.find_opt table id with
+      | Some l -> l
+      | None ->
+        let l = Dist.uniform_in rng ~lo:5. ~hi:250. in
+        Hashtbl.replace table id l;
+        l
+  in
+
+  List.iter
+    (fun client ->
+      let latency = latency_of_client client in
+      Format.printf "@.client %d wants the 2 lowest-latency news providers:@." client;
+      let r = Directory.partial_lookup_pref directory ~key:"news" ~cost:latency 2 in
+      List.iter
+        (fun e ->
+          Format.printf "  %-20s %5.1f ms@."
+            (Option.value ~default:"?" (Hashtbl.find_opt by_id (Entry.id e)))
+            (latency e))
+        (List.sort (fun a b -> Float.compare (latency a) (latency b)) r.Lookup_result.entries);
+      Format.printf "  (merged answers from %d directory servers)@."
+        r.Lookup_result.servers_contacted)
+    [ 1; 2; 3 ];
+
+  (* Unpreferred lookups still work — any two providers will do. *)
+  let r = Directory.partial_lookup directory ~key:"weather" 2 in
+  Format.printf "@.any 2 weather providers: %a@."
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") Entry.pp)
+    r.Lookup_result.entries;
+
+  (* Unknown categories return the empty set, per the service contract. *)
+  let r = Directory.partial_lookup directory ~key:"cooking" 1 in
+  Format.printf "unknown category 'cooking' -> %d entries@." (Lookup_result.count r)

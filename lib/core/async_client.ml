@@ -1,0 +1,144 @@
+open Plookup_store
+module Engine = Plookup_sim.Engine
+module Net = Plookup_net.Net
+
+type outcome = {
+  result : Lookup_result.t;
+  started_at : float;
+  completed_at : float;
+  timeouts : int;
+}
+
+let elapsed o = o.completed_at -. o.started_at
+
+(* One lookup is a small state machine: [queue] of servers not yet
+   contacted, [inflight] contacts awaiting a reply, [seen] the merged
+   distinct entries.  Replies and timeouts race per contact; a
+   generation counter per contact makes the timeout a no-op once the
+   reply has won (and vice versa). *)
+type state = {
+  cluster : Cluster.t;
+  engine : Engine.t;
+  latency : unit -> float;
+  timeout : float;
+  wave : int;
+  target : int;
+  seen : (int, Entry.t) Hashtbl.t;
+  mutable queue : int list;
+  mutable inflight : int;
+  mutable contacted : int;
+  mutable timeouts : int;
+  mutable finished : bool;
+  started_at : float;
+  k : outcome -> unit;
+}
+
+let finish st =
+  if not st.finished then begin
+    st.finished <- true;
+    let entries = Hashtbl.fold (fun _ e acc -> e :: acc) st.seen [] in
+    let entries =
+      if List.length entries <= st.target then entries
+      else
+        Array.to_list
+          (Plookup_util.Rng.sample (Cluster.rng st.cluster) (Array.of_list entries)
+             st.target)
+    in
+    st.k
+      { result =
+          { Lookup_result.entries; servers_contacted = st.contacted; target = st.target };
+        started_at = st.started_at;
+        completed_at = Engine.now st.engine;
+        timeouts = st.timeouts }
+  end
+
+let satisfied st = Hashtbl.length st.seen >= st.target
+
+let rec pump st =
+  if not st.finished then begin
+    if satisfied st then finish st
+    else if st.inflight = 0 && st.queue = [] then finish st (* order exhausted *)
+    else begin
+      match st.queue with
+      | server :: rest when st.inflight < st.wave ->
+        st.queue <- rest;
+        contact st server;
+        pump st
+      | _ -> () (* at wave capacity, or nothing left to launch *)
+    end
+  end
+
+and contact st server =
+  st.inflight <- st.inflight + 1;
+  let answered = ref false in
+  (* The timeout and the reply race; whichever fires second is a no-op.
+     A reply arriving after the timeout is simply dropped, like a
+     datagram arriving after the client moved on. *)
+  let timed_out = ref false in
+  ignore
+    (Engine.schedule_after st.engine ~delay:st.timeout (fun _ ->
+         if not !answered && not st.finished then begin
+           timed_out := true;
+           st.timeouts <- st.timeouts + 1;
+           st.inflight <- st.inflight - 1;
+           pump st
+         end));
+  Net.call_async (Cluster.net st.cluster) st.engine
+    ~latency:(fun ~src:_ ~dst:_ -> st.latency ())
+    ~src:Net.Client ~dst:server (Msg.Lookup st.target)
+    (fun reply ->
+      if (not !timed_out) && not st.finished then begin
+        answered := true;
+        st.inflight <- st.inflight - 1;
+        st.contacted <- st.contacted + 1;
+        (match reply with
+        | Msg.Entries entries ->
+          List.iter
+            (fun e ->
+              if not (Hashtbl.mem st.seen (Entry.id e)) then
+                Hashtbl.add st.seen (Entry.id e) e)
+            entries
+        | Msg.Ack | Msg.Candidate _ -> ());
+        pump st
+      end)
+
+let dedup_order order =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun s ->
+      if Hashtbl.mem seen s then false
+      else begin
+        Hashtbl.add seen s ();
+        true
+      end)
+    order
+
+let lookup cluster engine ~latency ~timeout ~order ?(wave = 1) ~t k =
+  if t <= 0 then invalid_arg "Async_client.lookup: t must be positive";
+  if timeout <= 0. then invalid_arg "Async_client.lookup: timeout must be positive";
+  if wave <= 0 then invalid_arg "Async_client.lookup: wave must be positive";
+  let st =
+    { cluster;
+      engine;
+      latency;
+      timeout;
+      wave;
+      target = t;
+      seen = Hashtbl.create 32;
+      queue = dedup_order order;
+      inflight = 0;
+      contacted = 0;
+      timeouts = 0;
+      finished = false;
+      started_at = Engine.now engine;
+      k }
+  in
+  (* Launch lazily from the engine so the caller can schedule lookups
+     "now" before running the engine. *)
+  ignore (Engine.schedule_after engine ~delay:0. (fun _ -> pump st))
+
+let lookup_random_order cluster engine ~latency ~timeout ?wave ~t k =
+  let order =
+    Array.to_list (Plookup_util.Rng.perm (Cluster.rng cluster) (Cluster.n cluster))
+  in
+  lookup cluster engine ~latency ~timeout ~order ?wave ~t k

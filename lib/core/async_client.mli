@@ -1,0 +1,59 @@
+(** Latency-aware asynchronous lookup client.
+
+    The synchronous probes in {!Probe} measure *how many* servers a
+    lookup touches; this client runs the same probing disciplines over a
+    network with per-hop latency and real request/response timing on the
+    simulation engine, so experiments can measure *how long* lookups
+    take — including the paper's Section-6.2 failure masking, where a
+    client whose contact never answers simply retries elsewhere after a
+    timeout.
+
+    Waves generalize both probing styles: [wave = 1] is sequential
+    probing (each contact waits for the previous answer), a larger wave
+    fires that many requests concurrently — the Round-Robin parallel
+    client of Section 3.5 sets the wave to its predicted contact count.
+
+    The client holds no global clock or threads: it is a callback state
+    machine driven entirely by {!Plookup_sim.Engine} events, like every
+    other component of the simulator. *)
+
+
+type outcome = {
+  result : Lookup_result.t;
+  started_at : float;
+  completed_at : float;  (** engine time when the target was met or the order exhausted *)
+  timeouts : int;  (** contacts abandoned after no reply *)
+}
+
+val elapsed : outcome -> float
+
+val lookup :
+  Cluster.t ->
+  Plookup_sim.Engine.t ->
+  latency:(unit -> float) ->
+  timeout:float ->
+  order:int list ->
+  ?wave:int ->
+  t:int ->
+  (outcome -> unit) ->
+  unit
+(** Schedule an asynchronous [partial_lookup t] probing the servers of
+    [order] (duplicates ignored).  Each contact costs one request and
+    one reply latency draw; a contact that has not answered within
+    [timeout] counts as failed and the next server in [order] is tried.
+    [wave] (default 1) contacts run concurrently at all times until the
+    target is met.  The callback fires exactly once, with the merged
+    (and target-truncated) result.  Requires positive [t], [timeout]
+    and [wave]. *)
+
+val lookup_random_order :
+  Cluster.t ->
+  Plookup_sim.Engine.t ->
+  latency:(unit -> float) ->
+  timeout:float ->
+  ?wave:int ->
+  t:int ->
+  (outcome -> unit) ->
+  unit
+(** {!lookup} over all servers in uniformly random order (the
+    RandomServer-x / Hash-y client). *)

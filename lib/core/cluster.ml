@@ -1,0 +1,63 @@
+open Plookup_store
+open Plookup_util
+module Net = Plookup_net.Net
+
+type t = {
+  n : int;
+  seed : int;
+  rng : Rng.t;
+  net : (Msg.t, Msg.reply) Net.t;
+  stores : Server_store.t array;
+}
+
+let create ?(seed = 0) ~n () =
+  if n <= 0 then invalid_arg "Cluster.create: n must be positive";
+  { n;
+    seed;
+    rng = Rng.create seed;
+    net = Net.create ~n;
+    stores = Array.init n (fun _ -> Server_store.create ()) }
+
+let n t = t.n
+let seed t = t.seed
+let rng t = t.rng
+let net t = t.net
+
+let store t i =
+  if i < 0 || i >= t.n then invalid_arg "Cluster.store: server index out of range";
+  t.stores.(i)
+
+let fail t i = Net.fail t.net i
+let recover t i = Net.recover t.net i
+let is_up t i = Net.is_up t.net i
+let up_servers t = Net.up_servers t.net
+let fail_exactly t down = Net.fail_exactly t.net down
+
+let random_up_server t =
+  match up_servers t with
+  | [] -> None
+  | up -> Some (List.nth up (Rng.int t.rng (List.length up)))
+
+let total_stored t = Array.fold_left (fun acc s -> acc + Server_store.cardinal s) 0 t.stores
+
+let coverage t =
+  List.fold_left
+    (fun acc i ->
+      Server_store.fold (fun e acc -> Entry.Set.add e acc) t.stores.(i) acc)
+    Entry.Set.empty (up_servers t)
+
+let placement t = Array.map Server_store.to_list t.stores
+
+let snapshot_bitsets t ~capacity =
+  Array.map (fun s -> Server_store.snapshot_bitset s ~capacity) t.stores
+
+let clear_stores t = Array.iter Server_store.clear t.stores
+
+let pp ppf t =
+  Format.fprintf ppf "cluster n=%d seed=%d@." t.n t.seed;
+  Array.iteri
+    (fun i s ->
+      Format.fprintf ppf "  server %d%s: %a@." i
+        (if is_up t i then "" else " (down)")
+        Server_store.pp s)
+    t.stores

@@ -1,0 +1,53 @@
+(** The server fleet a strategy runs on: [n] servers, each with a local
+    {!Plookup_store.Server_store}, wired together by a message-counting
+    {!Plookup_net.Net}, plus the deterministic randomness source every
+    randomized decision draws from. *)
+
+open Plookup_store
+open Plookup_util
+
+type t
+
+val create : ?seed:int -> n:int -> unit -> t
+(** [create ~n ()] builds [n] empty servers.  [seed] (default 0) fixes
+    the generator driving every random choice made on this cluster and
+    the Hash-y hash-function family. *)
+
+val n : t -> int
+val seed : t -> int
+val rng : t -> Rng.t
+val net : t -> (Msg.t, Msg.reply) Plookup_net.Net.t
+val store : t -> int -> Server_store.t
+
+(** {1 Failures} *)
+
+val fail : t -> int -> unit
+val recover : t -> int -> unit
+val is_up : t -> int -> bool
+val up_servers : t -> int list
+val fail_exactly : t -> int list -> unit
+val random_up_server : t -> int option
+(** Uniform among up servers; [None] if all are down — the paper's
+    "a client selects a server at random... if the server has failed,
+    keep on selecting another". *)
+
+(** {1 Inspection (used by the metrics layer)} *)
+
+val total_stored : t -> int
+(** Combined number of entries over all servers — the paper's storage
+    cost (failed servers still hold their entries and are counted; the
+    storage was spent). *)
+
+val coverage : t -> Entry.Set.t
+(** Distinct entries retrievable when contacting every *up* server. *)
+
+val placement : t -> Entry.t list array
+(** Per-server contents snapshot (all servers, up or down). *)
+
+val snapshot_bitsets : t -> capacity:int -> Bitset.t array
+(** Per-server entry-id bitsets, for the fault-tolerance heuristic. *)
+
+val clear_stores : t -> unit
+(** Empty every server (does not touch counters or failure state). *)
+
+val pp : Format.formatter -> t -> unit

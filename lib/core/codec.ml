@@ -1,0 +1,238 @@
+open Plookup_store
+
+(* Varints: LEB128, unsigned, for non-negative ints. *)
+let put_varint buf v =
+  if v < 0 then invalid_arg "Codec.put_varint: negative";
+  let rec go v =
+    if v < 0x80 then Buffer.add_uint8 buf v
+    else begin
+      Buffer.add_uint8 buf (0x80 lor (v land 0x7f));
+      go (v lsr 7)
+    end
+  in
+  go v
+
+let get_varint s ~pos =
+  let len = String.length s in
+  let rec go pos shift acc =
+    if pos >= len then Error "varint: truncated"
+    else if shift > 62 then Error "varint: overflow"
+    else begin
+      let b = Char.code s.[pos] in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then Ok (acc, pos + 1) else go (pos + 1) (shift + 7) acc
+    end
+  in
+  go pos 0 0
+
+let ( let* ) = Result.bind
+
+(* Entries: id, then payload tagged by length+1 so the absent payload
+   (0) and the empty payload (1) stay distinct. *)
+let encode_entry buf e =
+  put_varint buf (Entry.id e);
+  match Entry.payload e with
+  | None -> put_varint buf 0
+  | Some p ->
+    put_varint buf (String.length p + 1);
+    Buffer.add_string buf p
+
+let decode_entry s ~pos =
+  let* id, pos = get_varint s ~pos in
+  let* tagged_len, pos = get_varint s ~pos in
+  if tagged_len = 0 then Ok (Entry.v id, pos)
+  else begin
+    let len = tagged_len - 1 in
+    if pos + len > String.length s then Error "entry payload: truncated"
+    else Ok (Entry.v ~payload:(String.sub s pos len) id, pos + len)
+  end
+
+let put_entries buf entries =
+  put_varint buf (List.length entries);
+  List.iter (encode_entry buf) entries
+
+let get_entries s ~pos =
+  let* count, pos = get_varint s ~pos in
+  if count > String.length s - pos then Error "entry list: count exceeds input"
+  else begin
+    let rec go k pos acc =
+      if k = 0 then Ok (List.rev acc, pos)
+      else
+        let* e, pos = decode_entry s ~pos in
+        go (k - 1) pos (e :: acc)
+    in
+    go count pos []
+  end
+
+let put_ints buf ids =
+  put_varint buf (List.length ids);
+  List.iter (put_varint buf) ids
+
+let get_ints s ~pos =
+  let* count, pos = get_varint s ~pos in
+  if count > String.length s - pos then Error "int list: count exceeds input"
+  else begin
+    let rec go k pos acc =
+      if k = 0 then Ok (List.rev acc, pos)
+      else
+        let* v, pos = get_varint s ~pos in
+        go (k - 1) pos (v :: acc)
+    in
+    go count pos []
+  end
+
+(* Message tags. *)
+let tag_place = 1
+let tag_add = 2
+let tag_delete = 3
+let tag_lookup = 4
+let tag_store = 5
+let tag_store_batch = 6
+let tag_remove = 7
+let tag_add_sampled = 8
+let tag_remove_counted = 9
+let tag_fetch_candidate = 10
+let tag_sync_add = 11
+let tag_sync_delete = 12
+let tag_sync_state = 13
+
+let encode msg =
+  let buf = Buffer.create 32 in
+  (match (msg : Msg.t) with
+  | Msg.Place entries ->
+    Buffer.add_uint8 buf tag_place;
+    put_entries buf entries
+  | Msg.Add e ->
+    Buffer.add_uint8 buf tag_add;
+    encode_entry buf e
+  | Msg.Delete e ->
+    Buffer.add_uint8 buf tag_delete;
+    encode_entry buf e
+  | Msg.Lookup t ->
+    Buffer.add_uint8 buf tag_lookup;
+    put_varint buf t
+  | Msg.Store e ->
+    Buffer.add_uint8 buf tag_store;
+    encode_entry buf e
+  | Msg.Store_batch entries ->
+    Buffer.add_uint8 buf tag_store_batch;
+    put_entries buf entries
+  | Msg.Remove e ->
+    Buffer.add_uint8 buf tag_remove;
+    encode_entry buf e
+  | Msg.Add_sampled e ->
+    Buffer.add_uint8 buf tag_add_sampled;
+    encode_entry buf e
+  | Msg.Remove_counted e ->
+    Buffer.add_uint8 buf tag_remove_counted;
+    encode_entry buf e
+  | Msg.Fetch_candidate ids ->
+    Buffer.add_uint8 buf tag_fetch_candidate;
+    put_ints buf ids
+  | Msg.Sync_add e ->
+    Buffer.add_uint8 buf tag_sync_add;
+    encode_entry buf e
+  | Msg.Sync_delete e ->
+    Buffer.add_uint8 buf tag_sync_delete;
+    encode_entry buf e
+  | Msg.Sync_state -> Buffer.add_uint8 buf tag_sync_state);
+  Buffer.contents buf
+
+let expect_end label pos s k =
+  if pos = String.length s then k else Error (label ^ ": trailing bytes")
+
+let decode s =
+  if String.length s = 0 then Error "message: empty"
+  else begin
+    let tag = Char.code s.[0] in
+    let pos = 1 in
+    if tag = tag_place then
+      let* entries, pos = get_entries s ~pos in
+      expect_end "place" pos s (Ok (Msg.Place entries))
+    else if tag = tag_add then
+      let* e, pos = decode_entry s ~pos in
+      expect_end "add" pos s (Ok (Msg.Add e))
+    else if tag = tag_delete then
+      let* e, pos = decode_entry s ~pos in
+      expect_end "delete" pos s (Ok (Msg.Delete e))
+    else if tag = tag_lookup then
+      let* t, pos = get_varint s ~pos in
+      expect_end "lookup" pos s (Ok (Msg.Lookup t))
+    else if tag = tag_store then
+      let* e, pos = decode_entry s ~pos in
+      expect_end "store" pos s (Ok (Msg.Store e))
+    else if tag = tag_store_batch then
+      let* entries, pos = get_entries s ~pos in
+      expect_end "store_batch" pos s (Ok (Msg.Store_batch entries))
+    else if tag = tag_remove then
+      let* e, pos = decode_entry s ~pos in
+      expect_end "remove" pos s (Ok (Msg.Remove e))
+    else if tag = tag_add_sampled then
+      let* e, pos = decode_entry s ~pos in
+      expect_end "add_sampled" pos s (Ok (Msg.Add_sampled e))
+    else if tag = tag_remove_counted then
+      let* e, pos = decode_entry s ~pos in
+      expect_end "remove_counted" pos s (Ok (Msg.Remove_counted e))
+    else if tag = tag_fetch_candidate then
+      let* ids, pos = get_ints s ~pos in
+      expect_end "fetch_candidate" pos s (Ok (Msg.Fetch_candidate ids))
+    else if tag = tag_sync_add then
+      let* e, pos = decode_entry s ~pos in
+      expect_end "sync_add" pos s (Ok (Msg.Sync_add e))
+    else if tag = tag_sync_delete then
+      let* e, pos = decode_entry s ~pos in
+      expect_end "sync_delete" pos s (Ok (Msg.Sync_delete e))
+    else if tag = tag_sync_state then expect_end "sync_state" pos s (Ok Msg.Sync_state)
+    else Error (Printf.sprintf "message: unknown tag %d" tag)
+  end
+
+(* Reply tags. *)
+let tag_ack = 100
+let tag_entries = 101
+let tag_candidate_none = 102
+let tag_candidate_some = 103
+
+let encode_reply reply =
+  let buf = Buffer.create 16 in
+  (match (reply : Msg.reply) with
+  | Msg.Ack -> Buffer.add_uint8 buf tag_ack
+  | Msg.Entries entries ->
+    Buffer.add_uint8 buf tag_entries;
+    put_entries buf entries
+  | Msg.Candidate None -> Buffer.add_uint8 buf tag_candidate_none
+  | Msg.Candidate (Some e) ->
+    Buffer.add_uint8 buf tag_candidate_some;
+    encode_entry buf e);
+  Buffer.contents buf
+
+let decode_reply s =
+  if String.length s = 0 then Error "reply: empty"
+  else begin
+    let tag = Char.code s.[0] in
+    let pos = 1 in
+    if tag = tag_ack then expect_end "ack" pos s (Ok Msg.Ack)
+    else if tag = tag_entries then
+      let* entries, pos = get_entries s ~pos in
+      expect_end "entries" pos s (Ok (Msg.Entries entries))
+    else if tag = tag_candidate_none then
+      expect_end "candidate" pos s (Ok (Msg.Candidate None))
+    else if tag = tag_candidate_some then
+      let* e, pos = decode_entry s ~pos in
+      expect_end "candidate" pos s (Ok (Msg.Candidate (Some e)))
+    else Error (Printf.sprintf "reply: unknown tag %d" tag)
+  end
+
+let frame body =
+  let buf = Buffer.create (String.length body + 4) in
+  Buffer.add_int32_le buf (Int32.of_int (String.length body));
+  Buffer.add_string buf body;
+  Buffer.contents buf
+
+let unframe s ~pos =
+  if pos + 4 > String.length s then Error "frame: truncated header"
+  else begin
+    let len = Int32.to_int (String.get_int32_le s pos) in
+    if len < 0 then Error "frame: negative length"
+    else if pos + 4 + len > String.length s then Error "frame: truncated body"
+    else Ok (String.sub s (pos + 4) len, pos + 4 + len)
+  end

@@ -1,0 +1,64 @@
+open Plookup_store
+module Net = Plookup_net.Net
+
+type t = { cluster : Cluster.t; x : int }
+
+let take k entries =
+  let rec go k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | e :: rest -> e :: go (k - 1) rest
+  in
+  go k entries
+
+let handler t dst _src msg : Msg.reply =
+  let net = Cluster.net t.cluster in
+  let local = Cluster.store t.cluster dst in
+  match (msg : Msg.t) with
+  | Msg.Place entries ->
+    (* Broadcast only the first x of the h entries. *)
+    ignore (Net.broadcast net ~src:(Net.Server dst) (Msg.Store_batch (take t.x entries)));
+    Msg.Ack
+  | Msg.Add e ->
+    (* Selective broadcast: only while below x, and only for new ids. *)
+    if Server_store.cardinal local < t.x && not (Server_store.mem local e) then
+      ignore (Net.broadcast net ~src:(Net.Server dst) (Msg.Store e));
+    Msg.Ack
+  | Msg.Delete e ->
+    if Server_store.mem local e then
+      ignore (Net.broadcast net ~src:(Net.Server dst) (Msg.Remove e));
+    Msg.Ack
+  | Msg.Store_batch entries ->
+    Server_store.clear local;
+    List.iter (fun e -> ignore (Server_store.add local e)) entries;
+    Msg.Ack
+  | Msg.Store e ->
+    ignore (Server_store.add local e);
+    Msg.Ack
+  | Msg.Remove e ->
+    ignore (Server_store.remove local e);
+    Msg.Ack
+  | Msg.Lookup target ->
+    Msg.Entries (Server_store.random_pick local (Cluster.rng t.cluster) target)
+  | Msg.Add_sampled _ | Msg.Remove_counted _ | Msg.Fetch_candidate _ | Msg.Sync_add _
+  | Msg.Sync_delete _ | Msg.Sync_state ->
+    invalid_arg "Fixed: unexpected message"
+
+let create cluster ~x =
+  if x <= 0 then invalid_arg "Fixed.create: x must be positive";
+  let t = { cluster; x } in
+  Net.set_handler (Cluster.net cluster) (handler t);
+  t
+
+let x t = t.x
+let cluster t = t.cluster
+
+let to_random_server t msg =
+  match Cluster.random_up_server t.cluster with
+  | None -> ()
+  | Some s -> ignore (Net.send (Cluster.net t.cluster) ~src:Net.Client ~dst:s msg)
+
+let place t entries = to_random_server t (Msg.Place (Entry.dedup entries))
+let add t e = to_random_server t (Msg.Add e)
+let delete t e = to_random_server t (Msg.Delete e)
+let partial_lookup ?reachable t target = Probe.single ?reachable t.cluster ~t:target

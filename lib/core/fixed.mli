@@ -1,0 +1,29 @@
+(** Fixed-x (Sections 3.2, 5.2): every server stores the *same* fixed
+    subset of at most [x] entries.
+
+    On [place], the chosen server broadcasts only the first [x] entries.
+    Updates use *selective broadcast*: an [add] is broadcast only while
+    servers hold fewer than [x] entries; a [delete] is broadcast only if
+    the contacted server actually stores the entry — this is what makes
+    Fixed-x cheap under high update rates (Fig. 14).
+
+    Deletes can leave servers below [x] with no replacement, so Section
+    5.2 prescribes choosing [x = t + b] with a cushion [b] (Fig. 12);
+    the cushion is purely a sizing decision, not extra mechanism. *)
+
+open Plookup_store
+
+type t
+
+val create : Cluster.t -> x:int -> t
+(** [x] must be positive. *)
+
+val x : t -> int
+val cluster : t -> Cluster.t
+val place : t -> Entry.t list -> unit
+val add : t -> Entry.t -> unit
+val delete : t -> Entry.t -> unit
+
+val partial_lookup : ?reachable:(int -> bool) -> t -> int -> Lookup_result.t
+(** One random operational server; like Full Replication, all servers
+    are identical so contacting more servers can never help. *)

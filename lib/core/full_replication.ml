@@ -1,0 +1,50 @@
+open Plookup_store
+module Net = Plookup_net.Net
+
+type t = { cluster : Cluster.t }
+
+(* Server-side behaviour: a client request at server [dst] triggers a
+   broadcast; a broadcast store/remove mutates the local store. *)
+let handler cluster dst _src msg : Msg.reply =
+  let net = Cluster.net cluster in
+  let local = Cluster.store cluster dst in
+  match (msg : Msg.t) with
+  | Msg.Place entries ->
+    ignore (Net.broadcast net ~src:(Net.Server dst) (Msg.Store_batch entries));
+    Msg.Ack
+  | Msg.Add e ->
+    ignore (Net.broadcast net ~src:(Net.Server dst) (Msg.Store e));
+    Msg.Ack
+  | Msg.Delete e ->
+    ignore (Net.broadcast net ~src:(Net.Server dst) (Msg.Remove e));
+    Msg.Ack
+  | Msg.Store_batch entries ->
+    Server_store.clear local;
+    List.iter (fun e -> ignore (Server_store.add local e)) entries;
+    Msg.Ack
+  | Msg.Store e ->
+    ignore (Server_store.add local e);
+    Msg.Ack
+  | Msg.Remove e ->
+    ignore (Server_store.remove local e);
+    Msg.Ack
+  | Msg.Lookup t -> Msg.Entries (Server_store.random_pick local (Cluster.rng cluster) t)
+  | Msg.Add_sampled _ | Msg.Remove_counted _ | Msg.Fetch_candidate _ | Msg.Sync_add _
+  | Msg.Sync_delete _ | Msg.Sync_state ->
+    invalid_arg "Full_replication: unexpected message"
+
+let create cluster =
+  Net.set_handler (Cluster.net cluster) (handler cluster);
+  { cluster }
+
+let cluster t = t.cluster
+
+let to_random_server t msg =
+  match Cluster.random_up_server t.cluster with
+  | None -> ()
+  | Some s -> ignore (Net.send (Cluster.net t.cluster) ~src:Net.Client ~dst:s msg)
+
+let place t entries = to_random_server t (Msg.Place (Entry.dedup entries))
+let add t e = to_random_server t (Msg.Add e)
+let delete t e = to_random_server t (Msg.Delete e)
+let partial_lookup ?reachable t target = Probe.single ?reachable t.cluster ~t:target

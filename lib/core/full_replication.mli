@@ -1,0 +1,23 @@
+(** Full Replication (Section 3.1, 5.1): every server stores every entry.
+
+    [place], [add] and [delete] all go client → random server → broadcast;
+    a lookup contacts exactly one server.  The baseline every partial
+    scheme is compared against: ideal lookup cost, coverage, fault
+    tolerance and fairness, at the price of [h * n] storage and a full
+    broadcast per update. *)
+
+open Plookup_store
+
+type t
+
+val create : Cluster.t -> t
+(** Installs this strategy's message handler on the cluster's network.
+    One strategy instance per cluster. *)
+
+val cluster : t -> Cluster.t
+val place : t -> Entry.t list -> unit
+val add : t -> Entry.t -> unit
+val delete : t -> Entry.t -> unit
+
+val partial_lookup : ?reachable:(int -> bool) -> t -> int -> Lookup_result.t
+(** One random operational server answers with [t] random entries. *)

@@ -1,0 +1,12 @@
+open Plookup_store
+
+type t = { entries : Entry.t list; servers_contacted : int; target : int }
+
+let satisfied t = List.length t.entries >= t.target
+let count t = List.length t.entries
+let empty ~target = { entries = []; servers_contacted = 0; target }
+
+let pp ppf t =
+  Format.fprintf ppf "lookup(target=%d): %d entries from %d servers%s" t.target (count t)
+    t.servers_contacted
+    (if satisfied t then "" else " (UNSATISFIED)")

@@ -1,0 +1,21 @@
+(** The outcome of one [partial_lookup(t)]. *)
+
+open Plookup_store
+
+type t = {
+  entries : Entry.t list;
+      (** Distinct entries accumulated across contacted servers.  May
+          exceed the target (merging answers can overshoot) and falls
+          short only when the operational coverage is below the target. *)
+  servers_contacted : int;
+      (** How many servers answered — the paper's client lookup cost for
+          this lookup. *)
+  target : int;
+}
+
+val satisfied : t -> bool
+(** Whether at least [target] distinct entries were retrieved. *)
+
+val count : t -> int
+val empty : target:int -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+open Plookup_store
+
+type t =
+  | Place of Entry.t list
+  | Add of Entry.t
+  | Delete of Entry.t
+  | Lookup of int
+  | Store of Entry.t
+  | Store_batch of Entry.t list
+  | Remove of Entry.t
+  | Add_sampled of Entry.t
+  | Remove_counted of Entry.t
+  | Fetch_candidate of int list
+  | Sync_add of Entry.t
+  | Sync_delete of Entry.t
+  | Sync_state
+
+type reply = Ack | Entries of Entry.t list | Candidate of Entry.t option
+
+let pp_entries ppf entries =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ") Entry.pp)
+    entries
+
+let pp ppf = function
+  | Place entries -> Format.fprintf ppf "place %a" pp_entries entries
+  | Add e -> Format.fprintf ppf "add %a" Entry.pp e
+  | Delete e -> Format.fprintf ppf "delete %a" Entry.pp e
+  | Lookup t -> Format.fprintf ppf "lookup t=%d" t
+  | Store e -> Format.fprintf ppf "store %a" Entry.pp e
+  | Store_batch entries -> Format.fprintf ppf "store_batch %a" pp_entries entries
+  | Remove e -> Format.fprintf ppf "remove %a" Entry.pp e
+  | Add_sampled e -> Format.fprintf ppf "add_sampled %a" Entry.pp e
+  | Remove_counted e -> Format.fprintf ppf "remove_counted %a" Entry.pp e
+  | Fetch_candidate ids ->
+    Format.fprintf ppf "fetch_candidate excluding {%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         Format.pp_print_int)
+      ids
+  | Sync_add e -> Format.fprintf ppf "sync_add %a" Entry.pp e
+  | Sync_delete e -> Format.fprintf ppf "sync_delete %a" Entry.pp e
+  | Sync_state -> Format.pp_print_string ppf "sync_state"
+
+let pp_reply ppf = function
+  | Ack -> Format.pp_print_string ppf "ack"
+  | Entries entries -> Format.fprintf ppf "entries %a" pp_entries entries
+  | Candidate None -> Format.pp_print_string ppf "candidate none"
+  | Candidate (Some e) -> Format.fprintf ppf "candidate %a" Entry.pp e

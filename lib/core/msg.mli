@@ -1,0 +1,50 @@
+(** The wire protocol between clients and servers.
+
+    One message type serves all five strategies: a strategy is precisely
+    a server-side handler for these messages plus a client-side probing
+    discipline, which is how the paper frames them (each scheme is given
+    as the behaviour of [place]/[add]/[delete]/[partial_lookup] messages).
+
+    Client-originated requests ({!Place}, {!Add}, {!Delete}, {!Lookup})
+    are sent to one server; the rest are server-to-server. *)
+
+open Plookup_store
+
+type t =
+  | Place of Entry.t list  (** client's initial batch placement request *)
+  | Add of Entry.t  (** client add *)
+  | Delete of Entry.t  (** client delete *)
+  | Lookup of int  (** client partial lookup with target answer size t *)
+  | Store of Entry.t  (** server-to-server: keep a local copy *)
+  | Store_batch of Entry.t list
+      (** server-to-server broadcast payload; receiver decides what to
+          keep (everything, the first x, or a random x-subset). *)
+  | Remove of Entry.t  (** server-to-server: drop the local copy *)
+  | Add_sampled of Entry.t
+      (** RandomServer-x incremental add: receiver applies the
+          reservoir-sampling coin flip. *)
+  | Remove_counted of Entry.t
+      (** RandomServer-x delete: receiver decrements its local count of
+          system entries and drops any local copy. *)
+  | Fetch_candidate of int list
+      (** RandomServer-x replacement-on-delete ablation: "send me one
+          entry whose id is not in this list". *)
+  | Sync_add of Entry.t
+      (** RoundRobin coordinator replication (the paper's footnote 1):
+          the acting coordinator tells a standby replica to apply an add
+          to its copy of the head/tail counters and sequence. *)
+  | Sync_delete of Entry.t
+      (** Standby-replica mirror of a delete (including the implied
+          hole-plugging migration, which each replica re-derives
+          deterministically from its own copy). *)
+  | Sync_state
+      (** State transfer to a just-recovered coordinator replica; the
+          receiver copies the sender's ledger. *)
+
+type reply =
+  | Ack
+  | Entries of Entry.t list  (** lookup answer *)
+  | Candidate of Entry.t option  (** reply to {!Fetch_candidate} *)
+
+val pp : Format.formatter -> t -> unit
+val pp_reply : Format.formatter -> reply -> unit

@@ -1,0 +1,91 @@
+open Plookup_store
+open Plookup_util
+module Net = Plookup_net.Net
+
+let always_reachable _ = true
+
+let candidates ?(reachable = always_reachable) cluster =
+  List.filter reachable (Cluster.up_servers cluster)
+
+(* Send one Lookup and merge the distinct answers into [seen]. *)
+let contact cluster ~t ~seen server =
+  match Net.send (Cluster.net cluster) ~src:Net.Client ~dst:server (Msg.Lookup t) with
+  | Some (Msg.Entries entries) ->
+    List.iter
+      (fun e -> if not (Hashtbl.mem seen (Entry.id e)) then Hashtbl.add seen (Entry.id e) e)
+      entries;
+    true
+  | Some (Msg.Ack | Msg.Candidate _) | None -> false
+
+(* The client delivers exactly [target] entries when it collected more:
+   merging answers from multiple servers overshoots, and returning the
+   whole union would systematically over-deliver every entry (it would
+   also make the unfairness metric reflect overshoot rather than bias).
+   The kept subset is uniform over everything collected. *)
+let result_of cluster seen ~contacted ~target =
+  let entries = Hashtbl.fold (fun _ e acc -> e :: acc) seen [] in
+  let entries =
+    if List.length entries <= target then entries
+    else
+      Array.to_list (Rng.sample (Cluster.rng cluster) (Array.of_list entries) target)
+  in
+  { Lookup_result.entries; servers_contacted = contacted; target }
+
+let single ?reachable cluster ~t =
+  match candidates ?reachable cluster with
+  | [] -> Lookup_result.empty ~target:t
+  | up ->
+    let server = List.nth up (Rng.int (Cluster.rng cluster) (List.length up)) in
+    let seen = Hashtbl.create 16 in
+    let answered = contact cluster ~t ~seen server in
+    result_of cluster seen ~contacted:(if answered then 1 else 0) ~target:t
+
+(* Walk [order] until [t] distinct entries are in hand. *)
+let probe_in_order cluster ~t order =
+  let seen = Hashtbl.create 16 in
+  let contacted = ref 0 in
+  let rec go = function
+    | [] -> ()
+    | server :: rest ->
+      if contact cluster ~t ~seen server then incr contacted;
+      if Hashtbl.length seen < t then go rest
+  in
+  go order;
+  result_of cluster seen ~contacted:!contacted ~target:t
+
+let random_order ?reachable cluster ~t =
+  let up = Array.of_list (candidates ?reachable cluster) in
+  Rng.shuffle_in_place (Cluster.rng cluster) up;
+  probe_in_order cluster ~t (Array.to_list up)
+
+let stride ?reachable cluster ~start ~step ~t =
+  let n = Cluster.n cluster in
+  let usable = candidates ?reachable cluster in
+  if List.length usable = n then begin
+    (* Failure-free fast path: the deterministic sequence start,
+       start+step, ... visits gcd-many residue classes; extend with the
+       remaining servers so the probe can always reach full coverage. *)
+    let visited = Array.make n false in
+    let order = ref [] in
+    let pos = ref (((start mod n) + n) mod n) in
+    let continue = ref true in
+    while !continue do
+      if visited.(!pos) then continue := false
+      else begin
+        visited.(!pos) <- true;
+        order := !pos :: !order;
+        pos := (!pos + step) mod n
+      end
+    done;
+    let rest =
+      List.filter (fun i -> not visited.(i)) (List.init n Fun.id)
+    in
+    probe_in_order cluster ~t (List.rev !order @ rest)
+  end
+  else begin
+    (* Failures (or restricted reachability): random order, per the
+       paper. *)
+    let up = Array.of_list usable in
+    Rng.shuffle_in_place (Cluster.rng cluster) up;
+    probe_in_order cluster ~t (Array.to_list up)
+  end

@@ -1,0 +1,35 @@
+(** Client-side server probing disciplines.
+
+    The strategies differ in *which* servers a client contacts and in
+    what order; the accumulation rule is shared: keep contacting servers,
+    merging the distinct entries returned, until at least [t] distinct
+    entries are in hand or no further server remains.  Each contact is a
+    {!Msg.Lookup} message, so it shows up in the network's message
+    accounting and in the returned lookup cost.
+
+    All probes honour an optional [reachable] predicate (the
+    limited-reachability variation of Section 7.2): servers outside the
+    client's reach are never contacted. *)
+
+val single :
+  ?reachable:(int -> bool) -> Cluster.t -> t:int -> Lookup_result.t
+(** Contact one random reachable up server and return its answer as-is —
+    the Full-Replication / Fixed-x client ("a client selects a random
+    server to do the lookup").  If that one answer is short, no further
+    server is tried, matching the paper (those strategies make every
+    server identical, so retrying is pointless).  Returns
+    {!Lookup_result.empty} if no server is reachable. *)
+
+val random_order :
+  ?reachable:(int -> bool) -> Cluster.t -> t:int -> Lookup_result.t
+(** Contact reachable up servers in uniformly random order without
+    repetition until satisfied — the RandomServer-x / Hash-y client. *)
+
+val stride :
+  ?reachable:(int -> bool) -> Cluster.t -> start:int -> step:int -> t:int -> Lookup_result.t
+(** Contact [start], [start+step], [start+2*step], ... (mod n) — the
+    Round-Robin-y client, which knows servers [step] apart share the
+    fewest entries.  A down or unreachable server in the sequence makes
+    the client fall back to random probing over the remaining servers,
+    as the paper prescribes ("if there are any server failures, choose
+    random servers instead"). *)

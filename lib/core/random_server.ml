@@ -1,0 +1,118 @@
+open Plookup_store
+open Plookup_util
+module Net = Plookup_net.Net
+
+type t = {
+  cluster : Cluster.t;
+  x : int;
+  replacement_on_delete : bool;
+  counts : int array; (* per-server local h counter *)
+}
+
+(* Fetch one entry this server lacks, probing other servers in random
+   order — the replacement alternative of Section 5.3.  The entry being
+   deleted is explicitly excluded: peers later in the broadcast order
+   still hold it, and accepting it back would resurrect a dead entry. *)
+let fetch_replacement t ~self ~deleted =
+  let net = Cluster.net t.cluster in
+  let local = Cluster.store t.cluster self in
+  let have = Entry.id deleted :: Server_store.ids local in
+  let others =
+    List.filter (fun i -> i <> self) (Cluster.up_servers t.cluster) |> Array.of_list
+  in
+  Rng.shuffle_in_place (Cluster.rng t.cluster) others;
+  Array.exists
+    (fun peer ->
+      match Net.send net ~src:(Net.Server self) ~dst:peer (Msg.Fetch_candidate have) with
+      | Some (Msg.Candidate (Some e)) -> Server_store.add local e
+      | Some (Msg.Candidate None | Msg.Ack | Msg.Entries _) | None -> false)
+    others
+  |> ignore
+
+let handler t dst _src msg : Msg.reply =
+  let net = Cluster.net t.cluster in
+  let rng = Cluster.rng t.cluster in
+  let local = Cluster.store t.cluster dst in
+  match (msg : Msg.t) with
+  | Msg.Place entries ->
+    ignore (Net.broadcast net ~src:(Net.Server dst) (Msg.Store_batch entries));
+    Msg.Ack
+  | Msg.Add e ->
+    ignore (Net.broadcast net ~src:(Net.Server dst) (Msg.Add_sampled e));
+    Msg.Ack
+  | Msg.Delete e ->
+    ignore (Net.broadcast net ~src:(Net.Server dst) (Msg.Remove_counted e));
+    Msg.Ack
+  | Msg.Store_batch entries ->
+    (* Independently select a uniform random x-subset of the batch. *)
+    Server_store.clear local;
+    let arr = Array.of_list entries in
+    let chosen = Rng.sample rng arr (min t.x (Array.length arr)) in
+    Array.iter (fun e -> ignore (Server_store.add local e)) chosen;
+    t.counts.(dst) <- Array.length arr;
+    Msg.Ack
+  | Msg.Add_sampled e ->
+    t.counts.(dst) <- t.counts.(dst) + 1;
+    if Server_store.cardinal local < t.x then ignore (Server_store.add local e)
+    else begin
+      (* Reservoir step: keep the newcomer with probability x/h, evicting
+         a uniform resident. *)
+      let p = float_of_int t.x /. float_of_int (max t.x t.counts.(dst)) in
+      if Rng.bernoulli rng p then begin
+        (match Server_store.random_one local rng with
+        | Some victim -> ignore (Server_store.remove local victim)
+        | None -> ());
+        ignore (Server_store.add local e)
+      end
+    end;
+    Msg.Ack
+  | Msg.Remove_counted e ->
+    t.counts.(dst) <- max 0 (t.counts.(dst) - 1);
+    let had = Server_store.remove local e in
+    if had && t.replacement_on_delete then fetch_replacement t ~self:dst ~deleted:e;
+    Msg.Ack
+  | Msg.Fetch_candidate excluded ->
+    let table = Hashtbl.create (List.length excluded) in
+    List.iter (fun id -> Hashtbl.replace table id ()) excluded;
+    let candidate =
+      Server_store.fold
+        (fun e acc ->
+          match acc with
+          | Some _ -> acc
+          | None -> if Hashtbl.mem table (Entry.id e) then None else Some e)
+        local None
+    in
+    Msg.Candidate candidate
+  | Msg.Store e ->
+    ignore (Server_store.add local e);
+    Msg.Ack
+  | Msg.Remove e ->
+    ignore (Server_store.remove local e);
+    Msg.Ack
+  | Msg.Lookup target -> Msg.Entries (Server_store.random_pick local rng target)
+  | Msg.Sync_add _ | Msg.Sync_delete _ | Msg.Sync_state ->
+    invalid_arg "Random_server: unexpected message"
+
+let create ?(replacement_on_delete = false) cluster ~x =
+  if x <= 0 then invalid_arg "Random_server.create: x must be positive";
+  let t = { cluster; x; replacement_on_delete; counts = Array.make (Cluster.n cluster) 0 } in
+  Net.set_handler (Cluster.net cluster) (handler t);
+  t
+
+let x t = t.x
+let cluster t = t.cluster
+
+let system_count t ~server =
+  if server < 0 || server >= Cluster.n t.cluster then
+    invalid_arg "Random_server.system_count: server out of range";
+  t.counts.(server)
+
+let to_random_server t msg =
+  match Cluster.random_up_server t.cluster with
+  | None -> ()
+  | Some s -> ignore (Net.send (Cluster.net t.cluster) ~src:Net.Client ~dst:s msg)
+
+let place t entries = to_random_server t (Msg.Place (Entry.dedup entries))
+let add t e = to_random_server t (Msg.Add e)
+let delete t e = to_random_server t (Msg.Delete e)
+let partial_lookup ?reachable t target = Probe.random_order ?reachable t.cluster ~t:target

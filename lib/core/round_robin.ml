@@ -1,0 +1,412 @@
+open Plookup_store
+module Net = Plookup_net.Net
+
+(* One replica of the coordinator state: the head/tail counters of
+   Section 5.4 plus the position<->entry maps they index. *)
+type ledger = {
+  mutable head : int;
+  mutable tail : int;
+  by_position : (int, Entry.t) Hashtbl.t;
+  position_of_id : (int, int) Hashtbl.t;
+}
+
+type t = {
+  cluster : Cluster.t;
+  y : int;
+  coordinators : int; (* replicas live on servers 0 .. coordinators-1 *)
+  ledgers : ledger array;
+  mutable truncated : bool; (* placed under a budget; updates disabled *)
+}
+
+let fresh_ledger () =
+  { head = 0; tail = 0; by_position = Hashtbl.create 64; position_of_id = Hashtbl.create 64 }
+
+let copy_ledger ~src ~dst =
+  dst.head <- src.head;
+  dst.tail <- src.tail;
+  Hashtbl.reset dst.by_position;
+  Hashtbl.reset dst.position_of_id;
+  Hashtbl.iter (Hashtbl.replace dst.by_position) src.by_position;
+  Hashtbl.iter (Hashtbl.replace dst.position_of_id) src.position_of_id
+
+let ledgers_equal a b =
+  a.head = b.head && a.tail = b.tail
+  && Hashtbl.length a.by_position = Hashtbl.length b.by_position
+  && Hashtbl.fold
+       (fun pos e acc ->
+         acc
+         && match Hashtbl.find_opt b.by_position pos with
+            | Some e' -> Entry.equal e e'
+            | None -> false)
+       a.by_position true
+
+(* The acting coordinator: lowest-indexed operational replica. *)
+let acting t =
+  let rec go i =
+    if i >= t.coordinators then None
+    else if Cluster.is_up t.cluster i then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let acting_ledger t =
+  match acting t with Some c -> t.ledgers.(c) | None -> t.ledgers.(0)
+
+let servers_of_position t pos =
+  let n = Cluster.n t.cluster in
+  List.init t.y (fun r -> (((pos + r) mod n) + n) mod n)
+
+let send_store t ~src ~dst e =
+  ignore (Net.send (Cluster.net t.cluster) ~src:(Net.Server src) ~dst (Msg.Store e))
+
+let send_remove t ~src ~dst e =
+  ignore (Net.send (Cluster.net t.cluster) ~src:(Net.Server src) ~dst (Msg.Remove e))
+
+let ledger_insert ledger pos e =
+  Hashtbl.replace ledger.by_position pos e;
+  Hashtbl.replace ledger.position_of_id (Entry.id e) pos
+
+let ledger_remove ledger pos =
+  match Hashtbl.find_opt ledger.by_position pos with
+  | None -> ()
+  | Some e ->
+    Hashtbl.remove ledger.by_position pos;
+    Hashtbl.remove ledger.position_of_id (Entry.id e)
+
+(* Pure ledger mutations.  The acting coordinator derives the message
+   plan from the returned description; standby replicas apply the same
+   mutation on receipt of a Sync message (identical ledgers derive
+   identical results, which keeps the replicas consistent without
+   shipping the plan itself). *)
+
+let apply_add ledger e =
+  if Hashtbl.mem ledger.position_of_id (Entry.id e) then None
+  else begin
+    let pos = ledger.tail in
+    ledger_insert ledger pos e;
+    ledger.tail <- ledger.tail + 1;
+    Some pos
+  end
+
+type delete_plan = {
+  vacated : int;
+  migration : (Entry.t * int) option; (* head entry and its old position *)
+}
+
+let apply_delete ledger e =
+  match Hashtbl.find_opt ledger.position_of_id (Entry.id e) with
+  | None -> None
+  | Some pos ->
+    ledger_remove ledger pos;
+    let migration =
+      if pos = ledger.head then None
+      else begin
+        match Hashtbl.find_opt ledger.by_position ledger.head with
+        | None -> assert false (* positions in [head, tail) are always occupied *)
+        | Some u ->
+          let old = ledger.head in
+          ledger_remove ledger old;
+          ledger_insert ledger pos u;
+          Some (u, old)
+      end
+    in
+    ledger.head <- ledger.head + 1;
+    Some { vacated = pos; migration }
+
+(* Mirror an update to the standby replicas (footnote 1's replication:
+   one point-to-point message per other operational coordinator). *)
+let sync_standbys t ~self msg =
+  for c = 0 to t.coordinators - 1 do
+    if c <> self && Cluster.is_up t.cluster c then
+      ignore (Net.send (Cluster.net t.cluster) ~src:(Net.Server self) ~dst:c msg)
+  done
+
+let guard_updates t =
+  if t.truncated then invalid_arg "Round_robin: updates after a truncated place"
+
+(* Acting-coordinator logic, executing at server [self]. *)
+let do_add t ~self e =
+  guard_updates t;
+  match apply_add t.ledgers.(self) e with
+  | None -> ()
+  | Some pos ->
+    List.iter (fun dst -> send_store t ~src:self ~dst e) (servers_of_position t pos);
+    sync_standbys t ~self (Msg.Sync_add e)
+
+let do_delete t ~self e =
+  guard_updates t;
+  match apply_delete t.ledgers.(self) e with
+  | None -> ()
+  | Some plan ->
+    ignore (Net.broadcast (Cluster.net t.cluster) ~src:(Net.Server self) (Msg.Remove e));
+    (match plan.migration with
+    | None -> ()
+    | Some (u, old_pos) ->
+      (* Move u's y copies from the old head group to the vacated group;
+         remove first so a server in both groups ends up keeping u. *)
+      List.iter (fun dst -> send_remove t ~src:self ~dst u) (servers_of_position t old_pos);
+      List.iter (fun dst -> send_store t ~src:self ~dst u) (servers_of_position t plan.vacated));
+    sync_standbys t ~self (Msg.Sync_delete e)
+
+let handler t dst src msg : Msg.reply =
+  let local = Cluster.store t.cluster dst in
+  match (msg : Msg.t) with
+  | Msg.Place _ ->
+    (* Placement is driven from the client-facing [place] below so the
+       round-major budget cut is expressible; the request itself only
+       reaches one server. *)
+    Msg.Ack
+  | Msg.Add e ->
+    do_add t ~self:dst e;
+    Msg.Ack
+  | Msg.Delete e ->
+    do_delete t ~self:dst e;
+    Msg.Ack
+  | Msg.Sync_add e ->
+    ignore (apply_add t.ledgers.(dst) e);
+    Msg.Ack
+  | Msg.Sync_delete e ->
+    ignore (apply_delete t.ledgers.(dst) e);
+    Msg.Ack
+  | Msg.Sync_state ->
+    (match src with
+    | Net.Server c when c < t.coordinators ->
+      copy_ledger ~src:t.ledgers.(c) ~dst:t.ledgers.(dst)
+    | Net.Server _ | Net.Client -> ());
+    Msg.Ack
+  | Msg.Store e ->
+    ignore (Server_store.add local e);
+    Msg.Ack
+  | Msg.Remove e ->
+    ignore (Server_store.remove local e);
+    Msg.Ack
+  | Msg.Store_batch entries ->
+    (* Recovery resync: replace the local store with what the ledger says
+       this server should hold (a recovering server missed the stores and
+       removes addressed to it while it was down). *)
+    Server_store.clear local;
+    List.iter (fun e -> ignore (Server_store.add local e)) entries;
+    Msg.Ack
+  | Msg.Lookup target ->
+    Msg.Entries (Server_store.random_pick local (Cluster.rng t.cluster) target)
+  | Msg.Add_sampled _ | Msg.Remove_counted _ | Msg.Fetch_candidate _ ->
+    invalid_arg "Round_robin: unexpected message"
+
+(* A recovering coordinator replica is stale; the acting replica
+   refreshes it with a state transfer. *)
+(* The entries the ledger assigns to one server. *)
+let expected_store t ledger server =
+  let acc = ref [] in
+  for pos = ledger.head to ledger.tail - 1 do
+    if List.mem server (servers_of_position t pos) then begin
+      match Hashtbl.find_opt ledger.by_position pos with
+      | Some e -> acc := e :: !acc
+      | None -> ()
+    end
+  done;
+  !acc
+
+(* Anti-entropy from replica [c]: refresh [server]'s ledger copy (if it
+   is a coordinator) and replace its store with what the sequence
+   assigns to it — a server that was down missed every store/remove
+   addressed to it. *)
+let resync_from t ~source ~server =
+  let net = Cluster.net t.cluster in
+  if server < t.coordinators && server <> source then
+    ignore (Net.send net ~src:(Net.Server source) ~dst:server Msg.Sync_state);
+  if not t.truncated then
+    ignore
+      (Net.send net ~src:(Net.Server source) ~dst:server
+         (Msg.Store_batch (expected_store t t.ledgers.(source) server)))
+
+let resync_server t server =
+  if Cluster.is_up t.cluster server then begin
+    match acting t with Some source -> resync_from t ~source ~server | None -> ()
+  end
+
+let on_status t server ~up =
+  if up then begin
+    (* Refresh from any other operational replica — those stayed current
+       while this one was down (the recovered server itself may already
+       be the lowest-indexed coordinator, so "acting" is not the right
+       source). *)
+    let rec fresh_source i =
+      if i >= t.coordinators then None
+      else if i <> server && Cluster.is_up t.cluster i then Some i
+      else fresh_source (i + 1)
+    in
+    match fresh_source 0 with
+    | Some c -> resync_from t ~source:c ~server
+    | None -> ()
+  end
+
+let create ?(coordinators = 1) cluster ~y =
+  if y < 1 then invalid_arg "Round_robin.create: y must be at least 1";
+  if coordinators < 1 || coordinators > Cluster.n cluster then
+    invalid_arg "Round_robin.create: coordinators must be in [1, n]";
+  let y = min y (Cluster.n cluster) in
+  let t =
+    { cluster;
+      y;
+      coordinators;
+      ledgers = Array.init coordinators (fun _ -> fresh_ledger ());
+      truncated = false }
+  in
+  Net.set_handler (Cluster.net cluster) (handler t);
+  Net.set_status_listener (Cluster.net cluster) (on_status t);
+  t
+
+let y t = t.y
+let coordinators t = t.coordinators
+let acting_coordinator t = acting t
+let cluster t = t.cluster
+let head t = (acting_ledger t).head
+let tail t = (acting_ledger t).tail
+let live_count t = tail t - head t
+
+let position_of t e = Hashtbl.find_opt (acting_ledger t).position_of_id (Entry.id e)
+let entry_at t pos = Hashtbl.find_opt (acting_ledger t).by_position pos
+
+let place ?budget t entries =
+  let entries = Entry.dedup entries in
+  match Cluster.random_up_server t.cluster with
+  | None -> ()
+  | Some s ->
+    ignore (Net.send (Cluster.net t.cluster) ~src:Net.Client ~dst:s (Msg.Place entries));
+    let n = Cluster.n t.cluster in
+    let arr = Array.of_list entries in
+    let h = Array.length arr in
+    let budget = match budget with None -> t.y * h | Some b -> b in
+    (* Round-major distribution: one full round of single copies before
+       any second copies, so a budget cut keeps maximal coverage —
+       matching the paper's Fig. 6 assumption. *)
+    let spent = ref 0 in
+    for r = 0 to t.y - 1 do
+      for i = 0 to h - 1 do
+        if !spent < budget then begin
+          send_store t ~src:s ~dst:((i + r) mod n) arr.(i);
+          incr spent
+        end
+      done
+    done;
+    Array.iter
+      (fun ledger ->
+        Hashtbl.reset ledger.by_position;
+        Hashtbl.reset ledger.position_of_id;
+        Array.iteri (fun i e -> ledger_insert ledger i e) arr;
+        ledger.head <- 0;
+        ledger.tail <- h)
+      t.ledgers;
+    t.truncated <- !spent < t.y * h
+
+let send_to_coordinator t msg =
+  match acting t with
+  | Some c -> ignore (Net.send (Cluster.net t.cluster) ~src:Net.Client ~dst:c msg)
+  | None -> ()
+
+let add t e = send_to_coordinator t (Msg.Add e)
+let delete t e = send_to_coordinator t (Msg.Delete e)
+
+let partial_lookup ?reachable t target =
+  let n = Cluster.n t.cluster in
+  let start = Plookup_util.Rng.int (Cluster.rng t.cluster) n in
+  Probe.stride ?reachable t.cluster ~start ~step:t.y ~t:target
+
+let servers_needed t ~t:target =
+  let n = Cluster.n t.cluster in
+  let live = max 1 (live_count t) in
+  let per_wave = t.y * live in
+  min n (max 1 (((target * n) + per_wave - 1) / per_wave))
+
+let partial_lookup_parallel ?reachable t target =
+  let n = Cluster.n t.cluster in
+  let rng = Cluster.rng t.cluster in
+  let all_up =
+    match reachable with
+    | None -> List.length (Cluster.up_servers t.cluster) = n
+    | Some f ->
+      List.for_all f (Cluster.up_servers t.cluster)
+      && List.length (Cluster.up_servers t.cluster) = n
+  in
+  if not all_up then
+    (* Failures: the wave size is no longer predictable; fall back to the
+       paper's random sequential probing. *)
+    partial_lookup ?reachable t target
+  else begin
+    let start = Plookup_util.Rng.int rng n in
+    let wave = servers_needed t ~t:target in
+    let net = Cluster.net t.cluster in
+    let seen = Hashtbl.create 32 in
+    let contacted = ref 0 in
+    let contact server =
+      match Net.send net ~src:Net.Client ~dst:server (Msg.Lookup target) with
+      | Some (Msg.Entries entries) ->
+        incr contacted;
+        List.iter
+          (fun e -> if not (Hashtbl.mem seen (Entry.id e)) then Hashtbl.add seen (Entry.id e) e)
+          entries
+      | Some (Msg.Ack | Msg.Candidate _) | None -> ()
+    in
+    (* The stride order, extended with the untouched servers (the stride
+       cycle only visits n/gcd(y,n) residues). *)
+    let visited = Array.make n false in
+    let order = ref [] in
+    let pos = ref start in
+    while not visited.(!pos) do
+      visited.(!pos) <- true;
+      order := !pos :: !order;
+      pos := (!pos + t.y) mod n
+    done;
+    let order =
+      List.rev !order @ List.filter (fun i -> not visited.(i)) (List.init n Fun.id)
+    in
+    (* The whole wave fires unconditionally — that is the point: one
+       round trip, no data-dependent stopping.  Shortfall (imbalance can
+       cost up to y entries per server) tops up along the rest. *)
+    List.iteri
+      (fun i server -> if i < wave || Hashtbl.length seen < target then contact server)
+      order;
+    let entries = Hashtbl.fold (fun _ e acc -> e :: acc) seen [] in
+    let entries =
+      if List.length entries <= target then entries
+      else Array.to_list (Plookup_util.Rng.sample rng (Array.of_list entries) target)
+    in
+    { Lookup_result.entries; servers_contacted = !contacted; target }
+  end
+
+let check_invariants t =
+  if t.truncated then Ok () (* the ledger does not describe a truncated placement *)
+  else begin
+    let ledger = acting_ledger t in
+    let n = Cluster.n t.cluster in
+    let expected = Array.init n (fun _ -> Hashtbl.create 16) in
+    let ok = ref (Ok ()) in
+    let fail fmt = Format.kasprintf (fun s -> if !ok = Ok () then ok := Error s) fmt in
+    for pos = ledger.head to ledger.tail - 1 do
+      match Hashtbl.find_opt ledger.by_position pos with
+      | None -> fail "position %d in [head,tail) is unoccupied" pos
+      | Some e ->
+        List.iter
+          (fun s -> Hashtbl.replace expected.(s) (Entry.id e) ())
+          (servers_of_position t pos)
+    done;
+    for s = 0 to n - 1 do
+      let store = Cluster.store t.cluster s in
+      Server_store.iter
+        (fun e ->
+          if not (Hashtbl.mem expected.(s) (Entry.id e)) then
+            fail "server %d stores %s not assigned to it" s (Entry.to_string e))
+        store;
+      Hashtbl.iter
+        (fun id () ->
+          if not (Server_store.mem store (Entry.v id)) then
+            fail "server %d is missing entry v%d" s id)
+        expected.(s)
+    done;
+    (* All operational replicas must agree with the acting one. *)
+    for c = 0 to t.coordinators - 1 do
+      if Cluster.is_up t.cluster c && not (ledgers_equal ledger t.ledgers.(c)) then
+        fail "coordinator replica %d diverged" c
+    done;
+    !ok
+  end

@@ -1,0 +1,93 @@
+(** Round-Robin-y (Sections 3.4, 5.4): entry [i] is stored on the [y]
+    consecutive servers [(i mod n) .. (i+y-1 mod n)], so every entry is
+    on some server, servers are balanced to within [y] entries, and a
+    client can harvest entries deterministically by striding [y] servers
+    at a time.
+
+    Dynamics follow the paper's centralized scheme: server 1 (index 0
+    here) is the coordinator holding the [head] and [tail] counters and
+    the round-robin sequence.  An [add] appends at [tail]; a [delete] in
+    the middle of the sequence broadcasts to locate the victim and then
+    *plugs the hole* by migrating the entry at [head] into the vacated
+    position (Figs. 10–11).  This preserves the invariant that live
+    positions form the contiguous window [head, tail) — the price is a
+    coordinator bottleneck and broadcast-plus-migration per delete, which
+    is exactly the weakness Section 6.3 discusses. *)
+
+open Plookup_store
+
+type t
+
+val create : ?coordinators:int -> Cluster.t -> y:int -> t
+(** [y] must satisfy 1 <= y; values above [n] are clamped to [n]
+    (storing more than one copy per server is meaningless).
+
+    [coordinators] (default 1, must be in [1, n]) replicates the
+    head/tail counters and the round-robin sequence on servers
+    [0 .. coordinators-1] — the generalization of the paper's footnote 1
+    ("the centralized head and tail scheme can be generalized to one
+    where several servers store copies to improve reliability").
+    Clients address the lowest-indexed operational replica; each update
+    is mirrored to the standbys with one point-to-point Sync message
+    apiece, and a recovering replica receives a state transfer from the
+    acting one.  With every coordinator down, updates are dropped. *)
+
+val y : t -> int
+
+val coordinators : t -> int
+
+val acting_coordinator : t -> int option
+(** The replica currently fielding updates; [None] when all coordinator
+    servers are down. *)
+
+val cluster : t -> Cluster.t
+val head : t -> int
+val tail : t -> int
+val live_count : t -> int
+(** [tail - head]: entries currently managed. *)
+
+val position_of : t -> Entry.t -> int option
+(** The entry's current slot in the round-robin sequence, if present. *)
+
+val entry_at : t -> int -> Entry.t option
+
+val place : ?budget:int -> t -> Entry.t list -> unit
+(** Distribute copies round-major (first one copy of every entry, then
+    the second copy of every entry, ...).  [budget] caps the total number
+    of stored copies — the paper's "when there is inadequate storage
+    space, keep a subset" assumption used in the coverage study (Fig. 6).
+    A truncated placement does not support subsequent updates. *)
+
+val add : t -> Entry.t -> unit
+val delete : t -> Entry.t -> unit
+val partial_lookup : ?reachable:(int -> bool) -> t -> int -> Lookup_result.t
+(** Strided probing: random first server [s], then [s+y], [s+2y], ...
+    falling back to random order under failures. *)
+
+val servers_needed : t -> t:int -> int
+(** How many servers a lookup for [t] entries will contact — computable
+    *in advance* because every server holds [y*live/n] (+-y) entries and
+    strided probes are disjoint.  This is the predictability advantage
+    Section 3.5 contrasts with Hash-y ("a Round-y client can tell, in
+    advance, how many servers it needs to contact for a lookup, a Hash-y
+    client cannot").  At least 1, at most the server count. *)
+
+val partial_lookup_parallel : ?reachable:(int -> bool) -> t -> int -> Lookup_result.t
+(** Contact the {!servers_needed} strided servers as one concurrent
+    wave (then top up sequentially in the rare shortfall).  Same answers
+    and message count as {!partial_lookup}; the point is latency — a
+    parallel wave costs one round trip instead of [servers_needed] (see
+    the [latency] experiment). *)
+
+val resync_server : t -> int -> unit
+(** Operator-triggered anti-entropy: the acting coordinator pushes the
+    ledger (for coordinator replicas) and a full store refresh to the
+    given operational server.  Recovery triggers this automatically when
+    a fresh replica exists; call it manually after windows in which no
+    coordinator was up to re-sync servers that recovered unsupervised.
+    No-op when the target or every coordinator is down. *)
+
+val check_invariants : t -> (unit, string) result
+(** Verify the round-robin placement invariant: each live position's
+    entry is stored at exactly its [y] consecutive servers and nothing
+    else is stored anywhere.  For tests. *)

@@ -1,0 +1,179 @@
+open Plookup_store
+
+type config =
+  | Full_replication
+  | Fixed of int
+  | Random_server of int
+  | Random_server_replacing of int
+  | Round_robin of int
+  | Round_robin_replicated of int * int
+  | Hash of int
+
+let config_name = function
+  | Full_replication -> "FullReplication"
+  | Fixed x -> Printf.sprintf "Fixed-%d" x
+  | Random_server x -> Printf.sprintf "RandomServer-%d" x
+  | Random_server_replacing x -> Printf.sprintf "RandomServerReplacing-%d" x
+  | Round_robin y -> Printf.sprintf "RoundRobin-%d" y
+  | Round_robin_replicated (y, k) -> Printf.sprintf "RoundRobinHA-%dx%d" y k
+  | Hash y -> Printf.sprintf "Hash-%d" y
+
+(* "roundrobinha-YxK" (and aliases) -> Round_robin_replicated (Y, K). *)
+let parse_replicated name =
+  match String.index_opt name '-' with
+  | None -> None
+  | Some i ->
+    let prefix = String.sub name 0 i in
+    let rest = String.sub name (i + 1) (String.length name - i - 1) in
+    if not (List.mem prefix [ "roundrobinha"; "round_robin_ha"; "roundha" ]) then None
+    else begin
+      match String.split_on_char 'x' rest with
+      | [ y; k ] -> (
+        match (int_of_string_opt y, int_of_string_opt k) with
+        | Some y, Some k when y > 0 && k > 0 -> Some (Round_robin_replicated (y, k))
+        | _ -> None)
+      | _ -> None
+    end
+
+let config_of_string s =
+  let lower = String.lowercase_ascii (String.trim s) in
+  match parse_replicated lower with
+  | Some config -> Ok config
+  | None ->
+  let split name =
+    match String.rindex_opt name '-' with
+    | None -> (name, None)
+    | Some i -> (
+      let prefix = String.sub name 0 i in
+      let suffix = String.sub name (i + 1) (String.length name - i - 1) in
+      match int_of_string_opt suffix with
+      | Some p -> (prefix, Some p)
+      | None -> (name, None))
+  in
+  match split lower with
+  | ("full" | "fullreplication" | "full_replication" | "replication"), None ->
+    Ok Full_replication
+  | "fixed", Some x when x > 0 -> Ok (Fixed x)
+  | ("randomserver" | "random_server" | "random"), Some x when x > 0 -> Ok (Random_server x)
+  | ("randomserverreplacing" | "random_server_replacing"), Some x when x > 0 ->
+    Ok (Random_server_replacing x)
+  | ("roundrobin" | "round_robin" | "round"), Some y when y > 0 -> Ok (Round_robin y)
+  | "hash", Some y when y > 0 -> Ok (Hash y)
+  | _ ->
+    Error
+      (Printf.sprintf
+         "unknown strategy %S (expected full, fixed-X, randomserver-X, round-Y, \
+          roundrobinha-YxK or hash-Y)"
+         s)
+
+let param = function
+  | Full_replication -> None
+  | Fixed x | Random_server x | Random_server_replacing x -> Some x
+  | Round_robin y | Round_robin_replicated (y, _) | Hash y -> Some y
+
+let storage_for_budget config ~n ~h ~total =
+  if n <= 0 || h <= 0 || total <= 0 then
+    invalid_arg "Service.storage_for_budget: n, h, total must be positive";
+  match config with
+  | Full_replication -> Full_replication
+  | Fixed _ -> Fixed (max 1 (total / n))
+  | Random_server _ -> Random_server (max 1 (total / n))
+  | Random_server_replacing _ -> Random_server_replacing (max 1 (total / n))
+  | Round_robin _ -> Round_robin (max 1 (total / h))
+  | Round_robin_replicated (_, k) -> Round_robin_replicated (max 1 (total / h), k)
+  | Hash _ -> Hash (max 1 (total / h))
+
+(* The strategy implementations behind one record of operations. *)
+type ops = {
+  op_place : ?budget:int -> Entry.t list -> unit;
+  op_add : Entry.t -> unit;
+  op_delete : Entry.t -> unit;
+  op_lookup : ?reachable:(int -> bool) -> int -> Lookup_result.t;
+}
+
+type t = { cluster : Cluster.t; config : config; ops : ops }
+
+let build_ops cluster config =
+  match config with
+  | Full_replication ->
+    let s = Full_replication.create cluster in
+    { op_place = (fun ?budget:_ entries -> Full_replication.place s entries);
+      op_add = Full_replication.add s;
+      op_delete = Full_replication.delete s;
+      op_lookup = (fun ?reachable target -> Full_replication.partial_lookup ?reachable s target)
+    }
+  | Fixed x ->
+    let s = Fixed.create cluster ~x in
+    { op_place = (fun ?budget:_ entries -> Fixed.place s entries);
+      op_add = Fixed.add s;
+      op_delete = Fixed.delete s;
+      op_lookup = (fun ?reachable target -> Fixed.partial_lookup ?reachable s target) }
+  | Random_server x ->
+    let s = Random_server.create cluster ~x in
+    { op_place = (fun ?budget:_ entries -> Random_server.place s entries);
+      op_add = Random_server.add s;
+      op_delete = Random_server.delete s;
+      op_lookup = (fun ?reachable target -> Random_server.partial_lookup ?reachable s target)
+    }
+  | Random_server_replacing x ->
+    let s = Random_server.create ~replacement_on_delete:true cluster ~x in
+    { op_place = (fun ?budget:_ entries -> Random_server.place s entries);
+      op_add = Random_server.add s;
+      op_delete = Random_server.delete s;
+      op_lookup = (fun ?reachable target -> Random_server.partial_lookup ?reachable s target)
+    }
+  | Round_robin_replicated (y, coordinators) ->
+    let s = Round_robin.create ~coordinators cluster ~y in
+    { op_place = (fun ?budget entries -> Round_robin.place ?budget s entries);
+      op_add = Round_robin.add s;
+      op_delete = Round_robin.delete s;
+      op_lookup = (fun ?reachable target -> Round_robin.partial_lookup ?reachable s target) }
+  | Round_robin y ->
+    let s = Round_robin.create cluster ~y in
+    { op_place = (fun ?budget entries -> Round_robin.place ?budget s entries);
+      op_add = Round_robin.add s;
+      op_delete = Round_robin.delete s;
+      op_lookup = (fun ?reachable target -> Round_robin.partial_lookup ?reachable s target) }
+  | Hash y ->
+    let s = Hash_scheme.create cluster ~y in
+    { op_place = (fun ?budget entries -> Hash_scheme.place ?budget s entries);
+      op_add = Hash_scheme.add s;
+      op_delete = Hash_scheme.delete s;
+      op_lookup = (fun ?reachable target -> Hash_scheme.partial_lookup ?reachable s target) }
+
+let of_cluster cluster config = { cluster; config; ops = build_ops cluster config }
+
+let create ?seed ~n config = of_cluster (Cluster.create ?seed ~n ()) config
+
+let cluster t = t.cluster
+let config t = t.config
+let name t = config_name t.config
+let n t = Cluster.n t.cluster
+
+let place ?budget t entries = t.ops.op_place ?budget entries
+let add t e = t.ops.op_add e
+let delete t e = t.ops.op_delete e
+let partial_lookup ?reachable t target = t.ops.op_lookup ?reachable target
+
+let partial_lookup_pref ?reachable t ~cost target =
+  (* Exhaustive probe: demand more entries than any server set can hold
+     so the prober visits every reachable server, then rank. *)
+  let exhaustive = t.ops.op_lookup ?reachable max_int in
+  let ranked =
+    List.sort (fun a b -> Float.compare (cost a) (cost b)) exhaustive.Lookup_result.entries
+  in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | e :: rest -> e :: take (k - 1) rest
+  in
+  { Lookup_result.entries = take target ranked;
+    servers_contacted = exhaustive.Lookup_result.servers_contacted;
+    target }
+
+let all_configs ~budget ~n ~h =
+  [ Full_replication;
+    storage_for_budget (Fixed 1) ~n ~h ~total:budget;
+    storage_for_budget (Random_server 1) ~n ~h ~total:budget;
+    storage_for_budget (Round_robin 1) ~n ~h ~total:budget;
+    storage_for_budget (Hash 1) ~n ~h ~total:budget ]

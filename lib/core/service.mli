@@ -1,0 +1,83 @@
+(** The partial lookup service: one key, [h] entries, [n] servers, one of
+    the paper's five placement strategies behind a single interface.
+
+    This is the public entry point of the library.  A service owns a
+    {!Cluster} and dispatches [place]/[add]/[delete]/[partial_lookup] to
+    the configured strategy.  Multi-key deployments are, as the paper
+    notes (Section 2), a family of independent single-key services —
+    see {!Directory} for that generalization. *)
+
+open Plookup_store
+
+type config =
+  | Full_replication
+  | Fixed of int  (** [Fixed x]: replicate the same x entries everywhere *)
+  | Random_server of int  (** [Random_server x]: random x-subset per server *)
+  | Random_server_replacing of int
+      (** The Section-5.3 replacement-on-delete variant (ablation). *)
+  | Round_robin of int  (** [Round_robin y]: y consecutive copies per entry *)
+  | Round_robin_replicated of int * int
+      (** [Round_robin_replicated (y, k)]: Round-Robin-y with the
+          head/tail coordinator replicated on k servers (the paper's
+          footnote 1; see {!Round_robin.create}).  Named
+          ["RoundRobinHA-YxK"]. *)
+  | Hash of int  (** [Hash y]: y hash functions place each entry *)
+
+val config_name : config -> string
+(** E.g. ["Fixed-20"], ["Hash-2"] — the paper's naming. *)
+
+val config_of_string : string -> (config, string) result
+(** Inverse of {!config_name}, case-insensitive; accepts e.g.
+    ["fixed-20"], ["roundrobin-2"], ["round-2"], ["full"]. *)
+
+val param : config -> int option
+(** The x or y parameter, if the strategy has one. *)
+
+val storage_for_budget : config -> n:int -> h:int -> total:int -> config
+(** Re-parameterize the strategy so its Table-1 storage cost fits a
+    total budget of [total] entry slots when managing [h] entries on [n]
+    servers: Fixed/RandomServer get [x = total / n], Round/Hash get
+    [y = max 1 (total / h)].  This is how the paper derives the
+    "comparable overhead" configurations (e.g. budget 200 with h=100,
+    n=10 gives x=20, y=2). *)
+
+type t
+
+val create : ?seed:int -> n:int -> config -> t
+(** Build a fresh cluster of [n] servers running the strategy. *)
+
+val of_cluster : Cluster.t -> config -> t
+(** Run the strategy on an existing cluster (rebinding its network
+    handler).  Used by experiments that inject failures between place
+    and lookup. *)
+
+val cluster : t -> Cluster.t
+val config : t -> config
+val name : t -> string
+val n : t -> int
+
+val place : ?budget:int -> t -> Entry.t list -> unit
+(** Initial batch placement.  [budget] caps total stored copies and is
+    honoured by Round-Robin and Hash (the Fig. 6 "inadequate storage"
+    regime); the other strategies bound storage through their own
+    parameter and ignore it. *)
+
+val add : t -> Entry.t -> unit
+val delete : t -> Entry.t -> unit
+
+val partial_lookup : ?reachable:(int -> bool) -> t -> int -> Lookup_result.t
+(** [partial_lookup t target]: retrieve at least [target] distinct
+    entries, contacting as few servers as the strategy allows.
+    [reachable] restricts which servers this client may contact
+    (Section 7.2). *)
+
+val partial_lookup_pref :
+  ?reachable:(int -> bool) -> t -> cost:(Entry.t -> float) -> int -> Lookup_result.t
+(** Client-preference lookups (Section 7.1): contact servers as usual
+    but keep collecting answers from *every* reachable server, then
+    return the [target] entries with the lowest [cost].  The result's
+    [servers_contacted] reflects the exhaustive probe. *)
+
+val all_configs : budget:int -> n:int -> h:int -> config list
+(** The five strategies parameterized for a common storage budget —
+    convenient for comparison tables. *)

@@ -1,0 +1,14 @@
+type t = { seed : int; scale : float }
+
+let default = { seed = 42; scale = 1.0 }
+
+let v ?(seed = 42) ?(scale = 1.0) () =
+  if scale <= 0. then invalid_arg "Ctx.v: scale must be positive";
+  { seed; scale }
+
+let scaled t base = max 1 (int_of_float (Float.round (float_of_int base *. t.scale)))
+
+let run_seed t index =
+  Int64.to_int
+    (Plookup_util.Rng.mix64 (Int64.of_int ((t.seed * 1_000_003) + index)))
+  land max_int

@@ -1,0 +1,21 @@
+(** Shared experiment context: a master seed and a scale knob.
+
+    The paper's data points average 5000 runs of up to 5000 lookups —
+    minutes of CPU per figure.  Defaults here are sized for seconds per
+    figure; [scale] multiplies every run/lookup count so the CLI can
+    crank any experiment back up to paper scale (see EXPERIMENTS.md). *)
+
+type t = { seed : int; scale : float }
+
+val default : t
+(** seed 42, scale 1.0 *)
+
+val v : ?seed:int -> ?scale:float -> unit -> t
+
+val scaled : t -> int -> int
+(** [scaled ctx base] is [base * scale], at least 1. *)
+
+val run_seed : t -> int -> int
+(** A per-run seed derived from the master seed and a run index —
+    stable across scales, so adding runs refines rather than reshuffles
+    the sample. *)

@@ -1,0 +1,75 @@
+open Plookup
+open Plookup_store
+open Plookup_util
+module Engine = Plookup_sim.Engine
+module Churn = Plookup_workload.Churn
+
+let id = "churn"
+let title = "Extension: lookup availability under server churn (mttf=50, mttr=50, t=40)"
+
+type tally = {
+  mutable lookups : int;
+  mutable satisfied : int;
+  mutable contacts : int;
+  mutable up_samples : int;
+}
+
+let run_strategy ctx ~n ~h ~t ~mttf ~mttr ~horizon config =
+  let seed = Ctx.run_seed ctx (Hashtbl.hash (Service.config_name config)) in
+  let service = Service.create ~seed ~n config in
+  Service.place service (Entry.Gen.batch (Entry.Gen.create ()) h);
+  let cluster = Service.cluster service in
+  let engine = Engine.create () in
+  let churn_events =
+    Churn.generate (Rng.create (seed lxor 0xC0FFEE)) ~n ~mttf ~mttr ~horizon
+  in
+  Churn.drive engine
+    ~apply:(fun ev ->
+      if ev.Churn.up then Cluster.recover cluster ev.Churn.server
+      else Cluster.fail cluster ev.Churn.server)
+    churn_events;
+  let tally = { lookups = 0; satisfied = 0; contacts = 0; up_samples = 0 } in
+  (* One client lookup per time unit, as engine events interleaved with
+     the churn timeline. *)
+  for i = 1 to int_of_float horizon do
+    ignore
+      (Engine.schedule_at engine ~time:(float_of_int i) (fun _ ->
+           let r = Service.partial_lookup service t in
+           tally.lookups <- tally.lookups + 1;
+           if Lookup_result.satisfied r then tally.satisfied <- tally.satisfied + 1;
+           tally.contacts <- tally.contacts + r.Lookup_result.servers_contacted;
+           tally.up_samples <- tally.up_samples + List.length (Cluster.up_servers cluster)))
+  done;
+  ignore (Engine.run engine);
+  tally
+
+let run ?(n = 10) ?(h = 100) ?(budget = 200) ?(t = 40) ?(mttf = 50.) ?(mttr = 50.)
+    ?(horizon = 5000.) ctx =
+  let horizon = float_of_int (Ctx.scaled ctx (int_of_float horizon)) in
+  let table =
+    Table.create ~title
+      ~columns:
+        [ "strategy"; "success %"; "mean cost"; "avg up servers"; "ideal availability %" ]
+  in
+  let ideal = 100. *. Churn.expected_availability ~mttf ~mttr in
+  let configs =
+    (* Fixed-x needs x >= t to play at all (plus a little headroom); the
+       others get the common storage budget. *)
+    [ Service.Full_replication;
+      Service.Fixed (t + 5);
+      Service.storage_for_budget (Service.Random_server 1) ~n ~h ~total:budget;
+      Service.storage_for_budget (Service.Round_robin 1) ~n ~h ~total:budget;
+      Service.storage_for_budget (Service.Hash 1) ~n ~h ~total:budget ]
+  in
+  List.iter
+    (fun config ->
+      let tally = run_strategy ctx ~n ~h ~t ~mttf ~mttr ~horizon config in
+      let per_lookup v = float_of_int v /. float_of_int (max 1 tally.lookups) in
+      Table.add_row table
+        [ Table.S (Service.config_name config);
+          Table.F (100. *. per_lookup tally.satisfied);
+          Table.F (per_lookup tally.contacts);
+          Table.F (per_lookup tally.up_samples);
+          Table.F ideal ])
+    configs;
+  table

@@ -1,0 +1,26 @@
+(** Extension: availability under continuous server churn.
+
+    Servers fail and recover as alternating renewal processes
+    (exponential MTTF/MTTR); clients keep issuing partial lookups
+    throughout, re-probing around down servers exactly as the paper's
+    strategies prescribe.  Reports per-strategy lookup success rate,
+    mean cost, and the fraction of time the whole system was below the
+    target's coverage. *)
+
+val id : string
+val title : string
+
+val run :
+  ?n:int ->
+  ?h:int ->
+  ?budget:int ->
+  ?t:int ->
+  ?mttf:float ->
+  ?mttr:float ->
+  ?horizon:float ->
+  Ctx.t ->
+  Plookup_util.Table.t
+(** Defaults: n=10, h=100, budget 200 (Fixed gets x = t+5 instead —
+    it cannot play otherwise), t=40, mttf=mttr=50 (harsh: each server
+    50% available), horizon 5000 time units with one lookup per time
+    unit. *)

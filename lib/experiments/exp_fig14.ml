@@ -1,0 +1,54 @@
+open Plookup_util
+module Service = Plookup.Service
+module Analytic = Plookup_metrics.Analytic
+module Update_gen = Plookup_workload.Update_gen
+module Replay = Plookup_workload.Replay
+
+let id = "fig14"
+let title = "Fig 14: update overhead, Fixed-50 vs Hash-y (t=40, 20000 updates)"
+
+let default_entry_counts = [ 100; 120; 133; 150; 175; 200; 250; 300; 350; 400 ]
+
+let measure_messages ctx ~n ~h ~updates ~config ~runs =
+  let acc = Stats.Accum.create () in
+  for run = 1 to runs do
+    let seed = Ctx.run_seed ctx ((h * 131) + run) in
+    let stream =
+      Update_gen.generate (Rng.create seed)
+        { Update_gen.steady_entries = h; add_period = 10.; tail_heavy = false; updates }
+    in
+    let service = Service.create ~seed ~n config in
+    Stats.Accum.add acc (float_of_int (Replay.messages_for_updates ~service ~stream))
+  done;
+  Stats.Accum.mean acc
+
+let run ?(n = 10) ?(t = 40) ?(x = 50) ?(entry_counts = default_entry_counts)
+    ?(updates = 20000) ctx =
+  let table =
+    Table.create ~title
+      ~columns:
+        [ "h";
+          "Fixed-x msgs";
+          "Fixed analytic";
+          "Hash-y msgs";
+          "Hash analytic";
+          "y";
+          "cheaper" ]
+  in
+  let runs = Ctx.scaled ctx 5 in
+  List.iter
+    (fun h ->
+      let y = Analytic.optimal_hash_y ~n ~h ~t in
+      let fixed_msgs = measure_messages ctx ~n ~h ~updates ~config:(Service.Fixed x) ~runs in
+      let hash_msgs = measure_messages ctx ~n ~h ~updates ~config:(Service.Hash y) ~runs in
+      let u = float_of_int updates in
+      Table.add_row table
+        [ Table.I h;
+          Table.F fixed_msgs;
+          Table.F (Analytic.update_cost_fixed ~n ~h ~x *. u);
+          Table.F hash_msgs;
+          Table.F (Analytic.update_cost_hash ~y *. u);
+          Table.I y;
+          Table.S (if fixed_msgs <= hash_msgs then "Fixed" else "Hash") ])
+    entry_counts;
+  table

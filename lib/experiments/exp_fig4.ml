@@ -1,0 +1,45 @@
+open Plookup_util
+module Service = Plookup.Service
+module Analytic = Plookup_metrics.Analytic
+module Lookup_cost = Plookup_metrics.Lookup_cost
+
+let id = "fig4"
+let title = "Fig 4: lookup cost vs target answer size (fixed storage budget)"
+
+let default_targets = [ 10; 15; 20; 25; 30; 35; 40; 45; 50 ]
+
+let run ?(n = 10) ?(h = 100) ?(budget = 200) ?(targets = default_targets) ctx =
+  let round = Service.storage_for_budget (Service.Round_robin 1) ~n ~h ~total:budget in
+  let random = Service.storage_for_budget (Service.Random_server 1) ~n ~h ~total:budget in
+  let hash = Service.storage_for_budget (Service.Hash 1) ~n ~h ~total:budget in
+  let y = Option.value ~default:1 (Service.param round) in
+  let table =
+    Table.create ~title
+      ~columns:
+        [ "t";
+          Service.config_name round;
+          "Round analytic";
+          Service.config_name random;
+          Service.config_name hash;
+          Printf.sprintf "%s fail%%" (Service.config_name hash) ]
+  in
+  let runs = Ctx.scaled ctx 40 in
+  let lookups_per_run = Ctx.scaled ctx 250 in
+  List.iter
+    (fun t ->
+      let measure config =
+        Lookup_cost.measure_over_instances ~seed:(Ctx.run_seed ctx t) ~n ~entries:h
+          ~config ~t ~runs ~lookups_per_run ()
+      in
+      let m_round = measure round in
+      let m_random = measure random in
+      let m_hash = measure hash in
+      Table.add_row table
+        [ Table.I t;
+          Table.F m_round.Lookup_cost.mean_cost;
+          Table.F (Analytic.round_robin_lookup_cost ~n ~h ~y ~t);
+          Table.F m_random.Lookup_cost.mean_cost;
+          Table.F m_hash.Lookup_cost.mean_cost;
+          Table.F (100. *. m_hash.Lookup_cost.failure_rate) ])
+    targets;
+  table

@@ -1,0 +1,40 @@
+open Plookup_util
+module Service = Plookup.Service
+module Analytic = Plookup_metrics.Analytic
+module Fault_tolerance = Plookup_metrics.Fault_tolerance
+
+let id = "fig7"
+let title = "Fig 7: fault tolerance vs target answer size (storage budget 200)"
+
+let default_targets = [ 10; 15; 20; 25; 30; 35; 40; 45; 50 ]
+
+let run ?(n = 10) ?(h = 100) ?(budget = 200) ?(targets = default_targets) ctx =
+  let random = Service.storage_for_budget (Service.Random_server 1) ~n ~h ~total:budget in
+  let hash = Service.storage_for_budget (Service.Hash 1) ~n ~h ~total:budget in
+  let round = Service.storage_for_budget (Service.Round_robin 1) ~n ~h ~total:budget in
+  let y = Option.value ~default:1 (Service.param round) in
+  let table =
+    Table.create ~title
+      ~columns:
+        [ "t";
+          Service.config_name random;
+          Service.config_name hash;
+          Service.config_name round;
+          "Round analytic" ]
+  in
+  let runs = Ctx.scaled ctx 200 in
+  List.iter
+    (fun t ->
+      let measure config =
+        fst
+          (Fault_tolerance.measure_over_instances ~seed:(Ctx.run_seed ctx t) ~n ~entries:h
+             ~config ~t ~runs ())
+      in
+      Table.add_row table
+        [ Table.I t;
+          Table.F (measure random);
+          Table.F (measure hash);
+          Table.F (measure round);
+          Table.I (Analytic.fault_tolerance_round_robin ~n ~h ~y ~t) ])
+    targets;
+  table

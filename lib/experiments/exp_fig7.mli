@@ -1,0 +1,16 @@
+(** Figure 7: worst-case fault tolerance (Appendix-A greedy heuristic)
+    vs target answer size, at the shared 200-entry storage budget:
+    RandomServer-20 tolerates the most, Round-2 loses one server of
+    tolerance per h/n of target size, Hash-2 traces an S-shaped
+    decline. *)
+
+val id : string
+val title : string
+
+val run :
+  ?n:int ->
+  ?h:int ->
+  ?budget:int ->
+  ?targets:int list ->
+  Ctx.t ->
+  Plookup_util.Table.t

@@ -1,0 +1,33 @@
+open Plookup_util
+module Service = Plookup.Service
+module Unfairness = Plookup_metrics.Unfairness
+
+let id = "fig9"
+let title = "Fig 9: unfairness vs total storage (t=35, 100 entries, 10 servers)"
+
+let default_budgets = List.init 10 (fun i -> (i + 1) * 100)
+
+let run ?(n = 10) ?(h = 100) ?(t = 35) ?(budgets = default_budgets) ctx =
+  let table =
+    Table.create ~title ~columns:[ "storage"; "RandomServer-x"; "x"; "Hash-y"; "y" ]
+  in
+  let instances = Ctx.scaled ctx 6 in
+  let lookups_per_instance = Ctx.scaled ctx 4000 in
+  List.iter
+    (fun budget ->
+      let seed = Ctx.run_seed ctx budget in
+      let x = max 1 (budget / n) in
+      let y = max 1 (budget / h) in
+      let measure config =
+        fst
+          (Unfairness.of_strategy ~seed ~n ~entries:h ~config ~t ~instances
+             ~lookups_per_instance ())
+      in
+      Table.add_row table
+        [ Table.I budget;
+          Table.F4 (measure (Service.Random_server x));
+          Table.I x;
+          Table.F4 (measure (Service.Hash y));
+          Table.I y ])
+    budgets;
+  table

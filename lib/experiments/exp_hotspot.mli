@@ -1,0 +1,23 @@
+(** Extension: the hot-spot claim of the paper's conclusion.
+
+    "Partial lookup services are insensitive to the popular key or
+    hot-spot problems which plague traditional hashing-based lookup
+    services."  We drive a Zipf-popular key population against (a) the
+    traditional key-partitioned service (every lookup for a key hits its
+    single home server — Chord/CAN style) and (b) partial-lookup
+    directories, and report per-server load concentration. *)
+
+val id : string
+val title : string
+
+val run :
+  ?n:int ->
+  ?keys:int ->
+  ?entries_per_key:int ->
+  ?t:int ->
+  ?lookups:int ->
+  ?alpha:float ->
+  Ctx.t ->
+  Plookup_util.Table.t
+(** Defaults: n=10 servers, 50 keys with Zipf(1.0) popularity, 20
+    entries per key, t=3, 20000 lookups. *)

@@ -1,0 +1,123 @@
+open Plookup
+open Plookup_store
+open Plookup_util
+module Engine = Plookup_sim.Engine
+
+let id = "latency"
+let title = "Extension: lookup latency on a simulated network (Async_client)"
+
+(* Strided probe order from a random start, extended with the residues
+   the stride cycle misses — the Round-Robin client's plan. *)
+let stride_order rng ~n ~y =
+  let start = Rng.int rng n in
+  let visited = Array.make n false in
+  let order = ref [] in
+  let pos = ref start in
+  while not visited.(!pos) do
+    visited.(!pos) <- true;
+    order := !pos :: !order;
+    pos := (!pos + y) mod n
+  done;
+  List.rev !order @ List.filter (fun i -> not visited.(i)) (List.init n Fun.id)
+
+type row = {
+  contacts : Stats.Accum.t;
+  timeouts : Stats.Accum.t;
+  latencies : float array;
+}
+
+let measure_config ctx ~n ~h ~t ~lookups ~timeout ~rtt_lo ~rtt_hi ~config ~order_of ~wave_of
+    ~down () =
+  let service = Service.create ~seed:(Ctx.run_seed ctx 1) ~n config in
+  Service.place service (Entry.Gen.batch (Entry.Gen.create ()) h);
+  let cluster = Service.cluster service in
+  List.iter (Cluster.fail cluster) down;
+  let engine = Engine.create () in
+  let latency_rng = Rng.create (Ctx.run_seed ctx 2) in
+  (* One hop is half a round trip. *)
+  let latency () = Dist.uniform_in latency_rng ~lo:(rtt_lo /. 2.) ~hi:(rtt_hi /. 2.) in
+  let contacts = Stats.Accum.create () in
+  let timeouts = Stats.Accum.create () in
+  let latencies =
+    Array.init lookups (fun _ ->
+        let outcome = ref None in
+        Async_client.lookup cluster engine ~latency ~timeout ~order:(order_of cluster)
+          ~wave:(wave_of ()) ~t
+          (fun o -> outcome := Some o);
+        ignore (Engine.run engine);
+        match !outcome with
+        | Some o ->
+          Stats.Accum.add contacts
+            (float_of_int o.Async_client.result.Lookup_result.servers_contacted);
+          Stats.Accum.add timeouts (float_of_int o.Async_client.timeouts);
+          Async_client.elapsed o
+        | None -> nan)
+  in
+  { contacts; timeouts; latencies }
+
+let run ?(n = 10) ?(h = 100) ?(budget = 200) ?(t = 35) ?(rtt_lo = 5.) ?(rtt_hi = 50.) ctx =
+  let lookups = Ctx.scaled ctx 2000 in
+  let timeout = 2. *. rtt_hi in
+  let table =
+    Table.create ~title
+      ~columns:
+        [ "client"; "mean contacts"; "mean latency ms"; "p95 latency ms"; "timeouts/lookup" ]
+  in
+  let random_order cluster =
+    Array.to_list (Rng.perm (Cluster.rng cluster) (Cluster.n cluster))
+  in
+  let record name row =
+    Table.add_row table
+      [ Table.S name;
+        Table.F (Stats.Accum.mean row.contacts);
+        Table.F (Stats.mean row.latencies);
+        Table.F (Stats.percentile row.latencies 95.);
+        Table.F4 (Stats.Accum.mean row.timeouts) ]
+  in
+  let y =
+    Option.value ~default:1
+      (Service.param (Service.storage_for_budget (Service.Round_robin 1) ~n ~h ~total:budget))
+  in
+  let measure = measure_config ctx ~n ~h ~t ~lookups ~timeout ~rtt_lo ~rtt_hi in
+  record "FullReplication (1 contact)"
+    (measure ~config:Service.Full_replication ~order_of:random_order
+       ~wave_of:(fun () -> 1)
+       ~down:[] ());
+  record "RandomServer-20 sequential"
+    (measure
+       ~config:(Service.storage_for_budget (Service.Random_server 1) ~n ~h ~total:budget)
+       ~order_of:random_order
+       ~wave_of:(fun () -> 1)
+       ~down:[] ());
+  record "Hash-2 sequential"
+    (measure
+       ~config:(Service.storage_for_budget (Service.Hash 1) ~n ~h ~total:budget)
+       ~order_of:random_order
+       ~wave_of:(fun () -> 1)
+       ~down:[] ());
+  let order_rng = Rng.create (Ctx.run_seed ctx 3) in
+  let stride cluster = stride_order order_rng ~n:(Cluster.n cluster) ~y in
+  record "RoundRobin-2 sequential"
+    (measure ~config:(Service.Round_robin y) ~order_of:stride
+       ~wave_of:(fun () -> 1)
+       ~down:[] ());
+  (* The parallel client: wave size ceil(t*n/(y*h)), known in advance
+     (Section 3.5). *)
+  let wave = min n (max 1 (((t * n) + (y * h) - 1) / (y * h))) in
+  record "RoundRobin-2 parallel wave"
+    (measure ~config:(Service.Round_robin y) ~order_of:stride
+       ~wave_of:(fun () -> wave)
+       ~down:[] ());
+  (* Failure masking (Section 6.2): one server down.  The sequential
+     client stalls a full timeout whenever the dead server comes up in
+     its order; the parallel client's redundant in-flight contacts keep
+     it moving and it finishes before the timeout even matters. *)
+  record "RoundRobin-2 sequential, server 3 down"
+    (measure ~config:(Service.Round_robin y) ~order_of:stride
+       ~wave_of:(fun () -> 1)
+       ~down:[ 3 ] ());
+  record "RoundRobin-2 parallel, server 3 down"
+    (measure ~config:(Service.Round_robin y) ~order_of:stride
+       ~wave_of:(fun () -> wave)
+       ~down:[ 3 ] ());
+  table

@@ -1,0 +1,67 @@
+let check_nh ~n ~h =
+  if n <= 0 || h <= 0 then invalid_arg "Analytic: n and h must be positive"
+
+let storage config ~n ~h =
+  check_nh ~n ~h;
+  let fn = float_of_int n and fh = float_of_int h in
+  match (config : Plookup.Service.config) with
+  | Full_replication -> fh *. fn
+  | Fixed x | Random_server x | Random_server_replacing x -> float_of_int x *. fn
+  | Round_robin y | Round_robin_replicated (y, _) -> fh *. float_of_int (min y n)
+  | Hash y -> fh *. fn *. (1. -. ((1. -. (1. /. fn)) ** float_of_int y))
+
+let round_robin_lookup_cost ~n ~h ~y ~t =
+  check_nh ~n ~h;
+  if y <= 0 || t <= 0 then invalid_arg "Analytic.round_robin_lookup_cost";
+  (* ceil(t*n / (y*h)) in exact integer arithmetic *)
+  float_of_int (((t * n) + (y * h) - 1) / (y * h))
+
+let full_replication_lookup_cost = 1.
+
+let fixed_lookup_cost ~x ~t = if t <= x then Some 1. else None
+
+let coverage_full ~h = float_of_int h
+let coverage_fixed ~x ~h = float_of_int (min x h)
+
+let coverage_random_server ~n ~h ~x =
+  check_nh ~n ~h;
+  let fh = float_of_int h in
+  fh *. (1. -. ((1. -. (float_of_int x /. fh)) ** float_of_int n))
+
+let coverage_with_budget ~h ~total_storage = float_of_int (min total_storage h)
+
+let fault_tolerance_full ~n = n - 1
+let fault_tolerance_fixed ~n ~x ~t = if t <= x then n - 1 else -1
+
+let fault_tolerance_round_robin ~n ~h ~y ~t =
+  check_nh ~n ~h;
+  let needed = ((t * n) + h - 1) / h in
+  (* The paper's n - ceil(tn/h) + y - 1, capped: at least one server must
+     survive, and a lone survivor already holds y*h/n entries. *)
+  min (n - 1) (n - needed + y - 1)
+
+let hash_expected_entries_per_server ~n ~h ~y =
+  check_nh ~n ~h;
+  float_of_int h *. (1. -. ((1. -. (1. /. float_of_int n)) ** float_of_int y))
+
+let update_cost_fixed ~n ~h ~x =
+  check_nh ~n ~h;
+  1. +. (float_of_int x /. float_of_int h *. float_of_int n)
+
+let update_cost_hash ~y = 1. +. float_of_int y
+
+let optimal_hash_y ~n ~h ~t =
+  check_nh ~n ~h;
+  min n (max 1 (((t * n) + h - 1) / h))
+
+let optimal_hash_y_collision_aware ~n ~h ~t =
+  check_nh ~n ~h;
+  let rec go y =
+    if y >= n then n
+    else if hash_expected_entries_per_server ~n ~h ~y >= float_of_int t then y
+    else go (y + 1)
+  in
+  go 1
+
+let crossover_equal_cost ~n ~h ~x ~y =
+  compare (update_cost_fixed ~n ~h ~x) (update_cost_hash ~y)

@@ -1,0 +1,35 @@
+module Net = Plookup_net.Net
+
+type summary = {
+  total : int;
+  mean : float;
+  peak : int;
+  peak_to_average : float;
+  cov : float;
+  top_share : float;
+}
+
+let summarize loads =
+  let n = Array.length loads in
+  if n = 0 then invalid_arg "Load.summarize: empty load vector";
+  let total = Array.fold_left ( + ) 0 loads in
+  let mean = float_of_int total /. float_of_int n in
+  let peak = Array.fold_left max 0 loads in
+  let floats = Array.map float_of_int loads in
+  let stddev = Plookup_util.Stats.stddev floats in
+  { total;
+    mean;
+    peak;
+    peak_to_average = (if total = 0 then 1.0 else float_of_int peak /. mean);
+    cov = (if total = 0 then 0.0 else stddev /. mean);
+    top_share = (if total = 0 then 0.0 else float_of_int peak /. float_of_int total) }
+
+let of_cluster cluster =
+  let net = Plookup.Cluster.net cluster in
+  summarize
+    (Array.init (Plookup.Cluster.n cluster) (fun i -> Net.messages_received_by net i))
+
+let pp ppf s =
+  Format.fprintf ppf
+    "total %d, mean %.1f, peak %d (%.2fx average, %.0f%% of traffic), cov %.3f" s.total
+    s.mean s.peak s.peak_to_average (100. *. s.top_share) s.cov

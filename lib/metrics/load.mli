@@ -1,0 +1,25 @@
+(** Server load distribution.
+
+    The paper's introduction motivates partial lookups with load
+    balance: "if k is very popular, S2 can be overloaded" under
+    hashing-based partitioning.  This module summarizes a per-server
+    request-count vector into the hot-spot indicators the experiments
+    report. *)
+
+type summary = {
+  total : int;
+  mean : float;
+  peak : int;  (** busiest server's load *)
+  peak_to_average : float;  (** 1.0 = perfectly balanced, n = one hot spot *)
+  cov : float;  (** coefficient of variation of the loads *)
+  top_share : float;  (** fraction of all load on the busiest server *)
+}
+
+val summarize : int array -> summary
+(** Raises [Invalid_argument] on an empty vector; an all-zero vector
+    yields a summary with [peak_to_average = 1.0] and [cov = 0.0]. *)
+
+val of_cluster : Plookup.Cluster.t -> summary
+(** Summarize the cluster network's per-server received-message counts. *)
+
+val pp : Format.formatter -> summary -> unit

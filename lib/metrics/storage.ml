@@ -1,0 +1,13 @@
+open Plookup_store
+
+let measured cluster = Plookup.Cluster.total_stored cluster
+
+let per_server cluster =
+  Array.init (Plookup.Cluster.n cluster) (fun i ->
+      Server_store.cardinal (Plookup.Cluster.store cluster i))
+
+let imbalance cluster =
+  let sizes = per_server cluster in
+  let lo = Array.fold_left min max_int sizes in
+  let hi = Array.fold_left max 0 sizes in
+  hi - lo

@@ -1,0 +1,13 @@
+(** Storage cost (Section 4.1): the combined number of entries stored on
+    all servers.  Entries are assumed equal-sized, so a count is the
+    cost. *)
+
+val measured : Plookup.Cluster.t -> int
+(** Sum of every server's store size (up or down — the space is spent
+    either way). *)
+
+val per_server : Plookup.Cluster.t -> int array
+
+val imbalance : Plookup.Cluster.t -> int
+(** max - min entries over servers.  Round-y guarantees this is at most
+    y; Hash-y gives no bound — the source of its extra lookup cost. *)

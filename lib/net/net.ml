@@ -1,0 +1,147 @@
+type sender = Client | Server of int
+
+type ('msg, 'reply) t = {
+  n : int;
+  mutable handler : (int -> sender -> 'msg -> 'reply) option;
+  up : bool array;
+  received : int array;
+  mutable dropped : int;
+  mutable broadcast_count : int;
+  mutable client_count : int;
+  mutable engine : (Plookup_sim.Engine.t * (src:sender -> dst:int -> float)) option;
+  mutable status_listener : (int -> up:bool -> unit) option;
+}
+
+let create ~n =
+  if n <= 0 then invalid_arg "Net.create: n must be positive";
+  { n;
+    handler = None;
+    up = Array.make n true;
+    received = Array.make n 0;
+    dropped = 0;
+    broadcast_count = 0;
+    client_count = 0;
+    engine = None;
+    status_listener = None }
+
+let n t = t.n
+
+let set_handler t h = t.handler <- Some h
+
+let wrap_handler t wrap =
+  match t.handler with
+  | None -> invalid_arg "Net.wrap_handler: no handler installed"
+  | Some inner -> t.handler <- Some (wrap inner)
+
+let check_node t i =
+  if i < 0 || i >= t.n then invalid_arg "Net: server index out of range"
+
+let notify_status t i up =
+  match t.status_listener with Some f -> f i ~up | None -> ()
+
+let fail t i =
+  check_node t i;
+  if t.up.(i) then begin
+    t.up.(i) <- false;
+    notify_status t i false
+  end
+
+let recover t i =
+  check_node t i;
+  if not t.up.(i) then begin
+    t.up.(i) <- true;
+    notify_status t i true
+  end
+
+let set_status_listener t f = t.status_listener <- Some f
+
+let is_up t i =
+  check_node t i;
+  t.up.(i)
+
+let up_servers t =
+  List.filter (fun i -> t.up.(i)) (List.init t.n Fun.id)
+
+let fail_exactly t down =
+  for i = 0 to t.n - 1 do
+    recover t i
+  done;
+  List.iter (fail t) down
+
+let handler_exn t =
+  match t.handler with
+  | Some h -> h
+  | None -> invalid_arg "Net: no handler installed"
+
+let account t ~src ~dst =
+  t.received.(dst) <- t.received.(dst) + 1;
+  match src with Client -> t.client_count <- t.client_count + 1 | Server _ -> ()
+
+let send t ~src ~dst msg =
+  check_node t dst;
+  if not t.up.(dst) then begin
+    t.dropped <- t.dropped + 1;
+    None
+  end
+  else begin
+    account t ~src ~dst;
+    Some ((handler_exn t) dst src msg)
+  end
+
+let broadcast t ~src msg =
+  t.broadcast_count <- t.broadcast_count + 1;
+  let h = handler_exn t in
+  let replies = ref [] in
+  for dst = t.n - 1 downto 0 do
+    if t.up.(dst) then begin
+      account t ~src ~dst;
+      replies := (dst, h dst src msg) :: !replies
+    end
+    else t.dropped <- t.dropped + 1
+  done;
+  !replies
+
+let messages_received t = Array.fold_left ( + ) 0 t.received
+
+let messages_received_by t i =
+  check_node t i;
+  t.received.(i)
+
+let messages_dropped t = t.dropped
+let broadcasts t = t.broadcast_count
+let client_requests t = t.client_count
+
+let reset_counters t =
+  Array.fill t.received 0 t.n 0;
+  t.dropped <- 0;
+  t.broadcast_count <- 0;
+  t.client_count <- 0
+
+let attach_engine t engine ~latency = t.engine <- Some (engine, latency)
+
+let post t ~src ~dst msg =
+  check_node t dst;
+  match t.engine with
+  | None -> ignore (send t ~src ~dst msg)
+  | Some (engine, latency) ->
+    let delay = latency ~src ~dst in
+    ignore
+      (Plookup_sim.Engine.schedule_after engine ~delay (fun _ ->
+           ignore (send t ~src ~dst msg)))
+
+let call_async t engine ~latency ~src ~dst msg k =
+  check_node t dst;
+  let request_delay = latency ~src ~dst in
+  ignore
+    (Plookup_sim.Engine.schedule_after engine ~delay:request_delay (fun engine ->
+         match send t ~src ~dst msg with
+         | None -> () (* lost: dst was down at delivery time *)
+         | Some reply ->
+           let reply_delay = latency ~src ~dst in
+           ignore
+             (Plookup_sim.Engine.schedule_after engine ~delay:reply_delay (fun _ ->
+                  k reply))))
+
+let pp_sender ppf = function
+  | Client -> Format.pp_print_string ppf "client"
+  | Server i -> Format.fprintf ppf "server %d" i

@@ -1,0 +1,115 @@
+(** Simulated message-passing network between [n] servers and external
+    clients, with the paper's message-cost accounting.
+
+    Section 6.4 defines the overhead model: "we count the total number of
+    messages received and processed by all the servers... a broadcast has
+    overhead cost n where n is the number of servers.  A point-to-point
+    message has cost 1."  This module is the single place those counters
+    live, so every strategy is measured identically.
+
+    Delivery is synchronous: a send invokes the destination handler
+    before returning, and an RPC returns the handler's reply.  This
+    matches the paper's simulation (which measures message *counts*, not
+    latencies).  An optional latency model routes deliveries through a
+    {!Plookup_sim.Engine} instead, for latency-aware examples.
+
+    Nodes can be failed and recovered; messages to a failed node are
+    dropped (and counted as dropped, not received). *)
+
+type ('msg, 'reply) t
+
+type sender =
+  | Client  (** A request originating outside the server set. *)
+  | Server of int
+
+val create : n:int -> ('msg, 'reply) t
+(** A network of [n] servers with no handlers installed.  [n] must be
+    positive. *)
+
+val n : ('msg, 'reply) t -> int
+
+val set_handler : ('msg, 'reply) t -> (int -> sender -> 'msg -> 'reply) -> unit
+(** Install the message handler, called as [handler dst src msg].  All
+    servers share one handler (they dispatch on [dst]); this mirrors the
+    paper where every server runs the same strategy code. *)
+
+val wrap_handler :
+  ('msg, 'reply) t ->
+  ((int -> sender -> 'msg -> 'reply) -> int -> sender -> 'msg -> 'reply) ->
+  unit
+(** Middleware: replace the installed handler with a wrapper around it —
+    tracing, wire-encoding proxies, targeted fault injection.  Raises
+    [Invalid_argument] if no handler is installed yet. *)
+
+(** {1 Failure injection} *)
+
+val fail : ('msg, 'reply) t -> int -> unit
+val recover : ('msg, 'reply) t -> int -> unit
+
+val set_status_listener : ('msg, 'reply) t -> (int -> up:bool -> unit) -> unit
+(** Called on every fail/recover *transition* (not on no-op repeats).
+    Strategies use this to react to membership changes — e.g. the
+    replicated Round-Robin coordinator re-syncs a recovering replica.
+    One listener per network (the last one installed wins), mirroring
+    {!set_handler}. *)
+
+val is_up : ('msg, 'reply) t -> int -> bool
+val up_servers : ('msg, 'reply) t -> int list
+val fail_exactly : ('msg, 'reply) t -> int list -> unit
+(** Recover everyone, then fail exactly the given servers. *)
+
+(** {1 Messaging} *)
+
+val send : ('msg, 'reply) t -> src:sender -> dst:int -> 'msg -> 'reply option
+(** Point-to-point.  [None] if [dst] is down (message dropped), otherwise
+    the handler's reply.  Counts 1 received message when delivered. *)
+
+val broadcast : ('msg, 'reply) t -> src:sender -> 'msg -> (int * 'reply) list
+(** Deliver to every *up* server, in server order (including the sender
+    if it is an up server — the paper charges broadcasts n messages).
+    Counts one received message per delivery and one broadcast. *)
+
+(** {1 Accounting} *)
+
+val messages_received : ('msg, 'reply) t -> int
+(** Total messages received and processed by servers — the paper's
+    overhead-cost metric. *)
+
+val messages_received_by : ('msg, 'reply) t -> int -> int
+val messages_dropped : ('msg, 'reply) t -> int
+val broadcasts : ('msg, 'reply) t -> int
+val client_requests : ('msg, 'reply) t -> int
+(** Messages whose sender was {!Client}. *)
+
+val reset_counters : ('msg, 'reply) t -> unit
+
+(** {1 Latency-aware delivery (optional)} *)
+
+val attach_engine :
+  ('msg, 'reply) t -> Plookup_sim.Engine.t -> latency:(src:sender -> dst:int -> float) -> unit
+(** After attaching, {!post} delivers through the engine with the given
+    per-hop latency.  [send] and [broadcast] stay synchronous (RPC-style)
+    regardless. *)
+
+val post : ('msg, 'reply) t -> src:sender -> dst:int -> 'msg -> unit
+(** Fire-and-forget delivery.  With an engine attached the handler runs
+    at [now + latency]; liveness of [dst] is checked at delivery time.
+    Without an engine this is [send] with the reply ignored. *)
+
+val call_async :
+  ('msg, 'reply) t ->
+  Plookup_sim.Engine.t ->
+  latency:(src:sender -> dst:int -> float) ->
+  src:sender ->
+  dst:int ->
+  'msg ->
+  ('reply -> unit) ->
+  unit
+(** Full asynchronous round trip: the request is delivered at
+    [now + latency], handled there, and the reply callback fires another
+    latency later (each direction draws its own latency).  If [dst] is
+    down at delivery time the request is lost and the callback never
+    fires — callers implement their own timeouts, exactly like a real
+    datagram client.  Message accounting matches {!send}. *)
+
+val pp_sender : Format.formatter -> sender -> unit

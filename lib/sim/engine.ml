@@ -1,0 +1,84 @@
+type event_id = int
+
+type event = { id : event_id; action : t -> unit }
+and t = {
+  queue : event Event_queue.t;
+  cancelled : (event_id, unit) Hashtbl.t;
+  mutable clock : float;
+  mutable next_id : event_id;
+  mutable live : int;
+}
+
+let create () =
+  { queue = Event_queue.create ();
+    cancelled = Hashtbl.create 64;
+    clock = 0.;
+    next_id = 0;
+    live = 0 }
+
+let now t = t.clock
+
+let schedule_at t ~time action =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time is in the past";
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.live <- t.live + 1;
+  Event_queue.push t.queue ~time { id; action };
+  id
+
+let schedule_after t ~delay action =
+  if delay < 0. then invalid_arg "Engine.schedule_after: negative delay";
+  schedule_at t ~time:(t.clock +. delay) action
+
+let cancel t id =
+  if id >= 0 && id < t.next_id && not (Hashtbl.mem t.cancelled id) then begin
+    Hashtbl.replace t.cancelled id ();
+    t.live <- max 0 (t.live - 1)
+  end
+
+let pending t = t.live
+
+(* Pop until a non-cancelled event surfaces. *)
+let rec pop_live t =
+  match Event_queue.pop t.queue with
+  | None -> None
+  | Some (time, ev) ->
+    if Hashtbl.mem t.cancelled ev.id then begin
+      Hashtbl.remove t.cancelled ev.id;
+      pop_live t
+    end
+    else Some (time, ev)
+
+let step t =
+  match pop_live t with
+  | None -> false
+  | Some (time, ev) ->
+    t.clock <- time;
+    t.live <- t.live - 1;
+    ev.action t;
+    true
+
+let run ?max_events ?until t =
+  let fired = ref 0 in
+  let budget_ok () = match max_events with None -> true | Some m -> !fired < m in
+  let continue = ref true in
+  while !continue && budget_ok () do
+    match Event_queue.peek t.queue with
+    | None -> continue := false
+    | Some (time, _) ->
+      (match until with
+      | Some horizon when time > horizon ->
+        t.clock <- max t.clock horizon;
+        continue := false
+      | _ -> if step t then incr fired else continue := false)
+  done;
+  (match until with
+  | Some horizon when Event_queue.is_empty t.queue -> t.clock <- max t.clock horizon
+  | _ -> ());
+  !fired
+
+let reset t =
+  Event_queue.clear t.queue;
+  Hashtbl.reset t.cancelled;
+  t.clock <- 0.;
+  t.live <- 0

@@ -1,0 +1,45 @@
+(** Discrete-event simulation engine.
+
+    Drives the dynamic-update experiments of Sections 5–6: the workload
+    generator schedules timestamped add/delete actions, the engine fires
+    them in order, and handlers may schedule further events (e.g. message
+    deliveries with latency).
+
+    The clock only moves when an event fires; there is no wall-clock
+    component anywhere, so runs are fully deterministic. *)
+
+type t
+
+type event_id
+(** Handle for cancellation. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulation time; 0 before any event has fired. *)
+
+val schedule_at : t -> time:float -> (t -> unit) -> event_id
+(** Fire the action when the clock reaches [time].  Scheduling in the
+    past (before [now]) raises [Invalid_argument]. *)
+
+val schedule_after : t -> delay:float -> (t -> unit) -> event_id
+(** [schedule_at ~time:(now t +. delay)].  Negative delays raise. *)
+
+val cancel : t -> event_id -> unit
+(** Cancelled events are skipped when popped; cancelling twice or after
+    firing is a no-op. *)
+
+val pending : t -> int
+(** Events scheduled and not yet fired or cancelled (cancelled events may
+    be counted until they are popped). *)
+
+val step : t -> bool
+(** Fire the single earliest event.  [false] when the queue is empty. *)
+
+val run : ?max_events:int -> ?until:float -> t -> int
+(** Fire events until the queue is empty, [max_events] have fired, or the
+    next event is strictly after [until].  Returns the number of events
+    fired.  When stopped by [until], the clock is advanced to [until]. *)
+
+val reset : t -> unit
+(** Drop all pending events and rewind the clock to 0. *)

@@ -1,0 +1,80 @@
+type 'a node = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a node array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+let length t = t.size
+let is_empty t = t.size = 0
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let capacity = max 16 (2 * Array.length t.heap) in
+  if capacity > Array.length t.heap then begin
+    let heap = Array.make capacity t.heap.(0) in
+    Array.blit t.heap 0 heap 0 t.size;
+    t.heap <- heap
+  end
+
+let push t ~time payload =
+  let node = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  if t.size = Array.length t.heap then
+    if t.size = 0 then t.heap <- Array.make 16 node else grow t;
+  (* Sift up. *)
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  t.heap.(!i) <- node;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before node t.heap.(parent) then begin
+      t.heap.(!i) <- t.heap.(parent);
+      t.heap.(parent) <- node;
+      i := parent
+    end
+    else continue := false
+  done
+
+let sift_down t =
+  let node = t.heap.(0) in
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+    if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      t.heap.(!i) <- t.heap.(!smallest);
+      t.heap.(!smallest) <- node;
+      i := !smallest
+    end
+    else continue := false
+  done
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek t = if t.size = 0 then None else Some (t.heap.(0).time, t.heap.(0).payload)
+
+let clear t =
+  t.size <- 0;
+  t.heap <- [||]
+
+let drain t =
+  let rec go acc = match pop t with None -> List.rev acc | Some e -> go (e :: acc) in
+  go []

@@ -1,0 +1,25 @@
+(** A binary min-heap priority queue for simulation events.
+
+    Events are ordered by timestamp; ties are broken by insertion
+    sequence so that simultaneous events fire in FIFO order, which keeps
+    replays deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Schedule a payload at [time].  Times may be pushed in any order. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event, [None] when empty. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Earliest event without removing it. *)
+
+val clear : 'a t -> unit
+
+val drain : 'a t -> (float * 'a) list
+(** Pop everything, in order. *)

@@ -1,0 +1,46 @@
+type record = { time : float; label : string; detail : string }
+
+type t = {
+  capacity : int;
+  buffer : record option array;
+  mutable head : int; (* next write slot *)
+  mutable count : int;
+  mutable enabled : bool;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; buffer = Array.make capacity None; head = 0; count = 0; enabled = false }
+
+let enabled t = t.enabled
+let set_enabled t v = t.enabled <- v
+
+let record t ~time ~label detail =
+  if t.enabled then begin
+    t.buffer.(t.head) <- Some { time; label; detail };
+    t.head <- (t.head + 1) mod t.capacity;
+    t.count <- min t.capacity (t.count + 1)
+  end
+
+let records t =
+  let start = (t.head - t.count + t.capacity) mod t.capacity in
+  List.init t.count (fun i ->
+      match t.buffer.((start + i) mod t.capacity) with
+      | Some r -> r
+      | None -> assert false)
+
+let length t = t.count
+
+let clear t =
+  Array.fill t.buffer 0 t.capacity None;
+  t.head <- 0;
+  t.count <- 0
+
+let pp_record ppf r = Format.fprintf ppf "[%10.3f] %-16s %s" r.time r.label r.detail
+
+let dump t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun r -> Buffer.add_string buf (Format.asprintf "%a\n" pp_record r))
+    (records t);
+  Buffer.contents buf

@@ -1,0 +1,26 @@
+(** Lightweight simulation tracing.
+
+    A bounded in-memory ring of timestamped records, useful when
+    debugging protocol interleavings (e.g. the RoundRobin migration
+    handshake) without paying for I/O during measurement runs. *)
+
+type t
+
+type record = { time : float; label : string; detail : string }
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds retained records (default 4096); older records are
+    evicted first. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+(** Tracing starts disabled; a disabled trace drops records in O(1). *)
+
+val record : t -> time:float -> label:string -> string -> unit
+val records : t -> record list
+(** Oldest first. *)
+
+val length : t -> int
+val clear : t -> unit
+val pp_record : Format.formatter -> record -> unit
+val dump : t -> string

@@ -1,0 +1,53 @@
+type t = { id : int; payload : string option }
+
+let id t = t.id
+let payload t = t.payload
+
+let v ?payload id =
+  if id < 0 then invalid_arg "Entry.v: negative id";
+  { id; payload }
+
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let hash t = t.id
+
+let pp ppf t =
+  match t.payload with
+  | None -> Format.fprintf ppf "v%d" t.id
+  | Some p -> Format.fprintf ppf "v%d(%s)" t.id p
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Gen = struct
+  type t = { mutable next : int }
+
+  let create () = { next = 0 }
+
+  let fresh ?payload g =
+    let e = v ?payload g.next in
+    g.next <- g.next + 1;
+    e
+
+  let next_id g = g.next
+  let batch g h = List.init h (fun _ -> fresh g)
+end
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Stdlib.Set.Make (Ord)
+module Map = Stdlib.Map.Make (Ord)
+
+let dedup entries =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun e ->
+      if Hashtbl.mem seen e.id then false
+      else begin
+        Hashtbl.add seen e.id ();
+        true
+      end)
+    entries

@@ -1,0 +1,44 @@
+(** Entry identity.
+
+    The paper's service maps one key to a set of entries {v1..vh}; an
+    entry is opaque (an IP address, a URL, a file location...).  For the
+    reproduction an entry carries a dense integer id — which the metrics
+    layer exploits for bitset snapshots — plus an optional human-readable
+    payload used by the examples. *)
+
+type t
+
+val id : t -> int
+val payload : t -> string option
+
+val v : ?payload:string -> int -> t
+(** [v id] makes an entry with a given id.  Ids are the identity: two
+    entries with equal ids are equal regardless of payload. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Gen : sig
+  type entry := t
+  type t
+  (** A fresh-id source.  The workload generator owns one so entry ids
+      are dense and increase with creation time. *)
+
+  val create : unit -> t
+  val fresh : ?payload:string -> t -> entry
+  val next_id : t -> int
+  (** The id {!fresh} would assign next — also an upper bound on all ids
+      handed out so far, usable as a bitset capacity. *)
+
+  val batch : t -> int -> entry list
+  (** [batch g h] is [h] fresh entries. *)
+end
+
+module Set : Stdlib.Set.S with type elt = t
+module Map : Stdlib.Map.S with type key = t
+
+val dedup : t list -> t list
+(** Order-preserving removal of duplicate entries. *)

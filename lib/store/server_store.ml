@@ -1,0 +1,88 @@
+module Rng = Plookup_util.Rng
+module Bitset = Plookup_util.Bitset
+
+type t = {
+  mutable slots : Entry.t array; (* entries live in slots.(0 .. size-1) *)
+  mutable size : int;
+  index : (int, int) Hashtbl.t; (* entry id -> slot *)
+}
+
+let dummy = Entry.v 0
+
+let create () = { slots = [||]; size = 0; index = Hashtbl.create 16 }
+
+let cardinal t = t.size
+let is_empty t = t.size = 0
+let mem t e = Hashtbl.mem t.index (Entry.id e)
+
+let ensure_capacity t =
+  if t.size = Array.length t.slots then begin
+    let capacity = max 8 (2 * Array.length t.slots) in
+    let slots = Array.make capacity dummy in
+    Array.blit t.slots 0 slots 0 t.size;
+    t.slots <- slots
+  end
+
+let add t e =
+  if mem t e then false
+  else begin
+    ensure_capacity t;
+    t.slots.(t.size) <- e;
+    Hashtbl.replace t.index (Entry.id e) t.size;
+    t.size <- t.size + 1;
+    true
+  end
+
+let remove t e =
+  match Hashtbl.find_opt t.index (Entry.id e) with
+  | None -> false
+  | Some slot ->
+    Hashtbl.remove t.index (Entry.id e);
+    let last = t.size - 1 in
+    if slot <> last then begin
+      let moved = t.slots.(last) in
+      t.slots.(slot) <- moved;
+      Hashtbl.replace t.index (Entry.id moved) slot
+    end;
+    t.slots.(last) <- dummy;
+    t.size <- last;
+    true
+
+let clear t =
+  t.slots <- [||];
+  t.size <- 0;
+  Hashtbl.reset t.index
+
+let random_pick t rng k =
+  let k = min k t.size in
+  if k <= 0 then []
+  else begin
+    let idx = Rng.sample_indices rng ~n:t.size ~k in
+    Array.to_list (Array.map (fun i -> t.slots.(i)) idx)
+  end
+
+let random_one t rng = if t.size = 0 then None else Some t.slots.(Rng.int rng t.size)
+
+let to_list t = Array.to_list (Array.sub t.slots 0 t.size)
+
+let iter f t =
+  for i = 0 to t.size - 1 do
+    f t.slots.(i)
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun e -> acc := f e !acc) t;
+  !acc
+
+let ids t = fold (fun e acc -> Entry.id e :: acc) t []
+
+let snapshot_bitset t ~capacity =
+  let bs = Bitset.create capacity in
+  iter (fun e -> Bitset.add bs (Entry.id e)) t;
+  bs
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") Entry.pp)
+    (List.sort Entry.compare (to_list t))

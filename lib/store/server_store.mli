@@ -1,0 +1,43 @@
+(** A single server's local entry store.
+
+    Every strategy's per-server state is a set of entries that must
+    support the hot operation of the whole evaluation: "each contacted
+    server returns t randomly selected entries stored on the server" —
+    i.e. a uniform k-subset draw.  The store is an indexed hash set
+    (array + entry→slot table) so membership, insert, delete and uniform
+    random selection are all O(1) (O(k) for a k-subset). *)
+
+type t
+
+val create : unit -> t
+val cardinal : t -> int
+val is_empty : t -> bool
+val mem : t -> Entry.t -> bool
+
+val add : t -> Entry.t -> bool
+(** [true] if the entry was absent and has been inserted; storing an
+    entry twice is a no-op ("if two hash functions assign an entry to the
+    same server, the entry is stored only once"). *)
+
+val remove : t -> Entry.t -> bool
+(** [true] if the entry was present and has been removed. *)
+
+val clear : t -> unit
+
+val random_pick : t -> Plookup_util.Rng.t -> int -> Entry.t list
+(** [random_pick t rng k] is [min k (cardinal t)] distinct entries chosen
+    uniformly — the paper's per-server lookup answer: "t randomly
+    selected entries stored on the server or all the entries if the total
+    is less than t". *)
+
+val random_one : t -> Plookup_util.Rng.t -> Entry.t option
+val to_list : t -> Entry.t list
+(** Unspecified order. *)
+
+val iter : (Entry.t -> unit) -> t -> unit
+val fold : (Entry.t -> 'a -> 'a) -> t -> 'a -> 'a
+val ids : t -> int list
+val snapshot_bitset : t -> capacity:int -> Plookup_util.Bitset.t
+(** Entry ids as a bitset; ids must be below [capacity]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,97 @@
+type series = { label : string; points : (float * float) list }
+
+let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+
+let bounds series =
+  let all = List.concat_map (fun s -> s.points) series in
+  match all with
+  | [] -> invalid_arg "Ascii_plot.render: no data points"
+  | (x0, y0) :: rest ->
+    List.fold_left
+      (fun (xlo, xhi, ylo, yhi) (x, y) ->
+        (Float.min xlo x, Float.max xhi x, Float.min ylo y, Float.max yhi y))
+      (x0, x0, y0, y0) rest
+
+(* Pad a degenerate range so every point maps to a cell. *)
+let pad (lo, hi) = if hi -. lo < 1e-12 then (lo -. 1., hi +. 1.) else (lo, hi)
+
+let render ?(width = 64) ?(height = 16) ?(x_label = "") ?(y_label = "") series =
+  if width <= 0 || height <= 0 then invalid_arg "Ascii_plot.render: bad dimensions";
+  let xlo, xhi, ylo, yhi = bounds series in
+  let xlo, xhi = pad (xlo, xhi) and ylo, yhi = pad (ylo, yhi) in
+  let grid = Array.make_matrix height width ' ' in
+  let cell_of x y =
+    let fx = (x -. xlo) /. (xhi -. xlo) in
+    let fy = (y -. ylo) /. (yhi -. ylo) in
+    let col = min (width - 1) (int_of_float (fx *. float_of_int (width - 1) +. 0.5)) in
+    let row =
+      height - 1 - min (height - 1) (int_of_float (fy *. float_of_int (height - 1) +. 0.5))
+    in
+    (row, col)
+  in
+  List.iteri
+    (fun i s ->
+      let glyph = glyphs.(i mod Array.length glyphs) in
+      List.iter
+        (fun (x, y) ->
+          let row, col = cell_of x y in
+          if grid.(row).(col) = ' ' then grid.(row).(col) <- glyph)
+        s.points)
+    series;
+  let buf = Buffer.create ((width + 12) * (height + 4)) in
+  if y_label <> "" then Buffer.add_string buf (y_label ^ "\n");
+  Array.iteri
+    (fun row line ->
+      let label =
+        if row = 0 then Printf.sprintf "%10.2f " yhi
+        else if row = height - 1 then Printf.sprintf "%10.2f " ylo
+        else String.make 11 ' '
+      in
+      Buffer.add_string buf label;
+      Buffer.add_char buf '|';
+      Buffer.add_string buf (String.init width (fun c -> line.(c)));
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf (String.make 11 ' ' ^ "+" ^ String.make width '-' ^ "\n");
+  Buffer.add_string buf
+    (Printf.sprintf "%10.2f %-*s%10.2f\n" xlo (width - 9) "" xhi);
+  if x_label <> "" then
+    Buffer.add_string buf (String.make 12 ' ' ^ x_label ^ "\n");
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%11s%c = %s\n" "" glyphs.(i mod Array.length glyphs) s.label))
+    series;
+  Buffer.contents buf
+
+let numeric_cell = function
+  | Table.I v -> Some (float_of_int v)
+  | Table.F v | Table.F4 v -> Some v
+  | Table.S _ -> None
+
+let column_values table name =
+  match List.find_index (String.equal name) (Table.columns table) with
+  | None -> Error (Printf.sprintf "no column %S" name)
+  | Some idx ->
+    let rec collect acc = function
+      | [] -> Ok (List.rev acc)
+      | row :: rest -> (
+        match numeric_cell (List.nth row idx) with
+        | Some v -> collect (v :: acc) rest
+        | None -> Error (Printf.sprintf "column %S has non-numeric cells" name))
+    in
+    collect [] (Table.rows table)
+
+let of_table ?width ?height ~x ~columns table =
+  let ( let* ) = Result.bind in
+  let* xs = column_values table x in
+  let* series =
+    List.fold_left
+      (fun acc name ->
+        let* acc = acc in
+        let* ys = column_values table name in
+        Ok ({ label = name; points = List.combine xs ys } :: acc))
+      (Ok []) columns
+  in
+  if xs = [] then Error "table has no rows"
+  else Ok (render ?width ?height ~x_label:x (List.rev series))

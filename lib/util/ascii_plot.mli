@@ -1,0 +1,27 @@
+(** Terminal line plots for experiment series.
+
+    The paper's results are figures; the CLI renders its regenerated
+    series as ASCII scatter/line charts so curve shapes (staircases,
+    decays, crossovers) are visible without leaving the terminal.  Each
+    series gets its own glyph; points landing on the same cell show the
+    glyph of the first series plotted there. *)
+
+type series = { label : string; points : (float * float) list }
+
+val render :
+  ?width:int -> ?height:int -> ?x_label:string -> ?y_label:string -> series list -> string
+(** [render series] draws all series into one frame (default 64x16 plot
+    cells, plus axes and a legend).  Axis ranges are the combined data
+    bounds, padded when degenerate.  Series with no points are listed in
+    the legend but draw nothing.  Raises [Invalid_argument] for
+    non-positive dimensions or if every series is empty. *)
+
+val of_table :
+  ?width:int ->
+  ?height:int ->
+  x:string ->
+  columns:string list ->
+  Table.t ->
+  (string, string) result
+(** Plot the named numeric [columns] of a {!Table.t} against column [x].
+    [Error] when a column is missing or contains non-numeric cells. *)

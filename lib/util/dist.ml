@@ -1,0 +1,59 @@
+type lifetime = Exponential of float | Zipf_like of float
+
+let exponential rng ~mean =
+  if mean <= 0. then invalid_arg "Dist.exponential: mean must be positive";
+  (* 1 - u is in (0, 1], so log is finite. *)
+  -.mean *. log (1. -. Rng.unit_float rng)
+
+let poisson_interarrival rng ~rate =
+  if rate <= 0. then invalid_arg "Dist.poisson_interarrival: rate must be positive";
+  exponential rng ~mean:(1. /. rate)
+
+let zipf_like rng ~c =
+  if c <= 1. then invalid_arg "Dist.zipf_like: c must exceed 1";
+  c ** Rng.unit_float rng
+
+let zipf_like_mean ~c = (c -. 1.) /. log c
+
+let zipf_like_c_for_mean ~mean =
+  if mean <= 1. then invalid_arg "Dist.zipf_like_c_for_mean: mean must exceed 1";
+  (* (c-1)/ln c is increasing in c for c > 1, so bisection converges. *)
+  let rec grow hi = if zipf_like_mean ~c:hi < mean then grow (hi *. 2.) else hi in
+  let hi = grow 2. in
+  let rec bisect lo hi n =
+    if n = 0 then (lo +. hi) /. 2.
+    else
+      let mid = (lo +. hi) /. 2. in
+      if zipf_like_mean ~c:mid < mean then bisect mid hi (n - 1) else bisect lo mid (n - 1)
+  in
+  bisect 1.000001 hi 200
+
+let lifetime_of_mean ~tail_heavy ~mean =
+  if tail_heavy then Zipf_like (zipf_like_c_for_mean ~mean) else Exponential mean
+
+let draw_lifetime rng = function
+  | Exponential mean -> exponential rng ~mean
+  | Zipf_like c -> zipf_like rng ~c
+
+let lifetime_mean = function
+  | Exponential mean -> mean
+  | Zipf_like c -> zipf_like_mean ~c
+
+let zipf_ranks rng ~n ~alpha =
+  if n <= 0 then invalid_arg "Dist.zipf_ranks: n must be positive";
+  (* Inverse-CDF over the normalized discrete law; n is small in our
+     examples so a linear scan is fine. *)
+  let weights = Array.init n (fun i -> 1. /. (float_of_int (i + 1) ** alpha)) in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let u = Rng.unit_float rng *. total in
+  let rec find i acc =
+    if i = n - 1 then n
+    else
+      let acc = acc +. weights.(i) in
+      if u < acc then i + 1 else find (i + 1) acc
+  in
+  find 0 0.
+
+let uniform_in rng ~lo ~hi =
+  if lo > hi then invalid_arg "Dist.uniform_in: lo > hi";
+  lo +. Rng.float rng (hi -. lo)

@@ -1,0 +1,47 @@
+(** Probability distributions used by the synthetic-workload generator
+    (Section 6.1 of the paper).
+
+    The paper drives its dynamic experiments with Poisson arrivals
+    (expectation lambda = 10 time units between adds) and entry lifetimes
+    drawn either from an exponential distribution or from a truncated
+    "Zipf-like" law P(t) = 1/(t ln C) on [1, C], both scaled so the mean
+    lifetime equals [lambda * h]. *)
+
+type lifetime =
+  | Exponential of float  (** mean *)
+  | Zipf_like of float
+      (** [Zipf_like c]: density proportional to 1/t on [1, c].  The mean
+          is (c - 1) / ln c. *)
+
+val exponential : Rng.t -> mean:float -> float
+(** A draw from Exp(mean), via inverse CDF. *)
+
+val poisson_interarrival : Rng.t -> rate:float -> float
+(** Interarrival time of a Poisson process with [rate] events per time
+    unit, i.e. an exponential with mean [1/rate]. *)
+
+val zipf_like : Rng.t -> c:float -> float
+(** A draw from the paper's Zipf-like lifetime law on [1, c], by inverse
+    CDF: F(t) = ln t / ln c, so t = c^u for uniform u. *)
+
+val zipf_like_mean : c:float -> float
+(** Closed-form mean of {!zipf_like}: (c - 1) / ln c. *)
+
+val zipf_like_c_for_mean : mean:float -> float
+(** Solve (c - 1)/ln c = mean for c by bisection, so a Zipf-like lifetime
+    can be scaled to a target expectation (the paper scales both lifetime
+    laws to expectation lambda*h).  Requires [mean > 1]. *)
+
+val lifetime_of_mean : tail_heavy:bool -> mean:float -> lifetime
+(** The paper's two lifetime laws scaled to [mean]: exponential when
+    [tail_heavy] is false, Zipf-like when true. *)
+
+val draw_lifetime : Rng.t -> lifetime -> float
+
+val lifetime_mean : lifetime -> float
+
+val zipf_ranks : Rng.t -> n:int -> alpha:float -> int
+(** Classic discrete Zipf over ranks 1..n with exponent [alpha]; used by
+    example workloads to pick popular keys.  Returns a rank in [1, n]. *)
+
+val uniform_in : Rng.t -> lo:float -> hi:float -> float

@@ -1,0 +1,57 @@
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable underflow : int;
+  mutable overflow : int;
+  mutable total : int;
+  sum : Stats.Accum.t;
+}
+
+let create ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  if not (lo < hi) then invalid_arg "Histogram.create: need lo < hi";
+  { lo; hi; counts = Array.make bins 0; underflow = 0; overflow = 0; total = 0;
+    sum = Stats.Accum.create () }
+
+let bins t = Array.length t.counts
+
+let add t x =
+  t.total <- t.total + 1;
+  if x < t.lo then t.underflow <- t.underflow + 1
+  else if x >= t.hi then t.overflow <- t.overflow + 1
+  else begin
+    let width = (t.hi -. t.lo) /. float_of_int (bins t) in
+    let i = min (bins t - 1) (int_of_float ((x -. t.lo) /. width)) in
+    t.counts.(i) <- t.counts.(i) + 1;
+    Stats.Accum.add t.sum x
+  end
+
+let count t = t.total
+
+let bin_count t i =
+  if i < 0 || i >= bins t then invalid_arg "Histogram.bin_count: bin out of range";
+  t.counts.(i)
+
+let underflow t = t.underflow
+let overflow t = t.overflow
+
+let bin_bounds t i =
+  if i < 0 || i >= bins t then invalid_arg "Histogram.bin_bounds: bin out of range";
+  let width = (t.hi -. t.lo) /. float_of_int (bins t) in
+  (t.lo +. (float_of_int i *. width), t.lo +. (float_of_int (i + 1) *. width))
+
+let mean t = Stats.Accum.mean t.sum
+
+let render ?(width = 50) t =
+  let max_count = Array.fold_left max 1 t.counts in
+  let buf = Buffer.create 256 in
+  for i = 0 to bins t - 1 do
+    let lo, hi = bin_bounds t i in
+    let bar_len = t.counts.(i) * width / max_count in
+    Buffer.add_string buf
+      (Printf.sprintf "[%8.2f, %8.2f) %6d %s\n" lo hi t.counts.(i) (String.make bar_len '#'))
+  done;
+  if t.underflow > 0 then Buffer.add_string buf (Printf.sprintf "underflow %6d\n" t.underflow);
+  if t.overflow > 0 then Buffer.add_string buf (Printf.sprintf "overflow  %6d\n" t.overflow);
+  Buffer.contents buf

@@ -1,0 +1,27 @@
+(** Fixed-bin histograms, used for diagnostics in examples and for
+    distribution sanity checks in tests. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** Equal-width bins over [\[lo, hi)].  Out-of-range samples land in
+    saturating under/overflow bins. *)
+
+val add : t -> float -> unit
+val count : t -> int
+(** Total samples, including under/overflow. *)
+
+val bin_count : t -> int -> int
+(** Samples in bin [i] (0-based).  Raises on out-of-range bin. *)
+
+val underflow : t -> int
+val overflow : t -> int
+
+val bin_bounds : t -> int -> float * float
+(** [\[lo, hi)] of bin [i]. *)
+
+val mean : t -> float
+(** Mean of all in-range samples (exact, accumulated separately). *)
+
+val render : ?width:int -> t -> string
+(** A multi-line ASCII bar rendering. *)

@@ -1,0 +1,123 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* splitmix64 stream used only to expand a seed into xoshiro state. *)
+let splitmix_next state =
+  state := Int64.add !state golden_gamma;
+  mix64 !state
+
+let create seed =
+  let st = ref (Int64.of_int seed) in
+  let s0 = splitmix_next st in
+  let s1 = splitmix_next st in
+  let s2 = splitmix_next st in
+  let s3 = splitmix_next st in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* xoshiro256++ *)
+let bits64 t =
+  let result = Int64.add (rotl (Int64.add t.s0 t.s3) 23) t.s0 in
+  let tt = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tt;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let st = ref (bits64 t) in
+  let s0 = splitmix_next st in
+  let s1 = splitmix_next st in
+  let s2 = splitmix_next st in
+  let s3 = splitmix_next st in
+  { s0; s1; s2; s3 }
+
+let nonneg t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+(* 62 random bits, always a non-negative OCaml int. *)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  if bound land (bound - 1) = 0 then nonneg t land (bound - 1)
+  else begin
+    (* Rejection sampling over the largest multiple of [bound] below 2^62. *)
+    let max = (1 lsl 62) - 1 in
+    let limit = max - (max mod bound) in
+    let rec draw () =
+      let v = nonneg t in
+      if v < limit then v mod bound else draw ()
+    in
+    draw ()
+  end
+
+let int_in_range t ~lo ~hi =
+  if lo > hi then invalid_arg "Rng.int_in_range: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let unit_float t =
+  let v = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  v *. 0x1.0p-53
+
+let float t bound = unit_float t *. bound
+let bool t = Int64.logand (bits64 t) 1L = 1L
+let bernoulli t p = unit_float t < p
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let pick_list t l =
+  match l with
+  | [] -> invalid_arg "Rng.pick_list: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+let shuffle_in_place t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let shuffle t l =
+  let arr = Array.of_list l in
+  shuffle_in_place t arr;
+  Array.to_list arr
+
+let sample_indices t ~n ~k =
+  if k < 0 || k > n then invalid_arg "Rng.sample_indices: need 0 <= k <= n";
+  let idx = Array.init n Fun.id in
+  for i = 0 to k - 1 do
+    let j = int_in_range t ~lo:i ~hi:(n - 1) in
+    let tmp = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- tmp
+  done;
+  Array.sub idx 0 k
+
+let sample t arr k =
+  let idx = sample_indices t ~n:(Array.length arr) ~k in
+  Array.map (fun i -> arr.(i)) idx
+
+let perm t n =
+  let arr = Array.init n Fun.id in
+  shuffle_in_place t arr;
+  arr
+
+let hash_in_range ~seed ~salt ~value n =
+  if n <= 0 then invalid_arg "Rng.hash_in_range: n must be positive";
+  let h = mix64 (Int64.of_int seed) in
+  let h = mix64 (Int64.logxor h (Int64.of_int salt)) in
+  let h = mix64 (Int64.logxor h (Int64.of_int value)) in
+  Int64.to_int (Int64.shift_right_logical h 2) mod n

@@ -1,0 +1,79 @@
+(** Deterministic pseudo-random number generation.
+
+    The whole reproduction is driven by explicit generator values so that
+    every experiment is replayable from a single integer seed.  The
+    implementation is xoshiro256++ seeded through splitmix64 — fast,
+    well-distributed, and independent of the OCaml stdlib [Random] state
+    (which we never touch). *)
+
+type t
+(** A mutable generator. Not thread-safe; use {!split} to derive
+    independent generators for concurrent or per-instance use. *)
+
+val create : int -> t
+(** [create seed] makes a generator from a 63-bit seed.  Equal seeds give
+    equal streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; both copies then evolve
+    independently but identically if used identically. *)
+
+val split : t -> t
+(** [split t] draws fresh state from [t] and returns a statistically
+    independent generator.  Advances [t]. *)
+
+val bits64 : t -> int64
+(** Next raw 64 bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be > 0.
+    Uses rejection sampling, so the result is exactly uniform. *)
+
+val int_in_range : t -> lo:int -> hi:int -> int
+(** Uniform in [\[lo, hi\]] inclusive. Requires [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val unit_float : t -> float
+(** Uniform in [\[0, 1)], 53-bit resolution. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. Raises [Invalid_argument] on
+    an empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list (O(n)). *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** A uniformly shuffled copy of the list. *)
+
+val sample_indices : t -> n:int -> k:int -> int array
+(** [sample_indices t ~n ~k] draws [k] distinct indices uniformly from
+    [\[0, n)], in random order, via a partial Fisher–Yates.  Requires
+    [0 <= k <= n]. *)
+
+val sample : t -> 'a array -> int -> 'a array
+(** [sample t arr k] draws [k] distinct elements of [arr] uniformly,
+    without replacement. *)
+
+val perm : t -> int -> int array
+(** [perm t n] is a uniform permutation of [\[0, n)]. *)
+
+val mix64 : int64 -> int64
+(** The splitmix64 finalizer — a high-quality stateless 64-bit mixer.
+    Used to build the Hash-y strategy's hash-function family. *)
+
+val hash_in_range : seed:int -> salt:int -> value:int -> int -> int
+(** [hash_in_range ~seed ~salt ~value n] deterministically maps
+    [(seed, salt, value)] to [\[0, n)].  Distinct [salt]s give
+    (statistically) independent hash functions, as required for the
+    f_1..f_y family of the Hash-y strategy. *)

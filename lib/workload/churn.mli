@@ -1,0 +1,26 @@
+(** Server churn: continuous failure and recovery.
+
+    The paper motivates partial lookups partly by availability ("even if
+    S2 is down, partial lookups can continue") and prescribes random
+    re-probing under failures; this module generates the failure side of
+    that story.  Each server alternates between up-periods (exponential
+    with mean [mttf]) and down-periods (exponential with mean [mttr]),
+    independently — the classic alternating-renewal availability model,
+    with steady-state per-server availability mttf / (mttf + mttr). *)
+
+type event = { time : float; server : int; up : bool }
+
+val generate :
+  Plookup_util.Rng.t -> n:int -> mttf:float -> mttr:float -> horizon:float -> event list
+(** Events for servers [0..n-1] over [\[0, horizon\]], sorted by time.
+    All servers start up; the first event per server is a failure. *)
+
+val expected_availability : mttf:float -> mttr:float -> float
+
+val drive :
+  Plookup_sim.Engine.t ->
+  apply:(event -> unit) ->
+  event list ->
+  unit
+(** Schedule every event on the engine; [apply] fires at the event's
+    simulated time. *)

@@ -1,0 +1,83 @@
+open Plookup_util
+open Plookup_store
+
+type op = Add of Entry.t | Delete of Entry.t
+type event = { time : float; op : op }
+
+type spec = {
+  steady_entries : int;
+  add_period : float;
+  tail_heavy : bool;
+  updates : int;
+}
+
+let default_spec = { steady_entries = 100; add_period = 10.; tail_heavy = false; updates = 10000 }
+
+type stream = { initial : Entry.t list; events : event list; gen : Entry.Gen.t }
+
+let generate rng spec =
+  if spec.steady_entries <= 0 then invalid_arg "Update_gen.generate: steady_entries";
+  if spec.add_period <= 0. then invalid_arg "Update_gen.generate: add_period";
+  if spec.updates < 0 then invalid_arg "Update_gen.generate: updates";
+  let gen = Entry.Gen.create () in
+  let mean_lifetime = spec.add_period *. float_of_int spec.steady_entries in
+  let lifetime = Dist.lifetime_of_mean ~tail_heavy:spec.tail_heavy ~mean:mean_lifetime in
+  let events = ref [] in
+  let emit time op = events := { time; op } :: !events in
+  (* Initial steady-state population: alive at time 0 with full lifetime
+     draws, their deletes scheduled like any other entry's. *)
+  let initial =
+    List.init spec.steady_entries (fun _ ->
+        let e = Entry.Gen.fresh gen in
+        emit (Dist.draw_lifetime rng lifetime) (Delete e);
+        e)
+  in
+  (* Poisson adds: generate enough arrivals that, after merging with the
+     initial population's deletes, we can truncate to [updates] events.
+     Each add contributes itself plus (usually) one delete, so [updates]
+     arrivals always suffice. *)
+  let clock = ref 0. in
+  for _ = 1 to spec.updates do
+    clock := !clock +. Dist.poisson_interarrival rng ~rate:(1. /. spec.add_period);
+    let e = Entry.Gen.fresh gen in
+    emit !clock (Add e);
+    emit (!clock +. Dist.draw_lifetime rng lifetime) (Delete e)
+  done;
+  let sorted =
+    List.stable_sort (fun a b -> Float.compare a.time b.time) (List.rev !events)
+  in
+  (* Truncate to the requested number of updates, dropping deletes whose
+     adds got cut (can only happen right at the horizon). *)
+  let rec take k added acc = function
+    | [] -> List.rev acc
+    | _ when k = 0 -> List.rev acc
+    | ({ op = Add e; _ } as ev) :: rest ->
+      take (k - 1) (Entry.Set.add e added) (ev :: acc) rest
+    | ({ op = Delete e; _ } as ev) :: rest ->
+      let known =
+        Entry.Set.mem e added || List.exists (fun e' -> Entry.equal e e') initial
+      in
+      if known then take (k - 1) added (ev :: acc) rest else take k added acc rest
+  in
+  { initial; events = take spec.updates Entry.Set.empty [] sorted; gen }
+
+let pp_event ppf { time; op } =
+  match op with
+  | Add e -> Format.fprintf ppf "%10.2f add %a" time Entry.pp e
+  | Delete e -> Format.fprintf ppf "%10.2f del %a" time Entry.pp e
+
+let live_after stream k =
+  let table = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace table (Entry.id e) e) stream.initial;
+  let rec go k = function
+    | [] -> ()
+    | _ when k = 0 -> ()
+    | { op = Add e; _ } :: rest ->
+      Hashtbl.replace table (Entry.id e) e;
+      go (k - 1) rest
+    | { op = Delete e; _ } :: rest ->
+      Hashtbl.remove table (Entry.id e);
+      go (k - 1) rest
+  in
+  go k stream.events;
+  Hashtbl.fold (fun _ e acc -> e :: acc) table []

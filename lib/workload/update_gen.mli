@@ -1,0 +1,45 @@
+(** Synthetic update streams (Section 6.1).
+
+    Adds arrive as a Poisson process (the paper uses one add per
+    lambda = 10 time units); each added entry lives for a random
+    lifetime — exponential or Zipf-like — scaled to expectation
+    [lambda * h], so the system holds [h] entries in steady state.  The
+    stream is generated up front as timestamped events and replayed,
+    exactly like the paper's event-driven simulation.
+
+    The generator also emits an initial population of [h] entries (the
+    steady state to start from) whose deletes are scheduled like any
+    other entry's. *)
+
+open Plookup_store
+
+type op = Add of Entry.t | Delete of Entry.t
+
+type event = { time : float; op : op }
+
+type spec = {
+  steady_entries : int;  (** h: expected entries in steady state *)
+  add_period : float;  (** lambda: mean time units between adds (10 in the paper) *)
+  tail_heavy : bool;  (** false = exponential lifetimes, true = Zipf-like *)
+  updates : int;  (** events to generate after the initial population *)
+}
+
+val default_spec : spec
+(** h=100, lambda=10, exponential, 10000 updates — the paper's default. *)
+
+type stream = {
+  initial : Entry.t list;  (** the steady-state population placed at time 0 *)
+  events : event list;  (** updates in non-decreasing time order *)
+  gen : Entry.Gen.t;  (** the id source, for bitset capacities *)
+}
+
+val generate : Plookup_util.Rng.t -> spec -> stream
+(** Events are truncated to exactly [spec.updates] operations; deletes of
+    entries whose lifetime ends beyond the horizon are dropped with
+    their adds kept (the entry simply outlives the simulation). *)
+
+val pp_event : Format.formatter -> event -> unit
+
+val live_after : stream -> int -> Entry.t list
+(** The entries alive after applying the first [k] events to the initial
+    population — for fairness measurements mid-replay. *)

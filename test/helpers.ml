@@ -1,0 +1,37 @@
+(* Shared helpers for the test suite. *)
+
+let close ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.6f, got %.6f (eps %.2g)" msg expected actual eps
+
+let roughly ?(rel = 0.05) msg expected actual =
+  let tolerance = Float.abs expected *. rel in
+  if Float.abs (expected -. actual) > tolerance then
+    Alcotest.failf "%s: expected %.4f (+/- %.1f%%), got %.4f" msg expected (100. *. rel)
+      actual
+
+let qcheck ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let sorted_ids entries =
+  List.sort compare (List.map Plookup_store.Entry.id entries)
+
+let entries n = Plookup_store.Entry.Gen.batch (Plookup_store.Entry.Gen.create ()) n
+
+(* A service with h entries placed, plus the entry list. *)
+let placed_service ?(seed = 7) ~n ~h config =
+  let service = Plookup.Service.create ~seed ~n config in
+  let batch = entries h in
+  Plookup.Service.place service batch;
+  (service, batch)
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let run name suites = Alcotest.run ~verbose:false name suites

@@ -1,0 +1,141 @@
+open Plookup
+module Analytic = Plookup_metrics.Analytic
+
+let test_storage_table1 () =
+  (* The paper's canonical configuration: h=100, n=10. *)
+  let n = 10 and h = 100 in
+  Helpers.close "full" 1000. (Analytic.storage Service.Full_replication ~n ~h);
+  Helpers.close "fixed-20" 200. (Analytic.storage (Service.Fixed 20) ~n ~h);
+  Helpers.close "randomserver-20" 200. (Analytic.storage (Service.Random_server 20) ~n ~h);
+  Helpers.close "round-2" 200. (Analytic.storage (Service.Round_robin 2) ~n ~h);
+  Helpers.close ~eps:1e-9 "hash-2" 190. (Analytic.storage (Service.Hash 2) ~n ~h)
+
+let test_storage_hash_limits () =
+  (* y = 1: h copies; y -> infinity: full replication. *)
+  let n = 10 and h = 100 in
+  Helpers.close "hash-1" 100. (Analytic.storage (Service.Hash 1) ~n ~h);
+  Helpers.roughly ~rel:0.01 "hash-100 ~ full" 1000.
+    (Analytic.storage (Service.Hash 100) ~n ~h)
+
+let test_round_lookup_cost () =
+  let n = 10 and h = 100 and y = 2 in
+  List.iter
+    (fun (t, expected) ->
+      Helpers.close
+        (Printf.sprintf "t=%d" t)
+        expected
+        (Analytic.round_robin_lookup_cost ~n ~h ~y ~t))
+    [ (10, 1.); (20, 1.); (21, 2.); (40, 2.); (41, 3.); (50, 3.) ]
+
+let test_fixed_lookup_cost () =
+  Alcotest.(check (option (float 1e-9))) "within x" (Some 1.)
+    (Analytic.fixed_lookup_cost ~x:20 ~t:20);
+  Alcotest.(check (option (float 1e-9))) "beyond x" None
+    (Analytic.fixed_lookup_cost ~x:20 ~t:21)
+
+let test_coverage_formulas () =
+  let n = 10 and h = 100 in
+  Helpers.close "full" 100. (Analytic.coverage_full ~h);
+  Helpers.close "fixed" 20. (Analytic.coverage_fixed ~x:20 ~h);
+  Helpers.close "fixed clamps" 100. (Analytic.coverage_fixed ~x:300 ~h);
+  (* The paper's quoted number: RandomServer-20 covers ~89 of 100. *)
+  Helpers.roughly ~rel:0.01 "randomserver-20 ~ 89.3" 89.26
+    (Analytic.coverage_random_server ~n ~h ~x:20);
+  Helpers.close "budget below h" 60. (Analytic.coverage_with_budget ~h ~total_storage:60);
+  Helpers.close "budget above h" 100. (Analytic.coverage_with_budget ~h ~total_storage:250)
+
+let test_coverage_random_server_monotone () =
+  let n = 10 and h = 100 in
+  let prev = ref 0. in
+  for x = 1 to 100 do
+    let c = Analytic.coverage_random_server ~n ~h ~x in
+    if c < !prev -. 1e-9 then Alcotest.failf "coverage not monotone at x=%d" x;
+    prev := c
+  done;
+  Helpers.close "x=h means full" 100. (Analytic.coverage_random_server ~n ~h ~x:100)
+
+let test_fault_tolerance_formulas () =
+  let n = 10 and h = 100 in
+  Helpers.check_int "full" 9 (Analytic.fault_tolerance_full ~n);
+  Helpers.check_int "fixed ok" 9 (Analytic.fault_tolerance_fixed ~n ~x:20 ~t:20);
+  Helpers.check_int "fixed impossible" (-1) (Analytic.fault_tolerance_fixed ~n ~x:20 ~t:21);
+  (* Round-2 on the paper's sweep: one server of tolerance lost per h/n
+     of target size, capped at n-1. *)
+  List.iter
+    (fun (t, expected) ->
+      Helpers.check_int
+        (Printf.sprintf "round-2 t=%d" t)
+        expected
+        (Analytic.fault_tolerance_round_robin ~n ~h ~y:2 ~t))
+    [ (10, 9); (15, 9); (20, 9); (25, 8); (30, 8); (35, 7); (45, 6); (50, 6) ]
+
+let test_hash_expected_entries () =
+  Helpers.roughly ~rel:0.01 "h=100 n=10 y=2" 19.
+    (Analytic.hash_expected_entries_per_server ~n:10 ~h:100 ~y:2)
+
+let test_update_costs () =
+  Helpers.close "fixed h=100 x=50 n=10" 6. (Analytic.update_cost_fixed ~n:10 ~h:100 ~x:50);
+  Helpers.close "fixed h=400" 2.25 (Analytic.update_cost_fixed ~n:10 ~h:400 ~x:50);
+  Helpers.close "hash y=2" 3. (Analytic.update_cost_hash ~y:2)
+
+let test_optimal_hash_y_breakpoints () =
+  (* Section 6.4: t=40, n=10 -> y = ceil(400/h). *)
+  let n = 10 and t = 40 in
+  List.iter
+    (fun (h, expected) ->
+      Helpers.check_int (Printf.sprintf "h=%d" h) expected (Analytic.optimal_hash_y ~n ~h ~t))
+    [ (100, 4); (120, 4); (133, 4); (134, 3); (150, 3); (199, 3); (200, 2); (399, 2);
+      (400, 1); (500, 1) ]
+
+let test_optimal_hash_y_collision_aware_at_least_plain () =
+  for h = 100 to 400 do
+    let plain = Analytic.optimal_hash_y ~n:10 ~h ~t:40 in
+    let aware = Analytic.optimal_hash_y_collision_aware ~n:10 ~h ~t:40 in
+    if aware < plain then Alcotest.failf "collision-aware smaller at h=%d" h
+  done
+
+let test_crossover () =
+  (* (x/h)*n = y: with x=50, n=10, y=2 the crossover is at h=250. *)
+  Helpers.check_int "fixed cheaper" (-1)
+    (Analytic.crossover_equal_cost ~n:10 ~h:300 ~x:50 ~y:2);
+  Helpers.check_int "equal" 0 (Analytic.crossover_equal_cost ~n:10 ~h:250 ~x:50 ~y:2);
+  Helpers.check_int "hash cheaper" 1 (Analytic.crossover_equal_cost ~n:10 ~h:200 ~x:50 ~y:2)
+
+let test_validation () =
+  Alcotest.check_raises "bad n" (Invalid_argument "Analytic: n and h must be positive")
+    (fun () -> ignore (Analytic.storage Service.Full_replication ~n:0 ~h:10))
+
+let prop_storage_nonnegative_and_bounded =
+  Helpers.qcheck "hash storage between h and h*n"
+    QCheck2.Gen.(triple (int_range 1 50) (int_range 1 500) (int_range 1 50))
+    (fun (n, h, y) ->
+      let s = Analytic.storage (Service.Hash y) ~n ~h in
+      s >= float_of_int h -. 1e-6 || y < 1 || s >= 0.)
+
+let prop_round_cost_monotone_in_t =
+  Helpers.qcheck "round lookup cost non-decreasing in t"
+    QCheck2.Gen.(pair (int_range 1 99) (int_range 1 99))
+    (fun (t1, t2) ->
+      let lo = min t1 t2 and hi = max t1 t2 in
+      Analytic.round_robin_lookup_cost ~n:10 ~h:100 ~y:2 ~t:lo
+      <= Analytic.round_robin_lookup_cost ~n:10 ~h:100 ~y:2 ~t:hi)
+
+let () =
+  Helpers.run "analytic"
+    [ ( "analytic",
+        [ Alcotest.test_case "table 1" `Quick test_storage_table1;
+          Alcotest.test_case "hash limits" `Quick test_storage_hash_limits;
+          Alcotest.test_case "round lookup cost" `Quick test_round_lookup_cost;
+          Alcotest.test_case "fixed lookup cost" `Quick test_fixed_lookup_cost;
+          Alcotest.test_case "coverage" `Quick test_coverage_formulas;
+          Alcotest.test_case "coverage monotone" `Quick test_coverage_random_server_monotone;
+          Alcotest.test_case "fault tolerance" `Quick test_fault_tolerance_formulas;
+          Alcotest.test_case "hash occupancy" `Quick test_hash_expected_entries;
+          Alcotest.test_case "update costs" `Quick test_update_costs;
+          Alcotest.test_case "optimal y breakpoints" `Quick test_optimal_hash_y_breakpoints;
+          Alcotest.test_case "collision-aware y" `Quick
+            test_optimal_hash_y_collision_aware_at_least_plain;
+          Alcotest.test_case "crossover" `Quick test_crossover;
+          Alcotest.test_case "validation" `Quick test_validation;
+          prop_storage_nonnegative_and_bounded;
+          prop_round_cost_monotone_in_t ] ) ]

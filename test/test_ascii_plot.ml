@@ -1,0 +1,115 @@
+open Plookup_util
+
+let series label points = { Ascii_plot.label; points }
+
+let test_renders_points () =
+  let s = Ascii_plot.render ~width:20 ~height:5 [ series "a" [ (0., 0.); (10., 10.) ] ] in
+  Alcotest.(check bool) "contains glyph" true (Helpers.contains s "*");
+  Alcotest.(check bool) "contains legend" true (Helpers.contains s "* = a");
+  Alcotest.(check bool) "contains y max" true (Helpers.contains s "10.00");
+  Alcotest.(check bool) "contains y min" true (Helpers.contains s "0.00")
+
+let test_multiple_series_glyphs () =
+  let s =
+    Ascii_plot.render ~width:20 ~height:5
+      [ series "first" [ (0., 1.) ]; series "second" [ (1., 2.) ] ]
+  in
+  Alcotest.(check bool) "first glyph" true (Helpers.contains s "* = first");
+  Alcotest.(check bool) "second glyph" true (Helpers.contains s "+ = second");
+  Alcotest.(check bool) "plus plotted" true
+    (List.exists (fun line -> Helpers.contains line "+")
+       (String.split_on_char '\n' s))
+
+let test_degenerate_range () =
+  (* A single point must not divide by zero. *)
+  let s = Ascii_plot.render ~width:10 ~height:4 [ series "p" [ (5., 5.) ] ] in
+  Alcotest.(check bool) "rendered" true (String.length s > 0)
+
+let test_monotone_series_orientation () =
+  (* An increasing series: the glyph on the last column must be on a
+     higher row (smaller row index) than on the first column. *)
+  let width = 21 and height = 7 in
+  let s =
+    Ascii_plot.render ~width ~height
+      [ series "up" (List.init 21 (fun i -> (float_of_int i, float_of_int i))) ]
+  in
+  let lines =
+    String.split_on_char '\n' s
+    |> List.filter (fun l -> Helpers.contains l "|")
+  in
+  let row_of_col target =
+    let found = ref None in
+    List.iteri
+      (fun row line ->
+        match String.index_opt line '|' with
+        | Some bar ->
+          let idx = bar + 1 + target in
+          if idx < String.length line && line.[idx] = '*' && !found = None then
+            found := Some row
+        | None -> ())
+      lines;
+    !found
+  in
+  match (row_of_col 0, row_of_col (width - 1)) with
+  | Some first, Some last ->
+    Alcotest.(check bool) "rises left to right" true (last < first)
+  | _ -> Alcotest.fail "could not locate plotted glyphs"
+
+let test_validation () =
+  Alcotest.check_raises "no data" (Invalid_argument "Ascii_plot.render: no data points")
+    (fun () -> ignore (Ascii_plot.render [ series "empty" [] ]));
+  Alcotest.check_raises "bad dims" (Invalid_argument "Ascii_plot.render: bad dimensions")
+    (fun () -> ignore (Ascii_plot.render ~width:0 [ series "x" [ (0., 0.) ] ]))
+
+let sample_table () =
+  let t = Table.create ~title:"x" ~columns:[ "t"; "cost"; "name" ] in
+  Table.add_row t [ Table.I 10; Table.F 1.0; Table.S "a" ];
+  Table.add_row t [ Table.I 20; Table.F 2.0; Table.S "b" ];
+  t
+
+let test_of_table () =
+  match Ascii_plot.of_table ~x:"t" ~columns:[ "cost" ] (sample_table ()) with
+  | Ok s ->
+    Alcotest.(check bool) "legend has column name" true (Helpers.contains s "* = cost");
+    Alcotest.(check bool) "x label" true (Helpers.contains s "t")
+  | Error e -> Alcotest.fail e
+
+let test_of_table_errors () =
+  (match Ascii_plot.of_table ~x:"nope" ~columns:[ "cost" ] (sample_table ()) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted missing column");
+  match Ascii_plot.of_table ~x:"t" ~columns:[ "name" ] (sample_table ()) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted non-numeric column"
+
+let prop_never_raises_on_data =
+  Helpers.qcheck "render is total on non-empty numeric data"
+    QCheck2.Gen.(
+      list_size (int_range 1 30) (pair (float_range (-100.) 100.) (float_range (-100.) 100.)))
+    (fun points ->
+      let s = Ascii_plot.render ~width:30 ~height:8 [ series "q" points ] in
+      String.length s > 0)
+
+let prop_line_widths_consistent =
+  Helpers.qcheck "every plot row has the same width"
+    QCheck2.Gen.(list_size (int_range 1 10) (pair (float_range 0. 10.) (float_range 0. 10.)))
+    (fun points ->
+      let s = Ascii_plot.render ~width:24 ~height:6 [ series "w" points ] in
+      let plot_rows =
+        String.split_on_char '\n' s |> List.filter (fun l -> Helpers.contains l "|")
+      in
+      let widths = List.map String.length plot_rows in
+      match widths with [] -> false | w :: rest -> List.for_all (( = ) w) rest)
+
+let () =
+  Helpers.run "ascii_plot"
+    [ ( "ascii_plot",
+        [ Alcotest.test_case "renders points" `Quick test_renders_points;
+          Alcotest.test_case "multiple series" `Quick test_multiple_series_glyphs;
+          Alcotest.test_case "degenerate range" `Quick test_degenerate_range;
+          Alcotest.test_case "orientation" `Quick test_monotone_series_orientation;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "of_table" `Quick test_of_table;
+          Alcotest.test_case "of_table errors" `Quick test_of_table_errors;
+          prop_never_raises_on_data;
+          prop_line_widths_consistent ] ) ]

@@ -1,0 +1,155 @@
+open Plookup
+open Plookup_store
+module Engine = Plookup_sim.Engine
+module Net = Plookup_net.Net
+
+(* Hand-built cluster with per-server entry lists and a plain lookup
+   handler, mirroring test_probe. *)
+let manual_cluster ~n placement =
+  let cluster = Cluster.create ~seed:19 ~n () in
+  List.iteri
+    (fun server ids ->
+      List.iter
+        (fun i -> ignore (Server_store.add (Cluster.store cluster server) (Entry.v i)))
+        ids)
+    placement;
+  Net.set_handler (Cluster.net cluster) (fun dst _src msg ->
+      match (msg : Msg.t) with
+      | Msg.Lookup t ->
+        Msg.Entries
+          (Server_store.random_pick (Cluster.store cluster dst) (Cluster.rng cluster) t)
+      | _ -> Msg.Ack);
+  cluster
+
+let run_lookup ?wave ?(timeout = 100.) ?(latency = fun () -> 10.) ~order ~t cluster =
+  let engine = Engine.create () in
+  let outcome = ref None in
+  Async_client.lookup cluster engine ~latency ~timeout ~order ?wave ~t (fun o ->
+      outcome := Some o);
+  ignore (Engine.run engine);
+  match !outcome with Some o -> o | None -> Alcotest.fail "lookup never completed"
+
+let test_sequential_latency_is_sum () =
+  (* Two disjoint servers needed for t=4; sequential: 2 round trips of
+     2 x 10ms each. *)
+  let cluster = manual_cluster ~n:3 [ [ 0; 1 ]; [ 2; 3 ]; [ 4 ] ] in
+  let o = run_lookup ~order:[ 0; 1; 2 ] ~t:4 cluster in
+  Alcotest.(check bool) "satisfied" true (Lookup_result.satisfied o.Async_client.result);
+  Helpers.check_int "two contacts" 2 o.Async_client.result.Lookup_result.servers_contacted;
+  Helpers.close "40ms = 2 sequential round trips" 40. (Async_client.elapsed o)
+
+let test_parallel_wave_latency_is_max () =
+  let cluster = manual_cluster ~n:3 [ [ 0; 1 ]; [ 2; 3 ]; [ 4 ] ] in
+  let o = run_lookup ~wave:2 ~order:[ 0; 1; 2 ] ~t:4 cluster in
+  Helpers.check_int "two contacts" 2 o.Async_client.result.Lookup_result.servers_contacted;
+  Helpers.close "20ms = 1 concurrent round trip" 20. (Async_client.elapsed o)
+
+let test_timeout_masks_failure () =
+  (* Server 0 is down: its contact times out after 50ms, then server 1
+     answers in 20ms. *)
+  let cluster = manual_cluster ~n:2 [ [ 0; 1 ]; [ 0; 1 ] ] in
+  Cluster.fail cluster 0;
+  let o = run_lookup ~timeout:50. ~order:[ 0; 1 ] ~t:2 cluster in
+  Alcotest.(check bool) "satisfied despite failure" true
+    (Lookup_result.satisfied o.Async_client.result);
+  Helpers.check_int "one timeout" 1 o.Async_client.timeouts;
+  Helpers.close "70ms = timeout + retry round trip" 70. (Async_client.elapsed o)
+
+let test_exhausted_order_reports_short () =
+  let cluster = manual_cluster ~n:2 [ [ 0 ]; [ 0 ] ] in
+  let o = run_lookup ~order:[ 0; 1 ] ~t:5 cluster in
+  Alcotest.(check bool) "unsatisfied" false (Lookup_result.satisfied o.Async_client.result);
+  Helpers.check_int "found the one distinct entry" 1
+    (Lookup_result.count o.Async_client.result)
+
+let test_stops_as_soon_as_satisfied () =
+  let cluster = manual_cluster ~n:3 [ [ 0; 1; 2 ]; [ 3 ]; [ 4 ] ] in
+  let o = run_lookup ~order:[ 0; 1; 2 ] ~t:3 cluster in
+  Helpers.check_int "first server sufficed" 1
+    o.Async_client.result.Lookup_result.servers_contacted;
+  Helpers.close "one round trip" 20. (Async_client.elapsed o)
+
+let test_truncates_to_target () =
+  let cluster = manual_cluster ~n:2 [ [ 0; 1; 2; 3 ]; [ 4; 5; 6; 7 ] ] in
+  let o = run_lookup ~wave:2 ~order:[ 0; 1 ] ~t:5 cluster in
+  Helpers.check_int "exactly t" 5 (Lookup_result.count o.Async_client.result)
+
+let test_callback_fires_once () =
+  let cluster = manual_cluster ~n:3 [ [ 0 ]; [ 1 ]; [ 2 ] ] in
+  let engine = Engine.create () in
+  let calls = ref 0 in
+  Async_client.lookup cluster engine
+    ~latency:(fun () -> 5.)
+    ~timeout:100. ~order:[ 0; 1; 2 ] ~wave:3 ~t:2
+    (fun _ -> incr calls);
+  ignore (Engine.run engine);
+  Helpers.check_int "exactly one completion" 1 !calls
+
+let test_late_reply_dropped () =
+  (* Latency above the timeout: the reply arrives after the client gave
+     up on that contact; it must not double-complete or corrupt state. *)
+  let cluster = manual_cluster ~n:2 [ [ 0; 1 ]; [ 0; 1 ] ] in
+  (* Draw order is chronological: request to server 0 at t=0 (40ms,
+     outliving the 30ms timeout), request to server 1 at t=30 (5ms), its
+     reply at t=35 (5ms, arriving t=40), then server 0's late reply. *)
+  let latencies = ref [ 40.; 5.; 5.; 5. ] in
+  let latency () =
+    match !latencies with
+    | l :: rest ->
+      latencies := rest;
+      l
+    | [] -> 5.
+  in
+  let o = run_lookup ~timeout:30. ~latency ~order:[ 0; 1 ] ~t:2 cluster in
+  Alcotest.(check bool) "eventually satisfied" true
+    (Lookup_result.satisfied o.Async_client.result);
+  Helpers.check_int "first contact timed out" 1 o.Async_client.timeouts
+
+let test_random_order_visits_everyone_if_needed () =
+  let cluster = manual_cluster ~n:4 [ [ 0 ]; [ 1 ]; [ 2 ]; [ 3 ] ] in
+  let engine = Engine.create () in
+  let outcome = ref None in
+  Async_client.lookup_random_order cluster engine
+    ~latency:(fun () -> 1.)
+    ~timeout:50. ~t:4
+    (fun o -> outcome := Some o);
+  ignore (Engine.run engine);
+  match !outcome with
+  | Some o ->
+    Helpers.check_int "all four" 4 o.Async_client.result.Lookup_result.servers_contacted
+  | None -> Alcotest.fail "never completed"
+
+let test_validation () =
+  let cluster = manual_cluster ~n:1 [ [ 0 ] ] in
+  let engine = Engine.create () in
+  Alcotest.check_raises "t = 0" (Invalid_argument "Async_client.lookup: t must be positive")
+    (fun () ->
+      Async_client.lookup cluster engine
+        ~latency:(fun () -> 1.)
+        ~timeout:1. ~order:[ 0 ] ~t:0 ignore)
+
+let prop_async_agrees_with_sync_on_answers =
+  Helpers.qcheck ~count:60 "async lookups return live distinct entries, at most t"
+    QCheck2.Gen.(triple (int_range 1 10) (int_range 1 3) int)
+    (fun (t, wave, _seed) ->
+      let cluster = manual_cluster ~n:3 [ [ 0; 1; 2 ]; [ 3; 4; 5 ]; [ 6; 7 ] ] in
+      let o = run_lookup ~wave ~order:[ 0; 1; 2 ] ~t cluster in
+      let ids = Helpers.sorted_ids o.Async_client.result.Lookup_result.entries in
+      List.length ids <= t
+      && List.length (List.sort_uniq compare ids) = List.length ids
+      && List.for_all (fun id -> id >= 0 && id <= 7) ids)
+
+let () =
+  Helpers.run "async_client"
+    [ ( "async_client",
+        [ Alcotest.test_case "sequential sum" `Quick test_sequential_latency_is_sum;
+          Alcotest.test_case "parallel max" `Quick test_parallel_wave_latency_is_max;
+          Alcotest.test_case "timeout masking" `Quick test_timeout_masks_failure;
+          Alcotest.test_case "exhausted order" `Quick test_exhausted_order_reports_short;
+          Alcotest.test_case "stops when satisfied" `Quick test_stops_as_soon_as_satisfied;
+          Alcotest.test_case "truncates" `Quick test_truncates_to_target;
+          Alcotest.test_case "fires once" `Quick test_callback_fires_once;
+          Alcotest.test_case "late reply dropped" `Quick test_late_reply_dropped;
+          Alcotest.test_case "random order" `Quick test_random_order_visits_everyone_if_needed;
+          Alcotest.test_case "validation" `Quick test_validation;
+          prop_async_agrees_with_sync_on_answers ] ) ]

@@ -1,0 +1,149 @@
+open Plookup
+open Plookup_store
+
+let roundtrip msg =
+  match Codec.decode (Codec.encode msg) with
+  | Ok decoded -> decoded
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let check_msg expected =
+  let got = roundtrip expected in
+  if got <> expected then
+    Alcotest.failf "roundtrip changed %s into %s"
+      (Format.asprintf "%a" Msg.pp expected)
+      (Format.asprintf "%a" Msg.pp got)
+
+let test_message_roundtrips () =
+  List.iter check_msg
+    [ Msg.Place [];
+      Msg.Place [ Entry.v 0; Entry.v ~payload:"10.0.0.1:8080" 1; Entry.v 300 ];
+      Msg.Add (Entry.v 5);
+      Msg.Add (Entry.v ~payload:"" 5);
+      Msg.Delete (Entry.v 123456789);
+      Msg.Lookup 0;
+      Msg.Lookup 35;
+      Msg.Lookup 1_000_000;
+      Msg.Store (Entry.v ~payload:"x" 1);
+      Msg.Store_batch [ Entry.v 1; Entry.v 2 ];
+      Msg.Remove (Entry.v 9);
+      Msg.Add_sampled (Entry.v 77);
+      Msg.Remove_counted (Entry.v 78);
+      Msg.Fetch_candidate [];
+      Msg.Fetch_candidate [ 1; 2; 3; 1000 ];
+      Msg.Sync_add (Entry.v ~payload:"replica" 3);
+      Msg.Sync_delete (Entry.v 4);
+      Msg.Sync_state ]
+
+let test_reply_roundtrips () =
+  List.iter
+    (fun reply ->
+      match Codec.decode_reply (Codec.encode_reply reply) with
+      | Ok got when got = reply -> ()
+      | Ok _ -> Alcotest.fail "reply roundtrip changed value"
+      | Error e -> Alcotest.failf "reply decode failed: %s" e)
+    [ Msg.Ack;
+      Msg.Entries [];
+      Msg.Entries [ Entry.v 4; Entry.v ~payload:"host" 5 ];
+      Msg.Candidate None;
+      Msg.Candidate (Some (Entry.v 1)) ]
+
+let test_empty_vs_absent_payload () =
+  (match roundtrip (Msg.Add (Entry.v 1)) with
+  | Msg.Add e -> Alcotest.(check (option string)) "absent stays absent" None (Entry.payload e)
+  | _ -> Alcotest.fail "wrong constructor");
+  match roundtrip (Msg.Add (Entry.v ~payload:"" 1)) with
+  | Msg.Add e ->
+    Alcotest.(check (option string)) "empty stays empty" (Some "") (Entry.payload e)
+  | _ -> Alcotest.fail "wrong constructor"
+
+let test_malformed_inputs () =
+  List.iter
+    (fun s ->
+      match Codec.decode s with
+      | Error _ -> ()
+      | Ok msg -> Alcotest.failf "accepted garbage as %s" (Format.asprintf "%a" Msg.pp msg))
+    [ ""; "\xff"; "\x04" (* lookup with no varint *); "\x01\xff" (* truncated count *);
+      "\x01\x02\x01\x00" (* count 2, one entry *);
+      "\x02\x01\x05abc" (* payload shorter than declared *) ]
+
+let test_trailing_bytes_rejected () =
+  let good = Codec.encode (Msg.Lookup 3) in
+  match Codec.decode (good ^ "x") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted trailing bytes"
+
+let test_framing () =
+  let bodies = [ "hello"; ""; Codec.encode (Msg.Lookup 9) ] in
+  let stream = String.concat "" (List.map Codec.frame bodies) in
+  let rec read pos acc =
+    if pos = String.length stream then List.rev acc
+    else
+      match Codec.unframe stream ~pos with
+      | Ok (body, pos) -> read pos (body :: acc)
+      | Error e -> Alcotest.failf "unframe: %s" e
+  in
+  Alcotest.(check (list string)) "framed stream roundtrips" bodies (read 0 [])
+
+let test_unframe_truncated () =
+  (match Codec.unframe "\x02\x00" ~pos:0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted truncated header");
+  match Codec.unframe "\x05\x00\x00\x00abc" ~pos:0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted truncated body"
+
+let gen_entry =
+  QCheck2.Gen.(
+    map2
+      (fun id payload -> Entry.v ?payload id)
+      (int_range 0 1_000_000)
+      (option (string_size ~gen:printable (int_range 0 30))))
+
+let gen_msg =
+  QCheck2.Gen.(
+    oneof
+      [ map (fun es -> Msg.Place es) (list_size (int_range 0 20) gen_entry);
+        map (fun e -> Msg.Add e) gen_entry;
+        map (fun e -> Msg.Delete e) gen_entry;
+        map (fun t -> Msg.Lookup t) (int_range 0 10_000);
+        map (fun e -> Msg.Store e) gen_entry;
+        map (fun es -> Msg.Store_batch es) (list_size (int_range 0 20) gen_entry);
+        map (fun e -> Msg.Remove e) gen_entry;
+        map (fun e -> Msg.Add_sampled e) gen_entry;
+        map (fun e -> Msg.Remove_counted e) gen_entry;
+        map (fun ids -> Msg.Fetch_candidate ids) (list_size (int_range 0 20) (int_range 0 5000));
+        map (fun e -> Msg.Sync_add e) gen_entry;
+        map (fun e -> Msg.Sync_delete e) gen_entry;
+        return Msg.Sync_state ])
+
+let prop_roundtrip =
+  Helpers.qcheck ~count:500 "decode . encode = id" gen_msg (fun msg ->
+      Codec.decode (Codec.encode msg) = Ok msg)
+
+let prop_decode_never_raises =
+  Helpers.qcheck ~count:500 "decode is total on arbitrary bytes"
+    QCheck2.Gen.(string_size ~gen:char (int_range 0 50))
+    (fun s ->
+      match Codec.decode s with Ok _ | Error _ -> true)
+
+let prop_framed_roundtrip =
+  Helpers.qcheck ~count:200 "unframe . frame = id"
+    QCheck2.Gen.(string_size ~gen:char (int_range 0 100))
+    (fun body ->
+      match Codec.unframe (Codec.frame body) ~pos:0 with
+      | Ok (decoded, pos) -> decoded = body && pos = String.length body + 4
+      | Error _ -> false)
+
+let () =
+  Helpers.run "codec"
+    [ ( "codec",
+        [ Alcotest.test_case "message roundtrips" `Quick test_message_roundtrips;
+          Alcotest.test_case "reply roundtrips" `Quick test_reply_roundtrips;
+          Alcotest.test_case "empty vs absent payload" `Quick test_empty_vs_absent_payload;
+          Alcotest.test_case "malformed inputs" `Quick test_malformed_inputs;
+          Alcotest.test_case "trailing bytes" `Quick test_trailing_bytes_rejected;
+          Alcotest.test_case "framing" `Quick test_framing;
+          Alcotest.test_case "unframe truncated" `Quick test_unframe_truncated;
+          prop_roundtrip;
+          prop_decode_never_raises;
+          prop_framed_roundtrip ] ) ]

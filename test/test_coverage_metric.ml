@@ -1,0 +1,79 @@
+open Plookup
+module Coverage = Plookup_metrics.Coverage
+module Analytic = Plookup_metrics.Analytic
+
+let test_complete_for_full_and_round () =
+  List.iter
+    (fun config ->
+      let service, _ = Helpers.placed_service ~n:10 ~h:100 config in
+      Helpers.check_int (Service.config_name config) 100
+        (Coverage.measured (Service.cluster service)))
+    [ Service.Full_replication; Service.Round_robin 1; Service.Round_robin 2;
+      Service.Hash 1; Service.Hash 3 ]
+
+let test_fixed_coverage_is_x () =
+  let service, _ = Helpers.placed_service ~n:10 ~h:100 (Service.Fixed 20) in
+  Helpers.check_int "x" 20 (Coverage.measured (Service.cluster service))
+
+let test_failure_reduces_coverage () =
+  let service, _ = Helpers.placed_service ~n:4 ~h:8 (Service.Round_robin 1) in
+  let cluster = Service.cluster service in
+  Helpers.check_int "intact" 8 (Coverage.measured cluster);
+  Cluster.fail cluster 0;
+  Helpers.check_int "entries on server 0 lost" 6 (Coverage.measured cluster);
+  Cluster.recover cluster 0;
+  Helpers.check_int "recovered" 8 (Coverage.measured cluster)
+
+let test_random_server_matches_formula () =
+  let mean, _ =
+    Coverage.measured_over_instances ~seed:5 ~n:10 ~entries:100
+      ~config:(Service.Random_server 20) ~runs:300 ()
+  in
+  Helpers.roughly ~rel:0.02 "measured ~ h(1-(1-x/h)^n)"
+    (Analytic.coverage_random_server ~n:10 ~h:100 ~x:20)
+    mean
+
+let test_budget_coverage () =
+  List.iter
+    (fun budget ->
+      let mean, _ =
+        Coverage.measured_over_instances ~seed:3 ~n:10 ~entries:100
+          ~config:(Service.Round_robin 2) ~budget ~runs:5 ()
+      in
+      Helpers.close
+        (Printf.sprintf "round budget %d" budget)
+        (Analytic.coverage_with_budget ~h:100 ~total_storage:budget)
+        mean)
+    [ 10; 50; 100; 150; 200 ]
+
+let test_hash_budget_coverage_matches_round () =
+  (* Fig 6 plots Round and Hash as one curve; check Hash agrees. *)
+  List.iter
+    (fun budget ->
+      let mean, _ =
+        Coverage.measured_over_instances ~seed:3 ~n:10 ~entries:100
+          ~config:(Service.Hash 2) ~budget ~runs:5 ()
+      in
+      Helpers.close
+        (Printf.sprintf "hash budget %d" budget)
+        (Analytic.coverage_with_budget ~h:100 ~total_storage:budget)
+        mean)
+    [ 10; 50; 100; 150; 200 ]
+
+let prop_coverage_bounded_by_h =
+  Helpers.qcheck "coverage never exceeds the number of live entries"
+    QCheck2.Gen.(pair (int_range 1 30) (int_range 1 4))
+    (fun (h, y) ->
+      let service, _ = Helpers.placed_service ~n:6 ~h (Service.Hash y) in
+      Coverage.measured (Service.cluster service) <= h)
+
+let () =
+  Helpers.run "coverage_metric"
+    [ ( "coverage",
+        [ Alcotest.test_case "complete strategies" `Quick test_complete_for_full_and_round;
+          Alcotest.test_case "fixed = x" `Quick test_fixed_coverage_is_x;
+          Alcotest.test_case "failures reduce" `Quick test_failure_reduces_coverage;
+          Alcotest.test_case "randomserver formula" `Slow test_random_server_matches_formula;
+          Alcotest.test_case "round budget" `Quick test_budget_coverage;
+          Alcotest.test_case "hash budget" `Quick test_hash_budget_coverage_matches_round;
+          prop_coverage_bounded_by_h ] ) ]

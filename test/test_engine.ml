@@ -1,0 +1,126 @@
+open Plookup_sim
+
+let test_clock_starts_at_zero () =
+  let e = Engine.create () in
+  Helpers.close "initial now" 0. (Engine.now e)
+
+let test_fires_in_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let record tag engine = log := (tag, Engine.now engine) :: !log in
+  ignore (Engine.schedule_at e ~time:3. (record "c"));
+  ignore (Engine.schedule_at e ~time:1. (record "a"));
+  ignore (Engine.schedule_at e ~time:2. (record "b"));
+  let fired = Engine.run e in
+  Helpers.check_int "fired" 3 fired;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev_map fst !log);
+  Helpers.close "clock at last event" 3. (Engine.now e)
+
+let test_schedule_after () =
+  let e = Engine.create () in
+  let seen = ref [] in
+  ignore
+    (Engine.schedule_at e ~time:5. (fun engine ->
+         ignore
+           (Engine.schedule_after engine ~delay:2.5 (fun engine ->
+                seen := Engine.now engine :: !seen))));
+  ignore (Engine.run e);
+  Alcotest.(check (list (float 1e-9))) "nested fire time" [ 7.5 ] !seen
+
+let test_past_scheduling_rejected () =
+  let e = Engine.create () in
+  ignore (Engine.schedule_at e ~time:10. (fun _ -> ()));
+  ignore (Engine.run e);
+  Alcotest.check_raises "past" (Invalid_argument "Engine.schedule_at: time is in the past")
+    (fun () -> ignore (Engine.schedule_at e ~time:5. (fun _ -> ())));
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule_after: negative delay") (fun () ->
+      ignore (Engine.schedule_after e ~delay:(-1.) (fun _ -> ())))
+
+let test_cancel () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  let id1 = Engine.schedule_at e ~time:1. (fun _ -> fired := 1 :: !fired) in
+  ignore (Engine.schedule_at e ~time:2. (fun _ -> fired := 2 :: !fired));
+  Engine.cancel e id1;
+  Engine.cancel e id1 (* double cancel is a no-op *);
+  Helpers.check_int "pending after cancel" 1 (Engine.pending e);
+  ignore (Engine.run e);
+  Alcotest.(check (list int)) "only 2 fired" [ 2 ] !fired
+
+let test_run_until () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  List.iter
+    (fun t -> ignore (Engine.schedule_at e ~time:t (fun _ -> incr fired)))
+    [ 1.; 2.; 3.; 10. ];
+  let n = Engine.run ~until:5. e in
+  Helpers.check_int "fired before horizon" 3 n;
+  Helpers.close "clock advanced to horizon" 5. (Engine.now e);
+  Helpers.check_int "one pending" 1 (Engine.pending e);
+  ignore (Engine.run e);
+  Helpers.check_int "rest fired" 4 !fired
+
+let test_run_max_events () =
+  let e = Engine.create () in
+  List.iter (fun t -> ignore (Engine.schedule_at e ~time:t (fun _ -> ()))) [ 1.; 2.; 3. ];
+  Helpers.check_int "capped" 2 (Engine.run ~max_events:2 e);
+  Helpers.check_int "remaining" 1 (Engine.pending e)
+
+let test_step () =
+  let e = Engine.create () in
+  Alcotest.(check bool) "step on empty" false (Engine.step e);
+  ignore (Engine.schedule_at e ~time:1. (fun _ -> ()));
+  Alcotest.(check bool) "step fires" true (Engine.step e);
+  Alcotest.(check bool) "empty again" false (Engine.step e)
+
+let test_reset () =
+  let e = Engine.create () in
+  ignore (Engine.schedule_at e ~time:4. (fun _ -> Alcotest.fail "should not fire"));
+  ignore (Engine.run ~until:1. e);
+  Engine.reset e;
+  Helpers.close "clock rewound" 0. (Engine.now e);
+  Helpers.check_int "no pending" 0 (Engine.pending e);
+  Helpers.check_int "nothing fires" 0 (Engine.run e)
+
+let test_self_perpetuating_with_cap () =
+  (* An event that reschedules itself: max_events must stop it. *)
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec tick engine =
+    incr count;
+    ignore (Engine.schedule_after engine ~delay:1. tick)
+  in
+  ignore (Engine.schedule_at e ~time:0. tick);
+  let fired = Engine.run ~max_events:50 e in
+  Helpers.check_int "capped self-scheduler" 50 fired;
+  Helpers.check_int "ticked" 50 !count
+
+let prop_events_fire_in_time_order =
+  Helpers.qcheck ~count:100 "events fire in non-decreasing time order"
+    QCheck2.Gen.(list_size (int_range 0 60) (float_range 0. 100.))
+    (fun times ->
+      let e = Engine.create () in
+      let log = ref [] in
+      List.iter
+        (fun t ->
+          ignore (Engine.schedule_at e ~time:t (fun eng -> log := Engine.now eng :: !log)))
+        times;
+      ignore (Engine.run e);
+      let fired = List.rev !log in
+      fired = List.sort compare times)
+
+let () =
+  Helpers.run "engine"
+    [ ( "engine",
+        [ Alcotest.test_case "clock zero" `Quick test_clock_starts_at_zero;
+          Alcotest.test_case "fires in order" `Quick test_fires_in_order;
+          Alcotest.test_case "schedule_after nesting" `Quick test_schedule_after;
+          Alcotest.test_case "past rejected" `Quick test_past_scheduling_rejected;
+          Alcotest.test_case "cancel" `Quick test_cancel;
+          Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "run max_events" `Quick test_run_max_events;
+          Alcotest.test_case "step" `Quick test_step;
+          Alcotest.test_case "reset" `Quick test_reset;
+          Alcotest.test_case "self-perpetuating" `Quick test_self_perpetuating_with_cap;
+          prop_events_fire_in_time_order ] ) ]

@@ -1,0 +1,89 @@
+open Plookup_store
+
+let test_identity () =
+  let a = Entry.v 3 and b = Entry.v ~payload:"song.mp3" 3 and c = Entry.v 4 in
+  Alcotest.(check bool) "equal ignores payload" true (Entry.equal a b);
+  Alcotest.(check bool) "different ids" false (Entry.equal a c);
+  Helpers.check_int "compare" 0 (Entry.compare a b);
+  Alcotest.(check bool) "ordering" true (Entry.compare a c < 0);
+  Helpers.check_int "hash = id" 3 (Entry.hash a)
+
+let test_accessors () =
+  let e = Entry.v ~payload:"10.0.0.1" 9 in
+  Helpers.check_int "id" 9 (Entry.id e);
+  Alcotest.(check (option string)) "payload" (Some "10.0.0.1") (Entry.payload e);
+  Alcotest.(check (option string)) "no payload" None (Entry.payload (Entry.v 1))
+
+let test_negative_id_rejected () =
+  Alcotest.check_raises "negative" (Invalid_argument "Entry.v: negative id") (fun () ->
+      ignore (Entry.v (-1)))
+
+let test_to_string () =
+  Helpers.check_string "plain" "v5" (Entry.to_string (Entry.v 5));
+  Helpers.check_string "payload" "v5(x)" (Entry.to_string (Entry.v ~payload:"x" 5))
+
+let test_gen_fresh_ids () =
+  let g = Entry.Gen.create () in
+  let a = Entry.Gen.fresh g and b = Entry.Gen.fresh g in
+  Helpers.check_int "first id" 0 (Entry.id a);
+  Helpers.check_int "second id" 1 (Entry.id b);
+  Helpers.check_int "next_id" 2 (Entry.Gen.next_id g)
+
+let test_gen_batch () =
+  let g = Entry.Gen.create () in
+  let batch = Entry.Gen.batch g 5 in
+  Alcotest.(check (list int)) "dense ids" [ 0; 1; 2; 3; 4 ] (List.map Entry.id batch);
+  Helpers.check_int "generator advanced" 5 (Entry.Gen.next_id g)
+
+let test_independent_generators () =
+  let g1 = Entry.Gen.create () and g2 = Entry.Gen.create () in
+  ignore (Entry.Gen.fresh g1);
+  Helpers.check_int "g2 unaffected" 0 (Entry.Gen.next_id g2)
+
+let test_set_and_map () =
+  let s = Entry.Set.of_list [ Entry.v 1; Entry.v 2; Entry.v 1 ] in
+  Helpers.check_int "set dedups" 2 (Entry.Set.cardinal s);
+  let m = Entry.Map.singleton (Entry.v 7) "location" in
+  Alcotest.(check (option string)) "map lookup" (Some "location")
+    (Entry.Map.find_opt (Entry.v ~payload:"other" 7) m)
+
+let test_dedup () =
+  let l = [ Entry.v 1; Entry.v 2; Entry.v 1; Entry.v 3; Entry.v 2 ] in
+  Alcotest.(check (list int)) "order-preserving dedup" [ 1; 2; 3 ]
+    (List.map Entry.id (Entry.dedup l));
+  Alcotest.(check (list int)) "dedup empty" [] (List.map Entry.id (Entry.dedup []))
+
+let prop_dedup_idempotent =
+  Helpers.qcheck "dedup is idempotent"
+    QCheck2.Gen.(list (int_range 0 20))
+    (fun ids ->
+      let l = List.map Entry.v ids in
+      let once = Entry.dedup l in
+      Entry.dedup once = once)
+
+let prop_dedup_preserves_first_occurrence =
+  Helpers.qcheck "dedup keeps ids in first-seen order"
+    QCheck2.Gen.(list (int_range 0 10))
+    (fun ids ->
+      let l = List.map Entry.v ids in
+      let deduped = List.map Entry.id (Entry.dedup l) in
+      let expected =
+        List.fold_left (fun acc i -> if List.mem i acc then acc else i :: acc) [] ids
+        |> List.rev
+      in
+      deduped = expected)
+
+let () =
+  Helpers.run "entry"
+    [ ( "entry",
+        [ Alcotest.test_case "identity" `Quick test_identity;
+          Alcotest.test_case "accessors" `Quick test_accessors;
+          Alcotest.test_case "negative id" `Quick test_negative_id_rejected;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+          Alcotest.test_case "gen fresh" `Quick test_gen_fresh_ids;
+          Alcotest.test_case "gen batch" `Quick test_gen_batch;
+          Alcotest.test_case "independent gens" `Quick test_independent_generators;
+          Alcotest.test_case "set/map" `Quick test_set_and_map;
+          Alcotest.test_case "dedup" `Quick test_dedup;
+          prop_dedup_idempotent;
+          prop_dedup_preserves_first_occurrence ] ) ]

@@ -1,0 +1,88 @@
+open Plookup_sim
+
+let test_empty () =
+  let q = Event_queue.create () in
+  Helpers.check_int "length" 0 (Event_queue.length q);
+  Alcotest.(check bool) "is_empty" true (Event_queue.is_empty q);
+  Alcotest.(check bool) "pop none" true (Event_queue.pop q = None);
+  Alcotest.(check bool) "peek none" true (Event_queue.peek q = None)
+
+let test_ordering () =
+  let q = Event_queue.create () in
+  List.iter (fun (t, v) -> Event_queue.push q ~time:t v)
+    [ (3., "c"); (1., "a"); (2., "b"); (0.5, "z") ];
+  let order = List.map snd (Event_queue.drain q) in
+  Alcotest.(check (list string)) "sorted by time" [ "z"; "a"; "b"; "c" ] order
+
+let test_fifo_ties () =
+  let q = Event_queue.create () in
+  List.iter (fun v -> Event_queue.push q ~time:5. v) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check (list int)) "ties in insertion order" [ 1; 2; 3; 4; 5 ]
+    (List.map snd (Event_queue.drain q))
+
+let test_peek_does_not_remove () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:1. "x";
+  Alcotest.(check bool) "peek" true (Event_queue.peek q = Some (1., "x"));
+  Helpers.check_int "still there" 1 (Event_queue.length q)
+
+let test_interleaved_push_pop () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:10. "late";
+  Event_queue.push q ~time:1. "early";
+  Alcotest.(check bool) "pop early" true (Event_queue.pop q = Some (1., "early"));
+  Event_queue.push q ~time:5. "middle";
+  Alcotest.(check bool) "pop middle" true (Event_queue.pop q = Some (5., "middle"));
+  Alcotest.(check bool) "pop late" true (Event_queue.pop q = Some (10., "late"))
+
+let test_clear () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:1. 1;
+  Event_queue.clear q;
+  Alcotest.(check bool) "cleared" true (Event_queue.is_empty q)
+
+let test_grows () =
+  let q = Event_queue.create () in
+  for i = 999 downto 0 do
+    Event_queue.push q ~time:(float_of_int i) i
+  done;
+  Helpers.check_int "length" 1000 (Event_queue.length q);
+  Alcotest.(check (list int)) "drains in order" (List.init 1000 Fun.id)
+    (List.map snd (Event_queue.drain q))
+
+let prop_drain_sorted =
+  Helpers.qcheck ~count:300 "drain yields non-decreasing times"
+    QCheck2.Gen.(list (float_range 0. 1000.))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun t -> Event_queue.push q ~time:t ()) times;
+      let drained = List.map fst (Event_queue.drain q) in
+      drained = List.sort compare times)
+
+let prop_stable_for_equal_times =
+  Helpers.qcheck "equal times preserve insertion order"
+    QCheck2.Gen.(list_size (int_range 0 50) (int_range 0 3))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iteri (fun i t -> Event_queue.push q ~time:(float_of_int t) i) times;
+      let drained = Event_queue.drain q in
+      (* For every pair with equal time, sequence must be increasing. *)
+      let rec check = function
+        | (t1, i1) :: ((t2, i2) :: _ as rest) ->
+          (t1 < t2 || (t1 = t2 && i1 < i2)) && check rest
+        | _ -> true
+      in
+      check drained)
+
+let () =
+  Helpers.run "event_queue"
+    [ ( "event_queue",
+        [ Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "ordering" `Quick test_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_fifo_ties;
+          Alcotest.test_case "peek" `Quick test_peek_does_not_remove;
+          Alcotest.test_case "interleaved" `Quick test_interleaved_push_pop;
+          Alcotest.test_case "clear" `Quick test_clear;
+          Alcotest.test_case "grows" `Quick test_grows;
+          prop_drain_sorted;
+          prop_stable_for_equal_times ] ) ]

@@ -1,0 +1,239 @@
+open Plookup_util
+module E = Plookup_experiments
+
+let tiny = E.Ctx.v ~seed:1 ~scale:0.05 ()
+
+let float_cell = function
+  | Table.F v | Table.F4 v -> v
+  | Table.I v -> float_of_int v
+  | Table.S s -> Alcotest.failf "expected numeric cell, got %S" s
+
+let column table name =
+  let idx =
+    match List.find_index (String.equal name) (Table.columns table) with
+    | Some i -> i
+    | None -> Alcotest.failf "no column %S" name
+  in
+  List.map (fun row -> float_cell (List.nth row idx)) (Table.rows table)
+
+let test_registry_complete () =
+  Alcotest.(check (list string)) "paper order plus extensions"
+    [ "table1"; "fig4"; "fig6"; "fig7"; "fig9"; "fig12"; "fig13"; "fig14"; "table2";
+      "hotspot"; "churn"; "latency" ]
+    (E.Registry.ids ())
+
+let test_registry_find () =
+  Alcotest.(check bool) "finds fig4" true (E.Registry.find "fig4" <> None);
+  Alcotest.(check bool) "rejects junk" true (E.Registry.find "fig99" = None)
+
+let test_every_experiment_runs () =
+  List.iter
+    (fun e ->
+      let table = e.E.Registry.run tiny in
+      if Table.rows table = [] then Alcotest.failf "%s produced no rows" e.E.Registry.id;
+      List.iter
+        (fun row ->
+          Helpers.check_int
+            (Printf.sprintf "%s row arity" e.E.Registry.id)
+            (List.length (Table.columns table))
+            (List.length row))
+        (Table.rows table))
+    E.Registry.all
+
+let test_table1_matches_formulas () =
+  let table = E.Exp_table1.run tiny in
+  List.iter
+    (fun row ->
+      match row with
+      | [ Table.S _; Table.S _; Table.F analytic; Table.F measured ] ->
+        (* Hash-y is stochastic; everyone else exact. *)
+        if Float.abs (analytic -. measured) > 12. then
+          Alcotest.failf "analytic %.1f vs measured %.1f" analytic measured
+      | _ -> Alcotest.fail "unexpected row shape")
+    (Table.rows table)
+
+let test_fig4_round_staircase () =
+  let table = E.Exp_fig4.run ~targets:[ 10; 20; 25; 40; 45 ] tiny in
+  Alcotest.(check (list (float 0.01))) "exact staircase" [ 1.; 1.; 2.; 2.; 3. ]
+    (column table "RoundRobin-2")
+
+let test_fig6_coverage_monotone () =
+  let table = E.Exp_fig6.run ~budgets:[ 20; 60; 100; 140; 200 ] tiny in
+  let check_monotone name =
+    let values = column table name in
+    let rec go = function
+      | a :: (b :: _ as rest) ->
+        if a > b +. 1e-6 then Alcotest.failf "%s not monotone" name else go rest
+      | _ -> ()
+    in
+    go values
+  in
+  List.iter check_monotone [ "Round&Hash"; "Fixed"; "RandomServer" ];
+  (* Round&Hash saturates at h from budget 100 onwards. *)
+  (match column table "Round&Hash" with
+  | [ _; _; c100; c140; c200 ] ->
+    Helpers.close "saturated at 100" 100. c100;
+    Helpers.close "saturated at 140" 100. c140;
+    Helpers.close "saturated at 200" 100. c200
+  | _ -> Alcotest.fail "unexpected rows")
+
+let test_fig7_orderings () =
+  let table = E.Exp_fig7.run ~targets:[ 20; 35; 50 ] tiny in
+  let random = column table "RandomServer-20" in
+  let hash = column table "Hash-2" in
+  List.iter2
+    (fun r h ->
+      if r +. 0.5 < h then Alcotest.failf "RandomServer (%f) should beat Hash (%f)" r h)
+    random hash;
+  (* Tolerance decreases with target size. *)
+  match random with
+  | [ a; _; c ] -> Alcotest.(check bool) "decreasing" true (a >= c)
+  | _ -> Alcotest.fail "rows"
+
+let test_fig9_shapes () =
+  let ctx = E.Ctx.v ~seed:1 ~scale:0.2 () in
+  let table = E.Exp_fig9.run ~budgets:[ 100; 500; 1000 ] ctx in
+  (match column table "RandomServer-x" with
+  | [ a; b; c ] ->
+    Alcotest.(check bool) "decays" true (a > b && b > c)
+  | _ -> Alcotest.fail "rows");
+  match column table "Hash-y" with
+  | [ a; b; _ ] -> Alcotest.(check bool) "hash rises first" true (b > a)
+  | _ -> Alcotest.fail "rows"
+
+let test_fig12_cushion_decay () =
+  let ctx = E.Ctx.v ~seed:1 ~scale:0.1 () in
+  let table = E.Exp_fig12.run ~cushions:[ 0; 3 ] ~updates:4000 ctx in
+  match column table "exp fail %" with
+  | [ b0; b3 ] ->
+    Alcotest.(check bool)
+      (Printf.sprintf "b=0 (%.3f%%) much worse than b=3 (%.3f%%)" b0 b3)
+      true
+      (b0 > (5. *. b3) +. 0.5)
+  | _ -> Alcotest.fail "rows"
+
+let test_fig13_deterioration () =
+  let ctx = E.Ctx.v ~seed:2 ~scale:0.3 () in
+  let table = E.Exp_fig13.run ~checkpoints:[ 0; 2000 ] ctx in
+  (match column table "RandomServer-x" with
+  | [ start; late ] ->
+    Alcotest.(check bool)
+      (Printf.sprintf "unfairness rises (%.2f -> %.2f)" start late)
+      true (late > start)
+  | _ -> Alcotest.fail "rows");
+  match column table "Fixed-x (ref)" with
+  | [ _; late ] -> Helpers.roughly ~rel:0.15 "paper's Fixed-x = 2" 2. late
+  | _ -> Alcotest.fail "rows"
+
+let test_fig14_crossover () =
+  let ctx = E.Ctx.v ~seed:1 ~scale:0.2 () in
+  let table = E.Exp_fig14.run ~entry_counts:[ 100; 300; 400 ] ~updates:5000 ctx in
+  let fixed = column table "Fixed-x msgs" in
+  let hash = column table "Hash-y msgs" in
+  (match (fixed, hash) with
+  | [ f100; f300; _ ], [ h100; h300; _ ] ->
+    Alcotest.(check bool) "hash cheaper at h=100" true (h100 < f100);
+    Alcotest.(check bool) "fixed cheaper at h=300" true (f300 < h300)
+  | _ -> Alcotest.fail "rows");
+  (* Fixed-x cost strictly decreasing in h. *)
+  match fixed with
+  | [ a; b; c ] -> Alcotest.(check bool) "1/h shape" true (a > b && b > c)
+  | _ -> Alcotest.fail "rows"
+
+let test_table2_scorecard () =
+  let table = E.Exp_table2.run tiny in
+  Helpers.check_int "five strategies" 5 (List.length (Table.rows table));
+  (* Full replication row: max storage, complete coverage, cost 1. *)
+  match Table.rows table with
+  | first :: _ -> (
+    match first with
+    | [ Table.S name; Table.I storage; Table.F coverage; _; Table.F cost; _; _ ] ->
+      Helpers.check_string "name" "FullReplication" name;
+      Helpers.check_int "storage h*n" 1000 storage;
+      Helpers.close "coverage" 100. coverage;
+      Helpers.close "cost" 1. cost
+    | _ -> Alcotest.fail "row shape")
+  | [] -> Alcotest.fail "no rows"
+
+let test_derived_stars () =
+  let _, derived = E.Exp_table2.run_full tiny in
+  Helpers.check_int "four partial strategies" 4 (List.length (Table.rows derived));
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i > 0 then begin
+            match cell with
+            | Table.S stars ->
+              let k = String.length stars in
+              if k < 1 || k > 4 || String.exists (fun c -> c <> '*') stars then
+                Alcotest.failf "bad star cell %S" stars
+            | _ -> Alcotest.fail "expected star cell"
+          end)
+        row)
+    (Table.rows derived)
+
+let test_paper_stars_table () =
+  let t = E.Exp_table2.paper_stars in
+  Helpers.check_int "four strategies" 4 (List.length (Table.rows t));
+  Helpers.check_int "ten columns" 10 (List.length (Table.columns t))
+
+let test_hotspot_partitioning_is_worse () =
+  let ctx = E.Ctx.v ~seed:3 ~scale:0.2 () in
+  let table = E.Exp_hotspot.run ctx in
+  match column table "peak/avg load" with
+  | partitioned :: partials ->
+    List.iter
+      (fun p ->
+        Alcotest.(check bool)
+          (Printf.sprintf "partitioned (%.2f) hotter than partial (%.2f)" partitioned p)
+          true
+          (partitioned > 1.5 *. p))
+      partials
+  | [] -> Alcotest.fail "no rows"
+
+let test_churn_replication_wins () =
+  let ctx = E.Ctx.v ~seed:3 ~scale:0.4 () in
+  let table = E.Exp_churn.run ctx in
+  match column table "success %" with
+  | full :: rest ->
+    Alcotest.(check bool) "full replication nearly always succeeds" true (full > 99.);
+    List.iter
+      (fun s -> Alcotest.(check bool) "everyone mostly available" true (s > 80.))
+      rest
+  | [] -> Alcotest.fail "no rows"
+
+let test_ctx_scaling () =
+  let ctx = E.Ctx.v ~seed:1 ~scale:0.5 () in
+  Helpers.check_int "half" 50 (E.Ctx.scaled ctx 100);
+  Helpers.check_int "floors at 1" 1 (E.Ctx.scaled ctx 1);
+  Alcotest.check_raises "bad scale" (Invalid_argument "Ctx.v: scale must be positive")
+    (fun () -> ignore (E.Ctx.v ~scale:0. ()))
+
+let test_run_seed_stable () =
+  let ctx = E.Ctx.v ~seed:9 () in
+  Helpers.check_int "same index same seed" (E.Ctx.run_seed ctx 3) (E.Ctx.run_seed ctx 3);
+  Alcotest.(check bool) "different index different seed" true
+    (E.Ctx.run_seed ctx 3 <> E.Ctx.run_seed ctx 4)
+
+let () =
+  Helpers.run "experiments"
+    [ ( "experiments",
+        [ Alcotest.test_case "registry complete" `Quick test_registry_complete;
+          Alcotest.test_case "registry find" `Quick test_registry_find;
+          Alcotest.test_case "all run" `Slow test_every_experiment_runs;
+          Alcotest.test_case "table1 formulas" `Quick test_table1_matches_formulas;
+          Alcotest.test_case "fig4 staircase" `Quick test_fig4_round_staircase;
+          Alcotest.test_case "fig6 monotone" `Quick test_fig6_coverage_monotone;
+          Alcotest.test_case "fig7 orderings" `Quick test_fig7_orderings;
+          Alcotest.test_case "fig9 shapes" `Slow test_fig9_shapes;
+          Alcotest.test_case "fig12 cushion" `Slow test_fig12_cushion_decay;
+          Alcotest.test_case "fig13 deterioration" `Slow test_fig13_deterioration;
+          Alcotest.test_case "fig14 crossover" `Slow test_fig14_crossover;
+          Alcotest.test_case "table2 scorecard" `Slow test_table2_scorecard;
+          Alcotest.test_case "derived stars" `Slow test_derived_stars;
+          Alcotest.test_case "paper stars" `Quick test_paper_stars_table;
+          Alcotest.test_case "hotspot extension" `Slow test_hotspot_partitioning_is_worse;
+          Alcotest.test_case "churn extension" `Slow test_churn_replication_wins;
+          Alcotest.test_case "ctx scaling" `Quick test_ctx_scaling;
+          Alcotest.test_case "run_seed" `Quick test_run_seed_stable ] ) ]

@@ -1,0 +1,176 @@
+open Plookup
+open Plookup_store
+module Net = Plookup_net.Net
+
+let make ?(seed = 6) ~n ~h ~y () =
+  let cluster = Cluster.create ~seed ~n () in
+  let s = Hash_scheme.create cluster ~y in
+  let batch = Helpers.entries h in
+  Hash_scheme.place s batch;
+  (cluster, s, batch)
+
+let check_invariants s ~placed =
+  match Hash_scheme.check_invariants s ~placed with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_servers_of_deterministic () =
+  let cluster = Cluster.create ~seed:6 ~n:8 () in
+  let s = Hash_scheme.create cluster ~y:3 in
+  let e = Entry.v 42 in
+  Alcotest.(check (list int)) "stable" (Hash_scheme.servers_of s e) (Hash_scheme.servers_of s e);
+  List.iter
+    (fun server -> if server < 0 || server >= 8 then Alcotest.failf "server %d" server)
+    (Hash_scheme.servers_of s e)
+
+let test_servers_of_dedups () =
+  let cluster = Cluster.create ~seed:6 ~n:2 () in
+  (* y = 5 over 2 servers necessarily collides. *)
+  let s = Hash_scheme.create cluster ~y:5 in
+  let targets = Hash_scheme.servers_of s (Entry.v 7) in
+  Helpers.check_int "distinct targets" (List.length targets)
+    (List.length (List.sort_uniq compare targets));
+  Alcotest.(check bool) "at most n" true (List.length targets <= 2)
+
+let test_placement_matches_hashes () =
+  let _, s, batch = make ~n:7 ~h:40 ~y:2 () in
+  check_invariants s ~placed:batch
+
+let test_seed_changes_placement () =
+  let cluster_a = Cluster.create ~seed:1 ~n:10 () in
+  let cluster_b = Cluster.create ~seed:2 ~n:10 () in
+  let sa = Hash_scheme.create cluster_a ~y:2 in
+  let sb = Hash_scheme.create cluster_b ~y:2 in
+  let entries = Helpers.entries 50 in
+  let placements strategy = List.map (Hash_scheme.servers_of strategy) entries in
+  Alcotest.(check bool) "different seeds, different hashes" true
+    (placements sa <> placements sb)
+
+let test_uneven_occupancy () =
+  (* Hash-y gives no per-server guarantee — with 100 entries on 10
+     servers the min and max occupancy differ. *)
+  let cluster, _, _ = make ~n:10 ~h:100 ~y:2 () in
+  let sizes = List.init 10 (fun i -> Server_store.cardinal (Cluster.store cluster i)) in
+  Alcotest.(check bool) "uneven" true
+    (List.fold_left max 0 sizes > List.fold_left min max_int sizes)
+
+let test_expected_storage () =
+  (* Mean total storage over seeds ~ h*n*(1-(1-1/n)^y) = 190 for
+     h=100, n=10, y=2. *)
+  let acc = Plookup_util.Stats.Accum.create () in
+  for seed = 1 to 60 do
+    let cluster, _, _ = make ~seed ~n:10 ~h:100 ~y:2 () in
+    Plookup_util.Stats.Accum.add acc (float_of_int (Cluster.total_stored cluster))
+  done;
+  Helpers.roughly ~rel:0.02 "expected storage" 190. (Plookup_util.Stats.Accum.mean acc)
+
+let test_add_touches_only_hashed_servers () =
+  let cluster, s, _ = make ~n:10 ~h:20 ~y:3 () in
+  let e = Entry.v 500 in
+  let targets = Hash_scheme.servers_of s e in
+  Net.reset_counters (Cluster.net cluster);
+  Hash_scheme.add s e;
+  Helpers.check_int "1 + |targets| messages"
+    (1 + List.length targets)
+    (Net.messages_received (Cluster.net cluster));
+  for server = 0 to 9 do
+    Helpers.check_bool
+      (Printf.sprintf "server %d correct" server)
+      (List.mem server targets)
+      (Server_store.mem (Cluster.store cluster server) e)
+  done
+
+let test_delete_removes_copies () =
+  let cluster, s, batch = make ~n:10 ~h:20 ~y:3 () in
+  let victim = List.hd batch in
+  Net.reset_counters (Cluster.net cluster);
+  Hash_scheme.delete s victim;
+  let targets = Hash_scheme.servers_of s victim in
+  Helpers.check_int "1 + |targets|" (1 + List.length targets)
+    (Net.messages_received (Cluster.net cluster));
+  for server = 0 to 9 do
+    Alcotest.(check bool) "gone" false (Server_store.mem (Cluster.store cluster server) victim)
+  done;
+  check_invariants s ~placed:(List.tl batch)
+
+let test_no_broadcasts_ever () =
+  let cluster, s, batch = make ~n:10 ~h:20 ~y:2 () in
+  Hash_scheme.add s (Entry.v 300);
+  Hash_scheme.delete s (List.hd batch);
+  Helpers.check_int "zero broadcasts" 0 (Net.broadcasts (Cluster.net cluster))
+
+let test_budget_truncates_round_major () =
+  let cluster = Cluster.create ~seed:6 ~n:10 () in
+  let s = Hash_scheme.create cluster ~y:2 in
+  Hash_scheme.place ~budget:100 s (Helpers.entries 100);
+  (* First hash round stores each entry exactly once: full coverage. *)
+  Helpers.check_int "coverage complete at budget h" 100
+    (Entry.Set.cardinal (Cluster.coverage cluster));
+  Helpers.check_int "exactly h copies" 100 (Cluster.total_stored cluster)
+
+let test_budget_below_h () =
+  let cluster = Cluster.create ~seed:6 ~n:10 () in
+  let s = Hash_scheme.create cluster ~y:1 in
+  Hash_scheme.place ~budget:40 s (Helpers.entries 100);
+  Helpers.check_int "coverage = budget" 40 (Entry.Set.cardinal (Cluster.coverage cluster))
+
+let test_lookup_may_need_extra_server () =
+  (* With t close to the average occupancy, some lookups hit a small
+     server and need a second: mean cost > 1 (the Fig. 4 effect). *)
+  let _, s, _ = make ~n:10 ~h:100 ~y:2 () in
+  let total = ref 0 in
+  let lookups = 500 in
+  for _ = 1 to lookups do
+    let r = Hash_scheme.partial_lookup s 15 in
+    total := !total + r.Lookup_result.servers_contacted;
+    Alcotest.(check bool) "satisfied" true (Lookup_result.satisfied r)
+  done;
+  Alcotest.(check bool) "mean cost > 1" true (!total > lookups)
+
+let test_rejects_bad_y () =
+  let cluster = Cluster.create ~n:3 () in
+  Alcotest.check_raises "y = 0" (Invalid_argument "Hash_scheme.create: y must be at least 1")
+    (fun () -> ignore (Hash_scheme.create cluster ~y:0))
+
+let prop_invariant_under_updates =
+  Helpers.qcheck ~count:100 "hash invariant survives random update streams"
+    QCheck2.Gen.(list_size (int_range 0 60) (pair bool (int_range 0 30)))
+    (fun ops ->
+      let cluster = Cluster.create ~seed:31 ~n:6 () in
+      let s = Hash_scheme.create cluster ~y:2 in
+      let batch = Helpers.entries 10 in
+      Hash_scheme.place s batch;
+      let live = Hashtbl.create 16 in
+      List.iter (fun e -> Hashtbl.replace live (Entry.id e) e) batch;
+      List.iter
+        (fun (is_add, i) ->
+          let e = Entry.v (100 + i) in
+          if is_add then begin
+            Hashtbl.replace live (Entry.id e) e;
+            Hash_scheme.add s e
+          end
+          else begin
+            Hashtbl.remove live (Entry.id e);
+            Hash_scheme.delete s e
+          end)
+        ops;
+      let placed = Hashtbl.fold (fun _ e acc -> e :: acc) live [] in
+      Hash_scheme.check_invariants s ~placed = Ok ())
+
+let () =
+  Helpers.run "hash_scheme"
+    [ ( "hash_scheme",
+        [ Alcotest.test_case "servers_of deterministic" `Quick test_servers_of_deterministic;
+          Alcotest.test_case "servers_of dedups" `Quick test_servers_of_dedups;
+          Alcotest.test_case "placement matches hashes" `Quick test_placement_matches_hashes;
+          Alcotest.test_case "seed changes placement" `Quick test_seed_changes_placement;
+          Alcotest.test_case "uneven occupancy" `Quick test_uneven_occupancy;
+          Alcotest.test_case "expected storage" `Slow test_expected_storage;
+          Alcotest.test_case "add touches hashed only" `Quick test_add_touches_only_hashed_servers;
+          Alcotest.test_case "delete removes copies" `Quick test_delete_removes_copies;
+          Alcotest.test_case "no broadcasts" `Quick test_no_broadcasts_ever;
+          Alcotest.test_case "budget round-major" `Quick test_budget_truncates_round_major;
+          Alcotest.test_case "budget below h" `Quick test_budget_below_h;
+          Alcotest.test_case "extra server effect" `Quick test_lookup_may_need_extra_server;
+          Alcotest.test_case "rejects bad y" `Quick test_rejects_bad_y;
+          prop_invariant_under_updates ] ) ]

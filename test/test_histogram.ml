@@ -1,0 +1,65 @@
+open Plookup_util
+
+let test_binning () =
+  let h = Histogram.create ~lo:0. ~hi:10. ~bins:5 in
+  List.iter (Histogram.add h) [ 0.; 1.9; 2.; 5.5; 9.99 ];
+  Helpers.check_int "bin 0" 2 (Histogram.bin_count h 0);
+  Helpers.check_int "bin 1" 1 (Histogram.bin_count h 1);
+  Helpers.check_int "bin 2" 1 (Histogram.bin_count h 2);
+  Helpers.check_int "bin 3" 0 (Histogram.bin_count h 3);
+  Helpers.check_int "bin 4" 1 (Histogram.bin_count h 4);
+  Helpers.check_int "total" 5 (Histogram.count h)
+
+let test_overflow_underflow () =
+  let h = Histogram.create ~lo:0. ~hi:1. ~bins:2 in
+  List.iter (Histogram.add h) [ -0.5; -3.; 1.; 2.; 0.5 ];
+  Helpers.check_int "underflow" 2 (Histogram.underflow h);
+  Helpers.check_int "overflow" 2 (Histogram.overflow h);
+  Helpers.check_int "total includes out-of-range" 5 (Histogram.count h)
+
+let test_bin_bounds () =
+  let h = Histogram.create ~lo:10. ~hi:20. ~bins:4 in
+  let lo, hi = Histogram.bin_bounds h 1 in
+  Helpers.close "bin 1 lo" 12.5 lo;
+  Helpers.close "bin 1 hi" 15. hi;
+  Alcotest.check_raises "bad bin" (Invalid_argument "Histogram.bin_bounds: bin out of range")
+    (fun () -> ignore (Histogram.bin_bounds h 4))
+
+let test_mean_in_range_only () =
+  let h = Histogram.create ~lo:0. ~hi:10. ~bins:10 in
+  List.iter (Histogram.add h) [ 2.; 4.; 100. (* overflow, excluded *) ];
+  Helpers.close "mean" 3. (Histogram.mean h)
+
+let test_render () =
+  let h = Histogram.create ~lo:0. ~hi:2. ~bins:2 in
+  List.iter (Histogram.add h) [ 0.5; 0.6; 1.5 ];
+  let s = Histogram.render ~width:10 h in
+  Alcotest.(check bool) "mentions counts" true
+    (String.length s > 0 && String.split_on_char '\n' s |> List.length >= 2)
+
+let test_create_validation () =
+  Alcotest.check_raises "bins 0" (Invalid_argument "Histogram.create: bins must be positive")
+    (fun () -> ignore (Histogram.create ~lo:0. ~hi:1. ~bins:0));
+  Alcotest.check_raises "lo >= hi" (Invalid_argument "Histogram.create: need lo < hi")
+    (fun () -> ignore (Histogram.create ~lo:1. ~hi:1. ~bins:3))
+
+let prop_counts_conserved =
+  Helpers.qcheck "total = in-range + under + over"
+    QCheck2.Gen.(list (float_range (-10.) 20.))
+    (fun xs ->
+      let h = Histogram.create ~lo:0. ~hi:10. ~bins:7 in
+      List.iter (Histogram.add h) xs;
+      let in_range = List.init 7 (Histogram.bin_count h) |> List.fold_left ( + ) 0 in
+      Histogram.count h = in_range + Histogram.underflow h + Histogram.overflow h
+      && Histogram.count h = List.length xs)
+
+let () =
+  Helpers.run "histogram"
+    [ ( "histogram",
+        [ Alcotest.test_case "binning" `Quick test_binning;
+          Alcotest.test_case "under/overflow" `Quick test_overflow_underflow;
+          Alcotest.test_case "bin bounds" `Quick test_bin_bounds;
+          Alcotest.test_case "mean" `Quick test_mean_in_range_only;
+          Alcotest.test_case "render" `Quick test_render;
+          Alcotest.test_case "validation" `Quick test_create_validation;
+          prop_counts_conserved ] ) ]

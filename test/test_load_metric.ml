@@ -1,0 +1,75 @@
+open Plookup
+module Load = Plookup_metrics.Load
+module Net = Plookup_net.Net
+
+let test_balanced () =
+  let s = Load.summarize [| 10; 10; 10; 10 |] in
+  Helpers.check_int "total" 40 s.Load.total;
+  Helpers.close "mean" 10. s.Load.mean;
+  Helpers.check_int "peak" 10 s.Load.peak;
+  Helpers.close "peak/avg" 1. s.Load.peak_to_average;
+  Helpers.close "cov" 0. s.Load.cov;
+  Helpers.close "top share" 0.25 s.Load.top_share
+
+let test_hot_spot () =
+  let s = Load.summarize [| 97; 1; 1; 1 |] in
+  Helpers.check_int "peak" 97 s.Load.peak;
+  Helpers.close "peak/avg" 3.88 s.Load.peak_to_average;
+  Helpers.close "top share" 0.97 s.Load.top_share;
+  Alcotest.(check bool) "cov large" true (s.Load.cov > 1.5)
+
+let test_zero_load () =
+  let s = Load.summarize [| 0; 0; 0 |] in
+  Helpers.close "peak/avg defaults to balanced" 1. s.Load.peak_to_average;
+  Helpers.close "cov" 0. s.Load.cov;
+  Helpers.close "top share" 0. s.Load.top_share
+
+let test_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Load.summarize: empty load vector")
+    (fun () -> ignore (Load.summarize [||]))
+
+let test_of_cluster () =
+  let service, _ = Helpers.placed_service ~n:4 ~h:8 Service.Full_replication in
+  let cluster = Service.cluster service in
+  Net.reset_counters (Cluster.net cluster);
+  for _ = 1 to 50 do
+    ignore (Service.partial_lookup service 2)
+  done;
+  let s = Load.of_cluster cluster in
+  Helpers.check_int "50 lookups = 50 messages" 50 s.Load.total;
+  (* Random single-server probing spreads load well. *)
+  Alcotest.(check bool) "no extreme hot spot" true (s.Load.peak_to_average < 2.5)
+
+let test_pp () =
+  let s = Load.summarize [| 5; 15 |] in
+  let str = Format.asprintf "%a" Load.pp s in
+  Alcotest.(check bool) "mentions total" true (Helpers.contains str "total 20")
+
+let prop_top_share_bounds =
+  Helpers.qcheck "top share within [1/n, 1] for non-zero load"
+    QCheck2.Gen.(list_size (int_range 1 20) (int_range 0 1000))
+    (fun loads ->
+      let arr = Array.of_list loads in
+      let s = Load.summarize arr in
+      let n = Array.length arr in
+      s.Load.total = 0
+      || (s.Load.top_share >= (1. /. float_of_int n) -. 1e-9 && s.Load.top_share <= 1.))
+
+let prop_peak_to_average_at_least_one =
+  Helpers.qcheck "peak/avg >= 1"
+    QCheck2.Gen.(list_size (int_range 1 20) (int_range 0 100))
+    (fun loads ->
+      let s = Load.summarize (Array.of_list loads) in
+      s.Load.peak_to_average >= 1. -. 1e-9)
+
+let () =
+  Helpers.run "load_metric"
+    [ ( "load",
+        [ Alcotest.test_case "balanced" `Quick test_balanced;
+          Alcotest.test_case "hot spot" `Quick test_hot_spot;
+          Alcotest.test_case "zero load" `Quick test_zero_load;
+          Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+          Alcotest.test_case "of_cluster" `Quick test_of_cluster;
+          Alcotest.test_case "pp" `Quick test_pp;
+          prop_top_share_bounds;
+          prop_peak_to_average_at_least_one ] ) ]

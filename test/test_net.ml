@@ -1,0 +1,199 @@
+module Net = Plookup_net.Net
+module Engine = Plookup_sim.Engine
+
+(* A toy echo protocol: servers reply with (their id, the message). *)
+let make ?(n = 4) () =
+  let net = Net.create ~n in
+  Net.set_handler net (fun dst _src msg -> (dst, msg));
+  net
+
+let test_send_and_reply () =
+  let net = make () in
+  (match Net.send net ~src:Net.Client ~dst:2 "hi" with
+  | Some (2, "hi") -> ()
+  | _ -> Alcotest.fail "bad reply");
+  Helpers.check_int "one message" 1 (Net.messages_received net);
+  Helpers.check_int "dst counted" 1 (Net.messages_received_by net 2);
+  Helpers.check_int "others zero" 0 (Net.messages_received_by net 0);
+  Helpers.check_int "client request" 1 (Net.client_requests net)
+
+let test_server_to_server_not_client () =
+  let net = make () in
+  ignore (Net.send net ~src:(Net.Server 0) ~dst:1 "x");
+  Helpers.check_int "no client request" 0 (Net.client_requests net);
+  Helpers.check_int "message counted" 1 (Net.messages_received net)
+
+let test_broadcast_costs_n () =
+  let net = make ~n:5 () in
+  let replies = Net.broadcast net ~src:(Net.Server 1) "b" in
+  Helpers.check_int "all reply" 5 (List.length replies);
+  Helpers.check_int "cost n" 5 (Net.messages_received net);
+  Helpers.check_int "one broadcast" 1 (Net.broadcasts net);
+  (* Replies come in server order, including the sender. *)
+  Alcotest.(check (list int)) "server order" [ 0; 1; 2; 3; 4 ] (List.map fst replies)
+
+let test_failure_drops () =
+  let net = make () in
+  Net.fail net 1;
+  Alcotest.(check bool) "down" false (Net.is_up net 1);
+  (match Net.send net ~src:Net.Client ~dst:1 "lost" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "delivered to failed node");
+  Helpers.check_int "dropped" 1 (Net.messages_dropped net);
+  Helpers.check_int "not received" 0 (Net.messages_received net);
+  Net.recover net 1;
+  Alcotest.(check bool) "recovered" true (Net.is_up net 1);
+  ignore (Net.send net ~src:Net.Client ~dst:1 "ok");
+  Helpers.check_int "received after recovery" 1 (Net.messages_received net)
+
+let test_broadcast_skips_failed () =
+  let net = make ~n:4 () in
+  Net.fail net 0;
+  Net.fail net 3;
+  let replies = Net.broadcast net ~src:Net.Client "b" in
+  Alcotest.(check (list int)) "only up servers" [ 1; 2 ] (List.map fst replies);
+  Helpers.check_int "cost = up servers" 2 (Net.messages_received net);
+  Helpers.check_int "dropped two" 2 (Net.messages_dropped net)
+
+let test_fail_exactly () =
+  let net = make ~n:5 () in
+  Net.fail net 0;
+  Net.fail_exactly net [ 2; 4 ];
+  Alcotest.(check (list int)) "up set" [ 0; 1; 3 ] (Net.up_servers net)
+
+let test_reset_counters () =
+  let net = make () in
+  ignore (Net.broadcast net ~src:Net.Client "x");
+  Net.reset_counters net;
+  Helpers.check_int "received reset" 0 (Net.messages_received net);
+  Helpers.check_int "broadcasts reset" 0 (Net.broadcasts net);
+  Helpers.check_int "client reset" 0 (Net.client_requests net);
+  Helpers.check_int "dropped reset" 0 (Net.messages_dropped net)
+
+let test_no_handler () =
+  let net : (string, unit) Net.t = Net.create ~n:2 in
+  Alcotest.check_raises "no handler" (Invalid_argument "Net: no handler installed")
+    (fun () -> ignore (Net.send net ~src:Net.Client ~dst:0 "x"))
+
+let test_bad_index () =
+  let net = make () in
+  Alcotest.check_raises "range" (Invalid_argument "Net: server index out of range")
+    (fun () -> ignore (Net.send net ~src:Net.Client ~dst:9 "x"))
+
+let test_create_validation () =
+  Alcotest.check_raises "n = 0" (Invalid_argument "Net.create: n must be positive")
+    (fun () -> ignore (Net.create ~n:0 : (unit, unit) Net.t))
+
+let test_wrap_handler () =
+  let net = make ~n:2 () in
+  let seen = ref [] in
+  Net.wrap_handler net (fun inner dst src msg ->
+      seen := msg :: !seen;
+      inner dst src (msg ^ "!"));
+  (match Net.send net ~src:Net.Client ~dst:1 "hi" with
+  | Some (1, "hi!") -> ()
+  | _ -> Alcotest.fail "wrapper did not transform");
+  Alcotest.(check (list string)) "wrapper observed" [ "hi" ] !seen;
+  (* Wrapping composes. *)
+  Net.wrap_handler net (fun inner dst src msg -> inner dst src (msg ^ "?"));
+  (match Net.send net ~src:Net.Client ~dst:0 "x" with
+  | Some (0, "x?!") -> ()
+  | _ -> Alcotest.fail "wrappers did not compose")
+
+let test_wrap_handler_requires_handler () =
+  let net : (string, unit) Net.t = Net.create ~n:2 in
+  Alcotest.check_raises "no handler" (Invalid_argument "Net.wrap_handler: no handler installed")
+    (fun () -> Net.wrap_handler net (fun inner -> inner))
+
+let test_status_listener () =
+  let net = make ~n:3 () in
+  let events = ref [] in
+  Net.set_status_listener net (fun i ~up -> events := (i, up) :: !events);
+  Net.fail net 1;
+  Net.fail net 1 (* repeat: no transition, no event *);
+  Net.recover net 1;
+  Net.recover net 2 (* already up: no event *);
+  Alcotest.(check (list (pair int bool))) "transitions only" [ (1, false); (1, true) ]
+    (List.rev !events)
+
+let test_fail_exactly_notifies () =
+  let net = make ~n:3 () in
+  Net.fail net 0;
+  let events = ref [] in
+  Net.set_status_listener net (fun i ~up -> events := (i, up) :: !events);
+  Net.fail_exactly net [ 2 ];
+  (* 0 recovers (transition), 2 fails (transition); 1 untouched. *)
+  Alcotest.(check (list (pair int bool))) "recover then fail" [ (0, true); (2, false) ]
+    (List.rev !events)
+
+let test_post_without_engine_is_sync () =
+  let got = ref [] in
+  let net = Net.create ~n:2 in
+  Net.set_handler net (fun dst _src msg ->
+      got := (dst, msg) :: !got);
+  Net.post net ~src:Net.Client ~dst:1 "now";
+  Alcotest.(check bool) "delivered synchronously" true (!got = [ (1, "now") ])
+
+let test_post_with_engine_is_delayed () =
+  let engine = Engine.create () in
+  let got = ref [] in
+  let net = Net.create ~n:3 in
+  Net.set_handler net (fun dst _src msg ->
+      got := (Engine.now engine, dst, msg) :: !got);
+  Net.attach_engine net engine ~latency:(fun ~src:_ ~dst -> 1. +. float_of_int dst);
+  Net.post net ~src:Net.Client ~dst:2 "slow";
+  Net.post net ~src:Net.Client ~dst:0 "fast";
+  Alcotest.(check bool) "not delivered yet" true (!got = []);
+  ignore (Engine.run engine);
+  (match List.rev !got with
+  | [ (t0, 0, "fast"); (t2, 2, "slow") ] ->
+    Helpers.close "latency 1" 1. t0;
+    Helpers.close "latency 3" 3. t2
+  | _ -> Alcotest.fail "unexpected delivery order")
+
+let test_post_to_failed_node_after_delay () =
+  (* Liveness is checked at delivery time, not post time. *)
+  let engine = Engine.create () in
+  let net = Net.create ~n:2 in
+  Net.set_handler net (fun _ _ _ -> Alcotest.fail "should be dropped");
+  Net.attach_engine net engine ~latency:(fun ~src:_ ~dst:_ -> 5.);
+  Net.post net ~src:Net.Client ~dst:1 ();
+  Net.fail net 1;
+  ignore (Engine.run engine);
+  Helpers.check_int "dropped at delivery" 1 (Net.messages_dropped net)
+
+let prop_message_count_additive =
+  Helpers.qcheck "k sends = k received messages"
+    QCheck2.Gen.(int_range 0 200)
+    (fun k ->
+      let net = make ~n:3 () in
+      for i = 1 to k do
+        ignore (Net.send net ~src:Net.Client ~dst:(i mod 3) "m")
+      done;
+      Net.messages_received net = k
+      && Net.messages_received_by net 0
+         + Net.messages_received_by net 1
+         + Net.messages_received_by net 2
+         = k)
+
+let () =
+  Helpers.run "net"
+    [ ( "net",
+        [ Alcotest.test_case "send/reply" `Quick test_send_and_reply;
+          Alcotest.test_case "server src" `Quick test_server_to_server_not_client;
+          Alcotest.test_case "broadcast cost" `Quick test_broadcast_costs_n;
+          Alcotest.test_case "failure drops" `Quick test_failure_drops;
+          Alcotest.test_case "broadcast skips failed" `Quick test_broadcast_skips_failed;
+          Alcotest.test_case "fail_exactly" `Quick test_fail_exactly;
+          Alcotest.test_case "reset counters" `Quick test_reset_counters;
+          Alcotest.test_case "no handler" `Quick test_no_handler;
+          Alcotest.test_case "bad index" `Quick test_bad_index;
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "wrap handler" `Quick test_wrap_handler;
+          Alcotest.test_case "wrap requires handler" `Quick test_wrap_handler_requires_handler;
+          Alcotest.test_case "status listener" `Quick test_status_listener;
+          Alcotest.test_case "fail_exactly notifies" `Quick test_fail_exactly_notifies;
+          Alcotest.test_case "post sync" `Quick test_post_without_engine_is_sync;
+          Alcotest.test_case "post delayed" `Quick test_post_with_engine_is_delayed;
+          Alcotest.test_case "post to failed" `Quick test_post_to_failed_node_after_delay;
+          prop_message_count_additive ] ) ]

@@ -1,0 +1,105 @@
+open Plookup
+open Plookup_store
+
+let make ?(seed = 4) ~n () = Partitioned.create ~seed ~n ()
+
+let test_home_deterministic () =
+  let p = make ~n:8 () in
+  Helpers.check_int "stable" (Partitioned.home p "song") (Partitioned.home p "song");
+  let q = make ~n:8 () in
+  Helpers.check_int "same seed same home" (Partitioned.home p "song")
+    (Partitioned.home q "song");
+  for i = 0 to 50 do
+    let home = Partitioned.home p (string_of_int i) in
+    if home < 0 || home >= 8 then Alcotest.failf "home out of range: %d" home
+  done
+
+let test_place_and_lookup () =
+  let p = make ~n:4 () in
+  Partitioned.place p ~key:"k" (Helpers.entries 6);
+  let r = Partitioned.lookup p ~key:"k" 3 in
+  Alcotest.(check bool) "satisfied" true (Lookup_result.satisfied r);
+  Helpers.check_int "one server" 1 r.Lookup_result.servers_contacted;
+  Helpers.check_int "storage = h (single copy)" 6 (Partitioned.total_stored p)
+
+let test_all_entries_on_home () =
+  let p = make ~n:4 () in
+  Partitioned.place p ~key:"k" (Helpers.entries 6);
+  Alcotest.(check (list int)) "home holds everything" [ 0; 1; 2; 3; 4; 5 ]
+    (Helpers.sorted_ids (Partitioned.entries_of p ~key:"k"))
+
+let test_unknown_key_empty () =
+  let p = make ~n:4 () in
+  let r = Partitioned.lookup p ~key:"missing" 2 in
+  Helpers.check_int "empty" 0 (Lookup_result.count r)
+
+let test_add_delete () =
+  let p = make ~n:4 () in
+  Partitioned.place p ~key:"k" (Helpers.entries 2);
+  Partitioned.add p ~key:"k" (Entry.v 50);
+  Helpers.check_int "added" 3 (List.length (Partitioned.entries_of p ~key:"k"));
+  Partitioned.delete p ~key:"k" (Entry.v 50);
+  Helpers.check_int "deleted" 2 (List.length (Partitioned.entries_of p ~key:"k"))
+
+let test_keys_are_isolated () =
+  let p = make ~n:4 () in
+  Partitioned.place p ~key:"a" (Helpers.entries 3);
+  Partitioned.place p ~key:"b" [ Entry.v 100 ];
+  let r = Partitioned.lookup p ~key:"b" 5 in
+  Alcotest.(check (list int)) "only b's entries" [ 100 ]
+    (Helpers.sorted_ids r.Lookup_result.entries)
+
+let test_home_down_fails_lookup () =
+  (* The partitioning weakness: no fallback when the home is down. *)
+  let p = make ~n:4 () in
+  Partitioned.place p ~key:"k" (Helpers.entries 6);
+  Partitioned.fail p (Partitioned.home p "k");
+  let r = Partitioned.lookup p ~key:"k" 1 in
+  Helpers.check_int "no answer" 0 (Lookup_result.count r);
+  Partitioned.recover p (Partitioned.home p "k");
+  Alcotest.(check bool) "back" true (Lookup_result.satisfied (Partitioned.lookup p ~key:"k" 1))
+
+let test_load_concentrates () =
+  let p = make ~n:4 () in
+  Partitioned.place p ~key:"hot" (Helpers.entries 5);
+  Partitioned.reset_load p;
+  for _ = 1 to 100 do
+    ignore (Partitioned.lookup p ~key:"hot" 2)
+  done;
+  let load = Partitioned.load p in
+  Helpers.check_int "home takes everything" 100 load.(Partitioned.home p "hot");
+  Helpers.check_int "total" 100 (Array.fold_left ( + ) 0 load)
+
+let test_homes_spread () =
+  (* Across many keys, homes should hit every server. *)
+  let p = make ~n:5 () in
+  let seen = Array.make 5 false in
+  for i = 0 to 99 do
+    seen.(Partitioned.home p (Printf.sprintf "key-%d" i)) <- true
+  done;
+  Alcotest.(check bool) "all servers used" true (Array.for_all Fun.id seen)
+
+let prop_lookup_subset_of_placed =
+  Helpers.qcheck ~count:60 "lookups return a subset of the key's entries"
+    QCheck2.Gen.(pair (int_range 1 15) (int_range 1 20))
+    (fun (h, t) ->
+      let p = make ~n:3 () in
+      let entries = Helpers.entries h in
+      Partitioned.place p ~key:"k" entries;
+      let r = Partitioned.lookup p ~key:"k" t in
+      List.for_all (fun e -> List.exists (Entry.equal e) entries) r.Lookup_result.entries
+      && Lookup_result.count r = min t h)
+
+let () =
+  Helpers.run "partitioned"
+    [ ( "partitioned",
+        [ Alcotest.test_case "home deterministic" `Quick test_home_deterministic;
+          Alcotest.test_case "place/lookup" `Quick test_place_and_lookup;
+          Alcotest.test_case "home holds all" `Quick test_all_entries_on_home;
+          Alcotest.test_case "unknown key" `Quick test_unknown_key_empty;
+          Alcotest.test_case "add/delete" `Quick test_add_delete;
+          Alcotest.test_case "keys isolated" `Quick test_keys_are_isolated;
+          Alcotest.test_case "home down" `Quick test_home_down_fails_lookup;
+          Alcotest.test_case "load concentrates" `Quick test_load_concentrates;
+          Alcotest.test_case "homes spread" `Quick test_homes_spread;
+          prop_lookup_subset_of_placed ] ) ]

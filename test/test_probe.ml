@@ -1,0 +1,146 @@
+open Plookup
+open Plookup_store
+module Net = Plookup_net.Net
+
+(* A cluster whose servers are pre-loaded by hand and answer lookups
+   directly, so probing behaviour can be tested in isolation. *)
+let manual_cluster ~n placement =
+  let cluster = Cluster.create ~seed:11 ~n () in
+  List.iteri
+    (fun server ids ->
+      List.iter
+        (fun i -> ignore (Server_store.add (Cluster.store cluster server) (Entry.v i)))
+        ids)
+    placement;
+  Net.set_handler (Cluster.net cluster) (fun dst _src msg ->
+      match (msg : Msg.t) with
+      | Msg.Lookup t ->
+        Msg.Entries
+          (Server_store.random_pick (Cluster.store cluster dst) (Cluster.rng cluster) t)
+      | _ -> Msg.Ack);
+  cluster
+
+let test_single_contacts_one () =
+  let cluster = manual_cluster ~n:3 [ [ 0; 1; 2 ]; [ 0; 1; 2 ]; [ 0; 1; 2 ] ] in
+  let r = Probe.single cluster ~t:2 in
+  Helpers.check_int "one server" 1 r.Lookup_result.servers_contacted;
+  Helpers.check_int "two entries" 2 (Lookup_result.count r);
+  Alcotest.(check bool) "satisfied" true (Lookup_result.satisfied r)
+
+let test_single_no_retry () =
+  (* The single probe does not retry even if the answer is short. *)
+  let cluster = manual_cluster ~n:2 [ [ 0 ]; [ 0; 1; 2 ] ] in
+  let shorts = ref 0 in
+  for _ = 1 to 50 do
+    let r = Probe.single cluster ~t:3 in
+    Helpers.check_int "always one server" 1 r.Lookup_result.servers_contacted;
+    if not (Lookup_result.satisfied r) then incr shorts
+  done;
+  Alcotest.(check bool) "sometimes lands on the small server" true (!shorts > 0)
+
+let test_single_all_down () =
+  let cluster = manual_cluster ~n:2 [ [ 0 ]; [ 1 ] ] in
+  Cluster.fail cluster 0;
+  Cluster.fail cluster 1;
+  let r = Probe.single cluster ~t:1 in
+  Helpers.check_int "no server" 0 r.Lookup_result.servers_contacted;
+  Helpers.check_int "no entries" 0 (Lookup_result.count r)
+
+let test_random_order_merges () =
+  (* Each server has 2 entries; target 6 requires visiting all three. *)
+  let cluster = manual_cluster ~n:3 [ [ 0; 1 ]; [ 2; 3 ]; [ 4; 5 ] ] in
+  let r = Probe.random_order cluster ~t:6 in
+  Helpers.check_int "three servers" 3 r.Lookup_result.servers_contacted;
+  Alcotest.(check (list int)) "all entries" [ 0; 1; 2; 3; 4; 5 ]
+    (Helpers.sorted_ids r.Lookup_result.entries)
+
+let test_random_order_stops_early () =
+  let cluster = manual_cluster ~n:3 [ [ 0; 1; 2 ]; [ 0; 1; 2 ]; [ 0; 1; 2 ] ] in
+  let r = Probe.random_order cluster ~t:2 in
+  Helpers.check_int "one server suffices" 1 r.Lookup_result.servers_contacted
+
+let test_random_order_exhausts_unsatisfied () =
+  let cluster = manual_cluster ~n:2 [ [ 0 ]; [ 0 ] ] in
+  let r = Probe.random_order cluster ~t:5 in
+  Helpers.check_int "tried everyone" 2 r.Lookup_result.servers_contacted;
+  Alcotest.(check bool) "unsatisfied" false (Lookup_result.satisfied r);
+  Helpers.check_int "coverage-limited answer" 1 (Lookup_result.count r)
+
+let test_truncation_to_target () =
+  (* Merging two disjoint 5-entry servers for t=6 collects up to 10; the
+     delivered answer must be exactly 6. *)
+  let cluster = manual_cluster ~n:2 [ [ 0; 1; 2; 3; 4 ]; [ 5; 6; 7; 8; 9 ] ] in
+  for _ = 1 to 20 do
+    let r = Probe.random_order cluster ~t:6 in
+    Helpers.check_int "exactly t entries" 6 (Lookup_result.count r)
+  done
+
+let test_reachable_filter () =
+  let cluster = manual_cluster ~n:3 [ [ 0 ]; [ 1 ]; [ 2 ] ] in
+  let reachable s = s <> 1 in
+  for _ = 1 to 30 do
+    let r = Probe.random_order ~reachable cluster ~t:3 in
+    Alcotest.(check bool) "entry 1 never seen" false
+      (List.exists (fun e -> Entry.id e = 1) r.Lookup_result.entries)
+  done
+
+let test_stride_visits_disjoint_servers () =
+  (* n=4, step 2: from server 0 the stride visits 0, 2 then falls back to
+     the remaining servers. *)
+  let cluster = manual_cluster ~n:4 [ [ 0 ]; [ 1 ]; [ 2 ]; [ 3 ] ] in
+  let r = Probe.stride cluster ~start:0 ~step:2 ~t:2 in
+  Helpers.check_int "two strided servers" 2 r.Lookup_result.servers_contacted;
+  Alcotest.(check (list int)) "entries from 0 and 2" [ 0; 2 ]
+    (Helpers.sorted_ids r.Lookup_result.entries)
+
+let test_stride_extends_past_cycle () =
+  (* gcd(step, n) > 1 leaves residues unvisited; the probe must extend to
+     them rather than loop. *)
+  let cluster = manual_cluster ~n:4 [ [ 0 ]; [ 1 ]; [ 2 ]; [ 3 ] ] in
+  let r = Probe.stride cluster ~start:0 ~step:2 ~t:4 in
+  Helpers.check_int "all four" 4 r.Lookup_result.servers_contacted;
+  Alcotest.(check (list int)) "full coverage" [ 0; 1; 2; 3 ]
+    (Helpers.sorted_ids r.Lookup_result.entries)
+
+let test_stride_falls_back_on_failure () =
+  let cluster = manual_cluster ~n:4 [ [ 0 ]; [ 1 ]; [ 2 ]; [ 3 ] ] in
+  Cluster.fail cluster 2;
+  let r = Probe.stride cluster ~start:0 ~step:2 ~t:3 in
+  Alcotest.(check bool) "satisfied without server 2" true (Lookup_result.satisfied r);
+  Alcotest.(check bool) "no entry from the dead server" false
+    (List.exists (fun e -> Entry.id e = 2) r.Lookup_result.entries)
+
+let test_each_contact_counts_a_message () =
+  let cluster = manual_cluster ~n:3 [ [ 0; 1 ]; [ 2; 3 ]; [ 4; 5 ] ] in
+  Net.reset_counters (Cluster.net cluster);
+  let r = Probe.random_order cluster ~t:6 in
+  Helpers.check_int "messages = contacts" r.Lookup_result.servers_contacted
+    (Net.messages_received (Cluster.net cluster))
+
+let prop_never_exceeds_target =
+  Helpers.qcheck "delivered entries never exceed the target"
+    QCheck2.Gen.(pair (int_range 1 12) int)
+    (fun (t, seed) ->
+      ignore seed;
+      let cluster = manual_cluster ~n:3 [ [ 0; 1; 2; 3 ]; [ 4; 5; 6; 7 ]; [ 8; 9 ] ] in
+      let r = Probe.random_order cluster ~t in
+      Lookup_result.count r <= t)
+
+let () =
+  Helpers.run "probe"
+    [ ( "probe",
+        [ Alcotest.test_case "single contacts one" `Quick test_single_contacts_one;
+          Alcotest.test_case "single no retry" `Quick test_single_no_retry;
+          Alcotest.test_case "single all down" `Quick test_single_all_down;
+          Alcotest.test_case "random_order merges" `Quick test_random_order_merges;
+          Alcotest.test_case "random_order stops early" `Quick test_random_order_stops_early;
+          Alcotest.test_case "random_order exhausts" `Quick
+            test_random_order_exhausts_unsatisfied;
+          Alcotest.test_case "truncation" `Quick test_truncation_to_target;
+          Alcotest.test_case "reachable filter" `Quick test_reachable_filter;
+          Alcotest.test_case "stride disjoint" `Quick test_stride_visits_disjoint_servers;
+          Alcotest.test_case "stride extends" `Quick test_stride_extends_past_cycle;
+          Alcotest.test_case "stride failure fallback" `Quick
+            test_stride_falls_back_on_failure;
+          Alcotest.test_case "message accounting" `Quick test_each_contact_counts_a_message;
+          prop_never_exceeds_target ] ) ]

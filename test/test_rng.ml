@@ -1,0 +1,248 @@
+open Plookup_util
+
+let test_determinism () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_distinct_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_copy_independent () =
+  let a = Rng.create 9 in
+  let _ = Rng.bits64 a in
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 b);
+  (* Now advance only [a]; [b] must not follow. *)
+  let va = Rng.bits64 a in
+  let _ = Rng.bits64 a in
+  let vb = Rng.bits64 b in
+  Alcotest.(check int64) "copy is a snapshot" va vb
+
+let test_split_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  let xs = List.init 32 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 32 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_int_bounds () =
+  let rng = Rng.create 17 in
+  for bound = 1 to 40 do
+    for _ = 1 to 200 do
+      let v = Rng.int rng bound in
+      if v < 0 || v >= bound then Alcotest.failf "Rng.int %d produced %d" bound v
+    done
+  done
+
+let test_int_rejects_nonpositive () =
+  let rng = Rng.create 0 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_int_in_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 500 do
+    let v = Rng.int_in_range rng ~lo:(-5) ~hi:5 in
+    if v < -5 || v > 5 then Alcotest.failf "out of range: %d" v
+  done;
+  Alcotest.check_raises "lo > hi" (Invalid_argument "Rng.int_in_range: lo > hi") (fun () ->
+      ignore (Rng.int_in_range rng ~lo:2 ~hi:1))
+
+let test_int_uniformity () =
+  (* Chi-square-ish sanity: 10 buckets, 20000 draws; each bucket within
+     25% of the expectation. *)
+  let rng = Rng.create 99 in
+  let buckets = Array.make 10 0 in
+  let draws = 20000 in
+  for _ = 1 to draws do
+    let v = Rng.int rng 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = draws / 10 in
+      if abs (c - expected) > expected / 4 then
+        Alcotest.failf "bucket %d badly skewed: %d vs %d" i c expected)
+    buckets
+
+let test_unit_float_range () =
+  let rng = Rng.create 31 in
+  for _ = 1 to 2000 do
+    let v = Rng.unit_float rng in
+    if v < 0. || v >= 1. then Alcotest.failf "unit_float out of range: %f" v
+  done
+
+let test_unit_float_mean () =
+  let rng = Rng.create 77 in
+  let acc = Stats.Accum.create () in
+  for _ = 1 to 50_000 do
+    Stats.Accum.add acc (Rng.unit_float rng)
+  done;
+  Helpers.roughly ~rel:0.02 "mean ~ 0.5" 0.5 (Stats.Accum.mean acc)
+
+let test_bernoulli () =
+  let rng = Rng.create 13 in
+  let hits = ref 0 in
+  let draws = 50_000 in
+  for _ = 1 to draws do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  Helpers.roughly ~rel:0.05 "bernoulli 0.3" 0.3 (float_of_int !hits /. float_of_int draws)
+
+let test_pick () =
+  let rng = Rng.create 2 in
+  let arr = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    let v = Rng.pick rng arr in
+    if not (Array.exists (( = ) v) arr) then Alcotest.failf "pick returned %d" v
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.pick: empty array") (fun () ->
+      ignore (Rng.pick rng [||]))
+
+let test_pick_list () =
+  let rng = Rng.create 2 in
+  Helpers.check_int "singleton" 7 (Rng.pick_list rng [ 7 ]);
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.pick_list: empty list") (fun () ->
+      ignore (Rng.pick_list rng []))
+
+let test_shuffle_is_permutation () =
+  let rng = Rng.create 21 in
+  let original = List.init 50 Fun.id in
+  let shuffled = Rng.shuffle rng original in
+  Alcotest.(check (list int)) "same multiset" original (List.sort compare shuffled)
+
+let test_shuffle_uniform_first () =
+  (* The first element after shuffling [0..4] should be ~uniform. *)
+  let rng = Rng.create 4 in
+  let counts = Array.make 5 0 in
+  let draws = 10_000 in
+  for _ = 1 to draws do
+    match Rng.shuffle rng [ 0; 1; 2; 3; 4 ] with
+    | first :: _ -> counts.(first) <- counts.(first) + 1
+    | [] -> assert false
+  done;
+  Array.iteri
+    (fun i c ->
+      if abs (c - 2000) > 300 then Alcotest.failf "first element %d skewed: %d" i c)
+    counts
+
+let test_sample_indices () =
+  let rng = Rng.create 8 in
+  for _ = 1 to 200 do
+    let k = Rng.int rng 10 in
+    let idx = Rng.sample_indices rng ~n:10 ~k in
+    Helpers.check_int "length" k (Array.length idx);
+    let sorted = Array.copy idx in
+    Array.sort compare sorted;
+    let distinct = Array.to_list sorted |> List.sort_uniq compare in
+    Helpers.check_int "distinct" k (List.length distinct);
+    Array.iter (fun i -> if i < 0 || i >= 10 then Alcotest.failf "index %d" i) idx
+  done;
+  Alcotest.check_raises "k > n"
+    (Invalid_argument "Rng.sample_indices: need 0 <= k <= n") (fun () ->
+      ignore (Rng.sample_indices rng ~n:3 ~k:4))
+
+let test_sample_uniform () =
+  (* Each of 5 elements should appear in a 2-of-5 sample with probability
+     2/5. *)
+  let rng = Rng.create 12 in
+  let counts = Array.make 5 0 in
+  let draws = 10_000 in
+  for _ = 1 to draws do
+    Array.iter (fun v -> counts.(v) <- counts.(v) + 1)
+      (Rng.sample rng [| 0; 1; 2; 3; 4 |] 2)
+  done;
+  Array.iteri
+    (fun i c ->
+      Helpers.roughly ~rel:0.08 (Printf.sprintf "element %d" i) 0.4
+        (float_of_int c /. float_of_int draws))
+    counts
+
+let test_perm () =
+  let rng = Rng.create 5 in
+  let p = Rng.perm rng 20 in
+  Alcotest.(check (list int)) "permutation of 0..19" (List.init 20 Fun.id)
+    (List.sort compare (Array.to_list p))
+
+let test_hash_in_range () =
+  let v1 = Rng.hash_in_range ~seed:1 ~salt:1 ~value:42 10 in
+  let v2 = Rng.hash_in_range ~seed:1 ~salt:1 ~value:42 10 in
+  Helpers.check_int "deterministic" v1 v2;
+  for value = 0 to 500 do
+    let v = Rng.hash_in_range ~seed:3 ~salt:2 ~value 7 in
+    if v < 0 || v >= 7 then Alcotest.failf "hash out of range: %d" v
+  done
+
+let test_hash_in_range_spread () =
+  (* Different salts should decorrelate: over 1000 values, the two hash
+     functions agree about 1/n of the time. *)
+  let n = 10 in
+  let agree = ref 0 in
+  for value = 0 to 999 do
+    if
+      Rng.hash_in_range ~seed:5 ~salt:1 ~value n
+      = Rng.hash_in_range ~seed:5 ~salt:2 ~value n
+    then incr agree
+  done;
+  Helpers.roughly ~rel:0.5 "salt independence" 100. (float_of_int !agree)
+
+let prop_int_in_bounds =
+  Helpers.qcheck "int always in [0, bound)"
+    QCheck2.Gen.(pair (int_range 1 10_000) int)
+    (fun (bound, seed) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_shuffle_permutation =
+  Helpers.qcheck "shuffle preserves multiset"
+    QCheck2.Gen.(pair (list small_int) int)
+    (fun (l, seed) ->
+      let rng = Rng.create seed in
+      List.sort compare (Rng.shuffle rng l) = List.sort compare l)
+
+let prop_sample_subset =
+  Helpers.qcheck "sample is a sub-multiset of distinct slots"
+    QCheck2.Gen.(pair (int_range 0 50) int)
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let arr = Array.init n (fun i -> i * 3) in
+      let k = if n = 0 then 0 else Rng.int rng (n + 1) in
+      let s = Rng.sample rng arr k in
+      Array.length s = k
+      && Array.for_all (fun v -> Array.exists (( = ) v) arr) s
+      && List.length (List.sort_uniq compare (Array.to_list s)) = k)
+
+let () =
+  Helpers.run "rng"
+    [ ( "rng",
+        [ Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "distinct seeds" `Quick test_distinct_seeds;
+          Alcotest.test_case "copy" `Quick test_copy_independent;
+          Alcotest.test_case "split" `Quick test_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int rejects 0" `Quick test_int_rejects_nonpositive;
+          Alcotest.test_case "int_in_range" `Quick test_int_in_range;
+          Alcotest.test_case "int uniformity" `Quick test_int_uniformity;
+          Alcotest.test_case "unit_float range" `Quick test_unit_float_range;
+          Alcotest.test_case "unit_float mean" `Quick test_unit_float_mean;
+          Alcotest.test_case "bernoulli" `Quick test_bernoulli;
+          Alcotest.test_case "pick" `Quick test_pick;
+          Alcotest.test_case "pick_list" `Quick test_pick_list;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+          Alcotest.test_case "shuffle uniform" `Quick test_shuffle_uniform_first;
+          Alcotest.test_case "sample_indices" `Quick test_sample_indices;
+          Alcotest.test_case "sample uniform" `Quick test_sample_uniform;
+          Alcotest.test_case "perm" `Quick test_perm;
+          Alcotest.test_case "hash_in_range" `Quick test_hash_in_range;
+          Alcotest.test_case "hash salt spread" `Quick test_hash_in_range_spread;
+          prop_int_in_bounds;
+          prop_shuffle_permutation;
+          prop_sample_subset ] ) ]

@@ -1,0 +1,191 @@
+open Plookup
+open Plookup_store
+
+let test_config_names () =
+  List.iter
+    (fun (config, expected) -> Helpers.check_string "name" expected (Service.config_name config))
+    [ (Service.Full_replication, "FullReplication");
+      (Service.Fixed 20, "Fixed-20");
+      (Service.Random_server 20, "RandomServer-20");
+      (Service.Random_server_replacing 5, "RandomServerReplacing-5");
+      (Service.Round_robin 2, "RoundRobin-2");
+      (Service.Round_robin_replicated (2, 3), "RoundRobinHA-2x3");
+      (Service.Hash 2, "Hash-2") ]
+
+let test_config_parse_roundtrip () =
+  List.iter
+    (fun config ->
+      match Service.config_of_string (Service.config_name config) with
+      | Ok parsed when parsed = config -> ()
+      | Ok other ->
+        Alcotest.failf "roundtrip changed %s into %s" (Service.config_name config)
+          (Service.config_name other)
+      | Error msg -> Alcotest.fail msg)
+    [ Service.Full_replication;
+      Service.Fixed 20;
+      Service.Random_server 7;
+      Service.Random_server_replacing 7;
+      Service.Round_robin 3;
+      Service.Round_robin_replicated (2, 2);
+      Service.Hash 1 ]
+
+let test_config_parse_aliases () =
+  List.iter
+    (fun (s, expected) ->
+      match Service.config_of_string s with
+      | Ok parsed when parsed = expected -> ()
+      | Ok _ | Error _ -> Alcotest.failf "failed to parse %S" s)
+    [ ("full", Service.Full_replication);
+      ("FULL", Service.Full_replication);
+      ("replication", Service.Full_replication);
+      ("fixed-20", Service.Fixed 20);
+      ("random-9", Service.Random_server 9);
+      ("randomserver-9", Service.Random_server 9);
+      ("round-2", Service.Round_robin 2);
+      ("round_robin-2", Service.Round_robin 2);
+      ("roundrobinha-2x3", Service.Round_robin_replicated (2, 3));
+      ("RoundRobinHA-1x2", Service.Round_robin_replicated (1, 2));
+      ("roundha-2x2", Service.Round_robin_replicated (2, 2));
+      ("hash-4", Service.Hash 4) ]
+
+let test_config_parse_rejects () =
+  List.iter
+    (fun s ->
+      match Service.config_of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "should have rejected %S" s)
+    [ ""; "nope"; "fixed"; "fixed-0"; "fixed--3"; "hash-x"; "roundrobinha-2";
+      "roundrobinha-0x2"; "roundrobinha-2x0"; "roundrobinha-axb" ]
+
+let test_param () =
+  Alcotest.(check (option int)) "full" None (Service.param Service.Full_replication);
+  Alcotest.(check (option int)) "fixed" (Some 20) (Service.param (Service.Fixed 20));
+  Alcotest.(check (option int)) "hash" (Some 2) (Service.param (Service.Hash 2))
+
+let test_storage_for_budget () =
+  let n = 10 and h = 100 and total = 200 in
+  Alcotest.(check bool) "fixed x=20" true
+    (Service.storage_for_budget (Service.Fixed 1) ~n ~h ~total = Service.Fixed 20);
+  Alcotest.(check bool) "random x=20" true
+    (Service.storage_for_budget (Service.Random_server 1) ~n ~h ~total
+    = Service.Random_server 20);
+  Alcotest.(check bool) "round y=2" true
+    (Service.storage_for_budget (Service.Round_robin 1) ~n ~h ~total = Service.Round_robin 2);
+  Alcotest.(check bool) "hash y=2" true
+    (Service.storage_for_budget (Service.Hash 1) ~n ~h ~total = Service.Hash 2);
+  (* Tiny budgets floor at parameter 1. *)
+  Alcotest.(check bool) "floors at 1" true
+    (Service.storage_for_budget (Service.Fixed 1) ~n ~h ~total:5 = Service.Fixed 1)
+
+let test_all_configs () =
+  let configs = Service.all_configs ~budget:200 ~n:10 ~h:100 in
+  Helpers.check_int "five strategies" 5 (List.length configs);
+  Alcotest.(check bool) "starts with full replication" true
+    (List.hd configs = Service.Full_replication)
+
+let all_strategies =
+  [ Service.Full_replication;
+    Service.Fixed 8;
+    Service.Random_server 8;
+    Service.Random_server_replacing 8;
+    Service.Round_robin 2;
+    Service.Round_robin_replicated (2, 2);
+    Service.Hash 2 ]
+
+let test_place_lookup_every_strategy () =
+  List.iter
+    (fun config ->
+      let service, _ = Helpers.placed_service ~n:5 ~h:20 config in
+      let r = Service.partial_lookup service 5 in
+      if not (Lookup_result.satisfied r) then
+        Alcotest.failf "%s could not satisfy t=5" (Service.config_name config);
+      Helpers.check_int
+        (Printf.sprintf "%s returns 5" (Service.config_name config))
+        5 (Lookup_result.count r))
+    all_strategies
+
+let test_add_delete_every_strategy () =
+  List.iter
+    (fun config ->
+      let service, batch = Helpers.placed_service ~n:5 ~h:20 config in
+      Service.add service (Entry.v 100);
+      Service.delete service (List.hd batch);
+      (* The service still works afterwards. *)
+      let r = Service.partial_lookup service 3 in
+      if not (Lookup_result.satisfied r) then
+        Alcotest.failf "%s broken after updates" (Service.config_name config))
+    all_strategies
+
+let test_deterministic_given_seed () =
+  let run () =
+    let service, _ = Helpers.placed_service ~seed:99 ~n:6 ~h:30 (Service.Random_server 6) in
+    let r = Service.partial_lookup service 12 in
+    (Helpers.sorted_ids r.Lookup_result.entries, r.Lookup_result.servers_contacted)
+  in
+  Alcotest.(check bool) "identical replays" true (run () = run ())
+
+let test_lookup_pref_returns_cheapest () =
+  let service, batch = Helpers.placed_service ~n:4 ~h:12 Service.Full_replication in
+  (* Cost = id: the t cheapest entries are ids 0..t-1. *)
+  let cost e = float_of_int (Entry.id e) in
+  let r = Service.partial_lookup_pref service ~cost 4 in
+  Alcotest.(check (list int)) "four cheapest" [ 0; 1; 2; 3 ]
+    (Helpers.sorted_ids r.Lookup_result.entries);
+  ignore batch
+
+let test_lookup_pref_spans_servers () =
+  (* Round-robin: the cheapest entries may live on specific servers; the
+     preference lookup must find them anyway. *)
+  let service, _ = Helpers.placed_service ~n:4 ~h:12 (Service.Round_robin 1) in
+  let cost e = float_of_int (Entry.id e) in
+  let r = Service.partial_lookup_pref service ~cost 3 in
+  Alcotest.(check (list int)) "three cheapest" [ 0; 1; 2 ]
+    (Helpers.sorted_ids r.Lookup_result.entries)
+
+let test_reachability_restriction () =
+  let service, _ = Helpers.placed_service ~n:4 ~h:12 (Service.Round_robin 1) in
+  (* Only servers 0 and 1 reachable: entries on 2 and 3 unreachable. *)
+  let reachable s = s < 2 in
+  let r = Service.partial_lookup ~reachable service 12 in
+  Alcotest.(check bool) "cannot reach everything" false (Lookup_result.satisfied r);
+  List.iter
+    (fun e ->
+      let home = Entry.id e mod 4 in
+      if home >= 2 then Alcotest.failf "entry %d from unreachable server" (Entry.id e))
+    r.Lookup_result.entries
+
+let test_of_cluster_rebinds () =
+  let cluster = Cluster.create ~seed:1 ~n:4 () in
+  let service = Service.of_cluster cluster (Service.Fixed 5) in
+  Service.place service (Helpers.entries 10);
+  Helpers.check_int "placed through existing cluster" 20 (Cluster.total_stored cluster)
+
+let prop_every_strategy_satisfies_within_coverage =
+  Helpers.qcheck ~count:60 "any t within coverage is satisfied (no failures)"
+    QCheck2.Gen.(pair (int_range 0 6) (int_range 1 15))
+    (fun (strategy_index, t) ->
+      let config = List.nth all_strategies strategy_index in
+      let service, _ = Helpers.placed_service ~n:5 ~h:20 config in
+      let coverage = Plookup_metrics.Coverage.measured (Service.cluster service) in
+      let r = Service.partial_lookup service t in
+      if t <= coverage then Lookup_result.satisfied r else true)
+
+let () =
+  Helpers.run "service"
+    [ ( "service",
+        [ Alcotest.test_case "config names" `Quick test_config_names;
+          Alcotest.test_case "parse roundtrip" `Quick test_config_parse_roundtrip;
+          Alcotest.test_case "parse aliases" `Quick test_config_parse_aliases;
+          Alcotest.test_case "parse rejects" `Quick test_config_parse_rejects;
+          Alcotest.test_case "param" `Quick test_param;
+          Alcotest.test_case "storage_for_budget" `Quick test_storage_for_budget;
+          Alcotest.test_case "all_configs" `Quick test_all_configs;
+          Alcotest.test_case "place+lookup all strategies" `Quick
+            test_place_lookup_every_strategy;
+          Alcotest.test_case "updates all strategies" `Quick test_add_delete_every_strategy;
+          Alcotest.test_case "deterministic" `Quick test_deterministic_given_seed;
+          Alcotest.test_case "pref cheapest" `Quick test_lookup_pref_returns_cheapest;
+          Alcotest.test_case "pref spans servers" `Quick test_lookup_pref_spans_servers;
+          Alcotest.test_case "reachability" `Quick test_reachability_restriction;
+          Alcotest.test_case "of_cluster" `Quick test_of_cluster_rebinds;
+          prop_every_strategy_satisfies_within_coverage ] ) ]

@@ -1,0 +1,73 @@
+open Plookup_util
+
+let sample () =
+  let t = Table.create ~title:"demo" ~columns:[ "a"; "b"; "c" ] in
+  Table.add_row t [ Table.S "x"; Table.I 42; Table.F 3.14159 ];
+  Table.add_row t [ Table.S "longer"; Table.I 7; Table.F4 0.00012 ];
+  t
+
+let test_cells () =
+  Helpers.check_string "S" "x" (Table.cell_to_string (Table.S "x"));
+  Helpers.check_string "I" "42" (Table.cell_to_string (Table.I 42));
+  Helpers.check_string "F" "3.14" (Table.cell_to_string (Table.F 3.14159));
+  Helpers.check_string "F4" "0.0001" (Table.cell_to_string (Table.F4 0.00012))
+
+let test_rows_order () =
+  let t = sample () in
+  Helpers.check_int "row count" 2 (List.length (Table.rows t));
+  match Table.rows t with
+  | [ first; _ ] -> (
+    match first with
+    | Table.S s :: _ -> Helpers.check_string "first row first" "x" s
+    | _ -> Alcotest.fail "unexpected row shape")
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_row_length_mismatch () =
+  let t = Table.create ~title:"t" ~columns:[ "one" ] in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Table.add_row: row length does not match columns") (fun () ->
+      Table.add_row t [ Table.I 1; Table.I 2 ])
+
+let test_ascii_contains_everything () =
+  let s = Table.to_ascii (sample ()) in
+  List.iter
+    (fun needle ->
+      if not (Helpers.contains s needle) then
+        Alcotest.failf "ascii output missing %S in:\n%s" needle s)
+    [ "demo"; "a"; "b"; "c"; "42"; "3.14"; "longer"; "0.0001" ]
+
+let test_csv () =
+  let s = Table.to_csv (sample ()) in
+  let lines = String.split_on_char '\n' (String.trim s) in
+  Helpers.check_int "lines" 3 (List.length lines);
+  Helpers.check_string "header" "a,b,c" (List.nth lines 0);
+  Helpers.check_string "row 1" "x,42,3.14" (List.nth lines 1)
+
+let test_csv_escaping () =
+  let t = Table.create ~title:"q" ~columns:[ "v" ] in
+  Table.add_row t [ Table.S "has,comma" ];
+  Table.add_row t [ Table.S "has\"quote" ];
+  let lines = String.split_on_char '\n' (String.trim (Table.to_csv t)) in
+  Helpers.check_string "comma quoted" "\"has,comma\"" (List.nth lines 1);
+  Helpers.check_string "quote doubled" "\"has\"\"quote\"" (List.nth lines 2)
+
+let prop_csv_line_count =
+  Helpers.qcheck "csv has one line per row plus header"
+    QCheck2.Gen.(list_size (int_range 0 30) small_int)
+    (fun xs ->
+      let t = Table.create ~title:"p" ~columns:[ "n" ] in
+      List.iter (fun x -> Table.add_row t [ Table.I x ]) xs;
+      let lines = String.split_on_char '\n' (String.trim (Table.to_csv t)) in
+      List.length lines = 1 + List.length xs
+      || (xs = [] && List.length lines = 1))
+
+let () =
+  Helpers.run "table"
+    [ ( "table",
+        [ Alcotest.test_case "cells" `Quick test_cells;
+          Alcotest.test_case "rows order" `Quick test_rows_order;
+          Alcotest.test_case "row mismatch" `Quick test_row_length_mismatch;
+          Alcotest.test_case "ascii" `Quick test_ascii_contains_everything;
+          Alcotest.test_case "csv" `Quick test_csv;
+          Alcotest.test_case "csv escaping" `Quick test_csv_escaping;
+          prop_csv_line_count ] ) ]

@@ -1,0 +1,77 @@
+open Plookup_sim
+
+let test_disabled_by_default () =
+  let t = Trace.create () in
+  Alcotest.(check bool) "disabled" false (Trace.enabled t);
+  Trace.record t ~time:1. ~label:"x" "dropped";
+  Helpers.check_int "nothing recorded" 0 (Trace.length t)
+
+let test_record_and_read () =
+  let t = Trace.create () in
+  Trace.set_enabled t true;
+  Trace.record t ~time:1. ~label:"send" "a";
+  Trace.record t ~time:2. ~label:"recv" "b";
+  Helpers.check_int "length" 2 (Trace.length t);
+  match Trace.records t with
+  | [ r1; r2 ] ->
+    Helpers.check_string "label 1" "send" r1.Trace.label;
+    Helpers.check_string "detail 2" "b" r2.Trace.detail;
+    Helpers.close "time 1" 1. r1.Trace.time
+  | _ -> Alcotest.fail "expected two records"
+
+let test_ring_eviction () =
+  let t = Trace.create ~capacity:3 () in
+  Trace.set_enabled t true;
+  for i = 1 to 5 do
+    Trace.record t ~time:(float_of_int i) ~label:"l" (string_of_int i)
+  done;
+  Helpers.check_int "capped" 3 (Trace.length t);
+  Alcotest.(check (list string)) "oldest evicted" [ "3"; "4"; "5" ]
+    (List.map (fun r -> r.Trace.detail) (Trace.records t))
+
+let test_clear () =
+  let t = Trace.create () in
+  Trace.set_enabled t true;
+  Trace.record t ~time:0. ~label:"x" "y";
+  Trace.clear t;
+  Helpers.check_int "cleared" 0 (Trace.length t)
+
+let test_dump () =
+  let t = Trace.create () in
+  Trace.set_enabled t true;
+  Trace.record t ~time:1.5 ~label:"mark" "hello";
+  let s = Trace.dump t in
+  Alcotest.(check bool) "dump mentions label" true (Helpers.contains s "mark");
+  Alcotest.(check bool) "dump mentions detail" true (Helpers.contains s "hello")
+
+let test_bad_capacity () =
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Trace.create: capacity must be positive") (fun () ->
+      ignore (Trace.create ~capacity:0 ()))
+
+let prop_keeps_last_k =
+  Helpers.qcheck "ring keeps the most recent capacity records"
+    QCheck2.Gen.(pair (int_range 1 20) (list_size (int_range 0 100) small_int))
+    (fun (capacity, xs) ->
+      let t = Trace.create ~capacity () in
+      Trace.set_enabled t true;
+      List.iteri
+        (fun i x -> Trace.record t ~time:(float_of_int i) ~label:"n" (string_of_int x))
+        xs;
+      let expected =
+        let k = min capacity (List.length xs) in
+        let rec last_k l = if List.length l <= k then l else last_k (List.tl l) in
+        List.map string_of_int (last_k xs)
+      in
+      List.map (fun r -> r.Trace.detail) (Trace.records t) = expected)
+
+let () =
+  Helpers.run "trace"
+    [ ( "trace",
+        [ Alcotest.test_case "disabled by default" `Quick test_disabled_by_default;
+          Alcotest.test_case "record/read" `Quick test_record_and_read;
+          Alcotest.test_case "ring eviction" `Quick test_ring_eviction;
+          Alcotest.test_case "clear" `Quick test_clear;
+          Alcotest.test_case "dump" `Quick test_dump;
+          Alcotest.test_case "bad capacity" `Quick test_bad_capacity;
+          prop_keeps_last_k ] ) ]

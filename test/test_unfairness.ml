@@ -1,0 +1,80 @@
+open Plookup
+module Unfairness = Plookup_metrics.Unfairness
+
+let measure ?(t = 5) ?(lookups = 4000) config ~n ~h =
+  let service, live = Helpers.placed_service ~n ~h config in
+  Unfairness.of_instance service ~live ~t ~lookups
+
+let test_full_replication_fair () =
+  (* Only Monte-Carlo noise remains: sqrt((1-p)/(m p)) ~ 0.05 here. *)
+  let u = measure ~t:5 ~lookups:20_000 Service.Full_replication ~n:4 ~h:20 in
+  Alcotest.(check bool) "near zero" true (u < 0.1)
+
+let test_round_robin_fair () =
+  let u = measure ~t:5 ~lookups:20_000 (Service.Round_robin 2) ~n:4 ~h:20 in
+  Alcotest.(check bool) "near zero" true (u < 0.12)
+
+let test_fixed_unfair () =
+  (* Fixed-5 of 20 entries, t=5: tracked entries returned always, the
+     other 15 never.  U = sqrt(15/5) = sqrt(3). *)
+  let u = measure ~t:5 ~lookups:5_000 (Service.Fixed 5) ~n:4 ~h:20 in
+  Helpers.roughly ~rel:0.05 "sqrt(h/x - 1)" (sqrt 3.) u
+
+let test_ordering_matches_paper () =
+  (* Static case (Fig. 9 discussion): Fixed is markedly worse than
+     RandomServer at equal storage (the paper says "an order of
+     magnitude"; under Eq. 1 the gap at t=35 is a robust factor ~2.3 —
+     see EXPERIMENTS.md on the paper's fig-9 normalization). *)
+  let u_fixed = measure ~t:35 ~lookups:3_000 (Service.Fixed 20) ~n:10 ~h:100 in
+  let u_random = measure ~t:35 ~lookups:3_000 (Service.Random_server 20) ~n:10 ~h:100 in
+  Alcotest.(check bool)
+    (Printf.sprintf "fixed (%.2f) >> randomserver (%.2f)" u_fixed u_random)
+    true
+    (u_fixed > 1.8 *. u_random)
+
+let test_fig8_randomserver1_instances () =
+  (* Fig. 8: RandomServer-1 with 2 servers and 2 entries has four equally
+     likely instances; two are perfectly fair, two maximally unfair, so
+     the strategy unfairness is ~1/2. *)
+  let mean, _ =
+    Unfairness.of_strategy ~seed:11 ~n:2 ~entries:2 ~config:(Service.Random_server 1) ~t:1
+      ~instances:400 ~lookups_per_instance:400 ()
+  in
+  Helpers.roughly ~rel:0.15 "strategy unfairness ~ 0.5" 0.5 mean
+
+let test_missing_entries_floor () =
+  (* Entries beyond the coverage contribute p=0: Fixed-2 of 10 entries at
+     t=2 has U = sqrt(8/2) = 2. *)
+  let u = measure ~t:2 ~lookups:4_000 (Service.Fixed 2) ~n:3 ~h:10 in
+  Helpers.roughly ~rel:0.05 "floor" 2. u
+
+let test_validation () =
+  let service, live = Helpers.placed_service ~n:2 ~h:4 Service.Full_replication in
+  Alcotest.check_raises "t = 0"
+    (Invalid_argument "Unfairness.of_instance: t must be positive") (fun () ->
+      ignore (Unfairness.of_instance service ~live ~t:0 ~lookups:10));
+  Alcotest.check_raises "no lookups"
+    (Invalid_argument "Unfairness.of_instance: lookups must be positive") (fun () ->
+      ignore (Unfairness.of_instance service ~live ~t:1 ~lookups:0));
+  Alcotest.check_raises "no live entries"
+    (Invalid_argument "Unfairness.of_instance: no live entries") (fun () ->
+      ignore (Unfairness.of_instance service ~live:[] ~t:1 ~lookups:10))
+
+let prop_unfairness_nonnegative =
+  Helpers.qcheck ~count:30 "unfairness is non-negative"
+    QCheck2.Gen.(pair (int_range 1 4) (int_range 2 10))
+    (fun (y, t) ->
+      let service, live = Helpers.placed_service ~n:5 ~h:20 (Service.Hash y) in
+      Unfairness.of_instance service ~live ~t ~lookups:200 >= 0.)
+
+let () =
+  Helpers.run "unfairness"
+    [ ( "unfairness",
+        [ Alcotest.test_case "full replication fair" `Slow test_full_replication_fair;
+          Alcotest.test_case "round robin fair" `Slow test_round_robin_fair;
+          Alcotest.test_case "fixed unfair" `Quick test_fixed_unfair;
+          Alcotest.test_case "paper ordering" `Quick test_ordering_matches_paper;
+          Alcotest.test_case "fig 8 instances" `Slow test_fig8_randomserver1_instances;
+          Alcotest.test_case "missing entries floor" `Quick test_missing_entries_floor;
+          Alcotest.test_case "validation" `Quick test_validation;
+          prop_unfairness_nonnegative ] ) ]

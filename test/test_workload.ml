@@ -1,0 +1,162 @@
+open Plookup_util
+open Plookup_store
+module Update_gen = Plookup_workload.Update_gen
+
+let generate ?(seed = 1) ?(updates = 500) ?(tail_heavy = false) ?(h = 50) () =
+  Update_gen.generate (Rng.create seed)
+    { Update_gen.steady_entries = h; add_period = 10.; tail_heavy; updates }
+
+let test_initial_population () =
+  let stream = generate ~h:50 () in
+  Helpers.check_int "initial size" 50 (List.length stream.Update_gen.initial);
+  Alcotest.(check (list int)) "dense ids" (List.init 50 Fun.id)
+    (Helpers.sorted_ids stream.Update_gen.initial)
+
+let test_event_count () =
+  let stream = generate ~updates:500 () in
+  Helpers.check_int "exactly the requested updates" 500
+    (List.length stream.Update_gen.events)
+
+let test_events_sorted () =
+  let stream = generate ~updates:1000 () in
+  let rec check = function
+    | { Update_gen.time = t1; _ } :: ({ Update_gen.time = t2; _ } :: _ as rest) ->
+      if t1 > t2 then Alcotest.fail "events out of order" else check rest
+    | _ -> ()
+  in
+  check stream.Update_gen.events
+
+let test_no_delete_before_add () =
+  let stream = generate ~updates:2000 () in
+  let born = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace born (Entry.id e) ()) stream.Update_gen.initial;
+  List.iter
+    (fun ev ->
+      match ev.Update_gen.op with
+      | Update_gen.Add e -> Hashtbl.replace born (Entry.id e) ()
+      | Update_gen.Delete e ->
+        if not (Hashtbl.mem born (Entry.id e)) then
+          Alcotest.failf "delete of unborn entry %d" (Entry.id e))
+    stream.Update_gen.events
+
+let test_no_double_delete () =
+  let stream = generate ~updates:2000 () in
+  let deleted = Hashtbl.create 64 in
+  List.iter
+    (fun ev ->
+      match ev.Update_gen.op with
+      | Update_gen.Delete e ->
+        if Hashtbl.mem deleted (Entry.id e) then
+          Alcotest.failf "entry %d deleted twice" (Entry.id e);
+        Hashtbl.replace deleted (Entry.id e) ()
+      | Update_gen.Add _ -> ())
+    stream.Update_gen.events
+
+let test_steady_state_population () =
+  (* Live count should hover around h through the stream. *)
+  let h = 100 in
+  let stream = generate ~seed:3 ~h ~updates:4000 () in
+  let live = ref (List.length stream.Update_gen.initial) in
+  let acc = Stats.Accum.create () in
+  List.iter
+    (fun ev ->
+      (match ev.Update_gen.op with
+      | Update_gen.Add _ -> incr live
+      | Update_gen.Delete _ -> decr live);
+      Stats.Accum.add acc (float_of_int !live))
+    stream.Update_gen.events;
+  Helpers.roughly ~rel:0.15 "mean live ~ h" (float_of_int h) (Stats.Accum.mean acc)
+
+let test_add_rate () =
+  (* Adds arrive once per add_period on average: over the horizon the
+     add count and elapsed time agree. *)
+  let stream = generate ~seed:4 ~updates:4000 () in
+  let adds =
+    List.length
+      (List.filter
+         (fun ev -> match ev.Update_gen.op with Update_gen.Add _ -> true | _ -> false)
+         stream.Update_gen.events)
+  in
+  let horizon =
+    match List.rev stream.Update_gen.events with
+    | last :: _ -> last.Update_gen.time
+    | [] -> 0.
+  in
+  Helpers.roughly ~rel:0.1 "adds ~ horizon / period" (horizon /. 10.) (float_of_int adds)
+
+let test_zipf_stream_differs () =
+  let exp_stream = generate ~seed:5 ~tail_heavy:false () in
+  let zipf_stream = generate ~seed:5 ~tail_heavy:true () in
+  let times s = List.map (fun ev -> ev.Update_gen.time) s.Update_gen.events in
+  Alcotest.(check bool) "different delete schedules" true
+    (times exp_stream <> times zipf_stream)
+
+let test_live_after () =
+  let stream = generate ~h:10 ~updates:50 () in
+  let live0 = Update_gen.live_after stream 0 in
+  Alcotest.(check (list int)) "live at 0 = initial" (List.init 10 Fun.id)
+    (Helpers.sorted_ids live0);
+  (* Applying events by hand must agree at every prefix. *)
+  let table = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace table (Entry.id e) ()) stream.Update_gen.initial;
+  List.iteri
+    (fun i ev ->
+      (match ev.Update_gen.op with
+      | Update_gen.Add e -> Hashtbl.replace table (Entry.id e) ()
+      | Update_gen.Delete e -> Hashtbl.remove table (Entry.id e));
+      let expected = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) table []) in
+      let got = Helpers.sorted_ids (Update_gen.live_after stream (i + 1)) in
+      if expected <> got then Alcotest.failf "live_after mismatch at %d" (i + 1))
+    stream.Update_gen.events
+
+let test_default_spec () =
+  Helpers.check_int "paper default h" 100 Update_gen.default_spec.Update_gen.steady_entries;
+  Helpers.close "paper default period" 10. Update_gen.default_spec.Update_gen.add_period;
+  Helpers.check_int "paper default updates" 10000 Update_gen.default_spec.Update_gen.updates
+
+let test_validation () =
+  let rng = Rng.create 0 in
+  Alcotest.check_raises "h = 0" (Invalid_argument "Update_gen.generate: steady_entries")
+    (fun () ->
+      ignore
+        (Update_gen.generate rng
+           { Update_gen.steady_entries = 0; add_period = 1.; tail_heavy = false; updates = 1 }))
+
+let prop_event_count_exact =
+  Helpers.qcheck ~count:30 "streams have exactly the requested updates"
+    QCheck2.Gen.(pair int (int_range 0 300))
+    (fun (seed, updates) ->
+      let stream = generate ~seed ~updates () in
+      List.length stream.Update_gen.events = updates)
+
+let prop_ids_unique =
+  Helpers.qcheck ~count:20 "every add introduces a fresh id"
+    QCheck2.Gen.int
+    (fun seed ->
+      let stream = generate ~seed ~updates:500 () in
+      let ids =
+        List.filter_map
+          (fun ev ->
+            match ev.Update_gen.op with
+            | Update_gen.Add e -> Some (Entry.id e)
+            | Update_gen.Delete _ -> None)
+          stream.Update_gen.events
+      in
+      List.length ids = List.length (List.sort_uniq compare ids))
+
+let () =
+  Helpers.run "workload"
+    [ ( "update_gen",
+        [ Alcotest.test_case "initial population" `Quick test_initial_population;
+          Alcotest.test_case "event count" `Quick test_event_count;
+          Alcotest.test_case "sorted" `Quick test_events_sorted;
+          Alcotest.test_case "no delete before add" `Quick test_no_delete_before_add;
+          Alcotest.test_case "no double delete" `Quick test_no_double_delete;
+          Alcotest.test_case "steady state" `Quick test_steady_state_population;
+          Alcotest.test_case "add rate" `Quick test_add_rate;
+          Alcotest.test_case "zipf differs" `Quick test_zipf_stream_differs;
+          Alcotest.test_case "live_after" `Quick test_live_after;
+          Alcotest.test_case "default spec" `Quick test_default_spec;
+          Alcotest.test_case "validation" `Quick test_validation;
+          prop_event_count_exact;
+          prop_ids_unique ] ) ]
