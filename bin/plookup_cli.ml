@@ -17,6 +17,24 @@ let scale_arg =
   in
   Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"SCALE" ~doc)
 
+let loss_arg =
+  let doc =
+    "Ambient per-transmission message-loss probability for fault-aware experiments \
+     (e.g. $(b,loss)); a non-zero value is also added to the loss sweep's rate list."
+  in
+  Arg.(value & opt float 0.0 & info [ "loss" ] ~docv:"P" ~doc)
+
+let duplication_arg =
+  let doc = "Ambient per-transmission duplication probability for fault-aware experiments." in
+  Arg.(value & opt float 0.0 & info [ "duplication" ] ~docv:"P" ~doc)
+
+let jitter_arg =
+  let doc =
+    "Ambient per-delivery delay jitter (max extra delay, in simulated ms) for \
+     fault-aware experiments."
+  in
+  Arg.(value & opt float 0.0 & info [ "jitter" ] ~docv:"MS" ~doc)
+
 let csv_arg =
   let doc = "Emit CSV instead of an aligned ASCII table." in
   Arg.(value & flag & info [ "csv" ] ~doc)
@@ -49,8 +67,10 @@ let render ~csv ~plot table =
   end
 
 (* run subcommand *)
-let run_experiment ids seed scale csv plot =
-  let ctx = Experiments.Ctx.v ~seed ~scale () in
+let run_experiment ids seed scale loss duplication jitter csv plot =
+  match Experiments.Ctx.v ~seed ~scale ~loss ~duplication ~jitter () with
+  | exception Invalid_argument msg -> `Error (false, msg)
+  | ctx ->
   let resolve id =
     match Experiments.Registry.find id with
     | Some e -> Ok e
@@ -85,7 +105,10 @@ let run_cmd =
   let doc = "Regenerate one or more of the paper's tables/figures." in
   Cmd.v
     (Cmd.info "run" ~doc)
-    Term.(ret (const run_experiment $ ids $ seed_arg $ scale_arg $ csv_arg $ plot_arg))
+    Term.(
+      ret
+        (const run_experiment $ ids $ seed_arg $ scale_arg $ loss_arg $ duplication_arg
+        $ jitter_arg $ csv_arg $ plot_arg))
 
 (* list subcommand *)
 let list_experiments () =

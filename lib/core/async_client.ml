@@ -6,28 +6,38 @@ type outcome = {
   result : Lookup_result.t;
   started_at : float;
   completed_at : float;
+  attempts : int;
+  retries : int;
   timeouts : int;
+  duplicates : int;
 }
 
 let elapsed o = o.completed_at -. o.started_at
 
 (* One lookup is a small state machine: [queue] of servers not yet
    contacted, [inflight] contacts awaiting a reply, [seen] the merged
-   distinct entries.  Replies and timeouts race per contact; a
-   generation counter per contact makes the timeout a no-op once the
-   reply has won (and vice versa). *)
+   distinct entries.  Replies and timeouts race per attempt; a flag per
+   attempt makes the timeout a no-op once the reply has won (and vice
+   versa).  A timed-out attempt is retried against the same server with
+   the timeout stretched by [backoff], up to [retries] retries, before
+   the contact is abandoned and the next server in the order tried. *)
 type state = {
   cluster : Cluster.t;
   engine : Engine.t;
   latency : unit -> float;
   timeout : float;
+  retries_allowed : int;
+  backoff : float;
   wave : int;
   target : int;
   seen : (int, Entry.t) Hashtbl.t;
   mutable queue : int list;
   mutable inflight : int;
   mutable contacted : int;
+  mutable attempts : int;
+  mutable retries : int;
   mutable timeouts : int;
+  mutable duplicates : int;
   mutable finished : bool;
   started_at : float;
   k : outcome -> unit;
@@ -49,7 +59,10 @@ let finish st =
           { Lookup_result.entries; servers_contacted = st.contacted; target = st.target };
         started_at = st.started_at;
         completed_at = Engine.now st.engine;
-        timeouts = st.timeouts }
+        attempts = st.attempts;
+        retries = st.retries;
+        timeouts = st.timeouts;
+        duplicates = st.duplicates }
   end
 
 let satisfied st = Hashtbl.length st.seen >= st.target
@@ -69,37 +82,57 @@ let rec pump st =
   end
 
 and contact st server =
+  (* A contacted server is one we sent at least one request to — counted
+     at send time, so lookups that go expensive through timeouts report
+     their true cost (the reply-time count under-reported exactly when
+     failures made lookups expensive). *)
+  st.contacted <- st.contacted + 1;
   st.inflight <- st.inflight + 1;
+  attempt st server ~tries_left:st.retries_allowed ~timeout:st.timeout
+
+and attempt st server ~tries_left ~timeout =
+  st.attempts <- st.attempts + 1;
   let answered = ref false in
   (* The timeout and the reply race; whichever fires second is a no-op.
      A reply arriving after the timeout is simply dropped, like a
      datagram arriving after the client moved on. *)
   let timed_out = ref false in
   ignore
-    (Engine.schedule_after st.engine ~delay:st.timeout (fun _ ->
+    (Engine.schedule_after st.engine ~delay:timeout (fun _ ->
          if not !answered && not st.finished then begin
            timed_out := true;
            st.timeouts <- st.timeouts + 1;
-           st.inflight <- st.inflight - 1;
-           pump st
+           if tries_left > 0 then begin
+             st.retries <- st.retries + 1;
+             attempt st server ~tries_left:(tries_left - 1)
+               ~timeout:(timeout *. st.backoff)
+           end
+           else begin
+             st.inflight <- st.inflight - 1;
+             pump st
+           end
          end));
   Net.call_async (Cluster.net st.cluster) st.engine
     ~latency:(fun ~src:_ ~dst:_ -> st.latency ())
     ~src:Net.Client ~dst:server (Msg.Lookup st.target)
     (fun reply ->
       if (not !timed_out) && not st.finished then begin
-        answered := true;
-        st.inflight <- st.inflight - 1;
-        st.contacted <- st.contacted + 1;
-        (match reply with
-        | Msg.Entries entries ->
-          List.iter
-            (fun e ->
-              if not (Hashtbl.mem st.seen (Entry.id e)) then
-                Hashtbl.add st.seen (Entry.id e) e)
-            entries
-        | Msg.Ack | Msg.Candidate _ -> ());
-        pump st
+        if !answered then
+          (* A fault-injected duplicate of a reply already merged. *)
+          st.duplicates <- st.duplicates + 1
+        else begin
+          answered := true;
+          st.inflight <- st.inflight - 1;
+          (match reply with
+          | Msg.Entries entries ->
+            List.iter
+              (fun e ->
+                if not (Hashtbl.mem st.seen (Entry.id e)) then
+                  Hashtbl.add st.seen (Entry.id e) e)
+              entries
+          | Msg.Ack | Msg.Candidate _ -> ());
+          pump st
+        end
       end)
 
 let dedup_order order =
@@ -113,22 +146,30 @@ let dedup_order order =
       end)
     order
 
-let lookup cluster engine ~latency ~timeout ~order ?(wave = 1) ~t k =
+let lookup cluster engine ~latency ~timeout ?(retries = 0) ?(backoff = 2.) ~order
+    ?(wave = 1) ~t k =
   if t <= 0 then invalid_arg "Async_client.lookup: t must be positive";
   if timeout <= 0. then invalid_arg "Async_client.lookup: timeout must be positive";
   if wave <= 0 then invalid_arg "Async_client.lookup: wave must be positive";
+  if retries < 0 then invalid_arg "Async_client.lookup: retries must be non-negative";
+  if backoff < 1. then invalid_arg "Async_client.lookup: backoff must be >= 1";
   let st =
     { cluster;
       engine;
       latency;
       timeout;
+      retries_allowed = retries;
+      backoff;
       wave;
       target = t;
       seen = Hashtbl.create 32;
       queue = dedup_order order;
       inflight = 0;
       contacted = 0;
+      attempts = 0;
+      retries = 0;
       timeouts = 0;
+      duplicates = 0;
       finished = false;
       started_at = Engine.now engine;
       k }
@@ -137,8 +178,8 @@ let lookup cluster engine ~latency ~timeout ~order ?(wave = 1) ~t k =
      "now" before running the engine. *)
   ignore (Engine.schedule_after engine ~delay:0. (fun _ -> pump st))
 
-let lookup_random_order cluster engine ~latency ~timeout ?wave ~t k =
+let lookup_random_order cluster engine ~latency ~timeout ?retries ?backoff ?wave ~t k =
   let order =
     Array.to_list (Plookup_util.Rng.perm (Cluster.rng cluster) (Cluster.n cluster))
   in
-  lookup cluster engine ~latency ~timeout ~order ?wave ~t k
+  lookup cluster engine ~latency ~timeout ?retries ?backoff ~order ?wave ~t k

@@ -13,6 +13,13 @@
     fires that many requests concurrently — the Round-Robin parallel
     client of Section 3.5 sets the wave to its predicted contact count.
 
+    The client is robust to a faulty network ({!Plookup_net.Net}
+    fault injection): a contact whose request or reply is lost times
+    out and is retried against the *same* server up to [retries] times
+    with exponentially backed-off timeouts before the client moves on to
+    the next server in its order, and fault-injected duplicate replies
+    are suppressed (counted, not double-merged).
+
     The client holds no global clock or threads: it is a callback state
     machine driven entirely by {!Plookup_sim.Engine} events, like every
     other component of the simulator. *)
@@ -20,9 +27,15 @@
 
 type outcome = {
   result : Lookup_result.t;
+      (** [servers_contacted] counts distinct servers sent at least one
+          request — counted at send time, so timed-out contacts are
+          included in the lookup-cost metric. *)
   started_at : float;
   completed_at : float;  (** engine time when the target was met or the order exhausted *)
-  timeouts : int;  (** contacts abandoned after no reply *)
+  attempts : int;  (** total requests sent, including retries *)
+  retries : int;  (** re-sends to a server whose previous attempt timed out *)
+  timeouts : int;  (** attempts abandoned after no reply (every expiry counts) *)
+  duplicates : int;  (** fault-injected duplicate replies suppressed *)
 }
 
 val elapsed : outcome -> float
@@ -32,6 +45,8 @@ val lookup :
   Plookup_sim.Engine.t ->
   latency:(unit -> float) ->
   timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
   order:int list ->
   ?wave:int ->
   t:int ->
@@ -39,18 +54,23 @@ val lookup :
   unit
 (** Schedule an asynchronous [partial_lookup t] probing the servers of
     [order] (duplicates ignored).  Each contact costs one request and
-    one reply latency draw; a contact that has not answered within
-    [timeout] counts as failed and the next server in [order] is tried.
-    [wave] (default 1) contacts run concurrently at all times until the
-    target is met.  The callback fires exactly once, with the merged
-    (and target-truncated) result.  Requires positive [t], [timeout]
-    and [wave]. *)
+    one reply latency draw; an attempt that has not answered within its
+    timeout is retried against the same server — with the timeout
+    multiplied by [backoff] (default 2.0, must be >= 1) — up to
+    [retries] times (default 0, i.e. at most one attempt per server);
+    once a contact's attempts are exhausted the next server in [order]
+    is tried.  [wave] (default 1) contacts run concurrently at all
+    times until the target is met.  The callback fires exactly once,
+    with the merged (and target-truncated) result.  Requires positive
+    [t], [timeout] and [wave], and non-negative [retries]. *)
 
 val lookup_random_order :
   Cluster.t ->
   Plookup_sim.Engine.t ->
   latency:(unit -> float) ->
   timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
   ?wave:int ->
   t:int ->
   (outcome -> unit) ->

@@ -33,6 +33,16 @@ let is_up t i = Net.is_up t.net i
 let up_servers t = Net.up_servers t.net
 let fail_exactly t down = Net.fail_exactly t.net down
 
+let set_faults t ?seed ?loss ?duplication ?jitter () =
+  let seed = Option.value seed ~default:t.seed in
+  Net.set_faults t.net ~seed ?loss ?duplication ?jitter ()
+
+let clear_faults t = Net.clear_faults t.net
+let set_faults_enabled t on = Net.set_faults_enabled t.net on
+let partition t ~name ?clients ~a ~b () = Net.partition t.net ~name ?clients ~a ~b ()
+let heal t ~name = Net.heal t.net ~name
+let heal_all t = Net.heal_all t.net
+
 let random_up_server t =
   match up_servers t with
   | [] -> None

@@ -31,6 +31,26 @@ val random_up_server : t -> int option
     "a client selects a server at random... if the server has failed,
     keep on selecting another". *)
 
+(** {1 Fault injection}
+
+    Thin pass-throughs to {!Plookup_net.Net}'s deterministic
+    fault-injection layer, so experiments configure loss, duplication,
+    jitter and partitions without reaching for the raw network. *)
+
+val set_faults :
+  t -> ?seed:int -> ?loss:float -> ?duplication:float -> ?jitter:float -> unit -> unit
+(** [seed] defaults to the cluster seed, keeping the fault schedule a
+    function of the cluster's one master seed. *)
+
+val clear_faults : t -> unit
+val set_faults_enabled : t -> bool -> unit
+
+val partition :
+  t -> name:string -> ?clients:[ `A | `B ] -> a:int list -> b:int list -> unit -> unit
+
+val heal : t -> name:string -> unit
+val heal_all : t -> unit
+
 (** {1 Inspection (used by the metrics layer)} *)
 
 val total_stored : t -> int

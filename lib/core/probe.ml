@@ -60,6 +60,11 @@ let random_order ?reachable cluster ~t =
 
 let stride ?reachable cluster ~start ~step ~t =
   let n = Cluster.n cluster in
+  (* Normalize into [0, n): OCaml's [mod] is sign-preserving, so a raw
+     negative step would walk [pos] below 0 and crash the array access;
+     step = 0 (mod n) degenerates to the single start residue, which the
+     rest-extension below already handles. *)
+  let step = ((step mod n) + n) mod n in
   let usable = candidates ?reachable cluster in
   if List.length usable = n then begin
     (* Failure-free fast path: the deterministic sequence start,

@@ -32,4 +32,7 @@ val stride :
     fewest entries.  A down or unreachable server in the sequence makes
     the client fall back to random probing over the remaining servers,
     as the paper prescribes ("if there are any server failures, choose
-    random servers instead"). *)
+    random servers instead").  [start] and [step] may be any integers
+    (both are normalized mod n, so negative, zero and >= n strides are
+    all safe); when the stride cycle covers only some residues the probe
+    extends to the remaining servers rather than looping. *)

@@ -1,10 +1,27 @@
-type t = { seed : int; scale : float }
+type t = {
+  seed : int;
+  scale : float;
+  loss : float;
+  duplication : float;
+  jitter : float;
+}
 
-let default = { seed = 42; scale = 1.0 }
+let default = { seed = 42; scale = 1.0; loss = 0.; duplication = 0.; jitter = 0. }
 
-let v ?(seed = 42) ?(scale = 1.0) () =
+let v ?(seed = 42) ?(scale = 1.0) ?(loss = 0.) ?(duplication = 0.) ?(jitter = 0.) () =
   if scale <= 0. then invalid_arg "Ctx.v: scale must be positive";
-  { seed; scale }
+  if loss < 0. || loss >= 1. then invalid_arg "Ctx.v: loss must be in [0, 1)";
+  if duplication < 0. || duplication > 1. then
+    invalid_arg "Ctx.v: duplication must be in [0, 1]";
+  if jitter < 0. then invalid_arg "Ctx.v: jitter must be non-negative";
+  { seed; scale; loss; duplication; jitter }
+
+let faulty t = t.loss > 0. || t.duplication > 0. || t.jitter > 0.
+
+let apply_faults t cluster =
+  if faulty t then
+    Plookup.Cluster.set_faults cluster ~loss:t.loss ~duplication:t.duplication
+      ~jitter:t.jitter ()
 
 let scaled t base = max 1 (int_of_float (Float.round (float_of_int base *. t.scale)))
 

@@ -1,16 +1,42 @@
-(** Shared experiment context: a master seed and a scale knob.
+(** Shared experiment context: a master seed, a scale knob, and ambient
+    network-fault knobs.
 
     The paper's data points average 5000 runs of up to 5000 lookups —
     minutes of CPU per figure.  Defaults here are sized for seconds per
     figure; [scale] multiplies every run/lookup count so the CLI can
-    crank any experiment back up to paper scale (see EXPERIMENTS.md). *)
+    crank any experiment back up to paper scale (see EXPERIMENTS.md).
 
-type t = { seed : int; scale : float }
+    [loss], [duplication] and [jitter] describe an ambient fault model
+    (see {!Plookup_net.Net.set_faults}) that fault-aware experiments —
+    currently the loss sweep — thread into the networks they build; the
+    CLI exposes them as [--loss], [--duplication] and [--jitter]. *)
+
+type t = {
+  seed : int;
+  scale : float;
+  loss : float;  (** per-transmission drop probability, in [0, 1) *)
+  duplication : float;  (** per-transmission duplicate probability, in [0, 1] *)
+  jitter : float;  (** max extra per-delivery delay (engine time units) *)
+}
 
 val default : t
-(** seed 42, scale 1.0 *)
+(** seed 42, scale 1.0, no faults *)
 
-val v : ?seed:int -> ?scale:float -> unit -> t
+val v :
+  ?seed:int ->
+  ?scale:float ->
+  ?loss:float ->
+  ?duplication:float ->
+  ?jitter:float ->
+  unit ->
+  t
+
+val faulty : t -> bool
+(** Whether any fault knob is non-zero. *)
+
+val apply_faults : t -> Plookup.Cluster.t -> unit
+(** Install the context's ambient fault model on a cluster (seeded from
+    the cluster seed); no-op when the context is fault-free. *)
 
 val scaled : t -> int -> int
 (** [scaled ctx base] is [base * scale], at least 1. *)

@@ -31,6 +31,7 @@ let measure_config ctx ~n ~h ~t ~lookups ~timeout ~rtt_lo ~rtt_hi ~config ~order
   let service = Service.create ~seed:(Ctx.run_seed ctx 1) ~n config in
   Service.place service (Entry.Gen.batch (Entry.Gen.create ()) h);
   let cluster = Service.cluster service in
+  Ctx.apply_faults ctx cluster;
   List.iter (Cluster.fail cluster) down;
   let engine = Engine.create () in
   let latency_rng = Rng.create (Ctx.run_seed ctx 2) in

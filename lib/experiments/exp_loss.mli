@@ -1,0 +1,23 @@
+(** Extension experiment: lookup cost and coverage as a function of
+    message-loss rate.
+
+    Sections 5–6 argue partial lookups stay cheap and available under
+    failures; this sweep stresses the stronger fault model — per-link
+    loss (plus any ambient duplication/jitter from the context) — and
+    measures how the retrying {!Plookup.Async_client} pays for it: for
+    loss rates 0/5/10/20 % it reports the satisfaction rate, contacts,
+    attempts, retries, timeouts and latency per lookup for Fixed-x and
+    RoundRobin-y. *)
+
+val id : string
+val title : string
+
+val run :
+  ?n:int ->
+  ?h:int ->
+  ?budget:int ->
+  ?t:int ->
+  ?timeout:float ->
+  ?retries:int ->
+  Ctx.t ->
+  Plookup_util.Table.t

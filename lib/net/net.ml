@@ -1,4 +1,28 @@
+open Plookup_util
+
 type sender = Client | Server of int
+
+(* Senders are keyed by an integer code so that per-link RNG streams and
+   partition sides treat clients and servers uniformly: -1 is "the
+   client side", 0..n-1 are the servers. *)
+let code = function Client -> -1 | Server i -> i
+
+type faults = {
+  loss : float;
+  duplication : float;
+  jitter : float;
+  fault_seed : int;
+  links : (int * int, Rng.t) Hashtbl.t;
+}
+
+type partition_side = [ `A | `B ]
+
+type partition = {
+  pname : string;
+  a : int list;
+  b : int list;
+  clients : partition_side;
+}
 
 type ('msg, 'reply) t = {
   n : int;
@@ -6,10 +30,16 @@ type ('msg, 'reply) t = {
   up : bool array;
   received : int array;
   mutable dropped : int;
+  mutable lost : int;
+  mutable blocked : int;
+  mutable duplicated : int;
   mutable broadcast_count : int;
   mutable client_count : int;
   mutable engine : (Plookup_sim.Engine.t * (src:sender -> dst:int -> float)) option;
   mutable status_listener : (int -> up:bool -> unit) option;
+  mutable faults : faults option;
+  mutable faults_on : bool;
+  mutable partitions : partition list;
 }
 
 let create ~n =
@@ -19,10 +49,16 @@ let create ~n =
     up = Array.make n true;
     received = Array.make n 0;
     dropped = 0;
+    lost = 0;
+    blocked = 0;
+    duplicated = 0;
     broadcast_count = 0;
     client_count = 0;
     engine = None;
-    status_listener = None }
+    status_listener = None;
+    faults = None;
+    faults_on = false;
+    partitions = [] }
 
 let n t = t.n
 
@@ -68,6 +104,75 @@ let fail_exactly t down =
   done;
   List.iter (fail t) down
 
+(* {2 Fault injection} *)
+
+let set_faults t ~seed ?(loss = 0.) ?(duplication = 0.) ?(jitter = 0.) () =
+  if loss < 0. || loss >= 1. then invalid_arg "Net.set_faults: loss must be in [0, 1)";
+  if duplication < 0. || duplication > 1. then
+    invalid_arg "Net.set_faults: duplication must be in [0, 1]";
+  if jitter < 0. then invalid_arg "Net.set_faults: jitter must be non-negative";
+  t.faults <-
+    Some { loss; duplication; jitter; fault_seed = seed; links = Hashtbl.create 16 };
+  t.faults_on <- true
+
+let clear_faults t =
+  t.faults <- None;
+  t.faults_on <- false
+
+let set_faults_enabled t on = t.faults_on <- on
+let faults_enabled t = t.faults_on && Option.is_some t.faults
+let active_faults t = if t.faults_on then t.faults else None
+
+(* Each directed link owns an RNG stream derived from the fault seed, so
+   the drop/duplicate/jitter schedule of a link depends only on the
+   sequence of transmissions on that link — deterministic regardless of
+   how traffic on other links interleaves. *)
+let link_rng f ~from_code ~to_code =
+  match Hashtbl.find_opt f.links (from_code, to_code) with
+  | Some rng -> rng
+  | None ->
+    let h = Rng.mix64 (Int64.of_int f.fault_seed) in
+    let h = Rng.mix64 (Int64.logxor h (Int64.of_int (from_code + 1))) in
+    let h = Rng.mix64 (Int64.logxor h (Int64.of_int (to_code + 1))) in
+    let rng = Rng.create (Int64.to_int h land max_int) in
+    Hashtbl.add f.links (from_code, to_code) rng;
+    rng
+
+(* {2 Partitions} *)
+
+let side_of p c =
+  if c = -1 then Some p.clients
+  else if List.mem c p.a then Some `A
+  else if List.mem c p.b then Some `B
+  else None
+
+let crosses p ~from_code ~to_code =
+  match (side_of p from_code, side_of p to_code) with
+  | Some x, Some y -> x <> y
+  | _ -> false
+
+let link_blocked t ~from_code ~to_code =
+  List.exists (fun p -> crosses p ~from_code ~to_code) t.partitions
+
+let partition t ~name ?(clients = `A) ~a ~b () =
+  List.iter (check_node t) a;
+  List.iter (check_node t) b;
+  if List.exists (fun i -> List.mem i b) a then
+    invalid_arg "Net.partition: a server cannot be on both sides";
+  t.partitions <-
+    { pname = name; a; b; clients }
+    :: List.filter (fun p -> p.pname <> name) t.partitions
+
+let heal t ~name = t.partitions <- List.filter (fun p -> p.pname <> name) t.partitions
+let heal_all t = t.partitions <- []
+let partitions t = List.rev_map (fun p -> p.pname) t.partitions
+
+let reachable t ~src ~dst =
+  check_node t dst;
+  not (link_blocked t ~from_code:(code src) ~to_code:dst)
+
+(* {2 Messaging} *)
+
 let handler_exn t =
   match t.handler with
   | Some h -> h
@@ -77,8 +182,9 @@ let account t ~src ~dst =
   t.received.(dst) <- t.received.(dst) + 1;
   match src with Client -> t.client_count <- t.client_count + 1 | Server _ -> ()
 
-let send t ~src ~dst msg =
-  check_node t dst;
+(* Final delivery: liveness check, accounting, handler.  All fault
+   decisions have already been made by the caller. *)
+let deliver t ~src ~dst msg =
   if not t.up.(dst) then begin
     t.dropped <- t.dropped + 1;
     None
@@ -88,16 +194,43 @@ let send t ~src ~dst msg =
     Some ((handler_exn t) dst src msg)
   end
 
+(* One synchronous server-bound transmission: partition, then loss, then
+   delivery (possibly twice when duplicated).  Jitter is meaningless
+   without an engine, so the synchronous path never draws it. *)
+let sync_transmit t ~src ~dst msg =
+  if link_blocked t ~from_code:(code src) ~to_code:dst then begin
+    t.blocked <- t.blocked + 1;
+    None
+  end
+  else
+    match active_faults t with
+    | None -> deliver t ~src ~dst msg
+    | Some f ->
+      let rng = link_rng f ~from_code:(code src) ~to_code:dst in
+      if Rng.bernoulli rng f.loss then begin
+        t.lost <- t.lost + 1;
+        None
+      end
+      else begin
+        let reply = deliver t ~src ~dst msg in
+        if Rng.bernoulli rng f.duplication then begin
+          t.duplicated <- t.duplicated + 1;
+          ignore (deliver t ~src ~dst msg)
+        end;
+        reply
+      end
+
+let send t ~src ~dst msg =
+  check_node t dst;
+  sync_transmit t ~src ~dst msg
+
 let broadcast t ~src msg =
   t.broadcast_count <- t.broadcast_count + 1;
-  let h = handler_exn t in
   let replies = ref [] in
   for dst = t.n - 1 downto 0 do
-    if t.up.(dst) then begin
-      account t ~src ~dst;
-      replies := (dst, h dst src msg) :: !replies
-    end
-    else t.dropped <- t.dropped + 1
+    match sync_transmit t ~src ~dst msg with
+    | Some reply -> replies := (dst, reply) :: !replies
+    | None -> ()
   done;
   !replies
 
@@ -108,39 +241,84 @@ let messages_received_by t i =
   t.received.(i)
 
 let messages_dropped t = t.dropped
+let messages_lost t = t.lost
+let messages_blocked t = t.blocked
+let duplicates_delivered t = t.duplicated
 let broadcasts t = t.broadcast_count
 let client_requests t = t.client_count
 
 let reset_counters t =
   Array.fill t.received 0 t.n 0;
   t.dropped <- 0;
+  t.lost <- 0;
+  t.blocked <- 0;
+  t.duplicated <- 0;
   t.broadcast_count <- 0;
   t.client_count <- 0
 
 let attach_engine t engine ~latency = t.engine <- Some (engine, latency)
+
+(* Delays (relative to now) at which copies of one engine-routed
+   transmission arrive: [] when partitioned or lost, two entries when
+   duplicated, each copy jittered independently. *)
+let transmission_delays t ~from_code ~to_code ~base =
+  if link_blocked t ~from_code ~to_code then begin
+    t.blocked <- t.blocked + 1;
+    []
+  end
+  else
+    match active_faults t with
+    | None -> [ base ]
+    | Some f ->
+      let rng = link_rng f ~from_code ~to_code in
+      if Rng.bernoulli rng f.loss then begin
+        t.lost <- t.lost + 1;
+        []
+      end
+      else begin
+        let jittered () =
+          base +. (if f.jitter > 0. then Rng.float rng f.jitter else 0.)
+        in
+        let d1 = jittered () in
+        if Rng.bernoulli rng f.duplication then begin
+          t.duplicated <- t.duplicated + 1;
+          [ d1; jittered () ]
+        end
+        else [ d1 ]
+      end
 
 let post t ~src ~dst msg =
   check_node t dst;
   match t.engine with
   | None -> ignore (send t ~src ~dst msg)
   | Some (engine, latency) ->
-    let delay = latency ~src ~dst in
-    ignore
-      (Plookup_sim.Engine.schedule_after engine ~delay (fun _ ->
-           ignore (send t ~src ~dst msg)))
+    let base = latency ~src ~dst in
+    List.iter
+      (fun delay ->
+        ignore
+          (Plookup_sim.Engine.schedule_after engine ~delay (fun _ ->
+               ignore (deliver t ~src ~dst msg))))
+      (transmission_delays t ~from_code:(code src) ~to_code:dst ~base)
 
 let call_async t engine ~latency ~src ~dst msg k =
   check_node t dst;
-  let request_delay = latency ~src ~dst in
-  ignore
-    (Plookup_sim.Engine.schedule_after engine ~delay:request_delay (fun engine ->
-         match send t ~src ~dst msg with
-         | None -> () (* lost: dst was down at delivery time *)
-         | Some reply ->
-           let reply_delay = latency ~src ~dst in
-           ignore
-             (Plookup_sim.Engine.schedule_after engine ~delay:reply_delay (fun _ ->
-                  k reply))))
+  let request_base = latency ~src ~dst in
+  List.iter
+    (fun request_delay ->
+      ignore
+        (Plookup_sim.Engine.schedule_after engine ~delay:request_delay (fun engine ->
+             match deliver t ~src ~dst msg with
+             | None -> () (* lost: dst was down at delivery time *)
+             | Some reply ->
+               let reply_base = latency ~src ~dst in
+               List.iter
+                 (fun reply_delay ->
+                   ignore
+                     (Plookup_sim.Engine.schedule_after engine ~delay:reply_delay
+                        (fun _ -> k reply)))
+                 (transmission_delays t ~from_code:dst ~to_code:(code src)
+                    ~base:reply_base))))
+    (transmission_delays t ~from_code:(code src) ~to_code:dst ~base:request_base)
 
 let pp_sender ppf = function
   | Client -> Format.pp_print_string ppf "client"

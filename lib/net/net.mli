@@ -14,7 +14,15 @@
     {!Plookup_sim.Engine} instead, for latency-aware examples.
 
     Nodes can be failed and recovered; messages to a failed node are
-    dropped (and counted as dropped, not received). *)
+    dropped (and counted as dropped, not received).
+
+    Beyond binary up/down servers, a deterministic {e fault-injection}
+    layer models lossy links: seeded per-link message loss, duplication
+    and delay jitter ({!set_faults}), plus named network partitions
+    ({!partition}) that cut client-to-server and server-to-server links.
+    All fault decisions are drawn from per-link RNG streams derived from
+    the fault seed, so a given seed always yields the identical
+    drop/duplicate/jitter schedule. *)
 
 type ('msg, 'reply) t
 
@@ -58,11 +66,81 @@ val up_servers : ('msg, 'reply) t -> int list
 val fail_exactly : ('msg, 'reply) t -> int list -> unit
 (** Recover everyone, then fail exactly the given servers. *)
 
+(** {1 Fault injection}
+
+    Orthogonal to whole-server failures: faults act on individual
+    message transmissions.  [loss] drops a transmission outright,
+    [duplication] delivers it twice, and [jitter] adds an independent
+    uniform [0, jitter) delay to each engine-routed delivery (the
+    synchronous {!send}/{!broadcast} path has no clock, so jitter only
+    affects {!post} and {!call_async}).  Every directed link (client or
+    server X to server or client Y) draws from its own RNG stream seeded
+    from [seed], so the fault schedule is a deterministic function of
+    the seed and the per-link traffic sequence. *)
+
+val set_faults :
+  ('msg, 'reply) t ->
+  seed:int ->
+  ?loss:float ->
+  ?duplication:float ->
+  ?jitter:float ->
+  unit ->
+  unit
+(** Install (and enable) the fault layer.  [loss] must be in [0, 1),
+    [duplication] in [0, 1], [jitter] non-negative; all default to 0.
+    Replaces any previous fault configuration and resets the per-link
+    streams. *)
+
+val clear_faults : ('msg, 'reply) t -> unit
+(** Remove the fault layer entirely. *)
+
+val set_faults_enabled : ('msg, 'reply) t -> bool -> unit
+(** Toggle the installed fault layer mid-run without discarding its
+    per-link RNG state.  No-op while no layer is installed. *)
+
+val faults_enabled : ('msg, 'reply) t -> bool
+
+(** {2 Partitions}
+
+    A named partition splits the world into two sides, [a] and [b];
+    transmissions crossing the cut are silently dropped (and counted as
+    blocked).  Servers listed on neither side are unaffected.  Clients
+    collectively sit on side [clients] (default [`A]).  Partitions
+    compose: a link is cut if {e any} active partition cuts it.  They
+    act regardless of {!set_faults_enabled}, and are independent of
+    server up/down state. *)
+
+val partition :
+  ('msg, 'reply) t ->
+  name:string ->
+  ?clients:[ `A | `B ] ->
+  a:int list ->
+  b:int list ->
+  unit ->
+  unit
+(** Install or replace the partition called [name].  A server may not
+    appear on both sides. *)
+
+val heal : ('msg, 'reply) t -> name:string -> unit
+(** Remove one named partition (no-op if absent). *)
+
+val heal_all : ('msg, 'reply) t -> unit
+
+val partitions : ('msg, 'reply) t -> string list
+(** Names of the active partitions, oldest first. *)
+
+val reachable : ('msg, 'reply) t -> src:sender -> dst:int -> bool
+(** Whether a transmission [src -> dst] would cross any active
+    partition ([true] = no cut; ignores up/down state and loss). *)
+
 (** {1 Messaging} *)
 
 val send : ('msg, 'reply) t -> src:sender -> dst:int -> 'msg -> 'reply option
-(** Point-to-point.  [None] if [dst] is down (message dropped), otherwise
-    the handler's reply.  Counts 1 received message when delivered. *)
+(** Point-to-point.  [None] if [dst] is down (message dropped), the link
+    is partitioned (blocked) or the fault layer loses the request;
+    otherwise the handler's reply.  Counts 1 received message per
+    delivery (2 when duplication fires — the duplicate is processed and
+    its reply discarded, as a datagram server would). *)
 
 val broadcast : ('msg, 'reply) t -> src:sender -> 'msg -> (int * 'reply) list
 (** Deliver to every *up* server, in server order (including the sender
@@ -76,7 +154,19 @@ val messages_received : ('msg, 'reply) t -> int
     overhead-cost metric. *)
 
 val messages_received_by : ('msg, 'reply) t -> int -> int
+
 val messages_dropped : ('msg, 'reply) t -> int
+(** Transmissions that reached a {e down} server. *)
+
+val messages_lost : ('msg, 'reply) t -> int
+(** Transmissions dropped by injected link loss. *)
+
+val messages_blocked : ('msg, 'reply) t -> int
+(** Transmissions cut by an active partition. *)
+
+val duplicates_delivered : ('msg, 'reply) t -> int
+(** Extra copies delivered by injected duplication. *)
+
 val broadcasts : ('msg, 'reply) t -> int
 val client_requests : ('msg, 'reply) t -> int
 (** Messages whose sender was {!Client}. *)
@@ -110,6 +200,10 @@ val call_async :
     latency later (each direction draws its own latency).  If [dst] is
     down at delivery time the request is lost and the callback never
     fires — callers implement their own timeouts, exactly like a real
-    datagram client.  Message accounting matches {!send}. *)
+    datagram client.  The fault layer applies independently to each
+    direction: a lost or partition-blocked request (or reply) silences
+    the callback, jitter stretches either hop, and duplication can make
+    the callback fire more than once per call — callers must tolerate
+    duplicate replies.  Message accounting matches {!send}. *)
 
 val pp_sender : Format.formatter -> sender -> unit

@@ -4,6 +4,7 @@ type event = { id : event_id; action : t -> unit }
 and t = {
   queue : event Event_queue.t;
   cancelled : (event_id, unit) Hashtbl.t;
+  scheduled : (event_id, unit) Hashtbl.t;
   mutable clock : float;
   mutable next_id : event_id;
   mutable live : int;
@@ -12,6 +13,7 @@ and t = {
 let create () =
   { queue = Event_queue.create ();
     cancelled = Hashtbl.create 64;
+    scheduled = Hashtbl.create 64;
     clock = 0.;
     next_id = 0;
     live = 0 }
@@ -23,6 +25,7 @@ let schedule_at t ~time action =
   let id = t.next_id in
   t.next_id <- id + 1;
   t.live <- t.live + 1;
+  Hashtbl.replace t.scheduled id ();
   Event_queue.push t.queue ~time { id; action };
   id
 
@@ -30,10 +33,14 @@ let schedule_after t ~delay action =
   if delay < 0. then invalid_arg "Engine.schedule_after: negative delay";
   schedule_at t ~time:(t.clock +. delay) action
 
+(* Only ids still sitting in the queue may be cancelled: cancelling an
+   event that already fired (or was already cancelled) is a no-op, so
+   [live] stays accurate and the cancelled table holds no stale ids. *)
 let cancel t id =
-  if id >= 0 && id < t.next_id && not (Hashtbl.mem t.cancelled id) then begin
+  if Hashtbl.mem t.scheduled id then begin
+    Hashtbl.remove t.scheduled id;
     Hashtbl.replace t.cancelled id ();
-    t.live <- max 0 (t.live - 1)
+    t.live <- t.live - 1
   end
 
 let pending t = t.live
@@ -49,12 +56,29 @@ let rec pop_live t =
     end
     else Some (time, ev)
 
+(* Like {!pop_live} but leaves the surfaced live event in the queue;
+   cancelled events ahead of it are purged.  [run ~until] must compare
+   the horizon against the next event that will actually *fire* — a
+   cancelled event's earlier timestamp must not let a later live event
+   slip past the horizon. *)
+let rec peek_live t =
+  match Event_queue.peek t.queue with
+  | None -> None
+  | Some (time, ev) ->
+    if Hashtbl.mem t.cancelled ev.id then begin
+      ignore (Event_queue.pop t.queue);
+      Hashtbl.remove t.cancelled ev.id;
+      peek_live t
+    end
+    else Some (time, ev)
+
 let step t =
   match pop_live t with
   | None -> false
   | Some (time, ev) ->
     t.clock <- time;
     t.live <- t.live - 1;
+    Hashtbl.remove t.scheduled ev.id;
     ev.action t;
     true
 
@@ -63,7 +87,7 @@ let run ?max_events ?until t =
   let budget_ok () = match max_events with None -> true | Some m -> !fired < m in
   let continue = ref true in
   while !continue && budget_ok () do
-    match Event_queue.peek t.queue with
+    match peek_live t with
     | None -> continue := false
     | Some (time, _) ->
       (match until with
@@ -72,13 +96,14 @@ let run ?max_events ?until t =
         continue := false
       | _ -> if step t then incr fired else continue := false)
   done;
-  (match until with
-  | Some horizon when Event_queue.is_empty t.queue -> t.clock <- max t.clock horizon
+  (match (until, peek_live t) with
+  | Some horizon, None -> t.clock <- max t.clock horizon
   | _ -> ());
   !fired
 
 let reset t =
   Event_queue.clear t.queue;
   Hashtbl.reset t.cancelled;
+  Hashtbl.reset t.scheduled;
   t.clock <- 0.;
   t.live <- 0

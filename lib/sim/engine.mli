@@ -26,20 +26,22 @@ val schedule_after : t -> delay:float -> (t -> unit) -> event_id
 (** [schedule_at ~time:(now t +. delay)].  Negative delays raise. *)
 
 val cancel : t -> event_id -> unit
-(** Cancelled events are skipped when popped; cancelling twice or after
-    firing is a no-op. *)
+(** Cancelled events are skipped when popped; cancelling twice, or after
+    the event has fired, is a no-op (in particular it does not perturb
+    {!pending}). *)
 
 val pending : t -> int
-(** Events scheduled and not yet fired or cancelled (cancelled events may
-    be counted until they are popped). *)
+(** Events scheduled and not yet fired or cancelled. *)
 
 val step : t -> bool
 (** Fire the single earliest event.  [false] when the queue is empty. *)
 
 val run : ?max_events:int -> ?until:float -> t -> int
 (** Fire events until the queue is empty, [max_events] have fired, or the
-    next event is strictly after [until].  Returns the number of events
-    fired.  When stopped by [until], the clock is advanced to [until]. *)
+    next *live* event is strictly after [until] (cancelled events never
+    fire and never count against the horizon).  Returns the number of
+    events fired.  When stopped by [until], the clock is advanced to
+    [until]. *)
 
 val reset : t -> unit
 (** Drop all pending events and rewind the clock to 0. *)

@@ -13,11 +13,12 @@ The CLI lists every reproducible experiment in paper order:
   hotspot  Extension: popular-key hot spots, key partitioning vs partial lookup
   churn    Extension: lookup availability under server churn (mttf=50, mttr=50, t=40)
   latency  Extension: lookup latency on a simulated network (Async_client)
+  loss     Extension: lookup cost and coverage vs message loss (retrying Async_client)
 
 Unknown experiments are rejected with the valid names:
 
   $ ../../bin/plookup_cli.exe run fig99
-  plookup: unknown experiment "fig99"; try one of: table1, fig4, fig6, fig7, fig9, fig12, fig13, fig14, table2, hotspot, churn, latency
+  plookup: unknown experiment "fig99"; try one of: table1, fig4, fig6, fig7, fig9, fig12, fig13, fig14, table2, hotspot, churn, latency, loss
   [124]
 
 Table 1 is deterministic given the seed (timing line stripped):

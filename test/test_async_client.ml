@@ -21,11 +21,11 @@ let manual_cluster ~n placement =
       | _ -> Msg.Ack);
   cluster
 
-let run_lookup ?wave ?(timeout = 100.) ?(latency = fun () -> 10.) ~order ~t cluster =
-  let engine = Engine.create () in
+let run_lookup ?wave ?retries ?backoff ?(timeout = 100.) ?(latency = fun () -> 10.)
+    ?(engine = Engine.create ()) ~order ~t cluster =
   let outcome = ref None in
-  Async_client.lookup cluster engine ~latency ~timeout ~order ?wave ~t (fun o ->
-      outcome := Some o);
+  Async_client.lookup cluster engine ~latency ~timeout ?retries ?backoff ~order ?wave ~t
+    (fun o -> outcome := Some o);
   ignore (Engine.run engine);
   match !outcome with Some o -> o | None -> Alcotest.fail "lookup never completed"
 
@@ -41,7 +41,11 @@ let test_sequential_latency_is_sum () =
 let test_parallel_wave_latency_is_max () =
   let cluster = manual_cluster ~n:3 [ [ 0; 1 ]; [ 2; 3 ]; [ 4 ] ] in
   let o = run_lookup ~wave:2 ~order:[ 0; 1; 2 ] ~t:4 cluster in
-  Helpers.check_int "two contacts" 2 o.Async_client.result.Lookup_result.servers_contacted;
+  (* Contacts are counted at send time: server 0's reply lands first and
+     refills the wave with a (real, server-received) request to server 2
+     before server 1's reply completes the target — three sends. *)
+  Helpers.check_int "three contacts" 3 o.Async_client.result.Lookup_result.servers_contacted;
+  Helpers.check_int "three attempts" 3 o.Async_client.attempts;
   Helpers.close "20ms = 1 concurrent round trip" 20. (Async_client.elapsed o)
 
 let test_timeout_masks_failure () =
@@ -105,6 +109,105 @@ let test_late_reply_dropped () =
     (Lookup_result.satisfied o.Async_client.result);
   Helpers.check_int "first contact timed out" 1 o.Async_client.timeouts
 
+let test_timed_out_contact_counts_toward_cost () =
+  (* Regression: a contact that never answered was invisible in
+     servers_contacted, under-reporting lookup cost exactly when
+     failures made lookups expensive. *)
+  let cluster = manual_cluster ~n:2 [ [ 0; 1 ]; [ 0; 1 ] ] in
+  Cluster.fail cluster 0;
+  let o = run_lookup ~timeout:50. ~order:[ 0; 1 ] ~t:2 cluster in
+  Helpers.check_int "both sends counted" 2
+    o.Async_client.result.Lookup_result.servers_contacted;
+  Helpers.check_int "two attempts" 2 o.Async_client.attempts;
+  Helpers.check_int "no retries configured" 0 o.Async_client.retries
+
+let test_retry_masks_transient_failure () =
+  (* Server 0 is down for the first attempt and back for the retry: one
+     retry to the *same* server recovers the lookup without moving on. *)
+  let cluster = manual_cluster ~n:2 [ [ 0; 1 ]; [ 0; 1 ] ] in
+  Cluster.fail cluster 0;
+  let engine = Engine.create () in
+  ignore (Engine.schedule_at engine ~time:55. (fun _ -> Cluster.recover cluster 0));
+  (* Attempt 1 at t=0 dies at the down server; timeout at 50; retry at
+     t=50 is delivered at t=60 (after the recovery), reply at t=70. *)
+  let o = run_lookup ~engine ~timeout:50. ~retries:1 ~order:[ 0 ] ~t:2 cluster in
+  Alcotest.(check bool) "satisfied" true (Lookup_result.satisfied o.Async_client.result);
+  Helpers.check_int "one server contacted" 1
+    o.Async_client.result.Lookup_result.servers_contacted;
+  Helpers.check_int "two attempts" 2 o.Async_client.attempts;
+  Helpers.check_int "one retry" 1 o.Async_client.retries;
+  Helpers.check_int "one timeout" 1 o.Async_client.timeouts;
+  Helpers.close "70ms = timeout + retry round trip" 70. (Async_client.elapsed o)
+
+let test_backoff_stretches_timeouts () =
+  (* Dead server, retries 2, backoff 3: waits of 10, 30, 90 then give
+     up — the order is exhausted at t = 130. *)
+  let cluster = manual_cluster ~n:1 [ [ 0 ] ] in
+  Cluster.fail cluster 0;
+  let o = run_lookup ~timeout:10. ~retries:2 ~backoff:3. ~order:[ 0 ] ~t:1 cluster in
+  Alcotest.(check bool) "unsatisfied" false (Lookup_result.satisfied o.Async_client.result);
+  Helpers.check_int "three attempts" 3 o.Async_client.attempts;
+  Helpers.check_int "two retries" 2 o.Async_client.retries;
+  Helpers.check_int "three timeouts" 3 o.Async_client.timeouts;
+  Helpers.close "10 + 30 + 90" 130. (Async_client.elapsed o)
+
+let test_duplicate_replies_suppressed () =
+  (* Duplication 1.0 doubles the request (handler runs twice) and each
+     reply transmission, so the callback fires 4 times per contact.  The
+     target needs both servers, so server 0's three extra replies arrive
+     while the lookup is still running: merged once, counted thrice. *)
+  let cluster = manual_cluster ~n:2 [ [ 0 ]; [ 1 ] ] in
+  Net.set_faults (Cluster.net cluster) ~seed:1 ~duplication:1.0 ();
+  let o = run_lookup ~order:[ 0; 1 ] ~t:2 cluster in
+  Alcotest.(check bool) "satisfied" true (Lookup_result.satisfied o.Async_client.result);
+  Helpers.check_int "two contacts" 2 o.Async_client.result.Lookup_result.servers_contacted;
+  Helpers.check_int "two attempts" 2 o.Async_client.attempts;
+  Helpers.check_int "three duplicates suppressed" 3 o.Async_client.duplicates
+
+let test_lookup_over_lossy_jittered_network () =
+  (* Acceptance: with a fixed seed, 10% loss and jitter, retrying
+     lookups still deliver t distinct entries for Fixed-x and
+     RoundRobin-y placements. *)
+  let check_config name config order =
+    let service = Plookup.Service.create ~seed:5 ~n:10 config in
+    Plookup.Service.place service (Helpers.entries 100);
+    let cluster = Plookup.Service.cluster service in
+    Cluster.set_faults cluster ~seed:99 ~loss:0.1 ~jitter:5. ();
+    let engine = Engine.create () in
+    let t = 35 in
+    let o = run_lookup ~engine ~timeout:60. ~retries:3 ~order ~t cluster in
+    Alcotest.(check bool) (name ^ " satisfied") true
+      (Lookup_result.satisfied o.Async_client.result);
+    let ids = Helpers.sorted_ids o.Async_client.result.Lookup_result.entries in
+    Helpers.check_int (name ^ " t entries") t (List.length ids);
+    Helpers.check_int (name ^ " distinct") t
+      (List.length (List.sort_uniq compare ids))
+  in
+  check_config "Fixed-40" (Plookup.Service.Fixed 40) [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ];
+  (* RoundRobin-2's strided order from server 3. *)
+  check_config "RoundRobin-2" (Plookup.Service.Round_robin 2)
+    [ 3; 5; 7; 9; 1; 0; 2; 4; 6; 8 ]
+
+let test_lossy_lookup_deterministic () =
+  (* Same seeds end to end => byte-identical outcome, faults included. *)
+  let one () =
+    let service = Plookup.Service.create ~seed:5 ~n:10 (Plookup.Service.Round_robin 2) in
+    Plookup.Service.place service (Helpers.entries 100);
+    let cluster = Plookup.Service.cluster service in
+    Cluster.set_faults cluster ~seed:7 ~loss:0.2 ~duplication:0.1 ~jitter:8. ();
+    let o =
+      run_lookup ~timeout:40. ~retries:2 ~order:[ 0; 2; 4; 6; 8; 1; 3; 5; 7; 9 ] ~t:30
+        cluster
+    in
+    ( Async_client.elapsed o,
+      o.Async_client.attempts,
+      o.Async_client.retries,
+      o.Async_client.timeouts,
+      o.Async_client.duplicates,
+      Helpers.sorted_ids o.Async_client.result.Lookup_result.entries )
+  in
+  Alcotest.(check bool) "identical replay" true (one () = one ())
+
 let test_random_order_visits_everyone_if_needed () =
   let cluster = manual_cluster ~n:4 [ [ 0 ]; [ 1 ]; [ 2 ]; [ 3 ] ] in
   let engine = Engine.create () in
@@ -150,6 +253,18 @@ let () =
           Alcotest.test_case "truncates" `Quick test_truncates_to_target;
           Alcotest.test_case "fires once" `Quick test_callback_fires_once;
           Alcotest.test_case "late reply dropped" `Quick test_late_reply_dropped;
+          Alcotest.test_case "timed-out contact counted" `Quick
+            test_timed_out_contact_counts_toward_cost;
+          Alcotest.test_case "retry masks transient failure" `Quick
+            test_retry_masks_transient_failure;
+          Alcotest.test_case "backoff stretches timeouts" `Quick
+            test_backoff_stretches_timeouts;
+          Alcotest.test_case "duplicate replies suppressed" `Quick
+            test_duplicate_replies_suppressed;
+          Alcotest.test_case "lossy jittered lookup" `Quick
+            test_lookup_over_lossy_jittered_network;
+          Alcotest.test_case "lossy lookup deterministic" `Quick
+            test_lossy_lookup_deterministic;
           Alcotest.test_case "random order" `Quick test_random_order_visits_everyone_if_needed;
           Alcotest.test_case "validation" `Quick test_validation;
           prop_async_agrees_with_sync_on_answers ] ) ]

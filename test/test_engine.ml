@@ -61,6 +61,68 @@ let test_run_until () =
   ignore (Engine.run e);
   Helpers.check_int "rest fired" 4 !fired
 
+let test_run_until_ignores_cancelled_before_horizon () =
+  (* Regression: a cancelled event inside the horizon used to satisfy the
+     peek, and the *next live* event — past the horizon — then fired. *)
+  let e = Engine.create () in
+  let id = Engine.schedule_at e ~time:1. (fun _ -> Alcotest.fail "cancelled event fired") in
+  let fired_at = ref [] in
+  ignore (Engine.schedule_at e ~time:10. (fun eng -> fired_at := Engine.now eng :: !fired_at));
+  Engine.cancel e id;
+  let n = Engine.run ~until:5. e in
+  Helpers.check_int "nothing fires before the horizon" 0 n;
+  Alcotest.(check (list (float 1e-9))) "event past horizon did not fire" [] !fired_at;
+  Helpers.close "clock stops at horizon" 5. (Engine.now e);
+  Helpers.check_int "live event still pending" 1 (Engine.pending e);
+  ignore (Engine.run e);
+  Alcotest.(check (list (float 1e-9))) "fires later at its own time" [ 10. ] !fired_at
+
+let test_run_until_only_cancelled_left () =
+  (* A queue holding nothing but cancelled events is as good as empty:
+     the clock must still advance to the horizon. *)
+  let e = Engine.create () in
+  let id = Engine.schedule_at e ~time:2. (fun _ -> ()) in
+  Engine.cancel e id;
+  Helpers.check_int "no fires" 0 (Engine.run ~until:7. e);
+  Helpers.close "clock reaches horizon" 7. (Engine.now e)
+
+let test_cancel_after_fire_is_noop () =
+  (* Regression: cancelling an already-fired id used to decrement [live]
+     and leak a stale entry, so [pending] under-reported forever. *)
+  let e = Engine.create () in
+  let id = Engine.schedule_at e ~time:1. (fun _ -> ()) in
+  ignore (Engine.run e);
+  Helpers.check_int "nothing pending after firing" 0 (Engine.pending e);
+  Engine.cancel e id;
+  Helpers.check_int "cancel of fired id leaves pending alone" 0 (Engine.pending e);
+  let fired = ref 0 in
+  ignore (Engine.schedule_at e ~time:2. (fun _ -> incr fired));
+  Engine.cancel e id;
+  Helpers.check_int "still one pending" 1 (Engine.pending e);
+  Helpers.check_int "new event fires" 1 (Engine.run e);
+  Helpers.check_int "fired" 1 !fired
+
+let prop_run_until_never_fires_past_horizon =
+  Helpers.qcheck ~count:100 "run ~until never fires an event after the horizon"
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 1 40) (float_range 0. 100.))
+        (list_size (int_range 0 40) (int_range 0 39))
+        (float_range 0. 100.))
+    (fun (times, cancels, horizon) ->
+      let e = Engine.create () in
+      let fired = ref [] in
+      let ids =
+        List.map
+          (fun t ->
+            Engine.schedule_at e ~time:t (fun eng -> fired := Engine.now eng :: !fired))
+          times
+      in
+      let ids = Array.of_list ids in
+      List.iter (fun i -> Engine.cancel e ids.(i mod Array.length ids)) cancels;
+      ignore (Engine.run ~until:horizon e);
+      List.for_all (fun t -> t <= horizon) !fired && Engine.now e >= horizon)
+
 let test_run_max_events () =
   let e = Engine.create () in
   List.iter (fun t -> ignore (Engine.schedule_at e ~time:t (fun _ -> ()))) [ 1.; 2.; 3. ];
@@ -119,6 +181,12 @@ let () =
           Alcotest.test_case "past rejected" `Quick test_past_scheduling_rejected;
           Alcotest.test_case "cancel" `Quick test_cancel;
           Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "until skips cancelled" `Quick
+            test_run_until_ignores_cancelled_before_horizon;
+          Alcotest.test_case "until with only cancelled" `Quick
+            test_run_until_only_cancelled_left;
+          Alcotest.test_case "cancel after fire" `Quick test_cancel_after_fire_is_noop;
+          prop_run_until_never_fires_past_horizon;
           Alcotest.test_case "run max_events" `Quick test_run_max_events;
           Alcotest.test_case "step" `Quick test_step;
           Alcotest.test_case "reset" `Quick test_reset;

@@ -162,6 +162,176 @@ let test_post_to_failed_node_after_delay () =
   ignore (Engine.run engine);
   Helpers.check_int "dropped at delivery" 1 (Net.messages_dropped net)
 
+(* {2 Fault injection} *)
+
+let test_loss_drops_and_counts () =
+  let net = make ~n:2 () in
+  Net.set_faults net ~seed:7 ~loss:0.5 ();
+  let sent = 400 in
+  let delivered = ref 0 in
+  for i = 1 to sent do
+    match Net.send net ~src:Net.Client ~dst:(i mod 2) "m" with
+    | Some _ -> incr delivered
+    | None -> ()
+  done;
+  Helpers.check_int "received matches deliveries" !delivered (Net.messages_received net);
+  Helpers.check_int "every send delivered or lost" sent
+    (!delivered + Net.messages_lost net);
+  Alcotest.(check bool) "some were lost" true (Net.messages_lost net > 0);
+  Alcotest.(check bool) "some got through" true (!delivered > 0);
+  Helpers.check_int "loss is not the down-server counter" 0 (Net.messages_dropped net)
+
+let test_duplication_delivers_twice () =
+  let net = make ~n:2 () in
+  Net.set_faults net ~seed:3 ~duplication:1.0 ();
+  for _ = 1 to 10 do
+    match Net.send net ~src:Net.Client ~dst:1 "m" with
+    | Some (1, "m") -> ()
+    | _ -> Alcotest.fail "reply lost"
+  done;
+  Helpers.check_int "each send processed twice" 20 (Net.messages_received net);
+  Helpers.check_int "duplicates counted" 10 (Net.duplicates_delivered net)
+
+let test_jitter_bounds_delay () =
+  let engine = Engine.create () in
+  let net = Net.create ~n:1 in
+  let times = ref [] in
+  Net.set_handler net (fun _ _ () -> times := Engine.now engine :: !times);
+  Net.attach_engine net engine ~latency:(fun ~src:_ ~dst:_ -> 5.);
+  Net.set_faults net ~seed:5 ~jitter:2. ();
+  for _ = 1 to 30 do
+    Net.post net ~src:Net.Client ~dst:0 ()
+  done;
+  ignore (Engine.run engine);
+  Helpers.check_int "all delivered" 30 (List.length !times);
+  List.iter
+    (fun t ->
+      if t < 5. || t >= 7. then Alcotest.failf "delivery at %f outside [5, 7)" t)
+    !times;
+  Alcotest.(check bool) "jitter actually spreads deliveries" true
+    (List.length (List.sort_uniq compare !times) > 1)
+
+let test_fault_toggle_mid_run () =
+  let net = make ~n:1 () in
+  Net.set_faults net ~seed:1 ~loss:0.9 ();
+  Net.set_faults_enabled net false;
+  for _ = 1 to 50 do
+    match Net.send net ~src:Net.Client ~dst:0 "m" with
+    | Some _ -> ()
+    | None -> Alcotest.fail "disabled faults still dropped a message"
+  done;
+  Net.set_faults_enabled net true;
+  let lost_before = Net.messages_lost net in
+  for _ = 1 to 50 do
+    ignore (Net.send net ~src:Net.Client ~dst:0 "m")
+  done;
+  Alcotest.(check bool) "re-enabled faults lose messages" true
+    (Net.messages_lost net > lost_before);
+  Net.clear_faults net;
+  Alcotest.(check bool) "cleared" false (Net.faults_enabled net)
+
+let test_fault_determinism () =
+  (* Same seed => identical drop/duplicate/jitter schedule, independent
+     of anything but the per-link traffic sequence. *)
+  let schedule seed =
+    let engine = Engine.create () in
+    let net = Net.create ~n:3 in
+    let log = ref [] in
+    Net.set_handler net (fun dst _src msg -> log := (Engine.now engine, dst, msg) :: !log);
+    Net.attach_engine net engine ~latency:(fun ~src:_ ~dst:_ -> 5.);
+    Net.set_faults net ~seed ~loss:0.2 ~duplication:0.2 ~jitter:3. ();
+    for i = 1 to 60 do
+      Net.post net ~src:Net.Client ~dst:(i mod 3) i
+    done;
+    ignore (Engine.run engine);
+    (List.rev !log, Net.messages_lost net, Net.duplicates_delivered net)
+  in
+  Alcotest.(check bool) "same seed, same schedule" true (schedule 42 = schedule 42);
+  Alcotest.(check bool) "different seed, different schedule" true
+    (schedule 42 <> schedule 43)
+
+let test_set_faults_validation () =
+  let net = make () in
+  Alcotest.check_raises "loss = 1" (Invalid_argument "Net.set_faults: loss must be in [0, 1)")
+    (fun () -> Net.set_faults net ~seed:0 ~loss:1.0 ());
+  Alcotest.check_raises "negative jitter"
+    (Invalid_argument "Net.set_faults: jitter must be non-negative") (fun () ->
+      Net.set_faults net ~seed:0 ~jitter:(-1.) ())
+
+(* {2 Partitions} *)
+
+let test_partition_blocks_crossing_links () =
+  let net = make ~n:4 () in
+  Net.partition net ~name:"split" ~a:[ 0; 1 ] ~b:[ 2; 3 ] ();
+  (* Clients default to side A. *)
+  (match Net.send net ~src:Net.Client ~dst:0 "m" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "client to own side blocked");
+  (match Net.send net ~src:Net.Client ~dst:2 "m" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "client crossed the cut");
+  (match Net.send net ~src:(Net.Server 0) ~dst:3 "m" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "server crossed the cut");
+  (match Net.send net ~src:(Net.Server 2) ~dst:3 "m" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "same-side servers blocked");
+  Helpers.check_int "blocked counted" 2 (Net.messages_blocked net);
+  Alcotest.(check bool) "reachable agrees" false
+    (Net.reachable net ~src:Net.Client ~dst:2);
+  Alcotest.(check bool) "reachable same side" true
+    (Net.reachable net ~src:Net.Client ~dst:1)
+
+let test_partition_client_side_b () =
+  let net = make ~n:2 () in
+  Net.partition net ~name:"p" ~clients:`B ~a:[ 0 ] ~b:[ 1 ] ();
+  (match Net.send net ~src:Net.Client ~dst:0 "m" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "client should sit on side B");
+  match Net.send net ~src:Net.Client ~dst:1 "m" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "client to side B blocked"
+
+let test_partition_unlisted_servers_unaffected () =
+  let net = make ~n:3 () in
+  Net.partition net ~name:"p" ~a:[ 0 ] ~b:[ 1 ] ();
+  (* Server 2 is on neither side: it talks to everyone. *)
+  (match Net.send net ~src:(Net.Server 2) ~dst:0 "m" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "unlisted server blocked");
+  match Net.send net ~src:(Net.Server 2) ~dst:1 "m" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "unlisted server blocked"
+
+let test_heal_restores_links () =
+  let net = make ~n:2 () in
+  Net.partition net ~name:"p" ~a:[ 0 ] ~b:[ 1 ] ();
+  Alcotest.(check (list string)) "active" [ "p" ] (Net.partitions net);
+  Net.heal net ~name:"p";
+  Alcotest.(check (list string)) "healed" [] (Net.partitions net);
+  match Net.send net ~src:(Net.Server 0) ~dst:1 "m" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "healed link still blocked"
+
+let test_partitions_compose () =
+  let net = make ~n:3 () in
+  Net.partition net ~name:"p1" ~a:[ 0 ] ~b:[ 1 ] ();
+  Net.partition net ~name:"p2" ~a:[ 0 ] ~b:[ 2 ] ();
+  Alcotest.(check bool) "p1 cuts" false (Net.reachable net ~src:(Net.Server 0) ~dst:1);
+  Alcotest.(check bool) "p2 cuts" false (Net.reachable net ~src:(Net.Server 0) ~dst:2);
+  Net.heal net ~name:"p1";
+  Alcotest.(check bool) "p1 healed" true (Net.reachable net ~src:(Net.Server 0) ~dst:1);
+  Alcotest.(check bool) "p2 still cuts" false
+    (Net.reachable net ~src:(Net.Server 0) ~dst:2);
+  Net.heal_all net;
+  Alcotest.(check bool) "all healed" true (Net.reachable net ~src:(Net.Server 0) ~dst:2)
+
+let test_partition_validation () =
+  let net = make ~n:2 () in
+  Alcotest.check_raises "both sides"
+    (Invalid_argument "Net.partition: a server cannot be on both sides") (fun () ->
+      Net.partition net ~name:"bad" ~a:[ 0 ] ~b:[ 0 ] ())
+
 let prop_message_count_additive =
   Helpers.qcheck "k sends = k received messages"
     QCheck2.Gen.(int_range 0 200)
@@ -196,4 +366,17 @@ let () =
           Alcotest.test_case "post sync" `Quick test_post_without_engine_is_sync;
           Alcotest.test_case "post delayed" `Quick test_post_with_engine_is_delayed;
           Alcotest.test_case "post to failed" `Quick test_post_to_failed_node_after_delay;
+          Alcotest.test_case "loss drops" `Quick test_loss_drops_and_counts;
+          Alcotest.test_case "duplication" `Quick test_duplication_delivers_twice;
+          Alcotest.test_case "jitter bounds" `Quick test_jitter_bounds_delay;
+          Alcotest.test_case "fault toggle" `Quick test_fault_toggle_mid_run;
+          Alcotest.test_case "fault determinism" `Quick test_fault_determinism;
+          Alcotest.test_case "set_faults validation" `Quick test_set_faults_validation;
+          Alcotest.test_case "partition blocks" `Quick test_partition_blocks_crossing_links;
+          Alcotest.test_case "partition client side" `Quick test_partition_client_side_b;
+          Alcotest.test_case "partition unlisted" `Quick
+            test_partition_unlisted_servers_unaffected;
+          Alcotest.test_case "heal" `Quick test_heal_restores_links;
+          Alcotest.test_case "partitions compose" `Quick test_partitions_compose;
+          Alcotest.test_case "partition validation" `Quick test_partition_validation;
           prop_message_count_additive ] ) ]

@@ -110,6 +110,39 @@ let test_stride_falls_back_on_failure () =
   Alcotest.(check bool) "no entry from the dead server" false
     (List.exists (fun e -> Entry.id e = 2) r.Lookup_result.entries)
 
+let test_stride_negative_step () =
+  (* Regression: OCaml's sign-preserving [mod] walked the position
+     negative and crashed the visited-array access. *)
+  let cluster = manual_cluster ~n:4 [ [ 0 ]; [ 1 ]; [ 2 ]; [ 3 ] ] in
+  let r = Probe.stride cluster ~start:0 ~step:(-1) ~t:3 in
+  Alcotest.(check bool) "satisfied" true (Lookup_result.satisfied r);
+  (* step -1 walks 0, 3, 2, ... *)
+  Alcotest.(check (list int)) "walks backwards" [ 0; 2; 3 ]
+    (Helpers.sorted_ids r.Lookup_result.entries)
+
+let test_stride_step_multiple_of_n () =
+  (* step = 0 (mod n) degenerates to the start residue; the probe must
+     extend to the rest instead of looping or stalling short. *)
+  let cluster = manual_cluster ~n:4 [ [ 0 ]; [ 1 ]; [ 2 ]; [ 3 ] ] in
+  List.iter
+    (fun step ->
+      let r = Probe.stride cluster ~start:1 ~step ~t:4 in
+      Helpers.check_int
+        (Printf.sprintf "full coverage at step %d" step)
+        4
+        (Lookup_result.count r))
+    [ 0; 4; 8; -4 ]
+
+let prop_stride_total_for_any_step =
+  Helpers.qcheck ~count:300 "stride handles any integer start/step without raising"
+    QCheck2.Gen.(triple (int_range (-50) 50) (int_range (-50) 50) (int_range 1 5))
+    (fun (start, step, t) ->
+      let cluster = manual_cluster ~n:5 [ [ 0 ]; [ 1 ]; [ 2 ]; [ 3 ]; [ 4 ] ] in
+      let r = Probe.stride cluster ~start ~step ~t in
+      (* One entry per server, so a target of t needs exactly t contacts
+         and full coverage is always reachable. *)
+      Lookup_result.count r = t && r.Lookup_result.servers_contacted = t)
+
 let test_each_contact_counts_a_message () =
   let cluster = manual_cluster ~n:3 [ [ 0; 1 ]; [ 2; 3 ]; [ 4; 5 ] ] in
   Net.reset_counters (Cluster.net cluster);
@@ -142,5 +175,9 @@ let () =
           Alcotest.test_case "stride extends" `Quick test_stride_extends_past_cycle;
           Alcotest.test_case "stride failure fallback" `Quick
             test_stride_falls_back_on_failure;
+          Alcotest.test_case "stride negative step" `Quick test_stride_negative_step;
+          Alcotest.test_case "stride step multiple of n" `Quick
+            test_stride_step_multiple_of_n;
+          prop_stride_total_for_any_step;
           Alcotest.test_case "message accounting" `Quick test_each_contact_counts_a_message;
           prop_never_exceeds_target ] ) ]

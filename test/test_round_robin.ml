@@ -128,6 +128,21 @@ let test_lookup_cost_steps () =
         r.Lookup_result.servers_contacted)
     [ (10, 1); (20, 1); (21, 2); (40, 2); (41, 3); (100, 5) ]
 
+let test_lookup_with_y_equal_n () =
+  (* y = n makes the stride step a multiple of n; the normalized step 0
+     degenerates to one residue and the probe's rest-extension must
+     still reach everyone (regression for the sign-preserving-mod
+     stride bug). *)
+  let _, s, _ = make ~n:4 ~h:8 ~y:4 () in
+  List.iter
+    (fun t ->
+      let r = Round_robin.partial_lookup s t in
+      Alcotest.(check bool)
+        (Printf.sprintf "satisfied at t=%d" t)
+        true
+        (Lookup_result.satisfied r))
+    [ 1; 4; 8 ]
+
 let test_lookup_under_failure_randomizes () =
   let cluster, s, _ = make ~n:10 ~h:100 ~y:2 () in
   Cluster.fail cluster 3;
@@ -314,6 +329,7 @@ let () =
           Alcotest.test_case "balance <= y" `Quick test_balance_within_y;
           Alcotest.test_case "complete coverage" `Quick test_complete_coverage;
           Alcotest.test_case "y clamped" `Quick test_y_clamped_to_n;
+          Alcotest.test_case "lookup with y = n" `Quick test_lookup_with_y_equal_n;
           Alcotest.test_case "head/tail" `Quick test_head_tail_after_place;
           Alcotest.test_case "add at tail" `Quick test_add_appends_at_tail;
           Alcotest.test_case "add cost" `Quick test_add_message_cost;
