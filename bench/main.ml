@@ -314,6 +314,128 @@ let ablation_hash_sizing () =
   Table.print table
 
 (* ------------------------------------------------------------------ *)
+(* Part 4: churn/repair benchmark -> BENCH_repair.json                  *)
+
+(* One churned run per strategy with the full repair stack on (recovery
+   sync + hinted handoff + daemon), reporting what the self-healing
+   layer buys and what it costs: lookup success rate, stale reads,
+   mean time-to-restore-degree, and repair messages per recovery. *)
+let bench_repair () =
+  let n = 10 and h = 100 and t = 40 in
+  let mttf = 50. and mttr = 50. and horizon = 2000. and update_every = 10. in
+  let scenario config =
+    let service = Service.create ~seed:99 ~repair:Repair.default_config ~n config in
+    let gen = Entry.Gen.create () in
+    let initial = Entry.Gen.batch gen h in
+    Service.place service initial;
+    let cluster = Service.cluster service in
+    let rep = Option.get (Service.repair service) in
+    let engine = Plookup_sim.Engine.create () in
+    Repair.attach_engine ~until:horizon rep engine;
+    let churn = Workload.Churn.generate (Rng.create 7) ~n ~mttf ~mttr ~horizon in
+    let recoveries =
+      List.length (List.filter (fun ev -> ev.Workload.Churn.up) churn)
+    in
+    Workload.Churn.drive engine
+      ~apply:(fun ev ->
+        if ev.Workload.Churn.up then Cluster.recover cluster ev.Workload.Churn.server
+        else Cluster.fail cluster ev.Workload.Churn.server)
+      churn;
+    let live = Hashtbl.create (2 * h) in
+    List.iter (fun e -> Hashtbl.replace live (Entry.id e) e) initial;
+    let deleted = Hashtbl.create 64 in
+    let wl_rng = Rng.create 15 in
+    for k = 1 to int_of_float (horizon /. update_every) do
+      ignore
+        (Plookup_sim.Engine.schedule_at engine
+           ~time:((float_of_int k *. update_every) +. 0.25)
+           (fun _ ->
+             if Service.can_update service then begin
+               let ids =
+                 List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) live [])
+               in
+               match ids with
+               | [] -> ()
+               | _ ->
+                 let victim_id = List.nth ids (Rng.int wl_rng (List.length ids)) in
+                 let victim = Hashtbl.find live victim_id in
+                 Service.delete service victim;
+                 Hashtbl.remove live victim_id;
+                 Hashtbl.replace deleted victim_id ();
+                 let fresh = Entry.Gen.fresh gen in
+                 Service.add service fresh;
+                 Hashtbl.replace live (Entry.id fresh) fresh
+             end))
+    done;
+    let lookups = ref 0 and satisfied = ref 0 and stale = ref 0 in
+    for i = 1 to int_of_float horizon do
+      ignore
+        (Plookup_sim.Engine.schedule_at engine ~time:(float_of_int i) (fun _ ->
+             let r = Service.partial_lookup service t in
+             incr lookups;
+             let returned = r.Lookup_result.entries in
+             let live_returned =
+               List.filter (fun e -> Hashtbl.mem live (Entry.id e)) returned
+             in
+             if List.length live_returned >= t then incr satisfied;
+             stale :=
+               !stale
+               + List.length
+                   (List.filter (fun e -> Hashtbl.mem deleted (Entry.id e)) returned)))
+    done;
+    ignore (Plookup_sim.Engine.run ~until:horizon engine);
+    ( Service.config_name config,
+      float_of_int !satisfied /. float_of_int (max 1 !lookups),
+      !stale,
+      (Repair.stats rep).Repair.mean_restore_time,
+      Repair.repair_messages rep,
+      recoveries )
+  in
+  let rows = List.map scenario (Service.all_configs ~budget:200 ~n ~h) in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "churn/repair benchmark (repair=full, mttf=%.0f mttr=%.0f horizon=%.0f)" mttf
+           mttr horizon)
+      ~columns:
+        [ "strategy"; "success %"; "stale reads"; "time to repair"; "repair msgs";
+          "msgs/recovery" ]
+  in
+  List.iter
+    (fun (name, success, stale, restore, msgs, recoveries) ->
+      Table.add_row table
+        [ Table.S name;
+          Table.F (100. *. success);
+          Table.I stale;
+          (match restore with Some rt -> Table.F rt | None -> Table.S "-");
+          Table.I msgs;
+          Table.F (float_of_int msgs /. float_of_int (max 1 recoveries)) ])
+    rows;
+  Table.print table;
+  let oc = open_out "BENCH_repair.json" in
+  let field_of (name, success, stale, restore, msgs, recoveries) =
+    Printf.sprintf
+      "    {\"strategy\": %S, \"success_rate\": %.4f, \"stale_reads\": %d, \
+       \"mean_time_to_repair\": %s, \"repair_messages\": %d, \"recoveries\": %d, \
+       \"repair_messages_per_recovery\": %.2f}"
+      name success stale
+      (match restore with Some rt -> Printf.sprintf "%.4f" rt | None -> "null")
+      msgs recoveries
+      (float_of_int msgs /. float_of_int (max 1 recoveries))
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"churn_repair\",\n\
+    \  \"params\": {\"n\": %d, \"h\": %d, \"t\": %d, \"mttf\": %.1f, \"mttr\": %.1f, \
+     \"horizon\": %.1f, \"repair\": \"full\"},\n\
+    \  \"strategies\": [\n%s\n  ]\n}\n"
+    n h t mttf mttr horizon
+    (String.concat ",\n" (List.map field_of rows));
+  close_out oc;
+  print_endline "(wrote BENCH_repair.json)"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let t0 = Unix.gettimeofday () in
@@ -346,4 +468,8 @@ let () =
   ablation_coordinator_replication ();
   print_newline ();
   ablation_hash_sizing ();
+  print_newline ();
+  print_endline "=== Part 4: churn/repair benchmark (BENCH_repair.json) ===";
+  print_newline ();
+  bench_repair ();
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -35,6 +35,48 @@ let jitter_arg =
   in
   Arg.(value & opt float 0.0 & info [ "jitter" ] ~docv:"MS" ~doc)
 
+let mttf_arg =
+  let doc = "Mean time to failure per server, for the churn experiment (default 50)." in
+  Arg.(value & opt (some float) None & info [ "mttf" ] ~docv:"TIME" ~doc)
+
+let mttr_arg =
+  let doc = "Mean time to recovery per server, for the churn experiment (default 50)." in
+  Arg.(value & opt (some float) None & info [ "mttr" ] ~docv:"TIME" ~doc)
+
+let horizon_arg =
+  let doc =
+    "Simulated duration of the churn experiment before $(b,--scale) is applied \
+     (default 5000)."
+  in
+  Arg.(value & opt (some float) None & info [ "horizon" ] ~docv:"TIME" ~doc)
+
+let repair_arg =
+  let doc =
+    "Self-healing mode compared against repair-off in the churn experiment: $(b,off) \
+     (no repaired pass at all), $(b,sync) (digest recovery sync only) or $(b,full) \
+     (sync + hinted handoff + repair daemon; the default)."
+  in
+  Arg.(value & opt (some string) None & info [ "repair" ] ~docv:"MODE" ~doc)
+
+let grace_arg =
+  let doc =
+    "Repair daemon grace period: how long a server may be down before its entries are \
+     re-replicated elsewhere (default 30)."
+  in
+  Arg.(value & opt (some float) None & info [ "grace" ] ~docv:"TIME" ~doc)
+
+let repair_period_arg =
+  let doc = "Interval between repair daemon passes (default 10)." in
+  Arg.(value & opt (some float) None & info [ "repair-period" ] ~docv:"TIME" ~doc)
+
+let hint_ttl_arg =
+  let doc = "How long a buffered hint for a down server stays replayable (default 200)." in
+  Arg.(value & opt (some float) None & info [ "hint-ttl" ] ~docv:"TIME" ~doc)
+
+let hint_cap_arg =
+  let doc = "Maximum hints buffered per buddy server, oldest evicted first (default 256)." in
+  Arg.(value & opt (some int) None & info [ "hint-cap" ] ~docv:"N" ~doc)
+
 let csv_arg =
   let doc = "Emit CSV instead of an aligned ASCII table." in
   Arg.(value & flag & info [ "csv" ] ~doc)
@@ -66,9 +108,39 @@ let render ~csv ~plot table =
     | [] -> ()
   end
 
+(* The churn experiment's repair configuration: [None] (its default,
+   Repair.default_config) unless some repair flag was given. *)
+let repair_config ~repair ~grace ~period ~hint_ttl ~hint_cap =
+  match (repair, grace, period, hint_ttl, hint_cap) with
+  | None, None, None, None, None -> Ok None
+  | _ -> (
+    let mode =
+      match repair with None -> Ok Plookup.Repair.default_config.Plookup.Repair.mode
+      | Some s -> Plookup.Repair.mode_of_string s
+    in
+    match mode with
+    | Error msg -> Error msg
+    | Ok mode ->
+      let d = Plookup.Repair.default_config in
+      Ok
+        (Some
+           { Plookup.Repair.mode;
+             grace = Option.value grace ~default:d.Plookup.Repair.grace;
+             period = Option.value period ~default:d.Plookup.Repair.period;
+             hint_ttl = Option.value hint_ttl ~default:d.Plookup.Repair.hint_ttl;
+             hint_capacity = Option.value hint_cap ~default:d.Plookup.Repair.hint_capacity
+           }))
+
 (* run subcommand *)
-let run_experiment ids seed scale loss duplication jitter csv plot =
-  match Experiments.Ctx.v ~seed ~scale ~loss ~duplication ~jitter () with
+let run_experiment ids seed scale loss duplication jitter mttf mttr horizon repair grace
+    period hint_ttl hint_cap csv plot =
+  match repair_config ~repair ~grace ~period ~hint_ttl ~hint_cap with
+  | Error msg -> `Error (false, msg)
+  | Ok repair -> (
+  match
+    Experiments.Ctx.v ~seed ~scale ~loss ~duplication ~jitter ?mttf ?mttr ?horizon ?repair
+      ()
+  with
   | exception Invalid_argument msg -> `Error (false, msg)
   | ctx ->
   let resolve id =
@@ -95,7 +167,7 @@ let run_experiment ids seed scale loss duplication jitter csv plot =
   let ids = if ids = [] then Experiments.Registry.ids () else ids in
   match go ids with
   | Ok () -> `Ok ()
-  | Error msg -> `Error (false, msg)
+  | Error msg -> `Error (false, msg))
 
 let run_cmd =
   let ids =
@@ -108,7 +180,8 @@ let run_cmd =
     Term.(
       ret
         (const run_experiment $ ids $ seed_arg $ scale_arg $ loss_arg $ duplication_arg
-        $ jitter_arg $ csv_arg $ plot_arg))
+        $ jitter_arg $ mttf_arg $ mttr_arg $ horizon_arg $ repair_arg $ grace_arg
+        $ repair_period_arg $ hint_ttl_arg $ hint_cap_arg $ csv_arg $ plot_arg))
 
 (* list subcommand *)
 let list_experiments () =

@@ -130,7 +130,7 @@ and attempt st server ~tries_left ~timeout =
                 if not (Hashtbl.mem st.seen (Entry.id e)) then
                   Hashtbl.add st.seen (Entry.id e) e)
               entries
-          | Msg.Ack | Msg.Candidate _ -> ());
+          | Msg.Ack | Msg.Candidate _ | Msg.Digest _ -> ());
           pump st
         end
       end)

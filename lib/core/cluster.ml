@@ -48,6 +48,17 @@ let random_up_server t =
   | [] -> None
   | up -> Some (List.nth up (Rng.int t.rng (List.length up)))
 
+let next_up_from t i =
+  if i < 0 || i >= t.n then invalid_arg "Cluster.next_up_from: server index out of range";
+  let rec go k =
+    if k >= t.n then None
+    else begin
+      let s = (i + k) mod t.n in
+      if is_up t s then Some s else go (k + 1)
+    end
+  in
+  go 1
+
 let total_stored t = Array.fold_left (fun acc s -> acc + Server_store.cardinal s) 0 t.stores
 
 let coverage t =

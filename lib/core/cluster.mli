@@ -31,6 +31,12 @@ val random_up_server : t -> int option
     "a client selects a server at random... if the server has failed,
     keep on selecting another". *)
 
+val next_up_from : t -> int -> int option
+(** [next_up_from t i] is the first up server strictly after [i] in ring
+    order ([i+1, i+2, ... mod n]), never [i] itself; [None] when no
+    other server is up.  The repair subsystem's deterministic buddy and
+    sync-peer choice. *)
+
 (** {1 Fault injection}
 
     Thin pass-throughs to {!Plookup_net.Net}'s deterministic

@@ -1,4 +1,5 @@
 open Plookup_store
+open Plookup_util
 
 (* Varints: LEB128, unsigned, for non-negative ints. *)
 let put_varint buf v =
@@ -81,6 +82,19 @@ let get_ints s ~pos =
     go count pos []
   end
 
+(* Bitsets travel as capacity + member list; members are sparse relative
+   to capacity in every digest use, so the id list beats raw words. *)
+let put_bitset buf bits =
+  put_varint buf (Bitset.capacity bits);
+  put_ints buf (Bitset.to_list bits)
+
+let get_bitset s ~pos =
+  let* capacity, pos = get_varint s ~pos in
+  let* ids, pos = get_ints s ~pos in
+  match Bitset.of_list capacity ids with
+  | bits -> Ok (bits, pos)
+  | exception Invalid_argument _ -> Error "bitset: member out of range"
+
 (* Message tags. *)
 let tag_place = 1
 let tag_add = 2
@@ -95,6 +109,24 @@ let tag_fetch_candidate = 10
 let tag_sync_add = 11
 let tag_sync_delete = 12
 let tag_sync_state = 13
+let tag_digest_request = 14
+let tag_sync_fix = 15
+let tag_hint = 16
+let tag_digest_pull = 17
+let tag_repair_store = 18
+
+let hint_kind_code : Msg.hint_kind -> int = function
+  | Msg.H_store -> 0
+  | Msg.H_remove -> 1
+  | Msg.H_add_sampled -> 2
+  | Msg.H_remove_counted -> 3
+
+let hint_kind_of_code = function
+  | 0 -> Ok Msg.H_store
+  | 1 -> Ok Msg.H_remove
+  | 2 -> Ok Msg.H_add_sampled
+  | 3 -> Ok Msg.H_remove_counted
+  | c -> Error (Printf.sprintf "hint: unknown kind %d" c)
 
 let encode msg =
   let buf = Buffer.create 32 in
@@ -135,7 +167,23 @@ let encode msg =
   | Msg.Sync_delete e ->
     Buffer.add_uint8 buf tag_sync_delete;
     encode_entry buf e
-  | Msg.Sync_state -> Buffer.add_uint8 buf tag_sync_state);
+  | Msg.Sync_state -> Buffer.add_uint8 buf tag_sync_state
+  | Msg.Digest_request bits ->
+    Buffer.add_uint8 buf tag_digest_request;
+    put_bitset buf bits
+  | Msg.Sync_fix (missing, retract) ->
+    Buffer.add_uint8 buf tag_sync_fix;
+    put_entries buf missing;
+    put_ints buf retract
+  | Msg.Hint (target, kind, e) ->
+    Buffer.add_uint8 buf tag_hint;
+    put_varint buf target;
+    Buffer.add_uint8 buf (hint_kind_code kind);
+    encode_entry buf e
+  | Msg.Digest_pull -> Buffer.add_uint8 buf tag_digest_pull
+  | Msg.Repair_store e ->
+    Buffer.add_uint8 buf tag_repair_store;
+    encode_entry buf e);
   Buffer.contents buf
 
 let expect_end label pos s k =
@@ -183,6 +231,24 @@ let decode s =
       let* e, pos = decode_entry s ~pos in
       expect_end "sync_delete" pos s (Ok (Msg.Sync_delete e))
     else if tag = tag_sync_state then expect_end "sync_state" pos s (Ok Msg.Sync_state)
+    else if tag = tag_digest_request then
+      let* bits, pos = get_bitset s ~pos in
+      expect_end "digest_request" pos s (Ok (Msg.Digest_request bits))
+    else if tag = tag_sync_fix then
+      let* missing, pos = get_entries s ~pos in
+      let* retract, pos = get_ints s ~pos in
+      expect_end "sync_fix" pos s (Ok (Msg.Sync_fix (missing, retract)))
+    else if tag = tag_hint then
+      let* target, pos = get_varint s ~pos in
+      if pos >= String.length s then Error "hint: truncated"
+      else
+        let* kind = hint_kind_of_code (Char.code s.[pos]) in
+        let* e, pos = decode_entry s ~pos:(pos + 1) in
+        expect_end "hint" pos s (Ok (Msg.Hint (target, kind, e)))
+    else if tag = tag_digest_pull then expect_end "digest_pull" pos s (Ok Msg.Digest_pull)
+    else if tag = tag_repair_store then
+      let* e, pos = decode_entry s ~pos in
+      expect_end "repair_store" pos s (Ok (Msg.Repair_store e))
     else Error (Printf.sprintf "message: unknown tag %d" tag)
   end
 
@@ -191,6 +257,7 @@ let tag_ack = 100
 let tag_entries = 101
 let tag_candidate_none = 102
 let tag_candidate_some = 103
+let tag_digest = 104
 
 let encode_reply reply =
   let buf = Buffer.create 16 in
@@ -202,7 +269,10 @@ let encode_reply reply =
   | Msg.Candidate None -> Buffer.add_uint8 buf tag_candidate_none
   | Msg.Candidate (Some e) ->
     Buffer.add_uint8 buf tag_candidate_some;
-    encode_entry buf e);
+    encode_entry buf e
+  | Msg.Digest bits ->
+    Buffer.add_uint8 buf tag_digest;
+    put_bitset buf bits);
   Buffer.contents buf
 
 let decode_reply s =
@@ -219,6 +289,9 @@ let decode_reply s =
     else if tag = tag_candidate_some then
       let* e, pos = decode_entry s ~pos in
       expect_end "candidate" pos s (Ok (Msg.Candidate (Some e)))
+    else if tag = tag_digest then
+      let* bits, pos = get_bitset s ~pos in
+      expect_end "digest" pos s (Ok (Msg.Digest bits))
     else Error (Printf.sprintf "reply: unknown tag %d" tag)
   end
 

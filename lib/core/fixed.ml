@@ -41,7 +41,8 @@ let handler t dst _src msg : Msg.reply =
   | Msg.Lookup target ->
     Msg.Entries (Server_store.random_pick local (Cluster.rng t.cluster) target)
   | Msg.Add_sampled _ | Msg.Remove_counted _ | Msg.Fetch_candidate _ | Msg.Sync_add _
-  | Msg.Sync_delete _ | Msg.Sync_state ->
+  | Msg.Sync_delete _ | Msg.Sync_state | Msg.Digest_request _ | Msg.Sync_fix _
+  | Msg.Hint _ | Msg.Digest_pull | Msg.Repair_store _ ->
     invalid_arg "Fixed: unexpected message"
 
 let create cluster ~x =

@@ -30,7 +30,8 @@ let handler cluster dst _src msg : Msg.reply =
     Msg.Ack
   | Msg.Lookup t -> Msg.Entries (Server_store.random_pick local (Cluster.rng cluster) t)
   | Msg.Add_sampled _ | Msg.Remove_counted _ | Msg.Fetch_candidate _ | Msg.Sync_add _
-  | Msg.Sync_delete _ | Msg.Sync_state ->
+  | Msg.Sync_delete _ | Msg.Sync_state | Msg.Digest_request _ | Msg.Sync_fix _
+  | Msg.Hint _ | Msg.Digest_pull | Msg.Repair_store _ ->
     invalid_arg "Full_replication: unexpected message"
 
 let create cluster =

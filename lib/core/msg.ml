@@ -1,4 +1,7 @@
 open Plookup_store
+open Plookup_util
+
+type hint_kind = H_store | H_remove | H_add_sampled | H_remove_counted
 
 type t =
   | Place of Entry.t list
@@ -14,13 +17,35 @@ type t =
   | Sync_add of Entry.t
   | Sync_delete of Entry.t
   | Sync_state
+  | Digest_request of Bitset.t
+  | Sync_fix of Entry.t list * int list
+  | Hint of int * hint_kind * Entry.t
+  | Digest_pull
+  | Repair_store of Entry.t
 
-type reply = Ack | Entries of Entry.t list | Candidate of Entry.t option
+type reply =
+  | Ack
+  | Entries of Entry.t list
+  | Candidate of Entry.t option
+  | Digest of Bitset.t
+
+let hint_kind_name = function
+  | H_store -> "store"
+  | H_remove -> "remove"
+  | H_add_sampled -> "add_sampled"
+  | H_remove_counted -> "remove_counted"
 
 let pp_entries ppf entries =
   Format.fprintf ppf "[%a]"
     (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ") Entry.pp)
     entries
+
+let pp_ids ppf ids =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    ids
 
 let pp ppf = function
   | Place entries -> Format.fprintf ppf "place %a" pp_entries entries
@@ -32,18 +57,21 @@ let pp ppf = function
   | Remove e -> Format.fprintf ppf "remove %a" Entry.pp e
   | Add_sampled e -> Format.fprintf ppf "add_sampled %a" Entry.pp e
   | Remove_counted e -> Format.fprintf ppf "remove_counted %a" Entry.pp e
-  | Fetch_candidate ids ->
-    Format.fprintf ppf "fetch_candidate excluding {%a}"
-      (Format.pp_print_list
-         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
-         Format.pp_print_int)
-      ids
+  | Fetch_candidate ids -> Format.fprintf ppf "fetch_candidate excluding %a" pp_ids ids
   | Sync_add e -> Format.fprintf ppf "sync_add %a" Entry.pp e
   | Sync_delete e -> Format.fprintf ppf "sync_delete %a" Entry.pp e
   | Sync_state -> Format.pp_print_string ppf "sync_state"
+  | Digest_request bits -> Format.fprintf ppf "digest_request %a" pp_ids (Bitset.to_list bits)
+  | Sync_fix (missing, retract) ->
+    Format.fprintf ppf "sync_fix ship %a retract %a" pp_entries missing pp_ids retract
+  | Hint (target, kind, e) ->
+    Format.fprintf ppf "hint for %d: %s %a" target (hint_kind_name kind) Entry.pp e
+  | Digest_pull -> Format.pp_print_string ppf "digest_pull"
+  | Repair_store e -> Format.fprintf ppf "repair_store %a" Entry.pp e
 
 let pp_reply ppf = function
   | Ack -> Format.pp_print_string ppf "ack"
   | Entries entries -> Format.fprintf ppf "entries %a" pp_entries entries
   | Candidate None -> Format.pp_print_string ppf "candidate none"
   | Candidate (Some e) -> Format.fprintf ppf "candidate %a" Entry.pp e
+  | Digest bits -> Format.fprintf ppf "digest %a" pp_ids (Bitset.to_list bits)

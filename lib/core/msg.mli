@@ -6,9 +6,21 @@
     as the behaviour of [place]/[add]/[delete]/[partial_lookup] messages).
 
     Client-originated requests ({!Place}, {!Add}, {!Delete}, {!Lookup})
-    are sent to one server; the rest are server-to-server. *)
+    are sent to one server; the rest are server-to-server.
+
+    The [Digest_request]/[Sync_fix]/[Hint]/[Digest_pull]/[Repair_store]
+    family belongs to the {!Repair} subsystem (anti-entropy recovery
+    sync, hinted handoff and the degree-repair daemon); strategies never
+    see those — the repair layer intercepts them before the strategy
+    handler runs.  See PROTOCOL.md for flows and cost accounting. *)
 
 open Plookup_store
+open Plookup_util
+
+type hint_kind = H_store | H_remove | H_add_sampled | H_remove_counted
+(** Which buffered operation a {!Hint} replays: the point-to-point
+    store/remove of RoundRobin/Hash, or RandomServer's counted
+    sampled-add / counted-remove. *)
 
 type t =
   | Place of Entry.t list  (** client's initial batch placement request *)
@@ -40,11 +52,28 @@ type t =
   | Sync_state
       (** State transfer to a just-recovered coordinator replica; the
           receiver copies the sender's ledger. *)
+  | Digest_request of Bitset.t
+      (** Recovery sync, step 1: a just-recovered server sends a compact
+          digest of the entry ids it holds to a live peer. *)
+  | Sync_fix of Entry.t list * int list
+      (** Recovery sync, step 2: the peer ships the entries the digest
+          shows missing and the ids to retract (deleted while the
+          recoverer was down, or no longer assigned to it). *)
+  | Hint of int * hint_kind * Entry.t
+      (** Hinted handoff: an update bound for the down server named by
+          the first field, parked on a buddy for replay at recovery. *)
+  | Digest_pull
+      (** Repair-daemon scan: "reply with a digest of your store". *)
+  | Repair_store of Entry.t
+      (** Daemon re-replication: store this entry as a substitute copy
+          to restore the strategy's replication degree. *)
 
 type reply =
   | Ack
   | Entries of Entry.t list  (** lookup answer *)
   | Candidate of Entry.t option  (** reply to {!Fetch_candidate} *)
+  | Digest of Bitset.t  (** reply to {!Digest_pull} *)
 
+val hint_kind_name : hint_kind -> string
 val pp : Format.formatter -> t -> unit
 val pp_reply : Format.formatter -> reply -> unit

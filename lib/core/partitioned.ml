@@ -35,7 +35,9 @@ let handler t dst _src ((key, msg) : msg) : Msg.reply =
     Msg.Ack
   | Msg.Lookup target -> Msg.Entries (Server_store.random_pick store t.rng target)
   | Msg.Place _ | Msg.Add _ | Msg.Delete _ | Msg.Add_sampled _ | Msg.Remove_counted _
-  | Msg.Fetch_candidate _ | Msg.Sync_add _ | Msg.Sync_delete _ | Msg.Sync_state ->
+  | Msg.Fetch_candidate _ | Msg.Sync_add _ | Msg.Sync_delete _ | Msg.Sync_state
+  | Msg.Digest_request _ | Msg.Sync_fix _ | Msg.Hint _ | Msg.Digest_pull
+  | Msg.Repair_store _ ->
     invalid_arg "Partitioned: unexpected message"
 
 let create ?(seed = 0) ~n () =
@@ -69,7 +71,7 @@ let lookup t ~key target =
   match Net.send t.net ~src:Net.Client ~dst:(home t key) (key, Msg.Lookup target) with
   | Some (Msg.Entries entries) ->
     { Lookup_result.entries; servers_contacted = 1; target }
-  | Some (Msg.Ack | Msg.Candidate _) | None -> Lookup_result.empty ~target
+  | Some (Msg.Ack | Msg.Candidate _ | Msg.Digest _) | None -> Lookup_result.empty ~target
 
 let entries_of t ~key =
   match Hashtbl.find_opt t.stores.(home t key) key with

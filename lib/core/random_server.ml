@@ -25,7 +25,7 @@ let fetch_replacement t ~self ~deleted =
     (fun peer ->
       match Net.send net ~src:(Net.Server self) ~dst:peer (Msg.Fetch_candidate have) with
       | Some (Msg.Candidate (Some e)) -> Server_store.add local e
-      | Some (Msg.Candidate None | Msg.Ack | Msg.Entries _) | None -> false)
+      | Some (Msg.Candidate None | Msg.Ack | Msg.Entries _ | Msg.Digest _) | None -> false)
     others
   |> ignore
 
@@ -90,7 +90,8 @@ let handler t dst _src msg : Msg.reply =
     ignore (Server_store.remove local e);
     Msg.Ack
   | Msg.Lookup target -> Msg.Entries (Server_store.random_pick local rng target)
-  | Msg.Sync_add _ | Msg.Sync_delete _ | Msg.Sync_state ->
+  | Msg.Sync_add _ | Msg.Sync_delete _ | Msg.Sync_state | Msg.Digest_request _
+  | Msg.Sync_fix _ | Msg.Hint _ | Msg.Digest_pull | Msg.Repair_store _ ->
     invalid_arg "Random_server: unexpected message"
 
 let create ?(replacement_on_delete = false) cluster ~x =

@@ -1,0 +1,610 @@
+open Plookup_store
+open Plookup_util
+module Net = Plookup_net.Net
+module Engine = Plookup_sim.Engine
+
+type mode = Off | Sync | Full
+
+let mode_name = function Off -> "off" | Sync -> "sync" | Full -> "full"
+
+let mode_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "off" | "none" -> Ok Off
+  | "sync" -> Ok Sync
+  | "full" | "all" -> Ok Full
+  | other -> Error (Printf.sprintf "unknown repair mode %S (expected off, sync or full)" other)
+
+type config = {
+  mode : mode;
+  grace : float;
+  period : float;
+  hint_ttl : float;
+  hint_capacity : int;
+}
+
+let default_config =
+  { mode = Full; grace = 30.; period = 10.; hint_ttl = 200.; hint_capacity = 256 }
+
+let disabled = { default_config with mode = Off }
+
+type plan =
+  | Mirror
+  | Assigned of (Entry.t -> int list option)
+  | Free of int
+
+type hint = {
+  h_target : int;
+  h_kind : Msg.hint_kind;
+  h_entry : Entry.t;
+  h_expires : float;
+}
+
+type stats = {
+  syncs : int;
+  entries_shipped : int;
+  entries_retracted : int;
+  hints_queued : int;
+  hints_replayed : int;
+  hints_expired : int;
+  hints_dropped : int;
+  re_replications : int;
+  trims : int;
+  restore_episodes : int;
+  mean_restore_time : float option;
+}
+
+type t = {
+  cluster : Cluster.t;
+  config : config;
+  plan : plan;
+  (* The repair catalog: what the client-facing protocol said is alive.
+     Fed by observing Place/Add/Delete on the wire — the repair
+     coordinator's replicated metadata, analogous to the Round-Robin
+     ledger but content-only (no positions). *)
+  live : (int, Entry.t) Hashtbl.t;
+  tombstones : (int, unit) Hashtbl.t;
+  (* Under an assigned placement, substitute servers the daemon put
+     copies on (beyond the entry's owners).  Deletes only reach owners,
+     so the delete path purges these from the record. *)
+  placed : (int, int list) Hashtbl.t;
+  mutable capacity : int; (* 1 + highest entry id ever observed *)
+  hints : hint Queue.t array; (* indexed by the buddy holding them *)
+  down_since : float option array;
+  down_digest : Bitset.t option array; (* store snapshot at fail time *)
+  deficient_since : (int, float) Hashtbl.t;
+  mutable engine : Engine.t option;
+  mutable daemon_ticks : int;
+  mutable st_syncs : int;
+  mutable st_shipped : int;
+  mutable st_retracted : int;
+  mutable st_hints_queued : int;
+  mutable st_hints_replayed : int;
+  mutable st_hints_expired : int;
+  mutable st_hints_dropped : int;
+  mutable st_re_replications : int;
+  mutable st_trims : int;
+  mutable st_restore_episodes : int;
+  mutable st_restore_total : float;
+}
+
+let config t = t.config
+let net t = Cluster.net t.cluster
+let now t = match t.engine with Some e -> Engine.now e | None -> 0.
+let daemon_ticks t = t.daemon_ticks
+let live_entries t = Hashtbl.length t.live
+let repair_messages t = Net.repair_messages (net t)
+let hints_pending t = Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.hints
+
+let stats t =
+  { syncs = t.st_syncs;
+    entries_shipped = t.st_shipped;
+    entries_retracted = t.st_retracted;
+    hints_queued = t.st_hints_queued;
+    hints_replayed = t.st_hints_replayed;
+    hints_expired = t.st_hints_expired;
+    hints_dropped = t.st_hints_dropped;
+    re_replications = t.st_re_replications;
+    trims = t.st_trims;
+    restore_episodes = t.st_restore_episodes;
+    mean_restore_time =
+      (if t.st_restore_episodes = 0 then None
+       else Some (t.st_restore_total /. float_of_int t.st_restore_episodes)) }
+
+let note_entry t e =
+  let id = Entry.id e in
+  if id >= t.capacity then t.capacity <- id + 1
+
+let sorted_live t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.live []
+  |> List.sort (fun a b -> compare (Entry.id a) (Entry.id b))
+
+(* Maintain the catalog from the client-level protocol traffic passing
+   through the wrapped handler; [server] is the one handling the
+   message. *)
+let observe t ~server (msg : Msg.t) =
+  match msg with
+  | Msg.Place entries ->
+    Hashtbl.reset t.live;
+    Hashtbl.reset t.tombstones;
+    Hashtbl.reset t.placed;
+    List.iter
+      (fun e ->
+        note_entry t e;
+        Hashtbl.replace t.live (Entry.id e) e)
+      entries
+  | Msg.Add e ->
+    note_entry t e;
+    Hashtbl.replace t.live (Entry.id e) e;
+    Hashtbl.remove t.tombstones (Entry.id e)
+  | Msg.Delete e ->
+    let id = Entry.id e in
+    Hashtbl.remove t.live id;
+    Hashtbl.replace t.tombstones id ();
+    (* The strategy's delete only reaches the entry's owners; purge the
+       substitute copies the daemon placed elsewhere. *)
+    (match Hashtbl.find_opt t.placed id with
+    | None -> ()
+    | Some subs ->
+      Hashtbl.remove t.placed id;
+      Net.tally_as_repair (net t) (fun () ->
+          List.iter
+            (fun s ->
+              if Cluster.is_up t.cluster s then begin
+                ignore (Net.send (net t) ~src:(Net.Server server) ~dst:s (Msg.Remove e));
+                t.st_trims <- t.st_trims + 1
+              end)
+            (List.sort compare subs)))
+  | _ -> ()
+
+let has bits id = id < Bitset.capacity bits && Bitset.mem bits id
+
+let store_digest t server =
+  let bits = Bitset.create (max 1 t.capacity) in
+  Server_store.iter
+    (fun e ->
+      let id = Entry.id e in
+      if id < t.capacity then Bitset.add bits id)
+    (Cluster.store t.cluster server);
+  bits
+
+(* The entry's owners under an assigned placement, as a set (Hash-y can
+   map an entry to the same server twice). *)
+let owners_of t e =
+  match t.plan with
+  | Assigned assignment -> Option.map (List.sort_uniq compare) (assignment e)
+  | Mirror | Free _ -> None
+
+(* The replication degree an entry should have right now. *)
+let target_degree t e =
+  let n = Cluster.n t.cluster in
+  match t.plan with
+  | Mirror -> List.length (Cluster.up_servers t.cluster)
+  | Assigned _ ->
+    (match owners_of t e with Some owners -> List.length owners | None -> 0)
+  | Free x ->
+    let live = max 1 (Hashtbl.length t.live) in
+    max 1 (min n (n * x / live))
+
+(* Omniscient measurement of degree deficiency (reads stores directly;
+   sends nothing) — powers the time-to-restore-degree metric. *)
+let refresh_tracking t =
+  let nowv = now t in
+  let up = Cluster.up_servers t.cluster in
+  List.iter
+    (fun e ->
+      let id = Entry.id e in
+      let deg = target_degree t e in
+      let copies =
+        List.fold_left
+          (fun acc i -> if Server_store.mem (Cluster.store t.cluster i) e then acc + 1 else acc)
+          0 up
+      in
+      (* Under Mirror, zero live copies means the strategy never tracked
+         the entry (e.g. Fixed-x beyond capacity) or every server is
+         down — neither is a repairable deficiency. *)
+      let deficient =
+        copies < deg && match t.plan with Mirror -> copies > 0 | Assigned _ | Free _ -> true
+      in
+      if deficient then begin
+        if not (Hashtbl.mem t.deficient_since id) then
+          Hashtbl.replace t.deficient_since id nowv
+      end
+      else
+        match Hashtbl.find_opt t.deficient_since id with
+        | Some since ->
+          t.st_restore_episodes <- t.st_restore_episodes + 1;
+          t.st_restore_total <- t.st_restore_total +. (nowv -. since);
+          Hashtbl.remove t.deficient_since id
+        | None -> ())
+    (sorted_live t);
+  (* Entries deleted while deficient: the deficiency is moot. *)
+  let stale =
+    Hashtbl.fold
+      (fun id _ acc -> if Hashtbl.mem t.live id then acc else id :: acc)
+      t.deficient_since []
+  in
+  List.iter (Hashtbl.remove t.deficient_since) stale
+
+(* {2 Recovery sync} *)
+
+exception Unknown_assignment
+
+(* What the requester is missing and what it must retract, computed at
+   the peer from its digest.  [None] when the plan cannot describe the
+   placement (truncated Round-Robin). *)
+let compute_fix t ~peer ~requester bits =
+  match t.plan with
+  | Mirror ->
+    let reference = Cluster.store t.cluster peer in
+    let missing =
+      Server_store.fold
+        (fun e acc -> if has bits (Entry.id e) then acc else e :: acc)
+        reference []
+      |> List.sort (fun a b -> compare (Entry.id a) (Entry.id b))
+    in
+    let retract = List.filter (fun id -> Hashtbl.mem t.tombstones id) (Bitset.to_list bits) in
+    Some (missing, retract)
+  | Assigned assignment ->
+    (try
+       let missing =
+         List.filter
+           (fun e ->
+             (not (has bits (Entry.id e)))
+             &&
+             match assignment e with
+             | None -> raise Unknown_assignment
+             | Some owners -> List.mem requester owners)
+           (sorted_live t)
+       in
+       let retract =
+         List.filter
+           (fun id ->
+             match Hashtbl.find_opt t.live id with
+             | None -> true (* deleted (or never known): drop it *)
+             | Some e ->
+               (match assignment e with
+               | None -> raise Unknown_assignment
+               | Some owners -> not (List.mem requester owners)))
+           (Bitset.to_list bits)
+       in
+       Some (missing, retract)
+     with Unknown_assignment -> None)
+  | Free _ ->
+    (* Contents are a random subset by design; the sync only purges
+       deleted entries, the daemon restores the degree. *)
+    let retract = List.filter (fun id -> Hashtbl.mem t.tombstones id) (Bitset.to_list bits) in
+    Some ([], retract)
+
+let on_digest_request t ~peer ~src bits =
+  match (src : Net.sender) with
+  | Net.Client -> ()
+  | Net.Server requester ->
+    (match compute_fix t ~peer ~requester bits with
+    | None | Some ([], []) -> ()
+    | Some (missing, retract) ->
+      ignore
+        (Net.send (net t) ~src:(Net.Server peer) ~dst:requester
+           (Msg.Sync_fix (missing, retract))))
+
+let apply_fix t ~server missing retract =
+  let store = Cluster.store t.cluster server in
+  List.iter
+    (fun e -> if Server_store.add store e then t.st_shipped <- t.st_shipped + 1)
+    missing;
+  List.iter
+    (fun id ->
+      if Server_store.remove store (Entry.v id) then t.st_retracted <- t.st_retracted + 1)
+    retract
+
+let do_sync t server =
+  match Cluster.next_up_from t.cluster server with
+  | None ->
+    (* No live peer to reconcile against — but deletions the server
+       missed are recorded in the repair ledger, so it can at least
+       scrub those.  The fix is self-addressed through [Net] so the
+       scrub is charged to the repair message budget like any other. *)
+    let bits = store_digest t server in
+    let retract =
+      List.sort compare
+        (Hashtbl.fold
+           (fun id () acc -> if has bits id then id :: acc else acc)
+           t.tombstones [])
+    in
+    if retract <> [] then begin
+      t.st_syncs <- t.st_syncs + 1;
+      Net.tally_as_repair (net t) (fun () ->
+          ignore
+            (Net.send (net t) ~src:(Net.Server server) ~dst:server
+               (Msg.Sync_fix ([], retract))))
+    end
+  | Some peer ->
+    t.st_syncs <- t.st_syncs + 1;
+    Net.tally_as_repair (net t) (fun () ->
+        ignore
+          (Net.send (net t) ~src:(Net.Server server) ~dst:peer
+             (Msg.Digest_request (store_digest t server))))
+
+let sync_now t server =
+  if Cluster.is_up t.cluster server then do_sync t server
+
+(* {2 Hinted handoff} *)
+
+let hint_of_msg (msg : Msg.t) =
+  match msg with
+  | Msg.Store e -> Some (Msg.H_store, e)
+  | Msg.Remove e -> Some (Msg.H_remove, e)
+  | Msg.Add_sampled e -> Some (Msg.H_add_sampled, e)
+  | Msg.Remove_counted e -> Some (Msg.H_remove_counted, e)
+  | _ -> None
+
+let msg_of_hint h : Msg.t =
+  match h.h_kind with
+  | Msg.H_store -> Msg.Store h.h_entry
+  | Msg.H_remove -> Msg.Remove h.h_entry
+  | Msg.H_add_sampled -> Msg.Add_sampled h.h_entry
+  | Msg.H_remove_counted -> Msg.Remove_counted h.h_entry
+
+let enqueue_hint t ~buddy ~target ~kind entry =
+  let q = t.hints.(buddy) in
+  if Queue.length q >= t.config.hint_capacity then begin
+    ignore (Queue.pop q);
+    t.st_hints_dropped <- t.st_hints_dropped + 1
+  end;
+  Queue.push
+    { h_target = target; h_kind = kind; h_entry = entry; h_expires = now t +. t.config.hint_ttl }
+    q;
+  t.st_hints_queued <- t.st_hints_queued + 1
+
+(* A transmission hit a down server: park the mutation as a hint on the
+   first up server after the dead one in ring order. *)
+let on_drop t ~src ~dst msg =
+  if t.config.mode = Full then
+    match hint_of_msg msg with
+    | None -> ()
+    | Some (kind, entry) ->
+      (match Cluster.next_up_from t.cluster dst with
+      | None -> ()
+      | Some buddy ->
+        Net.tally_as_repair (net t) (fun () ->
+            ignore (Net.send (net t) ~src ~dst:buddy (Msg.Hint (dst, kind, entry)))))
+
+let replay_hints t ~target =
+  let nowv = now t in
+  for buddy = 0 to Cluster.n t.cluster - 1 do
+    let q = t.hints.(buddy) in
+    if not (Queue.is_empty q) then begin
+      let keep = Queue.create () in
+      while not (Queue.is_empty q) do
+        let h = Queue.pop q in
+        if h.h_target <> target then Queue.push h keep
+        else if not (Cluster.is_up t.cluster buddy) then
+          (* The buddy is itself down; its hints for [target] are
+             superseded by the digest sync and must not replay later
+             (they could resurrect an entry deleted in between). *)
+          t.st_hints_dropped <- t.st_hints_dropped + 1
+        else if nowv > h.h_expires then t.st_hints_expired <- t.st_hints_expired + 1
+        else begin
+          Net.tally_as_repair (net t) (fun () ->
+              ignore (Net.send (net t) ~src:(Net.Server buddy) ~dst:target (msg_of_hint h)));
+          t.st_hints_replayed <- t.st_hints_replayed + 1
+        end
+      done;
+      Queue.transfer keep q
+    end
+  done
+
+(* {2 Repair daemon} *)
+
+let lowest_up t =
+  match Cluster.up_servers t.cluster with [] -> None | c :: _ -> Some c
+
+let daemon_tick t =
+  match lowest_up t with
+  | None -> ()
+  | Some c when Hashtbl.length t.live > 0 ->
+    let n = Cluster.n t.cluster in
+    let nowv = now t in
+    Net.tally_as_repair (net t) (fun () ->
+        (* One digest broadcast (cost n), then targeted point-to-point
+           repairs. *)
+        let dig = Array.make n None in
+        List.iter
+          (fun (i, reply) ->
+            match (reply : Msg.reply) with Msg.Digest b -> dig.(i) <- Some b | _ -> ())
+          (Net.broadcast (net t) ~src:(Net.Server c) Msg.Digest_pull);
+        let holds i id = match dig.(i) with Some b -> has b id | None -> false in
+        (* A server down for less than the grace period still counts as
+           a copy (its store survives the outage): transient blips must
+           not trigger re-replication. *)
+        let grace_holds s id =
+          match (t.down_since.(s), t.down_digest.(s)) with
+          | Some since, Some b when nowv -. since <= t.config.grace -> has b id
+          | _ -> false
+        in
+        List.iter
+          (fun e ->
+            let id = Entry.id e in
+            let ring = List.init n (fun k -> ((((id mod n) + n) mod n) + k) mod n) in
+            let up_holders = List.filter (fun i -> holds i id) ring in
+            let grace_holders =
+              List.filter (fun s -> dig.(s) = None && grace_holds s id) ring
+            in
+            let deg = target_degree t e in
+            let copies = List.length up_holders + List.length grace_holders in
+            let owners = owners_of t e in
+            if copies < deg then begin
+              (* Under Mirror an entry with no live copy has no source
+                 (the strategy never tracked it, or nothing survives). *)
+              if not (t.plan = Mirror && up_holders = []) then begin
+                let deficit = deg - copies in
+                let preferred =
+                  match owners with
+                  | Some os ->
+                    List.filter (fun o -> dig.(o) <> None && not (holds o id)) os
+                  | None -> []
+                in
+                let fill =
+                  List.filter
+                    (fun i ->
+                      dig.(i) <> None && (not (holds i id)) && not (List.mem i preferred))
+                    ring
+                in
+                let rec take k = function
+                  | [] -> []
+                  | _ when k = 0 -> []
+                  | s :: rest -> s :: take (k - 1) rest
+                in
+                List.iter
+                  (fun dst ->
+                    ignore (Net.send (net t) ~src:(Net.Server c) ~dst (Msg.Repair_store e));
+                    t.st_re_replications <- t.st_re_replications + 1;
+                    match owners with
+                    | Some os when not (List.mem dst os) ->
+                      let prev = Option.value (Hashtbl.find_opt t.placed id) ~default:[] in
+                      if not (List.mem dst prev) then
+                        Hashtbl.replace t.placed id (dst :: prev)
+                    | Some _ | None -> ())
+                  (take deficit (preferred @ fill))
+              end
+            end
+            else begin
+              (* Over-degree under an assigned placement: once every
+                 owner is up and holding, trim the stray substitutes. *)
+              match owners with
+              | Some os
+                when os <> [] && List.for_all (fun o -> dig.(o) <> None && holds o id) os ->
+                let trimmed =
+                  List.filter
+                    (fun i ->
+                      if List.mem i os then false
+                      else begin
+                        ignore (Net.send (net t) ~src:(Net.Server c) ~dst:i (Msg.Remove e));
+                        t.st_trims <- t.st_trims + 1;
+                        true
+                      end)
+                    up_holders
+                in
+                if trimmed <> [] then begin
+                  match
+                    List.filter
+                      (fun s -> not (List.mem s trimmed))
+                      (Option.value (Hashtbl.find_opt t.placed id) ~default:[])
+                  with
+                  | [] -> Hashtbl.remove t.placed id
+                  | rest -> Hashtbl.replace t.placed id rest
+                end
+              | _ -> ()
+            end)
+          (sorted_live t);
+        (* Tombstone scrub: a recovery sync that found no live peer (or
+           a hint replayed out of order) can leave a deleted entry on an
+           up server indefinitely; the daemon retracts any tombstoned id
+           still present in a digest. *)
+        let dead_ids =
+          List.sort compare (Hashtbl.fold (fun id () acc -> id :: acc) t.tombstones [])
+        in
+        List.iter
+          (fun id ->
+            for i = 0 to n - 1 do
+              if holds i id then begin
+                ignore
+                  (Net.send (net t) ~src:(Net.Server c) ~dst:i (Msg.Remove (Entry.v id)));
+                t.st_retracted <- t.st_retracted + 1
+              end
+            done)
+          dead_ids);
+    refresh_tracking t
+  | Some _ -> ()
+
+let run_daemon_once t =
+  t.daemon_ticks <- t.daemon_ticks + 1;
+  daemon_tick t
+
+(* {2 Wiring} *)
+
+let on_status t server ~up =
+  if up then begin
+    t.down_since.(server) <- None;
+    if t.config.mode = Full then replay_hints t ~target:server;
+    do_sync t server;
+    t.down_digest.(server) <- None;
+    refresh_tracking t
+  end
+  else begin
+    t.down_since.(server) <- Some (now t);
+    t.down_digest.(server) <- Some (store_digest t server);
+    refresh_tracking t
+  end
+
+let handle t inner dst src (msg : Msg.t) : Msg.reply =
+  match msg with
+  | Msg.Digest_request bits ->
+    on_digest_request t ~peer:dst ~src bits;
+    Msg.Ack
+  | Msg.Sync_fix (missing, retract) ->
+    apply_fix t ~server:dst missing retract;
+    Msg.Ack
+  | Msg.Hint (target, kind, e) ->
+    enqueue_hint t ~buddy:dst ~target ~kind e;
+    Msg.Ack
+  | Msg.Digest_pull -> Msg.Digest (store_digest t dst)
+  | Msg.Repair_store e ->
+    ignore (Server_store.add (Cluster.store t.cluster dst) e);
+    Msg.Ack
+  | _ ->
+    observe t ~server:dst msg;
+    inner dst src msg
+
+let install cluster ~config ~plan =
+  (match config.mode with
+  | Off -> invalid_arg "Repair.install: mode is off"
+  | Sync | Full -> ());
+  if config.grace < 0. then invalid_arg "Repair.install: grace must be non-negative";
+  if config.period <= 0. then invalid_arg "Repair.install: period must be positive";
+  if config.hint_ttl <= 0. then invalid_arg "Repair.install: hint_ttl must be positive";
+  if config.hint_capacity < 1 then invalid_arg "Repair.install: hint_capacity must be positive";
+  let n = Cluster.n cluster in
+  let t =
+    { cluster;
+      config;
+      plan;
+      live = Hashtbl.create 256;
+      tombstones = Hashtbl.create 64;
+      placed = Hashtbl.create 64;
+      capacity = 0;
+      hints = Array.init n (fun _ -> Queue.create ());
+      down_since = Array.make n None;
+      down_digest = Array.make n None;
+      deficient_since = Hashtbl.create 64;
+      engine = None;
+      daemon_ticks = 0;
+      st_syncs = 0;
+      st_shipped = 0;
+      st_retracted = 0;
+      st_hints_queued = 0;
+      st_hints_replayed = 0;
+      st_hints_expired = 0;
+      st_hints_dropped = 0;
+      st_re_replications = 0;
+      st_trims = 0;
+      st_restore_episodes = 0;
+      st_restore_total = 0. }
+  in
+  let net = Cluster.net cluster in
+  Net.wrap_handler net (fun inner dst src msg -> handle t inner dst src msg);
+  Net.set_drop_listener net (fun ~src ~dst msg -> on_drop t ~src ~dst msg);
+  Net.add_status_listener net (fun server ~up -> on_status t server ~up);
+  t
+
+let attach_engine ?until t engine =
+  t.engine <- Some engine;
+  if t.config.mode = Full then begin
+    let within time = match until with None -> true | Some u -> time <= u in
+    let rec tick _ =
+      run_daemon_once t;
+      if within (Engine.now engine +. t.config.period) then
+        ignore (Engine.schedule_after engine ~delay:t.config.period tick)
+    in
+    if within (Engine.now engine +. t.config.period) then
+      ignore (Engine.schedule_after engine ~delay:t.config.period tick)
+  end

@@ -1,0 +1,139 @@
+(** Self-healing layer: anti-entropy recovery sync, hinted handoff and a
+    degree-restoring repair daemon, strategy-agnostic and metered.
+
+    The paper's strategies (Section 3) lose copies silently under churn:
+    a recovering server serves whatever its store held when it failed —
+    deleted entries come back from the dead, adds issued during the
+    outage are invisible, and the replication degree of entries whose
+    holders died stays degraded forever.  Only Round-Robin's replicated
+    coordinator (footnote 1) resynced its recovering servers, and it did
+    so with a full store push.  This module generalizes that resync to
+    every strategy and makes it incremental:
+
+    {ul
+    {- {e Recovery sync}: on an up-transition the recovering server
+       sends its store's entry-id digest (a compact {!Plookup_util.Bitset})
+       to a live peer; the peer answers with one [Sync_fix] shipping only
+       the entries the digest proves missing and retracting the ids the
+       catalog proves deleted.}
+    {- {e Hinted handoff}: a [Store]/[Remove] (or RandomServer sampling
+       op) that hits a down server is parked as a bounded, TTL'd hint on
+       the first up server after it in ring order, and replayed when the
+       target recovers — before the digest sync, which then corrects any
+       hint that expired or went stale.}
+    {- {e Repair daemon}: a periodic {!Plookup_sim.Engine} task whose
+       coordinator (lowest-indexed up server) broadcasts a [Digest_pull],
+       counts live copies per entry, and re-replicates entries whose
+       copy count fell below the strategy's target degree — after a
+       grace period, so transient blips cost nothing.  Under an assigned
+       placement it also trims stray substitute copies once every owner
+       is back.}}
+
+    All repair traffic flows through {!Plookup_net.Net} and is counted in
+    the paper's message-cost model, but tallied separately
+    ({!Plookup_net.Net.repair_messages}) so experiments report repair
+    overhead next to — not mixed into — the lookup/update cost.
+
+    What a server {e should} hold comes from a per-strategy {!plan}; what
+    is {e alive} comes from a catalog maintained by observing the
+    client-level [Place]/[Add]/[Delete] traffic — the repair
+    coordinator's replicated metadata, analogous to Round-Robin's
+    ledger.  Everything is deterministic: same seed and schedule, same
+    syncs, same hint replay order, same message counts. *)
+
+open Plookup_store
+
+type mode =
+  | Off  (** No repair; the seed repo's behaviour. *)
+  | Sync  (** Recovery sync only. *)
+  | Full  (** Recovery sync + hinted handoff + repair daemon. *)
+
+val mode_name : mode -> string
+val mode_of_string : string -> (mode, string) result
+
+type config = {
+  mode : mode;
+  grace : float;  (** Seconds a server may be down before the daemon re-replicates. *)
+  period : float;  (** Daemon tick interval. *)
+  hint_ttl : float;  (** Hints older than this are discarded unreplayed. *)
+  hint_capacity : int;  (** Max hints parked per buddy; oldest evicted first. *)
+}
+
+val default_config : config
+(** [mode = Full], [grace = 30.], [period = 10.], [hint_ttl = 200.],
+    [hint_capacity = 256]. *)
+
+val disabled : config
+(** [default_config] with [mode = Off]. *)
+
+(** What the strategy's placement says a server should hold. *)
+type plan =
+  | Mirror
+      (** Every live server holds the same set (FullReplication, Fixed-x):
+          sync against any live peer's store. *)
+  | Assigned of (Entry.t -> int list option)
+      (** Deterministic owners per entry (Hash-y's [servers_of],
+          Round-Robin's ledger).  [None] means the placement is not
+          describable (truncated Round-Robin) — sync is skipped. *)
+  | Free of int
+      (** Random x-subsets (RandomServer-x): sync only purges deleted
+          entries; the daemon restores the dynamic target degree
+          [n*x / live_count]. *)
+
+type t
+
+val install : Cluster.t -> config:config -> plan:plan -> t
+(** Wrap the cluster's installed strategy handler with the repair layer
+    and hook the drop/status listeners.  Must be called {e after} the
+    strategy's [create] (which installs the handler) — {!Service} does
+    this when its repair config is not [Off].  Raises [Invalid_argument]
+    on [mode = Off] or non-positive timing parameters. *)
+
+val attach_engine : ?until:float -> t -> Plookup_sim.Engine.t -> unit
+(** Give repair a clock (hint TTLs and grace periods are 0-based without
+    one) and, in [Full] mode, schedule the daemon every [period] time
+    units, stopping after [until] if given. *)
+
+val config : t -> config
+
+(** {1 Manual triggers (tests, engine-less use)} *)
+
+val sync_now : t -> int -> unit
+(** Run the recovery sync for one (up) server immediately. *)
+
+val run_daemon_once : t -> unit
+(** One daemon tick: digest pull, re-replication, trimming, tracking. *)
+
+val refresh_tracking : t -> unit
+(** Re-measure per-entry degree deficiency (no messages); called
+    automatically on status transitions and daemon ticks. *)
+
+(** {1 Introspection} *)
+
+val live_entries : t -> int
+(** Entries the catalog believes are alive. *)
+
+val hints_pending : t -> int
+val daemon_ticks : t -> int
+
+val repair_messages : t -> int
+(** Messages received on this cluster's network that were tallied as
+    repair traffic ({!Plookup_net.Net.repair_messages}). *)
+
+type stats = {
+  syncs : int;  (** Recovery syncs initiated. *)
+  entries_shipped : int;  (** Entries installed by [Sync_fix]. *)
+  entries_retracted : int;  (** Entries deleted by [Sync_fix]. *)
+  hints_queued : int;
+  hints_replayed : int;
+  hints_expired : int;  (** Aged past [hint_ttl] at replay time. *)
+  hints_dropped : int;  (** Evicted by capacity or lost with a down buddy. *)
+  re_replications : int;  (** [Repair_store] copies pushed by the daemon. *)
+  trims : int;  (** Stray over-degree copies removed by the daemon. *)
+  restore_episodes : int;
+      (** Completed below-degree episodes (degree later restored). *)
+  mean_restore_time : float option;
+      (** Mean duration of those episodes; [None] when none completed. *)
+}
+
+val stats : t -> stats

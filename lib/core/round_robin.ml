@@ -16,6 +16,7 @@ type t = {
   coordinators : int; (* replicas live on servers 0 .. coordinators-1 *)
   ledgers : ledger array;
   mutable truncated : bool; (* placed under a budget; updates disabled *)
+  resync_stores : bool; (* push full Store_batch refreshes on recovery *)
 }
 
 let fresh_ledger () =
@@ -189,7 +190,9 @@ let handler t dst src msg : Msg.reply =
     Msg.Ack
   | Msg.Lookup target ->
     Msg.Entries (Server_store.random_pick local (Cluster.rng t.cluster) target)
-  | Msg.Add_sampled _ | Msg.Remove_counted _ | Msg.Fetch_candidate _ ->
+  | Msg.Add_sampled _ | Msg.Remove_counted _ | Msg.Fetch_candidate _
+  | Msg.Digest_request _ | Msg.Sync_fix _ | Msg.Hint _ | Msg.Digest_pull
+  | Msg.Repair_store _ ->
     invalid_arg "Round_robin: unexpected message"
 
 (* A recovering coordinator replica is stale; the acting replica
@@ -214,7 +217,10 @@ let resync_from t ~source ~server =
   let net = Cluster.net t.cluster in
   if server < t.coordinators && server <> source then
     ignore (Net.send net ~src:(Net.Server source) ~dst:server Msg.Sync_state);
-  if not t.truncated then
+  (* When [resync_stores] is off the ledger still replicates, but store
+     contents are reconciled by the digest-based repair layer instead of
+     a full Store_batch push. *)
+  if t.resync_stores && not t.truncated then
     ignore
       (Net.send net ~src:(Net.Server source) ~dst:server
          (Msg.Store_batch (expected_store t t.ledgers.(source) server)))
@@ -240,7 +246,7 @@ let on_status t server ~up =
     | None -> ()
   end
 
-let create ?(coordinators = 1) cluster ~y =
+let create ?(coordinators = 1) ?(resync_stores = true) cluster ~y =
   if y < 1 then invalid_arg "Round_robin.create: y must be at least 1";
   if coordinators < 1 || coordinators > Cluster.n cluster then
     invalid_arg "Round_robin.create: coordinators must be in [1, n]";
@@ -250,7 +256,8 @@ let create ?(coordinators = 1) cluster ~y =
       y;
       coordinators;
       ledgers = Array.init coordinators (fun _ -> fresh_ledger ());
-      truncated = false }
+      truncated = false;
+      resync_stores }
   in
   Net.set_handler (Cluster.net cluster) (handler t);
   Net.set_status_listener (Cluster.net cluster) (on_status t);
@@ -266,6 +273,15 @@ let live_count t = tail t - head t
 
 let position_of t e = Hashtbl.find_opt (acting_ledger t).position_of_id (Entry.id e)
 let entry_at t pos = Hashtbl.find_opt (acting_ledger t).by_position pos
+
+let can_update t = (not t.truncated) && acting t <> None
+
+let assigned_servers t e =
+  if t.truncated then None
+  else
+    match position_of t e with
+    | None -> Some []
+    | Some pos -> Some (servers_of_position t pos)
 
 let place ?budget t entries =
   let entries = Entry.dedup entries in
@@ -345,7 +361,7 @@ let partial_lookup_parallel ?reachable t target =
         List.iter
           (fun e -> if not (Hashtbl.mem seen (Entry.id e)) then Hashtbl.add seen (Entry.id e) e)
           entries
-      | Some (Msg.Ack | Msg.Candidate _) | None -> ()
+      | Some (Msg.Ack | Msg.Candidate _ | Msg.Digest _) | None -> ()
     in
     (* The stride order, extended with the untouched servers (the stride
        cycle only visits n/gcd(y,n) residues). *)

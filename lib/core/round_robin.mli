@@ -18,7 +18,7 @@ open Plookup_store
 
 type t
 
-val create : ?coordinators:int -> Cluster.t -> y:int -> t
+val create : ?coordinators:int -> ?resync_stores:bool -> Cluster.t -> y:int -> t
 (** [y] must satisfy 1 <= y; values above [n] are clamped to [n]
     (storing more than one copy per server is meaningless).
 
@@ -30,7 +30,13 @@ val create : ?coordinators:int -> Cluster.t -> y:int -> t
     Clients address the lowest-indexed operational replica; each update
     is mirrored to the standbys with one point-to-point Sync message
     apiece, and a recovering replica receives a state transfer from the
-    acting one.  With every coordinator down, updates are dropped. *)
+    acting one.  With every coordinator down, updates are dropped.
+
+    [resync_stores] (default [true]) controls whether recovery also
+    pushes a full [Store_batch] refresh of the recovered server's store.
+    {!Service} passes [false] when the digest-based {!Repair} layer is
+    active: the ledger state transfer still happens, but store contents
+    are reconciled incrementally by repair, which ships only the delta. *)
 
 val y : t -> int
 
@@ -51,12 +57,25 @@ val position_of : t -> Entry.t -> int option
 
 val entry_at : t -> int -> Entry.t option
 
+val assigned_servers : t -> Entry.t -> int list option
+(** Where the acting ledger says an entry's [y] copies live: [None] when
+    the placement was truncated (the ledger does not describe it),
+    [Some []] for an entry not in the live window, [Some servers]
+    otherwise.  Feeds the repair subsystem's placement plan. *)
+
 val place : ?budget:int -> t -> Entry.t list -> unit
 (** Distribute copies round-major (first one copy of every entry, then
     the second copy of every entry, ...).  [budget] caps the total number
     of stored copies — the paper's "when there is inadequate storage
     space, keep a subset" assumption used in the coverage study (Fig. 6).
     A truncated placement does not support subsequent updates. *)
+
+val can_update : t -> bool
+(** Whether an update issued now would be accepted: some coordinator
+    replica is up and the placement was not truncated.  A client sending
+    an update while this is false gets no reply (the coordinator is
+    unreachable) and the update is lost — {!Service.can_update} lets
+    workloads model the client failing fast instead. *)
 
 val add : t -> Entry.t -> unit
 val delete : t -> Entry.t -> unit

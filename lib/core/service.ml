@@ -89,71 +89,107 @@ type ops = {
   op_add : Entry.t -> unit;
   op_delete : Entry.t -> unit;
   op_lookup : ?reachable:(int -> bool) -> int -> Lookup_result.t;
+  op_can_update : unit -> bool;
 }
 
-type t = { cluster : Cluster.t; config : config; ops : ops }
+type t = {
+  cluster : Cluster.t;
+  config : config;
+  ops : ops;
+  repair : Repair.t option;
+}
 
-let build_ops cluster config =
+(* Build the strategy and describe its placement to the repair layer.
+   [resync_stores] is false when repair is active: Round-Robin's
+   recovery then replicates the ledger only, leaving store contents to
+   the incremental digest sync. *)
+let build_ops cluster config ~resync_stores =
   match config with
   | Full_replication ->
     let s = Full_replication.create cluster in
-    { op_place = (fun ?budget:_ entries -> Full_replication.place s entries);
-      op_add = Full_replication.add s;
-      op_delete = Full_replication.delete s;
-      op_lookup = (fun ?reachable target -> Full_replication.partial_lookup ?reachable s target)
-    }
+    ( { op_place = (fun ?budget:_ entries -> Full_replication.place s entries);
+        op_add = Full_replication.add s;
+        op_delete = Full_replication.delete s;
+        op_lookup =
+          (fun ?reachable target -> Full_replication.partial_lookup ?reachable s target);
+        op_can_update = (fun () -> Cluster.up_servers cluster <> [])
+      },
+      Repair.Mirror )
   | Fixed x ->
     let s = Fixed.create cluster ~x in
-    { op_place = (fun ?budget:_ entries -> Fixed.place s entries);
-      op_add = Fixed.add s;
-      op_delete = Fixed.delete s;
-      op_lookup = (fun ?reachable target -> Fixed.partial_lookup ?reachable s target) }
+    ( { op_place = (fun ?budget:_ entries -> Fixed.place s entries);
+        op_add = Fixed.add s;
+        op_delete = Fixed.delete s;
+        op_lookup = (fun ?reachable target -> Fixed.partial_lookup ?reachable s target);
+        op_can_update = (fun () -> Cluster.up_servers cluster <> []) },
+      Repair.Mirror )
   | Random_server x ->
     let s = Random_server.create cluster ~x in
-    { op_place = (fun ?budget:_ entries -> Random_server.place s entries);
-      op_add = Random_server.add s;
-      op_delete = Random_server.delete s;
-      op_lookup = (fun ?reachable target -> Random_server.partial_lookup ?reachable s target)
-    }
+    ( { op_place = (fun ?budget:_ entries -> Random_server.place s entries);
+        op_add = Random_server.add s;
+        op_delete = Random_server.delete s;
+        op_lookup = (fun ?reachable target -> Random_server.partial_lookup ?reachable s target);
+        op_can_update = (fun () -> Cluster.up_servers cluster <> [])
+      },
+      Repair.Free x )
   | Random_server_replacing x ->
     let s = Random_server.create ~replacement_on_delete:true cluster ~x in
-    { op_place = (fun ?budget:_ entries -> Random_server.place s entries);
-      op_add = Random_server.add s;
-      op_delete = Random_server.delete s;
-      op_lookup = (fun ?reachable target -> Random_server.partial_lookup ?reachable s target)
-    }
+    ( { op_place = (fun ?budget:_ entries -> Random_server.place s entries);
+        op_add = Random_server.add s;
+        op_delete = Random_server.delete s;
+        op_lookup = (fun ?reachable target -> Random_server.partial_lookup ?reachable s target);
+        op_can_update = (fun () -> Cluster.up_servers cluster <> [])
+      },
+      Repair.Free x )
   | Round_robin_replicated (y, coordinators) ->
-    let s = Round_robin.create ~coordinators cluster ~y in
-    { op_place = (fun ?budget entries -> Round_robin.place ?budget s entries);
-      op_add = Round_robin.add s;
-      op_delete = Round_robin.delete s;
-      op_lookup = (fun ?reachable target -> Round_robin.partial_lookup ?reachable s target) }
+    let s = Round_robin.create ~coordinators ~resync_stores cluster ~y in
+    ( { op_place = (fun ?budget entries -> Round_robin.place ?budget s entries);
+        op_add = Round_robin.add s;
+        op_delete = Round_robin.delete s;
+        op_lookup = (fun ?reachable target -> Round_robin.partial_lookup ?reachable s target);
+        op_can_update = (fun () -> Round_robin.can_update s)
+      },
+      Repair.Assigned (Round_robin.assigned_servers s) )
   | Round_robin y ->
-    let s = Round_robin.create cluster ~y in
-    { op_place = (fun ?budget entries -> Round_robin.place ?budget s entries);
-      op_add = Round_robin.add s;
-      op_delete = Round_robin.delete s;
-      op_lookup = (fun ?reachable target -> Round_robin.partial_lookup ?reachable s target) }
+    let s = Round_robin.create ~resync_stores cluster ~y in
+    ( { op_place = (fun ?budget entries -> Round_robin.place ?budget s entries);
+        op_add = Round_robin.add s;
+        op_delete = Round_robin.delete s;
+        op_lookup = (fun ?reachable target -> Round_robin.partial_lookup ?reachable s target);
+        op_can_update = (fun () -> Round_robin.can_update s)
+      },
+      Repair.Assigned (Round_robin.assigned_servers s) )
   | Hash y ->
     let s = Hash_scheme.create cluster ~y in
-    { op_place = (fun ?budget entries -> Hash_scheme.place ?budget s entries);
-      op_add = Hash_scheme.add s;
-      op_delete = Hash_scheme.delete s;
-      op_lookup = (fun ?reachable target -> Hash_scheme.partial_lookup ?reachable s target) }
+    ( { op_place = (fun ?budget entries -> Hash_scheme.place ?budget s entries);
+        op_add = Hash_scheme.add s;
+        op_delete = Hash_scheme.delete s;
+        op_lookup = (fun ?reachable target -> Hash_scheme.partial_lookup ?reachable s target);
+        op_can_update = (fun () -> Cluster.up_servers cluster <> [])
+      },
+      Repair.Assigned (fun e -> Some (Hash_scheme.servers_of s e)) )
 
-let of_cluster cluster config = { cluster; config; ops = build_ops cluster config }
+let of_cluster ?(repair = Repair.disabled) cluster config =
+  let repair_on = repair.Repair.mode <> Repair.Off in
+  let ops, plan = build_ops cluster config ~resync_stores:(not repair_on) in
+  let rep =
+    if repair_on then Some (Repair.install cluster ~config:repair ~plan) else None
+  in
+  { cluster; config; ops; repair = rep }
 
-let create ?seed ~n config = of_cluster (Cluster.create ?seed ~n ()) config
+let create ?seed ?repair ~n config = of_cluster ?repair (Cluster.create ?seed ~n ()) config
 
 let cluster t = t.cluster
 let config t = t.config
 let name t = config_name t.config
 let n t = Cluster.n t.cluster
+let repair t = t.repair
 
 let place ?budget t entries = t.ops.op_place ?budget entries
 let add t e = t.ops.op_add e
 let delete t e = t.ops.op_delete e
 let partial_lookup ?reachable t target = t.ops.op_lookup ?reachable target
+let can_update t = t.ops.op_can_update ()
 
 let partial_lookup_pref ?reachable t ~cost target =
   (* Exhaustive probe: demand more entries than any server set can hold

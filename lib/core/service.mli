@@ -43,10 +43,17 @@ val storage_for_budget : config -> n:int -> h:int -> total:int -> config
 
 type t
 
-val create : ?seed:int -> n:int -> config -> t
-(** Build a fresh cluster of [n] servers running the strategy. *)
+val create : ?seed:int -> ?repair:Repair.config -> n:int -> config -> t
+(** Build a fresh cluster of [n] servers running the strategy.
 
-val of_cluster : Cluster.t -> config -> t
+    [repair] (default {!Repair.disabled}) activates the self-healing
+    layer: with any mode other than [Off], the strategy handler is
+    wrapped by a {!Repair.t} built with the placement plan matching the
+    strategy (Mirror for Full/Fixed, Free for RandomServer, Assigned for
+    Round-Robin/Hash), and Round-Robin's full-push store resync is
+    replaced by the incremental digest sync. *)
+
+val of_cluster : ?repair:Repair.config -> Cluster.t -> config -> t
 (** Run the strategy on an existing cluster (rebinding its network
     handler).  Used by experiments that inject failures between place
     and lookup. *)
@@ -56,6 +63,9 @@ val config : t -> config
 val name : t -> string
 val n : t -> int
 
+val repair : t -> Repair.t option
+(** The repair layer, when one was activated at construction. *)
+
 val place : ?budget:int -> t -> Entry.t list -> unit
 (** Initial batch placement.  [budget] caps total stored copies and is
     honoured by Round-Robin and Hash (the Fig. 6 "inadequate storage"
@@ -64,6 +74,14 @@ val place : ?budget:int -> t -> Entry.t list -> unit
 
 val add : t -> Entry.t -> unit
 val delete : t -> Entry.t -> unit
+
+val can_update : t -> bool
+(** Whether an [add]/[delete] issued now would be accepted by the
+    strategy: for Round-Robin, a coordinator replica is up (and the
+    placement was not truncated); for the others, any server is up.
+    When false the update would vanish without a trace — a real client
+    would observe the missing reply, so workloads use this to model
+    failing fast instead of silently losing writes. *)
 
 val partial_lookup : ?reachable:(int -> bool) -> t -> int -> Lookup_result.t
 (** [partial_lookup t target]: retrieve at least [target] distinct

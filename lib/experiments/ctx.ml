@@ -4,17 +4,38 @@ type t = {
   loss : float;
   duplication : float;
   jitter : float;
+  mttf : float option;
+  mttr : float option;
+  horizon : float option;
+  repair : Plookup.Repair.config option;
 }
 
-let default = { seed = 42; scale = 1.0; loss = 0.; duplication = 0.; jitter = 0. }
+let default =
+  { seed = 42;
+    scale = 1.0;
+    loss = 0.;
+    duplication = 0.;
+    jitter = 0.;
+    mttf = None;
+    mttr = None;
+    horizon = None;
+    repair = None }
 
-let v ?(seed = 42) ?(scale = 1.0) ?(loss = 0.) ?(duplication = 0.) ?(jitter = 0.) () =
+let v ?(seed = 42) ?(scale = 1.0) ?(loss = 0.) ?(duplication = 0.) ?(jitter = 0.) ?mttf
+    ?mttr ?horizon ?repair () =
   if scale <= 0. then invalid_arg "Ctx.v: scale must be positive";
   if loss < 0. || loss >= 1. then invalid_arg "Ctx.v: loss must be in [0, 1)";
   if duplication < 0. || duplication > 1. then
     invalid_arg "Ctx.v: duplication must be in [0, 1]";
   if jitter < 0. then invalid_arg "Ctx.v: jitter must be non-negative";
-  { seed; scale; loss; duplication; jitter }
+  let positive name = function
+    | Some x when x <= 0. -> invalid_arg (Printf.sprintf "Ctx.v: %s must be positive" name)
+    | _ -> ()
+  in
+  positive "mttf" mttf;
+  positive "mttr" mttr;
+  positive "horizon" horizon;
+  { seed; scale; loss; duplication; jitter; mttf; mttr; horizon; repair }
 
 let faulty t = t.loss > 0. || t.duplication > 0. || t.jitter > 0.
 

@@ -17,10 +17,16 @@ type t = {
   loss : float;  (** per-transmission drop probability, in [0, 1) *)
   duplication : float;  (** per-transmission duplicate probability, in [0, 1] *)
   jitter : float;  (** max extra per-delivery delay (engine time units) *)
+  mttf : float option;  (** churn mean time to failure; [None] = experiment default *)
+  mttr : float option;  (** churn mean time to repair; [None] = experiment default *)
+  horizon : float option;  (** churn simulation horizon; [None] = experiment default *)
+  repair : Plookup.Repair.config option;
+      (** self-healing configuration for churn-aware experiments;
+          [None] = experiment default *)
 }
 
 val default : t
-(** seed 42, scale 1.0, no faults *)
+(** seed 42, scale 1.0, no faults, no churn/repair overrides *)
 
 val v :
   ?seed:int ->
@@ -28,6 +34,10 @@ val v :
   ?loss:float ->
   ?duplication:float ->
   ?jitter:float ->
+  ?mttf:float ->
+  ?mttr:float ->
+  ?horizon:float ->
+  ?repair:Plookup.Repair.config ->
   unit ->
   t
 

@@ -5,21 +5,36 @@ module Engine = Plookup_sim.Engine
 module Churn = Plookup_workload.Churn
 
 let id = "churn"
-let title = "Extension: lookup availability under server churn (mttf=50, mttr=50, t=40)"
+
+let title =
+  "Extension: self-healing under churn, repair off vs on (mttf=50, mttr=50, t=40)"
 
 type tally = {
   mutable lookups : int;
-  mutable satisfied : int;
+  mutable satisfied : int;  (* >= t *live* entries returned *)
+  mutable stale : int;  (* deleted entries returned, total *)
+  mutable below_target : int;  (* samples with live coverage < t *)
   mutable contacts : int;
   mutable up_samples : int;
 }
 
-let run_strategy ctx ~n ~h ~t ~mttf ~mttr ~horizon config =
+(* One churn run of one strategy: h entries placed, servers failing and
+   recovering, a steady-state update stream (each update deletes one
+   random live entry and adds a fresh one), one lookup per time unit.
+   The updates are what make recovery visible: a server that was down
+   missed deletes (it will serve stale reads) and adds (it degrades
+   success) until the repair layer reconciles it. *)
+let run_strategy ctx ~n ~h ~t ~mttf ~mttr ~horizon ~update_every ~repair config =
   let seed = Ctx.run_seed ctx (Hashtbl.hash (Service.config_name config)) in
-  let service = Service.create ~seed ~n config in
-  Service.place service (Entry.Gen.batch (Entry.Gen.create ()) h);
+  let service = Service.create ~seed ~repair ~n config in
+  let gen = Entry.Gen.create () in
+  let initial = Entry.Gen.batch gen h in
+  Service.place service initial;
   let cluster = Service.cluster service in
   let engine = Engine.create () in
+  (match Service.repair service with
+  | Some rep -> Repair.attach_engine ~until:horizon rep engine
+  | None -> ());
   let churn_events =
     Churn.generate (Rng.create (seed lxor 0xC0FFEE)) ~n ~mttf ~mttr ~horizon
   in
@@ -28,30 +43,88 @@ let run_strategy ctx ~n ~h ~t ~mttf ~mttr ~horizon config =
       if ev.Churn.up then Cluster.recover cluster ev.Churn.server
       else Cluster.fail cluster ev.Churn.server)
     churn_events;
-  let tally = { lookups = 0; satisfied = 0; contacts = 0; up_samples = 0 } in
-  (* One client lookup per time unit, as engine events interleaved with
-     the churn timeline. *)
+  (* The experiment's own ground truth of what is alive. *)
+  let live = Hashtbl.create (2 * h) in
+  List.iter (fun e -> Hashtbl.replace live (Entry.id e) e) initial;
+  let deleted = Hashtbl.create 64 in
+  let wl_rng = Rng.create (seed lxor 0xBEEF) in
+  for k = 1 to int_of_float (horizon /. update_every) do
+    ignore
+      (Engine.schedule_at engine
+         ~time:((float_of_int k *. update_every) +. 0.25)
+         (fun _ ->
+           (* A client whose update gets no reply (coordinator down, or
+              no server up) fails fast; the update never happened. *)
+           if Service.can_update service then begin
+           let ids = List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) live []) in
+           match ids with
+           | [] -> ()
+           | _ ->
+             let victim_id = List.nth ids (Rng.int wl_rng (List.length ids)) in
+             let victim = Hashtbl.find live victim_id in
+             Service.delete service victim;
+             Hashtbl.remove live victim_id;
+             Hashtbl.replace deleted victim_id ();
+             let fresh = Entry.Gen.fresh gen in
+             Service.add service fresh;
+             Hashtbl.replace live (Entry.id fresh) fresh
+           end))
+  done;
+  let tally =
+    { lookups = 0; satisfied = 0; stale = 0; below_target = 0; contacts = 0; up_samples = 0 }
+  in
   for i = 1 to int_of_float horizon do
     ignore
       (Engine.schedule_at engine ~time:(float_of_int i) (fun _ ->
            let r = Service.partial_lookup service t in
            tally.lookups <- tally.lookups + 1;
-           if Lookup_result.satisfied r then tally.satisfied <- tally.satisfied + 1;
+           let returned = r.Lookup_result.entries in
+           let live_returned =
+             List.length (List.filter (fun e -> Hashtbl.mem live (Entry.id e)) returned)
+           in
+           if live_returned >= t then tally.satisfied <- tally.satisfied + 1;
+           tally.stale <-
+             tally.stale
+             + List.length (List.filter (fun e -> Hashtbl.mem deleted (Entry.id e)) returned);
            tally.contacts <- tally.contacts + r.Lookup_result.servers_contacted;
-           tally.up_samples <- tally.up_samples + List.length (Cluster.up_servers cluster)))
+           tally.up_samples <- tally.up_samples + List.length (Cluster.up_servers cluster);
+           (* The doc'd metric: how often the system as a whole could not
+              have served t live entries no matter how many servers a
+              client contacted. *)
+           let live_coverage =
+             Entry.Set.fold
+               (fun e acc -> if Hashtbl.mem live (Entry.id e) then acc + 1 else acc)
+               (Cluster.coverage cluster) 0
+           in
+           if live_coverage < t then tally.below_target <- tally.below_target + 1))
   done;
-  ignore (Engine.run engine);
-  tally
+  ignore (Engine.run ~until:horizon engine);
+  (tally, Option.map Repair.stats (Service.repair service), Option.map Repair.repair_messages (Service.repair service))
 
 let run ?(n = 10) ?(h = 100) ?(budget = 200) ?(t = 40) ?(mttf = 50.) ?(mttr = 50.)
-    ?(horizon = 5000.) ctx =
+    ?(horizon = 5000.) ?(update_every = 10.) ctx =
+  let mttf = Option.value ctx.Ctx.mttf ~default:mttf in
+  let mttr = Option.value ctx.Ctx.mttr ~default:mttr in
+  let horizon = Option.value ctx.Ctx.horizon ~default:horizon in
   let horizon = float_of_int (Ctx.scaled ctx (int_of_float horizon)) in
-  let table =
-    Table.create ~title
-      ~columns:
-        [ "strategy"; "success %"; "mean cost"; "avg up servers"; "ideal availability %" ]
+  let repair_cfg = Option.value ctx.Ctx.repair ~default:Repair.default_config in
+  let table_title =
+    Printf.sprintf
+      "Extension: self-healing under churn, repair off vs on (mttf=%g, mttr=%g, t=%d)"
+      mttf mttr t
   in
-  let ideal = 100. *. Churn.expected_availability ~mttf ~mttr in
+  let table =
+    Table.create ~title:table_title
+      ~columns:
+        [ "strategy";
+          "repair";
+          "success %";
+          "stale reads";
+          "below-t %";
+          "mean cost";
+          "restore time";
+          "repair msgs" ]
+  in
   let configs =
     (* Fixed-x needs x >= t to play at all (plus a little headroom); the
        others get the common storage budget. *)
@@ -61,15 +134,26 @@ let run ?(n = 10) ?(h = 100) ?(budget = 200) ?(t = 40) ?(mttf = 50.) ?(mttr = 50
       Service.storage_for_budget (Service.Round_robin 1) ~n ~h ~total:budget;
       Service.storage_for_budget (Service.Hash 1) ~n ~h ~total:budget ]
   in
+  let add_row config ~repair =
+    let tally, stats, repair_msgs =
+      run_strategy ctx ~n ~h ~t ~mttf ~mttr ~horizon ~update_every ~repair config
+    in
+    let per_lookup v = float_of_int v /. float_of_int (max 1 tally.lookups) in
+    Table.add_row table
+      [ Table.S (Service.config_name config);
+        Table.S (Repair.mode_name repair.Repair.mode);
+        Table.F (100. *. per_lookup tally.satisfied);
+        Table.I tally.stale;
+        Table.F (100. *. per_lookup tally.below_target);
+        Table.F (per_lookup tally.contacts);
+        (match stats with
+        | Some { Repair.mean_restore_time = Some rt; _ } -> Table.F rt
+        | Some { Repair.mean_restore_time = None; _ } | None -> Table.S "-");
+        Table.I (Option.value repair_msgs ~default:0) ]
+  in
   List.iter
     (fun config ->
-      let tally = run_strategy ctx ~n ~h ~t ~mttf ~mttr ~horizon config in
-      let per_lookup v = float_of_int v /. float_of_int (max 1 tally.lookups) in
-      Table.add_row table
-        [ Table.S (Service.config_name config);
-          Table.F (100. *. per_lookup tally.satisfied);
-          Table.F (per_lookup tally.contacts);
-          Table.F (per_lookup tally.up_samples);
-          Table.F ideal ])
+      add_row config ~repair:Repair.disabled;
+      if repair_cfg.Repair.mode <> Repair.Off then add_row config ~repair:repair_cfg)
     configs;
   table

@@ -1,11 +1,19 @@
-(** Extension: availability under continuous server churn.
+(** Extension: self-healing under continuous server churn.
 
     Servers fail and recover as alternating renewal processes
     (exponential MTTF/MTTR); clients keep issuing partial lookups
-    throughout, re-probing around down servers exactly as the paper's
-    strategies prescribe.  Reports per-strategy lookup success rate,
-    mean cost, and the fraction of time the whole system was below the
-    target's coverage. *)
+    throughout while a steady-state update stream deletes one random
+    live entry and adds a fresh one every [update_every] time units —
+    so a recovering server that missed updates serves stale reads and
+    hides adds until it is repaired.
+
+    Each strategy runs twice, with repair off and with the context's
+    repair configuration (default {!Plookup.Repair.default_config}),
+    and reports: lookup success rate counting only {e live} entries,
+    stale reads (deleted entries returned), the fraction of samples in
+    which the whole system covered fewer than [t] live entries, mean
+    lookup cost, mean time-to-restore-degree, and the repair message
+    overhead (tallied separately from the lookup/update cost). *)
 
 val id : string
 val title : string
@@ -18,9 +26,11 @@ val run :
   ?mttf:float ->
   ?mttr:float ->
   ?horizon:float ->
+  ?update_every:float ->
   Ctx.t ->
   Plookup_util.Table.t
 (** Defaults: n=10, h=100, budget 200 (Fixed gets x = t+5 instead —
     it cannot play otherwise), t=40, mttf=mttr=50 (harsh: each server
     50% available), horizon 5000 time units with one lookup per time
-    unit. *)
+    unit and one delete+add every 10.  The context's [mttf]/[mttr]/
+    [horizon]/[repair] fields override the corresponding defaults. *)

@@ -35,8 +35,11 @@ type ('msg, 'reply) t = {
   mutable duplicated : int;
   mutable broadcast_count : int;
   mutable client_count : int;
+  mutable repair_count : int;
+  mutable in_repair : bool;
   mutable engine : (Plookup_sim.Engine.t * (src:sender -> dst:int -> float)) option;
-  mutable status_listener : (int -> up:bool -> unit) option;
+  mutable status_listeners : (int -> up:bool -> unit) list;
+  mutable drop_listener : (src:sender -> dst:int -> 'msg -> unit) option;
   mutable faults : faults option;
   mutable faults_on : bool;
   mutable partitions : partition list;
@@ -54,8 +57,11 @@ let create ~n =
     duplicated = 0;
     broadcast_count = 0;
     client_count = 0;
+    repair_count = 0;
+    in_repair = false;
     engine = None;
-    status_listener = None;
+    status_listeners = [];
+    drop_listener = None;
     faults = None;
     faults_on = false;
     partitions = [] }
@@ -72,8 +78,7 @@ let wrap_handler t wrap =
 let check_node t i =
   if i < 0 || i >= t.n then invalid_arg "Net: server index out of range"
 
-let notify_status t i up =
-  match t.status_listener with Some f -> f i ~up | None -> ()
+let notify_status t i up = List.iter (fun f -> f i ~up) t.status_listeners
 
 let fail t i =
   check_node t i;
@@ -89,7 +94,9 @@ let recover t i =
     notify_status t i true
   end
 
-let set_status_listener t f = t.status_listener <- Some f
+let set_status_listener t f = t.status_listeners <- [ f ]
+let add_status_listener t f = t.status_listeners <- t.status_listeners @ [ f ]
+let set_drop_listener t f = t.drop_listener <- Some f
 
 let is_up t i =
   check_node t i;
@@ -180,6 +187,7 @@ let handler_exn t =
 
 let account t ~src ~dst =
   t.received.(dst) <- t.received.(dst) + 1;
+  if t.in_repair then t.repair_count <- t.repair_count + 1;
   match src with Client -> t.client_count <- t.client_count + 1 | Server _ -> ()
 
 (* Final delivery: liveness check, accounting, handler.  All fault
@@ -187,6 +195,7 @@ let account t ~src ~dst =
 let deliver t ~src ~dst msg =
   if not t.up.(dst) then begin
     t.dropped <- t.dropped + 1;
+    (match t.drop_listener with Some f -> f ~src ~dst msg | None -> ());
     None
   end
   else begin
@@ -246,6 +255,12 @@ let messages_blocked t = t.blocked
 let duplicates_delivered t = t.duplicated
 let broadcasts t = t.broadcast_count
 let client_requests t = t.client_count
+let repair_messages t = t.repair_count
+
+let tally_as_repair t f =
+  let saved = t.in_repair in
+  t.in_repair <- true;
+  Fun.protect ~finally:(fun () -> t.in_repair <- saved) f
 
 let reset_counters t =
   Array.fill t.received 0 t.n 0;
@@ -254,7 +269,8 @@ let reset_counters t =
   t.blocked <- 0;
   t.duplicated <- 0;
   t.broadcast_count <- 0;
-  t.client_count <- 0
+  t.client_count <- 0;
+  t.repair_count <- 0
 
 let attach_engine t engine ~latency = t.engine <- Some (engine, latency)
 

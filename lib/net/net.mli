@@ -58,8 +58,20 @@ val set_status_listener : ('msg, 'reply) t -> (int -> up:bool -> unit) -> unit
 (** Called on every fail/recover *transition* (not on no-op repeats).
     Strategies use this to react to membership changes — e.g. the
     replicated Round-Robin coordinator re-syncs a recovering replica.
-    One listener per network (the last one installed wins), mirroring
-    {!set_handler}. *)
+    Replaces every previously installed listener, mirroring
+    {!set_handler}; use {!add_status_listener} to stack another. *)
+
+val add_status_listener : ('msg, 'reply) t -> (int -> up:bool -> unit) -> unit
+(** Install an additional status listener; listeners fire in
+    installation order.  The repair subsystem stacks its recovery-sync
+    trigger on top of a strategy's own listener this way. *)
+
+val set_drop_listener : ('msg, 'reply) t -> (src:sender -> dst:int -> 'msg -> unit) -> unit
+(** Called whenever a transmission is dropped because its destination is
+    down (not for link loss or partitions — those model the message
+    vanishing in the network, where no one can observe it; a dead server
+    is observable membership state the sender can react to).  One
+    listener, last wins.  Hinted handoff hooks in here. *)
 
 val is_up : ('msg, 'reply) t -> int -> bool
 val up_servers : ('msg, 'reply) t -> int list
@@ -170,6 +182,17 @@ val duplicates_delivered : ('msg, 'reply) t -> int
 val broadcasts : ('msg, 'reply) t -> int
 val client_requests : ('msg, 'reply) t -> int
 (** Messages whose sender was {!Client}. *)
+
+val repair_messages : ('msg, 'reply) t -> int
+(** The subset of {!messages_received} delivered inside
+    {!tally_as_repair} — repair-subsystem overhead, reported separately
+    from the lookup/update message cost. *)
+
+val tally_as_repair : ('msg, 'reply) t -> (unit -> 'a) -> 'a
+(** [tally_as_repair t f] runs [f]; every message received during it
+    (including nested handler-triggered sends) is additionally counted
+    in {!repair_messages}.  Nests and restores the previous tally state
+    on exit. *)
 
 val reset_counters : ('msg, 'reply) t -> unit
 

@@ -1,6 +1,11 @@
 open Plookup
 open Plookup_store
 
+let bitset_of ids capacity =
+  let bits = Plookup_util.Bitset.create capacity in
+  List.iter (Plookup_util.Bitset.add bits) ids;
+  bits
+
 let roundtrip msg =
   match Codec.decode (Codec.encode msg) with
   | Ok decoded -> decoded
@@ -32,7 +37,17 @@ let test_message_roundtrips () =
       Msg.Fetch_candidate [ 1; 2; 3; 1000 ];
       Msg.Sync_add (Entry.v ~payload:"replica" 3);
       Msg.Sync_delete (Entry.v 4);
-      Msg.Sync_state ]
+      Msg.Sync_state;
+      Msg.Digest_request (bitset_of [] 1);
+      Msg.Digest_request (bitset_of [ 0; 3; 63; 64 ] 70);
+      Msg.Sync_fix ([], []);
+      Msg.Sync_fix ([ Entry.v 1; Entry.v ~payload:"p" 2 ], [ 7; 8; 9 ]);
+      Msg.Hint (0, Msg.H_store, Entry.v 11);
+      Msg.Hint (3, Msg.H_remove, Entry.v ~payload:"addr" 12);
+      Msg.Hint (1, Msg.H_add_sampled, Entry.v 13);
+      Msg.Hint (2, Msg.H_remove_counted, Entry.v 14);
+      Msg.Digest_pull;
+      Msg.Repair_store (Entry.v ~payload:"sub" 21) ]
 
 let test_reply_roundtrips () =
   List.iter
@@ -45,7 +60,9 @@ let test_reply_roundtrips () =
       Msg.Entries [];
       Msg.Entries [ Entry.v 4; Entry.v ~payload:"host" 5 ];
       Msg.Candidate None;
-      Msg.Candidate (Some (Entry.v 1)) ]
+      Msg.Candidate (Some (Entry.v 1));
+      Msg.Digest (bitset_of [] 1);
+      Msg.Digest (bitset_of [ 2; 5; 100 ] 128) ]
 
 let test_empty_vs_absent_payload () =
   (match roundtrip (Msg.Add (Entry.v 1)) with
@@ -114,7 +131,21 @@ let gen_msg =
         map (fun ids -> Msg.Fetch_candidate ids) (list_size (int_range 0 20) (int_range 0 5000));
         map (fun e -> Msg.Sync_add e) gen_entry;
         map (fun e -> Msg.Sync_delete e) gen_entry;
-        return Msg.Sync_state ])
+        return Msg.Sync_state;
+        map
+          (fun ids -> Msg.Digest_request (bitset_of ids 600))
+          (list_size (int_range 0 30) (int_range 0 599));
+        map2
+          (fun es ids -> Msg.Sync_fix (es, ids))
+          (list_size (int_range 0 10) gen_entry)
+          (list_size (int_range 0 10) (int_range 0 5000));
+        map2
+          (fun (server, kind) e -> Msg.Hint (server, kind, e))
+          (pair (int_range 0 50)
+             (oneofl [ Msg.H_store; Msg.H_remove; Msg.H_add_sampled; Msg.H_remove_counted ]))
+          gen_entry;
+        return Msg.Digest_pull;
+        map (fun e -> Msg.Repair_store e) gen_entry ])
 
 let prop_roundtrip =
   Helpers.qcheck ~count:500 "decode . encode = id" gen_msg (fun msg ->

@@ -192,16 +192,31 @@ let test_hotspot_partitioning_is_worse () =
       partials
   | [] -> Alcotest.fail "no rows"
 
-let test_churn_replication_wins () =
+let test_churn_repair_wins () =
+  (* Rows alternate repair-off / repair-on per strategy.  With repair on,
+     every strategy must serve zero stale reads and strictly beat its
+     repair-off self on success rate. *)
   let ctx = E.Ctx.v ~seed:3 ~scale:0.4 () in
   let table = E.Exp_churn.run ctx in
-  match column table "success %" with
-  | full :: rest ->
-    Alcotest.(check bool) "full replication nearly always succeeds" true (full > 99.);
-    List.iter
-      (fun s -> Alcotest.(check bool) "everyone mostly available" true (s > 80.))
-      rest
-  | [] -> Alcotest.fail "no rows"
+  let success = column table "success %" in
+  let stale = column table "stale reads" in
+  let rec pairs = function
+    | off :: on :: rest -> (off, on) :: pairs rest
+    | [] -> []
+    | [ _ ] -> Alcotest.fail "odd number of rows"
+  in
+  if Table.rows table = [] then Alcotest.fail "no rows";
+  List.iter
+    (fun (off, on) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "repair beats no repair (%.2f > %.2f)" on off)
+        true (on > off))
+    (pairs success);
+  List.iteri
+    (fun i (_, on_stale) ->
+      Helpers.check_int (Printf.sprintf "row pair %d: no stale reads with repair" i)
+        0 (int_of_float on_stale))
+    (pairs stale)
 
 let test_ctx_scaling () =
   let ctx = E.Ctx.v ~seed:1 ~scale:0.5 () in
@@ -234,6 +249,6 @@ let () =
           Alcotest.test_case "derived stars" `Slow test_derived_stars;
           Alcotest.test_case "paper stars" `Quick test_paper_stars_table;
           Alcotest.test_case "hotspot extension" `Slow test_hotspot_partitioning_is_worse;
-          Alcotest.test_case "churn extension" `Slow test_churn_replication_wins;
+          Alcotest.test_case "churn extension" `Slow test_churn_repair_wins;
           Alcotest.test_case "ctx scaling" `Quick test_ctx_scaling;
           Alcotest.test_case "run_seed" `Quick test_run_seed_stable ] ) ]

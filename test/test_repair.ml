@@ -1,0 +1,316 @@
+(* Regression tests for the self-healing layer (Repair): the staleness
+   bug — a recovered server serving entries deleted while it was down
+   and missing entries added while it was down — is pinned as fixed for
+   every strategy, plus hint TTL/capacity bounds, daemon degree
+   restoration, repair message accounting and determinism. *)
+
+open Plookup
+open Plookup_store
+module Engine = Plookup_sim.Engine
+module Net = Plookup_net.Net
+module Churn = Plookup_workload.Churn
+
+let all_configs =
+  [ Service.Full_replication;
+    Service.Fixed 60;
+    Service.Random_server 20;
+    Service.Random_server_replacing 20;
+    Service.Round_robin 2;
+    Service.Round_robin_replicated (2, 2);
+    Service.Hash 2 ]
+
+let store_ids cluster i = List.sort compare (Server_store.ids (Cluster.store cluster i))
+
+let snapshot cluster = List.init (Cluster.n cluster) (store_ids cluster)
+
+(* The headline regression: fail a server, add and delete while it is
+   down, recover it — lookups must never return a deleted entry, and
+   the adds must be covered again. *)
+let test_staleness_fixed () =
+  List.iter
+    (fun config ->
+      let name = Service.config_name config in
+      let service = Service.create ~seed:11 ~repair:Repair.default_config ~n:5 config in
+      let gen = Entry.Gen.create () in
+      let batch = Entry.Gen.batch gen 30 in
+      Service.place service batch;
+      let cluster = Service.cluster service in
+      Cluster.fail cluster 1;
+      let rec take k = function
+        | e :: rest when k > 0 -> e :: take (k - 1) rest
+        | _ -> []
+      in
+      let deleted = take 5 batch in
+      Alcotest.(check bool)
+        (name ^ " accepts updates with one server down")
+        true (Service.can_update service);
+      List.iter (Service.delete service) deleted;
+      let added = List.init 5 (fun _ -> Entry.Gen.fresh gen) in
+      List.iter (Service.add service) added;
+      Cluster.recover cluster 1;
+      let deleted_ids = List.map Entry.id deleted in
+      for _ = 1 to 50 do
+        let r = Service.partial_lookup service 20 in
+        List.iter
+          (fun e ->
+            if List.mem (Entry.id e) deleted_ids then
+              Alcotest.failf "%s returned deleted entry %d after recovery" name
+                (Entry.id e))
+          r.Lookup_result.entries
+      done;
+      (* The recovered server itself holds nothing deleted... *)
+      List.iter
+        (fun id ->
+          if List.mem id (store_ids cluster 1) then
+            Alcotest.failf "%s: server 1 still stores deleted entry %d" name id)
+        deleted_ids;
+      (* ...and the adds are covered by the cluster again. *)
+      let coverage = Cluster.coverage cluster in
+      List.iter
+        (fun e ->
+          if not (Entry.Set.mem e coverage) then
+            Alcotest.failf "%s lost added entry %d" name (Entry.id e))
+        added)
+    all_configs
+
+(* Sync-only mode is enough for the staleness fix (no hints, no daemon:
+   the recovery digest sync alone retracts the deletes). *)
+let test_sync_mode_retracts () =
+  List.iter
+    (fun config ->
+      let name = Service.config_name config in
+      let repair = { Repair.default_config with Repair.mode = Repair.Sync } in
+      let service = Service.create ~seed:3 ~repair ~n:4 config in
+      let gen = Entry.Gen.create () in
+      Service.place service (Entry.Gen.batch gen 20);
+      let cluster = Service.cluster service in
+      Cluster.fail cluster 2;
+      let victim = Entry.v 0 in
+      Service.delete service victim;
+      Cluster.recover cluster 2;
+      if List.mem 0 (store_ids cluster 2) then
+        Alcotest.failf "%s: sync mode left deleted entry on recovered server" name;
+      let stats = match Service.repair service with
+        | Some rep -> Repair.stats rep
+        | None -> Alcotest.fail "repair layer missing"
+      in
+      Alcotest.(check int) (name ^ " queues no hints in sync mode") 0
+        stats.Repair.hints_queued)
+    all_configs
+
+(* A fail -> recover round trip with no updates in between must leave
+   every store exactly as it was (the sync ships and retracts nothing,
+   RandomServer's random subsets included). *)
+let test_no_update_round_trip_identical () =
+  List.iter
+    (fun config ->
+      let name = Service.config_name config in
+      let service = Service.create ~seed:21 ~repair:Repair.default_config ~n:5 config in
+      let gen = Entry.Gen.create () in
+      Service.place service (Entry.Gen.batch gen 25);
+      let cluster = Service.cluster service in
+      let before = snapshot cluster in
+      Cluster.fail cluster 3;
+      Cluster.recover cluster 3;
+      Cluster.fail cluster 0;
+      Cluster.recover cluster 0;
+      let after = snapshot cluster in
+      if before <> after then
+        Alcotest.failf "%s: stores changed across a no-update fail/recover round trip"
+          name)
+    all_configs
+
+(* Hints expire after their TTL: a delete buffered for a down server is
+   not replayed when the outage outlasts hint_ttl — the digest sync
+   covers it instead. *)
+let test_hint_ttl () =
+  let repair = { Repair.default_config with Repair.hint_ttl = 5. } in
+  let service = Service.create ~seed:9 ~repair ~n:4 (Service.Hash 2) in
+  let gen = Entry.Gen.create () in
+  let batch = Entry.Gen.batch gen 30 in
+  Service.place service batch;
+  let cluster = Service.cluster service in
+  let rep = Option.get (Service.repair service) in
+  let engine = Engine.create () in
+  Repair.attach_engine ~until:60. rep engine;
+  Cluster.fail cluster 2;
+  (* Delete a third of the entries; some are owned by server 2, so some
+     hints are parked for it. *)
+  List.iteri (fun i e -> if i mod 3 = 0 then Service.delete service e) batch;
+  let queued = (Repair.stats rep).Repair.hints_queued in
+  Alcotest.(check bool) "some hints queued for the down owner" true (queued > 0);
+  ignore (Engine.schedule_at engine ~time:50. (fun _ -> Cluster.recover cluster 2));
+  ignore (Engine.run ~until:60. engine);
+  let stats = Repair.stats rep in
+  Alcotest.(check int) "every hint outlived its TTL" queued stats.Repair.hints_expired;
+  Alcotest.(check int) "nothing replayed" 0 stats.Repair.hints_replayed;
+  (* The sync still cleaned the recovered store. *)
+  List.iteri
+    (fun i e ->
+      if i mod 3 = 0 && List.mem (Entry.id e) (store_ids cluster 2) then
+        Alcotest.failf "expired hint left deleted entry %d behind" (Entry.id e))
+    batch
+
+(* The per-buddy hint buffer is bounded: over capacity, the oldest hint
+   is evicted. *)
+let test_hint_capacity () =
+  let repair = { Repair.default_config with Repair.hint_capacity = 2 } in
+  let service = Service.create ~seed:5 ~repair ~n:3 (Service.Fixed 10) in
+  let gen = Entry.Gen.create () in
+  Service.place service (Entry.Gen.batch gen 4);
+  let cluster = Service.cluster service in
+  Cluster.fail cluster 1;
+  for _ = 1 to 5 do Service.add service (Entry.Gen.fresh gen) done;
+  let rep = Option.get (Service.repair service) in
+  let stats = Repair.stats rep in
+  Alcotest.(check int) "all five adds hinted" 5 stats.Repair.hints_queued;
+  Alcotest.(check int) "three evicted at capacity 2" 3 stats.Repair.hints_dropped;
+  Alcotest.(check int) "two pending" 2 (Repair.hints_pending rep)
+
+(* After the grace period the daemon re-replicates entries whose owner
+   is down; once the owner returns, the substitutes are trimmed again so
+   storage returns to its pre-failure footprint. *)
+let test_daemon_restores_degree () =
+  let service = Service.create ~seed:13 ~repair:Repair.default_config ~n:5 (Service.Hash 2) in
+  let gen = Entry.Gen.create () in
+  let batch = Entry.Gen.batch gen 40 in
+  Service.place service batch;
+  let cluster = Service.cluster service in
+  let rep = Option.get (Service.repair service) in
+  let storage_before = Plookup_metrics.Storage.measured cluster in
+  let engine = Engine.create () in
+  Repair.attach_engine ~until:200. rep engine;
+  ignore (Engine.schedule_at engine ~time:1. (fun _ -> Cluster.fail cluster 3));
+  (* grace is 30: by t=100 the daemon has re-replicated 3's entries
+     onto substitutes, so the up servers alone cover everything (an
+     entry whose two hashes collide has a rightful degree of 1, hence
+     coverage rather than a blanket two-copy check). *)
+  ignore
+    (Engine.schedule_at engine ~time:100. (fun _ ->
+         let coverage = Cluster.coverage cluster in
+         List.iter
+           (fun e ->
+             if not (Entry.Set.mem e coverage) then
+               Alcotest.failf "entry %d not covered by up servers after repair"
+                 (Entry.id e))
+           batch;
+         let r = Service.partial_lookup service 40 in
+         Alcotest.(check int) "full lookup succeeds with the owner down" 40
+           (List.length r.Lookup_result.entries)));
+  ignore (Engine.schedule_at engine ~time:101. (fun _ -> Cluster.recover cluster 3));
+  ignore (Engine.run ~until:200. engine);
+  let stats = Repair.stats rep in
+  Alcotest.(check bool) "daemon re-replicated" true (stats.Repair.re_replications > 0);
+  Alcotest.(check bool) "daemon ticked" true (Repair.daemon_ticks rep > 0);
+  Alcotest.(check int) "substitutes trimmed back to the original footprint"
+    storage_before
+    (Plookup_metrics.Storage.measured cluster);
+  Alcotest.(check bool) "restore episodes recorded" true
+    (stats.Repair.restore_episodes > 0)
+
+(* Repair traffic is tallied apart from the paper's lookup/update
+   message cost, and plain lookups never count as repair. *)
+let test_repair_message_accounting () =
+  let service = Service.create ~seed:2 ~repair:Repair.default_config ~n:4 (Service.Fixed 30) in
+  let gen = Entry.Gen.create () in
+  Service.place service (Entry.Gen.batch gen 20);
+  let cluster = Service.cluster service in
+  let net = Cluster.net cluster in
+  let rep = Option.get (Service.repair service) in
+  Cluster.fail cluster 1;
+  Service.delete service (Entry.v 0);
+  Cluster.recover cluster 1;
+  let repair_msgs = Repair.repair_messages rep in
+  Alcotest.(check bool) "recovery produced repair traffic" true (repair_msgs > 0);
+  Alcotest.(check bool) "repair messages are a subset of all messages" true
+    (repair_msgs <= Net.messages_received net);
+  let before = Repair.repair_messages rep in
+  ignore (Service.partial_lookup service 10);
+  Alcotest.(check int) "lookups are not repair traffic" before
+    (Repair.repair_messages rep)
+
+(* Same seed => identical repair schedule, hint flow and message
+   counts, under a full churn + update workload. *)
+let test_deterministic () =
+  let scenario () =
+    let service =
+      Service.create ~seed:77 ~repair:Repair.default_config ~n:6 (Service.Hash 2)
+    in
+    let gen = Entry.Gen.create () in
+    Service.place service (Entry.Gen.batch gen 30);
+    let cluster = Service.cluster service in
+    let rep = Option.get (Service.repair service) in
+    let engine = Engine.create () in
+    Repair.attach_engine ~until:300. rep engine;
+    Churn.drive engine
+      ~apply:(fun ev ->
+        if ev.Churn.up then Cluster.recover cluster ev.Churn.server
+        else Cluster.fail cluster ev.Churn.server)
+      (Churn.generate (Plookup_util.Rng.create 41) ~n:6 ~mttf:40. ~mttr:40.
+         ~horizon:300.);
+    for k = 1 to 30 do
+      ignore
+        (Engine.schedule_at engine
+           ~time:(float_of_int k *. 10.)
+           (fun _ ->
+             if Service.can_update service then begin
+               Service.delete service (Entry.v k);
+               Service.add service (Entry.Gen.fresh gen)
+             end))
+    done;
+    ignore (Engine.run ~until:300. engine);
+    ( Repair.repair_messages rep,
+      Net.messages_received (Cluster.net cluster),
+      Repair.stats rep,
+      snapshot cluster )
+  in
+  let a = scenario () and b = scenario () in
+  if a <> b then Alcotest.fail "same seed gave a different repair run"
+
+let test_mode_parsing () =
+  List.iter
+    (fun (s, expected) ->
+      match Repair.mode_of_string s with
+      | Ok m when m = expected -> ()
+      | Ok _ -> Alcotest.failf "%s parsed to the wrong mode" s
+      | Error e -> Alcotest.failf "%s rejected: %s" s e)
+    [ ("off", Repair.Off); ("none", Repair.Off); ("sync", Repair.Sync);
+      ("full", Repair.Full); ("all", Repair.Full); (" Full ", Repair.Full) ];
+  match Repair.mode_of_string "bogus" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a bogus mode"
+
+let test_config_validation () =
+  let cluster = Cluster.create ~n:3 () in
+  let checks =
+    [ { Repair.default_config with Repair.mode = Repair.Off };
+      { Repair.default_config with Repair.grace = -1. };
+      { Repair.default_config with Repair.period = 0. };
+      { Repair.default_config with Repair.hint_ttl = 0. };
+      { Repair.default_config with Repair.hint_capacity = 0 } ]
+  in
+  List.iter
+    (fun config ->
+      match Repair.install cluster ~config ~plan:Repair.Mirror with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "bad repair config accepted")
+    checks
+
+let () =
+  Helpers.run "repair"
+    [ ( "repair",
+        [ Alcotest.test_case "staleness fixed for every strategy" `Quick
+            test_staleness_fixed;
+          Alcotest.test_case "sync mode alone retracts deletes" `Quick
+            test_sync_mode_retracts;
+          Alcotest.test_case "no-update round trip is identical" `Quick
+            test_no_update_round_trip_identical;
+          Alcotest.test_case "hint TTL" `Quick test_hint_ttl;
+          Alcotest.test_case "hint capacity" `Quick test_hint_capacity;
+          Alcotest.test_case "daemon restores degree and trims" `Quick
+            test_daemon_restores_degree;
+          Alcotest.test_case "repair message accounting" `Quick
+            test_repair_message_accounting;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "mode parsing" `Quick test_mode_parsing;
+          Alcotest.test_case "config validation" `Quick test_config_validation ] ) ]
