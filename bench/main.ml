@@ -59,14 +59,14 @@ let core_op_tests =
   let rng = Rng.create 9 in
   [ Test.make ~name:"store:random_pick-20of100"
       (Staged.stage (fun () -> ignore (Server_store.random_pick store rng 20)));
-    lookup_bench "lookup:full-t35" Service.Full_replication 35;
-    lookup_bench "lookup:round2-t35" (Service.Round_robin 2) 35;
-    lookup_bench "lookup:randomserver20-t35" (Service.Random_server 20) 35;
-    lookup_bench "lookup:hash2-t35" (Service.Hash 2) 35;
-    update_bench "update:fixed-50" (Service.Fixed 50);
-    update_bench "update:hash-2" (Service.Hash 2);
-    update_bench "update:round-2" (Service.Round_robin 2);
-    (let service = placed (Service.Random_server 20) in
+    lookup_bench "lookup:full-t35" Service.full_replication 35;
+    lookup_bench "lookup:round2-t35" (Service.round_robin 2) 35;
+    lookup_bench "lookup:randomserver20-t35" (Service.random_server 20) 35;
+    lookup_bench "lookup:hash2-t35" (Service.hash 2) 35;
+    update_bench "update:fixed-50" (Service.fixed 50);
+    update_bench "update:hash-2" (Service.hash 2);
+    update_bench "update:round-2" (Service.round_robin 2);
+    (let service = placed (Service.random_server 20) in
      let placement =
        Metrics.Fault_tolerance.snapshot (Service.cluster service) ~capacity:100
      in
@@ -141,7 +141,7 @@ let ablation_ft_heuristic () =
               Table.F (Stats.mean gaps);
               Table.F (snd (Stats.min_max gaps)) ])
         [ 10; 20 ])
-    [ Service.Random_server 10; Service.Hash 2; Service.Round_robin 2 ];
+    [ Service.random_server 10; Service.hash 2; Service.round_robin 2 ];
   Table.print table
 
 (* Section 5.3's delete alternatives: the cushion scheme (holes) vs
@@ -173,8 +173,8 @@ let ablation_delete_policy () =
           Table.F (float_of_int msgs /. float_of_int updates);
           Table.F4 unfairness;
           Table.F occupancy ])
-    [ ("cushion (paper's choice)", Service.Random_server 20);
-      ("active replacement", Service.Random_server_replacing 20) ];
+    [ ("cushion (paper's choice)", Service.random_server 20);
+      ("active replacement", Service.random_server_replacing 20) ];
   Table.print table
 
 (* Section 6.3's bottleneck argument, quantified: Round-y funnels every
@@ -207,7 +207,7 @@ let ablation_coordinator_bottleneck () =
           Table.F (100. *. float_of_int loads.(0) /. float_of_int (max 1 msgs));
           Table.F summary.Metrics.Load.peak_to_average;
           Table.F summary.Metrics.Load.cov ])
-    [ Service.Round_robin 2; Service.Hash 2; Service.Fixed 20; Service.Random_server 20 ];
+    [ Service.round_robin 2; Service.hash 2; Service.fixed 20; Service.random_server 20 ];
   Table.print table
 
 (* Footnote 1 of the paper: replicating the head/tail coordinator.  How
@@ -298,7 +298,7 @@ let ablation_hash_sizing () =
       let measure y =
         let m =
           Metrics.Lookup_cost.measure_over_instances ~seed:h ~n ~entries:h
-            ~config:(Service.Hash y) ~t ~runs:30 ~lookups_per_run:100 ()
+            ~config:(Service.hash y) ~t ~runs:30 ~lookups_per_run:100 ()
         in
         m.Metrics.Lookup_cost.mean_cost
       in
@@ -308,8 +308,8 @@ let ablation_hash_sizing () =
           Table.I y_aware;
           Table.F (measure y_plain);
           Table.F (measure y_aware);
-          Table.F (Metrics.Analytic.storage (Service.Hash y_plain) ~n ~h);
-          Table.F (Metrics.Analytic.storage (Service.Hash y_aware) ~n ~h) ])
+          Table.F (Metrics.Analytic.storage (Service.hash y_plain) ~n ~h);
+          Table.F (Metrics.Analytic.storage (Service.hash y_aware) ~n ~h) ])
     [ 100; 150; 200; 300; 400 ];
   Table.print table
 
@@ -391,7 +391,7 @@ let bench_repair () =
       Repair.repair_messages rep,
       recoveries )
   in
-  let rows = List.map scenario (Service.all_configs ~budget:200 ~n ~h) in
+  let rows = List.map scenario (Service.all_configs ~budget:200 ~n ~h ()) in
   let table =
     Table.create
       ~title:

@@ -204,6 +204,44 @@ let stars_cmd =
   let doc = "Print the paper's Table 2 star ratings for comparison." in
   Cmd.v (Cmd.info "stars" ~doc) Term.(ret (const stars $ const ()))
 
+(* strategies subcommand: the registry, printed *)
+let strategy_forms () =
+  List.map
+    (fun (module S : Plookup.Strategy_intf.S) ->
+      Plookup.Strategy_registry.spelling S.meta)
+    (Plookup.Strategy_registry.all ())
+
+let strategy_arg_doc () =
+  Printf.sprintf "Strategy: %s.  See $(b,plookup strategies)."
+    (String.concat ", " (strategy_forms ()))
+
+let list_strategies csv =
+  let table =
+    Table.create ~title:"registered placement strategies"
+      ~columns:[ "strategy"; "spelling"; "parameter"; "storage"; "notes" ]
+  in
+  List.iter
+    (fun (module S : Plookup.Strategy_intf.S) ->
+      let m = S.meta in
+      Table.add_row table
+        [ Table.S m.Plookup.Strategy_intf.name;
+          Table.S (Plookup.Strategy_registry.spelling m);
+          Table.S
+            (if m.Plookup.Strategy_intf.param_doc = "" then "-"
+             else m.Plookup.Strategy_intf.param_doc);
+          Table.S m.Plookup.Strategy_intf.storage_doc;
+          Table.S (if m.Plookup.Strategy_intf.ablation then "ablation" else "") ])
+    (Plookup.Strategy_registry.all ());
+  if csv then print_string (Table.to_csv table) else Table.print table;
+  `Ok ()
+
+let strategies_cmd =
+  let doc =
+    "List the registered placement strategies: accepted spelling, parameter meaning \
+     and Table-1 storage formula, straight from the strategy registry."
+  in
+  Cmd.v (Cmd.info "strategies" ~doc) Term.(ret (const list_strategies $ csv_arg))
+
 (* demo subcommand: place some entries under a strategy and look up *)
 let demo strategy n entries target seed =
   match Plookup.Service.config_of_string strategy with
@@ -228,7 +266,7 @@ let demo strategy n entries target seed =
 
 let demo_cmd =
   let strategy =
-    let doc = "Strategy: full, fixed-X, randomserver-X, round-Y or hash-Y." in
+    let doc = strategy_arg_doc () in
     Arg.(value & pos 0 string "round-2" & info [] ~docv:"STRATEGY" ~doc)
   in
   let n =
@@ -298,7 +336,7 @@ let sweep strategy n h budget t_lo t_hi t_step runs seed csv =
 
 let sweep_cmd =
   let strategy =
-    let doc = "Strategy (full, fixed-X, randomserver-X, round-Y, hash-Y)." in
+    let doc = strategy_arg_doc () in
     Arg.(value & pos 0 string "round-2" & info [] ~docv:"STRATEGY" ~doc)
   in
   let n =
@@ -329,6 +367,6 @@ let sweep_cmd =
 let main_cmd =
   let doc = "partial lookup service — reproduction of Sun & Garcia-Molina (ICDCS 2003)" in
   let info = Cmd.info "plookup" ~version:"1.0.0" ~doc in
-  Cmd.group info [ run_cmd; list_cmd; stars_cmd; demo_cmd; sweep_cmd ]
+  Cmd.group info [ run_cmd; list_cmd; stars_cmd; strategies_cmd; demo_cmd; sweep_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -21,7 +21,7 @@ let h = 100
 let budget = 200
 
 
-let strategies = Service.all_configs ~budget ~n ~h
+let strategies = Service.all_configs ~budget ~n ~h ()
 
 let fresh config =
   let service = Service.create ~seed:11 ~n config in
@@ -53,13 +53,12 @@ let drill ~order ~target config =
   !survived
 
 let analytic_tolerance config ~t =
-  match config with
-  | Service.Full_replication -> string_of_int (Metrics.Analytic.fault_tolerance_full ~n)
-  | Service.Fixed x -> string_of_int (Metrics.Analytic.fault_tolerance_fixed ~n ~x ~t)
-  | Service.Round_robin y | Service.Round_robin_replicated (y, _) ->
+  match (Service.kind config, Service.params config) with
+  | "FullReplication", _ -> string_of_int (Metrics.Analytic.fault_tolerance_full ~n)
+  | "Fixed", [ x ] -> string_of_int (Metrics.Analytic.fault_tolerance_fixed ~n ~x ~t)
+  | ("RoundRobin" | "RoundRobinHA"), y :: _ ->
     string_of_int (Metrics.Analytic.fault_tolerance_round_robin ~n ~h ~y ~t)
-  | Service.Random_server _ | Service.Random_server_replacing _ | Service.Hash _ ->
-    "(simulation only)"
+  | _ -> "(simulation only)"
 
 let () =
   Format.printf "failover drill: %d entries, %d servers, storage budget %d@." h n budget;

@@ -74,8 +74,8 @@ let () =
   (* Fixed-x always answers with the same x peers per song: the unlucky
      first few hosts soak up all the traffic.  RoundRobin-y spreads
      copies (and therefore answers) across the fleet. *)
-  describe "Fixed-4 per song" (build (Service.Fixed 4));
-  describe "RoundRobin-2 per song" (build (Service.Round_robin 2));
+  describe "Fixed-4 per song" (build (Service.fixed 4));
+  describe "RoundRobin-2 per song" (build (Service.round_robin 2));
 
   Format.printf
     "@.takeaway: at comparable storage, round-robin placement serves every host and@.\

@@ -53,9 +53,9 @@ let () =
   (* RoundRobin concentrates each entry on consecutive servers: a client
      near them sees a lot, one far away sees nothing.  Hash scatters
      copies, so even a small neighbourhood usually has something. *)
-  run (Service.Round_robin 2);
-  run (Service.Hash 2);
-  run (Service.Fixed 20);
+  run (Service.round_robin 2);
+  run (Service.hash 2);
+  run (Service.fixed 20);
   Format.printf
     "@.Fixed-x needs only one reachable server (every server is identical), while the@.\
      partitioned strategies need a neighbourhood big enough to cover t entries —@.\

@@ -9,7 +9,7 @@ open Plookup_store
 let () =
   (* A service is n servers running one placement strategy.  Round-
      Robin-2 stores every entry on 2 consecutive servers. *)
-  let service = Service.create ~seed:42 ~n:4 (Service.Round_robin 2) in
+  let service = Service.create ~seed:42 ~n:4 (Service.round_robin 2) in
 
   (* One key maps to a set of entries — say, mirrors of a file. *)
   let mirrors =

@@ -56,8 +56,7 @@ let () =
           Table.F lookup.Metrics.Lookup_cost.mean_cost;
           Table.F4 unfairness;
           Table.F (float_of_int msgs /. 2000.) ])
-    (Service.all_configs ~budget ~n ~h
-    @ [ Service.Random_server_replacing (budget / n) ]);
+    (Service.all_configs ~ablations:true ~budget ~n ~h ());
   Table.print table;
   print_newline ();
   print_endline "The paper's qualitative conclusions, measured:";

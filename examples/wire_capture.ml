@@ -21,7 +21,7 @@ let truncated_hex s =
 
 let () =
   let cluster = Cluster.create ~seed:12 ~n:4 () in
-  let service = Service.of_cluster cluster (Service.Hash 2) in
+  let service = Service.of_cluster cluster (Service.hash 2) in
   let frames = ref 0 in
   let bytes_total = ref 0 in
   Net.wrap_handler (Cluster.net cluster) (fun inner dst src msg ->

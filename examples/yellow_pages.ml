@@ -21,7 +21,7 @@ let categories =
                  "eurosport.example"; "dazn.example" ]) ]
 
 let () =
-  let directory = Directory.create ~seed:3 ~n:6 ~default:(Service.Round_robin 2) () in
+  let directory = Directory.create ~seed:3 ~n:6 ~default:(Service.round_robin 2) () in
   let gen = Entry.Gen.create () in
   let by_id = Hashtbl.create 32 in
   List.iter

@@ -114,7 +114,7 @@ and attempt st server ~tries_left ~timeout =
          end));
   Net.call_async (Cluster.net st.cluster) st.engine
     ~latency:(fun ~src:_ ~dst:_ -> st.latency ())
-    ~src:Net.Client ~dst:server (Msg.Lookup st.target)
+    ~src:Net.Client ~dst:server (Msg.lookup st.target)
     (fun reply ->
       if (not !timed_out) && not st.finished then begin
         if !answered then

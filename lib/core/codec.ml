@@ -128,9 +128,10 @@ let hint_kind_of_code = function
   | 3 -> Ok Msg.H_remove_counted
   | c -> Error (Printf.sprintf "hint: unknown kind %d" c)
 
-let encode msg =
-  let buf = Buffer.create 32 in
-  (match (msg : Msg.t) with
+(* The plane wrappers are a type-level split only: on the wire a message
+   is still one flat tag byte, so old captures decode unchanged. *)
+let encode_data buf (d : Msg.data) =
+  match d with
   | Msg.Place entries ->
     Buffer.add_uint8 buf tag_place;
     put_entries buf entries
@@ -143,6 +144,9 @@ let encode msg =
   | Msg.Lookup t ->
     Buffer.add_uint8 buf tag_lookup;
     put_varint buf t
+
+let encode_strategy buf (s : Msg.strategy) =
+  match s with
   | Msg.Store e ->
     Buffer.add_uint8 buf tag_store;
     encode_entry buf e
@@ -168,6 +172,9 @@ let encode msg =
     Buffer.add_uint8 buf tag_sync_delete;
     encode_entry buf e
   | Msg.Sync_state -> Buffer.add_uint8 buf tag_sync_state
+
+let encode_repair buf (r : Msg.repair) =
+  match r with
   | Msg.Digest_request bits ->
     Buffer.add_uint8 buf tag_digest_request;
     put_bitset buf bits
@@ -183,7 +190,14 @@ let encode msg =
   | Msg.Digest_pull -> Buffer.add_uint8 buf tag_digest_pull
   | Msg.Repair_store e ->
     Buffer.add_uint8 buf tag_repair_store;
-    encode_entry buf e);
+    encode_entry buf e
+
+let encode msg =
+  let buf = Buffer.create 32 in
+  (match (msg : Msg.t) with
+  | Msg.Data d -> encode_data buf d
+  | Msg.Strategy s -> encode_strategy buf s
+  | Msg.Repair r -> encode_repair buf r);
   Buffer.contents buf
 
 let expect_end label pos s k =
@@ -196,59 +210,59 @@ let decode s =
     let pos = 1 in
     if tag = tag_place then
       let* entries, pos = get_entries s ~pos in
-      expect_end "place" pos s (Ok (Msg.Place entries))
+      expect_end "place" pos s (Ok (Msg.place entries))
     else if tag = tag_add then
       let* e, pos = decode_entry s ~pos in
-      expect_end "add" pos s (Ok (Msg.Add e))
+      expect_end "add" pos s (Ok (Msg.add e))
     else if tag = tag_delete then
       let* e, pos = decode_entry s ~pos in
-      expect_end "delete" pos s (Ok (Msg.Delete e))
+      expect_end "delete" pos s (Ok (Msg.delete e))
     else if tag = tag_lookup then
       let* t, pos = get_varint s ~pos in
-      expect_end "lookup" pos s (Ok (Msg.Lookup t))
+      expect_end "lookup" pos s (Ok (Msg.lookup t))
     else if tag = tag_store then
       let* e, pos = decode_entry s ~pos in
-      expect_end "store" pos s (Ok (Msg.Store e))
+      expect_end "store" pos s (Ok (Msg.store e))
     else if tag = tag_store_batch then
       let* entries, pos = get_entries s ~pos in
-      expect_end "store_batch" pos s (Ok (Msg.Store_batch entries))
+      expect_end "store_batch" pos s (Ok (Msg.store_batch entries))
     else if tag = tag_remove then
       let* e, pos = decode_entry s ~pos in
-      expect_end "remove" pos s (Ok (Msg.Remove e))
+      expect_end "remove" pos s (Ok (Msg.remove e))
     else if tag = tag_add_sampled then
       let* e, pos = decode_entry s ~pos in
-      expect_end "add_sampled" pos s (Ok (Msg.Add_sampled e))
+      expect_end "add_sampled" pos s (Ok (Msg.add_sampled e))
     else if tag = tag_remove_counted then
       let* e, pos = decode_entry s ~pos in
-      expect_end "remove_counted" pos s (Ok (Msg.Remove_counted e))
+      expect_end "remove_counted" pos s (Ok (Msg.remove_counted e))
     else if tag = tag_fetch_candidate then
       let* ids, pos = get_ints s ~pos in
-      expect_end "fetch_candidate" pos s (Ok (Msg.Fetch_candidate ids))
+      expect_end "fetch_candidate" pos s (Ok (Msg.fetch_candidate ids))
     else if tag = tag_sync_add then
       let* e, pos = decode_entry s ~pos in
-      expect_end "sync_add" pos s (Ok (Msg.Sync_add e))
+      expect_end "sync_add" pos s (Ok (Msg.sync_add e))
     else if tag = tag_sync_delete then
       let* e, pos = decode_entry s ~pos in
-      expect_end "sync_delete" pos s (Ok (Msg.Sync_delete e))
-    else if tag = tag_sync_state then expect_end "sync_state" pos s (Ok Msg.Sync_state)
+      expect_end "sync_delete" pos s (Ok (Msg.sync_delete e))
+    else if tag = tag_sync_state then expect_end "sync_state" pos s (Ok Msg.sync_state)
     else if tag = tag_digest_request then
       let* bits, pos = get_bitset s ~pos in
-      expect_end "digest_request" pos s (Ok (Msg.Digest_request bits))
+      expect_end "digest_request" pos s (Ok (Msg.digest_request bits))
     else if tag = tag_sync_fix then
       let* missing, pos = get_entries s ~pos in
       let* retract, pos = get_ints s ~pos in
-      expect_end "sync_fix" pos s (Ok (Msg.Sync_fix (missing, retract)))
+      expect_end "sync_fix" pos s (Ok (Msg.sync_fix missing retract))
     else if tag = tag_hint then
       let* target, pos = get_varint s ~pos in
       if pos >= String.length s then Error "hint: truncated"
       else
         let* kind = hint_kind_of_code (Char.code s.[pos]) in
         let* e, pos = decode_entry s ~pos:(pos + 1) in
-        expect_end "hint" pos s (Ok (Msg.Hint (target, kind, e)))
-    else if tag = tag_digest_pull then expect_end "digest_pull" pos s (Ok Msg.Digest_pull)
+        expect_end "hint" pos s (Ok (Msg.hint ~target kind e))
+    else if tag = tag_digest_pull then expect_end "digest_pull" pos s (Ok Msg.digest_pull)
     else if tag = tag_repair_store then
       let* e, pos = decode_entry s ~pos in
-      expect_end "repair_store" pos s (Ok (Msg.Repair_store e))
+      expect_end "repair_store" pos s (Ok (Msg.repair_store e))
     else Error (Printf.sprintf "message: unknown tag %d" tag)
   end
 

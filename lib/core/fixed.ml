@@ -1,65 +1,69 @@
 open Plookup_store
+open Plookup_util
 module Net = Plookup_net.Net
 
 type t = { cluster : Cluster.t; x : int }
 
-let take k entries =
-  let rec go k = function
-    | [] -> []
-    | _ when k = 0 -> []
-    | e :: rest -> e :: go (k - 1) rest
-  in
-  go k entries
-
-let handler t dst _src msg : Msg.reply =
+let handle_data t dst _src (msg : Msg.data) : Msg.reply =
   let net = Cluster.net t.cluster in
   let local = Cluster.store t.cluster dst in
-  match (msg : Msg.t) with
+  match msg with
   | Msg.Place entries ->
     (* Broadcast only the first x of the h entries. *)
-    ignore (Net.broadcast net ~src:(Net.Server dst) (Msg.Store_batch (take t.x entries)));
+    ignore
+      (Net.broadcast net ~src:(Net.Server dst) (Msg.store_batch (List_util.take t.x entries)));
     Msg.Ack
   | Msg.Add e ->
     (* Selective broadcast: only while below x, and only for new ids. *)
     if Server_store.cardinal local < t.x && not (Server_store.mem local e) then
-      ignore (Net.broadcast net ~src:(Net.Server dst) (Msg.Store e));
+      ignore (Net.broadcast net ~src:(Net.Server dst) (Msg.store e));
     Msg.Ack
   | Msg.Delete e ->
     if Server_store.mem local e then
-      ignore (Net.broadcast net ~src:(Net.Server dst) (Msg.Remove e));
+      ignore (Net.broadcast net ~src:(Net.Server dst) (Msg.remove e));
     Msg.Ack
-  | Msg.Store_batch entries ->
-    Server_store.clear local;
-    List.iter (fun e -> ignore (Server_store.add local e)) entries;
-    Msg.Ack
-  | Msg.Store e ->
-    ignore (Server_store.add local e);
-    Msg.Ack
-  | Msg.Remove e ->
-    ignore (Server_store.remove local e);
-    Msg.Ack
-  | Msg.Lookup target ->
-    Msg.Entries (Server_store.random_pick local (Cluster.rng t.cluster) target)
-  | Msg.Add_sampled _ | Msg.Remove_counted _ | Msg.Fetch_candidate _ | Msg.Sync_add _
-  | Msg.Sync_delete _ | Msg.Sync_state | Msg.Digest_request _ | Msg.Sync_fix _
-  | Msg.Hint _ | Msg.Digest_pull | Msg.Repair_store _ ->
-    invalid_arg "Fixed: unexpected message"
+  | Msg.Lookup target -> Strategy_common.lookup_reply t.cluster dst target
 
 let create cluster ~x =
   if x <= 0 then invalid_arg "Fixed.create: x must be positive";
   let t = { cluster; x } in
-  Net.set_handler (Cluster.net cluster) (handler t);
+  Strategy_common.install cluster ~data:(handle_data t);
   t
 
 let x t = t.x
 let cluster t = t.cluster
 
-let to_random_server t msg =
-  match Cluster.random_up_server t.cluster with
-  | None -> ()
-  | Some s -> ignore (Net.send (Cluster.net t.cluster) ~src:Net.Client ~dst:s msg)
-
-let place t entries = to_random_server t (Msg.Place (Entry.dedup entries))
-let add t e = to_random_server t (Msg.Add e)
-let delete t e = to_random_server t (Msg.Delete e)
+let place t entries = Strategy_common.to_random_server t.cluster (Msg.place (Entry.dedup entries))
+let add t e = Strategy_common.to_random_server t.cluster (Msg.add e)
+let delete t e = Strategy_common.to_random_server t.cluster (Msg.delete e)
 let partial_lookup ?reachable t target = Probe.single ?reachable t.cluster ~t:target
+
+module Strategy = struct
+  type nonrec t = t
+
+  let meta =
+    { Strategy_intf.name = "Fixed";
+      keys = [ "fixed" ];
+      arity = 1;
+      param_doc = "X = entries replicated on every server";
+      storage_doc = "x*n";
+      ablation = false;
+      rank = 20 }
+
+  let analytic_storage ~n ~h:_ ~params =
+    float_of_int (Strategy_common.one_param ~who:"Fixed" ~what:"x" params * n)
+
+  let params_for_budget ~n ~h:_ ~total ~params:_ = [ max 1 (total / n) ]
+
+  let create ?resync_stores:_ cluster ~params =
+    create cluster ~x:(Strategy_common.one_param ~who:"Fixed.create" ~what:"x" params)
+
+  let place t ?budget:_ entries = place t entries
+  let add = add
+  let delete = delete
+  let partial_lookup = partial_lookup
+  let can_update t = Strategy_common.any_up t.cluster
+  let repair_plan _ = Strategy_intf.Mirror
+end
+
+let () = Strategy_registry.register (module Strategy)

@@ -27,3 +27,6 @@ val delete : t -> Entry.t -> unit
 val partial_lookup : ?reachable:(int -> bool) -> t -> int -> Lookup_result.t
 (** One random operational server; like Full Replication, all servers
     are identical so contacting more servers can never help. *)
+
+module Strategy : Strategy_intf.S with type t = t
+(** The packed form registered in {!Strategy_registry}. *)

@@ -4,48 +4,58 @@ module Net = Plookup_net.Net
 type t = { cluster : Cluster.t }
 
 (* Server-side behaviour: a client request at server [dst] triggers a
-   broadcast; a broadcast store/remove mutates the local store. *)
-let handler cluster dst _src msg : Msg.reply =
+   broadcast; the broadcast store/remove itself is the shared default
+   (mutate the local store). *)
+let handle_data cluster dst _src (msg : Msg.data) : Msg.reply =
   let net = Cluster.net cluster in
-  let local = Cluster.store cluster dst in
-  match (msg : Msg.t) with
+  match msg with
   | Msg.Place entries ->
-    ignore (Net.broadcast net ~src:(Net.Server dst) (Msg.Store_batch entries));
+    ignore (Net.broadcast net ~src:(Net.Server dst) (Msg.store_batch entries));
     Msg.Ack
   | Msg.Add e ->
-    ignore (Net.broadcast net ~src:(Net.Server dst) (Msg.Store e));
+    ignore (Net.broadcast net ~src:(Net.Server dst) (Msg.store e));
     Msg.Ack
   | Msg.Delete e ->
-    ignore (Net.broadcast net ~src:(Net.Server dst) (Msg.Remove e));
+    ignore (Net.broadcast net ~src:(Net.Server dst) (Msg.remove e));
     Msg.Ack
-  | Msg.Store_batch entries ->
-    Server_store.clear local;
-    List.iter (fun e -> ignore (Server_store.add local e)) entries;
-    Msg.Ack
-  | Msg.Store e ->
-    ignore (Server_store.add local e);
-    Msg.Ack
-  | Msg.Remove e ->
-    ignore (Server_store.remove local e);
-    Msg.Ack
-  | Msg.Lookup t -> Msg.Entries (Server_store.random_pick local (Cluster.rng cluster) t)
-  | Msg.Add_sampled _ | Msg.Remove_counted _ | Msg.Fetch_candidate _ | Msg.Sync_add _
-  | Msg.Sync_delete _ | Msg.Sync_state | Msg.Digest_request _ | Msg.Sync_fix _
-  | Msg.Hint _ | Msg.Digest_pull | Msg.Repair_store _ ->
-    invalid_arg "Full_replication: unexpected message"
+  | Msg.Lookup t -> Strategy_common.lookup_reply cluster dst t
 
 let create cluster =
-  Net.set_handler (Cluster.net cluster) (handler cluster);
+  Strategy_common.install cluster ~data:(handle_data cluster);
   { cluster }
 
 let cluster t = t.cluster
 
-let to_random_server t msg =
-  match Cluster.random_up_server t.cluster with
-  | None -> ()
-  | Some s -> ignore (Net.send (Cluster.net t.cluster) ~src:Net.Client ~dst:s msg)
-
-let place t entries = to_random_server t (Msg.Place (Entry.dedup entries))
-let add t e = to_random_server t (Msg.Add e)
-let delete t e = to_random_server t (Msg.Delete e)
+let place t entries = Strategy_common.to_random_server t.cluster (Msg.place (Entry.dedup entries))
+let add t e = Strategy_common.to_random_server t.cluster (Msg.add e)
+let delete t e = Strategy_common.to_random_server t.cluster (Msg.delete e)
 let partial_lookup ?reachable t target = Probe.single ?reachable t.cluster ~t:target
+
+module Strategy = struct
+  type nonrec t = t
+
+  let meta =
+    { Strategy_intf.name = "FullReplication";
+      keys = [ "full"; "fullreplication"; "full_replication"; "replication" ];
+      arity = 0;
+      param_doc = "";
+      storage_doc = "h*n";
+      ablation = false;
+      rank = 10 }
+
+  let analytic_storage ~n ~h ~params:_ = float_of_int (h * n)
+  let params_for_budget ~n:_ ~h:_ ~total:_ ~params:_ = []
+
+  let create ?resync_stores:_ cluster ~params =
+    Strategy_common.no_params ~who:"FullReplication" params;
+    create cluster
+
+  let place t ?budget:_ entries = place t entries
+  let add = add
+  let delete = delete
+  let partial_lookup = partial_lookup
+  let can_update t = Strategy_common.any_up t.cluster
+  let repair_plan _ = Strategy_intf.Mirror
+end
+
+let () = Strategy_registry.register (module Strategy)

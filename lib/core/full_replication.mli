@@ -21,3 +21,6 @@ val delete : t -> Entry.t -> unit
 
 val partial_lookup : ?reachable:(int -> bool) -> t -> int -> Lookup_result.t
 (** One random operational server answers with [t] random entries. *)
+
+module Strategy : Strategy_intf.S with type t = t
+(** The packed form registered in {!Strategy_registry}. *)

@@ -19,14 +19,13 @@ let servers_of t e =
   go 1 []
 
 let send_store t ~src ~dst e =
-  ignore (Net.send (Cluster.net t.cluster) ~src:(Net.Server src) ~dst (Msg.Store e))
+  ignore (Net.send (Cluster.net t.cluster) ~src:(Net.Server src) ~dst (Msg.store e))
 
 let send_remove t ~src ~dst e =
-  ignore (Net.send (Cluster.net t.cluster) ~src:(Net.Server src) ~dst (Msg.Remove e))
+  ignore (Net.send (Cluster.net t.cluster) ~src:(Net.Server src) ~dst (Msg.remove e))
 
-let handler t dst _src msg : Msg.reply =
-  let local = Cluster.store t.cluster dst in
-  match (msg : Msg.t) with
+let handle_data t dst _src (msg : Msg.data) : Msg.reply =
+  match msg with
   | Msg.Place _ ->
     (* Distribution is driven from [place] below (budget support); the
        request itself reaches one server. *)
@@ -37,23 +36,12 @@ let handler t dst _src msg : Msg.reply =
   | Msg.Delete e ->
     List.iter (fun s -> send_remove t ~src:dst ~dst:s e) (servers_of t e);
     Msg.Ack
-  | Msg.Store e ->
-    ignore (Server_store.add local e);
-    Msg.Ack
-  | Msg.Remove e ->
-    ignore (Server_store.remove local e);
-    Msg.Ack
-  | Msg.Lookup target ->
-    Msg.Entries (Server_store.random_pick local (Cluster.rng t.cluster) target)
-  | Msg.Store_batch _ | Msg.Add_sampled _ | Msg.Remove_counted _ | Msg.Fetch_candidate _
-  | Msg.Sync_add _ | Msg.Sync_delete _ | Msg.Sync_state | Msg.Digest_request _
-  | Msg.Sync_fix _ | Msg.Hint _ | Msg.Digest_pull | Msg.Repair_store _ ->
-    invalid_arg "Hash_scheme: unexpected message"
+  | Msg.Lookup target -> Strategy_common.lookup_reply t.cluster dst target
 
 let create cluster ~y =
   if y < 1 then invalid_arg "Hash_scheme.create: y must be at least 1";
   let t = { cluster; y } in
-  Net.set_handler (Cluster.net cluster) (handler t);
+  Strategy_common.install cluster ~data:(handle_data t);
   t
 
 let y t = t.y
@@ -64,7 +52,7 @@ let place ?budget t entries =
   match Cluster.random_up_server t.cluster with
   | None -> ()
   | Some s ->
-    ignore (Net.send (Cluster.net t.cluster) ~src:Net.Client ~dst:s (Msg.Place entries));
+    ignore (Net.send (Cluster.net t.cluster) ~src:Net.Client ~dst:s (Msg.place entries));
     let arr = Array.of_list entries in
     let budget = match budget with None -> max_int | Some b -> b in
     let spent = ref 0 in
@@ -88,8 +76,8 @@ let to_random_server t msg =
   | None -> ()
   | Some s -> ignore (Net.send (Cluster.net t.cluster) ~src:Net.Client ~dst:s msg)
 
-let add t e = to_random_server t (Msg.Add e)
-let delete t e = to_random_server t (Msg.Delete e)
+let add t e = to_random_server t (Msg.add e)
+let delete t e = to_random_server t (Msg.delete e)
 let partial_lookup ?reachable t target = Probe.random_order ?reachable t.cluster ~t:target
 
 let check_invariants t ~placed =
@@ -115,3 +103,35 @@ let check_invariants t ~placed =
       expected.(s)
   done;
   !ok
+
+module Strategy = struct
+  type nonrec t = t
+
+  let meta =
+    { Strategy_intf.name = "Hash";
+      keys = [ "hash" ];
+      arity = 1;
+      param_doc = "Y = hash functions placing each entry";
+      storage_doc = "h*n*(1-(1-1/n)^y)";
+      ablation = false;
+      rank = 50 }
+
+  let analytic_storage ~n ~h ~params =
+    let y = Strategy_common.one_param ~who:"Hash" ~what:"y" params in
+    let fn = float_of_int n in
+    float_of_int h *. fn *. (1. -. ((1. -. (1. /. fn)) ** float_of_int y))
+
+  let params_for_budget ~n:_ ~h ~total ~params:_ = [ max 1 (total / h) ]
+
+  let create ?resync_stores:_ cluster ~params =
+    create cluster ~y:(Strategy_common.one_param ~who:"Hash_scheme.create" ~what:"y" params)
+
+  let place t ?budget entries = place ?budget t entries
+  let add = add
+  let delete = delete
+  let partial_lookup = partial_lookup
+  let can_update t = Strategy_common.any_up t.cluster
+  let repair_plan t = Strategy_intf.Assigned (fun e -> Some (servers_of t e))
+end
+
+let () = Strategy_registry.register (module Strategy)

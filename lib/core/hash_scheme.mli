@@ -40,3 +40,6 @@ val check_invariants : t -> placed:Entry.t list -> (unit, string) result
 (** After a non-truncated place (and any adds/deletes folded into
     [placed]), every entry must live at exactly [servers_of] and nowhere
     else.  For tests. *)
+
+module Strategy : Strategy_intf.S with type t = t
+(** The packed form registered in {!Strategy_registry}. *)

@@ -3,11 +3,13 @@ open Plookup_util
 
 type hint_kind = H_store | H_remove | H_add_sampled | H_remove_counted
 
-type t =
+type data =
   | Place of Entry.t list
   | Add of Entry.t
   | Delete of Entry.t
   | Lookup of int
+
+type strategy =
   | Store of Entry.t
   | Store_batch of Entry.t list
   | Remove of Entry.t
@@ -17,17 +19,47 @@ type t =
   | Sync_add of Entry.t
   | Sync_delete of Entry.t
   | Sync_state
+
+type repair =
   | Digest_request of Bitset.t
   | Sync_fix of Entry.t list * int list
   | Hint of int * hint_kind * Entry.t
   | Digest_pull
   | Repair_store of Entry.t
 
+type t = Data of data | Strategy of strategy | Repair of repair
+
 type reply =
   | Ack
   | Entries of Entry.t list
   | Candidate of Entry.t option
   | Digest of Bitset.t
+
+(* Smart constructors: send sites say [Msg.store e] instead of spelling
+   the plane wrapper out. *)
+let place entries = Data (Place entries)
+let add e = Data (Add e)
+let delete e = Data (Delete e)
+let lookup t = Data (Lookup t)
+let store e = Strategy (Store e)
+let store_batch entries = Strategy (Store_batch entries)
+let remove e = Strategy (Remove e)
+let add_sampled e = Strategy (Add_sampled e)
+let remove_counted e = Strategy (Remove_counted e)
+let fetch_candidate ids = Strategy (Fetch_candidate ids)
+let sync_add e = Strategy (Sync_add e)
+let sync_delete e = Strategy (Sync_delete e)
+let sync_state = Strategy Sync_state
+let digest_request bits = Repair (Digest_request bits)
+let sync_fix missing retract = Repair (Sync_fix (missing, retract))
+let hint ~target kind e = Repair (Hint (target, kind, e))
+let digest_pull = Repair Digest_pull
+let repair_store e = Repair (Repair_store e)
+
+let plane_name = function
+  | Data _ -> "data"
+  | Strategy _ -> "strategy"
+  | Repair _ -> "repair"
 
 let hint_kind_name = function
   | H_store -> "store"
@@ -47,11 +79,13 @@ let pp_ids ppf ids =
        Format.pp_print_int)
     ids
 
-let pp ppf = function
+let pp_data ppf = function
   | Place entries -> Format.fprintf ppf "place %a" pp_entries entries
   | Add e -> Format.fprintf ppf "add %a" Entry.pp e
   | Delete e -> Format.fprintf ppf "delete %a" Entry.pp e
   | Lookup t -> Format.fprintf ppf "lookup t=%d" t
+
+let pp_strategy ppf = function
   | Store e -> Format.fprintf ppf "store %a" Entry.pp e
   | Store_batch entries -> Format.fprintf ppf "store_batch %a" pp_entries entries
   | Remove e -> Format.fprintf ppf "remove %a" Entry.pp e
@@ -61,6 +95,8 @@ let pp ppf = function
   | Sync_add e -> Format.fprintf ppf "sync_add %a" Entry.pp e
   | Sync_delete e -> Format.fprintf ppf "sync_delete %a" Entry.pp e
   | Sync_state -> Format.pp_print_string ppf "sync_state"
+
+let pp_repair ppf = function
   | Digest_request bits -> Format.fprintf ppf "digest_request %a" pp_ids (Bitset.to_list bits)
   | Sync_fix (missing, retract) ->
     Format.fprintf ppf "sync_fix ship %a retract %a" pp_entries missing pp_ids retract
@@ -68,6 +104,11 @@ let pp ppf = function
     Format.fprintf ppf "hint for %d: %s %a" target (hint_kind_name kind) Entry.pp e
   | Digest_pull -> Format.pp_print_string ppf "digest_pull"
   | Repair_store e -> Format.fprintf ppf "repair_store %a" Entry.pp e
+
+let pp ppf = function
+  | Data d -> pp_data ppf d
+  | Strategy s -> pp_strategy ppf s
+  | Repair r -> pp_repair ppf r
 
 let pp_reply ppf = function
   | Ack -> Format.pp_print_string ppf "ack"

@@ -1,37 +1,51 @@
-(** The wire protocol between clients and servers.
+(** The wire protocol between clients and servers, split into three
+    typed planes.
 
-    One message type serves all five strategies: a strategy is precisely
-    a server-side handler for these messages plus a client-side probing
-    discipline, which is how the paper frames them (each scheme is given
-    as the behaviour of [place]/[add]/[delete]/[partial_lookup] messages).
+    A strategy is precisely a server-side handler for these messages
+    plus a client-side probing discipline, which is how the paper frames
+    them (each scheme is given as the behaviour of
+    [place]/[add]/[delete]/[partial_lookup] messages).
 
-    Client-originated requests ({!Place}, {!Add}, {!Delete}, {!Lookup})
-    are sent to one server; the rest are server-to-server.
+    {b Data plane} ({!data}): client-originated requests, sent to one
+    server.  Every strategy must handle all four — the per-strategy
+    totality test in the suite enforces it, and the plane split makes
+    each handler exhaustive by construction.
 
-    The [Digest_request]/[Sync_fix]/[Hint]/[Digest_pull]/[Repair_store]
-    family belongs to the {!Repair} subsystem (anti-entropy recovery
-    sync, hinted handoff and the degree-repair daemon); strategies never
-    see those — the repair layer intercepts them before the strategy
-    handler runs.  See PROTOCOL.md for flows and cost accounting. *)
+    {b Strategy plane} ({!strategy}): server-to-server messages a
+    strategy sends to itself.  A strategy handles its own subset and
+    delegates the rest to [Strategy_common.default_strategy], which
+    gives the uniform store/remove/replace semantics.
+
+    {b Repair plane} ({!repair}): anti-entropy recovery sync, hinted
+    handoff and the degree-repair daemon.  Strategies never see these —
+    the {!Repair} subsystem intercepts them before the strategy handler
+    runs (and when no repair layer is installed they are acked and
+    ignored).
+
+    See PROTOCOL.md for flows, wire-tag ranges and cost accounting. *)
 
 open Plookup_store
 open Plookup_util
 
 type hint_kind = H_store | H_remove | H_add_sampled | H_remove_counted
-(** Which buffered operation a {!Hint} replays: the point-to-point
-    store/remove of RoundRobin/Hash, or RandomServer's counted
-    sampled-add / counted-remove. *)
+(** Which buffered operation a {!repair} [Hint] replays: the
+    point-to-point store/remove of RoundRobin/Hash/Chord, or
+    RandomServer's counted sampled-add / counted-remove. *)
 
-type t =
+(** Client-originated requests; wire tags 1-4. *)
+type data =
   | Place of Entry.t list  (** client's initial batch placement request *)
   | Add of Entry.t  (** client add *)
   | Delete of Entry.t  (** client delete *)
   | Lookup of int  (** client partial lookup with target answer size t *)
-  | Store of Entry.t  (** server-to-server: keep a local copy *)
+
+(** Strategy-internal server-to-server messages; wire tags 5-13. *)
+type strategy =
+  | Store of Entry.t  (** keep a local copy *)
   | Store_batch of Entry.t list
-      (** server-to-server broadcast payload; receiver decides what to
-          keep (everything, the first x, or a random x-subset). *)
-  | Remove of Entry.t  (** server-to-server: drop the local copy *)
+      (** broadcast payload; receiver decides what to keep (everything,
+          the first x, or a random x-subset). *)
+  | Remove of Entry.t  (** drop the local copy *)
   | Add_sampled of Entry.t
       (** RandomServer-x incremental add: receiver applies the
           reservoir-sampling coin flip. *)
@@ -52,6 +66,9 @@ type t =
   | Sync_state
       (** State transfer to a just-recovered coordinator replica; the
           receiver copies the sender's ledger. *)
+
+(** Repair-subsystem messages; wire tags 14-18. *)
+type repair =
   | Digest_request of Bitset.t
       (** Recovery sync, step 1: a just-recovered server sends a compact
           digest of the entry ids it holds to a live peer. *)
@@ -68,12 +85,44 @@ type t =
       (** Daemon re-replication: store this entry as a substitute copy
           to restore the strategy's replication degree. *)
 
+type t = Data of data | Strategy of strategy | Repair of repair
+
 type reply =
   | Ack
   | Entries of Entry.t list  (** lookup answer *)
-  | Candidate of Entry.t option  (** reply to {!Fetch_candidate} *)
-  | Digest of Bitset.t  (** reply to {!Digest_pull} *)
+  | Candidate of Entry.t option  (** reply to [Fetch_candidate] *)
+  | Digest of Bitset.t  (** reply to [Digest_pull] *)
+
+(** {1 Smart constructors}
+
+    Send sites say [Msg.store e] instead of spelling out the plane
+    wrapper. *)
+
+val place : Entry.t list -> t
+val add : Entry.t -> t
+val delete : Entry.t -> t
+val lookup : int -> t
+val store : Entry.t -> t
+val store_batch : Entry.t list -> t
+val remove : Entry.t -> t
+val add_sampled : Entry.t -> t
+val remove_counted : Entry.t -> t
+val fetch_candidate : int list -> t
+val sync_add : Entry.t -> t
+val sync_delete : Entry.t -> t
+val sync_state : t
+val digest_request : Bitset.t -> t
+val sync_fix : Entry.t list -> int list -> t
+val hint : target:int -> hint_kind -> Entry.t -> t
+val digest_pull : t
+val repair_store : Entry.t -> t
+
+val plane_name : t -> string
+(** ["data"], ["strategy"] or ["repair"]. *)
 
 val hint_kind_name : hint_kind -> string
+val pp_data : Format.formatter -> data -> unit
+val pp_strategy : Format.formatter -> strategy -> unit
+val pp_repair : Format.formatter -> repair -> unit
 val pp : Format.formatter -> t -> unit
 val pp_reply : Format.formatter -> reply -> unit

@@ -23,22 +23,22 @@ let key_store t ~server ~key =
 let handler t dst _src ((key, msg) : msg) : Msg.reply =
   let store = key_store t ~server:dst ~key in
   match msg with
-  | Msg.Store e ->
+  | Msg.Strategy (Msg.Store e) ->
     ignore (Server_store.add store e);
     Msg.Ack
-  | Msg.Store_batch entries ->
+  | Msg.Strategy (Msg.Store_batch entries) ->
     Server_store.clear store;
     List.iter (fun e -> ignore (Server_store.add store e)) entries;
     Msg.Ack
-  | Msg.Remove e ->
+  | Msg.Strategy (Msg.Remove e) ->
     ignore (Server_store.remove store e);
     Msg.Ack
-  | Msg.Lookup target -> Msg.Entries (Server_store.random_pick store t.rng target)
-  | Msg.Place _ | Msg.Add _ | Msg.Delete _ | Msg.Add_sampled _ | Msg.Remove_counted _
-  | Msg.Fetch_candidate _ | Msg.Sync_add _ | Msg.Sync_delete _ | Msg.Sync_state
-  | Msg.Digest_request _ | Msg.Sync_fix _ | Msg.Hint _ | Msg.Digest_pull
-  | Msg.Repair_store _ ->
-    invalid_arg "Partitioned: unexpected message"
+  | Msg.Data (Msg.Lookup target) -> Msg.Entries (Server_store.random_pick store t.rng target)
+  | Msg.Data _ | Msg.Strategy _ | Msg.Repair _ ->
+    (* Not part of the partitioned store's protocol; acknowledge and
+       ignore, like any server receiving a message for a feature it is
+       not running. *)
+    Msg.Ack
 
 let create ?(seed = 0) ~n () =
   if n <= 0 then invalid_arg "Partitioned.create: n must be positive";
@@ -59,16 +59,16 @@ let home t key = Rng.hash_in_range ~seed:t.seed ~salt:0 ~value:(Hashtbl.hash key
 let place t ~key entries =
   ignore
     (Net.send t.net ~src:Net.Client ~dst:(home t key)
-       (key, Msg.Store_batch (Entry.dedup entries)))
+       (key, Msg.store_batch (Entry.dedup entries)))
 
 let add t ~key entry =
-  ignore (Net.send t.net ~src:Net.Client ~dst:(home t key) (key, Msg.Store entry))
+  ignore (Net.send t.net ~src:Net.Client ~dst:(home t key) (key, Msg.store entry))
 
 let delete t ~key entry =
-  ignore (Net.send t.net ~src:Net.Client ~dst:(home t key) (key, Msg.Remove entry))
+  ignore (Net.send t.net ~src:Net.Client ~dst:(home t key) (key, Msg.remove entry))
 
 let lookup t ~key target =
-  match Net.send t.net ~src:Net.Client ~dst:(home t key) (key, Msg.Lookup target) with
+  match Net.send t.net ~src:Net.Client ~dst:(home t key) (key, Msg.lookup target) with
   | Some (Msg.Entries entries) ->
     { Lookup_result.entries; servers_contacted = 1; target }
   | Some (Msg.Ack | Msg.Candidate _ | Msg.Digest _) | None -> Lookup_result.empty ~target

@@ -9,7 +9,7 @@ let candidates ?(reachable = always_reachable) cluster =
 
 (* Send one Lookup and merge the distinct answers into [seen]. *)
 let contact cluster ~t ~seen server =
-  match Net.send (Cluster.net cluster) ~src:Net.Client ~dst:server (Msg.Lookup t) with
+  match Net.send (Cluster.net cluster) ~src:Net.Client ~dst:server (Msg.lookup t) with
   | Some (Msg.Entries entries) ->
     List.iter
       (fun e -> if not (Hashtbl.mem seen (Entry.id e)) then Hashtbl.add seen (Entry.id e) e)

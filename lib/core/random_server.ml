@@ -23,26 +23,30 @@ let fetch_replacement t ~self ~deleted =
   Rng.shuffle_in_place (Cluster.rng t.cluster) others;
   Array.exists
     (fun peer ->
-      match Net.send net ~src:(Net.Server self) ~dst:peer (Msg.Fetch_candidate have) with
+      match Net.send net ~src:(Net.Server self) ~dst:peer (Msg.fetch_candidate have) with
       | Some (Msg.Candidate (Some e)) -> Server_store.add local e
       | Some (Msg.Candidate None | Msg.Ack | Msg.Entries _ | Msg.Digest _) | None -> false)
     others
   |> ignore
 
-let handler t dst _src msg : Msg.reply =
+let handle_data t dst _src (msg : Msg.data) : Msg.reply =
   let net = Cluster.net t.cluster in
-  let rng = Cluster.rng t.cluster in
-  let local = Cluster.store t.cluster dst in
-  match (msg : Msg.t) with
+  match msg with
   | Msg.Place entries ->
-    ignore (Net.broadcast net ~src:(Net.Server dst) (Msg.Store_batch entries));
+    ignore (Net.broadcast net ~src:(Net.Server dst) (Msg.store_batch entries));
     Msg.Ack
   | Msg.Add e ->
-    ignore (Net.broadcast net ~src:(Net.Server dst) (Msg.Add_sampled e));
+    ignore (Net.broadcast net ~src:(Net.Server dst) (Msg.add_sampled e));
     Msg.Ack
   | Msg.Delete e ->
-    ignore (Net.broadcast net ~src:(Net.Server dst) (Msg.Remove_counted e));
+    ignore (Net.broadcast net ~src:(Net.Server dst) (Msg.remove_counted e));
     Msg.Ack
+  | Msg.Lookup target -> Strategy_common.lookup_reply t.cluster dst target
+
+let handle_strategy t dst _src (msg : Msg.strategy) : Msg.reply =
+  let rng = Cluster.rng t.cluster in
+  let local = Cluster.store t.cluster dst in
+  match msg with
   | Msg.Store_batch entries ->
     (* Independently select a uniform random x-subset of the batch. *)
     Server_store.clear local;
@@ -83,21 +87,14 @@ let handler t dst _src msg : Msg.reply =
         local None
     in
     Msg.Candidate candidate
-  | Msg.Store e ->
-    ignore (Server_store.add local e);
-    Msg.Ack
-  | Msg.Remove e ->
-    ignore (Server_store.remove local e);
-    Msg.Ack
-  | Msg.Lookup target -> Msg.Entries (Server_store.random_pick local rng target)
-  | Msg.Sync_add _ | Msg.Sync_delete _ | Msg.Sync_state | Msg.Digest_request _
-  | Msg.Sync_fix _ | Msg.Hint _ | Msg.Digest_pull | Msg.Repair_store _ ->
-    invalid_arg "Random_server: unexpected message"
+  | (Msg.Store _ | Msg.Remove _ | Msg.Sync_add _ | Msg.Sync_delete _ | Msg.Sync_state) as
+    other ->
+    Strategy_common.default_strategy t.cluster dst other
 
 let create ?(replacement_on_delete = false) cluster ~x =
   if x <= 0 then invalid_arg "Random_server.create: x must be positive";
   let t = { cluster; x; replacement_on_delete; counts = Array.make (Cluster.n cluster) 0 } in
-  Net.set_handler (Cluster.net cluster) (handler t);
+  Strategy_common.install cluster ~data:(handle_data t) ~strategy:(handle_strategy t);
   t
 
 let x t = t.x
@@ -108,12 +105,57 @@ let system_count t ~server =
     invalid_arg "Random_server.system_count: server out of range";
   t.counts.(server)
 
-let to_random_server t msg =
-  match Cluster.random_up_server t.cluster with
-  | None -> ()
-  | Some s -> ignore (Net.send (Cluster.net t.cluster) ~src:Net.Client ~dst:s msg)
-
-let place t entries = to_random_server t (Msg.Place (Entry.dedup entries))
-let add t e = to_random_server t (Msg.Add e)
-let delete t e = to_random_server t (Msg.Delete e)
+let place t entries = Strategy_common.to_random_server t.cluster (Msg.place (Entry.dedup entries))
+let add t e = Strategy_common.to_random_server t.cluster (Msg.add e)
+let delete t e = Strategy_common.to_random_server t.cluster (Msg.delete e)
 let partial_lookup ?reachable t target = Probe.random_order ?reachable t.cluster ~t:target
+
+let strategy_meta ~replacing =
+  if replacing then
+    { Strategy_intf.name = "RandomServerReplacing";
+      keys = [ "randomserverreplacing"; "random_server_replacing" ];
+      arity = 1;
+      param_doc = "X = random entries kept per server (replaces on delete)";
+      storage_doc = "x*n";
+      ablation = true;
+      rank = 35 }
+  else
+    { Strategy_intf.name = "RandomServer";
+      keys = [ "randomserver"; "random_server"; "random" ];
+      arity = 1;
+      param_doc = "X = random entries kept per server";
+      storage_doc = "x*n";
+      ablation = false;
+      rank = 30 }
+
+module Make_strategy (M : sig
+  val replacing : bool
+end) =
+struct
+  type nonrec t = t
+
+  let meta = strategy_meta ~replacing:M.replacing
+
+  let analytic_storage ~n ~h:_ ~params =
+    float_of_int (Strategy_common.one_param ~who:meta.Strategy_intf.name ~what:"x" params * n)
+
+  let params_for_budget ~n ~h:_ ~total ~params:_ = [ max 1 (total / n) ]
+
+  let create ?resync_stores:_ cluster ~params =
+    create ~replacement_on_delete:M.replacing cluster
+      ~x:(Strategy_common.one_param ~who:"Random_server.create" ~what:"x" params)
+
+  let place t ?budget:_ entries = place t entries
+  let add = add
+  let delete = delete
+  let partial_lookup = partial_lookup
+  let can_update t = Strategy_common.any_up t.cluster
+  let repair_plan t = Strategy_intf.Free t.x
+end
+
+module Strategy = Make_strategy (struct let replacing = false end)
+module Strategy_replacing = Make_strategy (struct let replacing = true end)
+
+let () =
+  Strategy_registry.register (module Strategy);
+  Strategy_registry.register (module Strategy_replacing)

@@ -33,3 +33,11 @@ val place : t -> Entry.t list -> unit
 val add : t -> Entry.t -> unit
 val delete : t -> Entry.t -> unit
 val partial_lookup : ?reachable:(int -> bool) -> t -> int -> Lookup_result.t
+
+module Strategy : Strategy_intf.S with type t = t
+(** The packed form registered in {!Strategy_registry} as
+    ["RandomServer"]. *)
+
+module Strategy_replacing : Strategy_intf.S with type t = t
+(** The Section-5.3 replacement-on-delete ablation, registered as
+    ["RandomServerReplacing"]. *)

@@ -27,7 +27,7 @@ let default_config =
 
 let disabled = { default_config with mode = Off }
 
-type plan =
+type plan = Strategy_intf.plan =
   | Mirror
   | Assigned of (Entry.t -> int list option)
   | Free of int
@@ -121,7 +121,7 @@ let sorted_live t =
 (* Maintain the catalog from the client-level protocol traffic passing
    through the wrapped handler; [server] is the one handling the
    message. *)
-let observe t ~server (msg : Msg.t) =
+let observe t ~server (msg : Msg.data) =
   match msg with
   | Msg.Place entries ->
     Hashtbl.reset t.live;
@@ -150,11 +150,11 @@ let observe t ~server (msg : Msg.t) =
           List.iter
             (fun s ->
               if Cluster.is_up t.cluster s then begin
-                ignore (Net.send (net t) ~src:(Net.Server server) ~dst:s (Msg.Remove e));
+                ignore (Net.send (net t) ~src:(Net.Server server) ~dst:s (Msg.remove e));
                 t.st_trims <- t.st_trims + 1
               end)
             (List.sort compare subs)))
-  | _ -> ()
+  | Msg.Lookup _ -> ()
 
 let has bits id = id < Bitset.capacity bits && Bitset.mem bits id
 
@@ -284,7 +284,7 @@ let on_digest_request t ~peer ~src bits =
     | Some (missing, retract) ->
       ignore
         (Net.send (net t) ~src:(Net.Server peer) ~dst:requester
-           (Msg.Sync_fix (missing, retract))))
+           (Msg.sync_fix missing retract)))
 
 let apply_fix t ~server missing retract =
   let store = Cluster.store t.cluster server in
@@ -315,14 +315,14 @@ let do_sync t server =
       Net.tally_as_repair (net t) (fun () ->
           ignore
             (Net.send (net t) ~src:(Net.Server server) ~dst:server
-               (Msg.Sync_fix ([], retract))))
+               (Msg.sync_fix [] retract)))
     end
   | Some peer ->
     t.st_syncs <- t.st_syncs + 1;
     Net.tally_as_repair (net t) (fun () ->
         ignore
           (Net.send (net t) ~src:(Net.Server server) ~dst:peer
-             (Msg.Digest_request (store_digest t server))))
+             (Msg.digest_request (store_digest t server))))
 
 let sync_now t server =
   if Cluster.is_up t.cluster server then do_sync t server
@@ -331,18 +331,18 @@ let sync_now t server =
 
 let hint_of_msg (msg : Msg.t) =
   match msg with
-  | Msg.Store e -> Some (Msg.H_store, e)
-  | Msg.Remove e -> Some (Msg.H_remove, e)
-  | Msg.Add_sampled e -> Some (Msg.H_add_sampled, e)
-  | Msg.Remove_counted e -> Some (Msg.H_remove_counted, e)
-  | _ -> None
+  | Msg.Strategy (Msg.Store e) -> Some (Msg.H_store, e)
+  | Msg.Strategy (Msg.Remove e) -> Some (Msg.H_remove, e)
+  | Msg.Strategy (Msg.Add_sampled e) -> Some (Msg.H_add_sampled, e)
+  | Msg.Strategy (Msg.Remove_counted e) -> Some (Msg.H_remove_counted, e)
+  | Msg.Strategy _ | Msg.Data _ | Msg.Repair _ -> None
 
 let msg_of_hint h : Msg.t =
   match h.h_kind with
-  | Msg.H_store -> Msg.Store h.h_entry
-  | Msg.H_remove -> Msg.Remove h.h_entry
-  | Msg.H_add_sampled -> Msg.Add_sampled h.h_entry
-  | Msg.H_remove_counted -> Msg.Remove_counted h.h_entry
+  | Msg.H_store -> Msg.store h.h_entry
+  | Msg.H_remove -> Msg.remove h.h_entry
+  | Msg.H_add_sampled -> Msg.add_sampled h.h_entry
+  | Msg.H_remove_counted -> Msg.remove_counted h.h_entry
 
 let enqueue_hint t ~buddy ~target ~kind entry =
   let q = t.hints.(buddy) in
@@ -366,7 +366,7 @@ let on_drop t ~src ~dst msg =
       | None -> ()
       | Some buddy ->
         Net.tally_as_repair (net t) (fun () ->
-            ignore (Net.send (net t) ~src ~dst:buddy (Msg.Hint (dst, kind, entry)))))
+            ignore (Net.send (net t) ~src ~dst:buddy (Msg.hint ~target:dst kind entry))))
 
 let replay_hints t ~target =
   let nowv = now t in
@@ -411,7 +411,7 @@ let daemon_tick t =
         List.iter
           (fun (i, reply) ->
             match (reply : Msg.reply) with Msg.Digest b -> dig.(i) <- Some b | _ -> ())
-          (Net.broadcast (net t) ~src:(Net.Server c) Msg.Digest_pull);
+          (Net.broadcast (net t) ~src:(Net.Server c) Msg.digest_pull);
         let holds i id = match dig.(i) with Some b -> has b id | None -> false in
         (* A server down for less than the grace period still counts as
            a copy (its store survives the outage): transient blips must
@@ -449,14 +449,9 @@ let daemon_tick t =
                       dig.(i) <> None && (not (holds i id)) && not (List.mem i preferred))
                     ring
                 in
-                let rec take k = function
-                  | [] -> []
-                  | _ when k = 0 -> []
-                  | s :: rest -> s :: take (k - 1) rest
-                in
                 List.iter
                   (fun dst ->
-                    ignore (Net.send (net t) ~src:(Net.Server c) ~dst (Msg.Repair_store e));
+                    ignore (Net.send (net t) ~src:(Net.Server c) ~dst (Msg.repair_store e));
                     t.st_re_replications <- t.st_re_replications + 1;
                     match owners with
                     | Some os when not (List.mem dst os) ->
@@ -464,7 +459,7 @@ let daemon_tick t =
                       if not (List.mem dst prev) then
                         Hashtbl.replace t.placed id (dst :: prev)
                     | Some _ | None -> ())
-                  (take deficit (preferred @ fill))
+                  (List_util.take deficit (preferred @ fill))
               end
             end
             else begin
@@ -478,7 +473,7 @@ let daemon_tick t =
                     (fun i ->
                       if List.mem i os then false
                       else begin
-                        ignore (Net.send (net t) ~src:(Net.Server c) ~dst:i (Msg.Remove e));
+                        ignore (Net.send (net t) ~src:(Net.Server c) ~dst:i (Msg.remove e));
                         t.st_trims <- t.st_trims + 1;
                         true
                       end)
@@ -508,7 +503,7 @@ let daemon_tick t =
             for i = 0 to n - 1 do
               if holds i id then begin
                 ignore
-                  (Net.send (net t) ~src:(Net.Server c) ~dst:i (Msg.Remove (Entry.v id)));
+                  (Net.send (net t) ~src:(Net.Server c) ~dst:i (Msg.remove (Entry.v id)));
                 t.st_retracted <- t.st_retracted + 1
               end
             done)
@@ -536,7 +531,8 @@ let on_status t server ~up =
     refresh_tracking t
   end
 
-let handle t inner dst src (msg : Msg.t) : Msg.reply =
+(* The repair plane terminates here: strategies never see it. *)
+let handle_repair t dst src (msg : Msg.repair) : Msg.reply =
   match msg with
   | Msg.Digest_request bits ->
     on_digest_request t ~peer:dst ~src bits;
@@ -551,9 +547,14 @@ let handle t inner dst src (msg : Msg.t) : Msg.reply =
   | Msg.Repair_store e ->
     ignore (Server_store.add (Cluster.store t.cluster dst) e);
     Msg.Ack
-  | _ ->
-    observe t ~server:dst msg;
+
+let handle t inner dst src (msg : Msg.t) : Msg.reply =
+  match msg with
+  | Msg.Repair r -> handle_repair t dst src r
+  | Msg.Data d ->
+    observe t ~server:dst d;
     inner dst src msg
+  | Msg.Strategy _ -> inner dst src msg
 
 let install cluster ~config ~plan =
   (match config.mode with

@@ -66,8 +66,11 @@ val default_config : config
 val disabled : config
 (** [default_config] with [mode = Off]. *)
 
-(** What the strategy's placement says a server should hold. *)
-type plan =
+(** What the strategy's placement says a server should hold.  The type
+    lives in {!Strategy_intf} (strategies describe their plan through
+    {!Strategy_intf.S.repair_plan}); re-exported here because repair is
+    its consumer. *)
+type plan = Strategy_intf.plan =
   | Mirror
       (** Every live server holds the same set (FullReplication, Fixed-x):
           sync against any live peer's store. *)

@@ -58,10 +58,10 @@ let servers_of_position t pos =
   List.init t.y (fun r -> (((pos + r) mod n) + n) mod n)
 
 let send_store t ~src ~dst e =
-  ignore (Net.send (Cluster.net t.cluster) ~src:(Net.Server src) ~dst (Msg.Store e))
+  ignore (Net.send (Cluster.net t.cluster) ~src:(Net.Server src) ~dst (Msg.store e))
 
 let send_remove t ~src ~dst e =
-  ignore (Net.send (Cluster.net t.cluster) ~src:(Net.Server src) ~dst (Msg.Remove e))
+  ignore (Net.send (Cluster.net t.cluster) ~src:(Net.Server src) ~dst (Msg.remove e))
 
 let ledger_insert ledger pos e =
   Hashtbl.replace ledger.by_position pos e;
@@ -125,6 +125,14 @@ let sync_standbys t ~self msg =
 let guard_updates t =
   if t.truncated then invalid_arg "Round_robin: updates after a truncated place"
 
+(* Only coordinator replicas hold a ledger; an update delivered to any
+   other server is relayed to the acting coordinator (dropped when none
+   is up — the lost write [can_update] warns about). *)
+let forward_to_coordinator t ~src msg =
+  match acting t with
+  | Some c -> ignore (Net.send (Cluster.net t.cluster) ~src:(Net.Server src) ~dst:c msg)
+  | None -> ()
+
 (* Acting-coordinator logic, executing at server [self]. *)
 let do_add t ~self e =
   guard_updates t;
@@ -132,14 +140,14 @@ let do_add t ~self e =
   | None -> ()
   | Some pos ->
     List.iter (fun dst -> send_store t ~src:self ~dst e) (servers_of_position t pos);
-    sync_standbys t ~self (Msg.Sync_add e)
+    sync_standbys t ~self (Msg.sync_add e)
 
 let do_delete t ~self e =
   guard_updates t;
   match apply_delete t.ledgers.(self) e with
   | None -> ()
   | Some plan ->
-    ignore (Net.broadcast (Cluster.net t.cluster) ~src:(Net.Server self) (Msg.Remove e));
+    ignore (Net.broadcast (Cluster.net t.cluster) ~src:(Net.Server self) (Msg.remove e));
     (match plan.migration with
     | None -> ()
     | Some (u, old_pos) ->
@@ -147,53 +155,46 @@ let do_delete t ~self e =
          remove first so a server in both groups ends up keeping u. *)
       List.iter (fun dst -> send_remove t ~src:self ~dst u) (servers_of_position t old_pos);
       List.iter (fun dst -> send_store t ~src:self ~dst u) (servers_of_position t plan.vacated));
-    sync_standbys t ~self (Msg.Sync_delete e)
+    sync_standbys t ~self (Msg.sync_delete e)
 
-let handler t dst src msg : Msg.reply =
-  let local = Cluster.store t.cluster dst in
-  match (msg : Msg.t) with
+let handle_data t dst _src (msg : Msg.data) : Msg.reply =
+  match msg with
   | Msg.Place _ ->
     (* Placement is driven from the client-facing [place] below so the
        round-major budget cut is expressible; the request itself only
        reaches one server. *)
     Msg.Ack
   | Msg.Add e ->
-    do_add t ~self:dst e;
+    if dst < t.coordinators then do_add t ~self:dst e
+    else forward_to_coordinator t ~src:dst (Msg.add e);
     Msg.Ack
   | Msg.Delete e ->
-    do_delete t ~self:dst e;
+    if dst < t.coordinators then do_delete t ~self:dst e
+    else forward_to_coordinator t ~src:dst (Msg.delete e);
     Msg.Ack
+  | Msg.Lookup target -> Strategy_common.lookup_reply t.cluster dst target
+
+let handle_strategy t dst src (msg : Msg.strategy) : Msg.reply =
+  match msg with
+  (* Sync traffic mirrors the ledger between coordinator replicas; a
+     non-coordinator has no ledger, so it just acknowledges. *)
   | Msg.Sync_add e ->
-    ignore (apply_add t.ledgers.(dst) e);
+    if dst < t.coordinators then ignore (apply_add t.ledgers.(dst) e);
     Msg.Ack
   | Msg.Sync_delete e ->
-    ignore (apply_delete t.ledgers.(dst) e);
+    if dst < t.coordinators then ignore (apply_delete t.ledgers.(dst) e);
     Msg.Ack
   | Msg.Sync_state ->
     (match src with
-    | Net.Server c when c < t.coordinators ->
+    | Net.Server c when c < t.coordinators && dst < t.coordinators ->
       copy_ledger ~src:t.ledgers.(c) ~dst:t.ledgers.(dst)
     | Net.Server _ | Net.Client -> ());
     Msg.Ack
-  | Msg.Store e ->
-    ignore (Server_store.add local e);
-    Msg.Ack
-  | Msg.Remove e ->
-    ignore (Server_store.remove local e);
-    Msg.Ack
-  | Msg.Store_batch entries ->
-    (* Recovery resync: replace the local store with what the ledger says
-       this server should hold (a recovering server missed the stores and
-       removes addressed to it while it was down). *)
-    Server_store.clear local;
-    List.iter (fun e -> ignore (Server_store.add local e)) entries;
-    Msg.Ack
-  | Msg.Lookup target ->
-    Msg.Entries (Server_store.random_pick local (Cluster.rng t.cluster) target)
-  | Msg.Add_sampled _ | Msg.Remove_counted _ | Msg.Fetch_candidate _
-  | Msg.Digest_request _ | Msg.Sync_fix _ | Msg.Hint _ | Msg.Digest_pull
-  | Msg.Repair_store _ ->
-    invalid_arg "Round_robin: unexpected message"
+  | (Msg.Store _ | Msg.Remove _ | Msg.Store_batch _ | Msg.Add_sampled _
+    | Msg.Remove_counted _ | Msg.Fetch_candidate _) as other ->
+    (* Store_batch included: the recovery resync replaces the local store
+       wholesale, which is exactly the shared default semantics. *)
+    Strategy_common.default_strategy t.cluster dst other
 
 (* A recovering coordinator replica is stale; the acting replica
    refreshes it with a state transfer. *)
@@ -216,14 +217,14 @@ let expected_store t ledger server =
 let resync_from t ~source ~server =
   let net = Cluster.net t.cluster in
   if server < t.coordinators && server <> source then
-    ignore (Net.send net ~src:(Net.Server source) ~dst:server Msg.Sync_state);
+    ignore (Net.send net ~src:(Net.Server source) ~dst:server Msg.sync_state);
   (* When [resync_stores] is off the ledger still replicates, but store
      contents are reconciled by the digest-based repair layer instead of
      a full Store_batch push. *)
   if t.resync_stores && not t.truncated then
     ignore
       (Net.send net ~src:(Net.Server source) ~dst:server
-         (Msg.Store_batch (expected_store t t.ledgers.(source) server)))
+         (Msg.store_batch (expected_store t t.ledgers.(source) server)))
 
 let resync_server t server =
   if Cluster.is_up t.cluster server then begin
@@ -259,7 +260,7 @@ let create ?(coordinators = 1) ?(resync_stores = true) cluster ~y =
       truncated = false;
       resync_stores }
   in
-  Net.set_handler (Cluster.net cluster) (handler t);
+  Strategy_common.install cluster ~data:(handle_data t) ~strategy:(handle_strategy t);
   Net.set_status_listener (Cluster.net cluster) (on_status t);
   t
 
@@ -288,7 +289,7 @@ let place ?budget t entries =
   match Cluster.random_up_server t.cluster with
   | None -> ()
   | Some s ->
-    ignore (Net.send (Cluster.net t.cluster) ~src:Net.Client ~dst:s (Msg.Place entries));
+    ignore (Net.send (Cluster.net t.cluster) ~src:Net.Client ~dst:s (Msg.place entries));
     let n = Cluster.n t.cluster in
     let arr = Array.of_list entries in
     let h = Array.length arr in
@@ -320,8 +321,8 @@ let send_to_coordinator t msg =
   | Some c -> ignore (Net.send (Cluster.net t.cluster) ~src:Net.Client ~dst:c msg)
   | None -> ()
 
-let add t e = send_to_coordinator t (Msg.Add e)
-let delete t e = send_to_coordinator t (Msg.Delete e)
+let add t e = send_to_coordinator t (Msg.add e)
+let delete t e = send_to_coordinator t (Msg.delete e)
 
 let partial_lookup ?reachable t target =
   let n = Cluster.n t.cluster in
@@ -355,7 +356,7 @@ let partial_lookup_parallel ?reachable t target =
     let seen = Hashtbl.create 32 in
     let contacted = ref 0 in
     let contact server =
-      match Net.send net ~src:Net.Client ~dst:server (Msg.Lookup target) with
+      match Net.send net ~src:Net.Client ~dst:server (Msg.lookup target) with
       | Some (Msg.Entries entries) ->
         incr contacted;
         List.iter
@@ -426,3 +427,66 @@ let check_invariants t =
     done;
     !ok
   end
+
+let strategy_meta ~replicated =
+  if replicated then
+    { Strategy_intf.name = "RoundRobinHA";
+      keys = [ "roundrobinha"; "round_robin_ha"; "roundha" ];
+      arity = 2;
+      param_doc = "Y = consecutive copies per entry, K = coordinator replicas";
+      storage_doc = "h*y";
+      ablation = true;
+      rank = 45 }
+  else
+    { Strategy_intf.name = "RoundRobin";
+      keys = [ "roundrobin"; "round_robin"; "round" ];
+      arity = 1;
+      param_doc = "Y = consecutive copies per entry";
+      storage_doc = "h*y";
+      ablation = false;
+      rank = 40 }
+
+module Make_strategy (M : sig
+  val replicated : bool
+end) =
+struct
+  type nonrec t = t
+
+  let meta = strategy_meta ~replicated:M.replicated
+
+  let split_params params =
+    match (M.replicated, params) with
+    | false, [ y ] when y > 0 -> (y, 1)
+    | true, [ y; k ] when y > 0 && k > 0 -> (y, k)
+    | _ ->
+      invalid_arg
+        (Printf.sprintf "%s: bad parameters (expected %s)" meta.Strategy_intf.name
+           (if M.replicated then "[y; k]" else "[y]"))
+
+  let analytic_storage ~n ~h ~params =
+    let y, _ = split_params params in
+    float_of_int (h * min y n)
+
+  let params_for_budget ~n:_ ~h ~total ~params =
+    let _, k = split_params params in
+    let y = max 1 (total / h) in
+    if M.replicated then [ y; k ] else [ y ]
+
+  let create ?(resync_stores = true) cluster ~params =
+    let y, coordinators = split_params params in
+    create ~coordinators ~resync_stores cluster ~y
+
+  let place t ?budget entries = place ?budget t entries
+  let add = add
+  let delete = delete
+  let partial_lookup = partial_lookup
+  let can_update = can_update
+  let repair_plan t = Strategy_intf.Assigned (assigned_servers t)
+end
+
+module Strategy = Make_strategy (struct let replicated = false end)
+module Strategy_replicated = Make_strategy (struct let replicated = true end)
+
+let () =
+  Strategy_registry.register (module Strategy);
+  Strategy_registry.register (module Strategy_replicated)

@@ -110,3 +110,11 @@ val check_invariants : t -> (unit, string) result
 (** Verify the round-robin placement invariant: each live position's
     entry is stored at exactly its [y] consecutive servers and nothing
     else is stored anywhere.  For tests. *)
+
+module Strategy : Strategy_intf.S with type t = t
+(** The packed form registered in {!Strategy_registry} as
+    ["RoundRobin"]. *)
+
+module Strategy_replicated : Strategy_intf.S with type t = t
+(** The footnote-1 coordinator-replication ablation, registered as
+    ["RoundRobinHA"] with parameters [[y; k]]. *)

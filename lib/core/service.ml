@@ -1,181 +1,108 @@
-open Plookup_store
 
-type config =
-  | Full_replication
-  | Fixed of int
-  | Random_server of int
-  | Random_server_replacing of int
-  | Round_robin of int
-  | Round_robin_replicated of int * int
-  | Hash of int
+open Plookup_util
 
-let config_name = function
-  | Full_replication -> "FullReplication"
-  | Fixed x -> Printf.sprintf "Fixed-%d" x
-  | Random_server x -> Printf.sprintf "RandomServer-%d" x
-  | Random_server_replacing x -> Printf.sprintf "RandomServerReplacing-%d" x
-  | Round_robin y -> Printf.sprintf "RoundRobin-%d" y
-  | Round_robin_replicated (y, k) -> Printf.sprintf "RoundRobinHA-%dx%d" y k
-  | Hash y -> Printf.sprintf "Hash-%d" y
+(* A config is a reference into the strategy registry plus parameters —
+   a plain comparable value (tests and experiments compare and hash
+   them), resolved to a packed (module Strategy_intf.S) at create
+   time.  Keeping it name-based is what lets a new strategy module
+   (e.g. {!Chord}) register itself without this file changing. *)
+type config = { c_kind : string; c_params : int list }
 
-(* "roundrobinha-YxK" (and aliases) -> Round_robin_replicated (Y, K). *)
-let parse_replicated name =
-  match String.index_opt name '-' with
-  | None -> None
-  | Some i ->
-    let prefix = String.sub name 0 i in
-    let rest = String.sub name (i + 1) (String.length name - i - 1) in
-    if not (List.mem prefix [ "roundrobinha"; "round_robin_ha"; "roundha" ]) then None
-    else begin
-      match String.split_on_char 'x' rest with
-      | [ y; k ] -> (
-        match (int_of_string_opt y, int_of_string_opt k) with
-        | Some y, Some k when y > 0 && k > 0 -> Some (Round_robin_replicated (y, k))
-        | _ -> None)
-      | _ -> None
-    end
+let kind config = config.c_kind
+let params config = config.c_params
+
+let config_name { c_kind; c_params } =
+  match c_params with
+  | [] -> c_kind
+  | [ p ] -> Printf.sprintf "%s-%d" c_kind p
+  | [ p; q ] -> Printf.sprintf "%s-%dx%d" c_kind p q
+  | ps -> c_kind ^ "-" ^ String.concat "x" (List.map string_of_int ps)
+
+(* Convenience constructors for the built-in strategies.  These are
+   spellings, not a strategy list: parsing and enumeration go through
+   the registry. *)
+let check_positive who ps =
+  List.iter
+    (fun p -> if p <= 0 then invalid_arg (Printf.sprintf "Service.%s: parameter must be positive" who))
+    ps
+
+let v ~kind ~params =
+  check_positive "v" params;
+  { c_kind = kind; c_params = params }
+
+let full_replication = { c_kind = "FullReplication"; c_params = [] }
+let fixed x = v ~kind:"Fixed" ~params:[ x ]
+let random_server x = v ~kind:"RandomServer" ~params:[ x ]
+let random_server_replacing x = v ~kind:"RandomServerReplacing" ~params:[ x ]
+let round_robin y = v ~kind:"RoundRobin" ~params:[ y ]
+let round_robin_replicated y k = v ~kind:"RoundRobinHA" ~params:[ y; k ]
+let hash y = v ~kind:"Hash" ~params:[ y ]
 
 let config_of_string s =
-  let lower = String.lowercase_ascii (String.trim s) in
-  match parse_replicated lower with
-  | Some config -> Ok config
-  | None ->
-  let split name =
-    match String.rindex_opt name '-' with
-    | None -> (name, None)
-    | Some i -> (
-      let prefix = String.sub name 0 i in
-      let suffix = String.sub name (i + 1) (String.length name - i - 1) in
-      match int_of_string_opt suffix with
-      | Some p -> (prefix, Some p)
-      | None -> (name, None))
-  in
-  match split lower with
-  | ("full" | "fullreplication" | "full_replication" | "replication"), None ->
-    Ok Full_replication
-  | "fixed", Some x when x > 0 -> Ok (Fixed x)
-  | ("randomserver" | "random_server" | "random"), Some x when x > 0 -> Ok (Random_server x)
-  | ("randomserverreplacing" | "random_server_replacing"), Some x when x > 0 ->
-    Ok (Random_server_replacing x)
-  | ("roundrobin" | "round_robin" | "round"), Some y when y > 0 -> Ok (Round_robin y)
-  | "hash", Some y when y > 0 -> Ok (Hash y)
-  | _ ->
-    Error
-      (Printf.sprintf
-         "unknown strategy %S (expected full, fixed-X, randomserver-X, round-Y, \
-          roundrobinha-YxK or hash-Y)"
-         s)
+  match Strategy_registry.parse s with
+  | Ok (kind, params) -> Ok { c_kind = kind; c_params = params }
+  | Error _ as e -> e
 
-let param = function
-  | Full_replication -> None
-  | Fixed x | Random_server x | Random_server_replacing x -> Some x
-  | Round_robin y | Round_robin_replicated (y, _) | Hash y -> Some y
+let resolve config = Strategy_registry.find_exn config.c_kind
+
+let param config = match config.c_params with [] -> None | p :: _ -> Some p
 
 let storage_for_budget config ~n ~h ~total =
   if n <= 0 || h <= 0 || total <= 0 then
     invalid_arg "Service.storage_for_budget: n, h, total must be positive";
-  match config with
-  | Full_replication -> Full_replication
-  | Fixed _ -> Fixed (max 1 (total / n))
-  | Random_server _ -> Random_server (max 1 (total / n))
-  | Random_server_replacing _ -> Random_server_replacing (max 1 (total / n))
-  | Round_robin _ -> Round_robin (max 1 (total / h))
-  | Round_robin_replicated (_, k) -> Round_robin_replicated (max 1 (total / h), k)
-  | Hash _ -> Hash (max 1 (total / h))
+  let (module S) = resolve config in
+  { config with c_params = S.params_for_budget ~n ~h ~total ~params:config.c_params }
 
-(* The strategy implementations behind one record of operations. *)
-type ops = {
-  op_place : ?budget:int -> Entry.t list -> unit;
-  op_add : Entry.t -> unit;
-  op_delete : Entry.t -> unit;
-  op_lookup : ?reachable:(int -> bool) -> int -> Lookup_result.t;
-  op_can_update : unit -> bool;
-}
+let analytic_storage config ~n ~h =
+  if n <= 0 || h <= 0 then invalid_arg "Service.analytic_storage: n and h must be positive";
+  let (module S) = resolve config in
+  S.analytic_storage ~n ~h ~params:config.c_params
+
+let storage_formula config =
+  let (module S) = resolve config in
+  S.meta.Strategy_intf.storage_doc
+
+(* Default parameters a strategy takes into [storage_for_budget] when
+   enumerating comparison tables: the budget fills the primary
+   parameter; a secondary one (RoundRobinHA's k) defaults to 2 so the
+   ablation actually replicates. *)
+let seed_params (m : Strategy_intf.meta) =
+  match m.arity with 0 -> [] | 1 -> [ 1 ] | _ -> [ 1; 2 ]
+
+let all_configs ?(ablations = false) ~budget ~n ~h () =
+  List.filter_map
+    (fun (module S : Strategy_intf.S) ->
+      let m = S.meta in
+      if m.Strategy_intf.ablation && not ablations then None
+      else
+        Some
+          (storage_for_budget
+             { c_kind = m.Strategy_intf.name; c_params = seed_params m }
+             ~n ~h ~total:budget))
+    (Strategy_registry.all ())
+
+(* One running strategy instance, existentially packed. *)
+type instance = I : (module Strategy_intf.S with type t = 'a) * 'a -> instance
 
 type t = {
   cluster : Cluster.t;
   config : config;
-  ops : ops;
+  instance : instance;
   repair : Repair.t option;
 }
 
-(* Build the strategy and describe its placement to the repair layer.
-   [resync_stores] is false when repair is active: Round-Robin's
-   recovery then replicates the ledger only, leaving store contents to
-   the incremental digest sync. *)
-let build_ops cluster config ~resync_stores =
-  match config with
-  | Full_replication ->
-    let s = Full_replication.create cluster in
-    ( { op_place = (fun ?budget:_ entries -> Full_replication.place s entries);
-        op_add = Full_replication.add s;
-        op_delete = Full_replication.delete s;
-        op_lookup =
-          (fun ?reachable target -> Full_replication.partial_lookup ?reachable s target);
-        op_can_update = (fun () -> Cluster.up_servers cluster <> [])
-      },
-      Repair.Mirror )
-  | Fixed x ->
-    let s = Fixed.create cluster ~x in
-    ( { op_place = (fun ?budget:_ entries -> Fixed.place s entries);
-        op_add = Fixed.add s;
-        op_delete = Fixed.delete s;
-        op_lookup = (fun ?reachable target -> Fixed.partial_lookup ?reachable s target);
-        op_can_update = (fun () -> Cluster.up_servers cluster <> []) },
-      Repair.Mirror )
-  | Random_server x ->
-    let s = Random_server.create cluster ~x in
-    ( { op_place = (fun ?budget:_ entries -> Random_server.place s entries);
-        op_add = Random_server.add s;
-        op_delete = Random_server.delete s;
-        op_lookup = (fun ?reachable target -> Random_server.partial_lookup ?reachable s target);
-        op_can_update = (fun () -> Cluster.up_servers cluster <> [])
-      },
-      Repair.Free x )
-  | Random_server_replacing x ->
-    let s = Random_server.create ~replacement_on_delete:true cluster ~x in
-    ( { op_place = (fun ?budget:_ entries -> Random_server.place s entries);
-        op_add = Random_server.add s;
-        op_delete = Random_server.delete s;
-        op_lookup = (fun ?reachable target -> Random_server.partial_lookup ?reachable s target);
-        op_can_update = (fun () -> Cluster.up_servers cluster <> [])
-      },
-      Repair.Free x )
-  | Round_robin_replicated (y, coordinators) ->
-    let s = Round_robin.create ~coordinators ~resync_stores cluster ~y in
-    ( { op_place = (fun ?budget entries -> Round_robin.place ?budget s entries);
-        op_add = Round_robin.add s;
-        op_delete = Round_robin.delete s;
-        op_lookup = (fun ?reachable target -> Round_robin.partial_lookup ?reachable s target);
-        op_can_update = (fun () -> Round_robin.can_update s)
-      },
-      Repair.Assigned (Round_robin.assigned_servers s) )
-  | Round_robin y ->
-    let s = Round_robin.create ~resync_stores cluster ~y in
-    ( { op_place = (fun ?budget entries -> Round_robin.place ?budget s entries);
-        op_add = Round_robin.add s;
-        op_delete = Round_robin.delete s;
-        op_lookup = (fun ?reachable target -> Round_robin.partial_lookup ?reachable s target);
-        op_can_update = (fun () -> Round_robin.can_update s)
-      },
-      Repair.Assigned (Round_robin.assigned_servers s) )
-  | Hash y ->
-    let s = Hash_scheme.create cluster ~y in
-    ( { op_place = (fun ?budget entries -> Hash_scheme.place ?budget s entries);
-        op_add = Hash_scheme.add s;
-        op_delete = Hash_scheme.delete s;
-        op_lookup = (fun ?reachable target -> Hash_scheme.partial_lookup ?reachable s target);
-        op_can_update = (fun () -> Cluster.up_servers cluster <> [])
-      },
-      Repair.Assigned (fun e -> Some (Hash_scheme.servers_of s e)) )
-
 let of_cluster ?(repair = Repair.disabled) cluster config =
+  let (module S) = resolve config in
   let repair_on = repair.Repair.mode <> Repair.Off in
-  let ops, plan = build_ops cluster config ~resync_stores:(not repair_on) in
+  (* [resync_stores] is false when repair is active: Round-Robin's
+     recovery then replicates the ledger only, leaving store contents to
+     the incremental digest sync. *)
+  let s = S.create ~resync_stores:(not repair_on) cluster ~params:config.c_params in
   let rep =
-    if repair_on then Some (Repair.install cluster ~config:repair ~plan) else None
+    if repair_on then Some (Repair.install cluster ~config:repair ~plan:(S.repair_plan s))
+    else None
   in
-  { cluster; config; ops; repair = rep }
+  { cluster; config; instance = I ((module S), s); repair = rep }
 
 let create ?seed ?repair ~n config = of_cluster ?repair (Cluster.create ?seed ~n ()) config
 
@@ -185,31 +112,24 @@ let name t = config_name t.config
 let n t = Cluster.n t.cluster
 let repair t = t.repair
 
-let place ?budget t entries = t.ops.op_place ?budget entries
-let add t e = t.ops.op_add e
-let delete t e = t.ops.op_delete e
-let partial_lookup ?reachable t target = t.ops.op_lookup ?reachable target
-let can_update t = t.ops.op_can_update ()
+let place ?budget t entries =
+  match t.instance with I ((module S), s) -> S.place s ?budget entries
+
+let add t e = match t.instance with I ((module S), s) -> S.add s e
+let delete t e = match t.instance with I ((module S), s) -> S.delete s e
+
+let partial_lookup ?reachable t target =
+  match t.instance with I ((module S), s) -> S.partial_lookup ?reachable s target
+
+let can_update t = match t.instance with I ((module S), s) -> S.can_update s
 
 let partial_lookup_pref ?reachable t ~cost target =
   (* Exhaustive probe: demand more entries than any server set can hold
      so the prober visits every reachable server, then rank. *)
-  let exhaustive = t.ops.op_lookup ?reachable max_int in
+  let exhaustive = partial_lookup ?reachable t max_int in
   let ranked =
     List.sort (fun a b -> Float.compare (cost a) (cost b)) exhaustive.Lookup_result.entries
   in
-  let rec take k = function
-    | [] -> []
-    | _ when k = 0 -> []
-    | e :: rest -> e :: take (k - 1) rest
-  in
-  { Lookup_result.entries = take target ranked;
+  { Lookup_result.entries = List_util.take target ranked;
     servers_contacted = exhaustive.Lookup_result.servers_contacted;
     target }
-
-let all_configs ~budget ~n ~h =
-  [ Full_replication;
-    storage_for_budget (Fixed 1) ~n ~h ~total:budget;
-    storage_for_budget (Random_server 1) ~n ~h ~total:budget;
-    storage_for_budget (Round_robin 1) ~n ~h ~total:budget;
-    storage_for_budget (Hash 1) ~n ~h ~total:budget ]

@@ -1,34 +1,67 @@
 (** The partial lookup service: one key, [h] entries, [n] servers, one of
-    the paper's five placement strategies behind a single interface.
+    the registered placement strategies behind a single interface.
 
     This is the public entry point of the library.  A service owns a
     {!Cluster} and dispatches [place]/[add]/[delete]/[partial_lookup] to
-    the configured strategy.  Multi-key deployments are, as the paper
-    notes (Section 2), a family of independent single-key services —
-    see {!Directory} for that generalization. *)
+    the configured strategy — resolved by name through
+    {!Strategy_registry}, so a strategy module that registers itself
+    (see DESIGN.md, "Adding a placement strategy") is immediately
+    constructible here, parseable from the CLI and enumerable by the
+    experiments.  Multi-key deployments are, as the paper notes
+    (Section 2), a family of independent single-key services — see
+    {!Directory} for that generalization. *)
 
 open Plookup_store
 
-type config =
-  | Full_replication
-  | Fixed of int  (** [Fixed x]: replicate the same x entries everywhere *)
-  | Random_server of int  (** [Random_server x]: random x-subset per server *)
-  | Random_server_replacing of int
-      (** The Section-5.3 replacement-on-delete variant (ablation). *)
-  | Round_robin of int  (** [Round_robin y]: y consecutive copies per entry *)
-  | Round_robin_replicated of int * int
-      (** [Round_robin_replicated (y, k)]: Round-Robin-y with the
-          head/tail coordinator replicated on k servers (the paper's
-          footnote 1; see {!Round_robin.create}).  Named
-          ["RoundRobinHA-YxK"]. *)
-  | Hash of int  (** [Hash y]: y hash functions place each entry *)
+type config
+(** A strategy name plus its parameters: a plain comparable value
+    (structural equality and hashing work), resolved through
+    {!Strategy_registry} when the service is created. *)
+
+val v : kind:string -> params:int list -> config
+(** [v ~kind ~params] names a strategy by its canonical registry name,
+    e.g. [v ~kind:"Chord" ~params:[2]].  Parameters must be positive;
+    the name is checked when the config is used (parse-time checking is
+    {!config_of_string}'s job). *)
+
+val kind : config -> string
+(** The canonical strategy name, e.g. ["RoundRobin"]. *)
+
+val params : config -> int list
+
+(** {2 Convenience constructors for the built-in strategies} *)
+
+val full_replication : config
+
+val fixed : int -> config
+(** [fixed x]: replicate the same x entries everywhere. *)
+
+val random_server : int -> config
+(** [random_server x]: random x-subset per server. *)
+
+val random_server_replacing : int -> config
+(** The Section-5.3 replacement-on-delete variant (ablation). *)
+
+val round_robin : int -> config
+(** [round_robin y]: y consecutive copies per entry. *)
+
+val round_robin_replicated : int -> int -> config
+(** [round_robin_replicated y k]: Round-Robin-y with the head/tail
+    coordinator replicated on k servers (the paper's footnote 1; see
+    {!Round_robin.create}).  Named ["RoundRobinHA-YxK"]. *)
+
+val hash : int -> config
+(** [hash y]: y hash functions place each entry. *)
 
 val config_name : config -> string
-(** E.g. ["Fixed-20"], ["Hash-2"] — the paper's naming. *)
+(** E.g. ["Fixed-20"], ["Hash-2"], ["RoundRobinHA-2x3"] — the paper's
+    naming. *)
 
 val config_of_string : string -> (config, string) result
-(** Inverse of {!config_name}, case-insensitive; accepts e.g.
-    ["fixed-20"], ["roundrobin-2"], ["round-2"], ["full"]. *)
+(** Inverse of {!config_name}, case-insensitive, accepting every
+    registered parse key (e.g. ["fixed-20"], ["round-2"], ["full"],
+    ["chord-2"]).  Unknown names get a did-you-mean suggestion.
+    Delegates to {!Strategy_registry.parse}. *)
 
 val param : config -> int option
 (** The x or y parameter, if the strategy has one. *)
@@ -36,10 +69,18 @@ val param : config -> int option
 val storage_for_budget : config -> n:int -> h:int -> total:int -> config
 (** Re-parameterize the strategy so its Table-1 storage cost fits a
     total budget of [total] entry slots when managing [h] entries on [n]
-    servers: Fixed/RandomServer get [x = total / n], Round/Hash get
-    [y = max 1 (total / h)].  This is how the paper derives the
+    servers: Fixed/RandomServer get [x = total / n], Round/Hash/Chord
+    get [y = max 1 (total / h)].  This is how the paper derives the
     "comparable overhead" configurations (e.g. budget 200 with h=100,
     n=10 gives x=20, y=2). *)
+
+val analytic_storage : config -> n:int -> h:int -> float
+(** The strategy's Table-1 closed-form storage cost (see
+    {!Strategy_intf.S.analytic_storage}). *)
+
+val storage_formula : config -> string
+(** The Table-1 formula as a string, e.g. ["x*n"] — registry metadata,
+    for table headings. *)
 
 type t
 
@@ -48,10 +89,12 @@ val create : ?seed:int -> ?repair:Repair.config -> n:int -> config -> t
 
     [repair] (default {!Repair.disabled}) activates the self-healing
     layer: with any mode other than [Off], the strategy handler is
-    wrapped by a {!Repair.t} built with the placement plan matching the
-    strategy (Mirror for Full/Fixed, Free for RandomServer, Assigned for
-    Round-Robin/Hash), and Round-Robin's full-push store resync is
-    replaced by the incremental digest sync. *)
+    wrapped by a {!Repair.t} built with the strategy's
+    {!Strategy_intf.S.repair_plan}, and Round-Robin's full-push store
+    resync is replaced by the incremental digest sync.
+
+    Raises [Invalid_argument] when the config names an unregistered
+    strategy or its parameters are malformed. *)
 
 val of_cluster : ?repair:Repair.config -> Cluster.t -> config -> t
 (** Run the strategy on an existing cluster (rebinding its network
@@ -68,9 +111,9 @@ val repair : t -> Repair.t option
 
 val place : ?budget:int -> t -> Entry.t list -> unit
 (** Initial batch placement.  [budget] caps total stored copies and is
-    honoured by Round-Robin and Hash (the Fig. 6 "inadequate storage"
-    regime); the other strategies bound storage through their own
-    parameter and ignore it. *)
+    honoured by Round-Robin, Hash and Chord (the Fig. 6 "inadequate
+    storage" regime); the other strategies bound storage through their
+    own parameter and ignore it. *)
 
 val add : t -> Entry.t -> unit
 val delete : t -> Entry.t -> unit
@@ -96,6 +139,8 @@ val partial_lookup_pref :
     return the [target] entries with the lowest [cost].  The result's
     [servers_contacted] reflects the exhaustive probe. *)
 
-val all_configs : budget:int -> n:int -> h:int -> config list
-(** The five strategies parameterized for a common storage budget —
-    convenient for comparison tables. *)
+val all_configs : ?ablations:bool -> budget:int -> n:int -> h:int -> unit -> config list
+(** Every registered strategy parameterized for a common storage budget
+    — convenient for comparison tables.  Ordered by registry rank
+    (FullReplication first).  [ablations] (default false) also includes
+    the ablation variants (RandomServerReplacing, RoundRobinHA). *)

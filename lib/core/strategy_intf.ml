@@ -1,0 +1,78 @@
+(** The first-class signature every placement strategy implements.
+
+    A strategy is the paper's unit of design: a server-side handler for
+    the {!Msg.data} and {!Msg.strategy} planes plus a client-side
+    probing discipline.  Packing one as a [(module S)] lets
+    {!Strategy_registry} carry all of them behind one value, which is
+    what makes {!Service}, the CLI, the experiments and the bench
+    strategy-agnostic.  See DESIGN.md, "Adding a placement strategy". *)
+
+open Plookup_store
+
+(** How the strategy's placement is described to the {!Repair} layer.
+
+    [Mirror]: every up server should hold every entry the strategy
+    tracked (FullReplication, Fixed-x).  [Assigned f]: [f e] names the
+    servers that should hold [e], or [None] when the assignment is
+    currently unknowable (truncated Round-Robin).  [Free x]: contents
+    are a random x-subset per server by design; repair maintains an
+    aggregate degree instead of per-server ownership (RandomServer-x). *)
+type plan =
+  | Mirror
+  | Assigned of (Entry.t -> int list option)
+  | Free of int
+
+type meta = {
+  name : string;
+      (** Canonical name, the paper's spelling: ["RoundRobin"],
+          ["Hash"], ... Formatted with parameters by
+          {!Service.config_name} (e.g. ["RoundRobinHA-2x3"]). *)
+  keys : string list;
+      (** Lowercase spellings accepted by the parser, e.g.
+          [["roundrobin"; "round_robin"; "round"]].  The first key is
+          the canonical one shown in listings and suggestions. *)
+  arity : int;  (** Number of integer parameters: 0, 1 or 2. *)
+  param_doc : string;
+      (** What the parameter(s) mean, for the CLI [strategies]
+          listing; [""] when [arity = 0]. *)
+  storage_doc : string;
+      (** The Table-1 storage-cost formula as a string, e.g. ["x*n"]. *)
+  ablation : bool;
+      (** Variant studied as an ablation (Section 5.3 replacement,
+          footnote-1 coordinator replication): excluded from
+          {!Service.all_configs} unless asked for. *)
+  rank : int;
+      (** Presentation order in listings and comparison tables (the
+          registry sorts by it; registration order is irrelevant). *)
+}
+
+module type S = sig
+  type t
+
+  val meta : meta
+
+  val analytic_storage : n:int -> h:int -> params:int list -> float
+  (** The Table-1 closed form: expected total entry copies stored when
+      managing [h] entries on [n] servers. *)
+
+  val params_for_budget : n:int -> h:int -> total:int -> params:int list -> int list
+  (** Re-parameterize so [analytic_storage] fits a budget of [total]
+      entry slots (Fixed/RandomServer: [x = total / n]; Round/Hash/
+      Chord: [y = total / h]; floor 1).  [params] carries the current
+      parameters so secondary ones (RoundRobinHA's [k]) survive. *)
+
+  val create : ?resync_stores:bool -> Cluster.t -> params:int list -> t
+  (** Bind the strategy to the cluster (installing its network
+      handler).  [resync_stores] (default [true]) is Round-Robin's
+      recovery full-push; {!Service} turns it off when the digest-based
+      repair layer owns store reconciliation.  Raises [Invalid_argument]
+      when [params] does not match [meta.arity] or a parameter is out
+      of range. *)
+
+  val place : t -> ?budget:int -> Entry.t list -> unit
+  val add : t -> Entry.t -> unit
+  val delete : t -> Entry.t -> unit
+  val partial_lookup : ?reachable:(int -> bool) -> t -> int -> Lookup_result.t
+  val can_update : t -> bool
+  val repair_plan : t -> plan
+end

@@ -126,13 +126,14 @@ let run ?(n = 10) ?(h = 100) ?(budget = 200) ?(t = 40) ?(mttf = 50.) ?(mttr = 50
           "repair msgs" ]
   in
   let configs =
-    (* Fixed-x needs x >= t to play at all (plus a little headroom); the
-       others get the common storage budget. *)
-    [ Service.Full_replication;
-      Service.Fixed (t + 5);
-      Service.storage_for_budget (Service.Random_server 1) ~n ~h ~total:budget;
-      Service.storage_for_budget (Service.Round_robin 1) ~n ~h ~total:budget;
-      Service.storage_for_budget (Service.Hash 1) ~n ~h ~total:budget ]
+    (* Every registered strategy at the common storage budget, so a
+       newly registered strategy joins the churn drill automatically.
+       Fixed-x is overridden: it needs x >= t to play at all (plus a
+       little headroom). *)
+    List.map
+      (fun config ->
+        if Service.kind config = "Fixed" then Service.fixed (t + 5) else config)
+      (Service.all_configs ~budget ~n ~h ())
   in
   let add_row config ~repair =
     let tally, stats, repair_msgs =

@@ -22,7 +22,7 @@ let failure_share ctx ~n ~h ~t ~b ~updates ~tail_heavy ~runs =
       Update_gen.generate (Rng.create seed)
         { Update_gen.steady_entries = h; add_period = 10.; tail_heavy; updates }
     in
-    let service = Service.create ~seed ~n (Service.Fixed (t + b)) in
+    let service = Service.create ~seed ~n (Service.fixed (t + b)) in
     Stats.Accum.add acc
       (Replay.run_timed ~service ~stream ~failed:(failed_predicate ~t))
   done;

@@ -67,10 +67,10 @@ let run ?(n = 10) ?(h = 100) ?(x = 20) ?(t = 1) ?(checkpoints = default_checkpoi
           updates = max_cp }
     in
     accumulate acc_rs
-      (unfairness_trace ctx ~n ~t ~lookups ~config:(Service.Random_server x) ~stream
+      (unfairness_trace ctx ~n ~t ~lookups ~config:(Service.random_server x) ~stream
          ~checkpoints ~run);
     accumulate acc_fx
-      (unfairness_trace ctx ~n ~t ~lookups ~config:(Service.Fixed x) ~stream ~checkpoints
+      (unfairness_trace ctx ~n ~t ~lookups ~config:(Service.fixed x) ~stream ~checkpoints
          ~run)
   done;
   List.iter

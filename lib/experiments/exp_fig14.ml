@@ -39,8 +39,8 @@ let run ?(n = 10) ?(t = 40) ?(x = 50) ?(entry_counts = default_entry_counts)
   List.iter
     (fun h ->
       let y = Analytic.optimal_hash_y ~n ~h ~t in
-      let fixed_msgs = measure_messages ctx ~n ~h ~updates ~config:(Service.Fixed x) ~runs in
-      let hash_msgs = measure_messages ctx ~n ~h ~updates ~config:(Service.Hash y) ~runs in
+      let fixed_msgs = measure_messages ctx ~n ~h ~updates ~config:(Service.fixed x) ~runs in
+      let hash_msgs = measure_messages ctx ~n ~h ~updates ~config:(Service.hash y) ~runs in
       let u = float_of_int updates in
       Table.add_row table
         [ Table.I h;

@@ -32,9 +32,9 @@ let run ?(n = 10) ?(h = 100) ?(budgets = default_budgets) ctx =
       (* Round-y and Hash-y behave identically for coverage under the
          round-major budget cut; measure Round (deterministic) and check
          Hash agrees in the test suite. *)
-      let round_cov = measure (Service.Round_robin y) ~cap:budget () in
-      let fixed_cov = measure (Service.Fixed x) () in
-      let random_cov = measure (Service.Random_server x) () in
+      let round_cov = measure (Service.round_robin y) ~cap:budget () in
+      let fixed_cov = measure (Service.fixed x) () in
+      let random_cov = measure (Service.random_server x) () in
       Table.add_row table
         [ Table.I budget;
           Table.F round_cov;

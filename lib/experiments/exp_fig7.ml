@@ -9,9 +9,9 @@ let title = "Fig 7: fault tolerance vs target answer size (storage budget 200)"
 let default_targets = [ 10; 15; 20; 25; 30; 35; 40; 45; 50 ]
 
 let run ?(n = 10) ?(h = 100) ?(budget = 200) ?(targets = default_targets) ctx =
-  let random = Service.storage_for_budget (Service.Random_server 1) ~n ~h ~total:budget in
-  let hash = Service.storage_for_budget (Service.Hash 1) ~n ~h ~total:budget in
-  let round = Service.storage_for_budget (Service.Round_robin 1) ~n ~h ~total:budget in
+  let random = Service.storage_for_budget (Service.random_server 1) ~n ~h ~total:budget in
+  let hash = Service.storage_for_budget (Service.hash 1) ~n ~h ~total:budget in
+  let round = Service.storage_for_budget (Service.round_robin 1) ~n ~h ~total:budget in
   let y = Option.value ~default:1 (Service.param round) in
   let table =
     Table.create ~title

@@ -25,9 +25,9 @@ let run ?(n = 10) ?(h = 100) ?(t = 35) ?(budgets = default_budgets) ctx =
       in
       Table.add_row table
         [ Table.I budget;
-          Table.F4 (measure (Service.Random_server x));
+          Table.F4 (measure (Service.random_server x));
           Table.I x;
-          Table.F4 (measure (Service.Hash y));
+          Table.F4 (measure (Service.hash y));
           Table.I y ])
     budgets;
   table

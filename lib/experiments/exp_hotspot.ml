@@ -79,6 +79,6 @@ let run ?(n = 10) ?(keys = 50) ?(entries_per_key = 20) ?(t = 3) ?(lookups = 2000
       row
         (Printf.sprintf "Partial: %s" (Service.config_name config))
         (partial_load ctx ~n ~keys ~entries_per_key ~t ~lookups ~alpha config))
-    [ Service.Full_replication; Service.Round_robin 2;
-      Service.Random_server (2 * entries_per_key / 10 |> max 1) ];
+    [ Service.full_replication; Service.round_robin 2;
+      Service.random_server (2 * entries_per_key / 10 |> max 1) ];
   table

@@ -77,36 +77,36 @@ let run ?(n = 10) ?(h = 100) ?(budget = 200) ?(t = 35) ?(rtt_lo = 5.) ?(rtt_hi =
   in
   let y =
     Option.value ~default:1
-      (Service.param (Service.storage_for_budget (Service.Round_robin 1) ~n ~h ~total:budget))
+      (Service.param (Service.storage_for_budget (Service.round_robin 1) ~n ~h ~total:budget))
   in
   let measure = measure_config ctx ~n ~h ~t ~lookups ~timeout ~rtt_lo ~rtt_hi in
   record "FullReplication (1 contact)"
-    (measure ~config:Service.Full_replication ~order_of:random_order
+    (measure ~config:Service.full_replication ~order_of:random_order
        ~wave_of:(fun () -> 1)
        ~down:[] ());
   record "RandomServer-20 sequential"
     (measure
-       ~config:(Service.storage_for_budget (Service.Random_server 1) ~n ~h ~total:budget)
+       ~config:(Service.storage_for_budget (Service.random_server 1) ~n ~h ~total:budget)
        ~order_of:random_order
        ~wave_of:(fun () -> 1)
        ~down:[] ());
   record "Hash-2 sequential"
     (measure
-       ~config:(Service.storage_for_budget (Service.Hash 1) ~n ~h ~total:budget)
+       ~config:(Service.storage_for_budget (Service.hash 1) ~n ~h ~total:budget)
        ~order_of:random_order
        ~wave_of:(fun () -> 1)
        ~down:[] ());
   let order_rng = Rng.create (Ctx.run_seed ctx 3) in
   let stride cluster = stride_order order_rng ~n:(Cluster.n cluster) ~y in
   record "RoundRobin-2 sequential"
-    (measure ~config:(Service.Round_robin y) ~order_of:stride
+    (measure ~config:(Service.round_robin y) ~order_of:stride
        ~wave_of:(fun () -> 1)
        ~down:[] ());
   (* The parallel client: wave size ceil(t*n/(y*h)), known in advance
      (Section 3.5). *)
   let wave = min n (max 1 (((t * n) + (y * h) - 1) / (y * h))) in
   record "RoundRobin-2 parallel wave"
-    (measure ~config:(Service.Round_robin y) ~order_of:stride
+    (measure ~config:(Service.round_robin y) ~order_of:stride
        ~wave_of:(fun () -> wave)
        ~down:[] ());
   (* Failure masking (Section 6.2): one server down.  The sequential
@@ -114,11 +114,11 @@ let run ?(n = 10) ?(h = 100) ?(budget = 200) ?(t = 35) ?(rtt_lo = 5.) ?(rtt_hi =
      its order; the parallel client's redundant in-flight contacts keep
      it moving and it finishes before the timeout even matters. *)
   record "RoundRobin-2 sequential, server 3 down"
-    (measure ~config:(Service.Round_robin y) ~order_of:stride
+    (measure ~config:(Service.round_robin y) ~order_of:stride
        ~wave_of:(fun () -> 1)
        ~down:[ 3 ] ());
   record "RoundRobin-2 parallel, server 3 down"
-    (measure ~config:(Service.Round_robin y) ~order_of:stride
+    (measure ~config:(Service.round_robin y) ~order_of:stride
        ~wave_of:(fun () -> wave)
        ~down:[ 3 ] ());
   table

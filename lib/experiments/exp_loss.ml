@@ -91,11 +91,11 @@ let run ?(n = 10) ?(h = 100) ?(budget = 200) ?(t = 35) ?(timeout = 60.) ?(retrie
   in
   let x =
     Option.value ~default:(t + 5)
-      (Service.param (Service.storage_for_budget (Service.Fixed 1) ~n ~h ~total:budget))
+      (Service.param (Service.storage_for_budget (Service.fixed 1) ~n ~h ~total:budget))
   in
   let y =
     Option.value ~default:1
-      (Service.param (Service.storage_for_budget (Service.Round_robin 1) ~n ~h ~total:budget))
+      (Service.param (Service.storage_for_budget (Service.round_robin 1) ~n ~h ~total:budget))
   in
   let random_order cluster rng =
     ignore cluster;
@@ -107,7 +107,7 @@ let run ?(n = 10) ?(h = 100) ?(budget = 200) ?(t = 35) ?(timeout = 60.) ?(retrie
   in
   (* Fixed-x must hold at least t entries per server to satisfy alone. *)
   let configs =
-    [ (Service.Fixed (max x (t + 5)), random_order); (Service.Round_robin y, stride) ]
+    [ (Service.fixed (max x (t + 5)), random_order); (Service.round_robin y, stride) ]
   in
   List.iter
     (fun (config, order_of) ->

@@ -7,12 +7,6 @@ module Storage = Plookup_metrics.Storage
 let id = "table1"
 let title = "Table 1: storage cost for managing h entries on n servers"
 
-let formula = function
-  | Service.Full_replication -> "h*n"
-  | Service.Fixed _ | Service.Random_server _ | Service.Random_server_replacing _ -> "x*n"
-  | Service.Round_robin _ | Service.Round_robin_replicated _ -> "h*y"
-  | Service.Hash _ -> "h*n*(1-(1-1/n)^y)"
-
 let measured_mean ctx ~n ~h config ~runs =
   let acc = Stats.Accum.create () in
   for run = 1 to runs do
@@ -29,14 +23,14 @@ let run ?(n = 10) ?(h = 100) ?(budget = 200) ctx =
       ~columns:[ "strategy"; "formula"; "analytic"; "measured (mean)" ]
   in
   let runs = Ctx.scaled ctx 50 in
-  let configs = Service.all_configs ~budget ~n ~h in
+  let configs = Service.all_configs ~budget ~n ~h () in
   List.iter
     (fun config ->
       let analytic = Analytic.storage config ~n ~h in
       let measured = measured_mean ctx ~n ~h config ~runs in
       Table.add_row table
         [ Table.S (Service.config_name config);
-          Table.S (formula config);
+          Table.S (Service.storage_formula config);
           Table.F analytic;
           Table.F measured ])
     configs;

@@ -70,7 +70,7 @@ let stars_of_measurements rows =
 
 let measure_rows ?(n = 10) ?(h = 100) ?(budget = 200) ?(t = 35) ctx =
   let runs = Ctx.scaled ctx 20 in
-  let configs = Service.all_configs ~budget ~n ~h in
+  let configs = Service.all_configs ~budget ~n ~h () in
   List.map
     (fun config ->
       let seed = Ctx.run_seed ctx 1 in

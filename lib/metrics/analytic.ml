@@ -3,12 +3,9 @@ let check_nh ~n ~h =
 
 let storage config ~n ~h =
   check_nh ~n ~h;
-  let fn = float_of_int n and fh = float_of_int h in
-  match (config : Plookup.Service.config) with
-  | Full_replication -> fh *. fn
-  | Fixed x | Random_server x | Random_server_replacing x -> float_of_int x *. fn
-  | Round_robin y | Round_robin_replicated (y, _) -> fh *. float_of_int (min y n)
-  | Hash y -> fh *. fn *. (1. -. ((1. -. (1. /. fn)) ** float_of_int y))
+  (* Dispatched through the registry so a newly registered strategy's
+     Table-1 formula is picked up without this module changing. *)
+  Plookup.Service.analytic_storage config ~n ~h
 
 let round_robin_lookup_cost ~n ~h ~y ~t =
   check_nh ~n ~h;

@@ -1,0 +1,12 @@
+let take k l =
+  let rec go k = function
+    | [] -> []
+    | _ when k <= 0 -> []
+    | x :: rest -> x :: go (k - 1) rest
+  in
+  go k l
+
+let rec drop k = function
+  | rest when k <= 0 -> rest
+  | [] -> []
+  | _ :: rest -> drop (k - 1) rest

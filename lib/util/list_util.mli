@@ -1,0 +1,12 @@
+(** The list helpers the strategies and workloads kept re-implementing
+    privately; one definition, one set of tests. *)
+
+val take : int -> 'a list -> 'a list
+(** [take k l] is the first [k] elements of [l], or all of [l] when it
+    is shorter.  [take k l] is [[]] for [k <= 0].  Total, never raises;
+    tail-recursion is not needed at the list sizes the service handles
+    (entry batches are bounded by [h]). *)
+
+val drop : int -> 'a list -> 'a list
+(** [drop k l] is [l] without its first [k] elements ([l] itself for
+    [k <= 0], [[]] when [l] is shorter).  [take k l @ drop k l = l]. *)

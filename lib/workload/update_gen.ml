@@ -69,15 +69,10 @@ let pp_event ppf { time; op } =
 let live_after stream k =
   let table = Hashtbl.create 64 in
   List.iter (fun e -> Hashtbl.replace table (Entry.id e) e) stream.initial;
-  let rec go k = function
-    | [] -> ()
-    | _ when k = 0 -> ()
-    | { op = Add e; _ } :: rest ->
-      Hashtbl.replace table (Entry.id e) e;
-      go (k - 1) rest
-    | { op = Delete e; _ } :: rest ->
-      Hashtbl.remove table (Entry.id e);
-      go (k - 1) rest
-  in
-  go k stream.events;
+  List.iter
+    (fun { op; _ } ->
+      match op with
+      | Add e -> Hashtbl.replace table (Entry.id e) e
+      | Delete e -> Hashtbl.remove table (Entry.id e))
+    (Plookup_util.List_util.take k stream.events);
   Hashtbl.fold (fun _ e acc -> e :: acc) table []

@@ -23,19 +23,20 @@ Unknown experiments are rejected with the valid names:
 
 Table 1 is deterministic given the seed (timing line stripped):
 
-  $ ../../bin/plookup_cli.exe run table1 --scale 0.2 --csv | head -6
+  $ ../../bin/plookup_cli.exe run table1 --scale 0.2 --csv | head -7
   strategy,formula,analytic,measured (mean)
   FullReplication,h*n,1000.00,1000.00
   Fixed-20,x*n,200.00,200.00
   RandomServer-20,x*n,200.00,200.00
   RoundRobin-2,h*y,200.00,200.00
   Hash-2,h*n*(1-(1-1/n)^y),190.00,191.90
+  Chord-2,"h*min(y,n)",200.00,200.00
 
 The churn experiment's knobs are reachable from the CLI; with the
 repair layer on, every strategy heals back to full success and zero
 stale reads (timing line stripped by head):
 
-  $ ../../bin/plookup_cli.exe run churn --horizon 200 --grace 5 --repair-period 5 --csv | head -11
+  $ ../../bin/plookup_cli.exe run churn --horizon 200 --grace 5 --repair-period 5 --csv | head -13
   strategy,repair,success %,stale reads,below-t %,mean cost,restore time,repair msgs
   FullReplication,off,38.00,286,0.00,1.00,-,0
   FullReplication,full,100.00,0,0.00,1.00,-,517
@@ -47,6 +48,47 @@ stale reads (timing line stripped by head):
   RoundRobin-2,full,100.00,0,0.00,1.90,8.01,741
   Hash-2,off,42.00,266,3.00,2.93,-,0
   Hash-2,full,100.00,0,0.00,1.84,7.46,1101
+  Chord-2,off,23.00,431,9.50,2.99,-,0
+  Chord-2,full,100.00,0,0.00,1.83,6.82,1144
+
+The registered strategies — including the self-registered Chord ring —
+are listed straight from the registry, with parameter meaning and
+Table-1 storage formula:
+
+  $ ../../bin/plookup_cli.exe strategies --csv
+  strategy,spelling,parameter,storage,notes
+  FullReplication,full,-,h*n,
+  Fixed,fixed-X,X = entries replicated on every server,x*n,
+  RandomServer,randomserver-X,X = random entries kept per server,x*n,
+  RandomServerReplacing,randomserverreplacing-X,X = random entries kept per server (replaces on delete),x*n,ablation
+  RoundRobin,roundrobin-Y,Y = consecutive copies per entry,h*y,
+  RoundRobinHA,roundrobinha-YxK,"Y = consecutive copies per entry, K = coordinator replicas",h*y,ablation
+  Hash,hash-Y,Y = hash functions placing each entry,h*n*(1-(1-1/n)^y),
+  Chord,chord-Y,Y = successors holding each entry on the ring,"h*min(y,n)",
+
+A strategy typo gets a did-you-mean suggestion plus the accepted
+spellings:
+
+  $ ../../bin/plookup_cli.exe demo chrod-2
+  plookup: unknown strategy "chrod-2" (did you mean "chord"?); known: full, fixed-X, randomserver-X, randomserverreplacing-X, roundrobin-Y, roundrobinha-YxK, hash-Y, chord-Y
+  [124]
+
+Malformed parameters explain the expected form:
+
+  $ ../../bin/plookup_cli.exe demo roundrobinha-2
+  plookup: strategy "roundrobinha-2": RoundRobinHA expects the form roundrobinha-YxK where Y = consecutive copies per entry, K = coordinator replicas
+  [124]
+
+The Chord strategy is parseable and runs end to end:
+
+  $ ../../bin/plookup_cli.exe demo chord-2 --servers 3 --entries 6 --t 2 --seed 1
+  cluster n=3 seed=1
+    server 0: {v0, v1, v4, v5}
+    server 1: {v2, v3}
+    server 2: {v0, v1, v2, v3, v4, v5}
+  lookup(target=2): 2 entries from 1 servers
+  returned: v2, v3
+  storage cost: 12 entries, coverage: 6
 
 A bad repair mode is rejected up front:
 

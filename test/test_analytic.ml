@@ -4,18 +4,18 @@ module Analytic = Plookup_metrics.Analytic
 let test_storage_table1 () =
   (* The paper's canonical configuration: h=100, n=10. *)
   let n = 10 and h = 100 in
-  Helpers.close "full" 1000. (Analytic.storage Service.Full_replication ~n ~h);
-  Helpers.close "fixed-20" 200. (Analytic.storage (Service.Fixed 20) ~n ~h);
-  Helpers.close "randomserver-20" 200. (Analytic.storage (Service.Random_server 20) ~n ~h);
-  Helpers.close "round-2" 200. (Analytic.storage (Service.Round_robin 2) ~n ~h);
-  Helpers.close ~eps:1e-9 "hash-2" 190. (Analytic.storage (Service.Hash 2) ~n ~h)
+  Helpers.close "full" 1000. (Analytic.storage Service.full_replication ~n ~h);
+  Helpers.close "fixed-20" 200. (Analytic.storage (Service.fixed 20) ~n ~h);
+  Helpers.close "randomserver-20" 200. (Analytic.storage (Service.random_server 20) ~n ~h);
+  Helpers.close "round-2" 200. (Analytic.storage (Service.round_robin 2) ~n ~h);
+  Helpers.close ~eps:1e-9 "hash-2" 190. (Analytic.storage (Service.hash 2) ~n ~h)
 
 let test_storage_hash_limits () =
   (* y = 1: h copies; y -> infinity: full replication. *)
   let n = 10 and h = 100 in
-  Helpers.close "hash-1" 100. (Analytic.storage (Service.Hash 1) ~n ~h);
+  Helpers.close "hash-1" 100. (Analytic.storage (Service.hash 1) ~n ~h);
   Helpers.roughly ~rel:0.01 "hash-100 ~ full" 1000.
-    (Analytic.storage (Service.Hash 100) ~n ~h)
+    (Analytic.storage (Service.hash 100) ~n ~h)
 
 let test_round_lookup_cost () =
   let n = 10 and h = 100 and y = 2 in
@@ -103,13 +103,13 @@ let test_crossover () =
 
 let test_validation () =
   Alcotest.check_raises "bad n" (Invalid_argument "Analytic: n and h must be positive")
-    (fun () -> ignore (Analytic.storage Service.Full_replication ~n:0 ~h:10))
+    (fun () -> ignore (Analytic.storage Service.full_replication ~n:0 ~h:10))
 
 let prop_storage_nonnegative_and_bounded =
   Helpers.qcheck "hash storage between h and h*n"
     QCheck2.Gen.(triple (int_range 1 50) (int_range 1 500) (int_range 1 50))
     (fun (n, h, y) ->
-      let s = Analytic.storage (Service.Hash y) ~n ~h in
+      let s = Analytic.storage (Service.hash y) ~n ~h in
       s >= float_of_int h -. 1e-6 || y < 1 || s >= 0.)
 
 let prop_round_cost_monotone_in_t =

@@ -15,7 +15,7 @@ let manual_cluster ~n placement =
     placement;
   Net.set_handler (Cluster.net cluster) (fun dst _src msg ->
       match (msg : Msg.t) with
-      | Msg.Lookup t ->
+      | Msg.Data (Msg.Lookup t) ->
         Msg.Entries
           (Server_store.random_pick (Cluster.store cluster dst) (Cluster.rng cluster) t)
       | _ -> Msg.Ack);
@@ -183,15 +183,15 @@ let test_lookup_over_lossy_jittered_network () =
     Helpers.check_int (name ^ " distinct") t
       (List.length (List.sort_uniq compare ids))
   in
-  check_config "Fixed-40" (Plookup.Service.Fixed 40) [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ];
+  check_config "Fixed-40" (Plookup.Service.fixed 40) [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ];
   (* RoundRobin-2's strided order from server 3. *)
-  check_config "RoundRobin-2" (Plookup.Service.Round_robin 2)
+  check_config "RoundRobin-2" (Plookup.Service.round_robin 2)
     [ 3; 5; 7; 9; 1; 0; 2; 4; 6; 8 ]
 
 let test_lossy_lookup_deterministic () =
   (* Same seeds end to end => byte-identical outcome, faults included. *)
   let one () =
-    let service = Plookup.Service.create ~seed:5 ~n:10 (Plookup.Service.Round_robin 2) in
+    let service = Plookup.Service.create ~seed:5 ~n:10 (Plookup.Service.round_robin 2) in
     Plookup.Service.place service (Helpers.entries 100);
     let cluster = Plookup.Service.cluster service in
     Cluster.set_faults cluster ~seed:7 ~loss:0.2 ~duplication:0.1 ~jitter:8. ();

@@ -1,0 +1,106 @@
+open Plookup
+open Plookup_store
+
+let make ?(seed = 11) ?(n = 6) ~y () =
+  let cluster = Cluster.create ~seed ~n () in
+  (Chord.create cluster ~y, cluster)
+
+let test_servers_of_distinct () =
+  let chord, _ = make ~y:3 () in
+  List.iter
+    (fun id ->
+      let owners = Chord.servers_of chord (Entry.v id) in
+      Helpers.check_int "y owners" 3 (List.length owners);
+      Helpers.check_int "distinct" 3 (List.length (List.sort_uniq compare owners)))
+    [ 0; 1; 17; 400; 12345 ]
+
+let test_y_clamped_to_n () =
+  let chord, _ = make ~n:4 ~y:9 () in
+  Helpers.check_int "y = n" 4 (Chord.y chord);
+  Helpers.check_int "owners" 4 (List.length (Chord.servers_of chord (Entry.v 1)))
+
+let test_placement_matches_ring () =
+  let chord, _ = make ~y:2 () in
+  let batch = Helpers.entries 40 in
+  Chord.place chord batch;
+  match Chord.check_invariants chord ~placed:batch with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_add_delete_maintain_ring () =
+  let chord, _ = make ~y:2 () in
+  let batch = Helpers.entries 20 in
+  Chord.place chord batch;
+  let extra = Entry.v 999 in
+  Chord.add chord extra;
+  (match Chord.check_invariants chord ~placed:(extra :: batch) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Chord.delete chord extra;
+  match Chord.check_invariants chord ~placed:batch with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_deterministic () =
+  let owners_with_seed () =
+    let chord, _ = make ~seed:42 ~y:2 () in
+    List.map (fun id -> Chord.servers_of chord (Entry.v id)) (List.init 30 Fun.id)
+  in
+  Alcotest.(check (list (list int))) "same seed, same ring" (owners_with_seed ())
+    (owners_with_seed ())
+
+let test_partial_lookup_satisfied () =
+  let chord, _ = make ~y:2 () in
+  Chord.place chord (Helpers.entries 30);
+  let r = Chord.partial_lookup chord 10 in
+  Alcotest.(check bool) "satisfied" true (Lookup_result.satisfied r)
+
+let test_budget_truncates_round_major () =
+  (* Budget h: every entry gets its first successor copy and none gets a
+     second — coverage stays complete. *)
+  let chord, cluster = make ~y:3 () in
+  let batch = Helpers.entries 25 in
+  Chord.place ~budget:25 chord batch;
+  Helpers.check_int "one copy each" 25 (Plookup_metrics.Storage.measured cluster);
+  Helpers.check_int "coverage complete" 25 (Plookup_metrics.Coverage.measured cluster)
+
+let test_neighbour_locality () =
+  (* Chord's selling point vs Hash-y: an entry's copies sit on ring
+     neighbours, so its owner lists under y and y+1 share a prefix. *)
+  let chord2, _ = make ~seed:7 ~y:2 () in
+  let chord3, _ = make ~seed:7 ~y:3 () in
+  List.iter
+    (fun id ->
+      let o2 = Chord.servers_of chord2 (Entry.v id) in
+      let o3 = Chord.servers_of chord3 (Entry.v id) in
+      Alcotest.(check (list int)) "prefix" o2 (Plookup_util.List_util.take 2 o3))
+    (List.init 20 Fun.id)
+
+(* The extension-point proof at test level: Chord is reachable through
+   Service purely via its registration. *)
+let test_reachable_through_service () =
+  match Service.config_of_string "chord-2" with
+  | Error e -> Alcotest.fail e
+  | Ok config ->
+    Alcotest.(check string) "canonical name" "Chord-2" (Service.config_name config);
+    let service, _ = Helpers.placed_service ~n:5 ~h:20 config in
+    let r = Service.partial_lookup service 8 in
+    Alcotest.(check bool) "satisfied" true (Lookup_result.satisfied r);
+    Helpers.close "analytic storage" 40. (Service.analytic_storage config ~n:5 ~h:20)
+
+let () =
+  Helpers.run "chord"
+    [ ( "chord",
+        [ Alcotest.test_case "servers_of distinct" `Quick test_servers_of_distinct;
+          Alcotest.test_case "y clamped to n" `Quick test_y_clamped_to_n;
+          Alcotest.test_case "placement matches ring" `Quick test_placement_matches_ring;
+          Alcotest.test_case "add/delete maintain ring" `Quick
+            test_add_delete_maintain_ring;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "partial lookup satisfied" `Quick
+            test_partial_lookup_satisfied;
+          Alcotest.test_case "budget truncates round-major" `Quick
+            test_budget_truncates_round_major;
+          Alcotest.test_case "neighbour locality" `Quick test_neighbour_locality;
+          Alcotest.test_case "reachable through service" `Quick
+            test_reachable_through_service ] ) ]

@@ -20,34 +20,34 @@ let check_msg expected =
 
 let test_message_roundtrips () =
   List.iter check_msg
-    [ Msg.Place [];
-      Msg.Place [ Entry.v 0; Entry.v ~payload:"10.0.0.1:8080" 1; Entry.v 300 ];
-      Msg.Add (Entry.v 5);
-      Msg.Add (Entry.v ~payload:"" 5);
-      Msg.Delete (Entry.v 123456789);
-      Msg.Lookup 0;
-      Msg.Lookup 35;
-      Msg.Lookup 1_000_000;
-      Msg.Store (Entry.v ~payload:"x" 1);
-      Msg.Store_batch [ Entry.v 1; Entry.v 2 ];
-      Msg.Remove (Entry.v 9);
-      Msg.Add_sampled (Entry.v 77);
-      Msg.Remove_counted (Entry.v 78);
-      Msg.Fetch_candidate [];
-      Msg.Fetch_candidate [ 1; 2; 3; 1000 ];
-      Msg.Sync_add (Entry.v ~payload:"replica" 3);
-      Msg.Sync_delete (Entry.v 4);
-      Msg.Sync_state;
-      Msg.Digest_request (bitset_of [] 1);
-      Msg.Digest_request (bitset_of [ 0; 3; 63; 64 ] 70);
-      Msg.Sync_fix ([], []);
-      Msg.Sync_fix ([ Entry.v 1; Entry.v ~payload:"p" 2 ], [ 7; 8; 9 ]);
-      Msg.Hint (0, Msg.H_store, Entry.v 11);
-      Msg.Hint (3, Msg.H_remove, Entry.v ~payload:"addr" 12);
-      Msg.Hint (1, Msg.H_add_sampled, Entry.v 13);
-      Msg.Hint (2, Msg.H_remove_counted, Entry.v 14);
-      Msg.Digest_pull;
-      Msg.Repair_store (Entry.v ~payload:"sub" 21) ]
+    [ Msg.place [];
+      Msg.place [ Entry.v 0; Entry.v ~payload:"10.0.0.1:8080" 1; Entry.v 300 ];
+      Msg.add (Entry.v 5);
+      Msg.add (Entry.v ~payload:"" 5);
+      Msg.delete (Entry.v 123456789);
+      Msg.lookup 0;
+      Msg.lookup 35;
+      Msg.lookup 1_000_000;
+      Msg.store (Entry.v ~payload:"x" 1);
+      Msg.store_batch [ Entry.v 1; Entry.v 2 ];
+      Msg.remove (Entry.v 9);
+      Msg.add_sampled (Entry.v 77);
+      Msg.remove_counted (Entry.v 78);
+      Msg.fetch_candidate [];
+      Msg.fetch_candidate [ 1; 2; 3; 1000 ];
+      Msg.sync_add (Entry.v ~payload:"replica" 3);
+      Msg.sync_delete (Entry.v 4);
+      Msg.sync_state;
+      Msg.digest_request (bitset_of [] 1);
+      Msg.digest_request (bitset_of [ 0; 3; 63; 64 ] 70);
+      Msg.sync_fix [] [];
+      Msg.sync_fix [ Entry.v 1; Entry.v ~payload:"p" 2 ] [ 7; 8; 9 ];
+      Msg.hint ~target:0 Msg.H_store (Entry.v 11);
+      Msg.hint ~target:3 Msg.H_remove (Entry.v ~payload:"addr" 12);
+      Msg.hint ~target:1 Msg.H_add_sampled (Entry.v 13);
+      Msg.hint ~target:2 Msg.H_remove_counted (Entry.v 14);
+      Msg.digest_pull;
+      Msg.repair_store (Entry.v ~payload:"sub" 21) ]
 
 let test_reply_roundtrips () =
   List.iter
@@ -65,11 +65,12 @@ let test_reply_roundtrips () =
       Msg.Digest (bitset_of [ 2; 5; 100 ] 128) ]
 
 let test_empty_vs_absent_payload () =
-  (match roundtrip (Msg.Add (Entry.v 1)) with
-  | Msg.Add e -> Alcotest.(check (option string)) "absent stays absent" None (Entry.payload e)
+  (match roundtrip (Msg.add (Entry.v 1)) with
+  | Msg.Data (Msg.Add e) ->
+    Alcotest.(check (option string)) "absent stays absent" None (Entry.payload e)
   | _ -> Alcotest.fail "wrong constructor");
-  match roundtrip (Msg.Add (Entry.v ~payload:"" 1)) with
-  | Msg.Add e ->
+  match roundtrip (Msg.add (Entry.v ~payload:"" 1)) with
+  | Msg.Data (Msg.Add e) ->
     Alcotest.(check (option string)) "empty stays empty" (Some "") (Entry.payload e)
   | _ -> Alcotest.fail "wrong constructor"
 
@@ -84,13 +85,13 @@ let test_malformed_inputs () =
       "\x02\x01\x05abc" (* payload shorter than declared *) ]
 
 let test_trailing_bytes_rejected () =
-  let good = Codec.encode (Msg.Lookup 3) in
+  let good = Codec.encode (Msg.lookup 3) in
   match Codec.decode (good ^ "x") with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "accepted trailing bytes"
 
 let test_framing () =
-  let bodies = [ "hello"; ""; Codec.encode (Msg.Lookup 9) ] in
+  let bodies = [ "hello"; ""; Codec.encode (Msg.lookup 9) ] in
   let stream = String.concat "" (List.map Codec.frame bodies) in
   let rec read pos acc =
     if pos = String.length stream then List.rev acc
@@ -116,36 +117,58 @@ let gen_entry =
       (int_range 0 1_000_000)
       (option (string_size ~gen:printable (int_range 0 30))))
 
-let gen_msg =
+(* One generator per constructor of each plane, so exhaustiveness is
+   checked by the compiler: extending a plane type breaks the
+   corresponding [gen_*] match below until a generator is added. *)
+let gen_data =
   QCheck2.Gen.(
     oneof
-      [ map (fun es -> Msg.Place es) (list_size (int_range 0 20) gen_entry);
-        map (fun e -> Msg.Add e) gen_entry;
-        map (fun e -> Msg.Delete e) gen_entry;
-        map (fun t -> Msg.Lookup t) (int_range 0 10_000);
-        map (fun e -> Msg.Store e) gen_entry;
-        map (fun es -> Msg.Store_batch es) (list_size (int_range 0 20) gen_entry);
-        map (fun e -> Msg.Remove e) gen_entry;
-        map (fun e -> Msg.Add_sampled e) gen_entry;
-        map (fun e -> Msg.Remove_counted e) gen_entry;
-        map (fun ids -> Msg.Fetch_candidate ids) (list_size (int_range 0 20) (int_range 0 5000));
-        map (fun e -> Msg.Sync_add e) gen_entry;
-        map (fun e -> Msg.Sync_delete e) gen_entry;
-        return Msg.Sync_state;
-        map
-          (fun ids -> Msg.Digest_request (bitset_of ids 600))
+      [ map Msg.place (list_size (int_range 0 20) gen_entry);
+        map Msg.add gen_entry;
+        map Msg.delete gen_entry;
+        map Msg.lookup (int_range 0 10_000) ])
+
+let gen_strategy =
+  QCheck2.Gen.(
+    oneof
+      [ map Msg.store gen_entry;
+        map Msg.store_batch (list_size (int_range 0 20) gen_entry);
+        map Msg.remove gen_entry;
+        map Msg.add_sampled gen_entry;
+        map Msg.remove_counted gen_entry;
+        map Msg.fetch_candidate (list_size (int_range 0 20) (int_range 0 5000));
+        map Msg.sync_add gen_entry;
+        map Msg.sync_delete gen_entry;
+        return Msg.sync_state ])
+
+let gen_repair =
+  QCheck2.Gen.(
+    oneof
+      [ map
+          (fun ids -> Msg.digest_request (bitset_of ids 600))
           (list_size (int_range 0 30) (int_range 0 599));
-        map2
-          (fun es ids -> Msg.Sync_fix (es, ids))
+        map2 Msg.sync_fix
           (list_size (int_range 0 10) gen_entry)
           (list_size (int_range 0 10) (int_range 0 5000));
         map2
-          (fun (server, kind) e -> Msg.Hint (server, kind, e))
+          (fun (target, kind) e -> Msg.hint ~target kind e)
           (pair (int_range 0 50)
              (oneofl [ Msg.H_store; Msg.H_remove; Msg.H_add_sampled; Msg.H_remove_counted ]))
           gen_entry;
-        return Msg.Digest_pull;
-        map (fun e -> Msg.Repair_store e) gen_entry ])
+        return Msg.digest_pull;
+        map Msg.repair_store gen_entry ])
+
+let gen_msg = QCheck2.Gen.oneof [ gen_data; gen_strategy; gen_repair ]
+
+(* The plane split is type-level only: each message still decodes back
+   into the plane it was encoded from. *)
+let prop_plane_stable =
+  Helpers.qcheck ~count:300 "planes survive the roundtrip" gen_msg (fun msg ->
+      match (msg, Codec.decode (Codec.encode msg)) with
+      | Msg.Data _, Ok (Msg.Data _)
+      | Msg.Strategy _, Ok (Msg.Strategy _)
+      | Msg.Repair _, Ok (Msg.Repair _) -> true
+      | _ -> false)
 
 let prop_roundtrip =
   Helpers.qcheck ~count:500 "decode . encode = id" gen_msg (fun msg ->
@@ -176,5 +199,6 @@ let () =
           Alcotest.test_case "framing" `Quick test_framing;
           Alcotest.test_case "unframe truncated" `Quick test_unframe_truncated;
           prop_roundtrip;
+          prop_plane_stable;
           prop_decode_never_raises;
           prop_framed_roundtrip ] ) ]

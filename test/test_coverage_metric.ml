@@ -8,15 +8,15 @@ let test_complete_for_full_and_round () =
       let service, _ = Helpers.placed_service ~n:10 ~h:100 config in
       Helpers.check_int (Service.config_name config) 100
         (Coverage.measured (Service.cluster service)))
-    [ Service.Full_replication; Service.Round_robin 1; Service.Round_robin 2;
-      Service.Hash 1; Service.Hash 3 ]
+    [ Service.full_replication; Service.round_robin 1; Service.round_robin 2;
+      Service.hash 1; Service.hash 3 ]
 
 let test_fixed_coverage_is_x () =
-  let service, _ = Helpers.placed_service ~n:10 ~h:100 (Service.Fixed 20) in
+  let service, _ = Helpers.placed_service ~n:10 ~h:100 (Service.fixed 20) in
   Helpers.check_int "x" 20 (Coverage.measured (Service.cluster service))
 
 let test_failure_reduces_coverage () =
-  let service, _ = Helpers.placed_service ~n:4 ~h:8 (Service.Round_robin 1) in
+  let service, _ = Helpers.placed_service ~n:4 ~h:8 (Service.round_robin 1) in
   let cluster = Service.cluster service in
   Helpers.check_int "intact" 8 (Coverage.measured cluster);
   Cluster.fail cluster 0;
@@ -27,7 +27,7 @@ let test_failure_reduces_coverage () =
 let test_random_server_matches_formula () =
   let mean, _ =
     Coverage.measured_over_instances ~seed:5 ~n:10 ~entries:100
-      ~config:(Service.Random_server 20) ~runs:300 ()
+      ~config:(Service.random_server 20) ~runs:300 ()
   in
   Helpers.roughly ~rel:0.02 "measured ~ h(1-(1-x/h)^n)"
     (Analytic.coverage_random_server ~n:10 ~h:100 ~x:20)
@@ -38,7 +38,7 @@ let test_budget_coverage () =
     (fun budget ->
       let mean, _ =
         Coverage.measured_over_instances ~seed:3 ~n:10 ~entries:100
-          ~config:(Service.Round_robin 2) ~budget ~runs:5 ()
+          ~config:(Service.round_robin 2) ~budget ~runs:5 ()
       in
       Helpers.close
         (Printf.sprintf "round budget %d" budget)
@@ -52,7 +52,7 @@ let test_hash_budget_coverage_matches_round () =
     (fun budget ->
       let mean, _ =
         Coverage.measured_over_instances ~seed:3 ~n:10 ~entries:100
-          ~config:(Service.Hash 2) ~budget ~runs:5 ()
+          ~config:(Service.hash 2) ~budget ~runs:5 ()
       in
       Helpers.close
         (Printf.sprintf "hash budget %d" budget)
@@ -64,7 +64,7 @@ let prop_coverage_bounded_by_h =
   Helpers.qcheck "coverage never exceeds the number of live entries"
     QCheck2.Gen.(pair (int_range 1 30) (int_range 1 4))
     (fun (h, y) ->
-      let service, _ = Helpers.placed_service ~n:6 ~h (Service.Hash y) in
+      let service, _ = Helpers.placed_service ~n:6 ~h (Service.hash y) in
       Coverage.measured (Service.cluster service) <= h)
 
 let () =

@@ -1,7 +1,7 @@
 open Plookup
 open Plookup_store
 
-let make ?(default = Service.Round_robin 2) () =
+let make ?(default = Service.round_robin 2) () =
   Directory.create ~seed:5 ~n:4 ~default ()
 
 let test_empty () =
@@ -22,7 +22,7 @@ let test_place_creates_key () =
 
 let test_per_key_config () =
   let d = make () in
-  Directory.declare ~config:(Service.Fixed 3) d "hot";
+  Directory.declare ~config:(Service.fixed 3) d "hot";
   Directory.place d ~key:"hot" (Helpers.entries 10);
   Directory.place d ~key:"cold" (Helpers.entries 10);
   Alcotest.(check (option string)) "hot is fixed" (Some "Fixed-3")
@@ -60,14 +60,14 @@ let test_add_to_fresh_key () =
     (Helpers.sorted_ids r.Lookup_result.entries)
 
 let test_total_storage () =
-  let d = make ~default:Service.Full_replication () in
+  let d = make ~default:Service.full_replication () in
   Directory.place d ~key:"a" (Helpers.entries 3);
   Directory.place d ~key:"b" (Helpers.entries 2);
   (* Full replication on 4 servers: 3*4 + 2*4. *)
   Helpers.check_int "sum over keys" 20 (Directory.total_storage d)
 
 let test_pref_lookup () =
-  let d = make ~default:Service.Full_replication () in
+  let d = make ~default:Service.full_replication () in
   Directory.place d ~key:"svc" (Helpers.entries 6);
   let r =
     Directory.partial_lookup_pref d ~key:"svc"
@@ -79,7 +79,7 @@ let test_pref_lookup () =
 
 let test_deterministic () =
   let run () =
-    let d = make ~default:(Service.Random_server 3) () in
+    let d = make ~default:(Service.random_server 3) () in
     Directory.place d ~key:"k" (Helpers.entries 12);
     Helpers.sorted_ids (Directory.partial_lookup d ~key:"k" 6).Lookup_result.entries
   in
@@ -89,7 +89,7 @@ let prop_lookup_only_returns_placed =
   Helpers.qcheck ~count:50 "directory lookups return only that key's entries"
     QCheck2.Gen.(pair (int_range 1 10) (int_range 1 10))
     (fun (ha, hb) ->
-      let d = make ~default:(Service.Hash 2) () in
+      let d = make ~default:(Service.hash 2) () in
       let ea = Helpers.entries ha in
       (* Key b entries use a disjoint id range. *)
       let eb = List.init hb (fun i -> Entry.v (1000 + i)) in

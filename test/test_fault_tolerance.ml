@@ -29,7 +29,7 @@ let test_round_robin_matches_formula () =
   let n = 10 and h = 100 in
   List.iter
     (fun (y, t) ->
-      let service, _ = Helpers.placed_service ~n ~h (Service.Round_robin y) in
+      let service, _ = Helpers.placed_service ~n ~h (Service.round_robin y) in
       let p = FT.snapshot (Service.cluster service) ~capacity:h in
       Helpers.check_int
         (Printf.sprintf "round-%d t=%d" y t)
@@ -52,7 +52,7 @@ let test_validation () =
     (fun () -> ignore (FT.greedy p ~t:0))
 
 let test_snapshot_reflects_stores () =
-  let service, _ = Helpers.placed_service ~n:4 ~h:8 (Service.Round_robin 1) in
+  let service, _ = Helpers.placed_service ~n:4 ~h:8 (Service.round_robin 1) in
   let p = FT.snapshot (Service.cluster service) ~capacity:8 in
   Helpers.check_int "4 bitsets" 4 (Array.length p);
   Alcotest.(check (list int)) "server 0 entries" [ 0; 4 ] (Bitset.to_list p.(0))

@@ -1,0 +1,34 @@
+open Plookup_util
+
+let test_take () =
+  Alcotest.(check (list int)) "prefix" [ 1; 2 ] (List_util.take 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "whole list" [ 1; 2; 3 ] (List_util.take 3 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "beyond the end" [ 1; 2; 3 ] (List_util.take 10 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "zero" [] (List_util.take 0 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "negative" [] (List_util.take (-4) [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "empty list" [] (List_util.take 5 [])
+
+let test_drop () =
+  Alcotest.(check (list int)) "suffix" [ 3 ] (List_util.drop 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "whole list" [] (List_util.drop 3 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "beyond the end" [] (List_util.drop 10 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "zero" [ 1; 2; 3 ] (List_util.drop 0 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "negative" [ 1; 2; 3 ] (List_util.drop (-1) [ 1; 2; 3 ])
+
+let gen_case = QCheck2.Gen.(pair (int_range (-5) 30) (list_size (int_range 0 20) int))
+
+let prop_take_drop_partition =
+  Helpers.qcheck "take k l @ drop k l = l" gen_case (fun (k, l) ->
+      List_util.take k l @ List_util.drop k l = l)
+
+let prop_take_length =
+  Helpers.qcheck "length (take k l) = min k (length l), floored at 0" gen_case
+    (fun (k, l) -> List.length (List_util.take k l) = max 0 (min k (List.length l)))
+
+let () =
+  Helpers.run "list_util"
+    [ ( "list_util",
+        [ Alcotest.test_case "take" `Quick test_take;
+          Alcotest.test_case "drop" `Quick test_drop;
+          prop_take_drop_partition;
+          prop_take_length ] ) ]

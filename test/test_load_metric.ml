@@ -29,7 +29,7 @@ let test_empty_rejected () =
     (fun () -> ignore (Load.summarize [||]))
 
 let test_of_cluster () =
-  let service, _ = Helpers.placed_service ~n:4 ~h:8 Service.Full_replication in
+  let service, _ = Helpers.placed_service ~n:4 ~h:8 Service.full_replication in
   let cluster = Service.cluster service in
   Net.reset_counters (Cluster.net cluster);
   for _ = 1 to 50 do

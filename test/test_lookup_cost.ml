@@ -2,24 +2,24 @@ open Plookup
 module Lookup_cost = Plookup_metrics.Lookup_cost
 
 let test_full_replication_cost_one () =
-  let service, _ = Helpers.placed_service ~n:10 ~h:100 Service.Full_replication in
+  let service, _ = Helpers.placed_service ~n:10 ~h:100 Service.full_replication in
   let m = Lookup_cost.measure service ~t:50 ~lookups:200 in
   Helpers.close "cost exactly 1" 1. m.Lookup_cost.mean_cost;
   Helpers.close "no failures" 0. m.Lookup_cost.failure_rate
 
 let test_fixed_cost_one_within_x () =
-  let service, _ = Helpers.placed_service ~n:10 ~h:100 (Service.Fixed 20) in
+  let service, _ = Helpers.placed_service ~n:10 ~h:100 (Service.fixed 20) in
   let m = Lookup_cost.measure service ~t:20 ~lookups:200 in
   Helpers.close "cost 1" 1. m.Lookup_cost.mean_cost
 
 let test_fixed_fails_beyond_x () =
-  let service, _ = Helpers.placed_service ~n:10 ~h:100 (Service.Fixed 20) in
+  let service, _ = Helpers.placed_service ~n:10 ~h:100 (Service.fixed 20) in
   let m = Lookup_cost.measure service ~t:21 ~lookups:100 in
   Helpers.close "always fails" 1. m.Lookup_cost.failure_rate
 
 let test_round_robin_steps () =
   (* The Fig. 4 staircase, exactly. *)
-  let service, _ = Helpers.placed_service ~n:10 ~h:100 (Service.Round_robin 2) in
+  let service, _ = Helpers.placed_service ~n:10 ~h:100 (Service.round_robin 2) in
   List.iter
     (fun (t, expected) ->
       let m = Lookup_cost.measure service ~t ~lookups:100 in
@@ -32,7 +32,7 @@ let test_random_server_at_least_round () =
   let seed = 123 in
   let m_random =
     Lookup_cost.measure_over_instances ~seed ~n:10 ~entries:100
-      ~config:(Service.Random_server 20) ~t:40 ~runs:20 ~lookups_per_run:50 ()
+      ~config:(Service.random_server 20) ~t:40 ~runs:20 ~lookups_per_run:50 ()
   in
   Alcotest.(check bool)
     (Printf.sprintf "random (%.2f) > round (2.0)" m_random.Lookup_cost.mean_cost)
@@ -43,14 +43,14 @@ let test_hash_cost_above_one_for_small_t () =
   (* Some Hash-2 servers hold fewer than 15 entries, so the mean cost
      exceeds 1 — the paper quotes 1.124. *)
   let m =
-    Lookup_cost.measure_over_instances ~seed:7 ~n:10 ~entries:100 ~config:(Service.Hash 2)
+    Lookup_cost.measure_over_instances ~seed:7 ~n:10 ~entries:100 ~config:(Service.hash 2)
       ~t:15 ~runs:50 ~lookups_per_run:100 ()
   in
   Alcotest.(check bool) "above 1" true (m.Lookup_cost.mean_cost > 1.02);
   Alcotest.(check bool) "below 1.4" true (m.Lookup_cost.mean_cost < 1.4)
 
 let test_ci_reported () =
-  let service, _ = Helpers.placed_service ~n:10 ~h:100 (Service.Random_server 20) in
+  let service, _ = Helpers.placed_service ~n:10 ~h:100 (Service.random_server 20) in
   let m = Lookup_cost.measure service ~t:30 ~lookups:500 in
   Alcotest.(check bool) "ci positive when costs vary" true (m.Lookup_cost.ci95 >= 0.)
 
@@ -58,7 +58,7 @@ let prop_cost_at_least_one =
   Helpers.qcheck ~count:40 "mean cost >= 1 whenever lookups happen"
     QCheck2.Gen.(pair (int_range 1 20) (int_range 1 3))
     (fun (t, y) ->
-      let service, _ = Helpers.placed_service ~n:5 ~h:20 (Service.Hash y) in
+      let service, _ = Helpers.placed_service ~n:5 ~h:20 (Service.hash y) in
       let m = Lookup_cost.measure service ~t ~lookups:20 in
       m.Lookup_cost.mean_cost >= 1.)
 
@@ -67,7 +67,7 @@ let prop_cost_monotone_in_t_for_round =
     QCheck2.Gen.(pair (int_range 1 50) (int_range 1 50))
     (fun (t1, t2) ->
       let lo = min t1 t2 and hi = max t1 t2 in
-      let service, _ = Helpers.placed_service ~n:10 ~h:100 (Service.Round_robin 2) in
+      let service, _ = Helpers.placed_service ~n:10 ~h:100 (Service.round_robin 2) in
       let cost t = (Lookup_cost.measure service ~t ~lookups:20).Lookup_cost.mean_cost in
       cost lo <= cost hi +. 1e-9)
 

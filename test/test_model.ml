@@ -58,7 +58,7 @@ let prop_full_replication_tracks_live =
   Helpers.qcheck ~count:100 "full replication: every server holds exactly the live set"
     gen_ops
     (fun ops ->
-      run_scenario Service.Full_replication ops ~check:(fun service live ->
+      run_scenario Service.full_replication ops ~check:(fun service live ->
           let cluster = Service.cluster service in
           List.for_all
             (fun s -> store_ids (Cluster.store cluster s) = live_ids live)
@@ -69,7 +69,7 @@ let prop_fixed_servers_identical_and_live =
     gen_ops
     (fun ops ->
       let x = 6 in
-      run_scenario (Service.Fixed x) ops ~check:(fun service live ->
+      run_scenario (Service.fixed x) ops ~check:(fun service live ->
           let cluster = Service.cluster service in
           let reference = store_ids (Cluster.store cluster 0) in
           List.length reference <= x
@@ -83,7 +83,7 @@ let prop_random_server_bounded_and_live =
     gen_ops
     (fun ops ->
       let x = 6 in
-      run_scenario (Service.Random_server x) ops ~check:(fun service live ->
+      run_scenario (Service.random_server x) ops ~check:(fun service live ->
           let cluster = Service.cluster service in
           List.for_all
             (fun s ->
@@ -95,7 +95,7 @@ let prop_round_robin_exactly_live =
   Helpers.qcheck ~count:100 "round robin: placement invariant + coverage = live set"
     gen_ops
     (fun ops ->
-      run_scenario (Service.Round_robin 2) ops ~check:(fun service live ->
+      run_scenario (Service.round_robin 2) ops ~check:(fun service live ->
           let cluster = Service.cluster service in
           let coverage =
             Entry.Set.elements (Cluster.coverage cluster) |> List.map Entry.id
@@ -106,7 +106,7 @@ let prop_hash_exactly_live =
   Helpers.qcheck ~count:100 "hash: coverage = live set and copies at hashed servers"
     gen_ops
     (fun ops ->
-      run_scenario (Service.Hash 2) ops ~check:(fun service live ->
+      run_scenario (Service.hash 2) ops ~check:(fun service live ->
           let cluster = Service.cluster service in
           let coverage =
             Entry.Set.elements (Cluster.coverage cluster) |> List.map Entry.id
@@ -119,8 +119,8 @@ let prop_lookups_return_live_entries =
     (fun (strategy_index, ops) ->
       let config =
         List.nth
-          [ Service.Full_replication; Service.Fixed 6; Service.Random_server 6;
-            Service.Random_server_replacing 6; Service.Round_robin 2; Service.Hash 2 ]
+          [ Service.full_replication; Service.fixed 6; Service.random_server 6;
+            Service.random_server_replacing 6; Service.round_robin 2; Service.hash 2 ]
           strategy_index
       in
       run_scenario config ops ~check:(fun service live ->
@@ -134,11 +134,11 @@ let prop_storage_conservation =
       let n = 5 in
       let config, bound =
         List.nth
-          [ (Service.Full_replication, fun live -> live * n);
-            (Service.Fixed 6, fun _ -> 6 * n);
-            (Service.Random_server 6, fun _ -> 6 * n);
-            (Service.Round_robin 2, fun live -> live * 2);
-            (Service.Hash 2, fun live -> live * 2) ]
+          [ (Service.full_replication, fun live -> live * n);
+            (Service.fixed 6, fun _ -> 6 * n);
+            (Service.random_server 6, fun _ -> 6 * n);
+            (Service.round_robin 2, fun live -> live * 2);
+            (Service.hash 2, fun live -> live * 2) ]
           strategy_index
       in
       run_scenario config ops ~check:(fun service live ->

@@ -14,7 +14,7 @@ let manual_cluster ~n placement =
     placement;
   Net.set_handler (Cluster.net cluster) (fun dst _src msg ->
       match (msg : Msg.t) with
-      | Msg.Lookup t ->
+      | Msg.Data (Msg.Lookup t) ->
         Msg.Entries
           (Server_store.random_pick (Cluster.store cluster dst) (Cluster.rng cluster) t)
       | _ -> Msg.Ack);

@@ -11,13 +11,13 @@ module Net = Plookup_net.Net
 module Churn = Plookup_workload.Churn
 
 let all_configs =
-  [ Service.Full_replication;
-    Service.Fixed 60;
-    Service.Random_server 20;
-    Service.Random_server_replacing 20;
-    Service.Round_robin 2;
-    Service.Round_robin_replicated (2, 2);
-    Service.Hash 2 ]
+  [ Service.full_replication;
+    Service.fixed 60;
+    Service.random_server 20;
+    Service.random_server_replacing 20;
+    Service.round_robin 2;
+    Service.round_robin_replicated 2 2;
+    Service.hash 2 ]
 
 let store_ids cluster i = List.sort compare (Server_store.ids (Cluster.store cluster i))
 
@@ -125,7 +125,7 @@ let test_no_update_round_trip_identical () =
    covers it instead. *)
 let test_hint_ttl () =
   let repair = { Repair.default_config with Repair.hint_ttl = 5. } in
-  let service = Service.create ~seed:9 ~repair ~n:4 (Service.Hash 2) in
+  let service = Service.create ~seed:9 ~repair ~n:4 (Service.hash 2) in
   let gen = Entry.Gen.create () in
   let batch = Entry.Gen.batch gen 30 in
   Service.place service batch;
@@ -155,7 +155,7 @@ let test_hint_ttl () =
    is evicted. *)
 let test_hint_capacity () =
   let repair = { Repair.default_config with Repair.hint_capacity = 2 } in
-  let service = Service.create ~seed:5 ~repair ~n:3 (Service.Fixed 10) in
+  let service = Service.create ~seed:5 ~repair ~n:3 (Service.fixed 10) in
   let gen = Entry.Gen.create () in
   Service.place service (Entry.Gen.batch gen 4);
   let cluster = Service.cluster service in
@@ -171,7 +171,7 @@ let test_hint_capacity () =
    is down; once the owner returns, the substitutes are trimmed again so
    storage returns to its pre-failure footprint. *)
 let test_daemon_restores_degree () =
-  let service = Service.create ~seed:13 ~repair:Repair.default_config ~n:5 (Service.Hash 2) in
+  let service = Service.create ~seed:13 ~repair:Repair.default_config ~n:5 (Service.hash 2) in
   let gen = Entry.Gen.create () in
   let batch = Entry.Gen.batch gen 40 in
   Service.place service batch;
@@ -211,7 +211,7 @@ let test_daemon_restores_degree () =
 (* Repair traffic is tallied apart from the paper's lookup/update
    message cost, and plain lookups never count as repair. *)
 let test_repair_message_accounting () =
-  let service = Service.create ~seed:2 ~repair:Repair.default_config ~n:4 (Service.Fixed 30) in
+  let service = Service.create ~seed:2 ~repair:Repair.default_config ~n:4 (Service.fixed 30) in
   let gen = Entry.Gen.create () in
   Service.place service (Entry.Gen.batch gen 20);
   let cluster = Service.cluster service in
@@ -234,7 +234,7 @@ let test_repair_message_accounting () =
 let test_deterministic () =
   let scenario () =
     let service =
-      Service.create ~seed:77 ~repair:Repair.default_config ~n:6 (Service.Hash 2)
+      Service.create ~seed:77 ~repair:Repair.default_config ~n:6 (Service.hash 2)
     in
     let gen = Entry.Gen.create () in
     Service.place service (Entry.Gen.batch gen 30);

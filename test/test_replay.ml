@@ -22,7 +22,7 @@ let stream_of_events ~initial events =
 
 let test_run_applies_events () =
   let stream = stream_of_events ~initial:3 [ (1., `Add 10); (2., `Delete 0) ] in
-  let service = Service.create ~seed:1 ~n:2 Service.Full_replication in
+  let service = Service.create ~seed:1 ~n:2 Service.full_replication in
   Replay.run service stream;
   let store = Cluster.store (Service.cluster service) 0 in
   Alcotest.(check bool) "added" true (Server_store.mem store (Entry.v 10));
@@ -33,7 +33,7 @@ let test_on_event_callback () =
   let stream =
     stream_of_events ~initial:1 [ (1., `Add 5); (4., `Add 6); (4.5, `Delete 5) ]
   in
-  let service = Service.create ~seed:1 ~n:2 Service.Full_replication in
+  let service = Service.create ~seed:1 ~n:2 Service.full_replication in
   let points = ref [] in
   Replay.run
     ~on_event:(fun p _ -> points := (p.Replay.index, p.Replay.time, p.Replay.elapsed) :: !points)
@@ -56,7 +56,7 @@ let test_run_timed_failure_share () =
   let stream =
     stream_of_events ~initial:2 [ (1., `Delete 0); (3., `Add 10); (5., `Add 11) ]
   in
-  let service = Service.create ~seed:1 ~n:2 Service.Full_replication in
+  let service = Service.create ~seed:1 ~n:2 Service.full_replication in
   let failed s =
     Server_store.cardinal (Cluster.store (Service.cluster s) 0) < 2
   in
@@ -64,17 +64,17 @@ let test_run_timed_failure_share () =
 
 let test_run_timed_never_failing () =
   let stream = stream_of_events ~initial:2 [ (1., `Add 5); (2., `Add 6) ] in
-  let service = Service.create ~seed:1 ~n:2 Service.Full_replication in
+  let service = Service.create ~seed:1 ~n:2 Service.full_replication in
   Helpers.close "zero share" 0. (Replay.run_timed ~service ~stream ~failed:(fun _ -> false))
 
 let test_run_timed_empty_stream () =
   let stream = stream_of_events ~initial:2 [] in
-  let service = Service.create ~seed:1 ~n:2 Service.Full_replication in
+  let service = Service.create ~seed:1 ~n:2 Service.full_replication in
   Helpers.close "no time elapsed" 0. (Replay.run_timed ~service ~stream ~failed:(fun _ -> true))
 
 let test_messages_excludes_place () =
   let stream = stream_of_events ~initial:10 [ (1., `Add 20); (2., `Delete 0) ] in
-  let service = Service.create ~seed:1 ~n:4 Service.Full_replication in
+  let service = Service.create ~seed:1 ~n:4 Service.full_replication in
   let msgs = Replay.messages_for_updates ~service ~stream in
   (* Full replication: each update costs 1 + n = 5; the place traffic
      (1 + n with a big batch) must not be counted. *)
@@ -84,7 +84,7 @@ let test_messages_fixed_selective () =
   (* Fixed-x with x larger than will ever fill: every add broadcasts,
      deletes of untracked entries cost 1. *)
   let stream = stream_of_events ~initial:2 [ (1., `Add 10); (2., `Delete 99) ] in
-  let service = Service.create ~seed:1 ~n:4 (Service.Fixed 10) in
+  let service = Service.create ~seed:1 ~n:4 (Service.fixed 10) in
   Helpers.check_int "broadcast add + cheap delete" 6
     (Replay.messages_for_updates ~service ~stream)
 
@@ -97,7 +97,7 @@ let test_fig12_style_cushion_comparison () =
         { Update_gen.steady_entries = 50; add_period = 10.; tail_heavy = false;
           updates = 4000 }
     in
-    let service = Service.create ~seed:7 ~n:5 (Service.Fixed (10 + b)) in
+    let service = Service.create ~seed:7 ~n:5 (Service.fixed (10 + b)) in
     Replay.run_timed ~service ~stream ~failed:(fun s ->
         Server_store.cardinal (Cluster.store (Service.cluster s) 0) < 10)
   in

@@ -4,13 +4,13 @@ open Plookup_store
 let test_config_names () =
   List.iter
     (fun (config, expected) -> Helpers.check_string "name" expected (Service.config_name config))
-    [ (Service.Full_replication, "FullReplication");
-      (Service.Fixed 20, "Fixed-20");
-      (Service.Random_server 20, "RandomServer-20");
-      (Service.Random_server_replacing 5, "RandomServerReplacing-5");
-      (Service.Round_robin 2, "RoundRobin-2");
-      (Service.Round_robin_replicated (2, 3), "RoundRobinHA-2x3");
-      (Service.Hash 2, "Hash-2") ]
+    [ (Service.full_replication, "FullReplication");
+      (Service.fixed 20, "Fixed-20");
+      (Service.random_server 20, "RandomServer-20");
+      (Service.random_server_replacing 5, "RandomServerReplacing-5");
+      (Service.round_robin 2, "RoundRobin-2");
+      (Service.round_robin_replicated 2 3, "RoundRobinHA-2x3");
+      (Service.hash 2, "Hash-2") ]
 
 let test_config_parse_roundtrip () =
   List.iter
@@ -21,13 +21,13 @@ let test_config_parse_roundtrip () =
         Alcotest.failf "roundtrip changed %s into %s" (Service.config_name config)
           (Service.config_name other)
       | Error msg -> Alcotest.fail msg)
-    [ Service.Full_replication;
-      Service.Fixed 20;
-      Service.Random_server 7;
-      Service.Random_server_replacing 7;
-      Service.Round_robin 3;
-      Service.Round_robin_replicated (2, 2);
-      Service.Hash 1 ]
+    [ Service.full_replication;
+      Service.fixed 20;
+      Service.random_server 7;
+      Service.random_server_replacing 7;
+      Service.round_robin 3;
+      Service.round_robin_replicated 2 2;
+      Service.hash 1 ]
 
 let test_config_parse_aliases () =
   List.iter
@@ -35,18 +35,18 @@ let test_config_parse_aliases () =
       match Service.config_of_string s with
       | Ok parsed when parsed = expected -> ()
       | Ok _ | Error _ -> Alcotest.failf "failed to parse %S" s)
-    [ ("full", Service.Full_replication);
-      ("FULL", Service.Full_replication);
-      ("replication", Service.Full_replication);
-      ("fixed-20", Service.Fixed 20);
-      ("random-9", Service.Random_server 9);
-      ("randomserver-9", Service.Random_server 9);
-      ("round-2", Service.Round_robin 2);
-      ("round_robin-2", Service.Round_robin 2);
-      ("roundrobinha-2x3", Service.Round_robin_replicated (2, 3));
-      ("RoundRobinHA-1x2", Service.Round_robin_replicated (1, 2));
-      ("roundha-2x2", Service.Round_robin_replicated (2, 2));
-      ("hash-4", Service.Hash 4) ]
+    [ ("full", Service.full_replication);
+      ("FULL", Service.full_replication);
+      ("replication", Service.full_replication);
+      ("fixed-20", Service.fixed 20);
+      ("random-9", Service.random_server 9);
+      ("randomserver-9", Service.random_server 9);
+      ("round-2", Service.round_robin 2);
+      ("round_robin-2", Service.round_robin 2);
+      ("roundrobinha-2x3", Service.round_robin_replicated 2 3);
+      ("RoundRobinHA-1x2", Service.round_robin_replicated 1 2);
+      ("roundha-2x2", Service.round_robin_replicated 2 2);
+      ("hash-4", Service.hash 4) ]
 
 let test_config_parse_rejects () =
   List.iter
@@ -58,39 +58,43 @@ let test_config_parse_rejects () =
       "roundrobinha-0x2"; "roundrobinha-2x0"; "roundrobinha-axb" ]
 
 let test_param () =
-  Alcotest.(check (option int)) "full" None (Service.param Service.Full_replication);
-  Alcotest.(check (option int)) "fixed" (Some 20) (Service.param (Service.Fixed 20));
-  Alcotest.(check (option int)) "hash" (Some 2) (Service.param (Service.Hash 2))
+  Alcotest.(check (option int)) "full" None (Service.param Service.full_replication);
+  Alcotest.(check (option int)) "fixed" (Some 20) (Service.param (Service.fixed 20));
+  Alcotest.(check (option int)) "hash" (Some 2) (Service.param (Service.hash 2))
 
 let test_storage_for_budget () =
   let n = 10 and h = 100 and total = 200 in
   Alcotest.(check bool) "fixed x=20" true
-    (Service.storage_for_budget (Service.Fixed 1) ~n ~h ~total = Service.Fixed 20);
+    (Service.storage_for_budget (Service.fixed 1) ~n ~h ~total = Service.fixed 20);
   Alcotest.(check bool) "random x=20" true
-    (Service.storage_for_budget (Service.Random_server 1) ~n ~h ~total
-    = Service.Random_server 20);
+    (Service.storage_for_budget (Service.random_server 1) ~n ~h ~total
+    = Service.random_server 20);
   Alcotest.(check bool) "round y=2" true
-    (Service.storage_for_budget (Service.Round_robin 1) ~n ~h ~total = Service.Round_robin 2);
+    (Service.storage_for_budget (Service.round_robin 1) ~n ~h ~total = Service.round_robin 2);
   Alcotest.(check bool) "hash y=2" true
-    (Service.storage_for_budget (Service.Hash 1) ~n ~h ~total = Service.Hash 2);
+    (Service.storage_for_budget (Service.hash 1) ~n ~h ~total = Service.hash 2);
   (* Tiny budgets floor at parameter 1. *)
   Alcotest.(check bool) "floors at 1" true
-    (Service.storage_for_budget (Service.Fixed 1) ~n ~h ~total:5 = Service.Fixed 1)
+    (Service.storage_for_budget (Service.fixed 1) ~n ~h ~total:5 = Service.fixed 1)
 
 let test_all_configs () =
-  let configs = Service.all_configs ~budget:200 ~n:10 ~h:100 in
-  Helpers.check_int "five strategies" 5 (List.length configs);
+  let configs = Service.all_configs ~budget:200 ~n:10 ~h:100 () in
+  Helpers.check_int "six strategies" 6 (List.length configs);
   Alcotest.(check bool) "starts with full replication" true
-    (List.hd configs = Service.Full_replication)
+    (List.hd configs = Service.full_replication);
+  Alcotest.(check bool) "self-registered Chord is enumerated" true
+    (List.mem (Service.v ~kind:"Chord" ~params:[ 2 ]) configs);
+  let with_ablations = Service.all_configs ~ablations:true ~budget:200 ~n:10 ~h:100 () in
+  Helpers.check_int "ablations add two variants" 8 (List.length with_ablations)
 
 let all_strategies =
-  [ Service.Full_replication;
-    Service.Fixed 8;
-    Service.Random_server 8;
-    Service.Random_server_replacing 8;
-    Service.Round_robin 2;
-    Service.Round_robin_replicated (2, 2);
-    Service.Hash 2 ]
+  [ Service.full_replication;
+    Service.fixed 8;
+    Service.random_server 8;
+    Service.random_server_replacing 8;
+    Service.round_robin 2;
+    Service.round_robin_replicated 2 2;
+    Service.hash 2 ]
 
 let test_place_lookup_every_strategy () =
   List.iter
@@ -118,14 +122,14 @@ let test_add_delete_every_strategy () =
 
 let test_deterministic_given_seed () =
   let run () =
-    let service, _ = Helpers.placed_service ~seed:99 ~n:6 ~h:30 (Service.Random_server 6) in
+    let service, _ = Helpers.placed_service ~seed:99 ~n:6 ~h:30 (Service.random_server 6) in
     let r = Service.partial_lookup service 12 in
     (Helpers.sorted_ids r.Lookup_result.entries, r.Lookup_result.servers_contacted)
   in
   Alcotest.(check bool) "identical replays" true (run () = run ())
 
 let test_lookup_pref_returns_cheapest () =
-  let service, batch = Helpers.placed_service ~n:4 ~h:12 Service.Full_replication in
+  let service, batch = Helpers.placed_service ~n:4 ~h:12 Service.full_replication in
   (* Cost = id: the t cheapest entries are ids 0..t-1. *)
   let cost e = float_of_int (Entry.id e) in
   let r = Service.partial_lookup_pref service ~cost 4 in
@@ -136,14 +140,14 @@ let test_lookup_pref_returns_cheapest () =
 let test_lookup_pref_spans_servers () =
   (* Round-robin: the cheapest entries may live on specific servers; the
      preference lookup must find them anyway. *)
-  let service, _ = Helpers.placed_service ~n:4 ~h:12 (Service.Round_robin 1) in
+  let service, _ = Helpers.placed_service ~n:4 ~h:12 (Service.round_robin 1) in
   let cost e = float_of_int (Entry.id e) in
   let r = Service.partial_lookup_pref service ~cost 3 in
   Alcotest.(check (list int)) "three cheapest" [ 0; 1; 2 ]
     (Helpers.sorted_ids r.Lookup_result.entries)
 
 let test_reachability_restriction () =
-  let service, _ = Helpers.placed_service ~n:4 ~h:12 (Service.Round_robin 1) in
+  let service, _ = Helpers.placed_service ~n:4 ~h:12 (Service.round_robin 1) in
   (* Only servers 0 and 1 reachable: entries on 2 and 3 unreachable. *)
   let reachable s = s < 2 in
   let r = Service.partial_lookup ~reachable service 12 in
@@ -156,7 +160,7 @@ let test_reachability_restriction () =
 
 let test_of_cluster_rebinds () =
   let cluster = Cluster.create ~seed:1 ~n:4 () in
-  let service = Service.of_cluster cluster (Service.Fixed 5) in
+  let service = Service.of_cluster cluster (Service.fixed 5) in
   Service.place service (Helpers.entries 10);
   Helpers.check_int "placed through existing cluster" 20 (Cluster.total_stored cluster)
 

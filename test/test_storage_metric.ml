@@ -11,23 +11,23 @@ let test_measured_matches_analytic_deterministic () =
         (Service.config_name config)
         (Analytic.storage config ~n:10 ~h:100)
         (float_of_int (Storage.measured (Service.cluster service))))
-    [ Service.Full_replication; Service.Fixed 20; Service.Random_server 20;
-      Service.Round_robin 2 ]
+    [ Service.full_replication; Service.fixed 20; Service.random_server 20;
+      Service.round_robin 2 ]
 
 let test_per_server () =
-  let service, _ = Helpers.placed_service ~n:4 ~h:8 (Service.Round_robin 1) in
+  let service, _ = Helpers.placed_service ~n:4 ~h:8 (Service.round_robin 1) in
   Alcotest.(check (list int)) "balanced" [ 2; 2; 2; 2 ]
     (Array.to_list (Storage.per_server (Service.cluster service)))
 
 let test_imbalance () =
-  let round, _ = Helpers.placed_service ~n:10 ~h:100 (Service.Round_robin 2) in
+  let round, _ = Helpers.placed_service ~n:10 ~h:100 (Service.round_robin 2) in
   Alcotest.(check bool) "round balanced within y" true
     (Storage.imbalance (Service.cluster round) <= 2);
-  let fixed, _ = Helpers.placed_service ~n:10 ~h:100 (Service.Fixed 20) in
+  let fixed, _ = Helpers.placed_service ~n:10 ~h:100 (Service.fixed 20) in
   Helpers.check_int "fixed perfectly balanced" 0 (Storage.imbalance (Service.cluster fixed))
 
 let test_counts_failed_servers () =
-  let service, _ = Helpers.placed_service ~n:4 ~h:8 Service.Full_replication in
+  let service, _ = Helpers.placed_service ~n:4 ~h:8 Service.full_replication in
   let cluster = Service.cluster service in
   Cluster.fail cluster 0;
   Helpers.check_int "storage unchanged by failure" 32 (Storage.measured cluster)
@@ -36,7 +36,7 @@ let prop_measured_is_sum_of_per_server =
   Helpers.qcheck "measured = sum(per_server)"
     QCheck2.Gen.(int_range 1 40)
     (fun h ->
-      let service, _ = Helpers.placed_service ~n:5 ~h (Service.Hash 2) in
+      let service, _ = Helpers.placed_service ~n:5 ~h (Service.hash 2) in
       let cluster = Service.cluster service in
       Storage.measured cluster
       = Array.fold_left ( + ) 0 (Storage.per_server cluster))

@@ -1,0 +1,159 @@
+open Plookup
+open Plookup_store
+module Net = Plookup_net.Net
+
+(* The registry is the single source of truth for which strategies
+   exist; these tests pin its parsing/enumeration behaviour and assert
+   the totality contract the typed message planes give every registered
+   strategy. *)
+
+let metas () =
+  List.map (fun (module S : Strategy_intf.S) -> S.meta) (Strategy_registry.all ())
+
+let test_all_sorted_by_rank () =
+  let ranks = List.map (fun m -> m.Strategy_intf.rank) (metas ()) in
+  Alcotest.(check (list int)) "rank order" (List.sort compare ranks) ranks;
+  Alcotest.(check bool) "all six core strategies plus both ablations" true
+    (List.length ranks >= 8)
+
+let test_find_is_case_insensitive () =
+  List.iter
+    (fun name ->
+      match Strategy_registry.find name with
+      | Some (module S) ->
+        Alcotest.(check string) name "RoundRobin" S.meta.Strategy_intf.name
+      | None -> Alcotest.failf "find %S failed" name)
+    [ "RoundRobin"; "roundrobin"; "ROUND"; " round_robin " ]
+
+let test_parse_valid () =
+  List.iter
+    (fun (input, expected) ->
+      match Strategy_registry.parse input with
+      | Ok (name, params) ->
+        Alcotest.(check string) input (fst expected) name;
+        Alcotest.(check (list int)) input (snd expected) params
+      | Error e -> Alcotest.failf "parse %S: %s" input e)
+    [ ("full", ("FullReplication", []));
+      ("fixed-20", ("Fixed", [ 20 ]));
+      ("chord-2", ("Chord", [ 2 ]));
+      ("ring-3", ("Chord", [ 3 ]));
+      ("roundrobinha-2x3", ("RoundRobinHA", [ 2; 3 ]))
+    ]
+
+let test_parse_invalid () =
+  List.iter
+    (fun input ->
+      match Strategy_registry.parse input with
+      | Ok (name, _) -> Alcotest.failf "parse %S accepted as %s" input name
+      | Error _ -> ())
+    [ ""; "fixed"; "fixed-0"; "fixed--3"; "fixed-2x3"; "roundrobinha-2"; "full-1";
+      "nonsense-4"; "hash-" ]
+
+let test_suggestions () =
+  List.iter
+    (fun (input, expected_hint) ->
+      match Strategy_registry.parse input with
+      | Ok _ -> Alcotest.failf "parse %S unexpectedly succeeded" input
+      | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%S error mentions %S (got: %s)" input expected_hint e)
+          true
+          (Helpers.contains e expected_hint))
+    [ ("chrod-2", "chord"); ("fxied-20", "fixed"); ("hsah-2", "hash") ]
+
+let test_spelling_in_unknown_error () =
+  match Strategy_registry.parse "frobnicate-3" with
+  | Ok _ -> Alcotest.fail "accepted garbage"
+  | Error e ->
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool)
+          (Printf.sprintf "lists %S" needle)
+          true (Helpers.contains e needle))
+      [ "full"; "fixed-X"; "chord-Y" ]
+
+(* Default parameters giving every strategy a working tiny instance. *)
+let params_for (m : Strategy_intf.meta) =
+  match m.Strategy_intf.arity with 0 -> [] | 1 -> [ 3 ] | _ -> [ 2; 2 ]
+
+(* Every wire message, one per constructor across the three planes. *)
+let every_message =
+  let e = Entry.v 1 in
+  let bits = Plookup_util.Bitset.create 8 in
+  [ Msg.place [ e; Entry.v 2 ];
+    Msg.add e;
+    Msg.delete e;
+    Msg.lookup 2;
+    Msg.store e;
+    Msg.store_batch [ e ];
+    Msg.remove e;
+    Msg.add_sampled e;
+    Msg.remove_counted e;
+    Msg.fetch_candidate [ 1; 2 ];
+    Msg.sync_add e;
+    Msg.sync_delete e;
+    Msg.sync_state;
+    Msg.digest_request bits;
+    Msg.sync_fix [ e ] [ 2 ];
+    Msg.hint ~target:0 Msg.H_store e;
+    Msg.digest_pull;
+    Msg.repair_store e ]
+
+(* The totality contract: with the handlers exhaustive over their typed
+   planes (no catch-all invalid_arg left), any registered strategy must
+   answer any message — its own planes and other strategies' internal
+   traffic alike — without raising. *)
+let test_every_strategy_handles_every_message () =
+  List.iter
+    (fun (module S : Strategy_intf.S) ->
+      let m = S.meta in
+      let config = Service.v ~kind:m.Strategy_intf.name ~params:(params_for m) in
+      let service = Service.create ~seed:3 ~n:4 config in
+      Service.place service (Helpers.entries 10);
+      let net = Cluster.net (Service.cluster service) in
+      List.iter
+        (fun msg ->
+          for dst = 0 to 3 do
+            try ignore (Net.send net ~src:Net.Client ~dst msg)
+            with exn ->
+              Alcotest.failf "%s: server %d raised %s on %s"
+                m.Strategy_intf.name dst (Printexc.to_string exn)
+                (Format.asprintf "%a" Msg.pp msg)
+          done)
+        every_message)
+    (Strategy_registry.all ())
+
+(* The service must stay functional after the bombardment (whose
+   store/remove messages legitimately rewrite stores): a fresh placement
+   still answers lookups through the public API. *)
+let test_every_strategy_lookup_after_foreign_traffic () =
+  List.iter
+    (fun (module S : Strategy_intf.S) ->
+      let m = S.meta in
+      let config = Service.v ~kind:m.Strategy_intf.name ~params:(params_for m) in
+      let service = Service.create ~seed:5 ~n:4 config in
+      Service.place service (Helpers.entries 12);
+      let net = Cluster.net (Service.cluster service) in
+      List.iter (fun msg -> ignore (Net.send net ~src:Net.Client ~dst:0 msg)) every_message;
+      Service.place service (Helpers.entries 12);
+      let r = Service.partial_lookup service 2 in
+      Alcotest.(check bool)
+        (m.Strategy_intf.name ^ " still answers")
+        true
+        (Lookup_result.satisfied r))
+    (Strategy_registry.all ())
+
+let () =
+  Helpers.run "strategy_registry"
+    [ ( "strategy_registry",
+        [ Alcotest.test_case "sorted by rank" `Quick test_all_sorted_by_rank;
+          Alcotest.test_case "find case-insensitive" `Quick test_find_is_case_insensitive;
+          Alcotest.test_case "parse valid" `Quick test_parse_valid;
+          Alcotest.test_case "parse invalid" `Quick test_parse_invalid;
+          Alcotest.test_case "typo suggestions" `Quick test_suggestions;
+          Alcotest.test_case "unknown error lists spellings" `Quick
+            test_spelling_in_unknown_error;
+          Alcotest.test_case "every strategy handles every message" `Quick
+            test_every_strategy_handles_every_message;
+          Alcotest.test_case "lookup survives foreign traffic" `Quick
+            test_every_strategy_lookup_after_foreign_traffic ] ) ]

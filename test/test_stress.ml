@@ -112,7 +112,7 @@ let test_large_configuration () =
         Alcotest.failf "%s failed at scale" (Service.config_name config);
       let coverage = Plookup_metrics.Coverage.measured (Service.cluster service) in
       if coverage < 150 then Alcotest.failf "%s coverage too small" (Service.config_name config))
-    [ Service.Round_robin 3; Service.Hash 3; Service.Random_server 60 ]
+    [ Service.round_robin 3; Service.hash 3; Service.random_server 60 ]
 
 (* Sustained updates at scale: 20k updates through the cheap strategies
    must complete and keep the occupancy law. *)
@@ -123,7 +123,7 @@ let test_large_update_stream () =
       { Plookup_workload.Update_gen.steady_entries = h; add_period = 10.;
         tail_heavy = false; updates = 20_000 }
   in
-  let service = Service.create ~seed:3 ~n (Service.Hash 2) in
+  let service = Service.create ~seed:3 ~n (Service.hash 2) in
   Plookup_workload.Replay.run service stream;
   let live = Plookup_workload.Update_gen.live_after stream 20_000 in
   Helpers.check_int "coverage tracks live set" (List.length live)

@@ -7,17 +7,17 @@ let measure ?(t = 5) ?(lookups = 4000) config ~n ~h =
 
 let test_full_replication_fair () =
   (* Only Monte-Carlo noise remains: sqrt((1-p)/(m p)) ~ 0.05 here. *)
-  let u = measure ~t:5 ~lookups:20_000 Service.Full_replication ~n:4 ~h:20 in
+  let u = measure ~t:5 ~lookups:20_000 Service.full_replication ~n:4 ~h:20 in
   Alcotest.(check bool) "near zero" true (u < 0.1)
 
 let test_round_robin_fair () =
-  let u = measure ~t:5 ~lookups:20_000 (Service.Round_robin 2) ~n:4 ~h:20 in
+  let u = measure ~t:5 ~lookups:20_000 (Service.round_robin 2) ~n:4 ~h:20 in
   Alcotest.(check bool) "near zero" true (u < 0.12)
 
 let test_fixed_unfair () =
   (* Fixed-5 of 20 entries, t=5: tracked entries returned always, the
      other 15 never.  U = sqrt(15/5) = sqrt(3). *)
-  let u = measure ~t:5 ~lookups:5_000 (Service.Fixed 5) ~n:4 ~h:20 in
+  let u = measure ~t:5 ~lookups:5_000 (Service.fixed 5) ~n:4 ~h:20 in
   Helpers.roughly ~rel:0.05 "sqrt(h/x - 1)" (sqrt 3.) u
 
 let test_ordering_matches_paper () =
@@ -25,8 +25,8 @@ let test_ordering_matches_paper () =
      RandomServer at equal storage (the paper says "an order of
      magnitude"; under Eq. 1 the gap at t=35 is a robust factor ~2.3 —
      see EXPERIMENTS.md on the paper's fig-9 normalization). *)
-  let u_fixed = measure ~t:35 ~lookups:3_000 (Service.Fixed 20) ~n:10 ~h:100 in
-  let u_random = measure ~t:35 ~lookups:3_000 (Service.Random_server 20) ~n:10 ~h:100 in
+  let u_fixed = measure ~t:35 ~lookups:3_000 (Service.fixed 20) ~n:10 ~h:100 in
+  let u_random = measure ~t:35 ~lookups:3_000 (Service.random_server 20) ~n:10 ~h:100 in
   Alcotest.(check bool)
     (Printf.sprintf "fixed (%.2f) >> randomserver (%.2f)" u_fixed u_random)
     true
@@ -37,7 +37,7 @@ let test_fig8_randomserver1_instances () =
      likely instances; two are perfectly fair, two maximally unfair, so
      the strategy unfairness is ~1/2. *)
   let mean, _ =
-    Unfairness.of_strategy ~seed:11 ~n:2 ~entries:2 ~config:(Service.Random_server 1) ~t:1
+    Unfairness.of_strategy ~seed:11 ~n:2 ~entries:2 ~config:(Service.random_server 1) ~t:1
       ~instances:400 ~lookups_per_instance:400 ()
   in
   Helpers.roughly ~rel:0.15 "strategy unfairness ~ 0.5" 0.5 mean
@@ -45,11 +45,11 @@ let test_fig8_randomserver1_instances () =
 let test_missing_entries_floor () =
   (* Entries beyond the coverage contribute p=0: Fixed-2 of 10 entries at
      t=2 has U = sqrt(8/2) = 2. *)
-  let u = measure ~t:2 ~lookups:4_000 (Service.Fixed 2) ~n:3 ~h:10 in
+  let u = measure ~t:2 ~lookups:4_000 (Service.fixed 2) ~n:3 ~h:10 in
   Helpers.roughly ~rel:0.05 "floor" 2. u
 
 let test_validation () =
-  let service, live = Helpers.placed_service ~n:2 ~h:4 Service.Full_replication in
+  let service, live = Helpers.placed_service ~n:2 ~h:4 Service.full_replication in
   Alcotest.check_raises "t = 0"
     (Invalid_argument "Unfairness.of_instance: t must be positive") (fun () ->
       ignore (Unfairness.of_instance service ~live ~t:0 ~lookups:10));
@@ -64,7 +64,7 @@ let prop_unfairness_nonnegative =
   Helpers.qcheck ~count:30 "unfairness is non-negative"
     QCheck2.Gen.(pair (int_range 1 4) (int_range 2 10))
     (fun (y, t) ->
-      let service, live = Helpers.placed_service ~n:5 ~h:20 (Service.Hash y) in
+      let service, live = Helpers.placed_service ~n:5 ~h:20 (Service.hash y) in
       Unfairness.of_instance service ~live ~t ~lookups:200 >= 0.)
 
 let () =
