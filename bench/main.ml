@@ -342,7 +342,38 @@ let bench_repair () =
         else Cluster.fail cluster ev.Workload.Churn.server)
       churn;
     let live = Hashtbl.create (2 * h) in
-    List.iter (fun e -> Hashtbl.replace live (Entry.id e) e) initial;
+    (* Uniform victim picks in O(1): a swap-remove array of live ids
+       plus an id -> slot table, instead of sorting every live id on
+       every update (O(h log h) per pick). *)
+    let ids = ref (Array.make (max 16 (2 * h)) 0) in
+    let live_count = ref 0 in
+    let slot_of = Hashtbl.create (2 * h) in
+    let track id =
+      if !live_count = Array.length !ids then begin
+        let bigger = Array.make (2 * Array.length !ids) 0 in
+        Array.blit !ids 0 bigger 0 !live_count;
+        ids := bigger
+      end;
+      !ids.(!live_count) <- id;
+      Hashtbl.replace slot_of id !live_count;
+      incr live_count
+    in
+    let untrack id =
+      match Hashtbl.find_opt slot_of id with
+      | None -> ()
+      | Some slot ->
+        let last = !live_count - 1 in
+        let moved = !ids.(last) in
+        !ids.(slot) <- moved;
+        Hashtbl.replace slot_of moved slot;
+        Hashtbl.remove slot_of id;
+        live_count := last
+    in
+    List.iter
+      (fun e ->
+        Hashtbl.replace live (Entry.id e) e;
+        track (Entry.id e))
+      initial;
     let deleted = Hashtbl.create 64 in
     let wl_rng = Rng.create 15 in
     for k = 1 to int_of_float (horizon /. update_every) do
@@ -350,21 +381,17 @@ let bench_repair () =
         (Plookup_sim.Engine.schedule_at engine
            ~time:((float_of_int k *. update_every) +. 0.25)
            (fun _ ->
-             if Service.can_update service then begin
-               let ids =
-                 List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) live [])
-               in
-               match ids with
-               | [] -> ()
-               | _ ->
-                 let victim_id = List.nth ids (Rng.int wl_rng (List.length ids)) in
-                 let victim = Hashtbl.find live victim_id in
-                 Service.delete service victim;
-                 Hashtbl.remove live victim_id;
-                 Hashtbl.replace deleted victim_id ();
-                 let fresh = Entry.Gen.fresh gen in
-                 Service.add service fresh;
-                 Hashtbl.replace live (Entry.id fresh) fresh
+             if Service.can_update service && !live_count > 0 then begin
+               let victim_id = !ids.(Rng.int wl_rng !live_count) in
+               let victim = Hashtbl.find live victim_id in
+               Service.delete service victim;
+               Hashtbl.remove live victim_id;
+               untrack victim_id;
+               Hashtbl.replace deleted victim_id ();
+               let fresh = Entry.Gen.fresh gen in
+               Service.add service fresh;
+               Hashtbl.replace live (Entry.id fresh) fresh;
+               track (Entry.id fresh)
              end))
     done;
     let lookups = ref 0 and satisfied = ref 0 and stale = ref 0 in
@@ -436,40 +463,199 @@ let bench_repair () =
   print_endline "(wrote BENCH_repair.json)"
 
 (* ------------------------------------------------------------------ *)
+(* Part 5: core throughput baseline -> BENCH_core.json                  *)
+
+(* Sustained-throughput numbers for the per-event hot paths the engine
+   and strategies run on, plus the parallel-runner speedup on the full
+   reproduction.  Written to BENCH_core.json so perf regressions show up
+   as a diff against the committed baseline. *)
+let bench_core ~jobs ~scale () =
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* Engine events/sec: schedule-then-fire batches through the queue,
+     with a slice of same-batch cancellations to exercise the lazy
+     cancellation path the experiments lean on. *)
+  let engine_events = int_of_float (1_000_000. *. Float.min 1.0 (4. *. scale)) in
+  let events_per_sec =
+    let engine = Plookup_sim.Engine.create () in
+    let batch = 1000 in
+    let handles = Array.make batch None in
+    let fired = ref 0 in
+    let (), elapsed =
+      timed (fun () ->
+          for round = 1 to engine_events / batch do
+            let base = Plookup_sim.Engine.now engine in
+            for i = 0 to batch - 1 do
+              handles.(i) <-
+                Some
+                  (Plookup_sim.Engine.schedule_at engine
+                     ~time:(base +. float_of_int ((i + round) mod 97))
+                     (fun _ -> incr fired))
+            done;
+            (* Cancel a tenth of each batch before it fires. *)
+            for i = 0 to (batch / 10) - 1 do
+              match handles.(i * 10) with
+              | Some id -> Plookup_sim.Engine.cancel engine id
+              | None -> ()
+            done;
+            ignore (Plookup_sim.Engine.run engine)
+          done)
+    in
+    float_of_int engine_events /. elapsed
+  in
+  (* Lookups/sec per strategy at the paper's t=35 working point. *)
+  let n = 10 and h = 100 and t = 35 in
+  let lookup_iters = int_of_float (50_000. *. Float.min 1.0 (4. *. scale)) in
+  let placed config =
+    let service = Service.create ~seed:3 ~n config in
+    Service.place service (Entry.Gen.batch (Entry.Gen.create ()) h);
+    service
+  in
+  let lookup_rows =
+    List.map
+      (fun config ->
+        let service = placed config in
+        let (), elapsed =
+          timed (fun () ->
+              for _ = 1 to lookup_iters do
+                ignore (Service.partial_lookup service t)
+              done)
+        in
+        (Service.config_name config, float_of_int lookup_iters /. elapsed))
+      [ Service.full_replication; Service.fixed 50; Service.random_server 20;
+        Service.round_robin 2; Service.hash 2 ]
+  in
+  (* Updates/sec: one delete + one add per iteration. *)
+  let update_iters = int_of_float (50_000. *. Float.min 1.0 (4. *. scale)) in
+  let update_rows =
+    List.map
+      (fun config ->
+        let service = placed config in
+        let i = ref 1_000_000 in
+        let (), elapsed =
+          timed (fun () ->
+              for _ = 1 to update_iters do
+                incr i;
+                Service.add service (Entry.v !i);
+                Service.delete service (Entry.v !i)
+              done)
+        in
+        (Service.config_name config, float_of_int update_iters /. elapsed))
+      [ Service.fixed 50; Service.random_server 20; Service.round_robin 2; Service.hash 2 ]
+  in
+  (* Parallel-runner speedup: the full experiment registry at [scale],
+     sequential vs [jobs] worker domains.  Identical tables either way;
+     only the wall clock moves. *)
+  let repro_wall_clock jobs =
+    let ctx = E.Ctx.v ~seed:42 ~scale ~jobs () in
+    snd
+      (timed (fun () ->
+           List.iter (fun e -> ignore (e.E.Registry.run ctx)) E.Registry.all))
+  in
+  let wall_j1 = repro_wall_clock 1 in
+  let wall_jn = if jobs = 1 then wall_j1 else repro_wall_clock jobs in
+  let speedup = wall_j1 /. wall_jn in
+  let table =
+    Table.create
+      ~title:(Printf.sprintf "core throughput (scale %g, jobs %d)" scale jobs)
+      ~columns:[ "metric"; "value" ]
+  in
+  let rate v = Printf.sprintf "%.0f /s" v in
+  Table.add_row table [ Table.S "engine events"; Table.S (rate events_per_sec) ];
+  List.iter
+    (fun (name, v) ->
+      Table.add_row table [ Table.S (Printf.sprintf "lookup t=%d %s" t name); Table.S (rate v) ])
+    lookup_rows;
+  List.iter
+    (fun (name, v) ->
+      Table.add_row table [ Table.S (Printf.sprintf "update %s" name); Table.S (rate v) ])
+    update_rows;
+  Table.add_row table
+    [ Table.S "reproduction wall clock, jobs=1"; Table.S (Printf.sprintf "%.2f s" wall_j1) ];
+  Table.add_row table
+    [ Table.S (Printf.sprintf "reproduction wall clock, jobs=%d" jobs);
+      Table.S (Printf.sprintf "%.2f s" wall_jn) ];
+  Table.add_row table [ Table.S "speedup"; Table.S (Printf.sprintf "%.2fx" speedup) ];
+  Table.print table;
+  let oc = open_out "BENCH_core.json" in
+  let strategy_rates rows =
+    String.concat ",\n"
+      (List.map
+         (fun (name, v) -> Printf.sprintf "    {\"strategy\": %S, \"per_sec\": %.0f}" name v)
+         rows)
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"core_throughput\",\n\
+    \  \"params\": {\"n\": %d, \"h\": %d, \"t\": %d, \"scale\": %g, \"jobs\": %d, \
+     \"parallel_available\": %b},\n\
+    \  \"engine\": {\"events\": %d, \"events_per_sec\": %.0f},\n\
+    \  \"lookups_per_sec\": [\n%s\n  ],\n\
+    \  \"updates_per_sec\": [\n%s\n  ],\n\
+    \  \"reproduction\": {\"scale\": %g, \"wall_clock_jobs1_sec\": %.3f, \
+     \"wall_clock_jobsN_sec\": %.3f, \"jobs\": %d, \"speedup\": %.3f}\n\
+     }\n"
+    n h t scale jobs Pool.parallel_available engine_events events_per_sec
+    (strategy_rates lookup_rows) (strategy_rates update_rows) scale wall_j1 wall_jn jobs
+    speedup;
+  close_out oc;
+  print_endline "(wrote BENCH_core.json)"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
+  let jobs = ref 0 in
+  let smoke = ref false in
+  Arg.parse
+    [ ("-j", Arg.Set_int jobs, "JOBS worker domains for Parts 2 and 5 (0 = one per core)");
+      ("--jobs", Arg.Set_int jobs, "JOBS same as -j");
+      ("--smoke",
+       Arg.Set smoke,
+       " quick CI run: micro-benchmarks and the core baseline at tiny scale") ]
+    (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
+    "bench [-j JOBS] [--smoke]";
+  let jobs = if !jobs = 0 then Pool.recommended_jobs () else !jobs in
   let t0 = Unix.gettimeofday () in
   print_endline "=== Part 1: micro-benchmarks (one Test.make per table/figure) ===";
   run_bechamel (experiment_tests @ core_op_tests);
   print_newline ();
-  print_endline "=== Part 2: paper reproduction (tables and figures) ===";
+  if not !smoke then begin
+    print_endline "=== Part 2: paper reproduction (tables and figures) ===";
+    print_newline ();
+    let ctx = E.Ctx.v ~seed:42 ~scale:1.0 ~jobs () in
+    List.iter
+      (fun e ->
+        let start = Unix.gettimeofday () in
+        Table.print (e.E.Registry.run ctx);
+        Printf.printf "(%s regenerated in %.1fs)\n\n%!" e.E.Registry.id
+          (Unix.gettimeofday () -. start))
+      E.Registry.all;
+    (let _, derived = E.Exp_table2.run_full ctx in
+     Table.print derived;
+     print_newline ());
+    Table.print E.Exp_table2.paper_stars;
+    print_newline ();
+    print_endline "=== Part 3: ablations ===";
+    print_newline ();
+    ablation_ft_heuristic ();
+    print_newline ();
+    ablation_delete_policy ();
+    print_newline ();
+    ablation_coordinator_bottleneck ();
+    print_newline ();
+    ablation_coordinator_replication ();
+    print_newline ();
+    ablation_hash_sizing ();
+    print_newline ();
+    print_endline "=== Part 4: churn/repair benchmark (BENCH_repair.json) ===";
+    print_newline ();
+    bench_repair ()
+  end;
   print_newline ();
-  let ctx = E.Ctx.default in
-  List.iter
-    (fun e ->
-      let start = Unix.gettimeofday () in
-      Table.print (e.E.Registry.run ctx);
-      Printf.printf "(%s regenerated in %.1fs)\n\n%!" e.E.Registry.id
-        (Unix.gettimeofday () -. start))
-    E.Registry.all;
-  (let _, derived = E.Exp_table2.run_full ctx in
-   Table.print derived;
-   print_newline ());
-  Table.print E.Exp_table2.paper_stars;
+  print_endline "=== Part 5: core throughput baseline (BENCH_core.json) ===";
   print_newline ();
-  print_endline "=== Part 3: ablations ===";
-  print_newline ();
-  ablation_ft_heuristic ();
-  print_newline ();
-  ablation_delete_policy ();
-  print_newline ();
-  ablation_coordinator_bottleneck ();
-  print_newline ();
-  ablation_coordinator_replication ();
-  print_newline ();
-  ablation_hash_sizing ();
-  print_newline ();
-  print_endline "=== Part 4: churn/repair benchmark (BENCH_repair.json) ===";
-  print_newline ();
-  bench_repair ();
+  bench_core ~jobs ~scale:(if !smoke then 0.05 else 0.25) ();
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -17,6 +17,16 @@ let scale_arg =
   in
   Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"SCALE" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for Monte-Carlo replicates.  Results are byte-identical at any \
+     value; 0 means one worker per available core."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
+let resolve_jobs jobs =
+  if jobs = 0 then Plookup_util.Pool.recommended_jobs () else jobs
+
 let loss_arg =
   let doc =
     "Ambient per-transmission message-loss probability for fault-aware experiments \
@@ -132,14 +142,14 @@ let repair_config ~repair ~grace ~period ~hint_ttl ~hint_cap =
            }))
 
 (* run subcommand *)
-let run_experiment ids seed scale loss duplication jitter mttf mttr horizon repair grace
-    period hint_ttl hint_cap csv plot =
+let run_experiment ids seed scale jobs loss duplication jitter mttf mttr horizon repair
+    grace period hint_ttl hint_cap csv plot =
   match repair_config ~repair ~grace ~period ~hint_ttl ~hint_cap with
   | Error msg -> `Error (false, msg)
   | Ok repair -> (
   match
-    Experiments.Ctx.v ~seed ~scale ~loss ~duplication ~jitter ?mttf ?mttr ?horizon ?repair
-      ()
+    Experiments.Ctx.v ~seed ~scale ~jobs:(resolve_jobs jobs) ~loss ~duplication ~jitter
+      ?mttf ?mttr ?horizon ?repair ()
   with
   | exception Invalid_argument msg -> `Error (false, msg)
   | ctx ->
@@ -179,9 +189,9 @@ let run_cmd =
     (Cmd.info "run" ~doc)
     Term.(
       ret
-        (const run_experiment $ ids $ seed_arg $ scale_arg $ loss_arg $ duplication_arg
-        $ jitter_arg $ mttf_arg $ mttr_arg $ horizon_arg $ repair_arg $ grace_arg
-        $ repair_period_arg $ hint_ttl_arg $ hint_cap_arg $ csv_arg $ plot_arg))
+        (const run_experiment $ ids $ seed_arg $ scale_arg $ jobs_arg $ loss_arg
+        $ duplication_arg $ jitter_arg $ mttf_arg $ mttr_arg $ horizon_arg $ repair_arg
+        $ grace_arg $ repair_period_arg $ hint_ttl_arg $ hint_cap_arg $ csv_arg $ plot_arg))
 
 (* list subcommand *)
 let list_experiments () =

@@ -15,10 +15,13 @@ let n t = t.n
 let default_config t = t.default
 
 let key_seed t key =
-  (* Mix the directory seed with a key digest so per-key services have
-     independent yet reproducible randomness. *)
-  let digest = Hashtbl.hash key in
-  Int64.to_int (Rng.mix64 (Int64.of_int (t.seed lxor (digest * 0x9E3779B9)))) land max_int
+  (* Mix the directory seed with a full-string key digest so per-key
+     services have independent yet reproducible randomness.  The digest
+     must cover the whole key: [Hashtbl.hash] (used here previously)
+     inspects only a bounded prefix, so long keys sharing a prefix all
+     collapsed onto the same per-key RNG stream. *)
+  let digest = Rng.digest_string key in
+  Int64.to_int (Rng.mix64 (Int64.logxor (Int64.of_int t.seed) digest)) land max_int
 
 let create_service t ?config key =
   let config = Option.value config ~default:t.default in

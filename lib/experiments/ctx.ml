@@ -1,6 +1,7 @@
 type t = {
   seed : int;
   scale : float;
+  jobs : int;
   loss : float;
   duplication : float;
   jitter : float;
@@ -13,6 +14,7 @@ type t = {
 let default =
   { seed = 42;
     scale = 1.0;
+    jobs = 1;
     loss = 0.;
     duplication = 0.;
     jitter = 0.;
@@ -21,9 +23,10 @@ let default =
     horizon = None;
     repair = None }
 
-let v ?(seed = 42) ?(scale = 1.0) ?(loss = 0.) ?(duplication = 0.) ?(jitter = 0.) ?mttf
-    ?mttr ?horizon ?repair () =
+let v ?(seed = 42) ?(scale = 1.0) ?(jobs = 1) ?(loss = 0.) ?(duplication = 0.)
+    ?(jitter = 0.) ?mttf ?mttr ?horizon ?repair () =
   if scale <= 0. then invalid_arg "Ctx.v: scale must be positive";
+  if jobs < 1 then invalid_arg "Ctx.v: jobs must be at least 1";
   if loss < 0. || loss >= 1. then invalid_arg "Ctx.v: loss must be in [0, 1)";
   if duplication < 0. || duplication > 1. then
     invalid_arg "Ctx.v: duplication must be in [0, 1]";
@@ -35,7 +38,7 @@ let v ?(seed = 42) ?(scale = 1.0) ?(loss = 0.) ?(duplication = 0.) ?(jitter = 0.
   positive "mttf" mttf;
   positive "mttr" mttr;
   positive "horizon" horizon;
-  { seed; scale; loss; duplication; jitter; mttf; mttr; horizon; repair }
+  { seed; scale; jobs; loss; duplication; jitter; mttf; mttr; horizon; repair }
 
 let faulty t = t.loss > 0. || t.duplication > 0. || t.jitter > 0.
 

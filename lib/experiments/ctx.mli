@@ -14,6 +14,9 @@
 type t = {
   seed : int;
   scale : float;
+  jobs : int;
+      (** worker count for {!Runner}'s replicate fan-out; results are
+          byte-identical at any value (DESIGN.md, "Performance") *)
   loss : float;  (** per-transmission drop probability, in [0, 1) *)
   duplication : float;  (** per-transmission duplicate probability, in [0, 1] *)
   jitter : float;  (** max extra per-delivery delay (engine time units) *)
@@ -26,11 +29,12 @@ type t = {
 }
 
 val default : t
-(** seed 42, scale 1.0, no faults, no churn/repair overrides *)
+(** seed 42, scale 1.0, jobs 1, no faults, no churn/repair overrides *)
 
 val v :
   ?seed:int ->
   ?scale:float ->
+  ?jobs:int ->
   ?loss:float ->
   ?duplication:float ->
   ?jitter:float ->

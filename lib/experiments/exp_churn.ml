@@ -135,26 +135,37 @@ let run ?(n = 10) ?(h = 100) ?(budget = 200) ?(t = 40) ?(mttf = 50.) ?(mttr = 50
         if Service.kind config = "Fixed" then Service.fixed (t + 5) else config)
       (Service.all_configs ~budget ~n ~h ())
   in
-  let add_row config ~repair =
-    let tally, stats, repair_msgs =
-      run_strategy ctx ~n ~h ~t ~mttf ~mttr ~horizon ~update_every ~repair config
-    in
-    let per_lookup v = float_of_int v /. float_of_int (max 1 tally.lookups) in
-    Table.add_row table
-      [ Table.S (Service.config_name config);
-        Table.S (Repair.mode_name repair.Repair.mode);
-        Table.F (100. *. per_lookup tally.satisfied);
-        Table.I tally.stale;
-        Table.F (100. *. per_lookup tally.below_target);
-        Table.F (per_lookup tally.contacts);
-        (match stats with
-        | Some { Repair.mean_restore_time = Some rt; _ } -> Table.F rt
-        | Some { Repair.mean_restore_time = None; _ } | None -> Table.S "-");
-        Table.I (Option.value repair_msgs ~default:0) ]
+  (* One parallel unit per (strategy, repair mode) cell; each cell's
+     seed derives from the strategy name alone, so cells are
+     order-independent and rows are added back in the historical order. *)
+  let cells =
+    Array.of_list
+      (List.concat_map
+         (fun config ->
+           (config, Repair.disabled)
+           ::
+           (if repair_cfg.Repair.mode <> Repair.Off then [ (config, repair_cfg) ] else []))
+         configs)
   in
-  List.iter
-    (fun config ->
-      add_row config ~repair:Repair.disabled;
-      if repair_cfg.Repair.mode <> Repair.Off then add_row config ~repair:repair_cfg)
-    configs;
+  let measured =
+    Runner.map ctx ~count:(Array.length cells) (fun i ->
+        let config, repair = cells.(i) in
+        (config, repair,
+         run_strategy ctx ~n ~h ~t ~mttf ~mttr ~horizon ~update_every ~repair config))
+  in
+  Array.iter
+    (fun (config, repair, (tally, stats, repair_msgs)) ->
+      let per_lookup v = float_of_int v /. float_of_int (max 1 tally.lookups) in
+      Table.add_row table
+        [ Table.S (Service.config_name config);
+          Table.S (Repair.mode_name repair.Repair.mode);
+          Table.F (100. *. per_lookup tally.satisfied);
+          Table.I tally.stale;
+          Table.F (100. *. per_lookup tally.below_target);
+          Table.F (per_lookup tally.contacts);
+          (match stats with
+          | Some { Repair.mean_restore_time = Some rt; _ } -> Table.F rt
+          | Some { Repair.mean_restore_time = None; _ } | None -> Table.S "-");
+          Table.I (Option.value repair_msgs ~default:0) ])
+    measured;
   table

@@ -59,20 +59,28 @@ let run ?(n = 10) ?(h = 100) ?(x = 20) ?(t = 1) ?(checkpoints = default_checkpoi
         Stats.Accum.add acc v)
       trace
   in
-  for run = 1 to runs do
-    let stream =
-      Update_gen.generate
-        (Rng.create (Ctx.run_seed ctx run))
-        { Update_gen.steady_entries = h; add_period = 10.; tail_heavy = false;
-          updates = max_cp }
-    in
-    accumulate acc_rs
-      (unfairness_trace ctx ~n ~t ~lookups ~config:(Service.random_server x) ~stream
-         ~checkpoints ~run);
-    accumulate acc_fx
-      (unfairness_trace ctx ~n ~t ~lookups ~config:(Service.fixed x) ~stream ~checkpoints
-         ~run)
-  done;
+  (* One parallel unit per replicate; traces are folded into the
+     accumulators in run order below, so means see the samples in the
+     same order as the historical sequential loop. *)
+  let traces =
+    Runner.map ctx ~count:runs (fun i ->
+        let run = i + 1 in
+        let stream =
+          Update_gen.generate
+            (Rng.create (Ctx.run_seed ctx run))
+            { Update_gen.steady_entries = h; add_period = 10.; tail_heavy = false;
+              updates = max_cp }
+        in
+        ( unfairness_trace ctx ~n ~t ~lookups ~config:(Service.random_server x) ~stream
+            ~checkpoints ~run,
+          unfairness_trace ctx ~n ~t ~lookups ~config:(Service.fixed x) ~stream
+            ~checkpoints ~run ))
+  in
+  Array.iter
+    (fun (trace_rs, trace_fx) ->
+      accumulate acc_rs trace_rs;
+      accumulate acc_fx trace_fx)
+    traces;
   List.iter
     (fun cp ->
       let mean tbl =

@@ -10,17 +10,17 @@ let title = "Fig 14: update overhead, Fixed-50 vs Hash-y (t=40, 20000 updates)"
 let default_entry_counts = [ 100; 120; 133; 150; 175; 200; 250; 300; 350; 400 ]
 
 let measure_messages ctx ~n ~h ~updates ~config ~runs =
-  let acc = Stats.Accum.create () in
-  for run = 1 to runs do
-    let seed = Ctx.run_seed ctx ((h * 131) + run) in
-    let stream =
-      Update_gen.generate (Rng.create seed)
-        { Update_gen.steady_entries = h; add_period = 10.; tail_heavy = false; updates }
-    in
-    let service = Service.create ~seed ~n config in
-    Stats.Accum.add acc (float_of_int (Replay.messages_for_updates ~service ~stream))
-  done;
-  Stats.Accum.mean acc
+  Runner.mean_of
+    (Runner.map ctx ~count:runs (fun i ->
+         let run = i + 1 in
+         let seed = Ctx.run_seed ctx ((h * 131) + run) in
+         let stream =
+           Update_gen.generate (Rng.create seed)
+             { Update_gen.steady_entries = h; add_period = 10.; tail_heavy = false;
+               updates }
+         in
+         let service = Service.create ~seed ~n config in
+         float_of_int (Replay.messages_for_updates ~service ~stream)))
 
 let run ?(n = 10) ?(t = 40) ?(x = 50) ?(entry_counts = default_entry_counts)
     ?(updates = 20000) ctx =

@@ -25,15 +25,21 @@ let run ?(n = 10) ?(h = 100) ?(budget = 200) ?(targets = default_targets) ctx =
   in
   let runs = Ctx.scaled ctx 40 in
   let lookups_per_run = Ctx.scaled ctx 250 in
-  List.iter
-    (fun t ->
-      let measure config =
-        Lookup_cost.measure_over_instances ~seed:(Ctx.run_seed ctx t) ~n ~entries:h
-          ~config ~t ~runs ~lookups_per_run ()
-      in
-      let m_round = measure round in
-      let m_random = measure random in
-      let m_hash = measure hash in
+  let targets = Array.of_list targets in
+  (* One parallel unit per target row: each derives everything from
+     [run_seed ctx t], so rows are independent; they are re-assembled in
+     input order below. *)
+  let rows =
+    Runner.map ctx ~count:(Array.length targets) (fun i ->
+        let t = targets.(i) in
+        let measure config =
+          Lookup_cost.measure_over_instances ~seed:(Ctx.run_seed ctx t) ~n ~entries:h
+            ~config ~t ~runs ~lookups_per_run ()
+        in
+        (t, measure round, measure random, measure hash))
+  in
+  Array.iter
+    (fun (t, m_round, m_random, m_hash) ->
       Table.add_row table
         [ Table.I t;
           Table.F m_round.Lookup_cost.mean_cost;
@@ -41,5 +47,5 @@ let run ?(n = 10) ?(h = 100) ?(budget = 200) ?(targets = default_targets) ctx =
           Table.F m_random.Lookup_cost.mean_cost;
           Table.F m_hash.Lookup_cost.mean_cost;
           Table.F (100. *. m_hash.Lookup_cost.failure_rate) ])
-    targets;
+    rows;
   table

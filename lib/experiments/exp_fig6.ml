@@ -21,20 +21,29 @@ let run ?(n = 10) ?(h = 100) ?(budgets = default_budgets) ctx =
           "RandomServer analytic" ]
   in
   let runs = Ctx.scaled ctx 30 in
-  List.iter
-    (fun budget ->
-      let seed = Ctx.run_seed ctx budget in
-      let x = max 1 (budget / n) in
-      let y = max 1 ((budget + h - 1) / h) in
-      let measure config ?cap () =
-        fst (Coverage.measured_over_instances ~seed ~n ~entries:h ~config ?budget:cap ~runs ())
-      in
-      (* Round-y and Hash-y behave identically for coverage under the
-         round-major budget cut; measure Round (deterministic) and check
-         Hash agrees in the test suite. *)
-      let round_cov = measure (Service.round_robin y) ~cap:budget () in
-      let fixed_cov = measure (Service.fixed x) () in
-      let random_cov = measure (Service.random_server x) () in
+  let budgets = Array.of_list budgets in
+  (* One parallel unit per budget row, seeded from the budget value. *)
+  let rows =
+    Runner.map ctx ~count:(Array.length budgets) (fun i ->
+        let budget = budgets.(i) in
+        let seed = Ctx.run_seed ctx budget in
+        let x = max 1 (budget / n) in
+        let y = max 1 ((budget + h - 1) / h) in
+        let measure config ?cap () =
+          fst
+            (Coverage.measured_over_instances ~seed ~n ~entries:h ~config ?budget:cap ~runs
+               ())
+        in
+        (* Round-y and Hash-y behave identically for coverage under the
+           round-major budget cut; measure Round (deterministic) and check
+           Hash agrees in the test suite. *)
+        let round_cov = measure (Service.round_robin y) ~cap:budget () in
+        let fixed_cov = measure (Service.fixed x) () in
+        let random_cov = measure (Service.random_server x) () in
+        (budget, x, round_cov, fixed_cov, random_cov))
+  in
+  Array.iter
+    (fun (budget, x, round_cov, fixed_cov, random_cov) ->
       Table.add_row table
         [ Table.I budget;
           Table.F round_cov;
@@ -43,5 +52,5 @@ let run ?(n = 10) ?(h = 100) ?(budgets = default_budgets) ctx =
           Table.F (Analytic.coverage_fixed ~x ~h);
           Table.F random_cov;
           Table.F (Analytic.coverage_random_server ~n ~h ~x) ])
-    budgets;
+    rows;
   table

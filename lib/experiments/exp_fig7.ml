@@ -23,18 +23,25 @@ let run ?(n = 10) ?(h = 100) ?(budget = 200) ?(targets = default_targets) ctx =
           "Round analytic" ]
   in
   let runs = Ctx.scaled ctx 200 in
-  List.iter
-    (fun t ->
-      let measure config =
-        fst
-          (Fault_tolerance.measure_over_instances ~seed:(Ctx.run_seed ctx t) ~n ~entries:h
-             ~config ~t ~runs ())
-      in
+  let targets = Array.of_list targets in
+  (* One parallel unit per target row, seeded from the target value. *)
+  let rows =
+    Runner.map ctx ~count:(Array.length targets) (fun i ->
+        let t = targets.(i) in
+        let measure config =
+          fst
+            (Fault_tolerance.measure_over_instances ~seed:(Ctx.run_seed ctx t) ~n
+               ~entries:h ~config ~t ~runs ())
+        in
+        (t, measure random, measure hash, measure round))
+  in
+  Array.iter
+    (fun (t, m_random, m_hash, m_round) ->
       Table.add_row table
         [ Table.I t;
-          Table.F (measure random);
-          Table.F (measure hash);
-          Table.F (measure round);
+          Table.F m_random;
+          Table.F m_hash;
+          Table.F m_round;
           Table.I (Analytic.fault_tolerance_round_robin ~n ~h ~y ~t) ])
-    targets;
+    rows;
   table

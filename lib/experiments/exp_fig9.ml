@@ -13,21 +13,24 @@ let run ?(n = 10) ?(h = 100) ?(t = 35) ?(budgets = default_budgets) ctx =
   in
   let instances = Ctx.scaled ctx 6 in
   let lookups_per_instance = Ctx.scaled ctx 4000 in
-  List.iter
-    (fun budget ->
-      let seed = Ctx.run_seed ctx budget in
-      let x = max 1 (budget / n) in
-      let y = max 1 (budget / h) in
-      let measure config =
-        fst
-          (Unfairness.of_strategy ~seed ~n ~entries:h ~config ~t ~instances
-             ~lookups_per_instance ())
-      in
+  let budgets = Array.of_list budgets in
+  (* One parallel unit per budget row, seeded from the budget value. *)
+  let rows =
+    Runner.map ctx ~count:(Array.length budgets) (fun i ->
+        let budget = budgets.(i) in
+        let seed = Ctx.run_seed ctx budget in
+        let x = max 1 (budget / n) in
+        let y = max 1 (budget / h) in
+        let measure config =
+          fst
+            (Unfairness.of_strategy ~seed ~n ~entries:h ~config ~t ~instances
+               ~lookups_per_instance ())
+        in
+        (budget, x, measure (Service.random_server x), y, measure (Service.hash y)))
+  in
+  Array.iter
+    (fun (budget, x, u_random, y, u_hash) ->
       Table.add_row table
-        [ Table.I budget;
-          Table.F4 (measure (Service.random_server x));
-          Table.I x;
-          Table.F4 (measure (Service.hash y));
-          Table.I y ])
-    budgets;
+        [ Table.I budget; Table.F4 u_random; Table.I x; Table.F4 u_hash; Table.I y ])
+    rows;
   table

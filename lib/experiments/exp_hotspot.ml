@@ -72,13 +72,24 @@ let run ?(n = 10) ?(keys = 50) ?(entries_per_key = 20) ?(t = 3) ?(lookups = 2000
         Table.F summary.Load.cov;
         Table.F (float_of_int summary.Load.total /. float_of_int lookups) ]
   in
-  row "Partitioned (Chord-style)"
-    (partitioned_load ctx ~n ~keys ~entries_per_key ~t ~lookups ~alpha);
-  List.iter
-    (fun config ->
-      row
-        (Printf.sprintf "Partial: %s" (Service.config_name config))
-        (partial_load ctx ~n ~keys ~entries_per_key ~t ~lookups ~alpha config))
-    [ Service.full_replication; Service.round_robin 2;
-      Service.random_server (2 * entries_per_key / 10 |> max 1) ];
+  (* One parallel unit per service row; every row derives its seeds from
+     the context alone, so results do not depend on evaluation order. *)
+  let cells =
+    Array.of_list
+      (( "Partitioned (Chord-style)",
+         fun () -> partitioned_load ctx ~n ~keys ~entries_per_key ~t ~lookups ~alpha )
+      :: List.map
+           (fun config ->
+             ( Printf.sprintf "Partial: %s" (Service.config_name config),
+               fun () ->
+                 partial_load ctx ~n ~keys ~entries_per_key ~t ~lookups ~alpha config ))
+           [ Service.full_replication; Service.round_robin 2;
+             Service.random_server (2 * entries_per_key / 10 |> max 1) ])
+  in
+  let summaries =
+    Runner.map ctx ~count:(Array.length cells) (fun i ->
+        let name, thunk = cells.(i) in
+        (name, thunk ()))
+  in
+  Array.iter (fun (name, summary) -> row name summary) summaries;
   table

@@ -80,45 +80,66 @@ let run ?(n = 10) ?(h = 100) ?(budget = 200) ?(t = 35) ?(rtt_lo = 5.) ?(rtt_hi =
       (Service.param (Service.storage_for_budget (Service.round_robin 1) ~n ~h ~total:budget))
   in
   let measure = measure_config ctx ~n ~h ~t ~lookups ~timeout ~rtt_lo ~rtt_hi in
-  record "FullReplication (1 contact)"
-    (measure ~config:Service.full_replication ~order_of:random_order
-       ~wave_of:(fun () -> 1)
-       ~down:[] ());
-  record "RandomServer-20 sequential"
-    (measure
-       ~config:(Service.storage_for_budget (Service.random_server 1) ~n ~h ~total:budget)
-       ~order_of:random_order
-       ~wave_of:(fun () -> 1)
-       ~down:[] ());
-  record "Hash-2 sequential"
-    (measure
-       ~config:(Service.storage_for_budget (Service.hash 1) ~n ~h ~total:budget)
-       ~order_of:random_order
-       ~wave_of:(fun () -> 1)
-       ~down:[] ());
-  let order_rng = Rng.create (Ctx.run_seed ctx 3) in
-  let stride cluster = stride_order order_rng ~n:(Cluster.n cluster) ~y in
-  record "RoundRobin-2 sequential"
-    (measure ~config:(Service.round_robin y) ~order_of:stride
-       ~wave_of:(fun () -> 1)
-       ~down:[] ());
+  (* Each strided client row owns its probe-order rng, seeded from the
+     row's position, so rows are independent parallel units. *)
+  let stride_for row =
+    let order_rng = Rng.create (Ctx.run_seed ctx (3 + row)) in
+    fun cluster -> stride_order order_rng ~n:(Cluster.n cluster) ~y
+  in
   (* The parallel client: wave size ceil(t*n/(y*h)), known in advance
      (Section 3.5). *)
   let wave = min n (max 1 (((t * n) + (y * h) - 1) / (y * h))) in
-  record "RoundRobin-2 parallel wave"
-    (measure ~config:(Service.round_robin y) ~order_of:stride
-       ~wave_of:(fun () -> wave)
-       ~down:[] ());
-  (* Failure masking (Section 6.2): one server down.  The sequential
-     client stalls a full timeout whenever the dead server comes up in
-     its order; the parallel client's redundant in-flight contacts keep
-     it moving and it finishes before the timeout even matters. *)
-  record "RoundRobin-2 sequential, server 3 down"
-    (measure ~config:(Service.round_robin y) ~order_of:stride
-       ~wave_of:(fun () -> 1)
-       ~down:[ 3 ] ());
-  record "RoundRobin-2 parallel, server 3 down"
-    (measure ~config:(Service.round_robin y) ~order_of:stride
-       ~wave_of:(fun () -> wave)
-       ~down:[ 3 ] ());
+  let rows =
+    [| ( "FullReplication (1 contact)",
+         fun () ->
+           measure ~config:Service.full_replication ~order_of:random_order
+             ~wave_of:(fun () -> 1)
+             ~down:[] () );
+       ( "RandomServer-20 sequential",
+         fun () ->
+           measure
+             ~config:
+               (Service.storage_for_budget (Service.random_server 1) ~n ~h ~total:budget)
+             ~order_of:random_order
+             ~wave_of:(fun () -> 1)
+             ~down:[] () );
+       ( "Hash-2 sequential",
+         fun () ->
+           measure
+             ~config:(Service.storage_for_budget (Service.hash 1) ~n ~h ~total:budget)
+             ~order_of:random_order
+             ~wave_of:(fun () -> 1)
+             ~down:[] () );
+       ( "RoundRobin-2 sequential",
+         fun () ->
+           measure ~config:(Service.round_robin y) ~order_of:(stride_for 0)
+             ~wave_of:(fun () -> 1)
+             ~down:[] () );
+       ( "RoundRobin-2 parallel wave",
+         fun () ->
+           measure ~config:(Service.round_robin y) ~order_of:(stride_for 1)
+             ~wave_of:(fun () -> wave)
+             ~down:[] () );
+       (* Failure masking (Section 6.2): one server down.  The sequential
+          client stalls a full timeout whenever the dead server comes up
+          in its order; the parallel client's redundant in-flight
+          contacts keep it moving and it finishes before the timeout
+          even matters. *)
+       ( "RoundRobin-2 sequential, server 3 down",
+         fun () ->
+           measure ~config:(Service.round_robin y) ~order_of:(stride_for 2)
+             ~wave_of:(fun () -> 1)
+             ~down:[ 3 ] () );
+       ( "RoundRobin-2 parallel, server 3 down",
+         fun () ->
+           measure ~config:(Service.round_robin y) ~order_of:(stride_for 3)
+             ~wave_of:(fun () -> wave)
+             ~down:[ 3 ] () ) |]
+  in
+  let measured =
+    Runner.map ctx ~count:(Array.length rows) (fun i ->
+        let name, thunk = rows.(i) in
+        (name, thunk ()))
+  in
+  Array.iter (fun (name, row) -> record name row) measured;
   table

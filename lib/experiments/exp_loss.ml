@@ -109,22 +109,32 @@ let run ?(n = 10) ?(h = 100) ?(budget = 200) ?(t = 35) ?(timeout = 60.) ?(retrie
   let configs =
     [ (Service.fixed (max x (t + 5)), random_order); (Service.round_robin y, stride) ]
   in
-  List.iter
-    (fun (config, order_of) ->
-      List.iter
-        (fun loss ->
-          let tally =
-            measure ctx ~n ~h ~t ~lookups ~timeout ~retries ~loss ~config ~order_of ()
-          in
-          Table.add_row table
-            [ Table.S (Service.config_name config);
-              Table.F (100. *. loss);
-              Table.F (100. *. Stats.Accum.mean tally.satisfied);
-              Table.F (Stats.Accum.mean tally.contacts);
-              Table.F (Stats.Accum.mean tally.attempts);
-              Table.F4 (Stats.Accum.mean tally.retries);
-              Table.F4 (Stats.Accum.mean tally.timeouts);
-              Table.F (Stats.Accum.mean tally.latency_ms) ])
-        (loss_rates ctx))
-    configs;
+  (* One parallel unit per (strategy, loss rate) cell; each cell's seed
+     derives from the strategy name alone, so cells are
+     order-independent. *)
+  let cells =
+    Array.of_list
+      (List.concat_map
+         (fun (config, order_of) ->
+           List.map (fun loss -> (config, order_of, loss)) (loss_rates ctx))
+         configs)
+  in
+  let measured =
+    Runner.map ctx ~count:(Array.length cells) (fun i ->
+        let config, order_of, loss = cells.(i) in
+        ( config, loss,
+          measure ctx ~n ~h ~t ~lookups ~timeout ~retries ~loss ~config ~order_of () ))
+  in
+  Array.iter
+    (fun (config, loss, tally) ->
+      Table.add_row table
+        [ Table.S (Service.config_name config);
+          Table.F (100. *. loss);
+          Table.F (100. *. Stats.Accum.mean tally.satisfied);
+          Table.F (Stats.Accum.mean tally.contacts);
+          Table.F (Stats.Accum.mean tally.attempts);
+          Table.F4 (Stats.Accum.mean tally.retries);
+          Table.F4 (Stats.Accum.mean tally.timeouts);
+          Table.F (Stats.Accum.mean tally.latency_ms) ])
+    measured;
   table

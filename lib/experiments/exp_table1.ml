@@ -8,14 +8,12 @@ let id = "table1"
 let title = "Table 1: storage cost for managing h entries on n servers"
 
 let measured_mean ctx ~n ~h config ~runs =
-  let acc = Stats.Accum.create () in
-  for run = 1 to runs do
-    let service = Service.create ~seed:(Ctx.run_seed ctx run) ~n config in
-    let gen = Entry.Gen.create () in
-    Service.place service (Entry.Gen.batch gen h);
-    Stats.Accum.add acc (float_of_int (Storage.measured (Service.cluster service)))
-  done;
-  Stats.Accum.mean acc
+  Runner.mean_of
+    (Runner.replicates ctx ~count:runs (fun ~seed ->
+         let service = Service.create ~seed ~n config in
+         let gen = Entry.Gen.create () in
+         Service.place service (Entry.Gen.batch gen h);
+         float_of_int (Storage.measured (Service.cluster service))))
 
 let run ?(n = 10) ?(h = 100) ?(budget = 200) ctx =
   let table =

@@ -9,18 +9,17 @@ let id = "table2"
 let title = "Table 2: strategy scorecard (measured, h=100 n=10 budget=200 t=35)"
 
 let messages_per_update ctx ~n ~h ~config ~updates ~runs =
-  let acc = Stats.Accum.create () in
-  for run = 1 to runs do
-    let seed = Ctx.run_seed ctx (run * 37) in
+  let seeds = Array.init runs (fun i -> Ctx.run_seed ctx ((i + 1) * 37)) in
+  let measure seed =
     let stream =
       Update_gen.generate (Rng.create seed)
         { Update_gen.steady_entries = h; add_period = 10.; tail_heavy = false; updates }
     in
     let service = Service.create ~seed ~n config in
     let msgs = Replay.messages_for_updates ~service ~stream in
-    Stats.Accum.add acc (float_of_int msgs /. float_of_int updates)
-  done;
-  Stats.Accum.mean acc
+    float_of_int msgs /. float_of_int updates
+  in
+  Runner.mean_of (Array.map measure seeds)
 
 (* Turn measured columns into 1..4 star ranks over the four partial
    strategies (the paper's Table 2 omits full replication), ties sharing
@@ -70,9 +69,12 @@ let stars_of_measurements rows =
 
 let measure_rows ?(n = 10) ?(h = 100) ?(budget = 200) ?(t = 35) ctx =
   let runs = Ctx.scaled ctx 20 in
-  let configs = Service.all_configs ~budget ~n ~h () in
-  List.map
-    (fun config ->
+  let configs = Array.of_list (Service.all_configs ~budget ~n ~h ()) in
+  (* One parallel unit per strategy; all seeds derive from the context
+     alone, so results do not depend on evaluation order. *)
+  let rows =
+    Runner.map ctx ~count:(Array.length configs) (fun index ->
+        let config = configs.(index) in
       let seed = Ctx.run_seed ctx 1 in
       (* Static metrics on one representative placement family. *)
       let coverage =
@@ -104,10 +106,11 @@ let measure_rows ?(n = 10) ?(h = 100) ?(budget = 200) ?(t = 35) ctx =
         messages_per_update ctx ~n ~h ~config ~updates:(Ctx.scaled ctx 2000)
           ~runs:(max 1 (runs / 4))
       in
-      ( Service.config_name config,
-        [ float_of_int storage; coverage; fault_tol;
-          lookup.Metrics.Lookup_cost.mean_cost; unfairness; msgs ] ))
-    configs
+        ( Service.config_name config,
+          [ float_of_int storage; coverage; fault_tol;
+            lookup.Metrics.Lookup_cost.mean_cost; unfairness; msgs ] ))
+  in
+  Array.to_list rows
 
 let measured_table rows =
   let table =

@@ -1,0 +1,9 @@
+let map ctx ~count f =
+  Plookup_util.Pool.map ~jobs:ctx.Ctx.jobs f (Array.init count Fun.id)
+
+let replicates ctx ~count f = map ctx ~count (fun i -> f ~seed:(Ctx.run_seed ctx (i + 1)))
+
+let mean_of samples =
+  let acc = Plookup_util.Stats.Accum.create () in
+  Array.iter (Plookup_util.Stats.Accum.add acc) samples;
+  Plookup_util.Stats.Accum.mean acc

@@ -1,0 +1,31 @@
+(** The deterministic Monte-Carlo fan-out shared by every experiment.
+
+    All parallelism in the reproduction flows through these two
+    functions, and both enforce the determinism contract documented in
+    DESIGN.md ("Performance"):
+
+    - each unit of work is a self-contained closure of its index — it
+      derives any randomness from a seed that is a pure function of the
+      index (usually {!Ctx.run_seed}) and touches no state shared with
+      other units;
+    - results come back as an array {e indexed by input position}, and
+      callers aggregate by walking that array in order.
+
+    Together these make every experiment's output byte-identical at any
+    [ctx.jobs] value: scheduling only changes {e when} a replicate
+    runs, never what it computes nor the order it is folded in. *)
+
+val map : Ctx.t -> count:int -> (int -> 'a) -> 'a array
+(** [map ctx ~count f] is [| f 0; f 1; ...; f (count-1) |], computed by
+    up to [ctx.jobs] workers ({!Plookup_util.Pool.map}).  Use this when
+    the experiment derives its own composite seed from the index. *)
+
+val replicates : Ctx.t -> count:int -> (seed:int -> 'a) -> 'a array
+(** [replicates ctx ~count f] runs [count] Monte-Carlo replicates,
+    handing replicate [i] (1-based, matching the historical
+    [for run = 1 to runs] loops) the seed [Ctx.run_seed ctx i]. *)
+
+val mean_of : float array -> float
+(** Left-to-right mean of the samples ({!Plookup_util.Stats.Accum}) —
+    the ordered aggregation for the common "average the replicates"
+    case. *)

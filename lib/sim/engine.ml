@@ -1,85 +1,35 @@
-type event_id = int
+type t = { queue : (t -> unit) Event_queue.t; mutable clock : float }
 
-type event = { id : event_id; action : t -> unit }
-and t = {
-  queue : event Event_queue.t;
-  cancelled : (event_id, unit) Hashtbl.t;
-  scheduled : (event_id, unit) Hashtbl.t;
-  mutable clock : float;
-  mutable next_id : event_id;
-  mutable live : int;
-}
+type event_id = (t -> unit) Event_queue.handle
+(* The heap node itself: cancellation flips an intrusive flag instead of
+   round-tripping through side hashtables, so the per-event fast path
+   (schedule, fire) performs zero hashing and the only allocation is the
+   node. *)
 
-let create () =
-  { queue = Event_queue.create ();
-    cancelled = Hashtbl.create 64;
-    scheduled = Hashtbl.create 64;
-    clock = 0.;
-    next_id = 0;
-    live = 0 }
+let create () = { queue = Event_queue.create (); clock = 0. }
 
 let now t = t.clock
 
 let schedule_at t ~time action =
   if time < t.clock then invalid_arg "Engine.schedule_at: time is in the past";
-  let id = t.next_id in
-  t.next_id <- id + 1;
-  t.live <- t.live + 1;
-  Hashtbl.replace t.scheduled id ();
-  Event_queue.push t.queue ~time { id; action };
-  id
+  Event_queue.push t.queue ~time action
 
 let schedule_after t ~delay action =
   if delay < 0. then invalid_arg "Engine.schedule_after: negative delay";
   schedule_at t ~time:(t.clock +. delay) action
 
-(* Only ids still sitting in the queue may be cancelled: cancelling an
-   event that already fired (or was already cancelled) is a no-op, so
-   [live] stays accurate and the cancelled table holds no stale ids. *)
-let cancel t id =
-  if Hashtbl.mem t.scheduled id then begin
-    Hashtbl.remove t.scheduled id;
-    Hashtbl.replace t.cancelled id ();
-    t.live <- t.live - 1
-  end
+(* Cancelling an event that already fired (or was already cancelled) is
+   a no-op; the queue's live count stays accurate either way. *)
+let cancel t id = ignore (Event_queue.cancel_handle t.queue id)
 
-let pending t = t.live
-
-(* Pop until a non-cancelled event surfaces. *)
-let rec pop_live t =
-  match Event_queue.pop t.queue with
-  | None -> None
-  | Some (time, ev) ->
-    if Hashtbl.mem t.cancelled ev.id then begin
-      Hashtbl.remove t.cancelled ev.id;
-      pop_live t
-    end
-    else Some (time, ev)
-
-(* Like {!pop_live} but leaves the surfaced live event in the queue;
-   cancelled events ahead of it are purged.  [run ~until] must compare
-   the horizon against the next event that will actually *fire* — a
-   cancelled event's earlier timestamp must not let a later live event
-   slip past the horizon. *)
-let rec peek_live t =
-  match Event_queue.peek t.queue with
-  | None -> None
-  | Some (time, ev) ->
-    if Hashtbl.mem t.cancelled ev.id then begin
-      ignore (Event_queue.pop t.queue);
-      Hashtbl.remove t.cancelled ev.id;
-      peek_live t
-    end
-    else Some (time, ev)
+let pending t = Event_queue.length t.queue
 
 let step t =
-  match pop_live t with
+  match Event_queue.pop t.queue with
   | None -> false
-  | Some (time, ev) ->
+  | Some (time, action) ->
     t.clock <- time;
-    t.live <- t.live - 1;
-    Hashtbl.remove t.scheduled ev.id;
-    ev.action t;
+    action t;
     true
 
 let run ?max_events ?until t =
@@ -87,7 +37,10 @@ let run ?max_events ?until t =
   let budget_ok () = match max_events with None -> true | Some m -> !fired < m in
   let continue = ref true in
   while !continue && budget_ok () do
-    match peek_live t with
+    (* [peek] only ever surfaces events that will fire, so comparing the
+       horizon against it is exact: a cancelled event's earlier
+       timestamp can never let a later live event slip past [until]. *)
+    match Event_queue.peek t.queue with
     | None -> continue := false
     | Some (time, _) ->
       (match until with
@@ -96,14 +49,11 @@ let run ?max_events ?until t =
         continue := false
       | _ -> if step t then incr fired else continue := false)
   done;
-  (match (until, peek_live t) with
+  (match (until, Event_queue.peek t.queue) with
   | Some horizon, None -> t.clock <- max t.clock horizon
   | _ -> ());
   !fired
 
 let reset t =
   Event_queue.clear t.queue;
-  Hashtbl.reset t.cancelled;
-  Hashtbl.reset t.scheduled;
-  t.clock <- 0.;
-  t.live <- 0
+  t.clock <- 0.

@@ -11,7 +11,9 @@
 type t
 
 type event_id
-(** Handle for cancellation. *)
+(** Handle for cancellation — the scheduled event's own heap node
+    (see {!Event_queue.handle}), so {!cancel} is O(1) and engines keep
+    no side tables. *)
 
 val create : unit -> t
 
@@ -44,4 +46,6 @@ val run : ?max_events:int -> ?until:float -> t -> int
     [until]. *)
 
 val reset : t -> unit
-(** Drop all pending events and rewind the clock to 0. *)
+(** Drop all pending events and rewind the clock to 0.  The event
+    queue's capacity is kept, so a reused engine does not re-grow its
+    heap from scratch. *)

@@ -1,14 +1,18 @@
-type 'a node = { time : float; seq : int; payload : 'a }
+type state = Live | Cancelled | Fired
+
+type 'a node = { time : float; seq : int; payload : 'a; mutable state : state }
+type 'a handle = 'a node
 
 type 'a t = {
   mutable heap : 'a node array;
-  mutable size : int;
+  mutable size : int; (* physical entries, cancelled included *)
+  mutable live : int; (* entries that will still fire *)
   mutable next_seq : int;
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0 }
-let length t = t.size
-let is_empty t = t.size = 0
+let create () = { heap = [||]; size = 0; live = 0; next_seq = 0 }
+let length t = t.live
+let is_empty t = t.live = 0
 
 let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
@@ -21,13 +25,14 @@ let grow t =
   end
 
 let push t ~time payload =
-  let node = { time; seq = t.next_seq; payload } in
+  let node = { time; seq = t.next_seq; payload; state = Live } in
   t.next_seq <- t.next_seq + 1;
   if t.size = Array.length t.heap then
     if t.size = 0 then t.heap <- Array.make 16 node else grow t;
   (* Sift up. *)
   let i = ref t.size in
   t.size <- t.size + 1;
+  t.live <- t.live + 1;
   t.heap.(!i) <- node;
   let continue = ref true in
   while !continue && !i > 0 do
@@ -38,7 +43,18 @@ let push t ~time payload =
       i := parent
     end
     else continue := false
-  done
+  done;
+  node
+
+let cancel_handle t handle =
+  match handle.state with
+  | Live ->
+    handle.state <- Cancelled;
+    t.live <- t.live - 1;
+    true
+  | Cancelled | Fired -> false
+
+let is_cancelled handle = handle.state = Cancelled
 
 let sift_down t =
   let node = t.heap.(0) in
@@ -57,23 +73,50 @@ let sift_down t =
     else continue := false
   done
 
-let pop t =
+(* Remove the heap root without inspecting its state. *)
+let pop_root t =
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.heap.(0) <- t.heap.(t.size);
+    sift_down t
+  end;
+  top
+
+(* Lazy deletion: cancelled nodes stay in the heap until they surface,
+   then are discarded here.  Every exported read goes through one of
+   these, so callers only ever see events that will actually fire. *)
+let rec pop t =
+  if t.size = 0 then None
+  else begin
+    let top = pop_root t in
+    match top.state with
+    | Cancelled -> pop t
+    | Live | Fired ->
+      top.state <- Fired;
+      t.live <- t.live - 1;
+      Some (top.time, top.payload)
+  end
+
+let rec peek t =
   if t.size = 0 then None
   else begin
     let top = t.heap.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.heap.(0) <- t.heap.(t.size);
-      sift_down t
-    end;
-    Some (top.time, top.payload)
+    match top.state with
+    | Cancelled ->
+      ignore (pop_root t);
+      peek t
+    | Live | Fired -> Some (top.time, top.payload)
   end
 
-let peek t = if t.size = 0 then None else Some (t.heap.(0).time, t.heap.(0).payload)
-
+(* Keep the backing array so a reused queue (Engine.reset, repeated
+   Monte-Carlo runs on one engine) never re-grows from scratch.  Slots
+   are aliased to a single node so at most one stale payload is
+   retained. *)
 let clear t =
+  if t.size > 0 then Array.fill t.heap 0 t.size t.heap.(0);
   t.size <- 0;
-  t.heap <- [||]
+  t.live <- 0
 
 let drain t =
   let rec go acc = match pop t with None -> List.rev acc | Some e -> go (e :: acc) in

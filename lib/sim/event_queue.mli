@@ -1,25 +1,51 @@
-(** A binary min-heap priority queue for simulation events.
+(** A binary min-heap priority queue for simulation events, with O(1)
+    intrusive cancellation.
 
     Events are ordered by timestamp; ties are broken by insertion
     sequence so that simultaneous events fire in FIFO order, which keeps
-    replays deterministic. *)
+    replays deterministic.
+
+    {!push} returns a {!handle} carrying a mutable state flag on the
+    heap node itself; {!cancel_handle} just flips it.  Cancelled nodes
+    are discarded lazily when they surface at the heap root, so the
+    per-event fast path allocates nothing and touches no side table
+    (the engine previously paired every event with two hashtable
+    updates). *)
 
 type 'a t
 
+type 'a handle
+(** A pushed event.  At most one of "fires" / "cancelled" happens. *)
+
 val create : unit -> 'a t
+
 val length : 'a t -> int
+(** Events that will still fire; cancelled events do not count. *)
+
 val is_empty : 'a t -> bool
 
-val push : 'a t -> time:float -> 'a -> unit
+val push : 'a t -> time:float -> 'a -> 'a handle
 (** Schedule a payload at [time].  Times may be pushed in any order. *)
 
+val cancel_handle : 'a t -> 'a handle -> bool
+(** [cancel_handle t h] marks [h]'s event as never-to-fire, in O(1).
+    Returns [true] the first time; cancelling twice, or after the event
+    was popped, is a no-op returning [false] (so callers can keep
+    accurate pending counts). *)
+
+val is_cancelled : 'a handle -> bool
+
 val pop : 'a t -> (float * 'a) option
-(** Remove and return the earliest event, [None] when empty. *)
+(** Remove and return the earliest non-cancelled event, [None] when
+    none is left. *)
 
 val peek : 'a t -> (float * 'a) option
-(** Earliest event without removing it. *)
+(** Earliest non-cancelled event without removing it (cancelled nodes
+    ahead of it are purged). *)
 
 val clear : 'a t -> unit
+(** Forget all events but keep the heap's capacity, so a reused queue
+    does not re-grow from scratch. *)
 
 val drain : 'a t -> (float * 'a) list
 (** Pop everything, in order. *)

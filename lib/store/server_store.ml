@@ -5,11 +5,12 @@ type t = {
   mutable slots : Entry.t array; (* entries live in slots.(0 .. size-1) *)
   mutable size : int;
   index : (int, int) Hashtbl.t; (* entry id -> slot *)
+  mutable scratch : int array; (* reused by random_pick; grown on demand *)
 }
 
 let dummy = Entry.v 0
 
-let create () = { slots = [||]; size = 0; index = Hashtbl.create 16 }
+let create () = { slots = [||]; size = 0; index = Hashtbl.create 16; scratch = [||] }
 
 let cardinal t = t.size
 let is_empty t = t.size = 0
@@ -53,12 +54,33 @@ let clear t =
   t.size <- 0;
   Hashtbl.reset t.index
 
+(* The per-server lookup answer is the hottest operation of the whole
+   evaluation, so the k-subset draw runs over a per-store scratch
+   buffer: no [Array.init]/[Array.sub]/[Array.map] garbage per call,
+   and the exact same generator draws as Rng.sample_indices. *)
+let pick_indices t rng k =
+  if Array.length t.scratch < t.size then t.scratch <- Array.make (max 8 (2 * t.size)) 0;
+  Rng.sample_indices_into rng t.scratch ~n:t.size ~k
+
+let random_pick_into t rng k buf =
+  let k = min k t.size in
+  if k <= 0 then 0
+  else begin
+    if Array.length buf < k then invalid_arg "Server_store.random_pick_into: buffer too small";
+    pick_indices t rng k;
+    for i = 0 to k - 1 do
+      buf.(i) <- t.slots.(t.scratch.(i))
+    done;
+    k
+  end
+
 let random_pick t rng k =
   let k = min k t.size in
   if k <= 0 then []
   else begin
-    let idx = Rng.sample_indices rng ~n:t.size ~k in
-    Array.to_list (Array.map (fun i -> t.slots.(i)) idx)
+    pick_indices t rng k;
+    let rec build i acc = if i < 0 then acc else build (i - 1) (t.slots.(t.scratch.(i)) :: acc) in
+    build (k - 1) []
   end
 
 let random_one t rng = if t.size = 0 then None else Some t.slots.(Rng.int rng t.size)

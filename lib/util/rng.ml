@@ -95,6 +95,23 @@ let shuffle t l =
   shuffle_in_place t arr;
   Array.to_list arr
 
+(* The draw sequence (one [int_in_range] per selected slot) is shared
+   by the allocating and the _into variants, so replacing one with the
+   other never changes a seeded experiment's output. *)
+let sample_indices_into t scratch ~n ~k =
+  if k < 0 || k > n then invalid_arg "Rng.sample_indices_into: need 0 <= k <= n";
+  if Array.length scratch < n then
+    invalid_arg "Rng.sample_indices_into: scratch shorter than n";
+  for i = 0 to n - 1 do
+    scratch.(i) <- i
+  done;
+  for i = 0 to k - 1 do
+    let j = int_in_range t ~lo:i ~hi:(n - 1) in
+    let tmp = scratch.(i) in
+    scratch.(i) <- scratch.(j);
+    scratch.(j) <- tmp
+  done
+
 let sample_indices t ~n ~k =
   if k < 0 || k > n then invalid_arg "Rng.sample_indices: need 0 <= k <= n";
   let idx = Array.init n Fun.id in
@@ -114,6 +131,17 @@ let perm t n =
   let arr = Array.init n Fun.id in
   shuffle_in_place t arr;
   arr
+
+(* FNV-1a over every byte, finished with mix64.  [Hashtbl.hash] — the
+   obvious alternative — inspects only a bounded prefix of the string
+   (10 "meaningful" words by default), so long keys sharing a prefix
+   collide systematically; this digest never truncates. *)
+let digest_string s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001B3L)
+    s;
+  mix64 !h
 
 let hash_in_range ~seed ~salt ~value n =
   if n <= 0 then invalid_arg "Rng.hash_in_range: n must be positive";

@@ -61,6 +61,14 @@ val sample_indices : t -> n:int -> k:int -> int array
     [\[0, n)], in random order, via a partial Fisher–Yates.  Requires
     [0 <= k <= n]. *)
 
+val sample_indices_into : t -> int array -> n:int -> k:int -> unit
+(** Allocation-free {!sample_indices} for hot paths: re-initializes
+    [scratch.(0 .. n-1)] to [0 .. n-1], then performs the same partial
+    Fisher–Yates; the sample is left in [scratch.(0 .. k-1)].  Consumes
+    exactly the same generator draws as {!sample_indices}, so the two
+    are interchangeable without perturbing seeded runs.  Requires
+    [0 <= k <= n <= Array.length scratch]. *)
+
 val sample : t -> 'a array -> int -> 'a array
 (** [sample t arr k] draws [k] distinct elements of [arr] uniformly,
     without replacement. *)
@@ -71,6 +79,13 @@ val perm : t -> int -> int array
 val mix64 : int64 -> int64
 (** The splitmix64 finalizer — a high-quality stateless 64-bit mixer.
     Used to build the Hash-y strategy's hash-function family. *)
+
+val digest_string : string -> int64
+(** [digest_string s] is a 64-bit FNV-1a digest of {e every} byte of
+    [s], finished with {!mix64}.  Unlike [Hashtbl.hash], which only
+    inspects a bounded prefix, distinct long keys sharing a prefix get
+    distinct digests; {!Plookup.Directory} derives per-key seeds from
+    this. *)
 
 val hash_in_range : seed:int -> salt:int -> value:int -> int -> int
 (** [hash_in_range ~seed ~salt ~value n] deterministically maps

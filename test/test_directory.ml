@@ -85,6 +85,29 @@ let test_deterministic () =
   in
   Alcotest.(check (list int)) "same seed same answers" (run ()) (run ())
 
+let test_long_keys_get_distinct_streams () =
+  (* Regression: the per-key seed must digest the whole key.  A bounded
+     or truncating key hash collapses long keys that share a prefix onto
+     one RNG stream, making their "random" placements identical. *)
+  let prefix = String.make 300 'p' in
+  let key i = prefix ^ string_of_int i in
+  let d = make ~default:(Service.random_server 2) () in
+  let answers =
+    List.init 8 (fun i ->
+        let k = key i in
+        (* Disjoint id ranges per key, so answers are comparable only
+           through which slots the per-key rng picked. *)
+        Directory.place d ~key:k (List.init 12 (fun j -> Entry.v ((1000 * i) + j)));
+        List.sort compare
+          (List.map
+             (fun e -> Entry.id e mod 1000)
+             (Directory.partial_lookup d ~key:k 4).Lookup_result.entries))
+  in
+  let distinct = List.sort_uniq compare answers in
+  Alcotest.(check bool)
+    "long shared-prefix keys draw from distinct rng streams" true
+    (List.length distinct > 1)
+
 let prop_lookup_only_returns_placed =
   Helpers.qcheck ~count:50 "directory lookups return only that key's entries"
     QCheck2.Gen.(pair (int_range 1 10) (int_range 1 10))
@@ -111,4 +134,6 @@ let () =
           Alcotest.test_case "total storage" `Quick test_total_storage;
           Alcotest.test_case "pref lookup" `Quick test_pref_lookup;
           Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "long keys distinct" `Quick
+            test_long_keys_get_distinct_streams;
           prop_lookup_only_returns_placed ] ) ]

@@ -1,5 +1,7 @@
 open Plookup_sim
 
+let push q ~time v = ignore (Event_queue.push q ~time v)
+
 let test_empty () =
   let q = Event_queue.create () in
   Helpers.check_int "length" 0 (Event_queue.length q);
@@ -9,53 +11,82 @@ let test_empty () =
 
 let test_ordering () =
   let q = Event_queue.create () in
-  List.iter (fun (t, v) -> Event_queue.push q ~time:t v)
+  List.iter (fun (t, v) -> push q ~time:t v)
     [ (3., "c"); (1., "a"); (2., "b"); (0.5, "z") ];
   let order = List.map snd (Event_queue.drain q) in
   Alcotest.(check (list string)) "sorted by time" [ "z"; "a"; "b"; "c" ] order
 
 let test_fifo_ties () =
   let q = Event_queue.create () in
-  List.iter (fun v -> Event_queue.push q ~time:5. v) [ 1; 2; 3; 4; 5 ];
+  List.iter (fun v -> push q ~time:5. v) [ 1; 2; 3; 4; 5 ];
   Alcotest.(check (list int)) "ties in insertion order" [ 1; 2; 3; 4; 5 ]
     (List.map snd (Event_queue.drain q))
 
 let test_peek_does_not_remove () =
   let q = Event_queue.create () in
-  Event_queue.push q ~time:1. "x";
+  push q ~time:1. "x";
   Alcotest.(check bool) "peek" true (Event_queue.peek q = Some (1., "x"));
   Helpers.check_int "still there" 1 (Event_queue.length q)
 
 let test_interleaved_push_pop () =
   let q = Event_queue.create () in
-  Event_queue.push q ~time:10. "late";
-  Event_queue.push q ~time:1. "early";
+  push q ~time:10. "late";
+  push q ~time:1. "early";
   Alcotest.(check bool) "pop early" true (Event_queue.pop q = Some (1., "early"));
-  Event_queue.push q ~time:5. "middle";
+  push q ~time:5. "middle";
   Alcotest.(check bool) "pop middle" true (Event_queue.pop q = Some (5., "middle"));
   Alcotest.(check bool) "pop late" true (Event_queue.pop q = Some (10., "late"))
 
 let test_clear () =
   let q = Event_queue.create () in
-  Event_queue.push q ~time:1. 1;
+  push q ~time:1. 1;
   Event_queue.clear q;
   Alcotest.(check bool) "cleared" true (Event_queue.is_empty q)
 
 let test_grows () =
   let q = Event_queue.create () in
   for i = 999 downto 0 do
-    Event_queue.push q ~time:(float_of_int i) i
+    push q ~time:(float_of_int i) i
   done;
   Helpers.check_int "length" 1000 (Event_queue.length q);
   Alcotest.(check (list int)) "drains in order" (List.init 1000 Fun.id)
     (List.map snd (Event_queue.drain q))
+
+let test_cancel_basic () =
+  let q = Event_queue.create () in
+  let a = Event_queue.push q ~time:1. "a" in
+  let b = Event_queue.push q ~time:2. "b" in
+  let c = Event_queue.push q ~time:3. "c" in
+  Helpers.check_int "three pending" 3 (Event_queue.length q);
+  Alcotest.(check bool) "cancel b" true (Event_queue.cancel_handle q b);
+  Helpers.check_int "two pending" 2 (Event_queue.length q);
+  Alcotest.(check bool) "cancel b again is no-op" false (Event_queue.cancel_handle q b);
+  Alcotest.(check bool) "b is cancelled" true (Event_queue.is_cancelled b);
+  Alcotest.(check bool) "a is not" false (Event_queue.is_cancelled a);
+  Alcotest.(check (list string)) "b never surfaces" [ "a"; "c" ]
+    (List.map snd (Event_queue.drain q));
+  Alcotest.(check bool) "cancel after fire is no-op" false
+    (Event_queue.cancel_handle q a);
+  ignore c
+
+let test_cancel_root () =
+  (* Cancelling the earliest pending event must not disturb peek/pop. *)
+  let q = Event_queue.create () in
+  let a = Event_queue.push q ~time:1. "a" in
+  let _b = Event_queue.push q ~time:2. "b" in
+  ignore (Event_queue.cancel_handle q a);
+  Alcotest.(check bool) "peek skips cancelled root" true
+    (Event_queue.peek q = Some (2., "b"));
+  Alcotest.(check bool) "pop skips cancelled root" true
+    (Event_queue.pop q = Some (2., "b"));
+  Alcotest.(check bool) "empty after" true (Event_queue.is_empty q)
 
 let prop_drain_sorted =
   Helpers.qcheck ~count:300 "drain yields non-decreasing times"
     QCheck2.Gen.(list (float_range 0. 1000.))
     (fun times ->
       let q = Event_queue.create () in
-      List.iter (fun t -> Event_queue.push q ~time:t ()) times;
+      List.iter (fun t -> push q ~time:t ()) times;
       let drained = List.map fst (Event_queue.drain q) in
       drained = List.sort compare times)
 
@@ -64,7 +95,7 @@ let prop_stable_for_equal_times =
     QCheck2.Gen.(list_size (int_range 0 50) (int_range 0 3))
     (fun times ->
       let q = Event_queue.create () in
-      List.iteri (fun i t -> Event_queue.push q ~time:(float_of_int t) i) times;
+      List.iteri (fun i t -> push q ~time:(float_of_int t) i) times;
       let drained = Event_queue.drain q in
       (* For every pair with equal time, sequence must be increasing. *)
       let rec check = function
@@ -73,6 +104,49 @@ let prop_stable_for_equal_times =
         | _ -> true
       in
       check drained)
+
+(* Model-based: a script of pushes and cancels against a sorted-list
+   reference.  The heap with lazy deletion must agree with the model on
+   both the live count and the exact fire order. *)
+let prop_cancel_model =
+  Helpers.qcheck ~count:300 "cancellation matches a sorted-list model"
+    QCheck2.Gen.(
+      list_size (int_range 0 60)
+        (pair (int_range 0 9) (* time bucket: plenty of ties *)
+           (int_range 0 4) (* cancel k pending events after this push *)))
+    (fun script ->
+      let q = Event_queue.create () in
+      let handles = ref [] in (* (serial, handle), newest first *)
+      let model = ref [] in (* (time, serial), live only *)
+      let serial = ref 0 in
+      List.iter
+        (fun (bucket, cancels) ->
+          let time = float_of_int bucket in
+          let h = Event_queue.push q ~time !serial in
+          handles := (!serial, h) :: !handles;
+          model := (time, !serial) :: !model;
+          incr serial;
+          (* Cancel [cancels] of the still-live events, oldest first, so
+             the reference knows exactly which ones disappear. *)
+          let live =
+            List.filter (fun (_, h) -> not (Event_queue.is_cancelled h)) !handles
+          in
+          let victims =
+            List.filteri (fun i _ -> i < cancels) (List.rev live)
+          in
+          List.iter
+            (fun (s, h) ->
+              if Event_queue.cancel_handle q h then
+                model := List.filter (fun (_, s') -> s' <> s) !model)
+            victims)
+        script;
+      let expected =
+        (* Sort by (time, serial): serials increase with insertion, so
+           this is exactly time-order with FIFO ties. *)
+        List.sort compare !model
+      in
+      Event_queue.length q = List.length expected
+      && Event_queue.drain q = expected)
 
 let () =
   Helpers.run "event_queue"
@@ -84,5 +158,8 @@ let () =
           Alcotest.test_case "interleaved" `Quick test_interleaved_push_pop;
           Alcotest.test_case "clear" `Quick test_clear;
           Alcotest.test_case "grows" `Quick test_grows;
+          Alcotest.test_case "cancel basic" `Quick test_cancel_basic;
+          Alcotest.test_case "cancel root" `Quick test_cancel_root;
           prop_drain_sorted;
-          prop_stable_for_equal_times ] ) ]
+          prop_stable_for_equal_times;
+          prop_cancel_model ] ) ]

@@ -1,0 +1,22 @@
+(* The determinism contract behind --jobs: every experiment must produce
+   byte-identical tables no matter how many worker domains run its
+   replicates.  Each experiment runs twice at a tiny scale — once
+   sequentially, once with 4 workers — and the CSV renderings are
+   compared verbatim. *)
+
+module E = Plookup_experiments
+module Table = Plookup_util.Table
+
+let csv ~jobs e =
+  let ctx = E.Ctx.v ~seed:42 ~scale:0.02 ~jobs () in
+  Table.to_csv (e.E.Registry.run ctx)
+
+let case e =
+  Alcotest.test_case e.E.Registry.id `Slow (fun () ->
+      Helpers.check_string
+        (Printf.sprintf "%s: jobs=1 vs jobs=4" e.E.Registry.id)
+        (csv ~jobs:1 e) (csv ~jobs:4 e))
+
+let () =
+  Helpers.run "jobs_determinism"
+    [ ("jobs=1 equals jobs=4", List.map case E.Registry.all) ]

@@ -149,6 +149,35 @@ let test_sample_indices () =
     (Invalid_argument "Rng.sample_indices: need 0 <= k <= n") (fun () ->
       ignore (Rng.sample_indices rng ~n:3 ~k:4))
 
+let test_sample_indices_into () =
+  (* The preallocated variant must consume exactly the same draws and
+     produce exactly the same sample as the allocating one. *)
+  let a = Rng.create 8 and b = Rng.create 8 in
+  let scratch = Array.make 10 0 in
+  for _ = 1 to 200 do
+    let k = Rng.int a 10 in
+    ignore (Rng.int b 10);
+    let expected = Rng.sample_indices a ~n:10 ~k in
+    Rng.sample_indices_into b scratch ~n:10 ~k;
+    Alcotest.(check (array int)) "same sample" expected (Array.sub scratch 0 k)
+  done;
+  Alcotest.check_raises "scratch too small"
+    (Invalid_argument "Rng.sample_indices_into: scratch shorter than n") (fun () ->
+      ignore (Rng.sample_indices_into a (Array.make 3 0) ~n:5 ~k:2))
+
+let test_digest_string () =
+  (* Deterministic, and sensitive to every byte: two long keys that
+     differ only in the last character must not collide (the regression
+     that motivated replacing Hashtbl.hash in Directory). *)
+  Alcotest.(check int64) "stable" (Rng.digest_string "abc") (Rng.digest_string "abc");
+  let prefix = String.make 400 'k' in
+  let digests = List.init 16 (fun i -> Rng.digest_string (prefix ^ string_of_int i)) in
+  Helpers.check_int "all distinct" 16 (List.length (List.sort_uniq compare digests));
+  Alcotest.(check bool) "last byte matters" false
+    (Rng.digest_string (prefix ^ "a") = Rng.digest_string (prefix ^ "b"));
+  Alcotest.(check bool) "empty vs nonempty" false
+    (Rng.digest_string "" = Rng.digest_string "\000")
+
 let test_sample_uniform () =
   (* Each of 5 elements should appear in a 2-of-5 sample with probability
      2/5. *)
@@ -239,6 +268,8 @@ let () =
           Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
           Alcotest.test_case "shuffle uniform" `Quick test_shuffle_uniform_first;
           Alcotest.test_case "sample_indices" `Quick test_sample_indices;
+          Alcotest.test_case "sample_indices_into" `Quick test_sample_indices_into;
+          Alcotest.test_case "digest_string" `Quick test_digest_string;
           Alcotest.test_case "sample uniform" `Quick test_sample_uniform;
           Alcotest.test_case "perm" `Quick test_perm;
           Alcotest.test_case "hash_in_range" `Quick test_hash_in_range;
