@@ -1,0 +1,292 @@
+(* Bench regression gate: compare a freshly generated BENCH_core.json
+   against the committed baseline and fail (exit 1) when any throughput
+   metric dropped by more than the allowed fraction.
+
+       check_regress [--threshold 0.30] BASELINE.json FRESH.json
+
+   Throughput metrics gated (higher is better):
+     engine.events_per_sec
+     lookups_per_sec[].per_sec        (keyed by strategy)
+     updates_per_sec[].per_sec        (keyed by strategy)
+     instrumentation.*_per_sec_*      (when present in both files)
+
+   Wall-clock and speedup fields are reported for context but not
+   gated — they measure the CI machine as much as the code.  Metrics
+   present in only one file are reported and skipped, so the gate
+   tolerates baseline refreshes that add or drop rows.
+
+   The parser below is a minimal JSON reader (objects, arrays, strings,
+   numbers, booleans, null) — the container deliberately has no JSON
+   library, and BENCH_core.json is machine-written by bench/main.ml. *)
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse_json (s : string) : json =
+  let pos = ref 0 in
+  let len = String.length s in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= len && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | None -> fail "unterminated escape"
+        | Some c ->
+          advance ();
+          (match c with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'u' ->
+            (* Benchmark names are ASCII; decode the code point bluntly. *)
+            if !pos + 4 > len then fail "truncated \\u escape";
+            let hex = String.sub s !pos 4 in
+            pos := !pos + 4;
+            let code =
+              try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+            in
+            if code < 128 then Buffer.add_char buf (Char.chr code)
+            else Buffer.add_char buf '?'
+          | _ -> fail "unknown escape");
+          go ())
+      | Some c ->
+        advance ();
+        Buffer.add_char buf c;
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    match float_of_string_opt tok with
+    | Some f -> Num f
+    | None -> fail (Printf.sprintf "bad number %S" tok)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((key, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((key, v) :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        Obj (members [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        List (elements [])
+      end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage";
+  v
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let num_opt = function Some (Num f) -> Some f | _ -> None
+
+let str_opt = function Some (Str s) -> Some s | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Throughput extraction: a flat (metric name -> per-sec value) list.  *)
+
+let throughput_metrics json =
+  let out = ref [] in
+  let push name v = out := (name, v) :: !out in
+  (match num_opt (Option.bind (member "engine" json) (member "events_per_sec")) with
+  | Some v -> push "engine.events_per_sec" v
+  | None -> ());
+  let rate_array field =
+    match member field json with
+    | Some (List rows) ->
+      List.iter
+        (fun row ->
+          match (str_opt (member "strategy" row), num_opt (member "per_sec" row)) with
+          | Some name, Some v -> push (Printf.sprintf "%s.%s" field name) v
+          | _ -> ())
+        rows
+    | _ -> ()
+  in
+  rate_array "lookups_per_sec";
+  rate_array "updates_per_sec";
+  (match member "instrumentation" json with
+  | Some (Obj fields) ->
+    List.iter
+      (fun (key, v) ->
+        match v with
+        | Num f ->
+          (* Only the rates; counts and percentages are not throughput. *)
+          let is_rate =
+            let needle = "_per_sec" in
+            let rec search i =
+              i + String.length needle <= String.length key
+              && (String.sub key i (String.length needle) = needle || search (i + 1))
+            in
+            search 0
+          in
+          if is_rate then push (Printf.sprintf "instrumentation.%s" key) f
+        | _ -> ())
+      fields
+  | _ -> ());
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let () =
+  let threshold = ref 0.30 in
+  let paths = ref [] in
+  Arg.parse
+    [ ( "--threshold",
+        Arg.Set_float threshold,
+        "FRACTION maximum tolerated throughput drop (default 0.30)" ) ]
+    (fun p -> paths := p :: !paths)
+    "check_regress [--threshold F] BASELINE.json FRESH.json";
+  let baseline_path, fresh_path =
+    match List.rev !paths with
+    | [ b; f ] -> (b, f)
+    | _ ->
+      prerr_endline "usage: check_regress [--threshold F] BASELINE.json FRESH.json";
+      exit 2
+  in
+  let load path =
+    match parse_json (read_file path) with
+    | json -> json
+    | exception Parse_error msg ->
+      Printf.eprintf "%s: %s\n" path msg;
+      exit 2
+    | exception Sys_error msg ->
+      prerr_endline msg;
+      exit 2
+  in
+  let baseline = throughput_metrics (load baseline_path) in
+  let fresh = throughput_metrics (load fresh_path) in
+  Printf.printf "bench gate: %s -> %s (fail below -%.0f%%)\n\n" baseline_path fresh_path
+    (100. *. !threshold);
+  Printf.printf "  %-48s %14s %14s %9s\n" "metric" "baseline /s" "fresh /s" "delta %";
+  let failures = ref 0 in
+  List.iter
+    (fun (name, base) ->
+      match List.assoc_opt name fresh with
+      | None -> Printf.printf "  %-48s %14.0f %14s %9s\n" name base "-" "gone"
+      | Some now ->
+        let delta = if base > 0. then 100. *. ((now /. base) -. 1.) else 0. in
+        let verdict = delta < -100. *. !threshold in
+        if verdict then incr failures;
+        Printf.printf "  %-48s %14.0f %14.0f %+8.1f%%%s\n" name base now delta
+          (if verdict then "  << REGRESSION" else ""))
+    baseline;
+  List.iter
+    (fun (name, now) ->
+      if not (List.mem_assoc name baseline) then
+        Printf.printf "  %-48s %14s %14.0f %9s\n" name "-" now "new")
+    fresh;
+  print_newline ();
+  if !failures > 0 then begin
+    Printf.printf "FAIL: %d throughput metric(s) dropped more than %.0f%%\n" !failures
+      (100. *. !threshold);
+    exit 1
+  end
+  else print_endline "OK: no throughput metric dropped beyond the threshold"

@@ -580,29 +580,137 @@ let bench_core ~jobs ~scale () =
       Table.S (Printf.sprintf "%.2f s" wall_jn) ];
   Table.add_row table [ Table.S "speedup"; Table.S (Printf.sprintf "%.2fx" speedup) ];
   Table.print table;
-  let oc = open_out "BENCH_core.json" in
   let strategy_rates rows =
     String.concat ",\n"
       (List.map
          (fun (name, v) -> Printf.sprintf "    {\"strategy\": %S, \"per_sec\": %.0f}" name v)
          rows)
   in
-  Printf.fprintf oc
-    "{\n\
-    \  \"benchmark\": \"core_throughput\",\n\
+  (* The top-level fields of BENCH_core.json, sans braces: the caller
+     appends Part 6's instrumentation block before closing the object. *)
+  Printf.sprintf
+    "  \"benchmark\": \"core_throughput\",\n\
     \  \"params\": {\"n\": %d, \"h\": %d, \"t\": %d, \"scale\": %g, \"jobs\": %d, \
      \"parallel_available\": %b},\n\
     \  \"engine\": {\"events\": %d, \"events_per_sec\": %.0f},\n\
     \  \"lookups_per_sec\": [\n%s\n  ],\n\
     \  \"updates_per_sec\": [\n%s\n  ],\n\
     \  \"reproduction\": {\"scale\": %g, \"wall_clock_jobs1_sec\": %.3f, \
-     \"wall_clock_jobsN_sec\": %.3f, \"jobs\": %d, \"speedup\": %.3f}\n\
-     }\n"
+     \"wall_clock_jobsN_sec\": %.3f, \"jobs\": %d, \"speedup\": %.3f}"
     n h t scale jobs Pool.parallel_available engine_events events_per_sec
     (strategy_rates lookup_rows) (strategy_rates update_rows) scale wall_j1 wall_jn jobs
-    speedup;
-  close_out oc;
-  print_endline "(wrote BENCH_core.json)"
+    speedup
+
+(* ------------------------------------------------------------------ *)
+(* Part 6: instrumentation overhead -> BENCH_core.json                 *)
+
+(* What the observability layer costs on the message hot path, measured
+   three ways on the same workload:
+
+   - bare:     a Net with neither plane accounting nor a trace attached
+               (the counters themselves can't be opted out — they are
+               the paper's cost model);
+   - disabled: planes + trace attached but tracing off — the production
+               default, whose overhead must stay in the noise;
+   - traced:   tracing on, spans into the bounded ring.
+
+   Plus the same off/on comparison one level up, on a full Service
+   update workload (placement wiring, strategy dispatch, repair hooks
+   all present). *)
+let bench_obs ~scale () =
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let n = 10 in
+  let sends = int_of_float (400_000. *. Float.min 1.0 (4. *. scale)) in
+  let drive (net : (int, int) Net.t) =
+    Net.set_handler net (fun _dst _src msg -> msg);
+    (* Warm up allocation paths before timing. *)
+    for i = 1 to 1000 do
+      ignore (Net.send net ~src:Net.Client ~dst:(i mod n) i)
+    done;
+    let (), elapsed =
+      timed (fun () ->
+          for i = 1 to sends do
+            ignore (Net.send net ~src:Net.Client ~dst:(i mod n) i)
+          done)
+    in
+    float_of_int sends /. elapsed
+  in
+  let instrumented ~traced () =
+    let net = Net.create ~n () in
+    Net.set_planes net ~names:[| "data" |] ~classify:(fun _ -> 0);
+    let tr = Plookup_obs.Trace.create ~capacity:4096 () in
+    Plookup_obs.Trace.set_enabled tr traced;
+    Net.set_trace net tr ~describe:(fun _ -> ("data", "msg"));
+    net
+  in
+  let bare = drive (Net.create ~n ()) in
+  let disabled = drive (instrumented ~traced:false ()) in
+  let traced = drive (instrumented ~traced:true ()) in
+  (* Service-level: the round-robin update workload, tracing off vs on. *)
+  let h = 100 in
+  let update_iters = int_of_float (50_000. *. Float.min 1.0 (4. *. scale)) in
+  let service_updates ~traced =
+    let obs = Plookup_obs.Obs.create ~trace_capacity:4096 () in
+    Plookup_obs.Trace.set_enabled obs.Plookup_obs.Obs.trace traced;
+    let service = Service.create ~seed:3 ~obs ~n (Service.round_robin 2) in
+    Service.place service (Entry.Gen.batch (Entry.Gen.create ()) h);
+    let i = ref 1_000_000 in
+    let (), elapsed =
+      timed (fun () ->
+          for _ = 1 to update_iters do
+            incr i;
+            Service.add service (Entry.v !i);
+            Service.delete service (Entry.v !i)
+          done)
+    in
+    float_of_int update_iters /. elapsed
+  in
+  let svc_off = service_updates ~traced:false in
+  let svc_on = service_updates ~traced:true in
+  let overhead reference v = 100. *. ((reference /. v) -. 1.) in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf "instrumentation overhead (%d net sends, %d service updates)"
+           sends update_iters)
+      ~columns:[ "configuration"; "rate"; "overhead vs bare %" ]
+  in
+  let rate v = Printf.sprintf "%.0f /s" v in
+  Table.add_row table [ Table.S "net bare"; Table.S (rate bare); Table.S "-" ];
+  Table.add_row table
+    [ Table.S "net obs attached, tracing off";
+      Table.S (rate disabled);
+      Table.F (overhead bare disabled) ];
+  Table.add_row table
+    [ Table.S "net obs attached, tracing on";
+      Table.S (rate traced);
+      Table.F (overhead bare traced) ];
+  Table.add_row table
+    [ Table.S "service updates, tracing off"; Table.S (rate svc_off); Table.S "-" ];
+  Table.add_row table
+    [ Table.S "service updates, tracing on";
+      Table.S (rate svc_on);
+      Table.F (overhead svc_off svc_on) ];
+  Table.print table;
+  Printf.sprintf
+    "  \"instrumentation\": {\n\
+    \    \"net_sends\": %d,\n\
+    \    \"net_sends_per_sec_bare\": %.0f,\n\
+    \    \"net_sends_per_sec_tracing_off\": %.0f,\n\
+    \    \"net_sends_per_sec_tracing_on\": %.0f,\n\
+    \    \"overhead_tracing_off_pct\": %.2f,\n\
+    \    \"overhead_tracing_on_pct\": %.2f,\n\
+    \    \"service_updates\": %d,\n\
+    \    \"service_updates_per_sec_tracing_off\": %.0f,\n\
+    \    \"service_updates_per_sec_tracing_on\": %.0f,\n\
+    \    \"service_overhead_tracing_on_pct\": %.2f\n\
+    \  }"
+    sends bare disabled traced (overhead bare disabled) (overhead bare traced)
+    update_iters svc_off svc_on (overhead svc_off svc_on)
 
 (* ------------------------------------------------------------------ *)
 
@@ -657,5 +765,14 @@ let () =
   print_newline ();
   print_endline "=== Part 5: core throughput baseline (BENCH_core.json) ===";
   print_newline ();
-  bench_core ~jobs ~scale:(if !smoke then 0.05 else 0.25) ();
+  let bench_scale = if !smoke then 0.05 else 0.25 in
+  let core_fields = bench_core ~jobs ~scale:bench_scale () in
+  print_newline ();
+  print_endline "=== Part 6: instrumentation overhead (observability layer) ===";
+  print_newline ();
+  let obs_fields = bench_obs ~scale:bench_scale () in
+  let oc = open_out "BENCH_core.json" in
+  Printf.fprintf oc "{\n%s,\n%s\n}\n" core_fields obs_fields;
+  close_out oc;
+  print_endline "(wrote BENCH_core.json)";
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

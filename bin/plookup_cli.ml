@@ -374,9 +374,95 @@ let sweep_cmd =
         (const sweep $ strategy $ n $ h $ budget $ t_lo $ t_hi $ t_step $ runs $ seed_arg
         $ csv_arg))
 
+(* trace subcommand: one experiment with the observability layer on *)
+let trace_experiment id trace_out metrics_dump trace_cap seed scale jobs loss duplication
+    jitter csv =
+  let module Obs = Plookup_obs.Obs in
+  let module Trace = Plookup_obs.Trace in
+  match Experiments.Registry.find id with
+  | None ->
+    `Error
+      ( false,
+        Printf.sprintf "unknown experiment %S; try one of: %s" id
+          (String.concat ", " (Experiments.Registry.ids ())) )
+  | Some e -> (
+    if trace_cap <= 0 then `Error (false, "--trace-cap must be positive")
+    else begin
+      let obs = Obs.create ~trace_capacity:trace_cap () in
+      Trace.set_enabled obs.Obs.trace true;
+      let sink_channel =
+        Option.map
+          (fun path ->
+            let oc = open_out path in
+            Trace.add_sink obs.Obs.trace (Plookup_obs.Sink.jsonl oc);
+            oc)
+          trace_out
+      in
+      match
+        Experiments.Ctx.v ~seed ~scale ~jobs:(resolve_jobs jobs) ~loss ~duplication
+          ~jitter ~obs ()
+      with
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | ctx ->
+        let table = e.Experiments.Registry.run ctx in
+        render ~csv ~plot:false table;
+        Trace.flush obs.Obs.trace;
+        Option.iter close_out sink_channel;
+        let tr = obs.Obs.trace in
+        Printf.printf "trace: %d spans emitted, %d retained, %d dropped%s\n"
+          (Trace.emitted tr) (Trace.length tr) (Trace.dropped tr)
+          (match trace_out with
+          | Some f -> Printf.sprintf ", streamed to %s" f
+          | None -> "");
+        if metrics_dump then
+          print_endline
+            (Plookup_obs.Metrics.to_json
+               (Plookup_obs.Metrics.snapshot obs.Obs.metrics));
+        `Ok ()
+    end)
+
+let trace_cmd =
+  let id =
+    let doc = "Experiment to trace.  See $(b,plookup list)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let trace_out =
+    let doc =
+      "Stream every span to $(docv) as JSON Lines (one object per span) while the \
+       experiment runs.  The stream sees each span once, including spans later evicted \
+       from the in-memory ring."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_dump =
+    let doc =
+      "After the run, print the aggregated metrics registry snapshot as one JSON object \
+       (counters, gauges and histograms, with their labels)."
+    in
+    Arg.(value & flag & info [ "metrics-dump" ] ~doc)
+  in
+  let trace_cap =
+    let doc =
+      "Capacity of each in-memory span ring (per worker); older spans are evicted first \
+       and reported in the final $(b,dropped) count."
+    in
+    Arg.(value & opt int 1_048_576 & info [ "trace-cap" ] ~docv:"N" ~doc)
+  in
+  let doc =
+    "Run one experiment with tracing enabled: typed spans (sends, receives, drops, \
+     retries, timeouts, repair rounds, migrations) to a JSONL file, plus an optional \
+     metrics-registry dump."
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      ret
+        (const trace_experiment $ id $ trace_out $ metrics_dump $ trace_cap $ seed_arg
+        $ scale_arg $ jobs_arg $ loss_arg $ duplication_arg $ jitter_arg $ csv_arg))
+
 let main_cmd =
   let doc = "partial lookup service — reproduction of Sun & Garcia-Molina (ICDCS 2003)" in
-  let info = Cmd.info "plookup" ~version:"1.0.0" ~doc in
-  Cmd.group info [ run_cmd; list_cmd; stars_cmd; strategies_cmd; demo_cmd; sweep_cmd ]
+  let info = Cmd.info "plookup" ~version:"1.4.0" ~doc in
+  Cmd.group info
+    [ run_cmd; list_cmd; stars_cmd; strategies_cmd; demo_cmd; sweep_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,6 +1,8 @@
 open Plookup_store
 module Engine = Plookup_sim.Engine
 module Net = Plookup_net.Net
+module Trace = Plookup_obs.Trace
+module Span = Plookup_obs.Span
 
 type outcome = {
   result : Lookup_result.t;
@@ -97,13 +99,27 @@ and attempt st server ~tries_left ~timeout =
      A reply arriving after the timeout is simply dropped, like a
      datagram arriving after the client moved on. *)
   let timed_out = ref false in
+  let tr = (Cluster.obs st.cluster).Plookup_obs.Obs.trace in
   ignore
     (Engine.schedule_after st.engine ~delay:timeout (fun _ ->
          if not !answered && not st.finished then begin
            timed_out := true;
            st.timeouts <- st.timeouts + 1;
+           let tid =
+             if Trace.enabled tr then
+               Trace.emit tr ~time:(Engine.now st.engine)
+                 (Span.Timeout { dst = server; after = timeout })
+             else 0
+           in
            if tries_left > 0 then begin
              st.retries <- st.retries + 1;
+             if Trace.enabled tr then
+               ignore
+                 (Trace.emit tr ~time:(Engine.now st.engine)
+                    ?cause:(if tid = 0 then None else Some tid)
+                    (Span.Retry
+                       { dst = server;
+                         attempt = st.retries_allowed - tries_left + 2 }));
              attempt st server ~tries_left:(tries_left - 1)
                ~timeout:(timeout *. st.backoff)
            end

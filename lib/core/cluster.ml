@@ -1,6 +1,7 @@
 open Plookup_store
 open Plookup_util
 module Net = Plookup_net.Net
+module Obs = Plookup_obs.Obs
 
 type t = {
   n : int;
@@ -8,20 +9,27 @@ type t = {
   rng : Rng.t;
   net : (Msg.t, Msg.reply) Net.t;
   stores : Server_store.t array;
+  obs : Obs.t;
 }
 
-let create ?(seed = 0) ~n () =
+let create ?(seed = 0) ?obs ~n () =
   if n <= 0 then invalid_arg "Cluster.create: n must be positive";
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  let net = Net.create ~metrics:obs.Obs.metrics ~n () in
+  Net.set_planes net ~names:Msg.plane_names ~classify:Msg.plane_index;
+  Net.set_trace net obs.Obs.trace ~describe:(fun m -> (Msg.plane_name m, Msg.label m));
   { n;
     seed;
     rng = Rng.create seed;
-    net = Net.create ~n;
-    stores = Array.init n (fun _ -> Server_store.create ()) }
+    net;
+    stores = Array.init n (fun _ -> Server_store.create ());
+    obs }
 
 let n t = t.n
 let seed t = t.seed
 let rng t = t.rng
 let net t = t.net
+let obs t = t.obs
 
 let store t i =
   if i < 0 || i >= t.n then invalid_arg "Cluster.store: server index out of range";

@@ -8,15 +8,25 @@ open Plookup_util
 
 type t
 
-val create : ?seed:int -> n:int -> unit -> t
+val create : ?seed:int -> ?obs:Plookup_obs.Obs.t -> n:int -> unit -> t
 (** [create ~n ()] builds [n] empty servers.  [seed] (default 0) fixes
     the generator driving every random choice made on this cluster and
-    the Hash-y hash-function family. *)
+    the Hash-y hash-function family.
+
+    [obs] (default: a fresh private handle) is where this cluster
+    instruments itself: the network's counters live on its metrics
+    registry, message deliveries are classified per {!Msg} plane, and —
+    when the handle's trace is enabled — every transmission emits
+    Send/Recv/Drop spans. *)
 
 val n : t -> int
 val seed : t -> int
 val rng : t -> Rng.t
 val net : t -> (Msg.t, Msg.reply) Plookup_net.Net.t
+val obs : t -> Plookup_obs.Obs.t
+(** The observability handle this cluster reports into (the one given at
+    {!create}, or its private one). *)
+
 val store : t -> int -> Server_store.t
 
 (** {1 Failures} *)

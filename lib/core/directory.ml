@@ -4,12 +4,13 @@ type t = {
   n : int;
   seed : int;
   default : Service.config;
+  obs : Plookup_obs.Obs.t option; (* shared by every per-key service *)
   services : (string, Service.t) Hashtbl.t;
 }
 
-let create ?(seed = 0) ~n ~default () =
+let create ?(seed = 0) ?obs ~n ~default () =
   if n <= 0 then invalid_arg "Directory.create: n must be positive";
-  { n; seed; default; services = Hashtbl.create 16 }
+  { n; seed; default; obs; services = Hashtbl.create 16 }
 
 let n t = t.n
 let default_config t = t.default
@@ -25,7 +26,7 @@ let key_seed t key =
 
 let create_service t ?config key =
   let config = Option.value config ~default:t.default in
-  let service = Service.create ~seed:(key_seed t key) ~n:t.n config in
+  let service = Service.create ~seed:(key_seed t key) ?obs:t.obs ~n:t.n config in
   Hashtbl.replace t.services key service;
   service
 

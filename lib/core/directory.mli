@@ -12,10 +12,14 @@ open Plookup_store
 
 type t
 
-val create : ?seed:int -> n:int -> default:Service.config -> unit -> t
+val create :
+  ?seed:int -> ?obs:Plookup_obs.Obs.t -> n:int -> default:Service.config -> unit -> t
 (** A directory whose keys are served by [n]-server strategy instances.
     Per-key services derive their seeds from [seed] and the key, so a
-    directory is fully deterministic. *)
+    directory is fully deterministic.  [obs], when given, is shared by
+    every per-key service, so one registry aggregates the whole
+    directory's traffic (per-key networks keep exact per-instance
+    accessors regardless). *)
 
 val n : t -> int
 val default_config : t -> Service.config

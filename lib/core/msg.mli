@@ -120,6 +120,18 @@ val repair_store : Entry.t -> t
 val plane_name : t -> string
 (** ["data"], ["strategy"] or ["repair"]. *)
 
+val plane_names : string array
+(** [[| "data"; "strategy"; "repair" |]], indexed by {!plane_index} —
+    the [names] a {!Plookup_net.Net.set_planes} call wants. *)
+
+val plane_index : t -> int
+(** 0 for data, 1 for strategy, 2 for repair. *)
+
+val label : t -> string
+(** The message's short wire name (e.g. ["lookup"], ["store_batch"],
+    ["digest_pull"]) — constant per constructor, used as the [msg] field
+    of trace spans. *)
+
 val hint_kind_name : hint_kind -> string
 val pp_data : Format.formatter -> data -> unit
 val pp_strategy : Format.formatter -> strategy -> unit

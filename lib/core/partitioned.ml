@@ -46,7 +46,7 @@ let create ?(seed = 0) ~n () =
     { n;
       seed;
       rng = Rng.create seed;
-      net = Net.create ~n;
+      net = Net.create ~n ();
       stores = Array.init n (fun _ -> Hashtbl.create 16) }
   in
   Net.set_handler t.net (handler t);

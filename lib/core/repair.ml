@@ -2,6 +2,9 @@ open Plookup_store
 open Plookup_util
 module Net = Plookup_net.Net
 module Engine = Plookup_sim.Engine
+module Metrics = Plookup_obs.Metrics
+module Trace = Plookup_obs.Trace
+module Span = Plookup_obs.Span
 
 type mode = Off | Sync | Full
 
@@ -74,17 +77,19 @@ type t = {
   deficient_since : (int, float) Hashtbl.t;
   mutable engine : Engine.t option;
   mutable daemon_ticks : int;
-  mutable st_syncs : int;
-  mutable st_shipped : int;
-  mutable st_retracted : int;
-  mutable st_hints_queued : int;
-  mutable st_hints_replayed : int;
-  mutable st_hints_expired : int;
-  mutable st_hints_dropped : int;
-  mutable st_re_replications : int;
-  mutable st_trims : int;
-  mutable st_restore_episodes : int;
-  mutable st_restore_total : float;
+  (* Repair bookkeeping lives on the cluster's metrics registry, next to
+     the network counters it explains. *)
+  st_syncs : Metrics.counter;
+  st_shipped : Metrics.counter;
+  st_retracted : Metrics.counter;
+  st_hints_queued : Metrics.counter;
+  st_hints_replayed : Metrics.counter;
+  st_hints_expired : Metrics.counter;
+  st_hints_dropped : Metrics.counter;
+  st_re_replications : Metrics.counter;
+  st_trims : Metrics.counter;
+  st_restore_episodes : Metrics.counter;
+  st_restore_total : Metrics.gauge;
 }
 
 let config t = t.config
@@ -96,19 +101,20 @@ let repair_messages t = Net.repair_messages (net t)
 let hints_pending t = Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.hints
 
 let stats t =
-  { syncs = t.st_syncs;
-    entries_shipped = t.st_shipped;
-    entries_retracted = t.st_retracted;
-    hints_queued = t.st_hints_queued;
-    hints_replayed = t.st_hints_replayed;
-    hints_expired = t.st_hints_expired;
-    hints_dropped = t.st_hints_dropped;
-    re_replications = t.st_re_replications;
-    trims = t.st_trims;
-    restore_episodes = t.st_restore_episodes;
+  let episodes = Metrics.value t.st_restore_episodes in
+  { syncs = Metrics.value t.st_syncs;
+    entries_shipped = Metrics.value t.st_shipped;
+    entries_retracted = Metrics.value t.st_retracted;
+    hints_queued = Metrics.value t.st_hints_queued;
+    hints_replayed = Metrics.value t.st_hints_replayed;
+    hints_expired = Metrics.value t.st_hints_expired;
+    hints_dropped = Metrics.value t.st_hints_dropped;
+    re_replications = Metrics.value t.st_re_replications;
+    trims = Metrics.value t.st_trims;
+    restore_episodes = episodes;
     mean_restore_time =
-      (if t.st_restore_episodes = 0 then None
-       else Some (t.st_restore_total /. float_of_int t.st_restore_episodes)) }
+      (if episodes = 0 then None
+       else Some (Metrics.gauge_value t.st_restore_total /. float_of_int episodes)) }
 
 let note_entry t e =
   let id = Entry.id e in
@@ -151,7 +157,7 @@ let observe t ~server (msg : Msg.data) =
             (fun s ->
               if Cluster.is_up t.cluster s then begin
                 ignore (Net.send (net t) ~src:(Net.Server server) ~dst:s (Msg.remove e));
-                t.st_trims <- t.st_trims + 1
+                Metrics.incr t.st_trims
               end)
             (List.sort compare subs)))
   | Msg.Lookup _ -> ()
@@ -212,8 +218,8 @@ let refresh_tracking t =
       else
         match Hashtbl.find_opt t.deficient_since id with
         | Some since ->
-          t.st_restore_episodes <- t.st_restore_episodes + 1;
-          t.st_restore_total <- t.st_restore_total +. (nowv -. since);
+          Metrics.incr t.st_restore_episodes;
+          Metrics.add_gauge t.st_restore_total (nowv -. since);
           Hashtbl.remove t.deficient_since id
         | None -> ())
     (sorted_live t);
@@ -289,11 +295,11 @@ let on_digest_request t ~peer ~src bits =
 let apply_fix t ~server missing retract =
   let store = Cluster.store t.cluster server in
   List.iter
-    (fun e -> if Server_store.add store e then t.st_shipped <- t.st_shipped + 1)
+    (fun e -> if Server_store.add store e then Metrics.incr t.st_shipped)
     missing;
   List.iter
     (fun id ->
-      if Server_store.remove store (Entry.v id) then t.st_retracted <- t.st_retracted + 1)
+      if Server_store.remove store (Entry.v id) then Metrics.incr t.st_retracted)
     retract
 
 let do_sync t server =
@@ -311,14 +317,14 @@ let do_sync t server =
            t.tombstones [])
     in
     if retract <> [] then begin
-      t.st_syncs <- t.st_syncs + 1;
+      Metrics.incr t.st_syncs;
       Net.tally_as_repair (net t) (fun () ->
           ignore
             (Net.send (net t) ~src:(Net.Server server) ~dst:server
                (Msg.sync_fix [] retract)))
     end
   | Some peer ->
-    t.st_syncs <- t.st_syncs + 1;
+    Metrics.incr t.st_syncs;
     Net.tally_as_repair (net t) (fun () ->
         ignore
           (Net.send (net t) ~src:(Net.Server server) ~dst:peer
@@ -348,12 +354,12 @@ let enqueue_hint t ~buddy ~target ~kind entry =
   let q = t.hints.(buddy) in
   if Queue.length q >= t.config.hint_capacity then begin
     ignore (Queue.pop q);
-    t.st_hints_dropped <- t.st_hints_dropped + 1
+    Metrics.incr t.st_hints_dropped
   end;
   Queue.push
     { h_target = target; h_kind = kind; h_entry = entry; h_expires = now t +. t.config.hint_ttl }
     q;
-  t.st_hints_queued <- t.st_hints_queued + 1
+  Metrics.incr t.st_hints_queued
 
 (* A transmission hit a down server: park the mutation as a hint on the
    first up server after the dead one in ring order. *)
@@ -381,12 +387,12 @@ let replay_hints t ~target =
           (* The buddy is itself down; its hints for [target] are
              superseded by the digest sync and must not replay later
              (they could resurrect an entry deleted in between). *)
-          t.st_hints_dropped <- t.st_hints_dropped + 1
-        else if nowv > h.h_expires then t.st_hints_expired <- t.st_hints_expired + 1
+          Metrics.incr t.st_hints_dropped
+        else if nowv > h.h_expires then Metrics.incr t.st_hints_expired
         else begin
           Net.tally_as_repair (net t) (fun () ->
               ignore (Net.send (net t) ~src:(Net.Server buddy) ~dst:target (msg_of_hint h)));
-          t.st_hints_replayed <- t.st_hints_replayed + 1
+          Metrics.incr t.st_hints_replayed
         end
       done;
       Queue.transfer keep q
@@ -452,7 +458,7 @@ let daemon_tick t =
                 List.iter
                   (fun dst ->
                     ignore (Net.send (net t) ~src:(Net.Server c) ~dst (Msg.repair_store e));
-                    t.st_re_replications <- t.st_re_replications + 1;
+                    Metrics.incr t.st_re_replications;
                     match owners with
                     | Some os when not (List.mem dst os) ->
                       let prev = Option.value (Hashtbl.find_opt t.placed id) ~default:[] in
@@ -474,7 +480,7 @@ let daemon_tick t =
                       if List.mem i os then false
                       else begin
                         ignore (Net.send (net t) ~src:(Net.Server c) ~dst:i (Msg.remove e));
-                        t.st_trims <- t.st_trims + 1;
+                        Metrics.incr t.st_trims;
                         true
                       end)
                     up_holders
@@ -504,7 +510,7 @@ let daemon_tick t =
               if holds i id then begin
                 ignore
                   (Net.send (net t) ~src:(Net.Server c) ~dst:i (Msg.remove (Entry.v id)));
-                t.st_retracted <- t.st_retracted + 1
+                Metrics.incr t.st_retracted
               end
             done)
           dead_ids);
@@ -513,7 +519,23 @@ let daemon_tick t =
 
 let run_daemon_once t =
   t.daemon_ticks <- t.daemon_ticks + 1;
-  daemon_tick t
+  let tr = (Cluster.obs t.cluster).Plookup_obs.Obs.trace in
+  if Trace.enabled tr then begin
+    let before_rr = Metrics.value t.st_re_replications in
+    let before_trims = Metrics.value t.st_trims in
+    daemon_tick t;
+    match lowest_up t with
+    | None -> ()
+    | Some c ->
+      ignore
+        (Trace.emit tr ~time:(now t)
+           (Span.Repair_round
+              { coordinator = c;
+                tick = t.daemon_ticks;
+                re_replications = Metrics.value t.st_re_replications - before_rr;
+                trims = Metrics.value t.st_trims - before_trims }))
+  end
+  else daemon_tick t
 
 (* {2 Wiring} *)
 
@@ -565,6 +587,7 @@ let install cluster ~config ~plan =
   if config.hint_ttl <= 0. then invalid_arg "Repair.install: hint_ttl must be positive";
   if config.hint_capacity < 1 then invalid_arg "Repair.install: hint_capacity must be positive";
   let n = Cluster.n cluster in
+  let m = (Cluster.obs cluster).Plookup_obs.Obs.metrics in
   let t =
     { cluster;
       config;
@@ -579,17 +602,17 @@ let install cluster ~config ~plan =
       deficient_since = Hashtbl.create 64;
       engine = None;
       daemon_ticks = 0;
-      st_syncs = 0;
-      st_shipped = 0;
-      st_retracted = 0;
-      st_hints_queued = 0;
-      st_hints_replayed = 0;
-      st_hints_expired = 0;
-      st_hints_dropped = 0;
-      st_re_replications = 0;
-      st_trims = 0;
-      st_restore_episodes = 0;
-      st_restore_total = 0. }
+      st_syncs = Metrics.counter m "repair.syncs";
+      st_shipped = Metrics.counter m "repair.entries_shipped";
+      st_retracted = Metrics.counter m "repair.entries_retracted";
+      st_hints_queued = Metrics.counter m "repair.hints.queued";
+      st_hints_replayed = Metrics.counter m "repair.hints.replayed";
+      st_hints_expired = Metrics.counter m "repair.hints.expired";
+      st_hints_dropped = Metrics.counter m "repair.hints.dropped";
+      st_re_replications = Metrics.counter m "repair.re_replications";
+      st_trims = Metrics.counter m "repair.trims";
+      st_restore_episodes = Metrics.counter m "repair.restore.episodes";
+      st_restore_total = Metrics.gauge m "repair.restore.total_time" }
   in
   let net = Cluster.net cluster in
   Net.wrap_handler net (fun inner dst src msg -> handle t inner dst src msg);

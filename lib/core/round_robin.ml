@@ -153,8 +153,16 @@ let do_delete t ~self e =
     | Some (u, old_pos) ->
       (* Move u's y copies from the old head group to the vacated group;
          remove first so a server in both groups ends up keeping u. *)
-      List.iter (fun dst -> send_remove t ~src:self ~dst u) (servers_of_position t old_pos);
-      List.iter (fun dst -> send_store t ~src:self ~dst u) (servers_of_position t plan.vacated));
+      let old_group = servers_of_position t old_pos in
+      let new_group = servers_of_position t plan.vacated in
+      let tr = (Cluster.obs t.cluster).Plookup_obs.Obs.trace in
+      if Plookup_obs.Trace.enabled tr then
+        ignore
+          (Plookup_obs.Trace.emit tr ~time:(Net.now (Cluster.net t.cluster))
+             (Plookup_obs.Span.Migration
+                { entry = Entry.id u; src = List.hd old_group; dst = List.hd new_group }));
+      List.iter (fun dst -> send_remove t ~src:self ~dst u) old_group;
+      List.iter (fun dst -> send_store t ~src:self ~dst u) new_group);
     sync_standbys t ~self (Msg.sync_delete e)
 
 let handle_data t dst _src (msg : Msg.data) : Msg.reply =

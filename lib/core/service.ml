@@ -104,7 +104,8 @@ let of_cluster ?(repair = Repair.disabled) cluster config =
   in
   { cluster; config; instance = I ((module S), s); repair = rep }
 
-let create ?seed ?repair ~n config = of_cluster ?repair (Cluster.create ?seed ~n ()) config
+let create ?seed ?obs ?repair ~n config =
+  of_cluster ?repair (Cluster.create ?seed ?obs ~n ()) config
 
 let cluster t = t.cluster
 let config t = t.config

@@ -84,8 +84,13 @@ val storage_formula : config -> string
 
 type t
 
-val create : ?seed:int -> ?repair:Repair.config -> n:int -> config -> t
+val create :
+  ?seed:int -> ?obs:Plookup_obs.Obs.t -> ?repair:Repair.config -> n:int -> config -> t
 (** Build a fresh cluster of [n] servers running the strategy.
+
+    [obs] is handed to the {!Cluster}: the service's message counters
+    land on its metrics registry and its trace (when enabled) records
+    the wire traffic.
 
     [repair] (default {!Repair.disabled}) activates the self-healing
     layer: with any mode other than [Off], the strategy handler is

@@ -9,6 +9,7 @@ type t = {
   mttr : float option;
   horizon : float option;
   repair : Plookup.Repair.config option;
+  obs : Plookup_obs.Obs.t;
 }
 
 let default =
@@ -21,10 +22,11 @@ let default =
     mttf = None;
     mttr = None;
     horizon = None;
-    repair = None }
+    repair = None;
+    obs = Plookup_obs.Obs.create () }
 
 let v ?(seed = 42) ?(scale = 1.0) ?(jobs = 1) ?(loss = 0.) ?(duplication = 0.)
-    ?(jitter = 0.) ?mttf ?mttr ?horizon ?repair () =
+    ?(jitter = 0.) ?mttf ?mttr ?horizon ?repair ?obs () =
   if scale <= 0. then invalid_arg "Ctx.v: scale must be positive";
   if jobs < 1 then invalid_arg "Ctx.v: jobs must be at least 1";
   if loss < 0. || loss >= 1. then invalid_arg "Ctx.v: loss must be in [0, 1)";
@@ -38,7 +40,8 @@ let v ?(seed = 42) ?(scale = 1.0) ?(jobs = 1) ?(loss = 0.) ?(duplication = 0.)
   positive "mttf" mttf;
   positive "mttr" mttr;
   positive "horizon" horizon;
-  { seed; scale; jobs; loss; duplication; jitter; mttf; mttr; horizon; repair }
+  let obs = match obs with Some o -> o | None -> Plookup_obs.Obs.create () in
+  { seed; scale; jobs; loss; duplication; jitter; mttf; mttr; horizon; repair; obs }
 
 let faulty t = t.loss > 0. || t.duplication > 0. || t.jitter > 0.
 

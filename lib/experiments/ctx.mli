@@ -26,10 +26,19 @@ type t = {
   repair : Plookup.Repair.config option;
       (** self-healing configuration for churn-aware experiments;
           [None] = experiment default *)
+  obs : Plookup_obs.Obs.t;
+      (** where the experiment's services report: replicate work gets a
+          child handle and is merged back in input order
+          ({!Runner.map_obs}), so the registry snapshot and trace are
+          byte-identical at any [jobs] value.  Tracing is off unless the
+          caller enables it on this handle (the [plookup trace]
+          command does). *)
 }
 
 val default : t
-(** seed 42, scale 1.0, jobs 1, no faults, no churn/repair overrides *)
+(** seed 42, scale 1.0, jobs 1, no faults, no churn/repair overrides.
+    Note [default.obs] is one shared handle — build a fresh context with
+    {!v} when you mean to inspect metrics in isolation. *)
 
 val v :
   ?seed:int ->
@@ -42,6 +51,7 @@ val v :
   ?mttr:float ->
   ?horizon:float ->
   ?repair:Plookup.Repair.config ->
+  ?obs:Plookup_obs.Obs.t ->
   unit ->
   t
 

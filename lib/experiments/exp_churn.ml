@@ -24,9 +24,9 @@ type tally = {
    The updates are what make recovery visible: a server that was down
    missed deletes (it will serve stale reads) and adds (it degrades
    success) until the repair layer reconciles it. *)
-let run_strategy ctx ~n ~h ~t ~mttf ~mttr ~horizon ~update_every ~repair config =
+let run_strategy ctx ~obs ~n ~h ~t ~mttf ~mttr ~horizon ~update_every ~repair config =
   let seed = Ctx.run_seed ctx (Hashtbl.hash (Service.config_name config)) in
-  let service = Service.create ~seed ~repair ~n config in
+  let service = Service.create ~seed ~obs ~repair ~n config in
   let gen = Entry.Gen.create () in
   let initial = Entry.Gen.batch gen h in
   Service.place service initial;
@@ -148,10 +148,10 @@ let run ?(n = 10) ?(h = 100) ?(budget = 200) ?(t = 40) ?(mttf = 50.) ?(mttr = 50
          configs)
   in
   let measured =
-    Runner.map ctx ~count:(Array.length cells) (fun i ->
+    Runner.map_obs ctx ~count:(Array.length cells) (fun i ~obs ->
         let config, repair = cells.(i) in
         (config, repair,
-         run_strategy ctx ~n ~h ~t ~mttf ~mttr ~horizon ~update_every ~repair config))
+         run_strategy ctx ~obs ~n ~h ~t ~mttf ~mttr ~horizon ~update_every ~repair config))
   in
   Array.iter
     (fun (config, repair, (tally, stats, repair_msgs)) ->

@@ -18,7 +18,7 @@ let failure_share ctx ~n ~h ~t ~b ~updates ~tail_heavy ~runs =
   (* Replicate [i] derives its seed from the (cushion, distribution,
      run) triple exactly as the sequential loop always did. *)
   Runner.mean_of
-    (Runner.map ctx ~count:runs (fun i ->
+    (Runner.map_obs ctx ~count:runs (fun i ~obs ->
          let run = i + 1 in
          let seed =
            Ctx.run_seed ctx ((b * 10_000) + (if tail_heavy then 5000 else 0) + run)
@@ -27,7 +27,7 @@ let failure_share ctx ~n ~h ~t ~b ~updates ~tail_heavy ~runs =
            Update_gen.generate (Rng.create seed)
              { Update_gen.steady_entries = h; add_period = 10.; tail_heavy; updates }
          in
-         let service = Service.create ~seed ~n (Service.fixed (t + b)) in
+         let service = Service.create ~seed ~obs ~n (Service.fixed (t + b)) in
          Replay.run_timed ~service ~stream ~failed:(failed_predicate ~t)))
 
 let run ?(n = 10) ?(h = 100) ?(t = 15) ?(cushions = default_cushions) ?(updates = 20000) ctx

@@ -11,9 +11,9 @@ let default_checkpoints = List.init 9 (fun i -> i * 500)
 
 (* Replay [stream] through a fresh service of [config], measuring
    unfairness over the live entries at every checkpoint. *)
-let unfairness_trace ctx ~n ~t ~lookups ~config ~stream ~checkpoints ~run =
+let unfairness_trace ctx ~obs ~n ~t ~lookups ~config ~stream ~checkpoints ~run =
   let seed = Ctx.run_seed ctx (run * 7919) in
-  let service = Service.create ~seed ~n config in
+  let service = Service.create ~seed ~obs ~n config in
   let wanted = Hashtbl.create 16 in
   List.iter (fun c -> Hashtbl.replace wanted c ()) checkpoints;
   let out = Hashtbl.create 16 in
@@ -29,7 +29,7 @@ let unfairness_trace ctx ~n ~t ~lookups ~config ~stream ~checkpoints ~run =
   (* Checkpoint 0 must be measured on a freshly placed instance; rerun
      the placement-only part by creating a new service. *)
   if Hashtbl.mem wanted 0 then begin
-    let fresh = Service.create ~seed ~n config in
+    let fresh = Service.create ~seed ~obs ~n config in
     Service.place fresh stream.Update_gen.initial;
     Hashtbl.replace out 0
       (Unfairness.of_instance fresh ~live:stream.Update_gen.initial ~t ~lookups)
@@ -63,7 +63,7 @@ let run ?(n = 10) ?(h = 100) ?(x = 20) ?(t = 1) ?(checkpoints = default_checkpoi
      accumulators in run order below, so means see the samples in the
      same order as the historical sequential loop. *)
   let traces =
-    Runner.map ctx ~count:runs (fun i ->
+    Runner.map_obs ctx ~count:runs (fun i ~obs ->
         let run = i + 1 in
         let stream =
           Update_gen.generate
@@ -71,9 +71,9 @@ let run ?(n = 10) ?(h = 100) ?(x = 20) ?(t = 1) ?(checkpoints = default_checkpoi
             { Update_gen.steady_entries = h; add_period = 10.; tail_heavy = false;
               updates = max_cp }
         in
-        ( unfairness_trace ctx ~n ~t ~lookups ~config:(Service.random_server x) ~stream
-            ~checkpoints ~run,
-          unfairness_trace ctx ~n ~t ~lookups ~config:(Service.fixed x) ~stream
+        ( unfairness_trace ctx ~obs ~n ~t ~lookups ~config:(Service.random_server x)
+            ~stream ~checkpoints ~run,
+          unfairness_trace ctx ~obs ~n ~t ~lookups ~config:(Service.fixed x) ~stream
             ~checkpoints ~run ))
   in
   Array.iter

@@ -11,7 +11,7 @@ let default_entry_counts = [ 100; 120; 133; 150; 175; 200; 250; 300; 350; 400 ]
 
 let measure_messages ctx ~n ~h ~updates ~config ~runs =
   Runner.mean_of
-    (Runner.map ctx ~count:runs (fun i ->
+    (Runner.map_obs ctx ~count:runs (fun i ~obs ->
          let run = i + 1 in
          let seed = Ctx.run_seed ctx ((h * 131) + run) in
          let stream =
@@ -19,7 +19,7 @@ let measure_messages ctx ~n ~h ~updates ~config ~runs =
              { Update_gen.steady_entries = h; add_period = 10.; tail_heavy = false;
                updates }
          in
-         let service = Service.create ~seed ~n config in
+         let service = Service.create ~seed ~obs ~n config in
          float_of_int (Replay.messages_for_updates ~service ~stream)))
 
 let run ?(n = 10) ?(t = 40) ?(x = 50) ?(entry_counts = default_entry_counts)

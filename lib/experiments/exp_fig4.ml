@@ -30,10 +30,10 @@ let run ?(n = 10) ?(h = 100) ?(budget = 200) ?(targets = default_targets) ctx =
      [run_seed ctx t], so rows are independent; they are re-assembled in
      input order below. *)
   let rows =
-    Runner.map ctx ~count:(Array.length targets) (fun i ->
+    Runner.map_obs ctx ~count:(Array.length targets) (fun i ~obs ->
         let t = targets.(i) in
         let measure config =
-          Lookup_cost.measure_over_instances ~seed:(Ctx.run_seed ctx t) ~n ~entries:h
+          Lookup_cost.measure_over_instances ~seed:(Ctx.run_seed ctx t) ~obs ~n ~entries:h
             ~config ~t ~runs ~lookups_per_run ()
         in
         (t, measure round, measure random, measure hash))

@@ -24,15 +24,15 @@ let run ?(n = 10) ?(h = 100) ?(budgets = default_budgets) ctx =
   let budgets = Array.of_list budgets in
   (* One parallel unit per budget row, seeded from the budget value. *)
   let rows =
-    Runner.map ctx ~count:(Array.length budgets) (fun i ->
+    Runner.map_obs ctx ~count:(Array.length budgets) (fun i ~obs ->
         let budget = budgets.(i) in
         let seed = Ctx.run_seed ctx budget in
         let x = max 1 (budget / n) in
         let y = max 1 ((budget + h - 1) / h) in
         let measure config ?cap () =
           fst
-            (Coverage.measured_over_instances ~seed ~n ~entries:h ~config ?budget:cap ~runs
-               ())
+            (Coverage.measured_over_instances ~seed ~obs ~n ~entries:h ~config ?budget:cap
+               ~runs ())
         in
         (* Round-y and Hash-y behave identically for coverage under the
            round-major budget cut; measure Round (deterministic) and check

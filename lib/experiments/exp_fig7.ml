@@ -26,11 +26,11 @@ let run ?(n = 10) ?(h = 100) ?(budget = 200) ?(targets = default_targets) ctx =
   let targets = Array.of_list targets in
   (* One parallel unit per target row, seeded from the target value. *)
   let rows =
-    Runner.map ctx ~count:(Array.length targets) (fun i ->
+    Runner.map_obs ctx ~count:(Array.length targets) (fun i ~obs ->
         let t = targets.(i) in
         let measure config =
           fst
-            (Fault_tolerance.measure_over_instances ~seed:(Ctx.run_seed ctx t) ~n
+            (Fault_tolerance.measure_over_instances ~seed:(Ctx.run_seed ctx t) ~obs ~n
                ~entries:h ~config ~t ~runs ())
         in
         (t, measure random, measure hash, measure round))

@@ -16,14 +16,14 @@ let run ?(n = 10) ?(h = 100) ?(t = 35) ?(budgets = default_budgets) ctx =
   let budgets = Array.of_list budgets in
   (* One parallel unit per budget row, seeded from the budget value. *)
   let rows =
-    Runner.map ctx ~count:(Array.length budgets) (fun i ->
+    Runner.map_obs ctx ~count:(Array.length budgets) (fun i ~obs ->
         let budget = budgets.(i) in
         let seed = Ctx.run_seed ctx budget in
         let x = max 1 (budget / n) in
         let y = max 1 (budget / h) in
         let measure config =
           fst
-            (Unfairness.of_strategy ~seed ~n ~entries:h ~config ~t ~instances
+            (Unfairness.of_strategy ~seed ~obs ~n ~entries:h ~config ~t ~instances
                ~lookups_per_instance ())
         in
         (budget, x, measure (Service.random_server x), y, measure (Service.hash y)))

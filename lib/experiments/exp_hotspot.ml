@@ -12,8 +12,10 @@ let key_name i = Printf.sprintf "key-%03d" i
 (* Per-server lookup load of a partial-lookup directory: per-key
    services index the same physical servers 0..n-1, so summing each
    key-cluster's per-server counters models one shared fleet. *)
-let partial_load ctx ~n ~keys ~entries_per_key ~t ~lookups ~alpha config =
-  let directory = Directory.create ~seed:(Ctx.run_seed ctx 1) ~n ~default:config () in
+let partial_load ctx ~obs ~n ~keys ~entries_per_key ~t ~lookups ~alpha config =
+  let directory =
+    Directory.create ~seed:(Ctx.run_seed ctx 1) ~obs ~n ~default:config ()
+  in
   let gen = Entry.Gen.create () in
   for k = 0 to keys - 1 do
     Directory.place directory ~key:(key_name k) (Entry.Gen.batch gen entries_per_key)
@@ -77,19 +79,19 @@ let run ?(n = 10) ?(keys = 50) ?(entries_per_key = 20) ?(t = 3) ?(lookups = 2000
   let cells =
     Array.of_list
       (( "Partitioned (Chord-style)",
-         fun () -> partitioned_load ctx ~n ~keys ~entries_per_key ~t ~lookups ~alpha )
+         fun ~obs:_ -> partitioned_load ctx ~n ~keys ~entries_per_key ~t ~lookups ~alpha )
       :: List.map
            (fun config ->
              ( Printf.sprintf "Partial: %s" (Service.config_name config),
-               fun () ->
-                 partial_load ctx ~n ~keys ~entries_per_key ~t ~lookups ~alpha config ))
+               fun ~obs ->
+                 partial_load ctx ~obs ~n ~keys ~entries_per_key ~t ~lookups ~alpha config ))
            [ Service.full_replication; Service.round_robin 2;
              Service.random_server (2 * entries_per_key / 10 |> max 1) ])
   in
   let summaries =
-    Runner.map ctx ~count:(Array.length cells) (fun i ->
+    Runner.map_obs ctx ~count:(Array.length cells) (fun i ~obs ->
         let name, thunk = cells.(i) in
-        (name, thunk ()))
+        (name, thunk ~obs))
   in
   Array.iter (fun (name, summary) -> row name summary) summaries;
   table

@@ -26,9 +26,9 @@ type row = {
   latencies : float array;
 }
 
-let measure_config ctx ~n ~h ~t ~lookups ~timeout ~rtt_lo ~rtt_hi ~config ~order_of ~wave_of
-    ~down () =
-  let service = Service.create ~seed:(Ctx.run_seed ctx 1) ~n config in
+let measure_config ctx ~n ~h ~t ~lookups ~timeout ~rtt_lo ~rtt_hi ~obs ~config ~order_of
+    ~wave_of ~down () =
+  let service = Service.create ~seed:(Ctx.run_seed ctx 1) ~obs ~n config in
   Service.place service (Entry.Gen.batch (Entry.Gen.create ()) h);
   let cluster = Service.cluster service in
   Ctx.apply_faults ctx cluster;
@@ -91,33 +91,33 @@ let run ?(n = 10) ?(h = 100) ?(budget = 200) ?(t = 35) ?(rtt_lo = 5.) ?(rtt_hi =
   let wave = min n (max 1 (((t * n) + (y * h) - 1) / (y * h))) in
   let rows =
     [| ( "FullReplication (1 contact)",
-         fun () ->
-           measure ~config:Service.full_replication ~order_of:random_order
+         fun ~obs ->
+           measure ~obs ~config:Service.full_replication ~order_of:random_order
              ~wave_of:(fun () -> 1)
              ~down:[] () );
        ( "RandomServer-20 sequential",
-         fun () ->
-           measure
+         fun ~obs ->
+           measure ~obs
              ~config:
                (Service.storage_for_budget (Service.random_server 1) ~n ~h ~total:budget)
              ~order_of:random_order
              ~wave_of:(fun () -> 1)
              ~down:[] () );
        ( "Hash-2 sequential",
-         fun () ->
-           measure
+         fun ~obs ->
+           measure ~obs
              ~config:(Service.storage_for_budget (Service.hash 1) ~n ~h ~total:budget)
              ~order_of:random_order
              ~wave_of:(fun () -> 1)
              ~down:[] () );
        ( "RoundRobin-2 sequential",
-         fun () ->
-           measure ~config:(Service.round_robin y) ~order_of:(stride_for 0)
+         fun ~obs ->
+           measure ~obs ~config:(Service.round_robin y) ~order_of:(stride_for 0)
              ~wave_of:(fun () -> 1)
              ~down:[] () );
        ( "RoundRobin-2 parallel wave",
-         fun () ->
-           measure ~config:(Service.round_robin y) ~order_of:(stride_for 1)
+         fun ~obs ->
+           measure ~obs ~config:(Service.round_robin y) ~order_of:(stride_for 1)
              ~wave_of:(fun () -> wave)
              ~down:[] () );
        (* Failure masking (Section 6.2): one server down.  The sequential
@@ -126,20 +126,20 @@ let run ?(n = 10) ?(h = 100) ?(budget = 200) ?(t = 35) ?(rtt_lo = 5.) ?(rtt_hi =
           contacts keep it moving and it finishes before the timeout
           even matters. *)
        ( "RoundRobin-2 sequential, server 3 down",
-         fun () ->
-           measure ~config:(Service.round_robin y) ~order_of:(stride_for 2)
+         fun ~obs ->
+           measure ~obs ~config:(Service.round_robin y) ~order_of:(stride_for 2)
              ~wave_of:(fun () -> 1)
              ~down:[ 3 ] () );
        ( "RoundRobin-2 parallel, server 3 down",
-         fun () ->
-           measure ~config:(Service.round_robin y) ~order_of:(stride_for 3)
+         fun ~obs ->
+           measure ~obs ~config:(Service.round_robin y) ~order_of:(stride_for 3)
              ~wave_of:(fun () -> wave)
              ~down:[ 3 ] () ) |]
   in
   let measured =
-    Runner.map ctx ~count:(Array.length rows) (fun i ->
+    Runner.map_obs ctx ~count:(Array.length rows) (fun i ~obs ->
         let name, thunk = rows.(i) in
-        (name, thunk ()))
+        (name, thunk ~obs))
   in
   Array.iter (fun (name, row) -> record name row) measured;
   table

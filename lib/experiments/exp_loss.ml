@@ -34,9 +34,9 @@ type tally = {
 
 (* One (strategy, loss-rate) cell: a fresh placement, a fault-injected
    network, [lookups] retrying async lookups. *)
-let measure ctx ~n ~h ~t ~lookups ~timeout ~retries ~loss ~config ~order_of () =
+let measure ctx ~obs ~n ~h ~t ~lookups ~timeout ~retries ~loss ~config ~order_of () =
   let seed = Ctx.run_seed ctx (Hashtbl.hash (Service.config_name config)) in
-  let service = Service.create ~seed ~n config in
+  let service = Service.create ~seed ~obs ~n config in
   Service.place service (Entry.Gen.batch (Entry.Gen.create ()) h);
   let cluster = Service.cluster service in
   (* The jitter knob rides on the ambient context (default 0); loss is
@@ -120,10 +120,10 @@ let run ?(n = 10) ?(h = 100) ?(budget = 200) ?(t = 35) ?(timeout = 60.) ?(retrie
          configs)
   in
   let measured =
-    Runner.map ctx ~count:(Array.length cells) (fun i ->
+    Runner.map_obs ctx ~count:(Array.length cells) (fun i ~obs ->
         let config, order_of, loss = cells.(i) in
         ( config, loss,
-          measure ctx ~n ~h ~t ~lookups ~timeout ~retries ~loss ~config ~order_of () ))
+          measure ctx ~obs ~n ~h ~t ~lookups ~timeout ~retries ~loss ~config ~order_of () ))
   in
   Array.iter
     (fun (config, loss, tally) ->

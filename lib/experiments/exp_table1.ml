@@ -9,8 +9,8 @@ let title = "Table 1: storage cost for managing h entries on n servers"
 
 let measured_mean ctx ~n ~h config ~runs =
   Runner.mean_of
-    (Runner.replicates ctx ~count:runs (fun ~seed ->
-         let service = Service.create ~seed ~n config in
+    (Runner.replicates_obs ctx ~count:runs (fun ~seed ~obs ->
+         let service = Service.create ~seed ~obs ~n config in
          let gen = Entry.Gen.create () in
          Service.place service (Entry.Gen.batch gen h);
          float_of_int (Storage.measured (Service.cluster service))))

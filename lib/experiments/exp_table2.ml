@@ -8,14 +8,14 @@ module Replay = Plookup_workload.Replay
 let id = "table2"
 let title = "Table 2: strategy scorecard (measured, h=100 n=10 budget=200 t=35)"
 
-let messages_per_update ctx ~n ~h ~config ~updates ~runs =
+let messages_per_update ctx ~obs ~n ~h ~config ~updates ~runs =
   let seeds = Array.init runs (fun i -> Ctx.run_seed ctx ((i + 1) * 37)) in
   let measure seed =
     let stream =
       Update_gen.generate (Rng.create seed)
         { Update_gen.steady_entries = h; add_period = 10.; tail_heavy = false; updates }
     in
-    let service = Service.create ~seed ~n config in
+    let service = Service.create ~seed ~obs ~n config in
     let msgs = Replay.messages_for_updates ~service ~stream in
     float_of_int msgs /. float_of_int updates
   in
@@ -73,37 +73,39 @@ let measure_rows ?(n = 10) ?(h = 100) ?(budget = 200) ?(t = 35) ctx =
   (* One parallel unit per strategy; all seeds derive from the context
      alone, so results do not depend on evaluation order. *)
   let rows =
-    Runner.map ctx ~count:(Array.length configs) (fun index ->
+    Runner.map_obs ctx ~count:(Array.length configs) (fun index ~obs ->
         let config = configs.(index) in
       let seed = Ctx.run_seed ctx 1 in
       (* Static metrics on one representative placement family. *)
       let coverage =
-        fst (Metrics.Coverage.measured_over_instances ~seed ~n ~entries:h ~config ~runs ())
+        fst
+          (Metrics.Coverage.measured_over_instances ~seed ~obs ~n ~entries:h ~config ~runs
+             ())
       in
       let fault_tol =
         fst
-          (Metrics.Fault_tolerance.measure_over_instances ~seed ~n ~entries:h ~config ~t
-             ~runs ())
+          (Metrics.Fault_tolerance.measure_over_instances ~seed ~obs ~n ~entries:h ~config
+             ~t ~runs ())
       in
       let lookup =
-        Metrics.Lookup_cost.measure_over_instances ~seed ~n ~entries:h ~config ~t
+        Metrics.Lookup_cost.measure_over_instances ~seed ~obs ~n ~entries:h ~config ~t
           ~runs:(max 1 (runs / 2))
           ~lookups_per_run:(Ctx.scaled ctx 200) ()
       in
       let unfairness =
         fst
-          (Metrics.Unfairness.of_strategy ~seed ~n ~entries:h ~config ~t
+          (Metrics.Unfairness.of_strategy ~seed ~obs ~n ~entries:h ~config ~t
              ~instances:(max 1 (runs / 4))
              ~lookups_per_instance:(Ctx.scaled ctx 2000) ())
       in
       let storage =
-        let service = Service.create ~seed ~n config in
+        let service = Service.create ~seed ~obs ~n config in
         let gen = Entry.Gen.create () in
         Service.place service (Entry.Gen.batch gen h);
         Metrics.Storage.measured (Service.cluster service)
       in
       let msgs =
-        messages_per_update ctx ~n ~h ~config ~updates:(Ctx.scaled ctx 2000)
+        messages_per_update ctx ~obs ~n ~h ~config ~updates:(Ctx.scaled ctx 2000)
           ~runs:(max 1 (runs / 4))
       in
         ( Service.config_name config,

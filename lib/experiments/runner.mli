@@ -25,6 +25,18 @@ val replicates : Ctx.t -> count:int -> (seed:int -> 'a) -> 'a array
     handing replicate [i] (1-based, matching the historical
     [for run = 1 to runs] loops) the seed [Ctx.run_seed ctx i]. *)
 
+val map_obs : Ctx.t -> count:int -> (int -> obs:Plookup_obs.Obs.t -> 'a) -> 'a array
+(** {!map}, with observability threaded: each unit receives a fresh
+    child of [ctx.obs] (pass it to the services it builds — workers
+    never share mutable metric cells), and every child is merged back
+    into [ctx.obs] in input order once all units finish.  Registry
+    snapshot and trace contents are therefore byte-identical at any
+    [ctx.jobs]. *)
+
+val replicates_obs :
+  Ctx.t -> count:int -> (seed:int -> obs:Plookup_obs.Obs.t -> 'a) -> 'a array
+(** {!replicates} with the {!map_obs} observability threading. *)
+
 val mean_of : float array -> float
 (** Left-to-right mean of the samples ({!Plookup_util.Stats.Accum}) —
     the ordered aggregation for the common "average the replicates"

@@ -6,6 +6,7 @@ val measured : Plookup.Cluster.t -> int
 
 val measured_over_instances :
   ?seed:int ->
+  ?obs:Plookup_obs.Obs.t ->
   n:int ->
   entries:int ->
   config:Plookup.Service.config ->

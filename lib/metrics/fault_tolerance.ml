@@ -106,12 +106,12 @@ let exact placement ~t =
     !best - 1
   end
 
-let measure_over_instances ?(seed = 0) ~n ~entries ~config ~t ~runs () =
+let measure_over_instances ?(seed = 0) ?obs ~n ~entries ~config ~t ~runs () =
   let master = Rng.create seed in
   let acc = Stats.Accum.create () in
   for _ = 1 to runs do
     let run_seed = Int64.to_int (Rng.bits64 master) land max_int in
-    let service = Service.create ~seed:run_seed ~n config in
+    let service = Service.create ~seed:run_seed ?obs ~n config in
     let gen = Entry.Gen.create () in
     Service.place service (Entry.Gen.batch gen entries);
     let placement = snapshot (Service.cluster service) ~capacity:(Entry.Gen.next_id gen) in

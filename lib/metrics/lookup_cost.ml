@@ -23,13 +23,13 @@ let measure service ~t ~lookups =
   measure_into acc failures service ~t ~lookups;
   finish acc failures
 
-let measure_over_instances ?(seed = 0) ~n ~entries ~config ~t ~runs ~lookups_per_run () =
+let measure_over_instances ?(seed = 0) ?obs ~n ~entries ~config ~t ~runs ~lookups_per_run () =
   let master = Rng.create seed in
   let acc = Stats.Accum.create () in
   let failures = ref 0 in
   for _ = 1 to runs do
     let run_seed = Int64.to_int (Rng.bits64 master) land max_int in
-    let service = Service.create ~seed:run_seed ~n config in
+    let service = Service.create ~seed:run_seed ?obs ~n config in
     let gen = Entry.Gen.create () in
     Service.place service (Entry.Gen.batch gen entries);
     measure_into acc failures service ~t ~lookups:lookups_per_run

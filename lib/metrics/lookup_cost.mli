@@ -15,6 +15,7 @@ val measure : Plookup.Service.t -> t:int -> lookups:int -> measurement
 
 val measure_over_instances :
   ?seed:int ->
+  ?obs:Plookup_obs.Obs.t ->
   n:int ->
   entries:int ->
   config:Plookup.Service.config ->

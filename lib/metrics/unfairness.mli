@@ -15,6 +15,7 @@ val of_instance :
 
 val of_strategy :
   ?seed:int ->
+  ?obs:Plookup_obs.Obs.t ->
   n:int ->
   entries:int ->
   config:Plookup.Service.config ->

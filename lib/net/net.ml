@@ -1,4 +1,7 @@
 open Plookup_util
+module Metrics = Plookup_obs.Metrics
+module Trace = Plookup_obs.Trace
+module Span = Plookup_obs.Span
 
 type sender = Client | Server of int
 
@@ -24,19 +27,29 @@ type partition = {
   clients : partition_side;
 }
 
+type 'msg tracing = { tr : Trace.t; describe : 'msg -> string * string }
+
 type ('msg, 'reply) t = {
   n : int;
+  metrics : Metrics.t;
   mutable handler : (int -> sender -> 'msg -> 'reply) option;
   up : bool array;
-  received : int array;
-  mutable dropped : int;
-  mutable lost : int;
-  mutable blocked : int;
-  mutable duplicated : int;
-  mutable broadcast_count : int;
-  mutable client_count : int;
-  mutable repair_count : int;
+  (* Counters are registry cells private to this network instance, so the
+     accessors below report exactly this network's traffic (snapshots
+     aggregate across instances; see {!Plookup_obs.Metrics}). *)
+  received : Metrics.counter array;
+  mutable plane_received : Metrics.counter array; (* set by [set_planes] *)
+  mutable classify : ('msg -> int) option;
+  dropped : Metrics.counter;
+  lost : Metrics.counter;
+  blocked : Metrics.counter;
+  duplicated : Metrics.counter;
+  broadcast_count : Metrics.counter;
+  client_count : Metrics.counter;
+  repair_count : Metrics.counter;
+  delay_h : Metrics.histogram;
   mutable in_repair : bool;
+  mutable tracing : 'msg tracing option;
   mutable engine : (Plookup_sim.Engine.t * (src:sender -> dst:int -> float)) option;
   mutable status_listeners : (int -> up:bool -> unit) list;
   mutable drop_listener : (src:sender -> dst:int -> 'msg -> unit) option;
@@ -45,20 +58,30 @@ type ('msg, 'reply) t = {
   mutable partitions : partition list;
 }
 
-let create ~n =
+let create ?metrics ~n () =
   if n <= 0 then invalid_arg "Net.create: n must be positive";
+  let m = match metrics with Some m -> m | None -> Metrics.create () in
   { n;
+    metrics = m;
     handler = None;
     up = Array.make n true;
-    received = Array.make n 0;
-    dropped = 0;
-    lost = 0;
-    blocked = 0;
-    duplicated = 0;
-    broadcast_count = 0;
-    client_count = 0;
-    repair_count = 0;
+    received =
+      Array.init n (fun i ->
+          Metrics.counter m
+            ~labels:[ ("server", string_of_int i) ]
+            "net.messages.received");
+    plane_received = [||];
+    classify = None;
+    dropped = Metrics.counter m "net.messages.dropped";
+    lost = Metrics.counter m "net.messages.lost";
+    blocked = Metrics.counter m "net.messages.blocked";
+    duplicated = Metrics.counter m "net.messages.duplicated";
+    broadcast_count = Metrics.counter m "net.broadcasts";
+    client_count = Metrics.counter m "net.client_requests";
+    repair_count = Metrics.counter m "net.messages.repair";
+    delay_h = Metrics.histogram m "net.delivery.delay";
     in_repair = false;
+    tracing = None;
     engine = None;
     status_listeners = [];
     drop_listener = None;
@@ -67,6 +90,16 @@ let create ~n =
     partitions = [] }
 
 let n t = t.n
+let metrics t = t.metrics
+
+let set_planes t ~names ~classify =
+  t.plane_received <-
+    Array.map
+      (fun p -> Metrics.counter t.metrics ~labels:[ ("plane", p) ] "net.messages.received")
+      names;
+  t.classify <- Some classify
+
+let set_trace t trace ~describe = t.tracing <- Some { tr = trace; describe }
 
 let set_handler t h = t.handler <- Some h
 
@@ -178,6 +211,47 @@ let reachable t ~src ~dst =
   check_node t dst;
   not (link_blocked t ~from_code:(code src) ~to_code:dst)
 
+(* {2 Tracing}
+
+   Every helper first checks that a trace is attached and enabled, so a
+   quiet network pays one tag test per transmission and allocates
+   nothing.  Span ids use 0 as "no span" (Trace.emit never returns 0),
+   which lets cause links thread through the delivery path as plain
+   ints. *)
+
+let now t =
+  match t.engine with Some (e, _) -> Plookup_sim.Engine.now e | None -> 0.
+
+let span_actor = function Client -> Span.Client | Server i -> Span.Server i
+
+let trace_send t ~src ~dst msg =
+  match t.tracing with
+  | Some c when Trace.enabled c.tr ->
+    let plane, label = c.describe msg in
+    Trace.emit c.tr ~time:(now t)
+      (Span.Send { src = span_actor src; dst; plane; msg = label })
+  | _ -> 0
+
+let trace_recv t ~sid ~src ~dst msg =
+  match t.tracing with
+  | Some c when Trace.enabled c.tr ->
+    let plane, label = c.describe msg in
+    let cause = if sid = 0 then None else Some sid in
+    ignore
+      (Trace.emit c.tr ~time:(now t) ?cause
+         (Span.Recv { src = span_actor src; dst; plane; msg = label }))
+  | _ -> ()
+
+let trace_drop t ~sid ~src ~dst ~reason msg =
+  match t.tracing with
+  | Some c when Trace.enabled c.tr ->
+    let plane, label = c.describe msg in
+    let cause = if sid = 0 then None else Some sid in
+    ignore
+      (Trace.emit c.tr ~time:(now t) ?cause
+         (Span.Drop { src = span_actor src; dst; plane; msg = label; reason }))
+  | _ -> ()
+
 (* {2 Messaging} *)
 
 let handler_exn t =
@@ -185,21 +259,27 @@ let handler_exn t =
   | Some h -> h
   | None -> invalid_arg "Net: no handler installed"
 
-let account t ~src ~dst =
-  t.received.(dst) <- t.received.(dst) + 1;
-  if t.in_repair then t.repair_count <- t.repair_count + 1;
-  match src with Client -> t.client_count <- t.client_count + 1 | Server _ -> ()
+let account t ~src ~dst msg =
+  Metrics.incr t.received.(dst);
+  (match t.classify with
+  | Some plane_of -> Metrics.incr t.plane_received.(plane_of msg)
+  | None -> ());
+  if t.in_repair then Metrics.incr t.repair_count;
+  match src with Client -> Metrics.incr t.client_count | Server _ -> ()
 
 (* Final delivery: liveness check, accounting, handler.  All fault
-   decisions have already been made by the caller. *)
-let deliver t ~src ~dst msg =
+   decisions have already been made by the caller; [sid] is the Send
+   span this delivery resolves (0 when untraced). *)
+let deliver t ?(sid = 0) ~src ~dst msg =
   if not t.up.(dst) then begin
-    t.dropped <- t.dropped + 1;
+    Metrics.incr t.dropped;
+    trace_drop t ~sid ~src ~dst ~reason:Span.Down msg;
     (match t.drop_listener with Some f -> f ~src ~dst msg | None -> ());
     None
   end
   else begin
-    account t ~src ~dst;
+    account t ~src ~dst msg;
+    trace_recv t ~sid ~src ~dst msg;
     Some ((handler_exn t) dst src msg)
   end
 
@@ -207,24 +287,27 @@ let deliver t ~src ~dst msg =
    delivery (possibly twice when duplicated).  Jitter is meaningless
    without an engine, so the synchronous path never draws it. *)
 let sync_transmit t ~src ~dst msg =
+  let sid = trace_send t ~src ~dst msg in
   if link_blocked t ~from_code:(code src) ~to_code:dst then begin
-    t.blocked <- t.blocked + 1;
+    Metrics.incr t.blocked;
+    trace_drop t ~sid ~src ~dst ~reason:Span.Blocked msg;
     None
   end
   else
     match active_faults t with
-    | None -> deliver t ~src ~dst msg
+    | None -> deliver t ~sid ~src ~dst msg
     | Some f ->
       let rng = link_rng f ~from_code:(code src) ~to_code:dst in
       if Rng.bernoulli rng f.loss then begin
-        t.lost <- t.lost + 1;
+        Metrics.incr t.lost;
+        trace_drop t ~sid ~src ~dst ~reason:Span.Lost msg;
         None
       end
       else begin
-        let reply = deliver t ~src ~dst msg in
+        let reply = deliver t ~sid ~src ~dst msg in
         if Rng.bernoulli rng f.duplication then begin
-          t.duplicated <- t.duplicated + 1;
-          ignore (deliver t ~src ~dst msg)
+          Metrics.incr t.duplicated;
+          ignore (deliver t ~sid ~src ~dst msg)
         end;
         reply
       end
@@ -234,7 +317,7 @@ let send t ~src ~dst msg =
   sync_transmit t ~src ~dst msg
 
 let broadcast t ~src msg =
-  t.broadcast_count <- t.broadcast_count + 1;
+  Metrics.incr t.broadcast_count;
   let replies = ref [] in
   for dst = t.n - 1 downto 0 do
     match sync_transmit t ~src ~dst msg with
@@ -243,19 +326,19 @@ let broadcast t ~src msg =
   done;
   !replies
 
-let messages_received t = Array.fold_left ( + ) 0 t.received
+let messages_received t = Array.fold_left (fun acc c -> acc + Metrics.value c) 0 t.received
 
 let messages_received_by t i =
   check_node t i;
-  t.received.(i)
+  Metrics.value t.received.(i)
 
-let messages_dropped t = t.dropped
-let messages_lost t = t.lost
-let messages_blocked t = t.blocked
-let duplicates_delivered t = t.duplicated
-let broadcasts t = t.broadcast_count
-let client_requests t = t.client_count
-let repair_messages t = t.repair_count
+let messages_dropped t = Metrics.value t.dropped
+let messages_lost t = Metrics.value t.lost
+let messages_blocked t = Metrics.value t.blocked
+let duplicates_delivered t = Metrics.value t.duplicated
+let broadcasts t = Metrics.value t.broadcast_count
+let client_requests t = Metrics.value t.client_count
+let repair_messages t = Metrics.value t.repair_count
 
 let tally_as_repair t f =
   let saved = t.in_repair in
@@ -263,32 +346,50 @@ let tally_as_repair t f =
   Fun.protect ~finally:(fun () -> t.in_repair <- saved) f
 
 let reset_counters t =
-  Array.fill t.received 0 t.n 0;
-  t.dropped <- 0;
-  t.lost <- 0;
-  t.blocked <- 0;
-  t.duplicated <- 0;
-  t.broadcast_count <- 0;
-  t.client_count <- 0;
-  t.repair_count <- 0
+  Array.iter Metrics.reset_counter t.received;
+  Array.iter Metrics.reset_counter t.plane_received;
+  Metrics.reset_counter t.dropped;
+  Metrics.reset_counter t.lost;
+  Metrics.reset_counter t.blocked;
+  Metrics.reset_counter t.duplicated;
+  Metrics.reset_counter t.broadcast_count;
+  Metrics.reset_counter t.client_count;
+  Metrics.reset_counter t.repair_count;
+  Metrics.reset_histogram t.delay_h
 
 let attach_engine t engine ~latency = t.engine <- Some (engine, latency)
 
 (* Delays (relative to now) at which copies of one engine-routed
    transmission arrive: [] when partitioned or lost, two entries when
-   duplicated, each copy jittered independently. *)
-let transmission_delays t ~from_code ~to_code ~base =
+   duplicated, each copy jittered independently.  [spanmsg] carries the
+   message for Drop spans on the traced (server-bound request) leg;
+   reply legs pass nothing and stay unspanned, mirroring the counters
+   (only server-received messages are costed). *)
+let transmission_delays t ?(sid = 0) ?spanmsg ~from_code ~to_code ~base () =
+  let dropped reason =
+    match spanmsg with
+    | Some msg when to_code >= 0 ->
+      trace_drop t ~sid ~src:(if from_code < 0 then Client else Server from_code)
+        ~dst:to_code ~reason msg
+    | _ -> ()
+  in
+  let observe delays =
+    List.iter (fun d -> Metrics.observe t.delay_h d) delays;
+    delays
+  in
   if link_blocked t ~from_code ~to_code then begin
-    t.blocked <- t.blocked + 1;
+    Metrics.incr t.blocked;
+    dropped Span.Blocked;
     []
   end
   else
     match active_faults t with
-    | None -> [ base ]
+    | None -> observe [ base ]
     | Some f ->
       let rng = link_rng f ~from_code ~to_code in
       if Rng.bernoulli rng f.loss then begin
-        t.lost <- t.lost + 1;
+        Metrics.incr t.lost;
+        dropped Span.Lost;
         []
       end
       else begin
@@ -297,10 +398,10 @@ let transmission_delays t ~from_code ~to_code ~base =
         in
         let d1 = jittered () in
         if Rng.bernoulli rng f.duplication then begin
-          t.duplicated <- t.duplicated + 1;
-          [ d1; jittered () ]
+          Metrics.incr t.duplicated;
+          observe [ d1; jittered () ]
         end
-        else [ d1 ]
+        else observe [ d1 ]
       end
 
 let post t ~src ~dst msg =
@@ -309,21 +410,24 @@ let post t ~src ~dst msg =
   | None -> ignore (send t ~src ~dst msg)
   | Some (engine, latency) ->
     let base = latency ~src ~dst in
+    let sid = trace_send t ~src ~dst msg in
     List.iter
       (fun delay ->
         ignore
           (Plookup_sim.Engine.schedule_after engine ~delay (fun _ ->
-               ignore (deliver t ~src ~dst msg))))
-      (transmission_delays t ~from_code:(code src) ~to_code:dst ~base)
+               ignore (deliver t ~sid ~src ~dst msg))))
+      (transmission_delays t ~sid ~spanmsg:msg ~from_code:(code src) ~to_code:dst
+         ~base ())
 
 let call_async t engine ~latency ~src ~dst msg k =
   check_node t dst;
   let request_base = latency ~src ~dst in
+  let sid = trace_send t ~src ~dst msg in
   List.iter
     (fun request_delay ->
       ignore
         (Plookup_sim.Engine.schedule_after engine ~delay:request_delay (fun engine ->
-             match deliver t ~src ~dst msg with
+             match deliver t ~sid ~src ~dst msg with
              | None -> () (* lost: dst was down at delivery time *)
              | Some reply ->
                let reply_base = latency ~src ~dst in
@@ -333,8 +437,9 @@ let call_async t engine ~latency ~src ~dst msg k =
                      (Plookup_sim.Engine.schedule_after engine ~delay:reply_delay
                         (fun _ -> k reply)))
                  (transmission_delays t ~from_code:dst ~to_code:(code src)
-                    ~base:reply_base))))
-    (transmission_delays t ~from_code:(code src) ~to_code:dst ~base:request_base)
+                    ~base:reply_base ()))))
+    (transmission_delays t ~sid ~spanmsg:msg ~from_code:(code src) ~to_code:dst
+       ~base:request_base ())
 
 let pp_sender ppf = function
   | Client -> Format.pp_print_string ppf "client"

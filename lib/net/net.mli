@@ -30,11 +30,40 @@ type sender =
   | Client  (** A request originating outside the server set. *)
   | Server of int
 
-val create : n:int -> ('msg, 'reply) t
+val create : ?metrics:Plookup_obs.Metrics.t -> n:int -> unit -> ('msg, 'reply) t
 (** A network of [n] servers with no handlers installed.  [n] must be
-    positive. *)
+    positive.
+
+    Every counter below is a cell on [metrics] (default: a private
+    registry), named [net.*]: per-server [net.messages.received]
+    (labelled [server=i]), [net.messages.dropped]/[lost]/[blocked]/
+    [duplicated], [net.broadcasts], [net.client_requests],
+    [net.messages.repair], plus a [net.delivery.delay] histogram of
+    engine-routed delivery delays.  Cells are private to this instance —
+    the accessors report exactly this network's traffic even when many
+    networks share one registry (a registry snapshot aggregates them). *)
 
 val n : ('msg, 'reply) t -> int
+
+val metrics : ('msg, 'reply) t -> Plookup_obs.Metrics.t
+(** The registry this network's counters live on. *)
+
+val set_planes :
+  ('msg, 'reply) t -> names:string array -> classify:('msg -> int) -> unit
+(** Install per-plane accounting: each delivered message is also counted
+    on a [net.messages.received] cell labelled [plane=names.(classify
+    msg)].  {!Plookup.Cluster} wires this to [Msg.plane_index]. *)
+
+val set_trace :
+  ('msg, 'reply) t ->
+  Plookup_obs.Trace.t ->
+  describe:('msg -> string * string) ->
+  unit
+(** Attach a trace: every server-bound transmission emits a [Send] span
+    and its resolution a cause-linked [Recv] or [Drop]
+    ({!Plookup_obs.Span}).  [describe msg] is [(plane, short label)].
+    While the trace is disabled the hot path pays one check and
+    allocates nothing. *)
 
 val set_handler : ('msg, 'reply) t -> (int -> sender -> 'msg -> 'reply) -> unit
 (** Install the message handler, called as [handler dst src msg].  All
@@ -203,6 +232,10 @@ val attach_engine :
 (** After attaching, {!post} delivers through the engine with the given
     per-hop latency.  [send] and [broadcast] stay synchronous (RPC-style)
     regardless. *)
+
+val now : ('msg, 'reply) t -> float
+(** The attached engine's clock, 0 without one — the timestamp the
+    network's own trace spans carry. *)
 
 val post : ('msg, 'reply) t -> src:sender -> dst:int -> 'msg -> unit
 (** Fire-and-forget delivery.  With an engine attached the handler runs

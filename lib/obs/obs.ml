@@ -1,0 +1,13 @@
+type t = { metrics : Metrics.t; trace : Trace.t }
+
+let create ?trace_capacity () =
+  { metrics = Metrics.create (); trace = Trace.create ?capacity:trace_capacity () }
+
+let child t =
+  let c = create ~trace_capacity:(Trace.capacity t.trace) () in
+  Trace.set_enabled c.trace (Trace.enabled t.trace);
+  c
+
+let merge parent child =
+  Metrics.absorb parent.metrics (Metrics.snapshot child.metrics);
+  Trace.absorb parent.trace child.trace

@@ -1,0 +1,77 @@
+type t = {
+  ring : Sink.ring;
+  ring_sink : Sink.t;
+  mutable sinks : Sink.t list; (* attachment order *)
+  mutable on : bool;
+  mutable next_id : int;
+  mutable emitted : int;
+  mutable carried_dropped : int; (* drops inherited from absorbed children *)
+}
+
+let create ?(capacity = 4096) () =
+  let ring = Sink.ring ~capacity in
+  { ring;
+    ring_sink = Sink.of_ring ring;
+    sinks = [];
+    on = false;
+    next_id = 1;
+    emitted = 0;
+    carried_dropped = 0 }
+
+let enabled t = t.on
+let set_enabled t on = t.on <- on
+let capacity t = Sink.ring_capacity t.ring
+let add_sink t sink = t.sinks <- t.sinks @ [ sink ]
+
+let emit_span t (span : Span.t) =
+  t.emitted <- t.emitted + 1;
+  Sink.emit t.ring_sink span;
+  List.iter (fun sink -> Sink.emit sink span) t.sinks
+
+let emit t ~time ?cause kind =
+  if not t.on then 0
+  else begin
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    emit_span t { Span.id; time; cause; kind };
+    id
+  end
+
+let record t ~time ~label detail =
+  ignore (emit t ~time (Span.Mark { label; detail }))
+
+let spans t = Sink.ring_spans t.ring
+let length t = Sink.ring_length t.ring
+let emitted t = t.emitted
+let dropped t = Sink.ring_dropped t.ring + t.carried_dropped
+
+let clear t =
+  Sink.ring_clear t.ring;
+  t.next_id <- 1;
+  t.emitted <- 0;
+  t.carried_dropped <- 0
+
+let absorb t child =
+  (* Shift the child's ids past our watermark so cause links stay
+     unambiguous after the merge; causes pointing at spans the child's
+     ring already evicted keep their (shifted) ids — dangling but
+     honest, and accounted for by [dropped]. *)
+  let offset = t.next_id - 1 in
+  List.iter
+    (fun (s : Span.t) ->
+      emit_span t
+        { s with
+          Span.id = s.id + offset;
+          cause = Option.map (fun c -> c + offset) s.cause })
+    (spans child);
+  t.next_id <- t.next_id + (child.next_id - 1);
+  t.carried_dropped <- t.carried_dropped + dropped child
+
+let flush t = List.iter Sink.flush t.sinks
+
+let dump t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun span -> Buffer.add_string buf (Format.asprintf "%a@." Span.pp span))
+    (spans t);
+  Buffer.contents buf

@@ -1,0 +1,67 @@
+(** Typed simulation tracing.
+
+    A trace mints {!Span} ids and fans spans out to its sinks: a bounded
+    in-memory ring it always owns (for quick dumps and tests) plus any
+    attached extra sinks (e.g. a {!Sink.jsonl} file for
+    [plookup trace --trace-out]).  A disabled trace drops events in
+    O(1) — the hot paths check {!enabled} before building a payload.
+
+    The ring is bounded, so long runs evict oldest spans — but never
+    silently: {!dropped} counts what a full dump is missing (the seed
+    repo's ring evicted silently, making truncated dumps look
+    complete). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds the retained ring (default 4096); older spans are
+    evicted first and counted in {!dropped}.  Extra sinks see every
+    span regardless of capacity.  Tracing starts disabled. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val capacity : t -> int
+
+val add_sink : t -> Sink.t -> unit
+(** Attach an extra sink; sinks fire in attachment order, after the
+    ring. *)
+
+val emit : t -> time:float -> ?cause:int -> Span.kind -> int
+(** Record one span and return its id (for [cause] links on subsequent
+    spans).  Returns 0 without recording when the trace is disabled. *)
+
+val record : t -> time:float -> label:string -> string -> unit
+(** Free-form annotation — emits a [Mark] span (the legacy string-record
+    interface). *)
+
+val spans : t -> Span.t list
+(** The ring's contents, oldest first. *)
+
+val length : t -> int
+(** Spans currently retained in the ring. *)
+
+val emitted : t -> int
+(** Total spans ever emitted (including evicted and absorbed ones). *)
+
+val dropped : t -> int
+(** Spans missing from {!spans}: evicted from the ring, plus drops
+    carried over by {!absorb}.  [emitted t = length t + dropped t]. *)
+
+val clear : t -> unit
+(** Empty the ring and reset the id, emitted and dropped counts (extra
+    sinks are kept and not notified). *)
+
+val absorb : t -> t -> unit
+(** [absorb t child] re-emits the child's retained spans into [t] in
+    order, remapping span ids (and their cause links) past [t]'s
+    current id watermark, and adds the child's dropped count to [t]'s.
+    This is how per-replicate traces merge deterministically into the
+    experiment context's trace ({!Plookup_experiments.Runner}). *)
+
+val flush : t -> unit
+(** Flush every attached sink. *)
+
+val dump : t -> string
+(** Human-readable rendering of {!spans}, one line each
+    ({!Span.pp}). *)

@@ -105,3 +105,47 @@ The demo places and looks up deterministically:
   lookup(target=2): 2 entries from 1 servers
   returned: v1, v2
   storage cost: 6 entries, coverage: 3
+
+The trace subcommand re-runs an experiment with tracing on and streams
+typed spans as JSONL; the span stream and the metrics registry are two
+views of the same run, both deterministic given the seed:
+
+  $ ../../bin/plookup_cli.exe trace table1 --scale 0.2 --csv --trace-out trace.jsonl --metrics-dump
+  strategy,formula,analytic,measured (mean)
+  FullReplication,h*n,1000.00,1000.00
+  Fixed-20,x*n,200.00,200.00
+  RandomServer-20,x*n,200.00,200.00
+  RoundRobin-2,h*y,200.00,200.00
+  Hash-2,h*n*(1-(1-1/n)^y),190.00,191.90
+  Chord-2,"h*min(y,n)",200.00,200.00
+  trace: 12720 spans emitted, 12720 retained, 0 dropped, streamed to trace.jsonl
+  {"metrics":[{"name":"net.broadcasts","kind":"counter","value":30},
+  {"name":"net.client_requests","kind":"counter","value":60},
+  {"name":"net.delivery.delay","kind":"histogram","count":0,"sum":0,"buckets":{}},
+  {"name":"net.messages.blocked","kind":"counter","value":0},
+  {"name":"net.messages.dropped","kind":"counter","value":0},
+  {"name":"net.messages.duplicated","kind":"counter","value":0},
+  {"name":"net.messages.lost","kind":"counter","value":0},
+  {"name":"net.messages.received","labels":{"plane":"data"},"kind":"counter","value":60},
+  {"name":"net.messages.received","labels":{"plane":"repair"},"kind":"counter","value":0},
+  {"name":"net.messages.received","labels":{"plane":"strategy"},"kind":"counter","value":6300},
+  {"name":"net.messages.received","labels":{"server":"0"},"kind":"counter","value":605},
+  {"name":"net.messages.received","labels":{"server":"1"},"kind":"counter","value":769},
+  {"name":"net.messages.received","labels":{"server":"2"},"kind":"counter","value":615},
+  {"name":"net.messages.received","labels":{"server":"3"},"kind":"counter","value":623},
+  {"name":"net.messages.received","labels":{"server":"4"},"kind":"counter","value":594},
+  {"name":"net.messages.received","labels":{"server":"5"},"kind":"counter","value":576},
+  {"name":"net.messages.received","labels":{"server":"6"},"kind":"counter","value":627},
+  {"name":"net.messages.received","labels":{"server":"7"},"kind":"counter","value":679},
+  {"name":"net.messages.received","labels":{"server":"8"},"kind":"counter","value":648},
+  {"name":"net.messages.received","labels":{"server":"9"},"kind":"counter","value":624},
+  {"name":"net.messages.repair","kind":"counter","value":0}]}
+
+Each JSONL line is one span; a recv names its send as its cause:
+
+  $ head -3 trace.jsonl
+  {"id":1,"t":0.0,"kind":"send","src":-1,"dst":1,"plane":"data","msg":"place"}
+  {"id":2,"t":0.0,"cause":1,"kind":"recv","src":-1,"dst":1,"plane":"data","msg":"place"}
+  {"id":3,"t":0.0,"kind":"send","src":1,"dst":9,"plane":"strategy","msg":"store_batch"}
+  $ wc -l < trace.jsonl
+  12720

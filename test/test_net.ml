@@ -3,7 +3,7 @@ module Engine = Plookup_sim.Engine
 
 (* A toy echo protocol: servers reply with (their id, the message). *)
 let make ?(n = 4) () =
-  let net = Net.create ~n in
+  let net = Net.create ~n () in
   Net.set_handler net (fun dst _src msg -> (dst, msg));
   net
 
@@ -71,7 +71,7 @@ let test_reset_counters () =
   Helpers.check_int "dropped reset" 0 (Net.messages_dropped net)
 
 let test_no_handler () =
-  let net : (string, unit) Net.t = Net.create ~n:2 in
+  let net : (string, unit) Net.t = Net.create ~n:2 () in
   Alcotest.check_raises "no handler" (Invalid_argument "Net: no handler installed")
     (fun () -> ignore (Net.send net ~src:Net.Client ~dst:0 "x"))
 
@@ -82,7 +82,7 @@ let test_bad_index () =
 
 let test_create_validation () =
   Alcotest.check_raises "n = 0" (Invalid_argument "Net.create: n must be positive")
-    (fun () -> ignore (Net.create ~n:0 : (unit, unit) Net.t))
+    (fun () -> ignore (Net.create ~n:0 () : (unit, unit) Net.t))
 
 let test_wrap_handler () =
   let net = make ~n:2 () in
@@ -101,7 +101,7 @@ let test_wrap_handler () =
   | _ -> Alcotest.fail "wrappers did not compose")
 
 let test_wrap_handler_requires_handler () =
-  let net : (string, unit) Net.t = Net.create ~n:2 in
+  let net : (string, unit) Net.t = Net.create ~n:2 () in
   Alcotest.check_raises "no handler" (Invalid_argument "Net.wrap_handler: no handler installed")
     (fun () -> Net.wrap_handler net (fun inner -> inner))
 
@@ -128,7 +128,7 @@ let test_fail_exactly_notifies () =
 
 let test_post_without_engine_is_sync () =
   let got = ref [] in
-  let net = Net.create ~n:2 in
+  let net = Net.create ~n:2 () in
   Net.set_handler net (fun dst _src msg ->
       got := (dst, msg) :: !got);
   Net.post net ~src:Net.Client ~dst:1 "now";
@@ -137,7 +137,7 @@ let test_post_without_engine_is_sync () =
 let test_post_with_engine_is_delayed () =
   let engine = Engine.create () in
   let got = ref [] in
-  let net = Net.create ~n:3 in
+  let net = Net.create ~n:3 () in
   Net.set_handler net (fun dst _src msg ->
       got := (Engine.now engine, dst, msg) :: !got);
   Net.attach_engine net engine ~latency:(fun ~src:_ ~dst -> 1. +. float_of_int dst);
@@ -154,7 +154,7 @@ let test_post_with_engine_is_delayed () =
 let test_post_to_failed_node_after_delay () =
   (* Liveness is checked at delivery time, not post time. *)
   let engine = Engine.create () in
-  let net = Net.create ~n:2 in
+  let net = Net.create ~n:2 () in
   Net.set_handler net (fun _ _ _ -> Alcotest.fail "should be dropped");
   Net.attach_engine net engine ~latency:(fun ~src:_ ~dst:_ -> 5.);
   Net.post net ~src:Net.Client ~dst:1 ();
@@ -194,7 +194,7 @@ let test_duplication_delivers_twice () =
 
 let test_jitter_bounds_delay () =
   let engine = Engine.create () in
-  let net = Net.create ~n:1 in
+  let net = Net.create ~n:1 () in
   let times = ref [] in
   Net.set_handler net (fun _ _ () -> times := Engine.now engine :: !times);
   Net.attach_engine net engine ~latency:(fun ~src:_ ~dst:_ -> 5.);
@@ -235,7 +235,7 @@ let test_fault_determinism () =
      of anything but the per-link traffic sequence. *)
   let schedule seed =
     let engine = Engine.create () in
-    let net = Net.create ~n:3 in
+    let net = Net.create ~n:3 () in
     let log = ref [] in
     Net.set_handler net (fun dst _src msg -> log := (Engine.now engine, dst, msg) :: !log);
     Net.attach_engine net engine ~latency:(fun ~src:_ ~dst:_ -> 5.);

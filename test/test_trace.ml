@@ -1,10 +1,21 @@
-open Plookup_sim
+open Plookup_obs
+
+let detail span =
+  match span.Span.kind with
+  | Span.Mark { detail; _ } -> detail
+  | _ -> Alcotest.fail "expected a mark span"
+
+let mark_label span =
+  match span.Span.kind with
+  | Span.Mark { label; _ } -> label
+  | _ -> Alcotest.fail "expected a mark span"
 
 let test_disabled_by_default () =
   let t = Trace.create () in
   Alcotest.(check bool) "disabled" false (Trace.enabled t);
   Trace.record t ~time:1. ~label:"x" "dropped";
-  Helpers.check_int "nothing recorded" 0 (Trace.length t)
+  Helpers.check_int "nothing recorded" 0 (Trace.length t);
+  Helpers.check_int "nothing emitted" 0 (Trace.emitted t)
 
 let test_record_and_read () =
   let t = Trace.create () in
@@ -12,12 +23,13 @@ let test_record_and_read () =
   Trace.record t ~time:1. ~label:"send" "a";
   Trace.record t ~time:2. ~label:"recv" "b";
   Helpers.check_int "length" 2 (Trace.length t);
-  match Trace.records t with
+  match Trace.spans t with
   | [ r1; r2 ] ->
-    Helpers.check_string "label 1" "send" r1.Trace.label;
-    Helpers.check_string "detail 2" "b" r2.Trace.detail;
-    Helpers.close "time 1" 1. r1.Trace.time
-  | _ -> Alcotest.fail "expected two records"
+    Helpers.check_string "label 1" "send" (mark_label r1);
+    Helpers.check_string "detail 2" "b" (detail r2);
+    Helpers.close "time 1" 1. r1.Span.time;
+    Helpers.check_int "monotone ids" (r1.Span.id + 1) r2.Span.id
+  | _ -> Alcotest.fail "expected two spans"
 
 let test_ring_eviction () =
   let t = Trace.create ~capacity:3 () in
@@ -27,14 +39,36 @@ let test_ring_eviction () =
   done;
   Helpers.check_int "capped" 3 (Trace.length t);
   Alcotest.(check (list string)) "oldest evicted" [ "3"; "4"; "5" ]
-    (List.map (fun r -> r.Trace.detail) (Trace.records t))
+    (List.map detail (Trace.spans t))
+
+(* Regression: eviction used to be silent, so a truncated dump was
+   indistinguishable from a complete one.  The dropped count must say
+   exactly how many spans a full dump is missing. *)
+let test_eviction_is_counted () =
+  let t = Trace.create ~capacity:3 () in
+  Trace.set_enabled t true;
+  Helpers.check_int "no drops yet" 0 (Trace.dropped t);
+  for i = 1 to 10 do
+    Trace.record t ~time:(float_of_int i) ~label:"l" (string_of_int i)
+  done;
+  Helpers.check_int "dropped = emitted - retained" 7 (Trace.dropped t);
+  Helpers.check_int "emitted counts everything" 10 (Trace.emitted t);
+  Helpers.check_int "invariant" (Trace.emitted t)
+    (Trace.length t + Trace.dropped t)
 
 let test_clear () =
-  let t = Trace.create () in
+  let t = Trace.create ~capacity:2 () in
   Trace.set_enabled t true;
-  Trace.record t ~time:0. ~label:"x" "y";
+  for i = 1 to 5 do
+    Trace.record t ~time:0. ~label:"x" (string_of_int i)
+  done;
   Trace.clear t;
-  Helpers.check_int "cleared" 0 (Trace.length t)
+  Helpers.check_int "cleared" 0 (Trace.length t);
+  Helpers.check_int "dropped reset" 0 (Trace.dropped t);
+  Trace.record t ~time:0. ~label:"x" "y";
+  match Trace.spans t with
+  | [ s ] -> Helpers.check_int "ids restart" 1 s.Span.id
+  | _ -> Alcotest.fail "expected one span"
 
 let test_dump () =
   let t = Trace.create () in
@@ -46,11 +80,94 @@ let test_dump () =
 
 let test_bad_capacity () =
   Alcotest.check_raises "capacity 0"
-    (Invalid_argument "Trace.create: capacity must be positive") (fun () ->
+    (Invalid_argument "Sink.ring: capacity must be positive") (fun () ->
       ignore (Trace.create ~capacity:0 ()))
 
+let test_emit_returns_cause_ids () =
+  let t = Trace.create () in
+  Trace.set_enabled t true;
+  let sid =
+    Trace.emit t ~time:1.
+      (Span.Send { src = Span.Client; dst = 0; plane = "data"; msg = "lookup" })
+  in
+  ignore
+    (Trace.emit t ~time:2. ~cause:sid
+       (Span.Recv { src = Span.Client; dst = 0; plane = "data"; msg = "lookup" }));
+  match Trace.spans t with
+  | [ s; r ] ->
+    Helpers.check_int "send id" sid s.Span.id;
+    (match r.Span.cause with
+    | Some c -> Helpers.check_int "recv caused by send" sid c
+    | None -> Alcotest.fail "recv has no cause")
+  | _ -> Alcotest.fail "expected two spans"
+
+let test_absorb_remaps_ids () =
+  let parent = Trace.create () in
+  Trace.set_enabled parent true;
+  Trace.record parent ~time:0. ~label:"p" "1";
+  Trace.record parent ~time:0. ~label:"p" "2";
+  let child = Trace.create () in
+  Trace.set_enabled child true;
+  let sid = Trace.emit child ~time:1. (Span.Timeout { dst = 3; after = 5. }) in
+  ignore (Trace.emit child ~time:1. ~cause:sid (Span.Retry { dst = 3; attempt = 2 }));
+  Trace.absorb parent child;
+  Helpers.check_int "all spans merged" 4 (Trace.length parent);
+  let ids = List.map (fun s -> s.Span.id) (Trace.spans parent) in
+  Alcotest.(check (list int)) "ids strictly increasing" [ 1; 2; 3; 4 ] ids;
+  (match List.rev (Trace.spans parent) with
+  | retry :: timeout :: _ ->
+    (match retry.Span.cause with
+    | Some c -> Helpers.check_int "cause remapped with ids" timeout.Span.id c
+    | None -> Alcotest.fail "retry lost its cause")
+  | _ -> Alcotest.fail "expected spans");
+  (* Later emissions must not collide with absorbed ids. *)
+  Trace.record parent ~time:2. ~label:"p" "3";
+  let ids = List.map (fun s -> s.Span.id) (Trace.spans parent) in
+  Alcotest.(check (list int)) "fresh id past watermark" [ 1; 2; 3; 4; 5 ] ids
+
+let test_absorb_carries_drops () =
+  let parent = Trace.create () in
+  Trace.set_enabled parent true;
+  let child = Trace.create ~capacity:2 () in
+  Trace.set_enabled child true;
+  for i = 1 to 5 do
+    Trace.record child ~time:0. ~label:"c" (string_of_int i)
+  done;
+  Trace.absorb parent child;
+  Helpers.check_int "child's evictions carried over" 3 (Trace.dropped parent);
+  Alcotest.(check (list string)) "retained suffix merged" [ "4"; "5" ]
+    (List.map detail (Trace.spans parent))
+
+let test_jsonl_sink_sees_evicted_spans () =
+  let path = Filename.temp_file "plookup_trace" ".jsonl" in
+  let oc = open_out path in
+  let t = Trace.create ~capacity:2 () in
+  Trace.add_sink t (Sink.jsonl oc);
+  Trace.set_enabled t true;
+  for i = 1 to 5 do
+    Trace.record t ~time:(float_of_int i) ~label:"l" (string_of_int i)
+  done;
+  Trace.flush t;
+  close_out oc;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  Helpers.check_int "every span streamed despite ring eviction" 5
+    (List.length !lines);
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) "line is a JSON object" true
+        (String.length line > 1 && line.[0] = '{'))
+    !lines
+
 let prop_keeps_last_k =
-  Helpers.qcheck "ring keeps the most recent capacity records"
+  Helpers.qcheck "ring keeps the most recent capacity spans"
     QCheck2.Gen.(pair (int_range 1 20) (list_size (int_range 0 100) small_int))
     (fun (capacity, xs) ->
       let t = Trace.create ~capacity () in
@@ -63,7 +180,8 @@ let prop_keeps_last_k =
         let rec last_k l = if List.length l <= k then l else last_k (List.tl l) in
         List.map string_of_int (last_k xs)
       in
-      List.map (fun r -> r.Trace.detail) (Trace.records t) = expected)
+      List.map detail (Trace.spans t) = expected
+      && Trace.dropped t = max 0 (List.length xs - capacity))
 
 let () =
   Helpers.run "trace"
@@ -71,7 +189,13 @@ let () =
         [ Alcotest.test_case "disabled by default" `Quick test_disabled_by_default;
           Alcotest.test_case "record/read" `Quick test_record_and_read;
           Alcotest.test_case "ring eviction" `Quick test_ring_eviction;
+          Alcotest.test_case "eviction is counted" `Quick test_eviction_is_counted;
           Alcotest.test_case "clear" `Quick test_clear;
           Alcotest.test_case "dump" `Quick test_dump;
           Alcotest.test_case "bad capacity" `Quick test_bad_capacity;
+          Alcotest.test_case "emit/cause ids" `Quick test_emit_returns_cause_ids;
+          Alcotest.test_case "absorb remaps ids" `Quick test_absorb_remaps_ids;
+          Alcotest.test_case "absorb carries drops" `Quick test_absorb_carries_drops;
+          Alcotest.test_case "jsonl sink sees everything" `Quick
+            test_jsonl_sink_sees_evicted_spans;
           prop_keeps_last_k ] ) ]
