@@ -205,6 +205,9 @@ let throughput_metrics json =
   in
   rate_array "lookups_per_sec";
   rate_array "updates_per_sec";
+  (* BENCH_scale.json rows ("Strategy@n=SIZE" keys) gate through the
+     same shape. *)
+  rate_array "placements_per_sec";
   (match member "instrumentation" json with
   | Some (Obj fields) ->
     List.iter

@@ -713,20 +713,150 @@ let bench_obs ~scale () =
     update_iters svc_off svc_on (overhead svc_off svc_on)
 
 (* ------------------------------------------------------------------ *)
+(* Part 7: cluster-scale benchmark -> BENCH_scale.json                 *)
+
+(* The paper simulates n=10; this sweep proves the codebase holds up at
+   n=10k.  For each consistent-hashing strategy at each fleet size it
+   measures placement throughput (entries placed per second through the
+   full message path), steady-state lookup throughput at the paper's
+   t=35 working point, resident memory after placement, and the storage
+   load skew (peak/mean entry count over servers) the strategy's hash
+   geometry produces.  Written to BENCH_scale.json and gated by
+   check_regress exactly like BENCH_core.json, so an O(n) scan creeping
+   back into a hot path shows up as a throughput regression at the
+   larger sizes. *)
+let bench_scale ~smoke () =
+  (* One shot of [f] at n=10 lasts ~100us, far below timer resolution
+     noise, so every rate repeats [f] until a minimum wall clock has
+     accumulated — the 30% CI gate needs the small-n rows stable. *)
+  let min_elapsed = if smoke then 0.05 else 0.2 in
+  let rate ~amount f =
+    let t0 = Unix.gettimeofday () in
+    let rounds = ref 0 in
+    while Unix.gettimeofday () -. t0 < min_elapsed do
+      f ();
+      incr rounds
+    done;
+    float_of_int (!rounds * amount) /. Float.max 1e-6 (Unix.gettimeofday () -. t0)
+  in
+  let sizes = if smoke then [ 10; 1000 ] else [ 10; 1000; 10_000 ] in
+  let t = 35 in
+  let cfg s =
+    match Service.config_of_string s with Ok c -> c | Error e -> failwith e
+  in
+  let configs = [ cfg "hash-2"; cfg "chord-2"; cfg "dxhash-2"; cfg "multiprobe-2x2" ] in
+  let live_words () =
+    Gc.compact ();
+    (Gc.stat ()).Gc.live_words
+  in
+  let rows =
+    List.concat_map
+      (fun n ->
+        let h = max 100 n in
+        List.map
+          (fun config ->
+            let words0 = live_words () in
+            let service = Service.create ~seed:7 ~n config in
+            let entries = Entry.Gen.batch (Entry.Gen.create ()) h in
+            Service.place service entries;
+            let words1 = live_words () in
+            (* Re-placing the same batch repeats the identical message
+               sequence (stores replace in place), so the repetitions
+               measure steady-state placement throughput. *)
+            let place_rate = rate ~amount:h (fun () -> Service.place service entries) in
+            let lookup_rate =
+              rate ~amount:1 (fun () -> ignore (Service.partial_lookup service t))
+            in
+            let cluster = Service.cluster service in
+            let loads =
+              Array.init n (fun i -> Server_store.cardinal (Cluster.store cluster i))
+            in
+            let load = Metrics.Load.summarize loads in
+            ( Printf.sprintf "%s@n=%d" (Service.config_name config) n,
+              place_rate,
+              lookup_rate,
+              words1 - words0,
+              load ))
+          configs)
+      sizes
+  in
+  let table =
+    Table.create
+      ~title:(Printf.sprintf "cluster-scale sweep (t=%d%s)" t (if smoke then ", smoke" else ""))
+      ~columns:
+        [ "strategy@n"; "placements/s"; "lookups/s"; "live words"; "peak/avg"; "load cov" ]
+  in
+  List.iter
+    (fun (name, place_rate, lookup_rate, words, load) ->
+      Table.add_row table
+        [ Table.S name;
+          Table.S (Printf.sprintf "%.0f" place_rate);
+          Table.S (Printf.sprintf "%.0f" lookup_rate);
+          Table.I words;
+          Table.F load.Metrics.Load.peak_to_average;
+          Table.F load.Metrics.Load.cov ])
+    rows;
+  Table.print table;
+  let rate_rows value =
+    String.concat ",\n"
+      (List.map
+         (fun ((name, _, _, _, _) as row) ->
+           Printf.sprintf "    {\"strategy\": %S, \"per_sec\": %.0f}" name (value row))
+         rows)
+  in
+  let load_rows =
+    String.concat ",\n"
+      (List.map
+         (fun (name, _, _, words, load) ->
+           Printf.sprintf
+             "    {\"strategy\": %S, \"live_words\": %d, \"peak_to_average\": %.4f, \
+              \"cov\": %.4f}"
+             name words load.Metrics.Load.peak_to_average load.Metrics.Load.cov)
+         rows)
+  in
+  let oc = open_out "BENCH_scale.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"cluster_scale\",\n\
+    \  \"params\": {\"t\": %d, \"smoke\": %b, \"sizes\": [%s]},\n\
+    \  \"placements_per_sec\": [\n%s\n  ],\n\
+    \  \"lookups_per_sec\": [\n%s\n  ],\n\
+    \  \"load\": [\n%s\n  ]\n\
+     }\n"
+    t smoke
+    (String.concat ", " (List.map string_of_int sizes))
+    (rate_rows (fun (_, p, _, _, _) -> p))
+    (rate_rows (fun (_, _, l, _, _) -> l))
+    load_rows;
+  close_out oc;
+  print_endline "(wrote BENCH_scale.json)"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let jobs = ref 0 in
   let smoke = ref false in
+  let scale_only = ref false in
   Arg.parse
     [ ("-j", Arg.Set_int jobs, "JOBS worker domains for Parts 2 and 5 (0 = one per core)");
       ("--jobs", Arg.Set_int jobs, "JOBS same as -j");
       ("--smoke",
        Arg.Set smoke,
-       " quick CI run: micro-benchmarks and the core baseline at tiny scale") ]
+       " quick CI run: micro-benchmarks and the core baseline at tiny scale");
+      ("--scale-only",
+       Arg.Set scale_only,
+       " run only Part 7 (the n=10..10k cluster-scale sweep -> BENCH_scale.json)") ]
     (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
-    "bench [-j JOBS] [--smoke]";
+    "bench [-j JOBS] [--smoke] [--scale-only]";
   let jobs = if !jobs = 0 then Pool.recommended_jobs () else !jobs in
   let t0 = Unix.gettimeofday () in
+  if !scale_only then begin
+    print_endline "=== Part 7: cluster-scale benchmark (BENCH_scale.json) ===";
+    print_newline ();
+    bench_scale ~smoke:!smoke ();
+    Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0);
+    exit 0
+  end;
   print_endline "=== Part 1: micro-benchmarks (one Test.make per table/figure) ===";
   run_bechamel (experiment_tests @ core_op_tests);
   print_newline ();
@@ -765,14 +895,18 @@ let () =
   print_newline ();
   print_endline "=== Part 5: core throughput baseline (BENCH_core.json) ===";
   print_newline ();
-  let bench_scale = if !smoke then 0.05 else 0.25 in
-  let core_fields = bench_core ~jobs ~scale:bench_scale () in
+  let core_scale = if !smoke then 0.05 else 0.25 in
+  let core_fields = bench_core ~jobs ~scale:core_scale () in
   print_newline ();
   print_endline "=== Part 6: instrumentation overhead (observability layer) ===";
   print_newline ();
-  let obs_fields = bench_obs ~scale:bench_scale () in
+  let obs_fields = bench_obs ~scale:core_scale () in
   let oc = open_out "BENCH_core.json" in
   Printf.fprintf oc "{\n%s,\n%s\n}\n" core_fields obs_fields;
   close_out oc;
   print_endline "(wrote BENCH_core.json)";
+  print_newline ();
+  print_endline "=== Part 7: cluster-scale benchmark (BENCH_scale.json) ===";
+  print_newline ();
+  bench_scale ~smoke:!smoke ();
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -48,13 +48,8 @@ type state = {
 let finish st =
   if not st.finished then begin
     st.finished <- true;
-    let entries = Hashtbl.fold (fun _ e acc -> e :: acc) st.seen [] in
     let entries =
-      if List.length entries <= st.target then entries
-      else
-        Array.to_list
-          (Plookup_util.Rng.sample (Cluster.rng st.cluster) (Array.of_list entries)
-             st.target)
+      Probe.pick_from_table st.seen ~rng:(Cluster.rng st.cluster) ~target:st.target
     in
     st.k
       { result =

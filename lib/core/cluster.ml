@@ -51,10 +51,16 @@ let partition t ~name ?clients ~a ~b () = Net.partition t.net ~name ?clients ~a 
 let heal t ~name = Net.heal t.net ~name
 let heal_all t = Net.heal_all t.net
 
+let up_count t = Net.up_count t.net
+let up_servers_into t buf = Net.up_servers_into t.net buf
+
+(* One [Rng.int] draw over the up-count, resolved by rank — the same
+   draw (and the same server: the k-th smallest up id) as the old
+   [List.nth up_servers] scan, in O(log n) instead of O(n). *)
 let random_up_server t =
-  match up_servers t with
-  | [] -> None
-  | up -> Some (List.nth up (Rng.int t.rng (List.length up)))
+  match up_count t with
+  | 0 -> None
+  | up -> Some (Net.kth_up t.net (Rng.int t.rng up))
 
 let next_up_from t i =
   if i < 0 || i >= t.n then invalid_arg "Cluster.next_up_from: server index out of range";

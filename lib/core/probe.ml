@@ -2,10 +2,27 @@ open Plookup_store
 open Plookup_util
 module Net = Plookup_net.Net
 
-let always_reachable _ = true
-
-let candidates ?(reachable = always_reachable) cluster =
-  List.filter reachable (Cluster.up_servers cluster)
+(* Reachable up servers in ascending id order — the same contents (and
+   order) as filtering [Cluster.up_servers], built as an array with no
+   per-element list cells.  The no-predicate path fills straight from
+   the network's up bitmap. *)
+let candidates_array ?reachable cluster =
+  match reachable with
+  | None ->
+    let arr = Array.make (max 1 (Cluster.up_count cluster)) 0 in
+    let count = Cluster.up_servers_into cluster arr in
+    if count = Array.length arr then arr else Array.sub arr 0 count
+  | Some ok ->
+    let n = Cluster.n cluster in
+    let arr = Array.make (max 1 n) 0 in
+    let count = ref 0 in
+    for i = 0 to n - 1 do
+      if Cluster.is_up cluster i && ok i then begin
+        arr.(!count) <- i;
+        incr count
+      end
+    done;
+    if !count = Array.length arr then arr else Array.sub arr 0 !count
 
 (* Send one Lookup and merge the distinct answers into [seen]. *)
 let contact cluster ~t ~seen server =
@@ -21,42 +38,60 @@ let contact cluster ~t ~seen server =
    merging answers from multiple servers overshoots, and returning the
    whole union would systematically over-deliver every entry (it would
    also make the unfairness metric reflect overshoot rather than bias).
-   The kept subset is uniform over everything collected. *)
+   The kept subset is uniform over everything collected.
+
+   The table is drained into an array sized by [Hashtbl.length], filled
+   back-to-front so the element order — and therefore the [Rng.sample]
+   result — is identical to the old fold-to-list / [Array.of_list]
+   round-trip this replaces. *)
+let pick_from_table seen ~rng ~target =
+  let len = Hashtbl.length seen in
+  if len = 0 then []
+  else begin
+    let arr = Array.make len (Entry.v 0) in
+    let i = ref len in
+    Hashtbl.iter
+      (fun _ e ->
+        decr i;
+        arr.(!i) <- e)
+      seen;
+    if len <= target then Array.to_list arr
+    else Array.to_list (Rng.sample rng arr target)
+  end
+
 let result_of cluster seen ~contacted ~target =
-  let entries = Hashtbl.fold (fun _ e acc -> e :: acc) seen [] in
-  let entries =
-    if List.length entries <= target then entries
-    else
-      Array.to_list (Rng.sample (Cluster.rng cluster) (Array.of_list entries) target)
-  in
-  { Lookup_result.entries; servers_contacted = contacted; target }
+  { Lookup_result.entries = pick_from_table seen ~rng:(Cluster.rng cluster) ~target;
+    servers_contacted = contacted;
+    target }
 
 let single ?reachable cluster ~t =
-  match candidates ?reachable cluster with
-  | [] -> Lookup_result.empty ~target:t
-  | up ->
-    let server = List.nth up (Rng.int (Cluster.rng cluster) (List.length up)) in
+  let up = candidates_array ?reachable cluster in
+  match Array.length up with
+  | 0 -> Lookup_result.empty ~target:t
+  | len ->
+    let server = up.(Rng.int (Cluster.rng cluster) len) in
     let seen = Hashtbl.create 16 in
     let answered = contact cluster ~t ~seen server in
     result_of cluster seen ~contacted:(if answered then 1 else 0) ~target:t
 
-(* Walk [order] until [t] distinct entries are in hand. *)
-let probe_in_order cluster ~t order =
+(* Walk [order.(0 .. len-1)] until [t] distinct entries are in hand. *)
+let probe_in_order_arr cluster ~t order =
   let seen = Hashtbl.create 16 in
   let contacted = ref 0 in
-  let rec go = function
-    | [] -> ()
-    | server :: rest ->
-      if contact cluster ~t ~seen server then incr contacted;
-      if Hashtbl.length seen < t then go rest
-  in
-  go order;
+  let len = Array.length order in
+  let i = ref 0 in
+  while !i < len && Hashtbl.length seen < t do
+    if contact cluster ~t ~seen order.(!i) then incr contacted;
+    incr i
+  done;
   result_of cluster seen ~contacted:!contacted ~target:t
 
+let probe_in_order cluster ~t order = probe_in_order_arr cluster ~t (Array.of_list order)
+
 let random_order ?reachable cluster ~t =
-  let up = Array.of_list (candidates ?reachable cluster) in
+  let up = candidates_array ?reachable cluster in
   Rng.shuffle_in_place (Cluster.rng cluster) up;
-  probe_in_order cluster ~t (Array.to_list up)
+  probe_in_order_arr cluster ~t up
 
 let stride ?reachable cluster ~start ~step ~t =
   let n = Cluster.n cluster in
@@ -65,8 +100,8 @@ let stride ?reachable cluster ~start ~step ~t =
      step = 0 (mod n) degenerates to the single start residue, which the
      rest-extension below already handles. *)
   let step = ((step mod n) + n) mod n in
-  let usable = candidates ?reachable cluster in
-  if List.length usable = n then begin
+  let usable = candidates_array ?reachable cluster in
+  if Array.length usable = n then begin
     (* Failure-free fast path: the deterministic sequence start,
        start+step, ... visits gcd-many residue classes; extend with the
        remaining servers so the probe can always reach full coverage. *)
@@ -90,7 +125,6 @@ let stride ?reachable cluster ~start ~step ~t =
   else begin
     (* Failures (or restricted reachability): random order, per the
        paper. *)
-    let up = Array.of_list usable in
-    Rng.shuffle_in_place (Cluster.rng cluster) up;
-    probe_in_order cluster ~t (Array.to_list up)
+    Rng.shuffle_in_place (Cluster.rng cluster) usable;
+    probe_in_order_arr cluster ~t usable
   end

@@ -11,6 +11,17 @@
     limited-reachability variation of Section 7.2): servers outside the
     client's reach are never contacted. *)
 
+val pick_from_table :
+  (int, Plookup_store.Entry.t) Hashtbl.t ->
+  rng:Plookup_util.Rng.t ->
+  target:int ->
+  Plookup_store.Entry.t list
+(** The shared truncation rule: drain the merged-answers table and, when
+    it overshoots [target], keep a uniform [target]-subset (one
+    {!Plookup_util.Rng.sample} draw).  Drains through a directly-sized
+    array — no intermediate list — while consuming the identical RNG
+    draws as the historical fold-to-list formulation. *)
+
 val single :
   ?reachable:(int -> bool) -> Cluster.t -> t:int -> Lookup_result.t
 (** Contact one random reachable up server and return its answer as-is —

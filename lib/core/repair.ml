@@ -184,7 +184,7 @@ let owners_of t e =
 let target_degree t e =
   let n = Cluster.n t.cluster in
   match t.plan with
-  | Mirror -> List.length (Cluster.up_servers t.cluster)
+  | Mirror -> Cluster.up_count t.cluster
   | Assigned _ ->
     (match owners_of t e with Some owners -> List.length owners | None -> 0)
   | Free x ->
@@ -192,19 +192,27 @@ let target_degree t e =
     max 1 (min n (n * x / live))
 
 (* Omniscient measurement of degree deficiency (reads stores directly;
-   sends nothing) — powers the time-to-restore-degree metric. *)
+   sends nothing) — powers the time-to-restore-degree metric.  Rather
+   than probing every up store for every live entry (O(live * up) — the
+   quadratic that dominated churn runs at scale), one pass over the up
+   stores builds a per-id copy count, then each live entry is judged by
+   one array read. *)
 let refresh_tracking t =
   let nowv = now t in
-  let up = Cluster.up_servers t.cluster in
-  List.iter
-    (fun e ->
-      let id = Entry.id e in
+  let cap = max 1 t.capacity in
+  let copies = Array.make cap 0 in
+  for i = 0 to Cluster.n t.cluster - 1 do
+    if Cluster.is_up t.cluster i then
+      Server_store.iter
+        (fun e ->
+          let id = Entry.id e in
+          if id < cap then copies.(id) <- copies.(id) + 1)
+        (Cluster.store t.cluster i)
+  done;
+  Hashtbl.iter
+    (fun id e ->
       let deg = target_degree t e in
-      let copies =
-        List.fold_left
-          (fun acc i -> if Server_store.mem (Cluster.store t.cluster i) e then acc + 1 else acc)
-          0 up
-      in
+      let copies = if id < cap then copies.(id) else 0 in
       (* Under Mirror, zero live copies means the strategy never tracked
          the entry (e.g. Fixed-x beyond capacity) or every server is
          down — neither is a repairable deficiency. *)
@@ -222,7 +230,7 @@ let refresh_tracking t =
           Metrics.add_gauge t.st_restore_total (nowv -. since);
           Hashtbl.remove t.deficient_since id
         | None -> ())
-    (sorted_live t);
+    t.live;
   (* Entries deleted while deficient: the deficiency is moot. *)
   let stale =
     Hashtbl.fold
@@ -402,7 +410,7 @@ let replay_hints t ~target =
 (* {2 Repair daemon} *)
 
 let lowest_up t =
-  match Cluster.up_servers t.cluster with [] -> None | c :: _ -> Some c
+  if Cluster.up_count t.cluster = 0 then None else Some (Net.kth_up (net t) 0)
 
 let daemon_tick t =
   match lowest_up t with
@@ -427,92 +435,142 @@ let daemon_tick t =
           | Some since, Some b when nowv -. since <= t.config.grace -> has b id
           | _ -> false
         in
+        (* Invert the per-entry scans: one pass over the stores of the
+           servers that answered the broadcast yields every entry's live
+           copy count (a digest is a same-tick snapshot of its store, so
+           iterating the store is iterating the digest's set bits) and
+           the holders of each tombstoned id.  Per-entry work below then
+           touches the ring only for entries that actually need filling
+           or trimming, and only for as many steps as there are copies
+           to send. *)
+        let cap = max 1 t.capacity in
+        let up_copies = Array.make cap 0 in
+        let dead_holders = Hashtbl.create 16 in
+        for i = 0 to n - 1 do
+          if dig.(i) <> None then
+            Server_store.iter
+              (fun e ->
+                let id = Entry.id e in
+                if id < cap then begin
+                  up_copies.(id) <- up_copies.(id) + 1;
+                  if Hashtbl.mem t.tombstones id then
+                    Hashtbl.replace dead_holders id
+                      (i :: Option.value (Hashtbl.find_opt dead_holders id) ~default:[])
+                end)
+              (Cluster.store t.cluster i)
+        done;
+        (* Down-within-grace servers are few at any instant; per-entry
+           grace copies are counted against this short list rather than
+           a length-n sweep. *)
+        let grace_servers =
+          let acc = ref [] in
+          for s = n - 1 downto 0 do
+            if dig.(s) = None then
+              match (t.down_since.(s), t.down_digest.(s)) with
+              | Some since, Some _ when nowv -. since <= t.config.grace -> acc := s :: !acc
+              | _ -> ()
+          done;
+          !acc
+        in
         List.iter
           (fun e ->
             let id = Entry.id e in
-            let ring = List.init n (fun k -> ((((id mod n) + n) mod n) + k) mod n) in
-            let up_holders = List.filter (fun i -> holds i id) ring in
-            let grace_holders =
-              List.filter (fun s -> dig.(s) = None && grace_holds s id) ring
+            let start = ((id mod n) + n) mod n in
+            let live_copies = if id < cap then up_copies.(id) else 0 in
+            let grace_copies =
+              List.fold_left
+                (fun acc s -> if grace_holds s id then acc + 1 else acc)
+                0 grace_servers
             in
             let deg = target_degree t e in
-            let copies = List.length up_holders + List.length grace_holders in
+            let copies = live_copies + grace_copies in
             let owners = owners_of t e in
             if copies < deg then begin
               (* Under Mirror an entry with no live copy has no source
                  (the strategy never tracked it, or nothing survives). *)
-              if not (t.plan = Mirror && up_holders = []) then begin
+              if not (t.plan = Mirror && live_copies = 0) then begin
                 let deficit = deg - copies in
-                let preferred =
+                let sent = ref 0 in
+                let send_to dst =
+                  ignore (Net.send (net t) ~src:(Net.Server c) ~dst (Msg.repair_store e));
+                  Metrics.incr t.st_re_replications;
+                  incr sent;
                   match owners with
-                  | Some os ->
-                    List.filter (fun o -> dig.(o) <> None && not (holds o id)) os
-                  | None -> []
+                  | Some os when not (List.mem dst os) ->
+                    let prev = Option.value (Hashtbl.find_opt t.placed id) ~default:[] in
+                    if not (List.mem dst prev) then
+                      Hashtbl.replace t.placed id (dst :: prev)
+                  | Some _ | None -> ()
                 in
-                let fill =
-                  List.filter
-                    (fun i ->
-                      dig.(i) <> None && (not (holds i id)) && not (List.mem i preferred))
-                    ring
-                in
+                (* Owners missing their copy come first (in owner
+                   order), then the ring walk from the entry's home
+                   fills the remainder with substitutes, stopping the
+                   moment the deficit is met — the same destinations, in
+                   the same order, as taking [deficit] from the old
+                   [preferred @ fill] lists. *)
+                let os = Option.value owners ~default:[] in
                 List.iter
-                  (fun dst ->
-                    ignore (Net.send (net t) ~src:(Net.Server c) ~dst (Msg.repair_store e));
-                    Metrics.incr t.st_re_replications;
-                    match owners with
-                    | Some os when not (List.mem dst os) ->
-                      let prev = Option.value (Hashtbl.find_opt t.placed id) ~default:[] in
-                      if not (List.mem dst prev) then
-                        Hashtbl.replace t.placed id (dst :: prev)
-                    | Some _ | None -> ())
-                  (List_util.take deficit (preferred @ fill))
+                  (fun o ->
+                    if !sent < deficit && dig.(o) <> None && not (holds o id) then send_to o)
+                  os;
+                let k = ref 0 in
+                while !sent < deficit && !k < n do
+                  let i = (start + !k) mod n in
+                  if dig.(i) <> None && (not (holds i id)) && not (List.mem i os) then
+                    send_to i;
+                  incr k
+                done
               end
             end
             else begin
               (* Over-degree under an assigned placement: once every
-                 owner is up and holding, trim the stray substitutes. *)
+                 owner is up and holding, trim the stray substitutes.
+                 [live_copies] counts owners and strays alike, so the
+                 ring is walked only when strays actually exist, and
+                 only until they are all found. *)
               match owners with
               | Some os
-                when os <> [] && List.for_all (fun o -> dig.(o) <> None && holds o id) os ->
-                let trimmed =
-                  List.filter
-                    (fun i ->
-                      if List.mem i os then false
-                      else begin
-                        ignore (Net.send (net t) ~src:(Net.Server c) ~dst:i (Msg.remove e));
-                        Metrics.incr t.st_trims;
-                        true
-                      end)
-                    up_holders
-                in
-                if trimmed <> [] then begin
-                  match
-                    List.filter
-                      (fun s -> not (List.mem s trimmed))
-                      (Option.value (Hashtbl.find_opt t.placed id) ~default:[])
-                  with
-                  | [] -> Hashtbl.remove t.placed id
-                  | rest -> Hashtbl.replace t.placed id rest
-                end
+                when os <> []
+                     && List.for_all (fun o -> dig.(o) <> None && holds o id) os
+                     && live_copies > List.length os ->
+                let strays = live_copies - List.length os in
+                let trimmed = ref [] in
+                let k = ref 0 in
+                while List.length !trimmed < strays && !k < n do
+                  let i = (start + !k) mod n in
+                  if holds i id && not (List.mem i os) then begin
+                    ignore (Net.send (net t) ~src:(Net.Server c) ~dst:i (Msg.remove e));
+                    Metrics.incr t.st_trims;
+                    trimmed := i :: !trimmed
+                  end;
+                  incr k
+                done;
+                (match
+                   List.filter
+                     (fun s -> not (List.mem s !trimmed))
+                     (Option.value (Hashtbl.find_opt t.placed id) ~default:[])
+                 with
+                | [] -> Hashtbl.remove t.placed id
+                | rest -> Hashtbl.replace t.placed id rest)
               | _ -> ()
             end)
           (sorted_live t);
         (* Tombstone scrub: a recovery sync that found no live peer (or
            a hint replayed out of order) can leave a deleted entry on an
            up server indefinitely; the daemon retracts any tombstoned id
-           still present in a digest. *)
+           still present in a digest (the holders were collected in the
+           counting pass above — no per-tombstone server sweep). *)
         let dead_ids =
-          List.sort compare (Hashtbl.fold (fun id () acc -> id :: acc) t.tombstones [])
+          List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) dead_holders [])
         in
         List.iter
           (fun id ->
-            for i = 0 to n - 1 do
-              if holds i id then begin
+            List.iter
+              (fun i ->
                 ignore
                   (Net.send (net t) ~src:(Net.Server c) ~dst:i (Msg.remove (Entry.v id)));
-                Metrics.incr t.st_retracted
-              end
-            done)
+                Metrics.incr t.st_retracted)
+              (List.rev (Hashtbl.find dead_holders id)))
           dead_ids);
     refresh_tracking t
   | Some _ -> ()

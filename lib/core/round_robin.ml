@@ -348,10 +348,14 @@ let partial_lookup_parallel ?reachable t target =
   let rng = Cluster.rng t.cluster in
   let all_up =
     match reachable with
-    | None -> List.length (Cluster.up_servers t.cluster) = n
+    | None -> Cluster.up_count t.cluster = n
     | Some f ->
-      List.for_all f (Cluster.up_servers t.cluster)
-      && List.length (Cluster.up_servers t.cluster) = n
+      Cluster.up_count t.cluster = n
+      && (let ok = ref true in
+          for i = 0 to n - 1 do
+            if not (f i) then ok := false
+          done;
+          !ok)
   in
   if not all_up then
     (* Failures: the wave size is no longer predictable; fall back to the

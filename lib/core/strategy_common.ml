@@ -55,7 +55,7 @@ let to_random_server cluster msg =
   | None -> ()
   | Some s -> ignore (Net.send (Cluster.net cluster) ~src:Net.Client ~dst:s msg)
 
-let any_up cluster = Cluster.up_servers cluster <> []
+let any_up cluster = Cluster.up_count cluster > 0
 
 (** Shared [params] decoding for {!Strategy_intf.S.create}. *)
 let one_param ~who ~what = function

@@ -43,9 +43,22 @@ let run_strategy ctx ~obs ~n ~h ~t ~mttf ~mttr ~horizon ~update_every ~repair co
       if ev.Churn.up then Cluster.recover cluster ev.Churn.server
       else Cluster.fail cluster ev.Churn.server)
     churn_events;
-  (* The experiment's own ground truth of what is alive. *)
+  (* The experiment's own ground truth of what is alive.  Entry ids are
+     issued sequentially by [Entry.Gen], so a Fenwick tree over the id
+     space gives the uniform victim pick by rank — the k-th smallest
+     live id, exactly what sorting the table and indexing used to
+     produce — in O(log ids) per update instead of an O(h log h) sort. *)
   let live = Hashtbl.create (2 * h) in
-  List.iter (fun e -> Hashtbl.replace live (Entry.id e) e) initial;
+  let live_fen = Fenwick.create (h + int_of_float (horizon /. update_every) + 1) in
+  let live_add e =
+    Hashtbl.replace live (Entry.id e) e;
+    Fenwick.add live_fen (Entry.id e) 1
+  in
+  let live_remove id =
+    Hashtbl.remove live id;
+    Fenwick.add live_fen id (-1)
+  in
+  List.iter live_add initial;
   let deleted = Hashtbl.create 64 in
   let wl_rng = Rng.create (seed lxor 0xBEEF) in
   for k = 1 to int_of_float (horizon /. update_every) do
@@ -56,18 +69,17 @@ let run_strategy ctx ~obs ~n ~h ~t ~mttf ~mttr ~horizon ~update_every ~repair co
            (* A client whose update gets no reply (coordinator down, or
               no server up) fails fast; the update never happened. *)
            if Service.can_update service then begin
-           let ids = List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) live []) in
-           match ids with
-           | [] -> ()
-           | _ ->
-             let victim_id = List.nth ids (Rng.int wl_rng (List.length ids)) in
+           match Fenwick.total live_fen with
+           | 0 -> ()
+           | alive ->
+             let victim_id = Fenwick.select live_fen (Rng.int wl_rng alive) in
              let victim = Hashtbl.find live victim_id in
              Service.delete service victim;
-             Hashtbl.remove live victim_id;
+             live_remove victim_id;
              Hashtbl.replace deleted victim_id ();
              let fresh = Entry.Gen.fresh gen in
              Service.add service fresh;
-             Hashtbl.replace live (Entry.id fresh) fresh
+             live_add fresh
            end))
   done;
   let tally =
@@ -87,7 +99,7 @@ let run_strategy ctx ~obs ~n ~h ~t ~mttf ~mttr ~horizon ~update_every ~repair co
              tally.stale
              + List.length (List.filter (fun e -> Hashtbl.mem deleted (Entry.id e)) returned);
            tally.contacts <- tally.contacts + r.Lookup_result.servers_contacted;
-           tally.up_samples <- tally.up_samples + List.length (Cluster.up_servers cluster);
+           tally.up_samples <- tally.up_samples + Cluster.up_count cluster;
            (* The doc'd metric: how often the system as a whole could not
               have served t live entries no matter how many servers a
               client contacted. *)

@@ -20,10 +20,13 @@ type faults = {
 
 type partition_side = [ `A | `B ]
 
+(* Side membership is kept as bitsets so the per-delivery partition
+   check is O(1) in the number of servers, not a [List.mem] scan over
+   the side lists. *)
 type partition = {
   pname : string;
-  a : int list;
-  b : int list;
+  a_bits : Bitset.t;
+  b_bits : Bitset.t;
   clients : partition_side;
 }
 
@@ -34,6 +37,9 @@ type ('msg, 'reply) t = {
   metrics : Metrics.t;
   mutable handler : (int -> sender -> 'msg -> 'reply) option;
   up : bool array;
+  (* 0/1 per server, mirroring [up]: O(1) up-count and O(log n) k-th-up
+     selection for the uniform-pick hot paths. *)
+  up_fen : Fenwick.t;
   (* Counters are registry cells private to this network instance, so the
      accessors below report exactly this network's traffic (snapshots
      aggregate across instances; see {!Plookup_obs.Metrics}). *)
@@ -61,10 +67,15 @@ type ('msg, 'reply) t = {
 let create ?metrics ~n () =
   if n <= 0 then invalid_arg "Net.create: n must be positive";
   let m = match metrics with Some m -> m | None -> Metrics.create () in
+  let up_fen = Fenwick.create n in
+  for i = 0 to n - 1 do
+    Fenwick.add up_fen i 1
+  done;
   { n;
     metrics = m;
     handler = None;
     up = Array.make n true;
+    up_fen;
     received =
       Array.init n (fun i ->
           Metrics.counter m
@@ -117,6 +128,7 @@ let fail t i =
   check_node t i;
   if t.up.(i) then begin
     t.up.(i) <- false;
+    Fenwick.add t.up_fen i (-1);
     notify_status t i false
   end
 
@@ -124,6 +136,7 @@ let recover t i =
   check_node t i;
   if not t.up.(i) then begin
     t.up.(i) <- true;
+    Fenwick.add t.up_fen i 1;
     notify_status t i true
   end
 
@@ -137,6 +150,24 @@ let is_up t i =
 
 let up_servers t =
   List.filter (fun i -> t.up.(i)) (List.init t.n Fun.id)
+
+let up_count t = Fenwick.total t.up_fen
+
+let kth_up t k =
+  if k < 0 || k >= up_count t then invalid_arg "Net.kth_up: rank out of range";
+  Fenwick.select t.up_fen k
+
+let up_servers_into t buf =
+  let count = up_count t in
+  if Array.length buf < count then invalid_arg "Net.up_servers_into: buffer too small";
+  let j = ref 0 in
+  for i = 0 to t.n - 1 do
+    if t.up.(i) then begin
+      buf.(!j) <- i;
+      incr j
+    end
+  done;
+  count
 
 let fail_exactly t down =
   for i = 0 to t.n - 1 do
@@ -182,8 +213,8 @@ let link_rng f ~from_code ~to_code =
 
 let side_of p c =
   if c = -1 then Some p.clients
-  else if List.mem c p.a then Some `A
-  else if List.mem c p.b then Some `B
+  else if Bitset.mem p.a_bits c then Some `A
+  else if Bitset.mem p.b_bits c then Some `B
   else None
 
 let crosses p ~from_code ~to_code =
@@ -192,15 +223,20 @@ let crosses p ~from_code ~to_code =
   | _ -> false
 
 let link_blocked t ~from_code ~to_code =
-  List.exists (fun p -> crosses p ~from_code ~to_code) t.partitions
+  t.partitions <> [] && List.exists (fun p -> crosses p ~from_code ~to_code) t.partitions
 
 let partition t ~name ?(clients = `A) ~a ~b () =
   List.iter (check_node t) a;
   List.iter (check_node t) b;
-  if List.exists (fun i -> List.mem i b) a then
+  let a_bits = Bitset.create t.n and b_bits = Bitset.create t.n in
+  List.iter (Bitset.add a_bits) a;
+  List.iter (Bitset.add b_bits) b;
+  (* Bitset intersection, not the old pairwise element scan: one pass
+     over n/8 bytes regardless of how long the side lists are. *)
+  if not (Bitset.disjoint a_bits b_bits) then
     invalid_arg "Net.partition: a server cannot be on both sides";
   t.partitions <-
-    { pname = name; a; b; clients }
+    { pname = name; a_bits; b_bits; clients }
     :: List.filter (fun p -> p.pname <> name) t.partitions
 
 let heal t ~name = t.partitions <- List.filter (fun p -> p.pname <> name) t.partitions

@@ -104,6 +104,20 @@ val set_drop_listener : ('msg, 'reply) t -> (src:sender -> dst:int -> 'msg -> un
 
 val is_up : ('msg, 'reply) t -> int -> bool
 val up_servers : ('msg, 'reply) t -> int list
+
+val up_count : ('msg, 'reply) t -> int
+(** Number of up servers — O(1), maintained across fail/recover. *)
+
+val kth_up : ('msg, 'reply) t -> int -> int
+(** [kth_up t k] is the k-th smallest up server id (0-based) — the same
+    element [List.nth (up_servers t) k] names, in O(log n).  Requires
+    [0 <= k < up_count t]. *)
+
+val up_servers_into : ('msg, 'reply) t -> int array -> int
+(** Fill [buf] with the up server ids in ascending order and return how
+    many there are — {!up_servers} without the list allocation.  [buf]
+    must hold at least {!up_count} elements. *)
+
 val fail_exactly : ('msg, 'reply) t -> int list -> unit
 (** Recover everyone, then fail exactly the given servers. *)
 

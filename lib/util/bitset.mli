@@ -24,6 +24,11 @@ val union : t -> t -> t
 val inter : t -> t -> t
 val diff : t -> t -> t
 val equal : t -> t -> bool
+
+val disjoint : t -> t -> bool
+(** Whether the two sets share no member — one pass, no allocation
+    (unlike [is_empty (inter a b)]). *)
+
 val is_empty : t -> bool
 val iter : (int -> unit) -> t -> unit
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a

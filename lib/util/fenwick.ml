@@ -1,0 +1,68 @@
+(* Binary indexed tree over non-negative integer counts, with an
+   O(log n) order-statistic [select].  The tree array is 1-based
+   internally (the classic Fenwick layout); the public API is 0-based.
+
+   [mask] is the largest power of two <= capacity, precomputed so
+   [select] can walk the implicit tree top-down without re-deriving it
+   per call. *)
+
+type t = { tree : int array; capacity : int; mask : int; mutable total : int }
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Fenwick.create: negative capacity";
+  let mask =
+    let m = ref 1 in
+    while !m * 2 <= capacity do
+      m := !m * 2
+    done;
+    if capacity = 0 then 0 else !m
+  in
+  { tree = Array.make (capacity + 1) 0; capacity; mask; total = 0 }
+
+let capacity t = t.capacity
+let total t = t.total
+
+let check t i =
+  if i < 0 || i >= t.capacity then invalid_arg "Fenwick: index out of bounds"
+
+let add t i delta =
+  check t i;
+  t.total <- t.total + delta;
+  let i = ref (i + 1) in
+  while !i <= t.capacity do
+    t.tree.(!i) <- t.tree.(!i) + delta;
+    i := !i + (!i land - !i)
+  done
+
+(* Sum of counts at indices [0, i). *)
+let prefix t i =
+  if i < 0 || i > t.capacity then invalid_arg "Fenwick.prefix: index out of bounds";
+  let acc = ref 0 in
+  let i = ref i in
+  while !i > 0 do
+    acc := !acc + t.tree.(!i);
+    i := !i - (!i land - !i)
+  done;
+  !acc
+
+let get t i = prefix t (i + 1) - prefix t i
+
+(* Smallest index [i] with [prefix t (i + 1) > k]: the 0-based position
+   of the (k+1)-th unit of count.  With 0/1 counts this is "the k-th
+   smallest present index", which is exactly the contract
+   [List.nth (sorted elements) k] gives — the drop-in for the O(n)
+   list scans this module replaces. *)
+let select t k =
+  if k < 0 || k >= t.total then invalid_arg "Fenwick.select: rank out of range";
+  let pos = ref 0 in
+  let remaining = ref k in
+  let step = ref t.mask in
+  while !step > 0 do
+    let next = !pos + !step in
+    if next <= t.capacity && t.tree.(next) <= !remaining then begin
+      remaining := !remaining - t.tree.(next);
+      pos := next
+    end;
+    step := !step / 2
+  done;
+  !pos

@@ -1,0 +1,33 @@
+(** Fenwick (binary indexed) tree over integer counts, 0-based.
+
+    One mutable array of [capacity] counts supporting O(log n) point
+    update, prefix sum, and rank [select].  The select is what the hot
+    paths want: with 0/1 counts, [select t k] is the k-th smallest
+    present index — byte-identical to indexing the sorted list of
+    present elements, without ever building that list.  {!Cluster} uses
+    one for uniform up-server picks and the churn experiment for
+    uniform live-entry victims. *)
+
+type t
+
+val create : int -> t
+(** All counts zero.  Raises [Invalid_argument] on negative capacity. *)
+
+val capacity : t -> int
+
+val total : t -> int
+(** Sum of all counts, maintained incrementally — O(1). *)
+
+val add : t -> int -> int -> unit
+(** [add t i delta] adds [delta] to the count at [i].  O(log n). *)
+
+val get : t -> int -> int
+(** The count at one index.  O(log n). *)
+
+val prefix : t -> int -> int
+(** [prefix t i] sums the counts at indices [0, i).  O(log n). *)
+
+val select : t -> int -> int
+(** [select t k] is the smallest index whose inclusive prefix sum
+    exceeds [k] — with 0/1 counts, the k-th smallest present index
+    (0-based).  Requires [0 <= k < total t].  O(log n). *)

@@ -77,10 +77,27 @@ let pick t arr =
   if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
   arr.(int t (Array.length arr))
 
+(* One traversal into a doubling buffer, then one [int] draw — the same
+   single draw (with the same bound) the old [List.nth l (int t
+   (List.length l))] made, so seeded outputs are unchanged, without the
+   two O(n) list walks per pick. *)
 let pick_list t l =
   match l with
   | [] -> invalid_arg "Rng.pick_list: empty list"
-  | _ -> List.nth l (int t (List.length l))
+  | x :: rest ->
+    let buf = ref [| x; x; x; x |] in
+    let len = ref 1 in
+    List.iter
+      (fun v ->
+        if !len = Array.length !buf then begin
+          let bigger = Array.make (2 * !len) x in
+          Array.blit !buf 0 bigger 0 !len;
+          buf := bigger
+        end;
+        !buf.(!len) <- v;
+        incr len)
+      rest;
+    !buf.(int t !len)
 
 let shuffle_in_place t arr =
   for i = Array.length arr - 1 downto 1 do

@@ -48,7 +48,9 @@ val pick : t -> 'a array -> 'a
     an empty array. *)
 
 val pick_list : t -> 'a list -> 'a
-(** Uniform element of a non-empty list (O(n)). *)
+(** Uniform element of a non-empty list: one traversal, one generator
+    draw — the same draw [List.nth l (int t (List.length l))] would
+    make, so the two are interchangeable in seeded runs. *)
 
 val shuffle_in_place : t -> 'a array -> unit
 (** Fisher–Yates shuffle. *)

@@ -65,12 +65,14 @@ Table-1 storage formula:
   RoundRobinHA,roundrobinha-YxK,"Y = consecutive copies per entry, K = coordinator replicas",h*y,ablation
   Hash,hash-Y,Y = hash functions placing each entry,h*n*(1-(1-1/n)^y),
   Chord,chord-Y,Y = successors holding each entry on the ring,"h*min(y,n)",
+  DxHash,dxhash-Y,Y = copies per entry along the pseudo-random probe sequence,"h*min(y,n)",
+  MultiProbe,multiprobe-YxK,"Y = replicas on consecutive ring successors, K = probe hashes per key","h*min(y,n)",
 
 A strategy typo gets a did-you-mean suggestion plus the accepted
 spellings:
 
   $ ../../bin/plookup_cli.exe demo chrod-2
-  plookup: unknown strategy "chrod-2" (did you mean "chord"?); known: full, fixed-X, randomserver-X, randomserverreplacing-X, roundrobin-Y, roundrobinha-YxK, hash-Y, chord-Y
+  plookup: unknown strategy "chrod-2" (did you mean "chord"?); known: full, fixed-X, randomserver-X, randomserverreplacing-X, roundrobin-Y, roundrobinha-YxK, hash-Y, chord-Y, dxhash-Y, multiprobe-YxK
   [124]
 
 Malformed parameters explain the expected form:
@@ -118,27 +120,29 @@ views of the same run, both deterministic given the seed:
   RoundRobin-2,h*y,200.00,200.00
   Hash-2,h*n*(1-(1-1/n)^y),190.00,191.90
   Chord-2,"h*min(y,n)",200.00,200.00
-  trace: 12720 spans emitted, 12720 retained, 0 dropped, streamed to trace.jsonl
+  DxHash-2,"h*min(y,n)",200.00,200.00
+  MultiProbe-2x2,"h*min(y,n)",200.00,200.00
+  trace: 20760 spans emitted, 20760 retained, 0 dropped, streamed to trace.jsonl
   {"metrics":[{"name":"net.broadcasts","kind":"counter","value":30},
-  {"name":"net.client_requests","kind":"counter","value":60},
+  {"name":"net.client_requests","kind":"counter","value":80},
   {"name":"net.delivery.delay","kind":"histogram","count":0,"sum":0,"buckets":{}},
   {"name":"net.messages.blocked","kind":"counter","value":0},
   {"name":"net.messages.dropped","kind":"counter","value":0},
   {"name":"net.messages.duplicated","kind":"counter","value":0},
   {"name":"net.messages.lost","kind":"counter","value":0},
-  {"name":"net.messages.received","labels":{"plane":"data"},"kind":"counter","value":60},
+  {"name":"net.messages.received","labels":{"plane":"data"},"kind":"counter","value":80},
   {"name":"net.messages.received","labels":{"plane":"repair"},"kind":"counter","value":0},
-  {"name":"net.messages.received","labels":{"plane":"strategy"},"kind":"counter","value":6300},
-  {"name":"net.messages.received","labels":{"server":"0"},"kind":"counter","value":605},
-  {"name":"net.messages.received","labels":{"server":"1"},"kind":"counter","value":769},
-  {"name":"net.messages.received","labels":{"server":"2"},"kind":"counter","value":615},
-  {"name":"net.messages.received","labels":{"server":"3"},"kind":"counter","value":623},
-  {"name":"net.messages.received","labels":{"server":"4"},"kind":"counter","value":594},
-  {"name":"net.messages.received","labels":{"server":"5"},"kind":"counter","value":576},
-  {"name":"net.messages.received","labels":{"server":"6"},"kind":"counter","value":627},
-  {"name":"net.messages.received","labels":{"server":"7"},"kind":"counter","value":679},
-  {"name":"net.messages.received","labels":{"server":"8"},"kind":"counter","value":648},
-  {"name":"net.messages.received","labels":{"server":"9"},"kind":"counter","value":624},
+  {"name":"net.messages.received","labels":{"plane":"strategy"},"kind":"counter","value":10300},
+  {"name":"net.messages.received","labels":{"server":"0"},"kind":"counter","value":1023},
+  {"name":"net.messages.received","labels":{"server":"1"},"kind":"counter","value":1155},
+  {"name":"net.messages.received","labels":{"server":"2"},"kind":"counter","value":1022},
+  {"name":"net.messages.received","labels":{"server":"3"},"kind":"counter","value":1031},
+  {"name":"net.messages.received","labels":{"server":"4"},"kind":"counter","value":1023},
+  {"name":"net.messages.received","labels":{"server":"5"},"kind":"counter","value":1014},
+  {"name":"net.messages.received","labels":{"server":"6"},"kind":"counter","value":1037},
+  {"name":"net.messages.received","labels":{"server":"7"},"kind":"counter","value":1007},
+  {"name":"net.messages.received","labels":{"server":"8"},"kind":"counter","value":1029},
+  {"name":"net.messages.received","labels":{"server":"9"},"kind":"counter","value":1039},
   {"name":"net.messages.repair","kind":"counter","value":0}]}
 
 Each JSONL line is one span; a recv names its send as its cause:
@@ -148,4 +152,4 @@ Each JSONL line is one span; a recv names its send as its cause:
   {"id":2,"t":0.0,"cause":1,"kind":"recv","src":-1,"dst":1,"plane":"data","msg":"place"}
   {"id":3,"t":0.0,"kind":"send","src":1,"dst":9,"plane":"strategy","msg":"store_batch"}
   $ wc -l < trace.jsonl
-  12720
+  20760

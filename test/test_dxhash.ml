@@ -1,0 +1,174 @@
+open Plookup
+open Plookup_store
+
+let make ?(seed = 11) ?(n = 6) ~y () =
+  let cluster = Cluster.create ~seed ~n () in
+  (Dxhash.create cluster ~y, cluster)
+
+let test_servers_of_distinct () =
+  let dx, _ = make ~y:3 () in
+  List.iter
+    (fun id ->
+      let owners = Dxhash.servers_of dx (Entry.v id) in
+      Helpers.check_int "y owners" 3 (List.length owners);
+      Helpers.check_int "distinct" 3 (List.length (List.sort_uniq compare owners));
+      List.iter
+        (fun s -> Alcotest.(check bool) "active slot" true (s >= 0 && s < 6))
+        owners)
+    [ 0; 1; 17; 400; 12345 ]
+
+let test_y_clamped_to_n () =
+  let dx, _ = make ~n:4 ~y:9 () in
+  Helpers.check_int "y = n" 4 (Dxhash.y dx);
+  Helpers.check_int "owners" 4 (List.length (Dxhash.servers_of dx (Entry.v 1)))
+
+let test_slots_power_of_two () =
+  let dx6, _ = make ~n:6 ~y:1 () in
+  Helpers.check_int "n=6 -> 8 slots" 8 (Dxhash.slots dx6);
+  let dx1000, _ = make ~n:1000 ~y:1 () in
+  Helpers.check_int "n=1000 -> 1024 slots" 1024 (Dxhash.slots dx1000);
+  let dx64, _ = make ~n:64 ~y:1 () in
+  Helpers.check_int "n=64 -> 64 slots" 64 (Dxhash.slots dx64)
+
+let test_placement_matches_probe_sequence () =
+  let dx, _ = make ~y:2 () in
+  let batch = Helpers.entries 40 in
+  Dxhash.place dx batch;
+  match Dxhash.check_invariants dx ~placed:batch with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_add_delete_maintain () =
+  let dx, _ = make ~y:2 () in
+  let batch = Helpers.entries 20 in
+  Dxhash.place dx batch;
+  let extra = Entry.v 999 in
+  Dxhash.add dx extra;
+  (match Dxhash.check_invariants dx ~placed:(extra :: batch) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Dxhash.delete dx extra;
+  match Dxhash.check_invariants dx ~placed:batch with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_deterministic () =
+  let owners_with_seed () =
+    let dx, _ = make ~seed:42 ~y:2 () in
+    List.map (fun id -> Dxhash.servers_of dx (Entry.v id)) (List.init 30 Fun.id)
+  in
+  Alcotest.(check (list (list int))) "same seed, same walk" (owners_with_seed ())
+    (owners_with_seed ())
+
+let test_partial_lookup_satisfied () =
+  let dx, _ = make ~y:2 () in
+  Dxhash.place dx (Helpers.entries 30);
+  let r = Dxhash.partial_lookup dx 10 in
+  Alcotest.(check bool) "satisfied" true (Lookup_result.satisfied r)
+
+let test_budget_truncates_round_major () =
+  let dx, cluster = make ~y:3 () in
+  let batch = Helpers.entries 25 in
+  Dxhash.place ~budget:25 dx batch;
+  Helpers.check_int "one copy each" 25 (Plookup_metrics.Storage.measured cluster);
+  Helpers.check_int "coverage complete" 25 (Plookup_metrics.Coverage.measured cluster)
+
+(* The consistent-hashing churn bound: shrinking the active prefix by
+   one slot only remaps entries whose probe walk actually picked the
+   flipped slot — an expected y/n fraction — and every other entry
+   keeps its owner set byte-identical. *)
+let test_remap_fraction_bounded () =
+  let n = 64 in
+  let y = 2 in
+  let dx, _ = make ~seed:5 ~n ~y () in
+  let ids = List.init 2000 Fun.id in
+  let changed = ref 0 in
+  List.iter
+    (fun id ->
+      let e = Entry.v id in
+      let before = Dxhash.owners_for dx ~active:n e in
+      let after = Dxhash.owners_for dx ~active:(n - 1) e in
+      Alcotest.(check (list int)) "owners_for full = servers_of" (Dxhash.servers_of dx e)
+        before;
+      if List.mem (n - 1) before then begin
+        incr changed;
+        (* The surviving owners are untouched; only the flipped slot is
+           replaced. *)
+        List.iter
+          (fun s -> Alcotest.(check bool) "survivor kept" true (List.mem s after))
+          (List.filter (fun s -> s <> n - 1) before);
+        Alcotest.(check bool) "flipped slot gone" false (List.mem (n - 1) after)
+      end
+      else Alcotest.(check (list int)) "untouched entry stable" before after)
+    ids;
+  let fraction = float_of_int !changed /. float_of_int (List.length ids) in
+  (* Expected y/n ~ 3.1%; fail only on a gross violation of the bound. *)
+  Alcotest.(check bool) "some entries remap" true (!changed > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "remap fraction %.3f <= 4y/n" fraction)
+    true
+    (fraction <= 4. *. float_of_int y /. float_of_int n)
+
+let test_load_skew_bounded () =
+  (* Independent per-entry probe walks spread load like uniform hashing:
+     peak/mean stays well under a single-point ring's skew. *)
+  let n = 100 in
+  let dx, _ = make ~seed:3 ~n ~y:1 () in
+  let counts = Array.make n 0 in
+  for id = 0 to 9999 do
+    List.iter (fun s -> counts.(s) <- counts.(s) + 1) (Dxhash.servers_of dx (Entry.v id))
+  done;
+  let peak = Array.fold_left max 0 counts in
+  let mean = 10000. /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "peak/mean %.2f < 2" (float_of_int peak /. mean))
+    true
+    (float_of_int peak /. mean < 2.)
+
+let test_n1000_smoke () =
+  let dx, _ = make ~seed:9 ~n:1000 ~y:2 () in
+  let batch = Helpers.entries 2000 in
+  Dxhash.place dx batch;
+  (match Dxhash.check_invariants dx ~placed:batch with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let r = Dxhash.partial_lookup dx 20 in
+  Alcotest.(check bool) "satisfied" true (Lookup_result.satisfied r)
+
+let test_create_validation () =
+  let cluster = Cluster.create ~seed:1 ~n:3 () in
+  Alcotest.check_raises "y < 1" (Invalid_argument "Dxhash.create: y must be at least 1")
+    (fun () -> ignore (Dxhash.create cluster ~y:0))
+
+(* The extension-point proof at test level: DxHash is reachable through
+   Service purely via its registration. *)
+let test_reachable_through_service () =
+  match Service.config_of_string "dxhash-2" with
+  | Error e -> Alcotest.fail e
+  | Ok config ->
+    Alcotest.(check string) "canonical name" "DxHash-2" (Service.config_name config);
+    let service, _ = Helpers.placed_service ~n:5 ~h:20 config in
+    let r = Service.partial_lookup service 8 in
+    Alcotest.(check bool) "satisfied" true (Lookup_result.satisfied r);
+    Helpers.close "analytic storage" 40. (Service.analytic_storage config ~n:5 ~h:20)
+
+let () =
+  Helpers.run "dxhash"
+    [ ( "dxhash",
+        [ Alcotest.test_case "servers_of distinct" `Quick test_servers_of_distinct;
+          Alcotest.test_case "y clamped to n" `Quick test_y_clamped_to_n;
+          Alcotest.test_case "slots power of two" `Quick test_slots_power_of_two;
+          Alcotest.test_case "placement matches probe sequence" `Quick
+            test_placement_matches_probe_sequence;
+          Alcotest.test_case "add/delete maintain" `Quick test_add_delete_maintain;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "partial lookup satisfied" `Quick
+            test_partial_lookup_satisfied;
+          Alcotest.test_case "budget truncates round-major" `Quick
+            test_budget_truncates_round_major;
+          Alcotest.test_case "remap fraction bounded" `Quick test_remap_fraction_bounded;
+          Alcotest.test_case "load skew bounded" `Quick test_load_skew_bounded;
+          Alcotest.test_case "n=1000 smoke" `Quick test_n1000_smoke;
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "reachable through service" `Quick
+            test_reachable_through_service ] ) ]

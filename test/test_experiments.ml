@@ -142,7 +142,7 @@ let test_fig14_crossover () =
 
 let test_table2_scorecard () =
   let table = E.Exp_table2.run tiny in
-  Helpers.check_int "six strategies" 6 (List.length (Table.rows table));
+  Helpers.check_int "eight strategies" 8 (List.length (Table.rows table));
   (* Full replication row: max storage, complete coverage, cost 1. *)
   match Table.rows table with
   | first :: _ -> (
@@ -157,7 +157,7 @@ let test_table2_scorecard () =
 
 let test_derived_stars () =
   let _, derived = E.Exp_table2.run_full tiny in
-  Helpers.check_int "five partial strategies" 5 (List.length (Table.rows derived));
+  Helpers.check_int "seven partial strategies" 7 (List.length (Table.rows derived));
   List.iter
     (fun row ->
       List.iteri

@@ -1,0 +1,93 @@
+module Fenwick = Plookup_util.Fenwick
+
+(* Reference model: a plain count array, with select as "index the
+   sorted list of present elements" — the semantics the hot paths
+   (Cluster up-picks, churn victim draws) rely on byte-for-byte. *)
+
+let test_create_validation () =
+  Alcotest.check_raises "negative" (Invalid_argument "Fenwick.create: negative capacity")
+    (fun () -> ignore (Fenwick.create (-1)))
+
+let test_empty () =
+  let t = Fenwick.create 8 in
+  Helpers.check_int "capacity" 8 (Fenwick.capacity t);
+  Helpers.check_int "total" 0 (Fenwick.total t);
+  Helpers.check_int "prefix" 0 (Fenwick.prefix t 8)
+
+let test_add_get_prefix () =
+  let t = Fenwick.create 10 in
+  let model = Array.make 10 0 in
+  let ops = [ (3, 2); (0, 1); (9, 5); (3, -1); (7, 4); (0, -1); (5, 1) ] in
+  List.iter
+    (fun (i, d) ->
+      Fenwick.add t i d;
+      model.(i) <- model.(i) + d;
+      for j = 0 to 9 do
+        Helpers.check_int (Printf.sprintf "get %d" j) model.(j) (Fenwick.get t j)
+      done;
+      let sum = ref 0 in
+      for j = 0 to 10 do
+        Helpers.check_int (Printf.sprintf "prefix %d" j) !sum (Fenwick.prefix t j);
+        if j < 10 then sum := !sum + model.(j)
+      done;
+      Helpers.check_int "total" (Array.fold_left ( + ) 0 model) (Fenwick.total t))
+    ops
+
+let test_select_is_kth_present () =
+  (* With 0/1 counts, select k must name the same element as List.nth of
+     the sorted present list — the contract the O(n)-scan replacements
+     depend on for identical draw sequences. *)
+  let t = Fenwick.create 32 in
+  let present = [ 1; 4; 5; 11; 17; 30; 31 ] in
+  List.iter (fun i -> Fenwick.add t i 1) present;
+  Helpers.check_int "total" (List.length present) (Fenwick.total t);
+  List.iteri
+    (fun k expected ->
+      Helpers.check_int (Printf.sprintf "select %d" k) expected (Fenwick.select t k))
+    present
+
+let test_select_tracks_membership_churn () =
+  let rng = Plookup_util.Rng.create 13 in
+  let cap = 64 in
+  let t = Fenwick.create cap in
+  let present = Array.make cap false in
+  for _ = 1 to 500 do
+    let i = Plookup_util.Rng.int rng cap in
+    if present.(i) then begin
+      present.(i) <- false;
+      Fenwick.add t i (-1)
+    end
+    else begin
+      present.(i) <- true;
+      Fenwick.add t i 1
+    end;
+    let sorted =
+      List.filter (fun i -> present.(i)) (List.init cap Fun.id)
+    in
+    Helpers.check_int "total" (List.length sorted) (Fenwick.total t);
+    List.iteri
+      (fun k expected -> Helpers.check_int "kth" expected (Fenwick.select t k))
+      sorted
+  done
+
+let test_select_with_weights () =
+  (* select also works with counts > 1: it picks the smallest index
+     whose inclusive prefix exceeds k. *)
+  let t = Fenwick.create 4 in
+  Fenwick.add t 1 2;
+  Fenwick.add t 3 3;
+  let expected = [ 1; 1; 3; 3; 3 ] in
+  List.iteri
+    (fun k e -> Helpers.check_int (Printf.sprintf "select %d" k) e (Fenwick.select t k))
+    expected
+
+let () =
+  Helpers.run "fenwick"
+    [ ( "fenwick",
+        [ Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "add/get/prefix" `Quick test_add_get_prefix;
+          Alcotest.test_case "select is kth present" `Quick test_select_is_kth_present;
+          Alcotest.test_case "select tracks churn" `Quick
+            test_select_tracks_membership_churn;
+          Alcotest.test_case "select with weights" `Quick test_select_with_weights ] ) ]

@@ -1,0 +1,138 @@
+open Plookup
+open Plookup_store
+
+let make ?(seed = 11) ?(n = 6) ?(k = 2) ~y () =
+  let cluster = Cluster.create ~seed ~n () in
+  (Multi_probe.create cluster ~y ~k, cluster)
+
+let test_servers_of_distinct () =
+  let mp, _ = make ~y:3 () in
+  List.iter
+    (fun id ->
+      let owners = Multi_probe.servers_of mp (Entry.v id) in
+      Helpers.check_int "y owners" 3 (List.length owners);
+      Helpers.check_int "distinct" 3 (List.length (List.sort_uniq compare owners)))
+    [ 0; 1; 17; 400; 12345 ]
+
+let test_y_clamped_to_n () =
+  let mp, _ = make ~n:4 ~y:9 () in
+  Helpers.check_int "y = n" 4 (Multi_probe.y mp);
+  Helpers.check_int "owners" 4 (List.length (Multi_probe.servers_of mp (Entry.v 1)))
+
+let test_placement_matches_ring () =
+  let mp, _ = make ~y:2 () in
+  let batch = Helpers.entries 40 in
+  Multi_probe.place mp batch;
+  match Multi_probe.check_invariants mp ~placed:batch with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_add_delete_maintain_ring () =
+  let mp, _ = make ~y:2 () in
+  let batch = Helpers.entries 20 in
+  Multi_probe.place mp batch;
+  let extra = Entry.v 999 in
+  Multi_probe.add mp extra;
+  (match Multi_probe.check_invariants mp ~placed:(extra :: batch) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Multi_probe.delete mp extra;
+  match Multi_probe.check_invariants mp ~placed:batch with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_deterministic () =
+  let owners_with_seed () =
+    let mp, _ = make ~seed:42 ~y:2 ~k:3 () in
+    List.map (fun id -> Multi_probe.servers_of mp (Entry.v id)) (List.init 30 Fun.id)
+  in
+  Alcotest.(check (list (list int))) "same seed, same ring" (owners_with_seed ())
+    (owners_with_seed ())
+
+let test_partial_lookup_satisfied () =
+  let mp, _ = make ~y:2 () in
+  Multi_probe.place mp (Helpers.entries 30);
+  let r = Multi_probe.partial_lookup mp 10 in
+  Alcotest.(check bool) "satisfied" true (Lookup_result.satisfied r)
+
+let test_budget_truncates_round_major () =
+  let mp, cluster = make ~y:3 () in
+  let batch = Helpers.entries 25 in
+  Multi_probe.place ~budget:25 mp batch;
+  Helpers.check_int "one copy each" 25 (Plookup_metrics.Storage.measured cluster);
+  Helpers.check_int "coverage complete" 25 (Plookup_metrics.Coverage.measured cluster)
+
+let skew ~seed ~n ~k ids =
+  let cluster = Cluster.create ~seed ~n () in
+  let mp = Multi_probe.create cluster ~y:1 ~k in
+  let counts = Array.make n 0 in
+  for id = 0 to ids - 1 do
+    List.iter
+      (fun s -> counts.(s) <- counts.(s) + 1)
+      (Multi_probe.servers_of mp (Entry.v id))
+  done;
+  float_of_int (Array.fold_left max 0 counts) /. (float_of_int ids /. float_of_int n)
+
+(* The whole point of multi-probe hashing: more probes per key shave
+   the peak/mean load ratio of the single-point ring, without any
+   virtual nodes. *)
+let test_more_probes_less_skew () =
+  let skew1 = skew ~seed:3 ~n:100 ~k:1 10_000 in
+  let skew8 = skew ~seed:3 ~n:100 ~k:8 10_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "skew k=8 (%.2f) < skew k=1 (%.2f)" skew8 skew1)
+    true (skew8 < skew1);
+  Alcotest.(check bool)
+    (Printf.sprintf "skew k=8 (%.2f) < 3" skew8)
+    true (skew8 < 3.)
+
+let test_n1000_smoke () =
+  let mp, _ = make ~seed:9 ~n:1000 ~y:2 ~k:2 () in
+  let batch = Helpers.entries 2000 in
+  Multi_probe.place mp batch;
+  (match Multi_probe.check_invariants mp ~placed:batch with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let r = Multi_probe.partial_lookup mp 20 in
+  Alcotest.(check bool) "satisfied" true (Lookup_result.satisfied r)
+
+let test_create_validation () =
+  let cluster = Cluster.create ~seed:1 ~n:3 () in
+  Alcotest.check_raises "y < 1"
+    (Invalid_argument "Multi_probe.create: y must be at least 1") (fun () ->
+      ignore (Multi_probe.create cluster ~y:0 ~k:2));
+  Alcotest.check_raises "k < 1"
+    (Invalid_argument "Multi_probe.create: k must be at least 1") (fun () ->
+      ignore (Multi_probe.create cluster ~y:1 ~k:0))
+
+(* The extension-point proof at test level: MultiProbe is reachable
+   through Service purely via its registration, spelled with the
+   arity-2 YxK parameter form. *)
+let test_reachable_through_service () =
+  match Service.config_of_string "multiprobe-2x2" with
+  | Error e -> Alcotest.fail e
+  | Ok config ->
+    Alcotest.(check string) "canonical name" "MultiProbe-2x2" (Service.config_name config);
+    let service, _ = Helpers.placed_service ~n:5 ~h:20 config in
+    let r = Service.partial_lookup service 8 in
+    Alcotest.(check bool) "satisfied" true (Lookup_result.satisfied r);
+    Helpers.close "analytic storage" 40. (Service.analytic_storage config ~n:5 ~h:20)
+
+let () =
+  Helpers.run "multi_probe"
+    [ ( "multi_probe",
+        [ Alcotest.test_case "servers_of distinct" `Quick test_servers_of_distinct;
+          Alcotest.test_case "y clamped to n" `Quick test_y_clamped_to_n;
+          Alcotest.test_case "placement matches ring" `Quick test_placement_matches_ring;
+          Alcotest.test_case "add/delete maintain ring" `Quick
+            test_add_delete_maintain_ring;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "partial lookup satisfied" `Quick
+            test_partial_lookup_satisfied;
+          Alcotest.test_case "budget truncates round-major" `Quick
+            test_budget_truncates_round_major;
+          Alcotest.test_case "more probes less skew" `Quick test_more_probes_less_skew;
+          Alcotest.test_case "n=1000 smoke" `Quick test_n1000_smoke;
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "reachable through service" `Quick
+            test_reachable_through_service ] ) ]

@@ -332,6 +332,31 @@ let test_partition_validation () =
     (Invalid_argument "Net.partition: a server cannot be on both sides") (fun () ->
       Net.partition net ~name:"bad" ~a:[ 0 ] ~b:[ 0 ] ())
 
+let test_up_tracking_matches_list () =
+  (* up_count / kth_up / up_servers_into are the O(log n) and
+     allocation-free views of up_servers; they must agree with the list
+     through an arbitrary fail/recover history. *)
+  let net = make ~n:9 () in
+  let check () =
+    let sorted = Net.up_servers net in
+    Helpers.check_int "up_count" (List.length sorted) (Net.up_count net);
+    List.iteri
+      (fun k expected -> Helpers.check_int "kth_up" expected (Net.kth_up net k))
+      sorted;
+    let buf = Array.make 9 (-1) in
+    let len = Net.up_servers_into net buf in
+    Helpers.check_int "into count" (List.length sorted) len;
+    Alcotest.(check (list int)) "into contents" sorted
+      (Array.to_list (Array.sub buf 0 len))
+  in
+  check ();
+  List.iter
+    (fun (op, s) ->
+      (match op with `Fail -> Net.fail net s | `Recover -> Net.recover net s);
+      check ())
+    [ (`Fail, 2); (`Fail, 7); (`Fail, 0); (`Recover, 7); (`Fail, 8); (`Recover, 2);
+      (`Fail, 4); (`Fail, 1); (`Recover, 0) ]
+
 let prop_message_count_additive =
   Helpers.qcheck "k sends = k received messages"
     QCheck2.Gen.(int_range 0 200)
@@ -379,4 +404,6 @@ let () =
           Alcotest.test_case "heal" `Quick test_heal_restores_links;
           Alcotest.test_case "partitions compose" `Quick test_partitions_compose;
           Alcotest.test_case "partition validation" `Quick test_partition_validation;
+          Alcotest.test_case "up tracking matches list" `Quick
+            test_up_tracking_matches_list;
           prop_message_count_additive ] ) ]

@@ -150,6 +150,40 @@ let test_each_contact_counts_a_message () =
   Helpers.check_int "messages = contacts" r.Lookup_result.servers_contacted
     (Net.messages_received (Cluster.net cluster))
 
+let test_pick_from_table_matches_fold_formulation () =
+  (* pick_from_table fills an array directly instead of materialising
+     the Hashtbl.fold list, but it must return the SAME elements in the
+     SAME order from the SAME rng draws as the old fold-based code —
+     async_client determinism depends on it.  The reference below is
+     that old formulation, replayed on a copied generator. *)
+  let module Rng = Plookup_util.Rng in
+  let reference seen ~rng ~target =
+    let all = Hashtbl.fold (fun _ e acc -> e :: acc) seen [] in
+    if List.length all <= target then all
+    else Array.to_list (Rng.sample rng (Array.of_list all) target)
+  in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun id -> Hashtbl.replace seen id (Entry.v id))
+    [ 3; 11; 7; 42; 0; 19; 5; 28; 33; 2 ];
+  let check target =
+    let rng = Rng.create 77 in
+    let ref_rng = Rng.copy rng in
+    let got = Probe.pick_from_table seen ~rng ~target in
+    let want = reference seen ~rng:ref_rng ~target in
+    Alcotest.(check (list int))
+      (Printf.sprintf "target %d" target)
+      (List.map Entry.id want) (List.map Entry.id got);
+    (* Identical draws consumed: the generators stay in lockstep. *)
+    Helpers.check_int "state in lockstep" (Rng.int ref_rng 1_000_000)
+      (Rng.int rng 1_000_000)
+  in
+  (* Truncating branch (len > target) and pass-through branch. *)
+  List.iter check [ 1; 4; 9; 10; 15 ];
+  Alcotest.(check (list int)) "empty table" []
+    (List.map Entry.id
+       (Probe.pick_from_table (Hashtbl.create 4) ~rng:(Rng.create 1) ~target:3))
+
 let prop_never_exceeds_target =
   Helpers.qcheck "delivered entries never exceed the target"
     QCheck2.Gen.(pair (int_range 1 12) int)
@@ -180,4 +214,6 @@ let () =
             test_stride_step_multiple_of_n;
           prop_stride_total_for_any_step;
           Alcotest.test_case "message accounting" `Quick test_each_contact_counts_a_message;
+          Alcotest.test_case "pick_from_table matches fold" `Quick
+            test_pick_from_table_matches_fold_formulation;
           prop_never_exceeds_target ] ) ]

@@ -112,6 +112,22 @@ let test_pick_list () =
   Alcotest.check_raises "empty" (Invalid_argument "Rng.pick_list: empty list") (fun () ->
       ignore (Rng.pick_list rng []))
 
+let test_pick_list_draw_semantics () =
+  (* pick_list is single-pass now, but its draw contract is unchanged:
+     one [int rng (length l)] draw, returning the element List.nth
+     names.  A copied generator replays the draw against the reference
+     formulation, so any change to the consumed sequence fails here. *)
+  let rng = Rng.create 9 in
+  let l = List.init 17 (fun i -> (i * 37) mod 100) in
+  for _ = 1 to 200 do
+    let reference = Rng.copy rng in
+    let expected = List.nth l (Rng.int reference (List.length l)) in
+    Helpers.check_int "same draw, same element" expected (Rng.pick_list rng l);
+    (* Both generators must have advanced identically. *)
+    Helpers.check_int "state in lockstep" (Rng.int reference 1_000_000)
+      (Rng.int rng 1_000_000)
+  done
+
 let test_shuffle_is_permutation () =
   let rng = Rng.create 21 in
   let original = List.init 50 Fun.id in
@@ -265,6 +281,8 @@ let () =
           Alcotest.test_case "bernoulli" `Quick test_bernoulli;
           Alcotest.test_case "pick" `Quick test_pick;
           Alcotest.test_case "pick_list" `Quick test_pick_list;
+          Alcotest.test_case "pick_list draw semantics" `Quick
+            test_pick_list_draw_semantics;
           Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
           Alcotest.test_case "shuffle uniform" `Quick test_shuffle_uniform_first;
           Alcotest.test_case "sample_indices" `Quick test_sample_indices;

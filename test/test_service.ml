@@ -79,13 +79,17 @@ let test_storage_for_budget () =
 
 let test_all_configs () =
   let configs = Service.all_configs ~budget:200 ~n:10 ~h:100 () in
-  Helpers.check_int "six strategies" 6 (List.length configs);
+  Helpers.check_int "eight strategies" 8 (List.length configs);
   Alcotest.(check bool) "starts with full replication" true
     (List.hd configs = Service.full_replication);
   Alcotest.(check bool) "self-registered Chord is enumerated" true
     (List.mem (Service.v ~kind:"Chord" ~params:[ 2 ]) configs);
+  Alcotest.(check bool) "self-registered DxHash is enumerated" true
+    (List.mem (Service.v ~kind:"DxHash" ~params:[ 2 ]) configs);
+  Alcotest.(check bool) "self-registered MultiProbe is enumerated" true
+    (List.mem (Service.v ~kind:"MultiProbe" ~params:[ 2; 2 ]) configs);
   let with_ablations = Service.all_configs ~ablations:true ~budget:200 ~n:10 ~h:100 () in
-  Helpers.check_int "ablations add two variants" 8 (List.length with_ablations)
+  Helpers.check_int "ablations add two variants" 10 (List.length with_ablations)
 
 let all_strategies =
   [ Service.full_replication;
