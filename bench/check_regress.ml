@@ -8,7 +8,13 @@
      engine.events_per_sec
      lookups_per_sec[].per_sec        (keyed by strategy)
      updates_per_sec[].per_sec        (keyed by strategy)
+     day_runs_per_sec[].per_sec       (BENCH_day.json)
      instrumentation.*_per_sec_*      (when present in both files)
+
+   Tail-latency metrics gated (lower is better — a GROWTH beyond the
+   threshold fails):
+     tail_ms[].p99_ms / .p999_ms      (BENCH_day.json crowd-window
+                                       tails, keyed by strategy/mode)
 
    Wall-clock and speedup fields are reported for context but not
    gated — they measure the CI machine as much as the code.  Metrics
@@ -184,11 +190,17 @@ let num_opt = function Some (Num f) -> Some f | _ -> None
 let str_opt = function Some (Str s) -> Some s | _ -> None
 
 (* ------------------------------------------------------------------ *)
-(* Throughput extraction: a flat (metric name -> per-sec value) list.  *)
+(* Metric extraction: a flat (name, value, direction) list.  [Higher]
+   metrics fail when they DROP past the threshold; [Lower] metrics
+   (latency tails) fail when they GROW past it.                        *)
+
+type direction =
+  | Higher
+  | Lower
 
 let throughput_metrics json =
   let out = ref [] in
-  let push name v = out := (name, v) :: !out in
+  let push ?(dir = Higher) name v = out := (name, v, dir) :: !out in
   (match num_opt (Option.bind (member "engine" json) (member "events_per_sec")) with
   | Some v -> push "engine.events_per_sec" v
   | None -> ());
@@ -208,6 +220,25 @@ let throughput_metrics json =
   (* BENCH_scale.json rows ("Strategy@n=SIZE" keys) gate through the
      same shape. *)
   rate_array "placements_per_sec";
+  (* BENCH_day.json: one simulated-day throughput row... *)
+  rate_array "day_runs_per_sec";
+  (* ...and per-strategy/mode crowd-window tails, gated lower-is-better
+     so a shedding/hedging/breaker regression reads as a fatter tail. *)
+  (match member "tail_ms" json with
+  | Some (List rows) ->
+    List.iter
+      (fun row ->
+        match str_opt (member "strategy" row) with
+        | Some name ->
+          List.iter
+            (fun field ->
+              match num_opt (member field row) with
+              | Some v -> push ~dir:Lower (Printf.sprintf "tail_ms.%s.%s" name field) v
+              | None -> ())
+            [ "p99_ms"; "p999_ms" ]
+        | None -> ())
+      rows
+  | _ -> ());
   (match member "instrumentation" json with
   | Some (Obj fields) ->
     List.iter
@@ -266,30 +297,38 @@ let () =
   in
   let baseline = throughput_metrics (load baseline_path) in
   let fresh = throughput_metrics (load fresh_path) in
-  Printf.printf "bench gate: %s -> %s (fail below -%.0f%%)\n\n" baseline_path fresh_path
-    (100. *. !threshold);
-  Printf.printf "  %-48s %14s %14s %9s\n" "metric" "baseline /s" "fresh /s" "delta %";
+  Printf.printf
+    "bench gate: %s -> %s (throughput fails below -%.0f%%, tails fail above +%.0f%%)\n\n"
+    baseline_path fresh_path (100. *. !threshold) (100. *. !threshold);
+  Printf.printf "  %-48s %14s %14s %9s\n" "metric" "baseline" "fresh" "delta %";
   let failures = ref 0 in
+  let lookup name rows =
+    List.find_map (fun (n, v, _) -> if n = name then Some v else None) rows
+  in
   List.iter
-    (fun (name, base) ->
-      match List.assoc_opt name fresh with
+    (fun (name, base, dir) ->
+      match lookup name fresh with
       | None -> Printf.printf "  %-48s %14.0f %14s %9s\n" name base "-" "gone"
       | Some now ->
         let delta = if base > 0. then 100. *. ((now /. base) -. 1.) else 0. in
-        let verdict = delta < -100. *. !threshold in
+        let verdict =
+          match dir with
+          | Higher -> delta < -100. *. !threshold
+          | Lower -> delta > 100. *. !threshold
+        in
         if verdict then incr failures;
         Printf.printf "  %-48s %14.0f %14.0f %+8.1f%%%s\n" name base now delta
           (if verdict then "  << REGRESSION" else ""))
     baseline;
   List.iter
-    (fun (name, now) ->
-      if not (List.mem_assoc name baseline) then
+    (fun (name, now, _) ->
+      if lookup name baseline = None then
         Printf.printf "  %-48s %14s %14.0f %9s\n" name "-" now "new")
     fresh;
   print_newline ();
   if !failures > 0 then begin
-    Printf.printf "FAIL: %d throughput metric(s) dropped more than %.0f%%\n" !failures
+    Printf.printf "FAIL: %d metric(s) regressed more than %.0f%%\n" !failures
       (100. *. !threshold);
     exit 1
   end
-  else print_endline "OK: no throughput metric dropped beyond the threshold"
+  else print_endline "OK: no gated metric regressed beyond the threshold"

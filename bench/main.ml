@@ -832,11 +832,80 @@ let bench_scale ~smoke () =
   print_endline "(wrote BENCH_scale.json)"
 
 (* ------------------------------------------------------------------ *)
+(* Part 8: production-day chaos benchmark -> BENCH_day.json            *)
+
+(* The day experiment is both a behavioural artifact (crowd-window tail
+   latencies, deterministic at a fixed seed and scale) and a throughput
+   workload (a full simulated day across every strategy, naive and
+   tuned).  The crowd-tail milliseconds are gated lower-is-better by
+   check_regress, so a regression in shedding, hedging, or the breaker
+   shows up as a fatter tail; the runs-per-second row gates the
+   simulator's wall-clock cost the usual higher-is-better way.  The day
+   itself always runs at the same scale — smoke only trims how long the
+   rate loop repeats — so the committed baseline and the CI smoke run
+   compare like for like. *)
+let bench_day ~smoke () =
+  let scale = 0.25 in
+  let min_elapsed = if smoke then 0.05 else 0.2 in
+  let ctx = E.Ctx.v ~seed:42 ~scale () in
+  let table = E.Exp_day.run ctx in
+  Table.print table;
+  let t0 = Unix.gettimeofday () in
+  let rounds = ref 0 in
+  while Unix.gettimeofday () -. t0 < min_elapsed do
+    ignore (E.Exp_day.run ctx);
+    incr rounds
+  done;
+  let runs_per_sec =
+    float_of_int !rounds /. Float.max 1e-6 (Unix.gettimeofday () -. t0)
+  in
+  let idx name =
+    match List.find_index (String.equal name) (Table.columns table) with
+    | Some i -> i
+    | None -> failwith ("bench_day: missing column " ^ name)
+  in
+  let scell row i =
+    match List.nth row i with Table.S s -> s | c -> Table.cell_to_string c
+  in
+  let fcell row i =
+    match List.nth row i with
+    | Table.F f -> f
+    | _ -> failwith "bench_day: expected a float cell"
+  in
+  let s_i = idx "strategy" and c_i = idx "client" in
+  let p99_i = idx "crowd p99 ms" and p999_i = idx "crowd p999 ms" in
+  let tail_rows =
+    String.concat ",\n"
+      (List.map
+         (fun row ->
+           Printf.sprintf "    {\"strategy\": %S, \"p99_ms\": %.2f, \"p999_ms\": %.2f}"
+             (scell row s_i ^ "/" ^ scell row c_i)
+             (fcell row p99_i) (fcell row p999_i))
+         (Table.rows table))
+  in
+  let oc = open_out "BENCH_day.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"production_day\",\n\
+    \  \"params\": {\"scale\": %.2f, \"smoke\": %b},\n\
+    \  \"day_runs_per_sec\": [\n\
+    \    {\"strategy\": \"day@scale=%.2f\", \"per_sec\": %.2f}\n\
+    \  ],\n\
+    \  \"tail_ms\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    scale smoke scale runs_per_sec tail_rows;
+  close_out oc;
+  print_endline "(wrote BENCH_day.json)"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let jobs = ref 0 in
   let smoke = ref false in
   let scale_only = ref false in
+  let day_only = ref false in
   Arg.parse
     [ ("-j", Arg.Set_int jobs, "JOBS worker domains for Parts 2 and 5 (0 = one per core)");
       ("--jobs", Arg.Set_int jobs, "JOBS same as -j");
@@ -845,15 +914,25 @@ let () =
        " quick CI run: micro-benchmarks and the core baseline at tiny scale");
       ("--scale-only",
        Arg.Set scale_only,
-       " run only Part 7 (the n=10..10k cluster-scale sweep -> BENCH_scale.json)") ]
+       " run only Part 7 (the n=10..10k cluster-scale sweep -> BENCH_scale.json)");
+      ("--day-only",
+       Arg.Set day_only,
+       " run only Part 8 (the production-day chaos benchmark -> BENCH_day.json)") ]
     (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
-    "bench [-j JOBS] [--smoke] [--scale-only]";
+    "bench [-j JOBS] [--smoke] [--scale-only] [--day-only]";
   let jobs = if !jobs = 0 then Pool.recommended_jobs () else !jobs in
   let t0 = Unix.gettimeofday () in
   if !scale_only then begin
     print_endline "=== Part 7: cluster-scale benchmark (BENCH_scale.json) ===";
     print_newline ();
     bench_scale ~smoke:!smoke ();
+    Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0);
+    exit 0
+  end;
+  if !day_only then begin
+    print_endline "=== Part 8: production-day chaos benchmark (BENCH_day.json) ===";
+    print_newline ();
+    bench_day ~smoke:!smoke ();
     Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0);
     exit 0
   end;
@@ -909,4 +988,8 @@ let () =
   print_endline "=== Part 7: cluster-scale benchmark (BENCH_scale.json) ===";
   print_newline ();
   bench_scale ~smoke:!smoke ();
+  print_newline ();
+  print_endline "=== Part 8: production-day chaos benchmark (BENCH_day.json) ===";
+  print_newline ();
+  bench_day ~smoke:!smoke ();
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -87,6 +87,61 @@ let hint_cap_arg =
   let doc = "Maximum hints buffered per buddy server, oldest evicted first (default 256)." in
   Arg.(value & opt (some int) None & info [ "hint-cap" ] ~docv:"N" ~doc)
 
+let capacity_arg =
+  let doc =
+    "Overload model: per-server inbox queue limit for the production-day experiment \
+     (default 8)."
+  in
+  Arg.(value & opt (some int) None & info [ "capacity" ] ~docv:"N" ~doc)
+
+let service_rate_arg =
+  let doc =
+    "Overload model: messages each server can serve per simulated time unit (default 2)."
+  in
+  Arg.(value & opt (some float) None & info [ "service-rate" ] ~docv:"RATE" ~doc)
+
+let deadline_arg =
+  let doc =
+    "Tail-tolerant client: per-lookup deadline budget in simulated ms (default 250)."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"MS" ~doc)
+
+let hedge_arg =
+  let doc =
+    "Tail-tolerant client: latency quantile (exclusive, in (0, 100)) of the observed \
+     lookup latency at which a hedged backup request is launched (default 95)."
+  in
+  Arg.(value & opt (some float) None & info [ "hedge" ] ~docv:"Q" ~doc)
+
+let breaker_arg =
+  let doc =
+    "Tail-tolerant client: consecutive failures before a server's circuit breaker \
+     opens (default 3)."
+  in
+  Arg.(value & opt (some int) None & info [ "breaker" ] ~docv:"N" ~doc)
+
+let degrade_arg =
+  let doc =
+    "Gray-failure injection: service-time multiplier applied to two servers during the \
+     flash crowd (default 25)."
+  in
+  Arg.(value & opt (some float) None & info [ "degrade" ] ~docv:"FACTOR" ~doc)
+
+(* The day experiment's overload configuration: [None] (its default,
+   Ctx.default_overload) unless some overload flag was given. *)
+let overload_config ~capacity ~service_rate ~deadline ~hedge ~breaker ~degrade =
+  match (capacity, service_rate, deadline, hedge, breaker, degrade) with
+  | None, None, None, None, None, None -> None
+  | _ ->
+    let d = Experiments.Ctx.default_overload in
+    Some
+      { Experiments.Ctx.capacity = Option.value capacity ~default:d.Experiments.Ctx.capacity;
+        service_rate = Option.value service_rate ~default:d.Experiments.Ctx.service_rate;
+        deadline = Option.value deadline ~default:d.Experiments.Ctx.deadline;
+        hedge = Option.value hedge ~default:d.Experiments.Ctx.hedge;
+        breaker = Option.value breaker ~default:d.Experiments.Ctx.breaker;
+        degrade = Option.value degrade ~default:d.Experiments.Ctx.degrade }
+
 let csv_arg =
   let doc = "Emit CSV instead of an aligned ASCII table." in
   Arg.(value & flag & info [ "csv" ] ~doc)
@@ -143,13 +198,17 @@ let repair_config ~repair ~grace ~period ~hint_ttl ~hint_cap =
 
 (* run subcommand *)
 let run_experiment ids seed scale jobs loss duplication jitter mttf mttr horizon repair
-    grace period hint_ttl hint_cap csv plot =
+    grace period hint_ttl hint_cap capacity service_rate deadline hedge breaker degrade
+    csv plot =
   match repair_config ~repair ~grace ~period ~hint_ttl ~hint_cap with
   | Error msg -> `Error (false, msg)
   | Ok repair -> (
+  let overload =
+    overload_config ~capacity ~service_rate ~deadline ~hedge ~breaker ~degrade
+  in
   match
     Experiments.Ctx.v ~seed ~scale ~jobs:(resolve_jobs jobs) ~loss ~duplication ~jitter
-      ?mttf ?mttr ?horizon ?repair ()
+      ?mttf ?mttr ?horizon ?repair ?overload ()
   with
   | exception Invalid_argument msg -> `Error (false, msg)
   | ctx ->
@@ -191,7 +250,42 @@ let run_cmd =
       ret
         (const run_experiment $ ids $ seed_arg $ scale_arg $ jobs_arg $ loss_arg
         $ duplication_arg $ jitter_arg $ mttf_arg $ mttr_arg $ horizon_arg $ repair_arg
-        $ grace_arg $ repair_period_arg $ hint_ttl_arg $ hint_cap_arg $ csv_arg $ plot_arg))
+        $ grace_arg $ repair_period_arg $ hint_ttl_arg $ hint_cap_arg $ capacity_arg
+        $ service_rate_arg $ deadline_arg $ hedge_arg $ breaker_arg $ degrade_arg
+        $ csv_arg $ plot_arg))
+
+(* day subcommand: the production-day chaos experiment with its overload
+   knobs front and center *)
+let day_experiment smoke seed scale jobs loss duplication jitter mttf mttr horizon repair
+    grace period hint_ttl hint_cap capacity service_rate deadline hedge breaker degrade
+    csv plot =
+  let scale = if smoke then 0.05 else scale in
+  run_experiment [ "day" ] seed scale jobs loss duplication jitter mttf mttr horizon
+    repair grace period hint_ttl hint_cap capacity service_rate deadline hedge breaker
+    degrade csv plot
+
+let day_cmd =
+  let smoke =
+    let doc =
+      "Chaos smoke run: a tiny deterministic day (scale 0.05, overriding $(b,--scale)) \
+       that exercises shedding, hedging, breakers and gray failure in about a second — \
+       the CI gate."
+    in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  let doc =
+    "Run the production-day chaos experiment: an open-loop Zipf client population with \
+     a flash crowd and a diurnal swing against capacity-limited servers, two of which \
+     gray-fail, under churn and repair — naive vs tail-tolerant clients per strategy."
+  in
+  Cmd.v (Cmd.info "day" ~doc)
+    Term.(
+      ret
+        (const day_experiment $ smoke $ seed_arg $ scale_arg $ jobs_arg $ loss_arg
+        $ duplication_arg $ jitter_arg $ mttf_arg $ mttr_arg $ horizon_arg $ repair_arg
+        $ grace_arg $ repair_period_arg $ hint_ttl_arg $ hint_cap_arg $ capacity_arg
+        $ service_rate_arg $ deadline_arg $ hedge_arg $ breaker_arg $ degrade_arg
+        $ csv_arg $ plot_arg))
 
 (* list subcommand *)
 let list_experiments () =
@@ -461,8 +555,9 @@ let trace_cmd =
 
 let main_cmd =
   let doc = "partial lookup service — reproduction of Sun & Garcia-Molina (ICDCS 2003)" in
-  let info = Cmd.info "plookup" ~version:"1.5.0" ~doc in
+  let info = Cmd.info "plookup" ~version:"1.6.0" ~doc in
   Cmd.group info
-    [ run_cmd; list_cmd; stars_cmd; strategies_cmd; demo_cmd; sweep_cmd; trace_cmd ]
+    [ run_cmd; day_cmd; list_cmd; stars_cmd; strategies_cmd; demo_cmd; sweep_cmd;
+      trace_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

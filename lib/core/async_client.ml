@@ -12,9 +12,50 @@ type outcome = {
   retries : int;
   timeouts : int;
   duplicates : int;
+  busies : int;
+  hedges : int;
+  breaker_skips : int;
+  gave_up : bool;
 }
 
 let elapsed o = o.completed_at -. o.started_at
+
+(* Per-server circuit breaker, shared across the lookups of one client
+   population.  Closed until [threshold] consecutive failures, then open
+   for [cooldown] time units; once the cooldown passes the next contact
+   is the half-open probe — success closes the circuit, failure re-opens
+   it for another cooldown (the failure count stays saturated, so one
+   bad probe is enough). *)
+module Breaker = struct
+  type server_state = { mutable fails : int; mutable open_until : float }
+
+  type t = { threshold : int; cooldown : float; states : server_state array }
+
+  let create ?(threshold = 3) ?(cooldown = 50.) ~n () =
+    if threshold < 1 then invalid_arg "Breaker.create: threshold must be >= 1";
+    if cooldown <= 0. then invalid_arg "Breaker.create: cooldown must be positive";
+    if n <= 0 then invalid_arg "Breaker.create: n must be positive";
+    { threshold;
+      cooldown;
+      states = Array.init n (fun _ -> { fails = 0; open_until = neg_infinity }) }
+
+  let allow t server ~now = t.states.(server).open_until <= now
+  let is_open t server ~now = not (allow t server ~now)
+
+  let record t server ~now ~ok =
+    let s = t.states.(server) in
+    if ok then begin
+      s.fails <- 0;
+      s.open_until <- neg_infinity
+    end
+    else begin
+      s.fails <- s.fails + 1;
+      if s.fails >= t.threshold then begin
+        s.fails <- t.threshold;
+        s.open_until <- now +. t.cooldown
+      end
+    end
+end
 
 (* One lookup is a small state machine: [queue] of servers not yet
    contacted, [inflight] contacts awaiting a reply, [seen] the merged
@@ -22,7 +63,18 @@ let elapsed o = o.completed_at -. o.started_at
    attempt makes the timeout a no-op once the reply has won (and vice
    versa).  A timed-out attempt is retried against the same server with
    the timeout stretched by [backoff], up to [retries] retries, before
-   the contact is abandoned and the next server in the order tried. *)
+   the contact is abandoned and the next server in the order tried.
+
+   The tail-tolerance extensions (all off by default, and adding no
+   engine events or draws when off): [deadline] finishes the lookup
+   with whatever has been merged once the budget is spent; [hedge]
+   launches a backup contact to the next candidate when the current one
+   has not resolved within the hedge delay (first reply wins, the loser
+   is ignored like any late datagram); [breaker] skips servers whose
+   circuit is open; [jitter] replaces the deterministic exponential
+   backoff with decorrelated jitter draws.  A [Busy] nack abandons the
+   contact immediately — no retry against a server that told us to go
+   away — which is what makes nack-shedding cheaper than timeouts. *)
 type state = {
   cluster : Cluster.t;
   engine : Engine.t;
@@ -32,6 +84,9 @@ type state = {
   backoff : float;
   wave : int;
   target : int;
+  hedge : float option;
+  breaker : Breaker.t option;
+  jitter : Plookup_util.Rng.t option;
   seen : (int, Entry.t) Hashtbl.t;
   mutable queue : int list;
   mutable inflight : int;
@@ -40,6 +95,10 @@ type state = {
   mutable retries : int;
   mutable timeouts : int;
   mutable duplicates : int;
+  mutable busies : int;
+  mutable hedges : int;
+  mutable breaker_skips : int;
+  mutable gave_up : bool;
   mutable finished : bool;
   started_at : float;
   k : outcome -> unit;
@@ -59,22 +118,50 @@ let finish st =
         attempts = st.attempts;
         retries = st.retries;
         timeouts = st.timeouts;
-        duplicates = st.duplicates }
+        duplicates = st.duplicates;
+        busies = st.busies;
+        hedges = st.hedges;
+        breaker_skips = st.breaker_skips;
+        gave_up = st.gave_up }
   end
 
 let satisfied st = Hashtbl.length st.seen >= st.target
+
+(* Pop the next contactable server, dropping (and counting) servers
+   whose breaker circuit is open.  Without a breaker this is exactly
+   "pop the head". *)
+let next_candidate st =
+  let rec pop () =
+    match st.queue with
+    | [] -> None
+    | server :: rest -> (
+      st.queue <- rest;
+      match st.breaker with
+      | Some b when not (Breaker.allow b server ~now:(Engine.now st.engine)) ->
+        st.breaker_skips <- st.breaker_skips + 1;
+        pop ()
+      | _ -> Some server)
+  in
+  pop ()
+
+let record_breaker st server ~ok =
+  match st.breaker with
+  | Some b -> Breaker.record b server ~now:(Engine.now st.engine) ~ok
+  | None -> ()
 
 let rec pump st =
   if not st.finished then begin
     if satisfied st then finish st
     else if st.inflight = 0 && st.queue = [] then finish st (* order exhausted *)
-    else begin
-      match st.queue with
-      | server :: rest when st.inflight < st.wave ->
-        st.queue <- rest;
+    else if st.inflight < st.wave then begin
+      match next_candidate st with
+      | Some server ->
         contact st server;
         pump st
-      | _ -> () (* at wave capacity, or nothing left to launch *)
+      | None ->
+        (* Everything left was breaker-skipped; if nothing is in flight
+           either, the lookup is over. *)
+        if st.inflight = 0 then finish st
     end
   end
 
@@ -85,9 +172,24 @@ and contact st server =
      failures made lookups expensive). *)
   st.contacted <- st.contacted + 1;
   st.inflight <- st.inflight + 1;
-  attempt st server ~tries_left:st.retries_allowed ~timeout:st.timeout
+  (* [live] spans the whole contact (all its retries): the hedge timer
+     only fires while the contact is still unresolved. *)
+  let live = ref true in
+  (match st.hedge with
+  | Some delay ->
+    ignore
+      (Engine.schedule_after st.engine ~delay (fun _ ->
+           if !live && (not st.finished) && not (satisfied st) then begin
+             match next_candidate st with
+             | Some backup ->
+               st.hedges <- st.hedges + 1;
+               contact st backup
+             | None -> ()
+           end))
+  | None -> ());
+  attempt st server ~live ~tries_left:st.retries_allowed ~timeout:st.timeout
 
-and attempt st server ~tries_left ~timeout =
+and attempt st server ~live ~tries_left ~timeout =
   st.attempts <- st.attempts + 1;
   let answered = ref false in
   (* The timeout and the reply race; whichever fires second is a no-op.
@@ -100,6 +202,7 @@ and attempt st server ~tries_left ~timeout =
          if not !answered && not st.finished then begin
            timed_out := true;
            st.timeouts <- st.timeouts + 1;
+           record_breaker st server ~ok:false;
            let tid =
              if Trace.enabled tr then
                Trace.emit tr ~time:(Engine.now st.engine)
@@ -115,10 +218,19 @@ and attempt st server ~tries_left ~timeout =
                     (Span.Retry
                        { dst = server;
                          attempt = st.retries_allowed - tries_left + 2 }));
-             attempt st server ~tries_left:(tries_left - 1)
-               ~timeout:(timeout *. st.backoff)
+             let next_timeout =
+               match st.jitter with
+               | Some rng ->
+                 (* Decorrelated jitter: uniform between the base
+                    timeout and 3x the previous one, so synchronized
+                    clients spread out instead of retrying in storms. *)
+                 Plookup_util.Dist.uniform_in rng ~lo:st.timeout ~hi:(timeout *. 3.)
+               | None -> timeout *. st.backoff
+             in
+             attempt st server ~live ~tries_left:(tries_left - 1) ~timeout:next_timeout
            end
            else begin
+             live := false;
              st.inflight <- st.inflight - 1;
              pump st
            end
@@ -133,15 +245,22 @@ and attempt st server ~tries_left ~timeout =
           st.duplicates <- st.duplicates + 1
         else begin
           answered := true;
+          live := false;
           st.inflight <- st.inflight - 1;
           (match reply with
+          | Msg.Busy ->
+            (* Load-shed fast nack: the server never processed the
+               request, so move straight to the next candidate. *)
+            st.busies <- st.busies + 1;
+            record_breaker st server ~ok:false
           | Msg.Entries entries ->
+            record_breaker st server ~ok:true;
             List.iter
               (fun e ->
                 if not (Hashtbl.mem st.seen (Entry.id e)) then
                   Hashtbl.add st.seen (Entry.id e) e)
               entries
-          | Msg.Ack | Msg.Candidate _ | Msg.Digest _ -> ());
+          | Msg.Ack | Msg.Candidate _ | Msg.Digest _ -> record_breaker st server ~ok:true);
           pump st
         end
       end)
@@ -157,13 +276,19 @@ let dedup_order order =
       end)
     order
 
-let lookup cluster engine ~latency ~timeout ?(retries = 0) ?(backoff = 2.) ~order
-    ?(wave = 1) ~t k =
+let lookup cluster engine ~latency ~timeout ?(retries = 0) ?(backoff = 2.) ?deadline
+    ?hedge ?breaker ?jitter ~order ?(wave = 1) ~t k =
   if t <= 0 then invalid_arg "Async_client.lookup: t must be positive";
   if timeout <= 0. then invalid_arg "Async_client.lookup: timeout must be positive";
   if wave <= 0 then invalid_arg "Async_client.lookup: wave must be positive";
   if retries < 0 then invalid_arg "Async_client.lookup: retries must be non-negative";
   if backoff < 1. then invalid_arg "Async_client.lookup: backoff must be >= 1";
+  (match deadline with
+  | Some d when d <= 0. -> invalid_arg "Async_client.lookup: deadline must be positive"
+  | _ -> ());
+  (match hedge with
+  | Some d when d <= 0. -> invalid_arg "Async_client.lookup: hedge must be positive"
+  | _ -> ());
   let st =
     { cluster;
       engine;
@@ -173,6 +298,9 @@ let lookup cluster engine ~latency ~timeout ?(retries = 0) ?(backoff = 2.) ~orde
       backoff;
       wave;
       target = t;
+      hedge;
+      breaker;
+      jitter;
       seen = Hashtbl.create 32;
       queue = dedup_order order;
       inflight = 0;
@@ -181,16 +309,31 @@ let lookup cluster engine ~latency ~timeout ?(retries = 0) ?(backoff = 2.) ~orde
       retries = 0;
       timeouts = 0;
       duplicates = 0;
+      busies = 0;
+      hedges = 0;
+      breaker_skips = 0;
+      gave_up = false;
       finished = false;
       started_at = Engine.now engine;
       k }
   in
+  (match deadline with
+  | Some budget ->
+    ignore
+      (Engine.schedule_after engine ~delay:budget (fun _ ->
+           if not st.finished then begin
+             st.gave_up <- true;
+             finish st
+           end))
+  | None -> ());
   (* Launch lazily from the engine so the caller can schedule lookups
      "now" before running the engine. *)
   ignore (Engine.schedule_after engine ~delay:0. (fun _ -> pump st))
 
-let lookup_random_order cluster engine ~latency ~timeout ?retries ?backoff ?wave ~t k =
+let lookup_random_order cluster engine ~latency ~timeout ?retries ?backoff ?deadline
+    ?hedge ?breaker ?jitter ?wave ~t k =
   let order =
     Array.to_list (Plookup_util.Rng.perm (Cluster.rng cluster) (Cluster.n cluster))
   in
-  lookup cluster engine ~latency ~timeout ?retries ?backoff ~order ?wave ~t k
+  lookup cluster engine ~latency ~timeout ?retries ?backoff ?deadline ?hedge ?breaker
+    ?jitter ~order ?wave ~t k

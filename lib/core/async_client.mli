@@ -20,10 +20,40 @@
     the next server in its order, and fault-injected duplicate replies
     are suppressed (counted, not double-merged).
 
+    {b Tail tolerance} (all opt-in, all draw-sequence-neutral when
+    off): a per-lookup [deadline] budget, hedged backup requests
+    ([hedge]), a shared per-server circuit {!Breaker}, and decorrelated
+    retry [jitter].  A [Busy] load-shed nack from the
+    {!Plookup_net.Net} capacity model abandons the contact immediately
+    (no retry against a server that said go away) and counts as a
+    breaker failure.
+
     The client holds no global clock or threads: it is a callback state
     machine driven entirely by {!Plookup_sim.Engine} events, like every
     other component of the simulator. *)
 
+(** Per-server circuit breaker, shared by all lookups of one client
+    population (create it once per experiment cell, pass it to every
+    {!lookup}).  Closed until [threshold] consecutive failures
+    (timeouts or [Busy] nacks) against a server, then {e open} — the
+    server is skipped — for [cooldown] time units; after the cooldown
+    the next contact is the half-open probe: success closes the
+    circuit, failure re-opens it for another cooldown. *)
+module Breaker : sig
+  type t
+
+  val create : ?threshold:int -> ?cooldown:float -> n:int -> unit -> t
+  (** [threshold] (default 3) must be >= 1, [cooldown] (default 50.0)
+      positive; [n] must cover every server id the breaker will see. *)
+
+  val allow : t -> int -> now:float -> bool
+  (** Whether a contact to this server may proceed at time [now]. *)
+
+  val is_open : t -> int -> now:float -> bool
+
+  val record : t -> int -> now:float -> ok:bool -> unit
+  (** Feed one contact outcome ([ok = false] for a timeout or [Busy]). *)
+end
 
 type outcome = {
   result : Lookup_result.t;
@@ -36,6 +66,10 @@ type outcome = {
   retries : int;  (** re-sends to a server whose previous attempt timed out *)
   timeouts : int;  (** attempts abandoned after no reply (every expiry counts) *)
   duplicates : int;  (** fault-injected duplicate replies suppressed *)
+  busies : int;  (** [Busy] load-shed nacks received *)
+  hedges : int;  (** backup contacts launched by the hedge timer *)
+  breaker_skips : int;  (** candidate servers skipped because their circuit was open *)
+  gave_up : bool;  (** the deadline budget expired before the target was met *)
 }
 
 val elapsed : outcome -> float
@@ -47,6 +81,10 @@ val lookup :
   timeout:float ->
   ?retries:int ->
   ?backoff:float ->
+  ?deadline:float ->
+  ?hedge:float ->
+  ?breaker:Breaker.t ->
+  ?jitter:Plookup_util.Rng.t ->
   order:int list ->
   ?wave:int ->
   t:int ->
@@ -62,7 +100,28 @@ val lookup :
     is tried.  [wave] (default 1) contacts run concurrently at all
     times until the target is met.  The callback fires exactly once,
     with the merged (and target-truncated) result.  Requires positive
-    [t], [timeout] and [wave], and non-negative [retries]. *)
+    [t], [timeout] and [wave], and non-negative [retries].
+
+    Tail-tolerance options, all off by default — when off the client
+    schedules no extra engine events and makes no extra draws, so
+    existing seeded runs are byte-identical:
+
+    - [deadline]: total time budget for the whole lookup.  When it
+      expires the callback fires immediately with whatever has been
+      merged ([gave_up] set), instead of waiting out every retry.
+    - [hedge]: per-contact hedge delay, typically a high latency
+      quantile (p95/p99) of recent lookups.  A contact still unresolved
+      after this long triggers a {e backup} contact to the next
+      candidate server without abandoning the first; the first reply
+      wins and the loser is ignored like any late datagram.  Backup
+      contacts count in [hedges] and in [servers_contacted].
+    - [breaker]: a shared {!Breaker.t}; candidate servers whose circuit
+      is open are skipped (counted in [breaker_skips]).  Retries to an
+      already-contacted server do not re-consult the breaker.
+    - [jitter]: an RNG for decorrelated retry jitter — each retry's
+      timeout is drawn uniformly from [[timeout, 3 * previous]] instead
+      of the deterministic exponential [backoff], so synchronized
+      clients spread their retries instead of storming in lockstep. *)
 
 val lookup_random_order :
   Cluster.t ->
@@ -71,6 +130,10 @@ val lookup_random_order :
   timeout:float ->
   ?retries:int ->
   ?backoff:float ->
+  ?deadline:float ->
+  ?hedge:float ->
+  ?breaker:Breaker.t ->
+  ?jitter:Plookup_util.Rng.t ->
   ?wave:int ->
   t:int ->
   (outcome -> unit) ->

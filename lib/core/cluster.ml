@@ -47,6 +47,17 @@ let set_faults t ?seed ?loss ?duplication ?jitter () =
 
 let clear_faults t = Net.clear_faults t.net
 let set_faults_enabled t on = Net.set_faults_enabled t.net on
+
+let set_capacity t ~service_rate ~queue_limit ?(nack = false) () =
+  Net.set_capacity t.net ~service_rate ~queue_limit
+    ?nack:(if nack then Some Msg.Busy else None)
+    ()
+
+let clear_capacity t = Net.clear_capacity t.net
+let set_degraded t i ~factor = Net.set_degraded t.net i ~factor
+let degraded_factor t i = Net.degraded_factor t.net i
+let queue_depth t i = Net.queue_depth t.net i
+let messages_shed t = Net.messages_shed t.net
 let partition t ~name ?clients ~a ~b () = Net.partition t.net ~name ?clients ~a ~b ()
 let heal t ~name = Net.heal t.net ~name
 let heal_all t = Net.heal_all t.net

@@ -69,6 +69,31 @@ val set_faults :
 val clear_faults : t -> unit
 val set_faults_enabled : t -> bool -> unit
 
+(** {2 Server capacity and gray failure}
+
+    Pass-throughs to the {!Plookup_net.Net} overload model (queueing +
+    service delay on engine-routed deliveries, bounded inboxes, load
+    shedding, gray degradation).  See the Net documentation for the
+    full semantics. *)
+
+val set_capacity : t -> service_rate:float -> queue_limit:int -> ?nack:bool -> unit -> unit
+(** Finite servers: [service_rate] messages per time unit, at most
+    [queue_limit] queued requests.  [nack] (default [false]) makes a
+    full queue answer with the fast {!Msg.reply} [Busy] nack instead of
+    dropping silently. *)
+
+val clear_capacity : t -> unit
+
+val set_degraded : t -> int -> factor:float -> unit
+(** Gray-fail one server: its service time is multiplied by [factor]
+    ([>= 1]; [1.0] restores health).  Requires {!set_capacity} first. *)
+
+val degraded_factor : t -> int -> float
+val queue_depth : t -> int -> int
+
+val messages_shed : t -> int
+(** Requests rejected by full inbox queues (dropped or nacked). *)
+
 val partition :
   t -> name:string -> ?clients:[ `A | `B ] -> a:int list -> b:int list -> unit -> unit
 

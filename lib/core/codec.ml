@@ -272,6 +272,7 @@ let tag_entries = 101
 let tag_candidate_none = 102
 let tag_candidate_some = 103
 let tag_digest = 104
+let tag_busy = 105
 
 let encode_reply reply =
   let buf = Buffer.create 16 in
@@ -286,7 +287,8 @@ let encode_reply reply =
     encode_entry buf e
   | Msg.Digest bits ->
     Buffer.add_uint8 buf tag_digest;
-    put_bitset buf bits);
+    put_bitset buf bits
+  | Msg.Busy -> Buffer.add_uint8 buf tag_busy);
   Buffer.contents buf
 
 let decode_reply s =
@@ -306,6 +308,7 @@ let decode_reply s =
     else if tag = tag_digest then
       let* bits, pos = get_bitset s ~pos in
       expect_end "digest" pos s (Ok (Msg.Digest bits))
+    else if tag = tag_busy then expect_end "busy" pos s (Ok Msg.Busy)
     else Error (Printf.sprintf "reply: unknown tag %d" tag)
   end
 

@@ -34,6 +34,7 @@ type reply =
   | Entries of Entry.t list
   | Candidate of Entry.t option
   | Digest of Bitset.t
+  | Busy
 
 (* Smart constructors: send sites say [Msg.store e] instead of spelling
    the plane wrapper out. *)
@@ -139,3 +140,4 @@ let pp_reply ppf = function
   | Candidate None -> Format.pp_print_string ppf "candidate none"
   | Candidate (Some e) -> Format.fprintf ppf "candidate %a" Entry.pp e
   | Digest bits -> Format.fprintf ppf "digest %a" pp_ids (Bitset.to_list bits)
+  | Busy -> Format.pp_print_string ppf "busy"

@@ -92,6 +92,12 @@ type reply =
   | Entries of Entry.t list  (** lookup answer *)
   | Candidate of Entry.t option  (** reply to [Fetch_candidate] *)
   | Digest of Bitset.t  (** reply to [Digest_pull] *)
+  | Busy
+      (** load-shed fast nack: the destination's inbox queue was full, so
+          the request was rejected {e without} being processed.  Emitted
+          by the {!Plookup_net.Net} capacity model, never by a strategy
+          handler; clients treat it as an immediate failure signal and move to
+          the next candidate rather than waiting out a timeout. *)
 
 (** {1 Smart constructors}
 

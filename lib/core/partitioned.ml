@@ -71,7 +71,8 @@ let lookup t ~key target =
   match Net.send t.net ~src:Net.Client ~dst:(home t key) (key, Msg.lookup target) with
   | Some (Msg.Entries entries) ->
     { Lookup_result.entries; servers_contacted = 1; target }
-  | Some (Msg.Ack | Msg.Candidate _ | Msg.Digest _) | None -> Lookup_result.empty ~target
+  | Some (Msg.Ack | Msg.Candidate _ | Msg.Digest _ | Msg.Busy) | None ->
+    Lookup_result.empty ~target
 
 let entries_of t ~key =
   match Hashtbl.find_opt t.stores.(home t key) key with

@@ -32,7 +32,7 @@ let contact cluster ~t ~seen server =
       (fun e -> if not (Hashtbl.mem seen (Entry.id e)) then Hashtbl.add seen (Entry.id e) e)
       entries;
     true
-  | Some (Msg.Ack | Msg.Candidate _ | Msg.Digest _) | None -> false
+  | Some (Msg.Ack | Msg.Candidate _ | Msg.Digest _ | Msg.Busy) | None -> false
 
 (* The client delivers exactly [target] entries when it collected more:
    merging answers from multiple servers overshoots, and returning the

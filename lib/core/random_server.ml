@@ -25,7 +25,8 @@ let fetch_replacement t ~self ~deleted =
     (fun peer ->
       match Net.send net ~src:(Net.Server self) ~dst:peer (Msg.fetch_candidate have) with
       | Some (Msg.Candidate (Some e)) -> Server_store.add local e
-      | Some (Msg.Candidate None | Msg.Ack | Msg.Entries _ | Msg.Digest _) | None -> false)
+      | Some (Msg.Candidate None | Msg.Ack | Msg.Entries _ | Msg.Digest _ | Msg.Busy) | None ->
+        false)
     others
   |> ignore
 

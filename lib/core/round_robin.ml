@@ -374,7 +374,7 @@ let partial_lookup_parallel ?reachable t target =
         List.iter
           (fun e -> if not (Hashtbl.mem seen (Entry.id e)) then Hashtbl.add seen (Entry.id e) e)
           entries
-      | Some (Msg.Ack | Msg.Candidate _ | Msg.Digest _) | None -> ()
+      | Some (Msg.Ack | Msg.Candidate _ | Msg.Digest _ | Msg.Busy) | None -> ()
     in
     (* The stride order, extended with the untouched servers (the stride
        cycle only visits n/gcd(y,n) residues). *)

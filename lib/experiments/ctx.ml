@@ -1,3 +1,23 @@
+type overload = {
+  capacity : int;
+  service_rate : float;
+  deadline : float;
+  hedge : float;
+  breaker : int;
+  degrade : float;
+}
+
+let default_overload =
+  { capacity = 8; service_rate = 2.0; deadline = 250.; hedge = 95.; breaker = 3; degrade = 25. }
+
+let check_overload o =
+  if o.capacity < 1 then invalid_arg "Ctx: capacity must be >= 1";
+  if o.service_rate <= 0. then invalid_arg "Ctx: service-rate must be positive";
+  if o.deadline <= 0. then invalid_arg "Ctx: deadline must be positive";
+  if o.hedge <= 0. || o.hedge >= 100. then invalid_arg "Ctx: hedge must be in (0, 100)";
+  if o.breaker < 1 then invalid_arg "Ctx: breaker must be >= 1";
+  if o.degrade < 1. then invalid_arg "Ctx: degrade must be >= 1"
+
 type t = {
   seed : int;
   scale : float;
@@ -9,6 +29,7 @@ type t = {
   mttr : float option;
   horizon : float option;
   repair : Plookup.Repair.config option;
+  overload : overload option;
   obs : Plookup_obs.Obs.t;
 }
 
@@ -23,10 +44,11 @@ let default =
     mttr = None;
     horizon = None;
     repair = None;
+    overload = None;
     obs = Plookup_obs.Obs.create () }
 
 let v ?(seed = 42) ?(scale = 1.0) ?(jobs = 1) ?(loss = 0.) ?(duplication = 0.)
-    ?(jitter = 0.) ?mttf ?mttr ?horizon ?repair ?obs () =
+    ?(jitter = 0.) ?mttf ?mttr ?horizon ?repair ?overload ?obs () =
   if scale <= 0. then invalid_arg "Ctx.v: scale must be positive";
   if jobs < 1 then invalid_arg "Ctx.v: jobs must be at least 1";
   if loss < 0. || loss >= 1. then invalid_arg "Ctx.v: loss must be in [0, 1)";
@@ -40,8 +62,9 @@ let v ?(seed = 42) ?(scale = 1.0) ?(jobs = 1) ?(loss = 0.) ?(duplication = 0.)
   positive "mttf" mttf;
   positive "mttr" mttr;
   positive "horizon" horizon;
+  Option.iter check_overload overload;
   let obs = match obs with Some o -> o | None -> Plookup_obs.Obs.create () in
-  { seed; scale; jobs; loss; duplication; jitter; mttf; mttr; horizon; repair; obs }
+  { seed; scale; jobs; loss; duplication; jitter; mttf; mttr; horizon; repair; overload; obs }
 
 let faulty t = t.loss > 0. || t.duplication > 0. || t.jitter > 0.
 

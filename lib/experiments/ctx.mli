@@ -11,6 +11,23 @@
     currently the loss sweep — thread into the networks they build; the
     CLI exposes them as [--loss], [--duplication] and [--jitter]. *)
 
+type overload = {
+  capacity : int;  (** per-server inbox queue limit, >= 1 *)
+  service_rate : float;  (** messages served per time unit, > 0 *)
+  deadline : float;  (** per-lookup time budget for the tuned client, > 0 *)
+  hedge : float;  (** latency quantile driving the hedge delay, in (0, 100) *)
+  breaker : int;  (** circuit-breaker failure threshold, >= 1 *)
+  degrade : float;  (** gray-failure service-time multiplier, >= 1 *)
+}
+(** Overload-model knobs for the production-day experiment: the server
+    capacity model ({!Plookup.Cluster.set_capacity}), gray-failure
+    injection ({!Plookup.Cluster.set_degraded}) and the tuned client's
+    tail-tolerance settings ({!Plookup.Async_client.lookup}). *)
+
+val default_overload : overload
+(** capacity 8, service_rate 2.0, deadline 250, hedge p95, breaker 3,
+    degrade 25x. *)
+
 type t = {
   seed : int;
   scale : float;
@@ -26,6 +43,9 @@ type t = {
   repair : Plookup.Repair.config option;
       (** self-healing configuration for churn-aware experiments;
           [None] = experiment default *)
+  overload : overload option;
+      (** overload-model knobs for the production-day experiment;
+          [None] = experiment default ({!default_overload}) *)
   obs : Plookup_obs.Obs.t;
       (** where the experiment's services report: replicate work gets a
           child handle and is merged back in input order
@@ -51,6 +71,7 @@ val v :
   ?mttr:float ->
   ?horizon:float ->
   ?repair:Plookup.Repair.config ->
+  ?overload:overload ->
   ?obs:Plookup_obs.Obs.t ->
   unit ->
   t

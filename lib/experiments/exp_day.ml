@@ -1,0 +1,276 @@
+open Plookup
+open Plookup_store
+open Plookup_util
+module Engine = Plookup_sim.Engine
+module Churn = Plookup_workload.Churn
+module Net = Plookup_net.Net
+module Metrics = Plookup_obs.Metrics
+
+let id = "day"
+
+let title =
+  "Extension: a production day under overload, naive vs tail-tolerant clients (flash \
+   crowd, gray failure, churn)"
+
+type mode = Naive | Tuned
+
+let mode_name = function Naive -> "naive" | Tuned -> "tuned"
+
+type tally = {
+  mutable lookups : int;
+  mutable satisfied : int;  (* >= t *live* entries returned *)
+  mutable stale : int;  (* entries returned after their delete time *)
+  mutable sends : int;  (* data-plane requests (attempts incl. retries/hedges) *)
+  mutable hedges : int;
+  mutable gave_up : int;
+}
+
+type cell_result = {
+  tally : tally;
+  shed : int;
+  skew : float;
+  p50 : float;
+  p99_crowd : float;
+  p999_crowd : float;
+}
+
+(* One simulated day of one strategy under one client/server discipline.
+
+   Open-loop arrivals: a non-homogeneous Poisson process whose rate
+   follows a diurnal sine swing plus a 6x flash crowd in the window
+   [0.45, 0.60] * horizon; during the crowd two servers are gray-degraded
+   (service time multiplied by [ov.degrade]).  Key popularity is Zipf
+   over [keys] ranks; each rank owns a fixed probe-order permutation, so
+   popular keys hammer the same order head and skew the load.  Churn,
+   repair and a steady delete+add update stream run concurrently, as in
+   the churn drill.
+
+   Naive cells shed silently (clients discover overload by timeout) and
+   retry with plain exponential backoff.  Tuned cells shed with the
+   [Busy] fast nack and run the tail-tolerant client: deadline budget,
+   hedged backups at the cell's own observed latency quantile, a shared
+   per-server circuit breaker, and decorrelated retry jitter. *)
+let run_cell ctx ~obs ~n ~h ~t ~keys ~alpha ~rtt_lo ~rtt_hi ~timeout ~base_rate ~mttf
+    ~mttr ~horizon ~update_every ~repair ~ov ~mode config =
+  let seed = Ctx.run_seed ctx (Hashtbl.hash (Service.config_name config)) in
+  let service = Service.create ~seed ~obs ~repair ~n config in
+  let gen = Entry.Gen.create () in
+  let initial = Entry.Gen.batch gen h in
+  Service.place service initial;
+  let cluster = Service.cluster service in
+  Ctx.apply_faults ctx cluster;
+  Cluster.set_capacity cluster ~service_rate:ov.Ctx.service_rate
+    ~queue_limit:ov.Ctx.capacity ~nack:(mode = Tuned) ();
+  let engine = Engine.create () in
+  (match Service.repair service with
+  | Some rep -> Repair.attach_engine ~until:horizon rep engine
+  | None -> ());
+  let churn_events =
+    Churn.generate (Rng.create (seed lxor 0xC0FFEE)) ~n ~mttf ~mttr ~horizon
+  in
+  Churn.drive engine
+    ~apply:(fun ev ->
+      if ev.Churn.up then Cluster.recover cluster ev.Churn.server
+      else Cluster.fail cluster ev.Churn.server)
+    churn_events;
+  (* Ground truth of live/deleted entries, as in the churn drill — but
+     deletes record their *time*, so an entry returned by a lookup only
+     counts as stale when it was already deleted before the lookup
+     started (an in-flight delete racing an async lookup is not a
+     consistency violation). *)
+  let live = Hashtbl.create (2 * h) in
+  let live_fen = Fenwick.create (h + int_of_float (horizon /. update_every) + 1) in
+  let live_add e =
+    Hashtbl.replace live (Entry.id e) e;
+    Fenwick.add live_fen (Entry.id e) 1
+  in
+  let live_remove eid =
+    Hashtbl.remove live eid;
+    Fenwick.add live_fen eid (-1)
+  in
+  List.iter live_add initial;
+  let deleted = Hashtbl.create 64 in
+  let wl_rng = Rng.create (seed lxor 0xBEEF) in
+  for k = 1 to int_of_float (horizon /. update_every) do
+    let time = (float_of_int k *. update_every) +. 0.25 in
+    ignore
+      (Engine.schedule_at engine ~time (fun _ ->
+           if Service.can_update service then begin
+             match Fenwick.total live_fen with
+             | 0 -> ()
+             | alive ->
+               let victim_id = Fenwick.select live_fen (Rng.int wl_rng alive) in
+               let victim = Hashtbl.find live victim_id in
+               Service.delete service victim;
+               live_remove victim_id;
+               Hashtbl.replace deleted victim_id time;
+               let fresh = Entry.Gen.fresh gen in
+               Service.add service fresh;
+               live_add fresh
+           end))
+  done;
+  (* The flash-crowd window doubles as the gray-failure window: servers
+     0 and 1 slow down by [ov.degrade] while the crowd hammers. *)
+  let crowd_lo = 0.45 *. horizon and crowd_hi = 0.60 *. horizon in
+  let in_crowd tau = tau >= crowd_lo && tau < crowd_hi in
+  let degraded = [ 0; 1 ] in
+  ignore
+    (Engine.schedule_at engine ~time:crowd_lo (fun _ ->
+         List.iter (fun s -> Cluster.set_degraded cluster s ~factor:ov.Ctx.degrade) degraded));
+  ignore
+    (Engine.schedule_at engine ~time:crowd_hi (fun _ ->
+         List.iter (fun s -> Cluster.set_degraded cluster s ~factor:1.0) degraded));
+  (* Each Zipf rank owns a fixed probe-order permutation. *)
+  let orders =
+    Array.init (keys + 1) (fun r ->
+        Array.to_list (Rng.perm (Rng.create (seed + (7919 * (r + 1)))) n))
+  in
+  let labels =
+    [ ("strategy", Service.config_name config); ("mode", mode_name mode) ]
+  in
+  let m = obs.Plookup_obs.Obs.metrics in
+  let hist_all = Metrics.histogram m ~labels "day.lookup.latency" in
+  let hist_crowd = Metrics.histogram m ~labels "day.lookup.latency.crowd" in
+  let breaker = Async_client.Breaker.create ~threshold:ov.Ctx.breaker ~cooldown:100. ~n () in
+  let jitter_rng = Rng.create (seed lxor 0x9177) in
+  let latency_rng = Rng.create (seed lxor 0x1A7E) in
+  (* One hop is half a round trip. *)
+  let latency () = Dist.uniform_in latency_rng ~lo:(rtt_lo /. 2.) ~hi:(rtt_hi /. 2.) in
+  let key_rng = Rng.create (seed lxor 0x21F) in
+  let arr_rng = Rng.create (seed lxor 0xA331) in
+  let tally =
+    { lookups = 0; satisfied = 0; stale = 0; sends = 0; hedges = 0; gave_up = 0 }
+  in
+  let record o =
+    let lat = Async_client.elapsed o in
+    Metrics.observe hist_all lat;
+    if in_crowd o.Async_client.started_at then Metrics.observe hist_crowd lat;
+    tally.lookups <- tally.lookups + 1;
+    let returned = o.Async_client.result.Lookup_result.entries in
+    (* An entry only counts as stale (and against success) when it was
+       already deleted before the lookup began; an entry deleted while
+       the lookup's datagrams were in flight was a valid answer when
+       the client asked. *)
+    let stale =
+      List.length
+        (List.filter
+           (fun e ->
+             match Hashtbl.find_opt deleted (Entry.id e) with
+             | Some dt -> dt <= o.Async_client.started_at
+             | None -> false)
+           returned)
+    in
+    if List.length returned - stale >= t then tally.satisfied <- tally.satisfied + 1;
+    tally.stale <- tally.stale + stale;
+    tally.sends <- tally.sends + o.Async_client.attempts;
+    tally.hedges <- tally.hedges + o.Async_client.hedges;
+    if o.Async_client.gave_up then tally.gave_up <- tally.gave_up + 1
+  in
+  let rate_at tau =
+    let diurnal = 1. +. (0.6 *. sin (2. *. Float.pi *. tau /. horizon)) in
+    let flash = if in_crowd tau then 6. else 1. in
+    base_rate *. diurnal *. flash
+  in
+  let launch order _ =
+    match mode with
+    | Naive ->
+      Async_client.lookup cluster engine ~latency ~timeout ~retries:2 ~order ~t record
+    | Tuned ->
+      (* The hedge delay self-tunes: the configured quantile of the
+         cell's own latency so far, once enough samples exist. *)
+      let hedge =
+        if Metrics.histogram_count hist_all < 30 then 2. *. rtt_hi
+        else Float.max (rtt_hi /. 2.) (Metrics.histogram_quantile hist_all ov.Ctx.hedge)
+      in
+      Async_client.lookup cluster engine ~latency ~timeout ~retries:2
+        ~deadline:ov.Ctx.deadline ~hedge ~breaker ~jitter:jitter_rng ~order ~t record
+  in
+  let rec arrivals tau =
+    let tau = tau +. Dist.poisson_interarrival arr_rng ~rate:(rate_at tau) in
+    if tau < horizon then begin
+      let rank = Dist.zipf_ranks key_rng ~n:keys ~alpha in
+      ignore (Engine.schedule_at engine ~time:tau (launch orders.(rank)));
+      arrivals tau
+    end
+  in
+  arrivals 0.;
+  ignore (Engine.run engine);
+  let net = Cluster.net cluster in
+  let per_server = Array.init n (fun i -> Net.messages_received_by net i) in
+  let total = Array.fold_left ( + ) 0 per_server in
+  let peak = Array.fold_left max 0 per_server in
+  let skew =
+    if total = 0 then 1.
+    else float_of_int peak /. (float_of_int total /. float_of_int n)
+  in
+  { tally;
+    shed = Cluster.messages_shed cluster;
+    skew;
+    p50 = Metrics.histogram_quantile hist_all 50.;
+    p99_crowd = Metrics.histogram_quantile hist_crowd 99.;
+    p999_crowd = Metrics.histogram_quantile hist_crowd 99.9 }
+
+let run ?(n = 10) ?(h = 100) ?(budget = 200) ?(t = 35) ?(keys = 50) ?(alpha = 1.1)
+    ?(rtt_lo = 5.) ?(rtt_hi = 50.) ?(base_rate = 1.0) ?(mttf = 250.) ?(mttr = 20.)
+    ?(horizon = 600.) ?(update_every = 10.) ctx =
+  let mttf = Option.value ctx.Ctx.mttf ~default:mttf in
+  let mttr = Option.value ctx.Ctx.mttr ~default:mttr in
+  let horizon = Option.value ctx.Ctx.horizon ~default:horizon in
+  let horizon = float_of_int (Ctx.scaled ctx (int_of_float horizon)) in
+  let repair = Option.value ctx.Ctx.repair ~default:Repair.default_config in
+  let ov = Option.value ctx.Ctx.overload ~default:Ctx.default_overload in
+  let timeout = 2. *. rtt_hi in
+  let table =
+    Table.create ~title
+      ~columns:
+        [ "strategy";
+          "client";
+          "success %";
+          "p50 ms";
+          "crowd p99 ms";
+          "crowd p999 ms";
+          "skew";
+          "shed %";
+          "hedge %";
+          "stale" ]
+  in
+  let configs =
+    (* Every registered strategy, Fixed-x overridden as in the churn
+       drill (it needs x >= t to play at all). *)
+    List.map
+      (fun config ->
+        if Service.kind config = "Fixed" then Service.fixed (t + 5) else config)
+      (Service.all_configs ~budget ~n ~h ())
+  in
+  (* One parallel unit per (strategy, client) cell.  Both cells of a
+     strategy share the seed derived from the strategy name, so naive
+     and tuned face the identical day: same arrivals, same key
+     popularity, same churn, same degradation. *)
+  let cells =
+    Array.of_list
+      (List.concat_map (fun config -> [ (config, Naive); (config, Tuned) ]) configs)
+  in
+  let measured =
+    Runner.map_obs ctx ~count:(Array.length cells) (fun i ~obs ->
+        let config, mode = cells.(i) in
+        ( config,
+          mode,
+          run_cell ctx ~obs ~n ~h ~t ~keys ~alpha ~rtt_lo ~rtt_hi ~timeout ~base_rate
+            ~mttf ~mttr ~horizon ~update_every ~repair ~ov ~mode config ))
+  in
+  Array.iter
+    (fun (config, mode, r) ->
+      let pct num den = 100. *. float_of_int num /. float_of_int (max 1 den) in
+      Table.add_row table
+        [ Table.S (Service.config_name config);
+          Table.S (mode_name mode);
+          Table.F (pct r.tally.satisfied r.tally.lookups);
+          Table.F r.p50;
+          Table.F r.p99_crowd;
+          Table.F r.p999_crowd;
+          Table.F r.skew;
+          Table.F (pct r.shed r.tally.sends);
+          Table.F (pct r.tally.hedges r.tally.sends);
+          Table.I r.tally.stale ])
+    measured;
+  table

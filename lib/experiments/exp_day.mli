@@ -1,0 +1,56 @@
+(** Extension: a production day under overload — the chaos drill.
+
+    One simulated "day" per (strategy, client) cell: an open-loop client
+    population whose arrival rate follows a diurnal sine swing plus a 6x
+    flash crowd in the window [0.45, 0.60] of the day, with Zipf key
+    popularity (each rank owning a fixed probe-order permutation, so
+    popular keys skew the load), while servers churn, the repair layer
+    heals, a steady update stream deletes and adds entries, and — during
+    the crowd — two servers gray-degrade (service time multiplied by the
+    overload context's [degrade] factor).
+
+    Every server runs the {!Plookup_net.Net} capacity model (finite
+    service rate, bounded inbox, load shedding).  Each strategy is
+    measured under two disciplines sharing the identical day:
+
+    - {e naive}: silent shedding, plain retrying client — clients
+      discover overload by timeout;
+    - {e tuned}: [Busy] fast-nack shedding plus the tail-tolerant
+      client — deadline budget, hedged backups at the cell's own
+      observed latency quantile, shared per-server circuit breaker,
+      decorrelated retry jitter.
+
+    Reported per cell: lookup success rate (counting only live
+    entries), whole-day p50 and flash-crowd p99/p999 latency (from the
+    observability layer's log-scale histograms via
+    {!Plookup_obs.Metrics.histogram_quantile}), per-server load skew
+    (peak/mean messages received), shed and hedge rates as a percent of
+    data-plane sends, and stale reads (entries returned after their
+    delete time). *)
+
+val id : string
+val title : string
+
+val run :
+  ?n:int ->
+  ?h:int ->
+  ?budget:int ->
+  ?t:int ->
+  ?keys:int ->
+  ?alpha:float ->
+  ?rtt_lo:float ->
+  ?rtt_hi:float ->
+  ?base_rate:float ->
+  ?mttf:float ->
+  ?mttr:float ->
+  ?horizon:float ->
+  ?update_every:float ->
+  Ctx.t ->
+  Plookup_util.Table.t
+(** Defaults: n=10, h=100, budget 200 (Fixed gets x = t+5 instead),
+    t=35, 50 Zipf keys at alpha=1.1, RTT uniform in [5, 50] ms with a
+    100 ms client timeout, base arrival rate 1 lookup per time unit,
+    gentle churn (mttf=250, mttr=20), horizon 600 time units with one
+    delete+add every 10.  The context's [mttf]/[mttr]/[horizon]/
+    [repair]/[overload] fields override the corresponding defaults
+    (overload: {!Ctx.default_overload}). *)

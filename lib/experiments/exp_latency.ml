@@ -62,7 +62,12 @@ let run ?(n = 10) ?(h = 100) ?(budget = 200) ?(t = 35) ?(rtt_lo = 5.) ?(rtt_hi =
   let table =
     Table.create ~title
       ~columns:
-        [ "client"; "mean contacts"; "mean latency ms"; "p95 latency ms"; "timeouts/lookup" ]
+        [ "client";
+          "mean contacts";
+          "mean latency ms";
+          "p95 latency ms";
+          "p99 latency ms";
+          "timeouts/lookup" ]
   in
   let random_order cluster =
     Array.to_list (Rng.perm (Cluster.rng cluster) (Cluster.n cluster))
@@ -73,6 +78,7 @@ let run ?(n = 10) ?(h = 100) ?(budget = 200) ?(t = 35) ?(rtt_lo = 5.) ?(rtt_hi =
         Table.F (Stats.Accum.mean row.contacts);
         Table.F (Stats.mean row.latencies);
         Table.F (Stats.percentile row.latencies 95.);
+        Table.F (Stats.percentile row.latencies 99.);
         Table.F4 (Stats.Accum.mean row.timeouts) ]
   in
   let y =

@@ -13,7 +13,8 @@ let all =
     { id = Exp_hotspot.id; title = Exp_hotspot.title; run = (fun ctx -> Exp_hotspot.run ctx) };
     { id = Exp_churn.id; title = Exp_churn.title; run = (fun ctx -> Exp_churn.run ctx) };
     { id = Exp_latency.id; title = Exp_latency.title; run = (fun ctx -> Exp_latency.run ctx) };
-    { id = Exp_loss.id; title = Exp_loss.title; run = (fun ctx -> Exp_loss.run ctx) }
+    { id = Exp_loss.id; title = Exp_loss.title; run = (fun ctx -> Exp_loss.run ctx) };
+    { id = Exp_day.id; title = Exp_day.title; run = (fun ctx -> Exp_day.run ctx) }
   ]
 
 let find id = List.find_opt (fun e -> String.equal e.id id) all

@@ -32,6 +32,22 @@ type partition = {
 
 type 'msg tracing = { tr : Trace.t; describe : 'msg -> string * string }
 
+(* The overload model: each server is a single-threaded queueing station
+   with a finite inbox.  [busy_until] is when the server frees up,
+   [depth] the inbox occupancy (waiting + in service), [slow] a
+   per-server service-time multiplier — 1.0 healthy, 10-100x a
+   gray-degraded server that is alive but crawling. *)
+type 'reply capacity = {
+  service_time : float; (* time units per message at full speed *)
+  queue_limit : int;
+  nack : 'reply option; (* Some r: shed with a fast nack; None: shed silently *)
+  busy_until : float array;
+  depth : int array;
+  slow : float array;
+  depth_g : Metrics.gauge array; (* high-water inbox depth, per server *)
+  shed : Metrics.counter;
+}
+
 type ('msg, 'reply) t = {
   n : int;
   metrics : Metrics.t;
@@ -62,6 +78,7 @@ type ('msg, 'reply) t = {
   mutable faults : faults option;
   mutable faults_on : bool;
   mutable partitions : partition list;
+  mutable capacity : 'reply capacity option;
 }
 
 let create ?metrics ~n () =
@@ -98,7 +115,8 @@ let create ?metrics ~n () =
     drop_listener = None;
     faults = None;
     faults_on = false;
-    partitions = [] }
+    partitions = [];
+    capacity = None }
 
 let n t = t.n
 let metrics t = t.metrics
@@ -208,6 +226,49 @@ let link_rng f ~from_code ~to_code =
     let rng = Rng.create (Int64.to_int h land max_int) in
     Hashtbl.add f.links (from_code, to_code) rng;
     rng
+
+(* {2 Server capacity (overload model)} *)
+
+let set_capacity t ~service_rate ~queue_limit ?nack () =
+  if service_rate <= 0. then invalid_arg "Net.set_capacity: service_rate must be positive";
+  if queue_limit < 1 then invalid_arg "Net.set_capacity: queue_limit must be >= 1";
+  t.capacity <-
+    Some
+      { service_time = 1. /. service_rate;
+        queue_limit;
+        nack;
+        busy_until = Array.make t.n neg_infinity;
+        depth = Array.make t.n 0;
+        slow = Array.make t.n 1.;
+        depth_g =
+          Array.init t.n (fun i ->
+              Metrics.gauge t.metrics
+                ~labels:[ ("server", string_of_int i) ]
+                "net.queue.depth");
+        shed = Metrics.counter t.metrics "net.messages.shed" }
+
+let clear_capacity t = t.capacity <- None
+let has_capacity t = Option.is_some t.capacity
+
+let capacity_exn t caller =
+  match t.capacity with
+  | Some c -> c
+  | None -> invalid_arg (caller ^ ": no capacity model installed (see Net.set_capacity)")
+
+let set_degraded t i ~factor =
+  check_node t i;
+  if factor < 1. then invalid_arg "Net.set_degraded: factor must be >= 1";
+  (capacity_exn t "Net.set_degraded").slow.(i) <- factor
+
+let degraded_factor t i =
+  check_node t i;
+  match t.capacity with None -> 1. | Some c -> c.slow.(i)
+
+let queue_depth t i =
+  check_node t i;
+  match t.capacity with None -> 0 | Some c -> c.depth.(i)
+
+let messages_shed t = match t.capacity with None -> 0 | Some c -> Metrics.value c.shed
 
 (* {2 Partitions} *)
 
@@ -440,6 +501,48 @@ let transmission_delays t ?(sid = 0) ?spanmsg ~from_code ~to_code ~base () =
         else observe [ d1 ]
       end
 
+(* Engine-routed delivery through the capacity model.  The request
+   waits in [dst]'s bounded inbox, then holds the server for one
+   service time before the handler runs; a full inbox sheds the request
+   at arrival time — silently, or with the configured fast nack, which
+   costs the server no service time at all (the point of nacking: an
+   overloaded server spends nothing telling the client to go away).
+   Without a capacity model this is exactly [deliver], with no extra
+   engine event, so existing runs are untouched.  [k] fires with the
+   handler's reply (or the nack) once it is ready, or [None] when the
+   message died. *)
+let deliver_queued t engine ?(sid = 0) ~src ~dst msg k =
+  match t.capacity with
+  | None -> k (deliver t ~sid ~src ~dst msg)
+  | Some c ->
+    if not t.up.(dst) then begin
+      Metrics.incr t.dropped;
+      trace_drop t ~sid ~src ~dst ~reason:Span.Down msg;
+      (match t.drop_listener with Some f -> f ~src ~dst msg | None -> ());
+      k None
+    end
+    else if c.depth.(dst) >= c.queue_limit then begin
+      Metrics.incr c.shed;
+      trace_drop t ~sid ~src ~dst ~reason:Span.Shed msg;
+      k c.nack
+    end
+    else begin
+      let now = Plookup_sim.Engine.now engine in
+      let dep = c.depth.(dst) + 1 in
+      c.depth.(dst) <- dep;
+      if float_of_int dep > Metrics.gauge_value c.depth_g.(dst) then
+        Metrics.set_gauge c.depth_g.(dst) (float_of_int dep);
+      let start = Float.max now c.busy_until.(dst) in
+      let finish = start +. (c.service_time *. c.slow.(dst)) in
+      c.busy_until.(dst) <- finish;
+      ignore
+        (Plookup_sim.Engine.schedule_after engine ~delay:(finish -. now) (fun _ ->
+             c.depth.(dst) <- c.depth.(dst) - 1;
+             (* Liveness is re-checked at service time: the server may
+                have failed while the request sat in its queue. *)
+             k (deliver t ~sid ~src ~dst msg)))
+    end
+
 let post t ~src ~dst msg =
   check_node t dst;
   match t.engine with
@@ -450,8 +553,8 @@ let post t ~src ~dst msg =
     List.iter
       (fun delay ->
         ignore
-          (Plookup_sim.Engine.schedule_after engine ~delay (fun _ ->
-               ignore (deliver t ~sid ~src ~dst msg))))
+          (Plookup_sim.Engine.schedule_after engine ~delay (fun engine ->
+               deliver_queued t engine ~sid ~src ~dst msg (fun _ -> ()))))
       (transmission_delays t ~sid ~spanmsg:msg ~from_code:(code src) ~to_code:dst
          ~base ())
 
@@ -463,17 +566,17 @@ let call_async t engine ~latency ~src ~dst msg k =
     (fun request_delay ->
       ignore
         (Plookup_sim.Engine.schedule_after engine ~delay:request_delay (fun engine ->
-             match deliver t ~sid ~src ~dst msg with
-             | None -> () (* lost: dst was down at delivery time *)
-             | Some reply ->
-               let reply_base = latency ~src ~dst in
-               List.iter
-                 (fun reply_delay ->
-                   ignore
-                     (Plookup_sim.Engine.schedule_after engine ~delay:reply_delay
-                        (fun _ -> k reply)))
-                 (transmission_delays t ~from_code:dst ~to_code:(code src)
-                    ~base:reply_base ()))))
+             deliver_queued t engine ~sid ~src ~dst msg (function
+               | None -> () (* lost: dst was down at delivery time *)
+               | Some reply ->
+                 let reply_base = latency ~src ~dst in
+                 List.iter
+                   (fun reply_delay ->
+                     ignore
+                       (Plookup_sim.Engine.schedule_after engine ~delay:reply_delay
+                          (fun _ -> k reply)))
+                   (transmission_delays t ~from_code:dst ~to_code:(code src)
+                      ~base:reply_base ())))))
     (transmission_delays t ~sid ~spanmsg:msg ~from_code:(code src) ~to_code:dst
        ~base:request_base ())
 

@@ -155,6 +155,58 @@ val set_faults_enabled : ('msg, 'reply) t -> bool -> unit
 
 val faults_enabled : ('msg, 'reply) t -> bool
 
+(** {2 Server capacity and gray failure (overload model)}
+
+    By default servers process messages instantly — the paper's
+    infinitely-fast world.  Installing a {e capacity model} turns each
+    server into a single-threaded queueing station: engine-routed
+    deliveries ({!post}, {!call_async}) wait in the destination's
+    bounded inbox and then hold the server for one service time before
+    the handler runs, so delivery time becomes network latency +
+    queueing + service.  When the inbox is full the server {e sheds}
+    the request at arrival time: silently, or — when a [nack] reply is
+    configured — by answering immediately with it at zero service cost
+    (the fast [Busy] nack of {!Plookup.Msg.reply}).
+
+    The model also expresses {e gray failure}: {!set_degraded}
+    multiplies one server's service time (10–100x models a server that
+    is alive but crawling — the failure mode binary up/down cannot
+    express and retry logic handles worst).
+
+    The synchronous {!send}/{!broadcast} path has no clock and is
+    unaffected, exactly like jitter.  Registry cells: a per-server
+    [net.queue.depth] gauge holding the high-water inbox occupancy and
+    a [net.messages.shed] counter.  Shed requests are not counted as
+    received (they were never processed) and do not reach the drop
+    listener (the server is alive — hinting would be wrong). *)
+
+val set_capacity :
+  ('msg, 'reply) t -> service_rate:float -> queue_limit:int -> ?nack:'reply -> unit -> unit
+(** Install (or replace) the capacity model: every server serves
+    [service_rate] messages per time unit ([> 0]) and queues at most
+    [queue_limit] ([>= 1]) requests (waiting + in service).  [nack]
+    chooses the shed behaviour: [Some reply] answers a full-queue
+    arrival with that reply instantly; [None] (default) drops it
+    silently, indistinguishable from loss to the client. *)
+
+val clear_capacity : ('msg, 'reply) t -> unit
+val has_capacity : ('msg, 'reply) t -> bool
+
+val set_degraded : ('msg, 'reply) t -> int -> factor:float -> unit
+(** Gray-fail one server: multiply its service time by [factor]
+    ([>= 1]; [1.0] restores full health).  Requires an installed
+    capacity model ([Invalid_argument] otherwise — without one there is
+    no service time to stretch). *)
+
+val degraded_factor : ('msg, 'reply) t -> int -> float
+(** Current multiplier (1.0 when healthy or no capacity model). *)
+
+val queue_depth : ('msg, 'reply) t -> int -> int
+(** Current inbox occupancy (0 without a capacity model). *)
+
+val messages_shed : ('msg, 'reply) t -> int
+(** Requests rejected by a full inbox (dropped or nacked). *)
+
 (** {2 Partitions}
 
     A named partition splits the world into two sides, [a] and [b];

@@ -69,6 +69,38 @@ let observe h v =
 let histogram_count h = h.hcount
 let histogram_sum h = h.hsum
 
+(* Bucket b's value range; bucket 0 holds everything at or below 1
+   (including non-positive observations), so its lower bound is 0. *)
+let bucket_bounds b =
+  let upper = Float.pow 2. (float_of_int b) in
+  let lower = if b = 0 then 0. else Float.pow 2. (float_of_int (b - 1)) in
+  (lower, upper)
+
+let histogram_quantile h q =
+  if q < 0. || q > 100. then
+    invalid_arg "Metrics.histogram_quantile: q must be in [0, 100]";
+  if h.hcount = 0 then 0.
+  else begin
+    (* Same rank convention as [Stats.percentile]: position
+       q/100 * (n-1) in the sorted sample, except the sample is only
+       known to bucket resolution — we locate the bucket holding that
+       position and interpolate linearly between its bounds. *)
+    let r = q /. 100. *. float_of_int (h.hcount - 1) in
+    let b = ref 0 and before = ref 0 in
+    while !before + h.buckets.(!b) <= int_of_float r && !b < hbuckets - 1 do
+      before := !before + h.buckets.(!b);
+      b := !b + 1
+    done;
+    let lower, upper = bucket_bounds !b in
+    let nb = h.buckets.(!b) in
+    if nb = 0 then upper
+    else begin
+      let frac = (r -. float_of_int !before) /. float_of_int nb in
+      let frac = if frac < 0. then 0. else if frac > 1. then 1. else frac in
+      lower +. (frac *. (upper -. lower))
+    end
+  end
+
 let reset_histogram h =
   Array.fill h.buckets 0 hbuckets 0;
   h.hcount <- 0;

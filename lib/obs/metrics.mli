@@ -56,6 +56,20 @@ val histogram : t -> ?labels:(string * string) list -> string -> histogram
 val observe : histogram -> float -> unit
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
+
+val histogram_quantile : histogram -> float -> float
+(** [histogram_quantile h q] estimates the [q]-th percentile
+    ([0 <= q <= 100]) of the observations from the log-scale buckets:
+    the rank position [q/100 * (count-1)] (the {!Plookup_util.Stats.percentile}
+    convention) is located in its bucket and interpolated linearly
+    between the bucket's bounds.
+
+    {b Error bound}: the estimate lies in the same power-of-two bucket
+    as the true sample quantile, so for values above 1 it is within a
+    factor of 2 (one bucket width) of the exact answer — tight enough
+    for tail reporting (p50/p99/p999) without materializing per-event
+    float arrays.  Returns 0 on an empty histogram. *)
+
 val reset_histogram : histogram -> unit
 
 val reset : t -> unit

@@ -20,6 +20,7 @@ type drop_reason =
   | Down  (** destination server was failed *)
   | Lost  (** injected link loss *)
   | Blocked  (** cut by an active partition *)
+  | Shed  (** rejected by a full inbox queue (capacity model load shed) *)
 
 type kind =
   | Send of { src : actor; dst : int; plane : string; msg : string }

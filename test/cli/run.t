@@ -14,11 +14,12 @@ The CLI lists every reproducible experiment in paper order:
   churn    Extension: self-healing under churn, repair off vs on (mttf=50, mttr=50, t=40)
   latency  Extension: lookup latency on a simulated network (Async_client)
   loss     Extension: lookup cost and coverage vs message loss (retrying Async_client)
+  day      Extension: a production day under overload, naive vs tail-tolerant clients (flash crowd, gray failure, churn)
 
 Unknown experiments are rejected with the valid names:
 
   $ ../../bin/plookup_cli.exe run fig99
-  plookup: unknown experiment "fig99"; try one of: table1, fig4, fig6, fig7, fig9, fig12, fig13, fig14, table2, hotspot, churn, latency, loss
+  plookup: unknown experiment "fig99"; try one of: table1, fig4, fig6, fig7, fig9, fig12, fig13, fig14, table2, hotspot, churn, latency, loss, day
   [124]
 
 Table 1 is deterministic given the seed (timing line stripped):
@@ -153,3 +154,50 @@ Each JSONL line is one span; a recv names its send as its cause:
   {"id":3,"t":0.0,"kind":"send","src":1,"dst":9,"plane":"strategy","msg":"store_batch"}
   $ wc -l < trace.jsonl
   20760
+
+The latency extension reports tail percentiles next to the mean — p95
+and p99 — per client discipline:
+
+  $ ../../bin/plookup_cli.exe run latency --scale 0.1 --csv | head -6
+  client,mean contacts,mean latency ms,p95 latency ms,p99 latency ms,timeouts/lookup
+  FullReplication (1 contact),1.00,28.53,42.16,47.16,0.0000
+  RandomServer-20 sequential,2.25,62.65,96.94,116.96,0.0000
+  Hash-2 sequential,2.35,65.33,99.60,109.28,0.0000
+  RoundRobin-2 sequential,2.00,55.89,76.36,83.06,0.0000
+  RoundRobin-2 parallel wave,3.00,32.28,45.16,47.47,0.0000
+
+The production-day chaos experiment has its own subcommand; --smoke
+runs a tiny deterministic day (the CI gate), naive and tuned clients
+paired on identical workloads (timing line stripped by head):
+
+  $ ../../bin/plookup_cli.exe day --smoke --csv | head -17
+  strategy,client,success %,p50 ms,crowd p99 ms,crowd p999 ms,skew,shed %,hedge %,stale
+  FullReplication,naive,100.00,31.11,63.04,63.90,1.73,0.00,0.00,0
+  FullReplication,tuned,100.00,31.11,63.04,63.90,1.73,0.00,2.33,0
+  Fixed-40,naive,100.00,24.38,46.24,47.82,1.80,0.00,0.00,0
+  Fixed-40,tuned,100.00,24.38,46.24,47.82,1.80,0.00,0.00,0
+  RandomServer-20,naive,100.00,52.44,125.44,127.74,1.30,0.00,0.00,0
+  RandomServer-20,tuned,100.00,52.44,125.44,127.74,1.30,0.00,1.85,0
+  RoundRobin-2,naive,100.00,56.67,108.96,111.70,1.25,0.00,0.00,0
+  RoundRobin-2,tuned,100.00,56.67,108.96,111.70,1.25,0.00,0.00,0
+  Hash-2,naive,100.00,51.50,115.09,117.11,1.50,0.00,0.00,0
+  Hash-2,tuned,100.00,51.50,115.09,117.11,1.50,0.00,0.00,0
+  Chord-2,naive,100.00,59.13,117.49,118.72,1.80,0.00,0.00,0
+  Chord-2,tuned,100.00,59.13,117.49,118.72,1.80,0.00,0.00,0
+  DxHash-2,naive,100.00,77.47,964.42,976.15,1.52,0.00,0.00,0
+  DxHash-2,tuned,85.51,77.47,241.11,244.04,1.56,0.00,10.75,0
+  MultiProbe-2x2,naive,100.00,61.33,126.58,127.86,1.67,1.89,0.00,0
+  MultiProbe-2x2,tuned,100.00,57.14,119.47,120.75,1.67,1.89,0.00,0
+
+A mistyped overload flag gets a did-you-mean from the CLI, and an
+out-of-range value is rejected before any cell runs:
+
+  $ ../../bin/plookup_cli.exe day --capcity 4
+  plookup: unknown option '--capcity', did you mean '--capacity'?
+  Usage: plookup day [OPTION]…
+  Try 'plookup day --help' or 'plookup --help' for more information.
+  [124]
+
+  $ ../../bin/plookup_cli.exe day --hedge 101
+  plookup: Ctx: hedge must be in (0, 100)
+  [124]

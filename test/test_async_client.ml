@@ -21,10 +21,11 @@ let manual_cluster ~n placement =
       | _ -> Msg.Ack);
   cluster
 
-let run_lookup ?wave ?retries ?backoff ?(timeout = 100.) ?(latency = fun () -> 10.)
-    ?(engine = Engine.create ()) ~order ~t cluster =
+let run_lookup ?wave ?retries ?backoff ?deadline ?hedge ?breaker ?jitter ?(timeout = 100.)
+    ?(latency = fun () -> 10.) ?(engine = Engine.create ()) ~order ~t cluster =
   let outcome = ref None in
-  Async_client.lookup cluster engine ~latency ~timeout ?retries ?backoff ~order ?wave ~t
+  Async_client.lookup cluster engine ~latency ~timeout ?retries ?backoff ?deadline ?hedge
+    ?breaker ?jitter ~order ?wave ~t
     (fun o -> outcome := Some o);
   ignore (Engine.run engine);
   match !outcome with Some o -> o | None -> Alcotest.fail "lookup never completed"
@@ -222,6 +223,148 @@ let test_random_order_visits_everyone_if_needed () =
     Helpers.check_int "all four" 4 o.Async_client.result.Lookup_result.servers_contacted
   | None -> Alcotest.fail "never completed"
 
+(* {2 Tail tolerance: deadline, hedging, breaker, jitter, Busy} *)
+
+let test_deadline_gives_up_with_partial_result () =
+  (* Dead server, generous retries: without a deadline the lookup would
+     grind through 50 + 100 + 200 of backoff; the 60ms budget cuts it. *)
+  let cluster = manual_cluster ~n:2 [ [ 0; 1 ]; [ 2 ] ] in
+  Cluster.fail cluster 0;
+  let engine = Engine.create () in
+  let outcome = ref None in
+  Async_client.lookup cluster engine
+    ~latency:(fun () -> 10.)
+    ~timeout:50. ~retries:2 ~deadline:60. ~order:[ 0 ] ~t:2
+    (fun o -> outcome := Some o);
+  ignore (Engine.run engine);
+  match !outcome with
+  | None -> Alcotest.fail "never completed"
+  | Some o ->
+    Alcotest.(check bool) "gave up" true o.Async_client.gave_up;
+    Alcotest.(check bool) "unsatisfied" false
+      (Lookup_result.satisfied o.Async_client.result);
+    Helpers.close "finished exactly at the budget" 60. (Async_client.elapsed o)
+
+let test_hedge_first_reply_wins () =
+  (* Server 0 answers in 200ms round trip; the 15ms hedge launches a
+     backup to server 1 (10ms round trip) which wins.  The straggler's
+     eventual reply is ignored like any late datagram. *)
+  let cluster = manual_cluster ~n:2 [ [ 0; 1 ]; [ 0; 1 ] ] in
+  let latencies = ref [ 100. ] in
+  let latency () =
+    match !latencies with
+    | l :: rest ->
+      latencies := rest;
+      l
+    | [] -> 5.
+  in
+  let o = run_lookup ~latency ~timeout:500. ~hedge:15. ~order:[ 0; 1 ] ~t:2 cluster in
+  Alcotest.(check bool) "satisfied" true (Lookup_result.satisfied o.Async_client.result);
+  Helpers.check_int "one hedge launched" 1 o.Async_client.hedges;
+  Helpers.check_int "both servers contacted" 2
+    o.Async_client.result.Lookup_result.servers_contacted;
+  Helpers.close "hedge delay + backup round trip" 25. (Async_client.elapsed o);
+  Helpers.check_int "no timeouts" 0 o.Async_client.timeouts
+
+let test_hedge_is_neutral_when_replies_are_fast () =
+  (* All replies beat the hedge delay: same outcome fields as the
+     hedge-free run — the feature is draw-sequence-neutral when idle. *)
+  let run hedge =
+    let cluster = manual_cluster ~n:3 [ [ 0; 1 ]; [ 2; 3 ]; [ 4 ] ] in
+    let o = run_lookup ?hedge ~order:[ 0; 1; 2 ] ~t:4 cluster in
+    ( Async_client.elapsed o,
+      o.Async_client.attempts,
+      o.Async_client.hedges,
+      Helpers.sorted_ids o.Async_client.result.Lookup_result.entries )
+  in
+  Alcotest.(check bool) "identical outcomes" true (run None = run (Some 90.))
+
+let test_breaker_opens_after_threshold_and_skips () =
+  let cluster = manual_cluster ~n:2 [ [ 0; 1 ]; [ 0; 1 ] ] in
+  Cluster.fail cluster 0;
+  let engine = Engine.create () in
+  let breaker = Async_client.Breaker.create ~threshold:2 ~cooldown:1000. ~n:2 () in
+  let one () =
+    let outcome = ref None in
+    Async_client.lookup cluster engine
+      ~latency:(fun () -> 5.)
+      ~timeout:20. ~retries:1 ~breaker ~order:[ 0; 1 ] ~t:2
+      (fun o -> outcome := Some o);
+    ignore (Engine.run engine);
+    Option.get !outcome
+  in
+  (* First lookup: two timeouts against the dead server 0 trip its
+     breaker; the lookup still completes via server 1. *)
+  let o1 = one () in
+  Alcotest.(check bool) "first satisfied" true
+    (Lookup_result.satisfied o1.Async_client.result);
+  Helpers.check_int "two timeouts tripped the breaker" 2 o1.Async_client.timeouts;
+  Helpers.check_int "no skips yet" 0 o1.Async_client.breaker_skips;
+  Alcotest.(check bool) "circuit open" true
+    (Async_client.Breaker.is_open breaker 0 ~now:(Engine.now engine));
+  (* Second lookup skips server 0 outright: no timeouts at all. *)
+  let o2 = one () in
+  Helpers.check_int "server 0 skipped" 1 o2.Async_client.breaker_skips;
+  Helpers.check_int "no timeouts" 0 o2.Async_client.timeouts;
+  Helpers.check_int "one contact" 1
+    o2.Async_client.result.Lookup_result.servers_contacted
+
+let test_breaker_half_open_probe () =
+  let b = Async_client.Breaker.create ~threshold:3 ~cooldown:50. ~n:1 () in
+  for _ = 1 to 3 do
+    Async_client.Breaker.record b 0 ~now:0. ~ok:false
+  done;
+  Alcotest.(check bool) "open after threshold" true
+    (Async_client.Breaker.is_open b 0 ~now:10.);
+  Alcotest.(check bool) "half-open after cooldown" true
+    (Async_client.Breaker.allow b 0 ~now:60.);
+  (* One failed probe re-opens for a full cooldown (the count stays
+     saturated); one success closes the circuit entirely. *)
+  Async_client.Breaker.record b 0 ~now:60. ~ok:false;
+  Alcotest.(check bool) "re-opened by one bad probe" true
+    (Async_client.Breaker.is_open b 0 ~now:100.);
+  Async_client.Breaker.record b 0 ~now:111. ~ok:true;
+  Alcotest.(check bool) "closed by a good probe" true
+    (Async_client.Breaker.allow b 0 ~now:111.)
+
+let test_busy_nack_abandons_contact () =
+  (* Server 0 sheds with Busy: no retry against it — straight to server
+     1, with generous retries configured. *)
+  let cluster = manual_cluster ~n:2 [ [ 0; 1 ]; [ 0; 1 ] ] in
+  Net.set_handler (Cluster.net cluster) (fun dst _src msg ->
+      if dst = 0 then Msg.Busy
+      else
+        match (msg : Msg.t) with
+        | Msg.Data (Msg.Lookup t) ->
+          Msg.Entries
+            (Server_store.random_pick (Cluster.store cluster dst) (Cluster.rng cluster) t)
+        | _ -> Msg.Ack);
+  let o = run_lookup ~retries:3 ~order:[ 0; 1 ] ~t:2 cluster in
+  Alcotest.(check bool) "satisfied" true (Lookup_result.satisfied o.Async_client.result);
+  Helpers.check_int "one busy" 1 o.Async_client.busies;
+  Helpers.check_int "no retries against the shedding server" 0 o.Async_client.retries;
+  Helpers.check_int "no timeouts" 0 o.Async_client.timeouts;
+  Helpers.close "two back-to-back round trips" 40. (Async_client.elapsed o)
+
+let test_jitter_bounds_and_pins_both_modes () =
+  (* Dead server, retries 2, base timeout 10.  Without jitter the
+     backoff is exactly 10 + 20 + 40.  With jitter each retry timeout
+     is a decorrelated draw in [base, 3 * previous]; the total is
+     bounded, reproducible for a fixed seed, and differs from the
+     deterministic schedule. *)
+  let run jitter =
+    let cluster = manual_cluster ~n:1 [ [ 0 ] ] in
+    Cluster.fail cluster 0;
+    let o = run_lookup ?jitter ~timeout:10. ~retries:2 ~order:[ 0 ] ~t:1 cluster in
+    Async_client.elapsed o
+  in
+  Helpers.close "deterministic backoff off" 70. (run None);
+  let jittered = run (Some (Plookup_util.Rng.create 11)) in
+  Alcotest.(check bool) "within decorrelated bounds" true
+    (jittered >= 10. +. 10. +. 10. && jittered <= 10. +. 30. +. 90.);
+  Helpers.close "same seed, same schedule" jittered
+    (run (Some (Plookup_util.Rng.create 11)))
+
 let test_validation () =
   let cluster = manual_cluster ~n:1 [ [ 0 ] ] in
   let engine = Engine.create () in
@@ -266,5 +409,17 @@ let () =
           Alcotest.test_case "lossy lookup deterministic" `Quick
             test_lossy_lookup_deterministic;
           Alcotest.test_case "random order" `Quick test_random_order_visits_everyone_if_needed;
+          Alcotest.test_case "deadline gives up" `Quick
+            test_deadline_gives_up_with_partial_result;
+          Alcotest.test_case "hedge first reply wins" `Quick test_hedge_first_reply_wins;
+          Alcotest.test_case "hedge neutral when fast" `Quick
+            test_hedge_is_neutral_when_replies_are_fast;
+          Alcotest.test_case "breaker opens and skips" `Quick
+            test_breaker_opens_after_threshold_and_skips;
+          Alcotest.test_case "breaker half-open probe" `Quick test_breaker_half_open_probe;
+          Alcotest.test_case "busy nack abandons contact" `Quick
+            test_busy_nack_abandons_contact;
+          Alcotest.test_case "jitter bounds and pins" `Quick
+            test_jitter_bounds_and_pins_both_modes;
           Alcotest.test_case "validation" `Quick test_validation;
           prop_async_agrees_with_sync_on_answers ] ) ]

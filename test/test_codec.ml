@@ -62,7 +62,8 @@ let test_reply_roundtrips () =
       Msg.Candidate None;
       Msg.Candidate (Some (Entry.v 1));
       Msg.Digest (bitset_of [] 1);
-      Msg.Digest (bitset_of [ 2; 5; 100 ] 128) ]
+      Msg.Digest (bitset_of [ 2; 5; 100 ] 128);
+      Msg.Busy ]
 
 let test_empty_vs_absent_payload () =
   (match roundtrip (Msg.add (Entry.v 1)) with
@@ -160,6 +161,26 @@ let gen_repair =
 
 let gen_msg = QCheck2.Gen.oneof [ gen_data; gen_strategy; gen_repair ]
 
+(* Same exhaustiveness discipline for the reply plane: extending
+   [Msg.reply] breaks this match until a generator case is added. *)
+let _reply_generators_are_exhaustive : Msg.reply -> unit = function
+  | Msg.Ack | Msg.Entries _ | Msg.Candidate _ | Msg.Digest _ | Msg.Busy -> ()
+
+let gen_reply =
+  QCheck2.Gen.(
+    oneof
+      [ return Msg.Ack;
+        map (fun es -> Msg.Entries es) (list_size (int_range 0 20) gen_entry);
+        map (fun e -> Msg.Candidate e) (option gen_entry);
+        map
+          (fun ids -> Msg.Digest (bitset_of ids 600))
+          (list_size (int_range 0 30) (int_range 0 599));
+        return Msg.Busy ])
+
+let prop_reply_roundtrip =
+  Helpers.qcheck ~count:300 "reply decode . encode = id" gen_reply (fun reply ->
+      Codec.decode_reply (Codec.encode_reply reply) = Ok reply)
+
 (* The plane split is type-level only: each message still decodes back
    into the plane it was encoded from. *)
 let prop_plane_stable =
@@ -199,6 +220,7 @@ let () =
           Alcotest.test_case "framing" `Quick test_framing;
           Alcotest.test_case "unframe truncated" `Quick test_unframe_truncated;
           prop_roundtrip;
+          prop_reply_roundtrip;
           prop_plane_stable;
           prop_decode_never_raises;
           prop_framed_roundtrip ] ) ]

@@ -19,7 +19,7 @@ let column table name =
 let test_registry_complete () =
   Alcotest.(check (list string)) "paper order plus extensions"
     [ "table1"; "fig4"; "fig6"; "fig7"; "fig9"; "fig12"; "fig13"; "fig14"; "table2";
-      "hotspot"; "churn"; "latency"; "loss" ]
+      "hotspot"; "churn"; "latency"; "loss"; "day" ]
     (E.Registry.ids ())
 
 let test_registry_find () =

@@ -371,10 +371,156 @@ let prop_message_count_additive =
          + Net.messages_received_by net 2
          = k)
 
+(* {2 Capacity model (queueing, shedding, gray failure)} *)
+
+let test_capacity_queueing_serializes_service () =
+  (* service_rate 0.5 => 2 time units per request: three requests
+     arriving together at t=5 are served at 7, 9 and 11. *)
+  let engine = Engine.create () in
+  let net = Net.create ~n:1 () in
+  let served = ref [] in
+  Net.set_handler net (fun _ _ () -> served := Engine.now engine :: !served);
+  Net.attach_engine net engine ~latency:(fun ~src:_ ~dst:_ -> 5.);
+  Net.set_capacity net ~service_rate:0.5 ~queue_limit:10 ();
+  Alcotest.(check bool) "capacity installed" true (Net.has_capacity net);
+  for _ = 1 to 3 do
+    Net.post net ~src:Net.Client ~dst:0 ()
+  done;
+  ignore (Engine.run engine);
+  Alcotest.(check (list (float 1e-9)))
+    "service times back to back" [ 7.; 9.; 11. ] (List.rev !served);
+  Helpers.check_int "all received" 3 (Net.messages_received net);
+  Helpers.check_int "nothing shed" 0 (Net.messages_shed net)
+
+let test_capacity_sheds_when_full () =
+  (* queue_limit 2: of five simultaneous arrivals, two queue and three
+     are shed silently — never received, not counted as down-drops. *)
+  let engine = Engine.create () in
+  let net = Net.create ~n:1 () in
+  Net.set_handler net (fun _ _ () -> ());
+  Net.attach_engine net engine ~latency:(fun ~src:_ ~dst:_ -> 1.);
+  Net.set_capacity net ~service_rate:0.1 ~queue_limit:2 ();
+  for _ = 1 to 5 do
+    Net.post net ~src:Net.Client ~dst:0 ()
+  done;
+  ignore (Engine.run engine);
+  Helpers.check_int "two served" 2 (Net.messages_received net);
+  Helpers.check_int "three shed" 3 (Net.messages_shed net);
+  Helpers.check_int "sheds are not down-drops" 0 (Net.messages_dropped net);
+  Helpers.check_int "queue drained" 0 (Net.queue_depth net 0)
+
+let test_capacity_nack_fast_reply () =
+  (* With a nack configured, the shed request's caller gets the nack
+     after only the reply latency — no service time spent. *)
+  let engine = Engine.create () in
+  let net = Net.create ~n:1 () in
+  Net.set_handler net (fun _ _ () -> `Served);
+  Net.set_capacity net ~service_rate:0.1 ~queue_limit:1 ~nack:`Busy ();
+  let replies = ref [] in
+  let call () =
+    Net.call_async net engine
+      ~latency:(fun ~src:_ ~dst:_ -> 1.)
+      ~src:Net.Client ~dst:0 ()
+      (fun r -> replies := (Engine.now engine, r) :: !replies)
+  in
+  call ();
+  call ();
+  ignore (Engine.run engine);
+  (match List.rev !replies with
+  | [ (t_busy, `Busy); (t_served, `Served) ] ->
+    (* Request 2 arrives at t=1 behind a full queue: nack back by t=2.
+       Request 1 is served at t=11 (10 units of service), reply at 12. *)
+    Helpers.close "busy nack at 2" 2. t_busy;
+    Helpers.close "served reply at 12" 12. t_served
+  | _ -> Alcotest.fail "expected one Busy then one Served reply");
+  Helpers.check_int "one shed" 1 (Net.messages_shed net)
+
+let test_capacity_degraded_slows_service () =
+  let engine = Engine.create () in
+  let net = Net.create ~n:2 () in
+  let served = ref [] in
+  Net.set_handler net (fun dst _ () -> served := (dst, Engine.now engine) :: !served);
+  Net.attach_engine net engine ~latency:(fun ~src:_ ~dst:_ -> 1.);
+  Net.set_capacity net ~service_rate:1.0 ~queue_limit:4 ();
+  Helpers.close "healthy by default" 1. (Net.degraded_factor net 0);
+  Net.set_degraded net 0 ~factor:10.;
+  Helpers.close "degraded factor" 10. (Net.degraded_factor net 0);
+  Net.post net ~src:Net.Client ~dst:0 ();
+  Net.post net ~src:Net.Client ~dst:1 ();
+  ignore (Engine.run engine);
+  let time_of dst = List.assoc dst !served in
+  Helpers.close "healthy server: 1 latency + 1 service" 2. (time_of 1);
+  Helpers.close "gray server: 1 latency + 10 service" 11. (time_of 0);
+  Net.set_degraded net 0 ~factor:1.;
+  Helpers.close "restored" 1. (Net.degraded_factor net 0)
+
+let test_capacity_requires_install () =
+  let net = Net.create ~n:1 () in
+  Alcotest.(check bool) "no capacity" false (Net.has_capacity net);
+  Helpers.close "factor 1 without model" 1. (Net.degraded_factor net 0);
+  Helpers.check_int "depth 0 without model" 0 (Net.queue_depth net 0);
+  Helpers.check_int "shed 0 without model" 0 (Net.messages_shed net);
+  Alcotest.check_raises "set_degraded needs capacity"
+    (Invalid_argument "Net.set_degraded: no capacity model installed (see Net.set_capacity)")
+    (fun () -> Net.set_degraded net 0 ~factor:2.)
+
+let test_capacity_liveness_rechecked_at_service_time () =
+  (* The server fails while the request waits in its queue: the request
+     dies at service time, counted as a drop, not a receipt. *)
+  let engine = Engine.create () in
+  let net = Net.create ~n:1 () in
+  Net.set_handler net (fun _ _ () -> Alcotest.fail "served by a dead server");
+  Net.attach_engine net engine ~latency:(fun ~src:_ ~dst:_ -> 1.);
+  Net.set_capacity net ~service_rate:0.25 ~queue_limit:4 ();
+  Net.post net ~src:Net.Client ~dst:0 ();
+  ignore (Engine.schedule_at engine ~time:2. (fun _ -> Net.fail net 0));
+  ignore (Engine.run engine);
+  Helpers.check_int "not received" 0 (Net.messages_received net);
+  Helpers.check_int "dropped" 1 (Net.messages_dropped net);
+  Helpers.check_int "not shed" 0 (Net.messages_shed net)
+
+let test_capacity_clear_restores_instant_delivery () =
+  let engine = Engine.create () in
+  let net = Net.create ~n:1 () in
+  let served = ref [] in
+  Net.set_handler net (fun _ _ () -> served := Engine.now engine :: !served);
+  Net.attach_engine net engine ~latency:(fun ~src:_ ~dst:_ -> 1.);
+  Net.set_capacity net ~service_rate:0.1 ~queue_limit:4 ();
+  Net.clear_capacity net;
+  Net.post net ~src:Net.Client ~dst:0 ();
+  ignore (Engine.run engine);
+  Alcotest.(check (list (float 1e-9))) "no service delay after clear" [ 1. ] !served
+
+let test_capacity_validation () =
+  let net = Net.create ~n:1 () in
+  Alcotest.check_raises "rate must be positive"
+    (Invalid_argument "Net.set_capacity: service_rate must be positive") (fun () ->
+      Net.set_capacity net ~service_rate:0. ~queue_limit:1 ());
+  Alcotest.check_raises "queue_limit >= 1"
+    (Invalid_argument "Net.set_capacity: queue_limit must be >= 1") (fun () ->
+      Net.set_capacity net ~service_rate:1. ~queue_limit:0 ());
+  Net.set_capacity net ~service_rate:1. ~queue_limit:1 ();
+  Alcotest.check_raises "factor >= 1"
+    (Invalid_argument "Net.set_degraded: factor must be >= 1") (fun () ->
+      Net.set_degraded net 0 ~factor:0.5)
+
 let () =
   Helpers.run "net"
     [ ( "net",
         [ Alcotest.test_case "send/reply" `Quick test_send_and_reply;
+          Alcotest.test_case "capacity queueing" `Quick
+            test_capacity_queueing_serializes_service;
+          Alcotest.test_case "capacity sheds" `Quick test_capacity_sheds_when_full;
+          Alcotest.test_case "capacity nack" `Quick test_capacity_nack_fast_reply;
+          Alcotest.test_case "capacity gray failure" `Quick
+            test_capacity_degraded_slows_service;
+          Alcotest.test_case "capacity requires install" `Quick
+            test_capacity_requires_install;
+          Alcotest.test_case "capacity liveness recheck" `Quick
+            test_capacity_liveness_rechecked_at_service_time;
+          Alcotest.test_case "capacity clear" `Quick
+            test_capacity_clear_restores_instant_delivery;
+          Alcotest.test_case "capacity validation" `Quick test_capacity_validation;
           Alcotest.test_case "server src" `Quick test_server_to_server_not_client;
           Alcotest.test_case "broadcast cost" `Quick test_broadcast_costs_n;
           Alcotest.test_case "failure drops" `Quick test_failure_drops;

@@ -56,6 +56,38 @@ let test_snapshot_roundtrip () =
     Helpers.close "histogram sum doubles" 2020. sum
   | _ -> Alcotest.fail "histogram entry missing"
 
+(* The log-scale quantile estimator lands in the same power-of-two
+   bucket as the exact sample percentile, so (for values above 1) it is
+   within a factor of 2 of Stats.percentile at every rank — the
+   documented error bound, checked across the distribution. *)
+let test_histogram_quantile_tracks_percentile () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "lat" in
+  let samples = Array.init 500 (fun i -> float_of_int (((i * 7919) mod 3000) + 2)) in
+  Array.iter (Metrics.observe h) samples;
+  List.iter
+    (fun q ->
+      let est = Metrics.histogram_quantile h q in
+      let exact = Plookup_util.Stats.percentile samples q in
+      if not (est >= (exact /. 2.) -. 1e-9 && est <= (exact *. 2.) +. 1e-9) then
+        Alcotest.failf "q=%g: estimate %g outside factor 2 of exact %g" q est exact)
+    [ 0.; 10.; 50.; 90.; 95.; 99.; 99.9; 100. ];
+  let p50 = Metrics.histogram_quantile h 50. in
+  let p99 = Metrics.histogram_quantile h 99. in
+  let p999 = Metrics.histogram_quantile h 99.9 in
+  Helpers.check_bool "monotone tail" true (p50 <= p99 && p99 <= p999)
+
+let test_histogram_quantile_edges () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "lat" in
+  Helpers.close "empty histogram reports 0" 0. (Metrics.histogram_quantile h 99.);
+  Metrics.observe h 100.;
+  let est = Metrics.histogram_quantile h 50. in
+  Helpers.check_bool "single sample stays in its bucket" true (est >= 64. && est <= 128.);
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Metrics.histogram_quantile: q must be in [0, 100]") (fun () ->
+      ignore (Metrics.histogram_quantile h 101.))
+
 (* ------------------------------------------------------------------ *)
 (* JSONL sink *)
 
@@ -208,7 +240,10 @@ let () =
   Helpers.run "obs"
     [ ( "metrics",
         [ Alcotest.test_case "label cardinality" `Quick test_label_cardinality;
-          Alcotest.test_case "snapshot roundtrip" `Quick test_snapshot_roundtrip ] );
+          Alcotest.test_case "snapshot roundtrip" `Quick test_snapshot_roundtrip;
+          Alcotest.test_case "quantile tracks percentile" `Quick
+            test_histogram_quantile_tracks_percentile;
+          Alcotest.test_case "quantile edges" `Quick test_histogram_quantile_edges ] );
       ("sink", [ Alcotest.test_case "jsonl golden" `Quick test_jsonl_golden ]);
       ( "fig6",
         [ Alcotest.test_case "cause links well-formed" `Quick
