@@ -21,6 +21,15 @@
    present in only one file are reported and skipped, so the gate
    tolerates baseline refreshes that add or drop rows.
 
+   Absolute overhead gate: always-on tracing must cost less than 10%
+   (ROADMAP target), on both posted net sends and service updates at
+   sample=1.0.  The committed baseline is held to the strict bound —
+   it is the claim the repo makes — while the fresh run gets 2x
+   headroom (shared CI runners add several points of scheduler and
+   page-placement noise to a percentage whose true value is ~3-4%);
+   a genuine emit-path regression still trips either the doubled
+   absolute bound or the relative band on the tracing-on rate.
+
    The parser below is a minimal JSON reader (objects, arrays, strings,
    numbers, booleans, null) — the container deliberately has no JSON
    library, and BENCH_core.json is machine-written by bench/main.ml. *)
@@ -295,8 +304,10 @@ let () =
       prerr_endline msg;
       exit 2
   in
-  let baseline = throughput_metrics (load baseline_path) in
-  let fresh = throughput_metrics (load fresh_path) in
+  let baseline_json = load baseline_path in
+  let fresh_json = load fresh_path in
+  let baseline = throughput_metrics baseline_json in
+  let fresh = throughput_metrics fresh_json in
   Printf.printf
     "bench gate: %s -> %s (throughput fails below -%.0f%%, tails fail above +%.0f%%)\n\n"
     baseline_path fresh_path (100. *. !threshold) (100. *. !threshold);
@@ -325,10 +336,31 @@ let () =
       if lookup name baseline = None then
         Printf.printf "  %-48s %14s %14.0f %9s\n" name "-" now "new")
     fresh;
+  (* Absolute always-on overhead gate (see header): strict bound on the
+     committed baseline, doubled for the fresh run's runner noise. *)
+  let check_overhead label json limit =
+    match member "instrumentation" json with
+    | None -> ()
+    | Some inst ->
+      List.iter
+        (fun field ->
+          match num_opt (member field inst) with
+          | Some v ->
+            let bad = v >= limit in
+            if bad then incr failures;
+            Printf.printf "  %-48s %14s %14.2f %9s%s\n"
+              (Printf.sprintf "%s.%s" label field)
+              (Printf.sprintf "< %.0f%%" limit) v ""
+              (if bad then "  << OVERHEAD" else "")
+          | None -> ())
+        [ "overhead_tracing_on_pct"; "service_overhead_tracing_on_pct" ]
+  in
+  check_overhead "baseline" baseline_json 10.;
+  check_overhead "fresh" fresh_json 20.;
   print_newline ();
   if !failures > 0 then begin
-    Printf.printf "FAIL: %d metric(s) regressed more than %.0f%%\n" !failures
-      (100. *. !threshold);
+    Printf.printf "FAIL: %d metric(s) regressed more than %.0f%% or broke the overhead gate\n"
+      !failures (100. *. !threshold);
     exit 1
   end
   else print_endline "OK: no gated metric regressed beyond the threshold"

@@ -205,19 +205,15 @@ and attempt st server ~live ~tries_left ~timeout =
            record_breaker st server ~ok:false;
            let tid =
              if Trace.enabled tr then
-               Trace.emit tr ~time:(Engine.now st.engine)
-                 (Span.Timeout { dst = server; after = timeout })
+               Trace.emit_timeout tr ~time:(Engine.now st.engine) ~dst:server
+                 ~after:timeout
              else 0
            in
            if tries_left > 0 then begin
              st.retries <- st.retries + 1;
              if Trace.enabled tr then
-               ignore
-                 (Trace.emit tr ~time:(Engine.now st.engine)
-                    ?cause:(if tid = 0 then None else Some tid)
-                    (Span.Retry
-                       { dst = server;
-                         attempt = st.retries_allowed - tries_left + 2 }));
+               Trace.emit_retry tr ~time:(Engine.now st.engine) ~cause:tid ~dst:server
+                 ~attempt:(st.retries_allowed - tries_left + 2);
              let next_timeout =
                match st.jitter with
                | Some rng ->

@@ -17,7 +17,7 @@ let create ?(seed = 0) ?obs ~n () =
   let obs = match obs with Some o -> o | None -> Obs.create () in
   let net = Net.create ~metrics:obs.Obs.metrics ~n () in
   Net.set_planes net ~names:Msg.plane_names ~classify:Msg.plane_index;
-  Net.set_trace net obs.Obs.trace ~describe:(fun m -> (Msg.plane_name m, Msg.label m));
+  Net.set_trace net obs.Obs.trace ~coder:(Msg.trace_coder obs.Obs.trace);
   { n;
     seed;
     rng = Rng.create seed;

@@ -85,6 +85,48 @@ let label = function
   | Repair Digest_pull -> "digest_pull"
   | Repair (Repair_store _) -> "repair_store"
 
+(* Intern every (plane, label) pair up front so the per-message coder is
+   a single allocation-free match returning a precomputed code. *)
+let trace_coder tr =
+  let pm plane msg = Plookup_obs.Trace.intern_message tr ~plane ~msg in
+  let c_place = pm "data" "place" in
+  let c_add = pm "data" "add" in
+  let c_delete = pm "data" "delete" in
+  let c_lookup = pm "data" "lookup" in
+  let c_store = pm "strategy" "store" in
+  let c_store_batch = pm "strategy" "store_batch" in
+  let c_remove = pm "strategy" "remove" in
+  let c_add_sampled = pm "strategy" "add_sampled" in
+  let c_remove_counted = pm "strategy" "remove_counted" in
+  let c_fetch_candidate = pm "strategy" "fetch_candidate" in
+  let c_sync_add = pm "strategy" "sync_add" in
+  let c_sync_delete = pm "strategy" "sync_delete" in
+  let c_sync_state = pm "strategy" "sync_state" in
+  let c_digest_request = pm "repair" "digest_request" in
+  let c_sync_fix = pm "repair" "sync_fix" in
+  let c_hint = pm "repair" "hint" in
+  let c_digest_pull = pm "repair" "digest_pull" in
+  let c_repair_store = pm "repair" "repair_store" in
+  function
+  | Data (Place _) -> c_place
+  | Data (Add _) -> c_add
+  | Data (Delete _) -> c_delete
+  | Data (Lookup _) -> c_lookup
+  | Strategy (Store _) -> c_store
+  | Strategy (Store_batch _) -> c_store_batch
+  | Strategy (Remove _) -> c_remove
+  | Strategy (Add_sampled _) -> c_add_sampled
+  | Strategy (Remove_counted _) -> c_remove_counted
+  | Strategy (Fetch_candidate _) -> c_fetch_candidate
+  | Strategy (Sync_add _) -> c_sync_add
+  | Strategy (Sync_delete _) -> c_sync_delete
+  | Strategy Sync_state -> c_sync_state
+  | Repair (Digest_request _) -> c_digest_request
+  | Repair (Sync_fix _) -> c_sync_fix
+  | Repair (Hint _) -> c_hint
+  | Repair Digest_pull -> c_digest_pull
+  | Repair (Repair_store _) -> c_repair_store
+
 let hint_kind_name = function
   | H_store -> "store"
   | H_remove -> "remove"

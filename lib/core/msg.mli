@@ -138,6 +138,12 @@ val label : t -> string
     ["digest_pull"]) — constant per constructor, used as the [msg] field
     of trace spans. *)
 
+val trace_coder : Plookup_obs.Trace.t -> t -> int
+(** [trace_coder tr] interns every plane/label pair into [tr] once and
+    returns the packed-code function {!Plookup_net.Net.set_trace}'s
+    [coder] wants — the coded replacement for
+    [(plane_name m, label m)]. *)
+
 val hint_kind_name : hint_kind -> string
 val pp_data : Format.formatter -> data -> unit
 val pp_strategy : Format.formatter -> strategy -> unit

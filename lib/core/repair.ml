@@ -585,13 +585,9 @@ let run_daemon_once t =
     match lowest_up t with
     | None -> ()
     | Some c ->
-      ignore
-        (Trace.emit tr ~time:(now t)
-           (Span.Repair_round
-              { coordinator = c;
-                tick = t.daemon_ticks;
-                re_replications = Metrics.value t.st_re_replications - before_rr;
-                trims = Metrics.value t.st_trims - before_trims }))
+      Trace.emit_repair_round tr ~time:(now t) ~coordinator:c ~tick:t.daemon_ticks
+        ~re_replications:(Metrics.value t.st_re_replications - before_rr)
+        ~trims:(Metrics.value t.st_trims - before_trims)
   end
   else daemon_tick t
 

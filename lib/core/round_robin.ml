@@ -157,10 +157,8 @@ let do_delete t ~self e =
       let new_group = servers_of_position t plan.vacated in
       let tr = (Cluster.obs t.cluster).Plookup_obs.Obs.trace in
       if Plookup_obs.Trace.enabled tr then
-        ignore
-          (Plookup_obs.Trace.emit tr ~time:(Net.now (Cluster.net t.cluster))
-             (Plookup_obs.Span.Migration
-                { entry = Entry.id u; src = List.hd old_group; dst = List.hd new_group }));
+        Plookup_obs.Trace.emit_migration tr ~time:(Net.now (Cluster.net t.cluster))
+          ~entry:(Entry.id u) ~src:(List.hd old_group) ~dst:(List.hd new_group);
       List.iter (fun dst -> send_remove t ~src:self ~dst u) old_group;
       List.iter (fun dst -> send_store t ~src:self ~dst u) new_group);
     sync_standbys t ~self (Msg.sync_delete e)

@@ -30,7 +30,10 @@ type partition = {
   clients : partition_side;
 }
 
-type 'msg tracing = { tr : Trace.t; describe : 'msg -> string * string }
+(* [coder msg] is the packed plane/msg code for the message — from
+   {!Trace.intern_message}, precomputed per constructor at setup so the
+   per-event cost is one closure call returning an immediate int. *)
+type 'msg tracing = { tr : Trace.t; coder : 'msg -> int }
 
 (* The overload model: each server is a single-threaded queueing station
    with a finite inbox.  [busy_until] is when the server frees up,
@@ -128,7 +131,7 @@ let set_planes t ~names ~classify =
       names;
   t.classify <- Some classify
 
-let set_trace t trace ~describe = t.tracing <- Some { tr = trace; describe }
+let set_trace t trace ~coder = t.tracing <- Some { tr = trace; coder }
 
 let set_handler t h = t.handler <- Some h
 
@@ -312,41 +315,32 @@ let reachable t ~src ~dst =
 
    Every helper first checks that a trace is attached and enabled, so a
    quiet network pays one tag test per transmission and allocates
-   nothing.  Span ids use 0 as "no span" (Trace.emit never returns 0),
-   which lets cause links thread through the delivery path as plain
-   ints. *)
+   nothing.  A traced network allocates nothing either: each event is a
+   coded emit — plain ints into the trace's preallocated ring.  Span ids
+   use 0 as "no span" and negative ids for sampled-out spans, which lets
+   cause links thread through the delivery path as plain ints while
+   keeping whole causal trees in or out together. *)
 
-let now t =
+let[@inline always] now t =
   match t.engine with Some (e, _) -> Plookup_sim.Engine.now e | None -> 0.
 
-let span_actor = function Client -> Span.Client | Server i -> Span.Server i
-
-let trace_send t ~src ~dst msg =
+let[@inline always] trace_send t ~src ~dst msg =
   match t.tracing with
   | Some c when Trace.enabled c.tr ->
-    let plane, label = c.describe msg in
-    Trace.emit c.tr ~time:(now t)
-      (Span.Send { src = span_actor src; dst; plane; msg = label })
+    Trace.emit_send c.tr ~time:(now t) ~src:(code src) ~dst ~pm:(c.coder msg)
   | _ -> 0
 
-let trace_recv t ~sid ~src ~dst msg =
+let[@inline always] trace_recv t ~sid ~src ~dst msg =
   match t.tracing with
   | Some c when Trace.enabled c.tr ->
-    let plane, label = c.describe msg in
-    let cause = if sid = 0 then None else Some sid in
-    ignore
-      (Trace.emit c.tr ~time:(now t) ?cause
-         (Span.Recv { src = span_actor src; dst; plane; msg = label }))
+    Trace.emit_recv c.tr ~time:(now t) ~cause:sid ~src:(code src) ~dst ~pm:(c.coder msg)
   | _ -> ()
 
-let trace_drop t ~sid ~src ~dst ~reason msg =
+let[@inline always] trace_drop t ~sid ~src ~dst ~reason msg =
   match t.tracing with
   | Some c when Trace.enabled c.tr ->
-    let plane, label = c.describe msg in
-    let cause = if sid = 0 then None else Some sid in
-    ignore
-      (Trace.emit c.tr ~time:(now t) ?cause
-         (Span.Drop { src = span_actor src; dst; plane; msg = label; reason }))
+    Trace.emit_drop c.tr ~time:(now t) ~cause:sid ~src:(code src) ~dst ~pm:(c.coder msg)
+      ~reason
   | _ -> ()
 
 (* {2 Messaging} *)
@@ -367,6 +361,20 @@ let account t ~src ~dst msg =
 (* Final delivery: liveness check, accounting, handler.  All fault
    decisions have already been made by the caller; [sid] is the Send
    span this delivery resolves (0 when untraced). *)
+(* The same, specialized for an untraced network (no trace hooks at
+   all) — the synchronous hot path dispatches between this and the
+   traced flow once per transmission. *)
+let deliver_plain t ~src ~dst msg =
+  if not t.up.(dst) then begin
+    Metrics.incr t.dropped;
+    (match t.drop_listener with Some f -> f ~src ~dst msg | None -> ());
+    None
+  end
+  else begin
+    account t ~src ~dst msg;
+    Some ((handler_exn t) dst src msg)
+  end
+
 let deliver t ?(sid = 0) ~src ~dst msg =
   if not t.up.(dst) then begin
     Metrics.incr t.dropped;
@@ -382,19 +390,67 @@ let deliver t ?(sid = 0) ~src ~dst msg =
 
 (* One synchronous server-bound transmission: partition, then loss, then
    delivery (possibly twice when duplicated).  Jitter is meaningless
-   without an engine, so the synchronous path never draws it. *)
-let sync_transmit t ~src ~dst msg =
-  let sid = trace_send t ~src ~dst msg in
+   without an engine, so the synchronous path never draws it.
+
+   The flow is specialized twice on the tracing state, checked once per
+   transmission: the untraced copy pays nothing at all (a quiet or
+   disabled trace leaves the send path identical to a bare network), and
+   the traced copy hoists the coder and clock reads out of the
+   per-outcome branches and fuses the common send-then-deliver case into
+   a single paired emit. *)
+let sync_transmit_plain t ~src ~dst msg =
   if link_blocked t ~from_code:(code src) ~to_code:dst then begin
     Metrics.incr t.blocked;
-    trace_drop t ~sid ~src ~dst ~reason:Span.Blocked msg;
     None
   end
   else
     match active_faults t with
-    | None -> deliver t ~sid ~src ~dst msg
+    | None -> deliver_plain t ~src ~dst msg
     | Some f ->
       let rng = link_rng f ~from_code:(code src) ~to_code:dst in
+      if Rng.bernoulli rng f.loss then begin
+        Metrics.incr t.lost;
+        None
+      end
+      else begin
+        let reply = deliver_plain t ~src ~dst msg in
+        if Rng.bernoulli rng f.duplication then begin
+          Metrics.incr t.duplicated;
+          ignore (deliver_plain t ~src ~dst msg)
+        end;
+        reply
+      end
+
+let sync_transmit_traced t tc ~src ~dst msg =
+  let tr = tc.tr in
+  let time = now t in
+  let pm = tc.coder msg in
+  let sc = code src in
+  if link_blocked t ~from_code:sc ~to_code:dst then begin
+    Metrics.incr t.blocked;
+    let sid = Trace.emit_send tr ~time ~src:sc ~dst ~pm in
+    Trace.emit_drop tr ~time ~cause:sid ~src:sc ~dst ~pm ~reason:Span.Blocked;
+    None
+  end
+  else
+    match active_faults t with
+    | None ->
+      if Array.unsafe_get t.up dst then begin
+        (* The fused fast path: fault-free delivery to a live server. *)
+        ignore (Trace.emit_send_recv tr ~time ~src:sc ~dst ~pm);
+        account t ~src ~dst msg;
+        Some ((handler_exn t) dst src msg)
+      end
+      else begin
+        let sid = Trace.emit_send tr ~time ~src:sc ~dst ~pm in
+        Metrics.incr t.dropped;
+        Trace.emit_drop tr ~time ~cause:sid ~src:sc ~dst ~pm ~reason:Span.Down;
+        (match t.drop_listener with Some f -> f ~src ~dst msg | None -> ());
+        None
+      end
+    | Some f ->
+      let sid = trace_send t ~src ~dst msg in
+      let rng = link_rng f ~from_code:sc ~to_code:dst in
       if Rng.bernoulli rng f.loss then begin
         Metrics.incr t.lost;
         trace_drop t ~sid ~src ~dst ~reason:Span.Lost msg;
@@ -408,6 +464,11 @@ let sync_transmit t ~src ~dst msg =
         end;
         reply
       end
+
+let sync_transmit t ~src ~dst msg =
+  match t.tracing with
+  | Some tc when Trace.enabled tc.tr -> sync_transmit_traced t tc ~src ~dst msg
+  | _ -> sync_transmit_plain t ~src ~dst msg
 
 let send t ~src ~dst msg =
   check_node t dst;

@@ -57,13 +57,16 @@ val set_planes :
 val set_trace :
   ('msg, 'reply) t ->
   Plookup_obs.Trace.t ->
-  describe:('msg -> string * string) ->
+  coder:('msg -> int) ->
   unit
 (** Attach a trace: every server-bound transmission emits a [Send] span
     and its resolution a cause-linked [Recv] or [Drop]
-    ({!Plookup_obs.Span}).  [describe msg] is [(plane, short label)].
-    While the trace is disabled the hot path pays one check and
-    allocates nothing. *)
+    ({!Plookup_obs.Span}).  [coder msg] is the packed plane/msg code for
+    the message, from {!Plookup_obs.Trace.intern_message} against this
+    trace — precompute it per constructor at setup
+    ({!Plookup.Msg.trace_coder}) so an event costs no string work.
+    Whether the trace is disabled or on, the hot path allocates
+    nothing. *)
 
 val set_handler : ('msg, 'reply) t -> (int -> sender -> 'msg -> 'reply) -> unit
 (** Install the message handler, called as [handler dst src msg].  All

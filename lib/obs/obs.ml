@@ -1,10 +1,21 @@
 type t = { metrics : Metrics.t; trace : Trace.t }
 
-let create ?trace_capacity () =
-  { metrics = Metrics.create (); trace = Trace.create ?capacity:trace_capacity () }
+let create ?trace_capacity ?trace_sample ?trace_planes () =
+  let metrics = Metrics.create () in
+  let trace =
+    Trace.create ?capacity:trace_capacity ?sample:trace_sample ?planes:trace_planes ()
+  in
+  (* Mirror ring evictions into the registry so drained JSONL consumers
+     can detect truncation from the metrics dump alone. *)
+  let evicted = Metrics.counter metrics "obs.trace.evicted" in
+  Trace.set_evict_hook trace (fun n -> Metrics.add evicted n);
+  { metrics; trace }
 
 let child t =
-  let c = create ~trace_capacity:(Trace.capacity t.trace) () in
+  let c =
+    create ~trace_capacity:(Trace.capacity t.trace) ~trace_sample:(Trace.sample_rate t.trace)
+      ?trace_planes:(Trace.plane_filter t.trace) ()
+  in
   Trace.set_enabled c.trace (Trace.enabled t.trace);
   c
 

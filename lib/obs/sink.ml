@@ -20,60 +20,3 @@ let jsonl ?(flush_every = 1024) oc =
   { emit; flush = (fun () -> Stdlib.flush oc) }
 
 let null = { emit = ignore; flush = ignore }
-
-(* {1 Ring} *)
-
-type ring = {
-  capacity : int;
-  mutable buffer : Span.t option array; (* grows geometrically up to capacity *)
-  mutable head : int; (* next write slot *)
-  mutable count : int;
-  mutable dropped : int;
-}
-
-let ring ~capacity =
-  if capacity <= 0 then invalid_arg "Sink.ring: capacity must be positive";
-  { capacity;
-    buffer = Array.make (min capacity 64) None;
-    head = 0;
-    count = 0;
-    dropped = 0 }
-
-let grow r =
-  let size = Array.length r.buffer in
-  let bigger = Array.make (min r.capacity (2 * size)) None in
-  (* The ring is full and contiguous-from-0 only before any eviction;
-     when growing, [head = 0] or the buffer has never wrapped, so the
-     live prefix is [0, count). *)
-  Array.blit r.buffer 0 bigger 0 r.count;
-  r.buffer <- bigger;
-  r.head <- r.count
-
-let ring_emit r span =
-  let size = Array.length r.buffer in
-  if r.count = size && size < r.capacity then grow r;
-  let size = Array.length r.buffer in
-  if r.count = size then r.dropped <- r.dropped + 1 (* evicting the oldest *)
-  else r.count <- r.count + 1;
-  r.buffer.(r.head) <- Some span;
-  r.head <- (r.head + 1) mod size
-
-let of_ring r = { emit = ring_emit r; flush = ignore }
-
-let ring_capacity r = r.capacity
-let ring_length r = r.count
-let ring_dropped r = r.dropped
-
-let ring_spans r =
-  let size = Array.length r.buffer in
-  let start = ((r.head - r.count) mod size + size) mod size in
-  List.init r.count (fun i ->
-      match r.buffer.((start + i) mod size) with
-      | Some s -> s
-      | None -> assert false)
-
-let ring_clear r =
-  Array.fill r.buffer 0 (Array.length r.buffer) None;
-  r.head <- 0;
-  r.count <- 0;
-  r.dropped <- 0

@@ -1,10 +1,11 @@
-(** Span sinks: where a {!Trace} delivers its spans.
+(** Span sinks: where a {!Trace} streams decoded spans.
 
-    Both sinks share one interface ({!t}): a streaming JSONL writer for
-    offline analysis and a bounded in-memory ring for interactive and
-    test use.  A trace fans each span out to every attached sink, so a
-    run can keep the ring for quick dumps while also writing a complete
-    JSONL file. *)
+    A sink consumes {!Span.t} values — the decoded view.  The trace's
+    own bounded history lives int-coded inside {!Trace} and is only
+    decoded at drain time; sinks are the {e streaming} side: they see
+    every span as it is emitted (decoded on the fly), regardless of ring
+    capacity, so a JSONL file stays complete even when the in-memory
+    ring evicts. *)
 
 type t
 
@@ -18,29 +19,3 @@ val jsonl : ?flush_every:int -> out_channel -> t
 
 val null : t
 (** Discards everything (placeholder wiring). *)
-
-(** {1 The bounded ring}
-
-    A ring is a sink plus accessors.  Storage grows geometrically up to
-    [capacity], then evicts oldest-first — and {e counts} what it
-    evicted, so a truncated dump is detectable instead of silently
-    missing its prefix. *)
-
-type ring
-
-val ring : capacity:int -> ring
-(** Raises [Invalid_argument] on a non-positive capacity. *)
-
-val of_ring : ring -> t
-val ring_capacity : ring -> int
-val ring_length : ring -> int
-
-val ring_dropped : ring -> int
-(** Spans evicted to make room — the count a complete dump would need
-    to be 0. *)
-
-val ring_spans : ring -> Span.t list
-(** Oldest first. *)
-
-val ring_clear : ring -> unit
-(** Empties the ring and zeroes the dropped count. *)

@@ -29,12 +29,29 @@ let reason_name = function Down -> "down" | Lost -> "lost" | Blocked -> "blocked
 
 let actor_json = function Client -> "-1" | Server i -> string_of_int i
 
+(* Shortest decimal rendering that parses back to exactly [x]: widen the
+   precision until the round trip is exact (%.17g always is, so the loop
+   terminates — also on nan, via the p = 17 bound). *)
+let shortest_roundtrip x =
+  let rec go p =
+    let s = Printf.sprintf "%.*g" p x in
+    if p >= 17 || float_of_string s = x then s else go (p + 1)
+  in
+  go 7
+
+(* %.6g keeps typical values short, but must not be trusted blindly:
+   past six significant digits (times >= 1e6 sim-ms on long horizons) it
+   silently truncates. *)
+let float_g6 x =
+  let s = Printf.sprintf "%.6g" x in
+  if float_of_string s = x then s else shortest_roundtrip x
+
 (* Times are printed with enough digits to round-trip the engine's
-   float clock; %.6g keeps typical timestamps short. *)
+   float clock. *)
 let add_float buf x =
   if Float.is_integer x && Float.abs x < 1e15 then
     Buffer.add_string buf (Printf.sprintf "%.1f" x)
-  else Buffer.add_string buf (Printf.sprintf "%.6g" x)
+  else Buffer.add_string buf (float_g6 x)
 
 let add_json buf t =
   Buffer.add_string buf "{\"id\":";
@@ -73,7 +90,7 @@ let add_json buf t =
     field "attempt" (string_of_int attempt)
   | Timeout { dst; after } ->
     field "dst" (string_of_int dst);
-    field "after" (Printf.sprintf "%.6g" after)
+    field "after" (float_g6 after)
   | Repair_round { coordinator; tick; re_replications; trims } ->
     field "coordinator" (string_of_int coordinator);
     field "tick" (string_of_int tick);

@@ -8,7 +8,7 @@ type event_id = (t -> unit) Event_queue.handle
 
 let create () = { queue = Event_queue.create (); clock = 0. }
 
-let now t = t.clock
+let[@inline always] now t = t.clock
 
 let schedule_at t ~time action =
   if time < t.clock then invalid_arg "Engine.schedule_at: time is in the past";

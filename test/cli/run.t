@@ -144,7 +144,8 @@ views of the same run, both deterministic given the seed:
   {"name":"net.messages.received","labels":{"server":"7"},"kind":"counter","value":1007},
   {"name":"net.messages.received","labels":{"server":"8"},"kind":"counter","value":1029},
   {"name":"net.messages.received","labels":{"server":"9"},"kind":"counter","value":1039},
-  {"name":"net.messages.repair","kind":"counter","value":0}]}
+  {"name":"net.messages.repair","kind":"counter","value":0},
+  {"name":"obs.trace.evicted","kind":"counter","value":0}]}
 
 Each JSONL line is one span; a recv names its send as its cause:
 
@@ -154,6 +155,32 @@ Each JSONL line is one span; a recv names its send as its cause:
   {"id":3,"t":0.0,"kind":"send","src":1,"dst":9,"plane":"strategy","msg":"store_batch"}
   $ wc -l < trace.jsonl
   20760
+
+Head sampling keeps whole causal trees with the given probability; the
+decision is a pure hash of the span id, so the kept spans are a strict
+subset of the unsampled run (same ids, same JSON) and the summary
+accounts for every minted span:
+
+  $ ../../bin/plookup_cli.exe trace table1 --scale 0.2 --csv --trace-sample 0.5 | tail -1
+  trace: 10440 spans emitted, 10440 retained, 0 dropped, 10320 sampled out
+
+A plane filter records only message spans from the named planes; the
+first strategy-plane span keeps the id it had in the unfiltered run:
+
+  $ ../../bin/plookup_cli.exe trace table1 --scale 0.2 --csv --trace-planes strategy --trace-out planes.jsonl | tail -1
+  trace: 20600 spans emitted, 20600 retained, 0 dropped, 160 sampled out, streamed to planes.jsonl
+  $ head -2 planes.jsonl
+  {"id":3,"t":0.0,"kind":"send","src":1,"dst":9,"plane":"strategy","msg":"store_batch"}
+  {"id":4,"t":0.0,"cause":3,"kind":"recv","src":1,"dst":9,"plane":"strategy","msg":"store_batch"}
+
+Both flags validate their input:
+
+  $ ../../bin/plookup_cli.exe trace table1 --trace-sample 0
+  plookup: --trace-sample must be in (0, 1]
+  [124]
+  $ ../../bin/plookup_cli.exe trace table1 --trace-planes data,bogus
+  plookup: --trace-planes: unknown plane bogus; known planes are data, strategy, repair
+  [124]
 
 The latency extension reports tail percentiles next to the mean — p95
 and p99 — per client discipline:

@@ -151,6 +151,24 @@ let shared_fig6_obs = lazy (traced_fig6 ~jobs:1)
 (* Span ids are fresh and increasing, and every cause link points
    backwards at an id that exists — including across the absorb step
    that folds per-replicate traces into the context's. *)
+(* Satellite: ring evictions surface in the registry as the
+   [obs.trace.evicted] counter.  Evictions are derived lazily, so the
+   metric is synced when the ring becomes observable (a drain), not per
+   evicted span. *)
+let test_evicted_metric () =
+  let obs = Obs.create ~trace_capacity:3 () in
+  Trace.set_enabled obs.Obs.trace true;
+  let evicted () = Metrics.sum_counters (Metrics.snapshot obs.Obs.metrics) "obs.trace.evicted" in
+  Helpers.check_int "starts at zero" 0 (evicted ());
+  for i = 1 to 10 do
+    Trace.record obs.Obs.trace ~time:(float_of_int i) ~label:"l" (string_of_int i)
+  done;
+  ignore (Trace.spans obs.Obs.trace);
+  Helpers.check_int "evictions mirrored at drain" 7 (evicted ());
+  (* Draining again without new traffic adds nothing. *)
+  ignore (Trace.spans obs.Obs.trace);
+  Helpers.check_int "idempotent per eviction" 7 (evicted ())
+
 let test_fig6_links_well_formed () =
   let obs = Lazy.force shared_fig6_obs in
   let spans = Trace.spans obs.Obs.trace in
@@ -245,6 +263,8 @@ let () =
             test_histogram_quantile_tracks_percentile;
           Alcotest.test_case "quantile edges" `Quick test_histogram_quantile_edges ] );
       ("sink", [ Alcotest.test_case "jsonl golden" `Quick test_jsonl_golden ]);
+      ( "evicted",
+        [ Alcotest.test_case "evictions reach the registry" `Quick test_evicted_metric ] );
       ( "fig6",
         [ Alcotest.test_case "cause links well-formed" `Quick
             test_fig6_links_well_formed;

@@ -80,8 +80,14 @@ let test_dump () =
 
 let test_bad_capacity () =
   Alcotest.check_raises "capacity 0"
-    (Invalid_argument "Sink.ring: capacity must be positive") (fun () ->
-      ignore (Trace.create ~capacity:0 ()))
+    (Invalid_argument "Trace.create: capacity must be positive") (fun () ->
+      ignore (Trace.create ~capacity:0 ()));
+  Alcotest.check_raises "sample 0"
+    (Invalid_argument "Trace.create: sample must be in (0, 1]") (fun () ->
+      ignore (Trace.create ~sample:0.0 ()));
+  Alcotest.check_raises "sample > 1"
+    (Invalid_argument "Trace.create: sample must be in (0, 1]") (fun () ->
+      ignore (Trace.create ~sample:1.5 ()))
 
 let test_emit_returns_cause_ids () =
   let t = Trace.create () in
@@ -183,6 +189,142 @@ let prop_keeps_last_k =
       List.map detail (Trace.spans t) = expected
       && Trace.dropped t = max 0 (List.length xs - capacity))
 
+(* Satellite: Span JSON must round-trip floats that %.6g would flatten
+   (times and timeouts beyond 1e6 simulated units). *)
+let test_span_float_precision () =
+  let json_num json field =
+    let needle = Printf.sprintf "\"%s\":" field in
+    let rec find i =
+      if i + String.length needle > String.length json then
+        Alcotest.fail (Printf.sprintf "field %s not in %s" field json)
+      else if String.sub json i (String.length needle) = needle then
+        i + String.length needle
+      else find (i + 1)
+    in
+    let start = find 0 in
+    let stop = ref start in
+    while
+      !stop < String.length json && (match json.[!stop] with ',' | '}' -> false | _ -> true)
+    do
+      incr stop
+    done;
+    float_of_string (String.sub json start (!stop - start))
+  in
+  List.iter
+    (fun x ->
+      let span =
+        { Span.id = 1; time = x; cause = None; kind = Span.Timeout { dst = 0; after = x } }
+      in
+      let json = Span.to_json span in
+      Alcotest.(check (float 0.)) "time round-trips" x (json_num json "t");
+      Alcotest.(check (float 0.)) "after round-trips" x (json_num json "after"))
+    [ 8388608.1; 1048576.75; 12345678.5; 1e15 +. 0.5; 0.1; 3.25 ]
+
+(* Sampling keeps or drops whole causal trees, decided at the root from
+   a pure hash of the span id — so the sampled drain must be a strict
+   subsequence of the unsampled drain with byte-identical per-span JSON,
+   every retained cause must resolve, and the minted-span pool must
+   account for every id. *)
+let prop_sampled_subset =
+  Helpers.qcheck "sampled drain is a subset with identical JSON"
+    QCheck2.Gen.(pair (int_range 1 9) (list_size (int_range 0 120) (int_range 0 24)))
+    (fun (tenths, ops) ->
+      let run sample =
+        let t = Trace.create ~capacity:4096 ?sample () in
+        Trace.set_enabled t true;
+        let pm_data = Trace.intern_message t ~plane:"data" ~msg:"lookup" in
+        let pm_rep = Trace.intern_message t ~plane:"repair" ~msg:"re_replicate" in
+        let last = ref 0 in
+        List.iteri
+          (fun i op ->
+            let time = float_of_int i in
+            match op mod 5 with
+            | 0 -> last := Trace.emit_send t ~time ~src:(-1) ~dst:(op mod 7) ~pm:pm_data
+            | 1 -> Trace.emit_recv t ~time ~cause:!last ~src:(-1) ~dst:(op mod 7) ~pm:pm_data
+            | 2 ->
+              ignore (Trace.emit_send_recv t ~time ~src:(op mod 3) ~dst:(op mod 7) ~pm:pm_rep)
+            | 3 ->
+              Trace.emit_drop t ~time ~cause:!last ~src:(op mod 3) ~dst:(op mod 7)
+                ~pm:pm_data ~reason:Span.Lost
+            | _ ->
+              let tid = Trace.emit_timeout t ~time ~dst:(op mod 7) ~after:0.5 in
+              Trace.emit_retry t ~time ~cause:tid ~dst:(op mod 7) ~attempt:2)
+          ops;
+        t
+      in
+      let full = run None in
+      let smp = run (Some (float_of_int tenths /. 10.)) in
+      let json t = List.map Span.to_json (Trace.spans t) in
+      let rec subseq xs ys =
+        match (xs, ys) with
+        | [], _ -> true
+        | _, [] -> false
+        | x :: xt, y :: yt -> if String.equal x y then subseq xt yt else subseq xs yt
+      in
+      let ids = List.map (fun s -> s.Span.id) (Trace.spans smp) in
+      let no_dangling =
+        List.for_all
+          (fun s -> match s.Span.cause with None -> true | Some c -> List.mem c ids)
+          (Trace.spans smp)
+      in
+      subseq (json smp) (json full)
+      && no_dangling
+      && Trace.emitted smp + Trace.sampled_out smp = Trace.emitted full)
+
+(* The coded ring must decode back exactly what was emitted, across the
+   whole cell space: compact and wide actor codes, every drop reason,
+   raw floats, interned strings. *)
+let prop_decode_roundtrip =
+  let open QCheck2.Gen in
+  let actor =
+    oneof
+      [ return Span.Client;
+        map (fun i -> Span.Server i) (int_range 0 1000);
+        (* beyond the 20-bit compact header range: forces the wide form *)
+        map (fun i -> Span.Server (2_000_000 + i)) (int_range 0 1000) ]
+  in
+  let dst = oneof [ int_range 0 1000; int_range 2_000_000 3_000_000 ] in
+  let plane = oneofl [ "data"; "strategy"; "repair" ] in
+  let msg = oneofl [ "lookup"; "add"; "delete"; "store_batch" ] in
+  let reason = oneofl [ Span.Down; Span.Lost; Span.Blocked; Span.Shed ] in
+  let time = map (fun i -> float_of_int i /. 7.) (int_range 0 10_000_000) in
+  let kind =
+    oneof
+      [ map3 (fun src dst (plane, msg) -> Span.Send { src; dst; plane; msg }) actor dst
+          (pair plane msg);
+        map3 (fun src dst (plane, msg) -> Span.Recv { src; dst; plane; msg }) actor dst
+          (pair plane msg);
+        map3
+          (fun src dst ((plane, msg), reason) -> Span.Drop { src; dst; plane; msg; reason })
+          actor dst
+          (pair (pair plane msg) reason);
+        map2 (fun dst attempt -> Span.Retry { dst; attempt }) dst (int_range 2 100_000);
+        map2 (fun dst after -> Span.Timeout { dst; after }) dst time;
+        map3
+          (fun coordinator tick (re_replications, trims) ->
+            Span.Repair_round { coordinator; tick; re_replications; trims })
+          dst (int_range 0 1_000_000)
+          (pair (int_range 0 1_000_000) (int_range 0 1_000_000));
+        map3 (fun entry src dst -> Span.Migration { entry; src; dst })
+          (int_range 0 10_000_000) dst dst;
+        map2 (fun label detail -> Span.Mark { label; detail }) plane msg ]
+  in
+  Helpers.qcheck "coded cells decode back to the emitted span"
+    (pair time (small_list kind))
+    (fun (t0, kinds) ->
+      let t = Trace.create ~capacity:4096 () in
+      Trace.set_enabled t true;
+      List.iteri (fun i k -> ignore (Trace.emit t ~time:(t0 +. float_of_int i) k)) kinds;
+      let decoded = Trace.spans t in
+      List.length decoded = List.length kinds
+      && List.for_all2
+           (fun k s -> s.Span.kind = k)
+           kinds decoded
+      && List.for_all2
+           (fun i s -> s.Span.time = t0 +. float_of_int i)
+           (List.init (List.length decoded) Fun.id)
+           decoded)
+
 let () =
   Helpers.run "trace"
     [ ( "trace",
@@ -198,4 +340,7 @@ let () =
           Alcotest.test_case "absorb carries drops" `Quick test_absorb_carries_drops;
           Alcotest.test_case "jsonl sink sees everything" `Quick
             test_jsonl_sink_sees_evicted_spans;
-          prop_keeps_last_k ] ) ]
+          Alcotest.test_case "span float precision" `Quick test_span_float_precision;
+          prop_keeps_last_k;
+          prop_sampled_subset;
+          prop_decode_roundtrip ] ) ]
