@@ -9,17 +9,27 @@
      lookups_per_sec[].per_sec        (keyed by strategy)
      updates_per_sec[].per_sec        (keyed by strategy)
      day_runs_per_sec[].per_sec       (BENCH_day.json)
+     cached_lookups_per_sec[].per_sec (BENCH_cache.json raw cache ops)
+     cache[].hit_rate                 (BENCH_cache.json, per strategy)
      instrumentation.*_per_sec_*      (when present in both files)
 
    Tail-latency metrics gated (lower is better — a GROWTH beyond the
    threshold fails):
      tail_ms[].p99_ms / .p999_ms      (BENCH_day.json crowd-window
                                        tails, keyed by strategy/mode)
+     cache[].msgs_per_lookup          (BENCH_cache.json: data-plane
+     cache[].p99_cached_ms             traffic and crowd tail of the
+                                       tuned+cache day cell)
 
    Wall-clock and speedup fields are reported for context but not
    gated — they measure the CI machine as much as the code.  Metrics
    present in only one file are reported and skipped, so the gate
    tolerates baseline refreshes that add or drop rows.
+
+   Absolute hit-rate floor: every cache[].hit_rate must clear 40% in
+   both files — the claim that the cache absorbs the flash crowd is an
+   absolute one, and the day simulation behind it is deterministic, so
+   no noise headroom is needed.
 
    Absolute overhead gate: always-on tracing must cost less than 10%
    (ROADMAP target), on both posted net sends and service updates at
@@ -231,6 +241,28 @@ let throughput_metrics json =
   rate_array "placements_per_sec";
   (* BENCH_day.json: one simulated-day throughput row... *)
   rate_array "day_runs_per_sec";
+  (* BENCH_cache.json: raw Client_cache operation rates... *)
+  rate_array "cached_lookups_per_sec";
+  (* ...and the tuned+cache day cell per strategy: hit rate must not
+     drop, data-plane traffic and the crowd tail must not grow. *)
+  (match member "cache" json with
+  | Some (List rows) ->
+    List.iter
+      (fun row ->
+        match str_opt (member "strategy" row) with
+        | Some name ->
+          (match num_opt (member "hit_rate" row) with
+          | Some v -> push (Printf.sprintf "cache.%s.hit_rate" name) v
+          | None -> ());
+          List.iter
+            (fun field ->
+              match num_opt (member field row) with
+              | Some v -> push ~dir:Lower (Printf.sprintf "cache.%s.%s" name field) v
+              | None -> ())
+            [ "msgs_per_lookup"; "p99_cached_ms" ]
+        | None -> ())
+      rows
+  | _ -> ());
   (* ...and per-strategy/mode crowd-window tails, gated lower-is-better
      so a shedding/hedging/breaker regression reads as a fatter tail. *)
   (match member "tail_ms" json with
@@ -357,6 +389,28 @@ let () =
   in
   check_overhead "baseline" baseline_json 10.;
   check_overhead "fresh" fresh_json 20.;
+  (* Absolute hit-rate floor (see header): the cache must keep
+     absorbing the crowd, not merely regress slower than 30%. *)
+  let check_hit_floor label json floor =
+    match member "cache" json with
+    | Some (List rows) ->
+      List.iter
+        (fun row ->
+          match (str_opt (member "strategy" row), num_opt (member "hit_rate" row)) with
+          | Some name, Some v ->
+            let bad = v < floor in
+            if bad then incr failures;
+            Printf.printf "  %-48s %14s %14.2f %9s%s\n"
+              (Printf.sprintf "%s.cache.%s.hit_rate" label name)
+              (Printf.sprintf ">= %.0f%%" floor)
+              v ""
+              (if bad then "  << HIT-RATE FLOOR" else "")
+          | _ -> ())
+        rows
+    | _ -> ()
+  in
+  check_hit_floor "baseline" baseline_json 40.;
+  check_hit_floor "fresh" fresh_json 40.;
   print_newline ();
   if !failures > 0 then begin
     Printf.printf "FAIL: %d metric(s) regressed more than %.0f%% or broke the overhead gate\n"

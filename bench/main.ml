@@ -528,7 +528,10 @@ let bench_core ~jobs ~scale () =
       [ Service.full_replication; Service.fixed 50; Service.random_server 20;
         Service.round_robin 2; Service.hash 2 ]
   in
-  (* Updates/sec: one delete + one add per iteration. *)
+  (* Updates/sec: one delete + one add per iteration.  Same five
+     strategies as the lookup rows — FullReplication's update is the
+     paper's worst case (every add/delete touches all n servers), so
+     its row is the one a placement-path regression moves first. *)
   let update_iters = int_of_float (50_000. *. Float.min 1.0 (4. *. scale)) in
   let update_rows =
     List.map
@@ -544,7 +547,8 @@ let bench_core ~jobs ~scale () =
               done)
         in
         (Service.config_name config, float_of_int update_iters /. elapsed))
-      [ Service.fixed 50; Service.random_server 20; Service.round_robin 2; Service.hash 2 ]
+      [ Service.full_replication; Service.fixed 50; Service.random_server 20;
+        Service.round_robin 2; Service.hash 2 ]
   in
   (* Parallel-runner speedup: the full experiment registry at [scale],
      sequential vs [jobs] worker domains.  Identical tables either way;
@@ -591,13 +595,15 @@ let bench_core ~jobs ~scale () =
   Printf.sprintf
     "  \"benchmark\": \"core_throughput\",\n\
     \  \"params\": {\"n\": %d, \"h\": %d, \"t\": %d, \"scale\": %g, \"jobs\": %d, \
-     \"parallel_available\": %b},\n\
+     \"parallel_available\": %b, \"cores\": %d},\n\
     \  \"engine\": {\"events\": %d, \"events_per_sec\": %.0f},\n\
     \  \"lookups_per_sec\": [\n%s\n  ],\n\
     \  \"updates_per_sec\": [\n%s\n  ],\n\
     \  \"reproduction\": {\"scale\": %g, \"wall_clock_jobs1_sec\": %.3f, \
      \"wall_clock_jobsN_sec\": %.3f, \"jobs\": %d, \"speedup\": %.3f}"
-    n h t scale jobs Pool.parallel_available engine_events events_per_sec
+    n h t scale jobs Pool.parallel_available
+    (Pool.recommended_jobs ())
+    engine_events events_per_sec
     (strategy_rates lookup_rows) (strategy_rates update_rows) scale wall_j1 wall_jn jobs
     speedup
 
@@ -1037,12 +1043,222 @@ let bench_day ~smoke () =
   print_endline "(wrote BENCH_day.json)"
 
 (* ------------------------------------------------------------------ *)
+(* Part 9: client-cache benchmark -> BENCH_cache.json                  *)
+
+(* The client-side caching fast path, measured two ways.
+
+   Behaviourally: the production day re-run with the tuned+cache cell
+   (deterministic at seed 42, scale 0.25, like Part 8), per strategy —
+   hit rate, data-plane messages per lookup against the tuned client,
+   crowd-window p99 and stale reads — plus TTL and capacity sweeps of
+   the freshness-vs-traffic trade-off and one hotspot-adversarial cell
+   (focus 0.9 of all lookups on the worst-placed key), the cache's
+   hardest case.  check_regress gates hit_rate higher-is-better,
+   msgs_per_lookup and p99_cached_ms lower-is-better, and holds every
+   hit rate above an absolute floor.
+
+   Mechanically: raw Client_cache operation throughput — the hit fast
+   path at several capacities and a churn loop (expired miss + insert +
+   LRU eviction) — gated like any other rate. *)
+let bench_cache ~smoke () =
+  let scale = 0.25 in
+  let day ~cap ~ttl ~swr ~hotspot =
+    let cache = { E.Ctx.cache_cap = cap; cache_ttl = ttl; swr; hotspot } in
+    E.Exp_day.run (E.Ctx.v ~seed:42 ~scale ~cache ())
+  in
+  (* Per-cell extraction, as in Part 8. *)
+  let extract table =
+    let idx name =
+      match List.find_index (String.equal name) (Table.columns table) with
+      | Some i -> i
+      | None -> failwith ("bench_cache: missing column " ^ name)
+    in
+    let scell row i =
+      match List.nth row i with Table.S s -> s | c -> Table.cell_to_string c
+    in
+    let fcell row i =
+      match List.nth row i with
+      | Table.F f -> f
+      | _ -> failwith "bench_cache: expected a float cell"
+    in
+    let icell row i =
+      match List.nth row i with
+      | Table.I n -> n
+      | _ -> failwith "bench_cache: expected an int cell"
+    in
+    let s_i = idx "strategy" and c_i = idx "client" in
+    let p99_i = idx "crowd p99 ms" and stale_i = idx "stale" in
+    let mpl_i = idx "msgs/lookup" and hit_i = idx "hit %" in
+    List.map
+      (fun row ->
+        ( scell row s_i,
+          scell row c_i,
+          fcell row p99_i,
+          icell row stale_i,
+          fcell row mpl_i,
+          fcell row hit_i ))
+      (Table.rows table)
+  in
+  let cached rows = List.filter (fun (_, c, _, _, _, _) -> c = "tuned+cache") rows in
+  let mean f rows =
+    List.fold_left (fun acc r -> acc +. f r) 0. rows /. float_of_int (List.length rows)
+  in
+  let d = E.Ctx.default_cache in
+  let cap0 = d.E.Ctx.cache_cap and ttl0 = d.E.Ctx.cache_ttl and swr0 = d.E.Ctx.swr in
+  let base_table = day ~cap:cap0 ~ttl:ttl0 ~swr:swr0 ~hotspot:0. in
+  Table.print base_table;
+  let base = extract base_table in
+  let cache_rows =
+    String.concat ",\n"
+      (List.filter_map
+         (fun (s, c, p99c, stale, mplc, hit) ->
+           if c <> "tuned+cache" then None
+           else begin
+             let _, _, p99t, _, mplt, _ =
+               List.find (fun (s', c', _, _, _, _) -> s' = s && c' = "tuned") base
+             in
+             Some
+               (Printf.sprintf
+                  "    {\"strategy\": %S, \"hit_rate\": %.2f, \"msgs_per_lookup_tuned\": \
+                   %.3f, \"msgs_per_lookup\": %.3f, \"p99_tuned_ms\": %.2f, \
+                   \"p99_cached_ms\": %.2f, \"stale\": %d}"
+                  s hit mplt mplc p99t p99c stale)
+           end)
+         base)
+  in
+  (* Freshness-vs-traffic trade-off: stale reads bought per message
+     saved, as the TTL stretches past the update period. *)
+  let sweep_row rows =
+    ( mean (fun (_, _, _, _, _, h) -> h) rows,
+      mean (fun (_, _, _, _, m, _) -> m) rows,
+      List.fold_left (fun acc (_, _, _, st, _, _) -> acc + st) 0 rows )
+  in
+  let ttl_rows =
+    String.concat ",\n"
+      (List.map
+         (fun ttl ->
+           let hit, mpl, stale =
+             sweep_row (cached (extract (day ~cap:cap0 ~ttl ~swr:swr0 ~hotspot:0.)))
+           in
+           Printf.sprintf
+             "    {\"ttl\": %g, \"hit_rate\": %.2f, \"msgs_per_lookup\": %.3f, \
+              \"stale\": %d}"
+             ttl hit mpl stale)
+         [ 5.; 10.; 25.; 50. ])
+  in
+  let cap_rows =
+    String.concat ",\n"
+      (List.map
+         (fun cap ->
+           let hit, mpl, stale =
+             sweep_row (cached (extract (day ~cap ~ttl:ttl0 ~swr:swr0 ~hotspot:0.)))
+           in
+           Printf.sprintf
+             "    {\"cap\": %d, \"hit_rate\": %.2f, \"msgs_per_lookup\": %.3f, \
+              \"stale\": %d}"
+             cap hit mpl stale)
+         (* The day's Zipf working set inside one TTL is small, so the
+            LRU only binds at tiny capacities — sweep down to where
+            eviction visibly costs hits. *)
+         [ 2; 8; 128 ])
+  in
+  let hotspot_focus = 0.9 in
+  let hs = extract (day ~cap:cap0 ~ttl:ttl0 ~swr:swr0 ~hotspot:hotspot_focus) in
+  let hs_cached = cached hs in
+  let hs_tuned = List.filter (fun (_, c, _, _, _, _) -> c = "tuned") hs in
+  (* Raw Client_cache throughput: timed in 1000-op batches, over a
+     window long enough to drown the clock reads. *)
+  let min_elapsed = if smoke then 0.05 else 0.2 in
+  let bench_rate f =
+    f 0 (* warm *);
+    let t0 = Unix.gettimeofday () in
+    let batches = ref 0 in
+    while Unix.gettimeofday () -. t0 < min_elapsed do
+      f !batches;
+      incr batches
+    done;
+    1000. *. float_of_int !batches /. (Unix.gettimeofday () -. t0)
+  in
+  let result = Lookup_result.empty ~target:35 in
+  let waiter _ ~now:_ = () in
+  let fill c cap =
+    for k = 0 to cap - 1 do
+      match Client_cache.lookup c ~key:k ~now:0. ~waiter with
+      | Client_cache.Lead -> Client_cache.complete c ~key:k ~now:0. ~ok:true ~attempts:1 result
+      | _ -> ()
+    done
+  in
+  let hit_rate cap =
+    let c = Client_cache.create ~ttl:1e12 ~capacity:cap () in
+    fill c cap;
+    bench_rate (fun i ->
+        for j = 0 to 999 do
+          ignore (Client_cache.lookup c ~key:(((i * 1000) + j) mod cap) ~now:1. ~waiter)
+        done)
+  in
+  let churn_rate cap =
+    let c = Client_cache.create ~ttl:1. ~capacity:cap () in
+    let now = ref 0. in
+    bench_rate (fun _ ->
+        for j = 0 to 999 do
+          now := !now +. 2.;
+          let key = j mod (2 * cap) in
+          match Client_cache.lookup c ~key ~now:!now ~waiter with
+          | Client_cache.Lead ->
+            Client_cache.complete c ~key ~now:!now ~ok:true ~attempts:1 result
+          | _ -> ()
+        done)
+  in
+  let rate_rows =
+    List.map (fun cap -> (Printf.sprintf "hit@cap=%d" cap, hit_rate cap)) [ 8; 128; 1024 ]
+    @ [ ("churn@cap=128", churn_rate 128) ]
+  in
+  let summary = Table.create ~title:"client cache" ~columns:[ "metric"; "value" ] in
+  List.iter
+    (fun (name, v) ->
+      Table.add_row summary [ Table.S name; Table.S (Printf.sprintf "%.0f /s" v) ])
+    rate_rows;
+  Table.print summary;
+  let oc = open_out "BENCH_cache.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"client_cache\",\n\
+    \  \"params\": {\"scale\": %.2f, \"smoke\": %b, \"cap\": %d, \"ttl\": %g, \"swr\": \
+     %g},\n\
+    \  \"cache\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"ttl_sweep\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"capacity_sweep\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"hotspot\": {\"focus\": %.2f, \"hit_rate\": %.2f, \"p99_tuned_ms\": %.2f, \
+     \"p99_cached_ms\": %.2f},\n\
+    \  \"cached_lookups_per_sec\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    scale smoke cap0 ttl0 swr0 cache_rows ttl_rows cap_rows hotspot_focus
+    (mean (fun (_, _, _, _, _, h) -> h) hs_cached)
+    (mean (fun (_, _, p, _, _, _) -> p) hs_tuned)
+    (mean (fun (_, _, p, _, _, _) -> p) hs_cached)
+    (String.concat ",\n"
+       (List.map
+          (fun (name, v) -> Printf.sprintf "    {\"strategy\": %S, \"per_sec\": %.0f}" name v)
+          rate_rows));
+  close_out oc;
+  print_endline "(wrote BENCH_cache.json)"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let jobs = ref 0 in
   let smoke = ref false in
   let scale_only = ref false in
   let day_only = ref false in
+  let cache_only = ref false in
   Arg.parse
     [ ("-j", Arg.Set_int jobs, "JOBS worker domains for Parts 2 and 5 (0 = one per core)");
       ("--jobs", Arg.Set_int jobs, "JOBS same as -j");
@@ -1054,9 +1270,12 @@ let () =
        " run only Part 7 (the n=10..10k cluster-scale sweep -> BENCH_scale.json)");
       ("--day-only",
        Arg.Set day_only,
-       " run only Part 8 (the production-day chaos benchmark -> BENCH_day.json)") ]
+       " run only Part 8 (the production-day chaos benchmark -> BENCH_day.json)");
+      ("--cache-only",
+       Arg.Set cache_only,
+       " run only Part 9 (the client-cache benchmark -> BENCH_cache.json)") ]
     (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
-    "bench [-j JOBS] [--smoke] [--scale-only] [--day-only]";
+    "bench [-j JOBS] [--smoke] [--scale-only] [--day-only] [--cache-only]";
   let jobs = if !jobs = 0 then Pool.recommended_jobs () else !jobs in
   let t0 = Unix.gettimeofday () in
   if !scale_only then begin
@@ -1070,6 +1289,13 @@ let () =
     print_endline "=== Part 8: production-day chaos benchmark (BENCH_day.json) ===";
     print_newline ();
     bench_day ~smoke:!smoke ();
+    Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0);
+    exit 0
+  end;
+  if !cache_only then begin
+    print_endline "=== Part 9: client-cache benchmark (BENCH_cache.json) ===";
+    print_newline ();
+    bench_cache ~smoke:!smoke ();
     Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0);
     exit 0
   end;
@@ -1129,4 +1355,8 @@ let () =
   print_endline "=== Part 8: production-day chaos benchmark (BENCH_day.json) ===";
   print_newline ();
   bench_day ~smoke:!smoke ();
+  print_newline ();
+  print_endline "=== Part 9: client-cache benchmark (BENCH_cache.json) ===";
+  print_newline ();
+  bench_cache ~smoke:!smoke ();
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

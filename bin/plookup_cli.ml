@@ -127,6 +127,55 @@ let degrade_arg =
   in
   Arg.(value & opt (some float) None & info [ "degrade" ] ~docv:"FACTOR" ~doc)
 
+let cache_flag =
+  let doc =
+    "Client cache: add the tuned+cache cell to the production-day experiment — the \
+     tail-tolerant client in front of a TTL'd LRU with singleflight coalescing — and \
+     report messages per lookup and cache hit rate.  Implied by any other $(b,--cache-*) \
+     / $(b,--swr) / $(b,--hotspot) flag."
+  in
+  Arg.(value & flag & info [ "cache" ] ~doc)
+
+let cache_cap_arg =
+  let doc = "Client cache: LRU capacity in entries (default 128)." in
+  Arg.(value & opt (some int) None & info [ "cache-cap" ] ~docv:"N" ~doc)
+
+let cache_ttl_arg =
+  let doc =
+    "Client cache: entry freshness window in simulated ms (default 10, the day \
+     experiment's update period)."
+  in
+  Arg.(value & opt (some float) None & info [ "cache-ttl" ] ~docv:"MS" ~doc)
+
+let swr_arg =
+  let doc =
+    "Client cache: stale-while-revalidate window past the TTL — an expired entry this \
+     recent is served immediately while one probe refreshes it in the background \
+     (default 0, disabled)."
+  in
+  Arg.(value & opt (some float) None & info [ "swr" ] ~docv:"MS" ~doc)
+
+let hotspot_arg =
+  let doc =
+    "Hotspot-adversarial workload: aim this fraction of every cell's lookups at the \
+     strategy's worst-placed key instead of the Zipf draw (default 0, in [0, 1])."
+  in
+  Arg.(value & opt (some float) None & info [ "hotspot" ] ~docv:"F" ~doc)
+
+(* The day experiment's client-cache configuration: [None] (no cached
+   cell) unless some cache flag was given. *)
+let cache_config ~cache ~cache_cap ~cache_ttl ~swr ~hotspot =
+  match (cache, cache_cap, cache_ttl, swr, hotspot) with
+  | false, None, None, None, None -> None
+  | _ ->
+    let d = Experiments.Ctx.default_cache in
+    Some
+      { Experiments.Ctx.cache_cap =
+          Option.value cache_cap ~default:d.Experiments.Ctx.cache_cap;
+        cache_ttl = Option.value cache_ttl ~default:d.Experiments.Ctx.cache_ttl;
+        swr = Option.value swr ~default:d.Experiments.Ctx.swr;
+        hotspot = Option.value hotspot ~default:d.Experiments.Ctx.hotspot }
+
 (* The day experiment's overload configuration: [None] (its default,
    Ctx.default_overload) unless some overload flag was given. *)
 let overload_config ~capacity ~service_rate ~deadline ~hedge ~breaker ~degrade =
@@ -199,16 +248,17 @@ let repair_config ~repair ~grace ~period ~hint_ttl ~hint_cap =
 (* run subcommand *)
 let run_experiment ids seed scale jobs loss duplication jitter mttf mttr horizon repair
     grace period hint_ttl hint_cap capacity service_rate deadline hedge breaker degrade
-    csv plot =
+    cache cache_cap cache_ttl swr hotspot csv plot =
   match repair_config ~repair ~grace ~period ~hint_ttl ~hint_cap with
   | Error msg -> `Error (false, msg)
   | Ok repair -> (
   let overload =
     overload_config ~capacity ~service_rate ~deadline ~hedge ~breaker ~degrade
   in
+  let cache = cache_config ~cache ~cache_cap ~cache_ttl ~swr ~hotspot in
   match
     Experiments.Ctx.v ~seed ~scale ~jobs:(resolve_jobs jobs) ~loss ~duplication ~jitter
-      ?mttf ?mttr ?horizon ?repair ?overload ()
+      ?mttf ?mttr ?horizon ?repair ?overload ?cache ()
   with
   | exception Invalid_argument msg -> `Error (false, msg)
   | ctx ->
@@ -252,17 +302,18 @@ let run_cmd =
         $ duplication_arg $ jitter_arg $ mttf_arg $ mttr_arg $ horizon_arg $ repair_arg
         $ grace_arg $ repair_period_arg $ hint_ttl_arg $ hint_cap_arg $ capacity_arg
         $ service_rate_arg $ deadline_arg $ hedge_arg $ breaker_arg $ degrade_arg
+        $ cache_flag $ cache_cap_arg $ cache_ttl_arg $ swr_arg $ hotspot_arg
         $ csv_arg $ plot_arg))
 
 (* day subcommand: the production-day chaos experiment with its overload
    knobs front and center *)
 let day_experiment smoke seed scale jobs loss duplication jitter mttf mttr horizon repair
     grace period hint_ttl hint_cap capacity service_rate deadline hedge breaker degrade
-    csv plot =
+    cache cache_cap cache_ttl swr hotspot csv plot =
   let scale = if smoke then 0.05 else scale in
   run_experiment [ "day" ] seed scale jobs loss duplication jitter mttf mttr horizon
     repair grace period hint_ttl hint_cap capacity service_rate deadline hedge breaker
-    degrade csv plot
+    degrade cache cache_cap cache_ttl swr hotspot csv plot
 
 let day_cmd =
   let smoke =
@@ -285,6 +336,7 @@ let day_cmd =
         $ duplication_arg $ jitter_arg $ mttf_arg $ mttr_arg $ horizon_arg $ repair_arg
         $ grace_arg $ repair_period_arg $ hint_ttl_arg $ hint_cap_arg $ capacity_arg
         $ service_rate_arg $ deadline_arg $ hedge_arg $ breaker_arg $ degrade_arg
+        $ cache_flag $ cache_cap_arg $ cache_ttl_arg $ swr_arg $ hotspot_arg
         $ csv_arg $ plot_arg))
 
 (* list subcommand *)
@@ -596,7 +648,7 @@ let trace_cmd =
 
 let main_cmd =
   let doc = "partial lookup service — reproduction of Sun & Garcia-Molina (ICDCS 2003)" in
-  let info = Cmd.info "plookup" ~version:"1.7.0" ~doc in
+  let info = Cmd.info "plookup" ~version:"1.8.0" ~doc in
   Cmd.group info
     [ run_cmd; day_cmd; list_cmd; stars_cmd; strategies_cmd; demo_cmd; sweep_cmd;
       trace_cmd ]

@@ -272,8 +272,48 @@ let dedup_order order =
       end)
     order
 
+let make_state cluster engine ~latency ~timeout ~retries ~backoff ~wave ~t ~hedge
+    ~breaker ~jitter ~order k =
+  { cluster;
+    engine;
+    latency;
+    timeout;
+    retries_allowed = retries;
+    backoff;
+    wave;
+    target = t;
+    hedge;
+    breaker;
+    jitter;
+    seen = Hashtbl.create 32;
+    queue = dedup_order order;
+    inflight = 0;
+    contacted = 0;
+    attempts = 0;
+    retries = 0;
+    timeouts = 0;
+    duplicates = 0;
+    busies = 0;
+    hedges = 0;
+    breaker_skips = 0;
+    gave_up = false;
+    finished = false;
+    started_at = Engine.now engine;
+    k }
+
+let schedule_deadline st deadline =
+  match deadline with
+  | Some budget ->
+    ignore
+      (Engine.schedule_after st.engine ~delay:budget (fun _ ->
+           if not st.finished then begin
+             st.gave_up <- true;
+             finish st
+           end))
+  | None -> ()
+
 let lookup cluster engine ~latency ~timeout ?(retries = 0) ?(backoff = 2.) ?deadline
-    ?hedge ?breaker ?jitter ~order ?(wave = 1) ~t k =
+    ?hedge ?breaker ?jitter ?cache ~order ?(wave = 1) ~t k =
   if t <= 0 then invalid_arg "Async_client.lookup: t must be positive";
   if timeout <= 0. then invalid_arg "Async_client.lookup: timeout must be positive";
   if wave <= 0 then invalid_arg "Async_client.lookup: wave must be positive";
@@ -285,51 +325,69 @@ let lookup cluster engine ~latency ~timeout ?(retries = 0) ?(backoff = 2.) ?dead
   (match hedge with
   | Some d when d <= 0. -> invalid_arg "Async_client.lookup: hedge must be positive"
   | _ -> ());
-  let st =
-    { cluster;
-      engine;
-      latency;
-      timeout;
-      retries_allowed = retries;
-      backoff;
-      wave;
-      target = t;
-      hedge;
-      breaker;
-      jitter;
-      seen = Hashtbl.create 32;
-      queue = dedup_order order;
-      inflight = 0;
-      contacted = 0;
-      attempts = 0;
-      retries = 0;
-      timeouts = 0;
-      duplicates = 0;
-      busies = 0;
-      hedges = 0;
-      breaker_skips = 0;
-      gave_up = false;
-      finished = false;
-      started_at = Engine.now engine;
-      k }
-  in
-  (match deadline with
-  | Some budget ->
+  match cache with
+  | None ->
+    let st =
+      make_state cluster engine ~latency ~timeout ~retries ~backoff ~wave ~t ~hedge
+        ~breaker ~jitter ~order k
+    in
+    schedule_deadline st deadline;
+    (* Launch lazily from the engine so the caller can schedule lookups
+       "now" before running the engine. *)
+    ignore (Engine.schedule_after engine ~delay:0. (fun _ -> pump st))
+  | Some (c, key) ->
+    (* The cache is consulted at launch time (engine time), so the
+       verdict reflects every probe already in flight.  Cache-served
+       lookups contact no server, draw nothing and schedule nothing:
+       their outcome carries zero attempts and the leader's result. *)
     ignore
-      (Engine.schedule_after engine ~delay:budget (fun _ ->
-           if not st.finished then begin
-             st.gave_up <- true;
-             finish st
-           end))
-  | None -> ());
-  (* Launch lazily from the engine so the caller can schedule lookups
-     "now" before running the engine. *)
-  ignore (Engine.schedule_after engine ~delay:0. (fun _ -> pump st))
+      (Engine.schedule_after engine ~delay:0. (fun _ ->
+           let started_at = Engine.now engine in
+           let served result ~now =
+             k
+               { result;
+                 started_at;
+                 completed_at = now;
+                 attempts = 0;
+                 retries = 0;
+                 timeouts = 0;
+                 duplicates = 0;
+                 busies = 0;
+                 hedges = 0;
+                 breaker_skips = 0;
+                 gave_up = false }
+           in
+           let probe k =
+             let st =
+               make_state cluster engine ~latency ~timeout ~retries ~backoff ~wave ~t
+                 ~hedge ~breaker ~jitter ~order k
+             in
+             schedule_deadline st deadline;
+             pump st
+           in
+           let complete (o : outcome) =
+             Client_cache.complete c ~key ~now:(Engine.now engine)
+               ~ok:((not o.gave_up) && Lookup_result.satisfied o.result)
+               ~attempts:o.attempts o.result
+           in
+           match Client_cache.lookup c ~key ~now:started_at ~waiter:served with
+           | Client_cache.Hit r | Client_cache.Stale_wait r -> served r ~now:started_at
+           | Client_cache.Join -> ()
+           | Client_cache.Lead ->
+             probe (fun o ->
+                 complete o;
+                 k o)
+           | Client_cache.Stale r ->
+             (* Stale-while-revalidate: the caller is answered from the
+                cache immediately; the probe runs on in the background
+                and only refreshes the entry (and any waiters). *)
+             served r ~now:started_at;
+             probe complete))
 
 let lookup_random_order cluster engine ~latency ~timeout ?retries ?backoff ?deadline
-    ?hedge ?breaker ?jitter ?wave ~t k =
+    ?hedge ?breaker ?jitter ?cache ?wave ~t k =
   let order =
     Array.to_list (Plookup_util.Rng.perm (Cluster.rng cluster) (Cluster.n cluster))
   in
   lookup cluster engine ~latency ~timeout ?retries ?backoff ?deadline ?hedge ?breaker
-    ?jitter ~order ?wave ~t k
+    ?jitter ?cache ~order ?wave ~t k

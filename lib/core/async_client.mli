@@ -85,6 +85,7 @@ val lookup :
   ?hedge:float ->
   ?breaker:Breaker.t ->
   ?jitter:Plookup_util.Rng.t ->
+  ?cache:Client_cache.t * int ->
   order:int list ->
   ?wave:int ->
   t:int ->
@@ -121,7 +122,16 @@ val lookup :
     - [jitter]: an RNG for decorrelated retry jitter — each retry's
       timeout is drawn uniformly from [[timeout, 3 * previous]] instead
       of the deterministic exponential [backoff], so synchronized
-      clients spread their retries instead of storming in lockstep. *)
+      clients spread their retries instead of storming in lockstep.
+    - [cache]: a shared {!Client_cache.t} and this lookup's cache key.
+      The cache is consulted at launch time: a fresh hit (or a stale
+      one inside the cache's stale-while-revalidate window) answers the
+      callback immediately with an outcome of zero [attempts] and zero
+      [servers_contacted]; a lookup arriving while another lookup for
+      the same key is probing {e joins} it (singleflight) and receives
+      that probe's merged result; only a true miss probes the servers,
+      and its result refreshes the cache for everyone.  Probes that do
+      run draw and schedule exactly as without the cache. *)
 
 val lookup_random_order :
   Cluster.t ->
@@ -134,6 +144,7 @@ val lookup_random_order :
   ?hedge:float ->
   ?breaker:Breaker.t ->
   ?jitter:Plookup_util.Rng.t ->
+  ?cache:Client_cache.t * int ->
   ?wave:int ->
   t:int ->
   (outcome -> unit) ->

@@ -10,6 +10,18 @@ type overload = {
 let default_overload =
   { capacity = 8; service_rate = 2.0; deadline = 250.; hedge = 95.; breaker = 3; degrade = 25. }
 
+type cache = { cache_cap : int; cache_ttl : float; swr : float; hotspot : float }
+
+(* TTL defaults to the day experiment's update period: one delete+add
+   cycle is how long a cached answer stays plausibly fresh. *)
+let default_cache = { cache_cap = 128; cache_ttl = 10.; swr = 0.; hotspot = 0. }
+
+let check_cache c =
+  if c.cache_cap < 1 then invalid_arg "Ctx: cache-cap must be >= 1";
+  if c.cache_ttl <= 0. then invalid_arg "Ctx: cache-ttl must be positive";
+  if c.swr < 0. then invalid_arg "Ctx: swr must be non-negative";
+  if c.hotspot < 0. || c.hotspot > 1. then invalid_arg "Ctx: hotspot must be in [0, 1]"
+
 let check_overload o =
   if o.capacity < 1 then invalid_arg "Ctx: capacity must be >= 1";
   if o.service_rate <= 0. then invalid_arg "Ctx: service-rate must be positive";
@@ -30,6 +42,7 @@ type t = {
   horizon : float option;
   repair : Plookup.Repair.config option;
   overload : overload option;
+  cache : cache option;
   obs : Plookup_obs.Obs.t;
 }
 
@@ -45,10 +58,11 @@ let default =
     horizon = None;
     repair = None;
     overload = None;
+    cache = None;
     obs = Plookup_obs.Obs.create () }
 
 let v ?(seed = 42) ?(scale = 1.0) ?(jobs = 1) ?(loss = 0.) ?(duplication = 0.)
-    ?(jitter = 0.) ?mttf ?mttr ?horizon ?repair ?overload ?obs () =
+    ?(jitter = 0.) ?mttf ?mttr ?horizon ?repair ?overload ?cache ?obs () =
   if scale <= 0. then invalid_arg "Ctx.v: scale must be positive";
   if jobs < 1 then invalid_arg "Ctx.v: jobs must be at least 1";
   if loss < 0. || loss >= 1. then invalid_arg "Ctx.v: loss must be in [0, 1)";
@@ -63,8 +77,21 @@ let v ?(seed = 42) ?(scale = 1.0) ?(jobs = 1) ?(loss = 0.) ?(duplication = 0.)
   positive "mttr" mttr;
   positive "horizon" horizon;
   Option.iter check_overload overload;
+  Option.iter check_cache cache;
   let obs = match obs with Some o -> o | None -> Plookup_obs.Obs.create () in
-  { seed; scale; jobs; loss; duplication; jitter; mttf; mttr; horizon; repair; overload; obs }
+  { seed;
+    scale;
+    jobs;
+    loss;
+    duplication;
+    jitter;
+    mttf;
+    mttr;
+    horizon;
+    repair;
+    overload;
+    cache;
+    obs }
 
 let faulty t = t.loss > 0. || t.duplication > 0. || t.jitter > 0.
 

@@ -28,6 +28,24 @@ val default_overload : overload
 (** capacity 8, service_rate 2.0, deadline 250, hedge p95, breaker 3,
     degrade 25x. *)
 
+type cache = {
+  cache_cap : int;  (** LRU capacity of the client-side cache, >= 1 *)
+  cache_ttl : float;  (** entry freshness window (time units), > 0 *)
+  swr : float;  (** stale-while-revalidate window past the TTL, >= 0 *)
+  hotspot : float;
+      (** hotspot-adversarial blend: fraction of lookups aimed at the
+          strategy's worst-placed key instead of the Zipf draw, in
+          [0, 1] ({!Plookup_workload.Hotspot}) *)
+}
+(** Client-cache knobs for the production-day experiment's third cell
+    ({!Plookup.Client_cache}).  [None] in the context means the cached
+    cell (and its extra report columns) is not run at all, keeping the
+    default [day] output byte-identical to the cache-free build. *)
+
+val default_cache : cache
+(** cap 128, ttl 10 (the day experiment's update period — one
+    delete+add cycle), swr 0, hotspot 0. *)
+
 type t = {
   seed : int;
   scale : float;
@@ -46,6 +64,9 @@ type t = {
   overload : overload option;
       (** overload-model knobs for the production-day experiment;
           [None] = experiment default ({!default_overload}) *)
+  cache : cache option;
+      (** client-cache knobs for the production-day experiment's cached
+          cell; [None] = no cached cell *)
   obs : Plookup_obs.Obs.t;
       (** where the experiment's services report: replicate work gets a
           child handle and is merged back in input order
@@ -72,6 +93,7 @@ val v :
   ?horizon:float ->
   ?repair:Plookup.Repair.config ->
   ?overload:overload ->
+  ?cache:cache ->
   ?obs:Plookup_obs.Obs.t ->
   unit ->
   t

@@ -3,6 +3,7 @@ open Plookup_store
 open Plookup_util
 module Engine = Plookup_sim.Engine
 module Churn = Plookup_workload.Churn
+module Hotspot = Plookup_workload.Hotspot
 module Net = Plookup_net.Net
 module Metrics = Plookup_obs.Metrics
 
@@ -12,9 +13,9 @@ let title =
   "Extension: a production day under overload, naive vs tail-tolerant clients (flash \
    crowd, gray failure, churn)"
 
-type mode = Naive | Tuned
+type mode = Naive | Tuned | Cached
 
-let mode_name = function Naive -> "naive" | Tuned -> "tuned"
+let mode_name = function Naive -> "naive" | Tuned -> "tuned" | Cached -> "tuned+cache"
 
 type tally = {
   mutable lookups : int;
@@ -32,6 +33,9 @@ type cell_result = {
   p50 : float;
   p99_crowd : float;
   p999_crowd : float;
+  msgs_per_lookup : float;
+      (* data-plane requests per lookup, background cache refreshes included *)
+  hit_pct : float;  (* lookups answered without their own probe fan-out *)
 }
 
 (* One simulated day of one strategy under one client/server discipline.
@@ -49,9 +53,14 @@ type cell_result = {
    retry with plain exponential backoff.  Tuned cells shed with the
    [Busy] fast nack and run the tail-tolerant client: deadline budget,
    hedged backups at the cell's own observed latency quantile, a shared
-   per-server circuit breaker, and decorrelated retry jitter. *)
+   per-server circuit breaker, and decorrelated retry jitter.  Cached
+   cells are the tuned client plus a shared {!Client_cache} keyed by
+   rank; when the cache config's [hotspot] blend is on, every mode aims
+   that fraction of its lookups at the strategy's worst-placed key
+   ({!Plookup_workload.Hotspot}), so the three cells still face the
+   identical workload. *)
 let run_cell ctx ~obs ~n ~h ~t ~keys ~alpha ~rtt_lo ~rtt_hi ~timeout ~base_rate ~mttf
-    ~mttr ~horizon ~update_every ~repair ~ov ~mode config =
+    ~mttr ~horizon ~update_every ~repair ~ov ~cache ~mode config =
   let seed = Ctx.run_seed ctx (Hashtbl.hash (Service.config_name config)) in
   let service = Service.create ~seed ~obs ~repair ~n config in
   let gen = Entry.Gen.create () in
@@ -125,6 +134,18 @@ let run_cell ctx ~obs ~n ~h ~t ~keys ~alpha ~rtt_lo ~rtt_hi ~timeout ~base_rate 
     Array.init (keys + 1) (fun r ->
         Array.to_list (Rng.perm (Rng.create (seed + (7919 * (r + 1)))) n))
   in
+  (* Hotspot-adversarial blend: a [hotspot] fraction of lookups targets
+     the rank whose probe order is worst placed for this strategy's
+     initial placement.  Off ([hs = 0]) makes no extra draws, so the
+     default day is untouched. *)
+  let hs = match cache with Some c -> c.Ctx.hotspot | None -> 0. in
+  let worst_rank =
+    if hs > 0. then begin
+      let held = Array.init n (fun s -> Server_store.cardinal (Cluster.store cluster s)) in
+      Hotspot.worst ~lo:1 ~orders ~held ~t ()
+    end
+    else 0
+  in
   let labels =
     [ ("strategy", Service.config_name config); ("mode", mode_name mode) ]
   in
@@ -171,25 +192,46 @@ let run_cell ctx ~obs ~n ~h ~t ~keys ~alpha ~rtt_lo ~rtt_hi ~timeout ~base_rate 
     let flash = if in_crowd tau then 6. else 1. in
     base_rate *. diurnal *. flash
   in
-  let launch order _ =
+  let ccache =
+    match mode with
+    | Cached ->
+      let cc = Option.value cache ~default:Ctx.default_cache in
+      Some
+        (Client_cache.create ~obs ~ttl:cc.Ctx.cache_ttl ~swr:cc.Ctx.swr
+           ~capacity:cc.Ctx.cache_cap ())
+    | Naive | Tuned -> None
+  in
+  (* The hedge delay self-tunes: the configured quantile of the cell's
+     own latency so far, once enough samples exist. *)
+  let hedge_delay () =
+    if Metrics.histogram_count hist_all < 30 then 2. *. rtt_hi
+    else Float.max (rtt_hi /. 2.) (Metrics.histogram_quantile hist_all ov.Ctx.hedge)
+  in
+  let launch rank _ =
+    let order = orders.(rank) in
     match mode with
     | Naive ->
       Async_client.lookup cluster engine ~latency ~timeout ~retries:2 ~order ~t record
     | Tuned ->
-      (* The hedge delay self-tunes: the configured quantile of the
-         cell's own latency so far, once enough samples exist. *)
-      let hedge =
-        if Metrics.histogram_count hist_all < 30 then 2. *. rtt_hi
-        else Float.max (rtt_hi /. 2.) (Metrics.histogram_quantile hist_all ov.Ctx.hedge)
-      in
       Async_client.lookup cluster engine ~latency ~timeout ~retries:2
-        ~deadline:ov.Ctx.deadline ~hedge ~breaker ~jitter:jitter_rng ~order ~t record
+        ~deadline:ov.Ctx.deadline ~hedge:(hedge_delay ()) ~breaker ~jitter:jitter_rng
+        ~order ~t record
+    | Cached ->
+      Async_client.lookup cluster engine ~latency ~timeout ~retries:2
+        ~deadline:ov.Ctx.deadline ~hedge:(hedge_delay ()) ~breaker ~jitter:jitter_rng
+        ?cache:(Option.map (fun c -> (c, rank)) ccache) ~order ~t record
+  in
+  let draw_rank () =
+    if hs > 0. then
+      Hotspot.draw key_rng ~focus:hs ~worst:worst_rank
+        ~rest:(fun rng -> Dist.zipf_ranks rng ~n:keys ~alpha)
+    else Dist.zipf_ranks key_rng ~n:keys ~alpha
   in
   let rec arrivals tau =
     let tau = tau +. Dist.poisson_interarrival arr_rng ~rate:(rate_at tau) in
     if tau < horizon then begin
-      let rank = Dist.zipf_ranks key_rng ~n:keys ~alpha in
-      ignore (Engine.schedule_at engine ~time:tau (launch orders.(rank)));
+      let rank = draw_rank () in
+      ignore (Engine.schedule_at engine ~time:tau (launch rank));
       arrivals tau
     end
   in
@@ -203,12 +245,26 @@ let run_cell ctx ~obs ~n ~h ~t ~keys ~alpha ~rtt_lo ~rtt_hi ~timeout ~base_rate 
     if total = 0 then 1.
     else float_of_int peak /. (float_of_int total /. float_of_int n)
   in
+  let refresh_sends, hit_pct =
+    match ccache with
+    | None -> (0, 0.)
+    | Some c ->
+      let s = Client_cache.stats c in
+      ( s.Client_cache.refresh_sends,
+        100.
+        *. float_of_int
+             (s.Client_cache.hits + s.Client_cache.stale_served + s.Client_cache.coalesced)
+        /. float_of_int (max 1 tally.lookups) )
+  in
   { tally;
     shed = Cluster.messages_shed cluster;
     skew;
     p50 = Metrics.histogram_quantile hist_all 50.;
     p99_crowd = Metrics.histogram_quantile hist_crowd 99.;
-    p999_crowd = Metrics.histogram_quantile hist_crowd 99.9 }
+    p999_crowd = Metrics.histogram_quantile hist_crowd 99.9;
+    msgs_per_lookup =
+      float_of_int (tally.sends + refresh_sends) /. float_of_int (max 1 tally.lookups);
+    hit_pct }
 
 let run ?(n = 10) ?(h = 100) ?(budget = 200) ?(t = 35) ?(keys = 50) ?(alpha = 1.1)
     ?(rtt_lo = 5.) ?(rtt_hi = 50.) ?(base_rate = 1.0) ?(mttf = 250.) ?(mttr = 20.)
@@ -219,20 +275,25 @@ let run ?(n = 10) ?(h = 100) ?(budget = 200) ?(t = 35) ?(keys = 50) ?(alpha = 1.
   let horizon = float_of_int (Ctx.scaled ctx (int_of_float horizon)) in
   let repair = Option.value ctx.Ctx.repair ~default:Repair.default_config in
   let ov = Option.value ctx.Ctx.overload ~default:Ctx.default_overload in
+  let cache = ctx.Ctx.cache in
   let timeout = 2. *. rtt_hi in
+  (* The cached cell and its two extra columns exist only when the
+     context carries a cache config, so the default day table stays
+     byte-identical to the cache-free build. *)
   let table =
     Table.create ~title
       ~columns:
-        [ "strategy";
-          "client";
-          "success %";
-          "p50 ms";
-          "crowd p99 ms";
-          "crowd p999 ms";
-          "skew";
-          "shed %";
-          "hedge %";
-          "stale" ]
+        ([ "strategy";
+           "client";
+           "success %";
+           "p50 ms";
+           "crowd p99 ms";
+           "crowd p999 ms";
+           "skew";
+           "shed %";
+           "hedge %";
+           "stale" ]
+        @ (if cache = None then [] else [ "msgs/lookup"; "hit %" ]))
   in
   let configs =
     (* Every registered strategy, Fixed-x overridden as in the churn
@@ -246,9 +307,10 @@ let run ?(n = 10) ?(h = 100) ?(budget = 200) ?(t = 35) ?(keys = 50) ?(alpha = 1.
      strategy share the seed derived from the strategy name, so naive
      and tuned face the identical day: same arrivals, same key
      popularity, same churn, same degradation. *)
+  let modes = if cache = None then [ Naive; Tuned ] else [ Naive; Tuned; Cached ] in
   let cells =
     Array.of_list
-      (List.concat_map (fun config -> [ (config, Naive); (config, Tuned) ]) configs)
+      (List.concat_map (fun config -> List.map (fun m -> (config, m)) modes) configs)
   in
   let measured =
     Runner.map_obs ctx ~count:(Array.length cells) (fun i ~obs ->
@@ -256,21 +318,22 @@ let run ?(n = 10) ?(h = 100) ?(budget = 200) ?(t = 35) ?(keys = 50) ?(alpha = 1.
         ( config,
           mode,
           run_cell ctx ~obs ~n ~h ~t ~keys ~alpha ~rtt_lo ~rtt_hi ~timeout ~base_rate
-            ~mttf ~mttr ~horizon ~update_every ~repair ~ov ~mode config ))
+            ~mttf ~mttr ~horizon ~update_every ~repair ~ov ~cache ~mode config ))
   in
   Array.iter
     (fun (config, mode, r) ->
       let pct num den = 100. *. float_of_int num /. float_of_int (max 1 den) in
       Table.add_row table
-        [ Table.S (Service.config_name config);
-          Table.S (mode_name mode);
-          Table.F (pct r.tally.satisfied r.tally.lookups);
-          Table.F r.p50;
-          Table.F r.p99_crowd;
-          Table.F r.p999_crowd;
-          Table.F r.skew;
-          Table.F (pct r.shed r.tally.sends);
-          Table.F (pct r.tally.hedges r.tally.sends);
-          Table.I r.tally.stale ])
+        ([ Table.S (Service.config_name config);
+           Table.S (mode_name mode);
+           Table.F (pct r.tally.satisfied r.tally.lookups);
+           Table.F r.p50;
+           Table.F r.p99_crowd;
+           Table.F r.p999_crowd;
+           Table.F r.skew;
+           Table.F (pct r.shed r.tally.sends);
+           Table.F (pct r.tally.hedges r.tally.sends);
+           Table.I r.tally.stale ]
+        @ (if cache = None then [] else [ Table.F r.msgs_per_lookup; Table.F r.hit_pct ])))
     measured;
   table

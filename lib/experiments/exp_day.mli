@@ -18,7 +18,14 @@
     - {e tuned}: [Busy] fast-nack shedding plus the tail-tolerant
       client — deadline budget, hedged backups at the cell's own
       observed latency quantile, shared per-server circuit breaker,
-      decorrelated retry jitter.
+      decorrelated retry jitter;
+    - {e tuned+cache} (only when the context carries a {!Ctx.cache}
+      config): the tuned client plus a shared {!Plookup.Client_cache} —
+      TTL'd LRU keyed by rank with singleflight coalescing, optional
+      stale-while-revalidate.  The cache config's [hotspot] knob blends
+      a hotspot-adversarial access pattern
+      ({!Plookup_workload.Hotspot}) into {e every} cell's key draw, so
+      the comparison stays apples-to-apples.
 
     Reported per cell: lookup success rate (counting only live
     entries), whole-day p50 and flash-crowd p99/p999 latency (from the
@@ -26,7 +33,10 @@
     {!Plookup_obs.Metrics.histogram_quantile}), per-server load skew
     (peak/mean messages received), shed and hedge rates as a percent of
     data-plane sends, and stale reads (entries returned after their
-    delete time). *)
+    delete time).  With the cached cell enabled, two more columns:
+    data-plane messages per lookup (background cache refreshes
+    included) and cache-served lookup rate (hits + stale serves +
+    singleflight joins). *)
 
 val id : string
 val title : string
