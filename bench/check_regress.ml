@@ -11,6 +11,8 @@
      day_runs_per_sec[].per_sec       (BENCH_day.json)
      cached_lookups_per_sec[].per_sec (BENCH_cache.json raw cache ops)
      cache[].hit_rate                 (BENCH_cache.json, per strategy)
+     shard_events_per_sec[].per_sec   (BENCH_parallel.json, keyed
+                                       "n=SIZE w=WORKERS")
      instrumentation.*_per_sec_*      (when present in both files)
 
    Tail-latency metrics gated (lower is better — a GROWTH beyond the
@@ -24,7 +26,14 @@
    Wall-clock and speedup fields are reported for context but not
    gated — they measure the CI machine as much as the code.  Metrics
    present in only one file are reported and skipped, so the gate
-   tolerates baseline refreshes that add or drop rows.
+   tolerates baseline refreshes that add or drop rows — but silently:
+   a fresh run that stopped producing most of its metrics (a renamed
+   JSON key, a benchmark that bailed early) used to sail through as
+   all-"gone".  Skipped baseline metrics are therefore summarised at
+   the end, and the gate fails when more than --max-missing (a
+   fraction, default 0.5) of them vanished.  Smoke runs legitimately
+   drop the large-n rows of the scale and parallel sweeps, which stays
+   under the default; wholesale disappearance does not.
 
    Absolute hit-rate floor: every cache[].hit_rate must clear 40% in
    both files — the claim that the cache absorbs the flash crowd is an
@@ -243,6 +252,10 @@ let throughput_metrics json =
   rate_array "day_runs_per_sec";
   (* BENCH_cache.json: raw Client_cache operation rates... *)
   rate_array "cached_lookups_per_sec";
+  (* BENCH_parallel.json: domain-sharded simulation events/s, keyed
+     "n=SIZE w=WORKERS".  The w=1 rows gate the windowed driver's
+     sequential overhead; the w>1 rows gate the parallel path itself. *)
+  rate_array "shard_events_per_sec";
   (* ...and the tuned+cache day cell per strategy: hit rate must not
      drop, data-plane traffic and the crowd tail must not grow. *)
   (match member "cache" json with
@@ -312,13 +325,18 @@ let read_file path =
 
 let () =
   let threshold = ref 0.30 in
+  let max_missing = ref 0.5 in
   let paths = ref [] in
   Arg.parse
     [ ( "--threshold",
         Arg.Set_float threshold,
-        "FRACTION maximum tolerated throughput drop (default 0.30)" ) ]
+        "FRACTION maximum tolerated throughput drop (default 0.30)" );
+      ( "--max-missing",
+        Arg.Set_float max_missing,
+        "FRACTION maximum fraction of baseline metrics allowed to be missing from \
+         the fresh run (default 0.5)" ) ]
     (fun p -> paths := p :: !paths)
-    "check_regress [--threshold F] BASELINE.json FRESH.json";
+    "check_regress [--threshold F] [--max-missing F] BASELINE.json FRESH.json";
   let baseline_path, fresh_path =
     match List.rev !paths with
     | [ b; f ] -> (b, f)
@@ -345,13 +363,16 @@ let () =
     baseline_path fresh_path (100. *. !threshold) (100. *. !threshold);
   Printf.printf "  %-48s %14s %14s %9s\n" "metric" "baseline" "fresh" "delta %";
   let failures = ref 0 in
+  let missing = ref [] in
   let lookup name rows =
     List.find_map (fun (n, v, _) -> if n = name then Some v else None) rows
   in
   List.iter
     (fun (name, base, dir) ->
       match lookup name fresh with
-      | None -> Printf.printf "  %-48s %14.0f %14s %9s\n" name base "-" "gone"
+      | None ->
+        missing := name :: !missing;
+        Printf.printf "  %-48s %14.0f %14s %9s\n" name base "-" "gone"
       | Some now ->
         let delta = if base > 0. then 100. *. ((now /. base) -. 1.) else 0. in
         let verdict =
@@ -411,9 +432,33 @@ let () =
   in
   check_hit_floor "baseline" baseline_json 40.;
   check_hit_floor "fresh" fresh_json 40.;
+  (* Skipped-metric gate (see header): each "gone" row above was a
+     baseline metric the fresh run never produced, so it was compared
+     against nothing.  A bounded number of them is routine (smoke runs
+     drop the large-n sweep rows); most of the file vanishing means the
+     fresh run is not measuring what the baseline measured, and the
+     comparison above proved nothing. *)
+  let gone = List.rev !missing in
+  let total = List.length baseline in
+  (match gone with
+  | [] -> ()
+  | _ ->
+    let frac = float_of_int (List.length gone) /. float_of_int (max 1 total) in
+    Printf.printf "\n  skipped (in baseline, missing from fresh): %d of %d metric(s) \
+                   (%.0f%%, limit %.0f%%)\n"
+      (List.length gone) total (100. *. frac) (100. *. !max_missing);
+    List.iter (fun name -> Printf.printf "    - %s\n" name) gone;
+    if frac > !max_missing then begin
+      incr failures;
+      Printf.printf "  << MISSING: the fresh run lost %.0f%% of the baseline's metrics \
+                     (--max-missing %.2f)\n"
+        (100. *. frac) !max_missing
+    end);
   print_newline ();
   if !failures > 0 then begin
-    Printf.printf "FAIL: %d metric(s) regressed more than %.0f%% or broke the overhead gate\n"
+    Printf.printf
+      "FAIL: %d check(s) failed — a metric regressed more than %.0f%%, broke an \
+       absolute gate, or too many baseline metrics went missing\n"
       !failures (100. *. !threshold);
     exit 1
   end

@@ -1,0 +1,237 @@
+open Plookup_store
+open Plookup_util
+module Engine = Plookup_sim.Engine
+module Shard = Plookup_sim.Shard
+module Net = Plookup_net.Net
+module Churn = Plookup_workload.Churn
+
+let stripes = 4
+let replicas = 3
+let intra = 1.0
+let lookahead = 5.0
+
+type stripe_tally = {
+  stripe : int;
+  lookups : int;
+  found : int;
+  failed : int;
+  local_probes : int;
+  cross_probes : int;
+  probes_served : int;
+  fallbacks : int;
+  final_up : int;
+}
+
+type result = {
+  n : int;
+  entries : int;
+  events : int;
+  lookups : int;
+  found : int;
+  failed : int;
+  probes : int;
+  per_stripe : stripe_tally array;
+}
+
+type tally = {
+  mutable t_lookups : int;
+  mutable t_found : int;
+  mutable t_failed : int;
+  mutable t_local : int;
+  mutable t_cross : int;
+  mutable t_served : int;
+  mutable t_fallbacks : int;
+}
+
+type msg =
+  | Probe of { key : int; attempt : int; home : int; srv : int }
+  | Reply of { key : int; attempt : int; found : bool }
+
+(* Deterministic hash placement: candidate [a] of entry [key], as a
+   function of the run seed only — every stripe computes the same
+   candidate list without sharing state. *)
+let candidate ~seed ~n key a =
+  Int64.to_int (Rng.mix64 (Int64.of_int ((seed lxor 0x9E3779B9) + (key * 8) + a)))
+  land max_int mod n
+
+let exp_draw rng lambda = -.log (1. -. Rng.unit_float rng) /. lambda
+
+let to_string r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "n=%d entries=%d events=%d lookups=%d found=%d failed=%d probes=%d"
+       r.n r.entries r.events r.lookups r.found r.failed r.probes);
+  Array.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf " | s%d l=%d f=%d x=%d lp=%d cp=%d sv=%d fb=%d up=%d" s.stripe
+           s.lookups s.found s.failed s.local_probes s.cross_probes s.probes_served
+           s.fallbacks s.final_up))
+    r.per_stripe;
+  Buffer.contents b
+
+let run ?gang ?(workers = 1) ?mttf ?mttr ~n ~entries ~rate ~horizon ~seed () =
+  if n < 1 then invalid_arg "Shard_sim.run: n must be at least 1";
+  if entries < 1 then invalid_arg "Shard_sim.run: entries must be at least 1";
+  if rate <= 0. then invalid_arg "Shard_sim.run: rate must be positive";
+  if horizon <= 0. then invalid_arg "Shard_sim.run: horizon must be positive";
+  if workers < 1 then invalid_arg "Shard_sim.run: workers must be at least 1";
+  let mttf = match mttf with Some x -> x | None -> horizon /. 2. in
+  let mttr = match mttr with Some x -> x | None -> horizon /. 10. in
+  let shard = Shard.create ~shards:stripes ~lookahead () in
+  (* One net per stripe: stripe [s] is authoritative for its own
+     servers' up state (only its churn stream fails/recovers them) and
+     answers its own fallback picks from the stripe-local Fenwick
+     view.  The nets never carry messages — cross-stripe traffic goes
+     through [Shard.send]. *)
+  let nets =
+    Array.init stripes (fun _ ->
+        let (net : (unit, unit) Net.t) = Net.create ~n () in
+        Net.attach_stripe_views net ~stripes;
+        net)
+  in
+  let stores = Array.init n (fun _ -> Server_store.create ()) in
+  let entry_of = Array.init entries (fun j -> Entry.v j) in
+  (* Placement on the coordinating domain, before any domain exists. *)
+  for j = 0 to entries - 1 do
+    for a = 0 to replicas - 1 do
+      ignore (Server_store.add stores.(candidate ~seed ~n j a) entry_of.(j))
+    done
+  done;
+  let tallies =
+    Array.init stripes (fun _ ->
+        { t_lookups = 0;
+          t_found = 0;
+          t_failed = 0;
+          t_local = 0;
+          t_cross = 0;
+          t_served = 0;
+          t_fallbacks = 0 })
+  in
+  (* Per-stripe RNG streams derived from the run seed + stripe id +
+     purpose tag, so the draw sequences are independent of worker
+     count and of each other. *)
+  let derive tag s =
+    Int64.to_int (Rng.mix64 (Int64.of_int ((seed * 1_000_003) + (tag * 97) + s)))
+    land max_int
+  in
+  let rngs = Array.init stripes (fun s -> Rng.create (derive 1 s)) in
+  let up_in_stripe s srv = Net.is_up nets.(s) srv in
+  let has_entry srv key = Server_store.mem stores.(srv) entry_of.(key) in
+  let rec next_attempt s key attempt =
+    let eng = Shard.engine shard s in
+    let tal = tallies.(s) in
+    if attempt < replicas then begin
+      let srv = candidate ~seed ~n key attempt in
+      let d = Net.stripe_of nets.(s) srv in
+      if d = s then begin
+        tal.t_local <- tal.t_local + 1;
+        ignore
+          (Engine.schedule_after eng ~delay:(2. *. intra) (fun _ ->
+               if up_in_stripe s srv && has_entry srv key then
+                 tal.t_found <- tal.t_found + 1
+               else next_attempt s key (attempt + 1)))
+      end
+      else begin
+        tal.t_cross <- tal.t_cross + 1;
+        Shard.send shard ~src:s ~dst:d
+          ~time:(Engine.now eng +. lookahead)
+          (Probe { key; attempt; home = s; srv })
+      end
+    end
+    else begin
+      (* All hash candidates exhausted: the paper's random re-probing,
+         answered from the stripe-local up view. *)
+      tal.t_fallbacks <- tal.t_fallbacks + 1;
+      let up = Net.stripe_up_count nets.(s) s in
+      if up = 0 then tal.t_failed <- tal.t_failed + 1
+      else begin
+        let srv = Net.stripe_kth_up nets.(s) s (Rng.int rngs.(s) up) in
+        ignore
+          (Engine.schedule_after eng ~delay:(2. *. intra) (fun _ ->
+               if up_in_stripe s srv && has_entry srv key then
+                 tal.t_found <- tal.t_found + 1
+               else tal.t_failed <- tal.t_failed + 1))
+      end
+    end
+  in
+  let handle s _eng msg =
+    match msg with
+    | Probe { key; attempt; home; srv } ->
+        let tal = tallies.(s) in
+        tal.t_served <- tal.t_served + 1;
+        let found = up_in_stripe s srv && has_entry srv key in
+        Shard.send shard ~src:s ~dst:home
+          ~time:(Engine.now (Shard.engine shard s) +. lookahead)
+          (Reply { key; attempt; found })
+    | Reply { key; attempt; found } ->
+        if found then tallies.(s).t_found <- tallies.(s).t_found + 1
+        else next_attempt s key (attempt + 1)
+  in
+  for s = 0 to stripes - 1 do
+    Shard.set_receiver shard s (fun eng ~time msg ->
+        ignore (Engine.schedule_at eng ~time (fun e -> handle s e msg)))
+  done;
+  (* Poisson arrivals, rate/stripes per stripe, self-scheduling so the
+     stream lives on the stripe's own engine and RNG. *)
+  let stripe_rate = rate /. float_of_int stripes in
+  let rec arrival s eng =
+    let tal = tallies.(s) in
+    tal.t_lookups <- tal.t_lookups + 1;
+    next_attempt s (Rng.int rngs.(s) entries) 0;
+    let next = Engine.now eng +. exp_draw rngs.(s) stripe_rate in
+    if next <= horizon then ignore (Engine.schedule_at eng ~time:next (arrival s))
+  in
+  for s = 0 to stripes - 1 do
+    let eng = Shard.engine shard s in
+    let first = exp_draw rngs.(s) stripe_rate in
+    if first <= horizon then ignore (Engine.schedule_at eng ~time:first (arrival s))
+  done;
+  (* Per-stripe churn over the stripe's own servers. *)
+  for s = 0 to stripes - 1 do
+    let lo, hi = Net.stripe_bounds nets.(s) s in
+    if hi > lo then begin
+      let events =
+        Churn.generate (Rng.create (derive 2 s)) ~n:(hi - lo) ~mttf ~mttr ~horizon
+      in
+      Churn.drive (Shard.engine shard s)
+        ~apply:(fun (ev : Churn.event) ->
+          let srv = lo + ev.server in
+          if ev.up then Net.recover nets.(s) srv else Net.fail nets.(s) srv)
+        events
+    end
+  done;
+  let events =
+    match gang with
+    | Some g -> Shard.run ~gang:g ~until:horizon shard
+    | None ->
+        if workers = 1 then Shard.run ~until:horizon shard
+        else begin
+          let g = Pool.Gang.create ~workers in
+          Fun.protect
+            ~finally:(fun () -> Pool.Gang.shutdown g)
+            (fun () -> Shard.run ~gang:g ~until:horizon shard)
+        end
+  in
+  let per_stripe =
+    Array.init stripes (fun s ->
+        let tal = tallies.(s) in
+        { stripe = s;
+          lookups = tal.t_lookups;
+          found = tal.t_found;
+          failed = tal.t_failed;
+          local_probes = tal.t_local;
+          cross_probes = tal.t_cross;
+          probes_served = tal.t_served;
+          fallbacks = tal.t_fallbacks;
+          final_up = Net.stripe_up_count nets.(s) s })
+  in
+  let sum f = Array.fold_left (fun acc t -> acc + f t) 0 per_stripe in
+  { n;
+    entries;
+    events;
+    lookups = sum (fun t -> t.lookups);
+    found = sum (fun t -> t.found);
+    failed = sum (fun t -> t.failed);
+    probes = sum (fun t -> t.local_probes + t.cross_probes + t.fallbacks);
+    per_stripe }

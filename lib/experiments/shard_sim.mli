@@ -1,0 +1,90 @@
+(** The domain-sharded single-run simulation.
+
+    Everything else in the repo parallelizes {e across} independent
+    replicates ({!Runner} over {!Plookup_util.Pool}); this module
+    parallelizes {e inside} one simulation.  The server id space is cut
+    into {!stripes} contiguous stripes, each owning its own
+    {!Plookup_sim.Engine}, net (with per-stripe up-server Fenwick
+    views), entry stores, RNG streams and churn schedule; stripes
+    interact only through cross-stripe probe/reply messages carried by
+    {!Plookup_sim.Shard} with lookahead equal to the cross-stripe link
+    latency.
+
+    The workload is the paper's replicated-placement lookup under
+    churn: every entry is stored on [replicas] hash-chosen servers,
+    clients attached to a stripe look the entry up candidate by
+    candidate (local candidates by direct probe, remote ones by
+    cross-stripe message), and a lookup that exhausts its candidates
+    falls back to random re-probing of an up server in the home stripe
+    — the paper's availability story, answered from the stripe-local
+    Fenwick view.
+
+    Determinism: the logical decomposition is {e fixed} at {!stripes}
+    stripes regardless of worker count, every piece of mutable state is
+    owned by exactly one stripe, and cross-stripe messages are merged
+    at barriers in a fixed order — so {!run} returns byte-identical
+    results whether driven by 1 worker or 8 (see DESIGN.md,
+    "Parallelism"). *)
+
+val stripes : int
+(** The fixed logical stripe count (4).  Fixed so that results are a
+    function of the experiment, not of the machine: worker count scales
+    only the physical execution of these stripes. *)
+
+val replicas : int
+(** Hash-placement copies per entry (3). *)
+
+val lookahead : float
+(** Cross-stripe link latency = the conservative lookahead (5.0 time
+    units; intra-stripe probes take 1.0). *)
+
+type stripe_tally = {
+  stripe : int;
+  lookups : int;  (** lookups started by this stripe's clients *)
+  found : int;
+  failed : int;
+  local_probes : int;  (** probes answered inside the home stripe *)
+  cross_probes : int;  (** probe messages sent to other stripes *)
+  probes_served : int;  (** probe messages answered for other stripes *)
+  fallbacks : int;  (** random re-probes after all candidates failed *)
+  final_up : int;  (** up servers in the stripe at the horizon *)
+}
+
+type result = {
+  n : int;
+  entries : int;
+  events : int;  (** engine events fired across all stripes *)
+  lookups : int;
+  found : int;
+  failed : int;
+  probes : int;  (** local + cross + fallback probes issued *)
+  per_stripe : stripe_tally array;
+}
+
+val to_string : result -> string
+(** One-line summary, stable across runs — what the determinism test
+    and the bench digest compare. *)
+
+val run :
+  ?gang:Plookup_util.Pool.Gang.t ->
+  ?workers:int ->
+  ?mttf:float ->
+  ?mttr:float ->
+  n:int ->
+  entries:int ->
+  rate:float ->
+  horizon:float ->
+  seed:int ->
+  unit ->
+  result
+(** [run ~n ~entries ~rate ~horizon ~seed ()] simulates [n] servers
+    holding [entries] entries under a Poisson lookup load of [rate]
+    lookups per time unit (split evenly across stripes) until
+    [horizon], with per-stripe exponential churn ([mttf] defaults to
+    [horizon /. 2.], [mttr] to [horizon /. 10.]).
+
+    [gang] supplies the workers that execute the stripes (its size may
+    exceed {!stripes} or the core count — excess workers idle);
+    without it, [workers > 1] creates a transient gang for this run,
+    and [workers = 1] (the default) runs sequentially.  The result is
+    byte-identical in every case. *)

@@ -1,0 +1,132 @@
+(* Conservative time-window sharded engine driver; see shard.mli for
+   the determinism contract and the memory-ordering argument. *)
+
+(* Minimal growable buffer for outboxes.  [clear] keeps the backing
+   store, so steady-state windows allocate nothing. *)
+module Buf = struct
+  type 'a t = { mutable data : 'a array; mutable len : int }
+
+  let create () = { data = [||]; len = 0 }
+
+  let push b x =
+    if b.len = Array.length b.data then begin
+      let cap = max 8 (2 * Array.length b.data) in
+      let data = Array.make cap x in
+      Array.blit b.data 0 data 0 b.len;
+      b.data <- data
+    end;
+    b.data.(b.len) <- x;
+    b.len <- b.len + 1
+
+  let iter f b =
+    for i = 0 to b.len - 1 do
+      f b.data.(i)
+    done
+
+  let clear b = b.len <- 0
+  let length b = b.len
+end
+
+type 'msg t = {
+  shards : int;
+  lookahead : float;
+  engines : Engine.t array;
+  (* outboxes.(src).(dst) is written only by the worker executing shard
+     [src] during a window and drained only by the caller after the
+     barrier, so no two domains ever touch a buffer concurrently. *)
+  outboxes : (float * 'msg) Buf.t array array;
+  receivers : (Engine.t -> time:float -> 'msg -> unit) option array;
+  (* End of the window currently (or last) executed: the earliest legal
+     arrival time for a buffered send.  Written by the caller between
+     windows, read by workers inside [send]; the gang barrier orders
+     the accesses. *)
+  mutable window_end : float;
+}
+
+let create ~shards ~lookahead () =
+  if shards < 1 then invalid_arg "Shard.create: shards must be at least 1";
+  if lookahead <= 0. then invalid_arg "Shard.create: lookahead must be positive";
+  { shards;
+    lookahead;
+    engines = Array.init shards (fun _ -> Engine.create ());
+    outboxes = Array.init shards (fun _ -> Array.init shards (fun _ -> Buf.create ()));
+    receivers = Array.make shards None;
+    window_end = 0. }
+
+let shards t = t.shards
+let lookahead t = t.lookahead
+
+let engine t s =
+  if s < 0 || s >= t.shards then invalid_arg "Shard.engine: shard index out of range";
+  t.engines.(s)
+
+let set_receiver t dst f =
+  if dst < 0 || dst >= t.shards then
+    invalid_arg "Shard.set_receiver: shard index out of range";
+  t.receivers.(dst) <- Some f
+
+let send t ~src ~dst ~time msg =
+  if src < 0 || src >= t.shards then invalid_arg "Shard.send: src out of range";
+  if dst < 0 || dst >= t.shards then invalid_arg "Shard.send: dst out of range";
+  if time < t.window_end then
+    invalid_arg
+      (Printf.sprintf
+         "Shard.send: arrival time %g violates the lookahead barrier at %g" time
+         t.window_end);
+  (match t.receivers.(dst) with
+  | Some _ -> ()
+  | None -> invalid_arg "Shard.send: destination shard has no receiver");
+  Buf.push t.outboxes.(src).(dst) (time, msg)
+
+(* Drain every outbox into its destination engine, in ascending
+   (dst, src, buffer-order) order — a total order independent of which
+   worker executed which shard, hence deterministic. *)
+let inject t =
+  let n = t.shards in
+  for dst = 0 to n - 1 do
+    match t.receivers.(dst) with
+    | None -> ()
+    | Some recv ->
+        let e = t.engines.(dst) in
+        for src = 0 to n - 1 do
+          let box = t.outboxes.(src).(dst) in
+          if Buf.length box > 0 then begin
+            Buf.iter (fun (time, msg) -> recv e ~time msg) box;
+            Buf.clear box
+          end
+        done
+  done
+
+let run ?gang ~until t =
+  let fired = Array.make t.shards 0 in
+  let start = Array.fold_left (fun acc e -> Float.max acc (Engine.now e)) 0. t.engines in
+  (* Deliver anything buffered before the run (setup sends). *)
+  inject t;
+  let w = ref start in
+  while !w < until do
+    let wend = Float.min until (!w +. t.lookahead) in
+    t.window_end <- wend;
+    let step s = fired.(s) <- fired.(s) + Engine.run ~until:wend t.engines.(s) in
+    (match gang with
+    | Some g when Plookup_util.Pool.Gang.size g > 1 ->
+        let stride = Plookup_util.Pool.Gang.size g in
+        Plookup_util.Pool.Gang.run g (fun wk ->
+            let s = ref wk in
+            while !s < t.shards do
+              step !s;
+              s := !s + stride
+            done)
+    | _ ->
+        for s = 0 to t.shards - 1 do
+          step s
+        done);
+    inject t;
+    w := wend
+  done;
+  Array.fold_left ( + ) 0 fired
+
+let pending t =
+  let p = ref 0 in
+  Array.iter (fun e -> p := !p + Engine.pending e) t.engines;
+  Array.iter (Array.iter (fun b -> p := !p + Buf.length b)) t.outboxes;
+  !p

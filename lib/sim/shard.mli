@@ -1,0 +1,91 @@
+(** Conservative time-window sharding of a simulation across engines.
+
+    A [Shard.t] partitions one logical simulation into [shards]
+    independent {!Engine} instances and advances them in lockstep
+    windows of width [lookahead] — the classic conservative parallel
+    discrete-event scheme: if every cross-shard interaction takes at
+    least [lookahead] simulated time to arrive, then within a window
+    [\[w, w + lookahead)] no shard can affect another, so all shards may
+    execute their local events for the window in parallel.  At the end
+    of the window every shard hits a barrier, buffered cross-shard
+    messages are injected into their destination engines, and the next
+    window starts.
+
+    Determinism contract (see DESIGN.md, "Parallelism"): the outcome of
+    {!run} is a pure function of the initial state and the message
+    streams — it does not depend on how many OS-level workers execute
+    the shards.  Two properties deliver this:
+
+    {ul
+    {- {e State ownership}: shard [s]'s engine, and any user state keyed
+       to shard [s], are touched only by the worker executing shard [s]
+       during a window, and shards are assigned to gang workers by a
+       fixed stride, so ownership is stable across windows.}
+    {- {e Deterministic injection}: cross-shard sends are buffered in
+       per-[(src, dst)] outboxes (each written by exactly one shard) and
+       injected after the barrier by the calling domain in ascending
+       [(dst, src, buffer-order)] order — a total order independent of
+       execution interleaving.}}
+
+    The barrier provides the happens-before edges: outbox writes by a
+    worker during the window are visible to the caller after
+    [Gang.run] returns. *)
+
+type 'msg t
+
+val create : shards:int -> lookahead:float -> unit -> 'msg t
+(** [create ~shards ~lookahead ()] builds a sharded driver with
+    [shards] fresh engines.  [lookahead] must be strictly positive: it
+    is both the window width and the minimum simulated-time distance of
+    any cross-shard send (the minimum cross-shard link latency in the
+    network being modelled).  Raises [Invalid_argument] on [shards < 1]
+    or [lookahead <= 0]. *)
+
+val shards : _ t -> int
+val lookahead : _ t -> float
+
+val engine : _ t -> int -> Engine.t
+(** [engine t s] is shard [s]'s engine — use it to schedule shard-local
+    setup events before {!run} and shard-local events from handlers
+    during it. *)
+
+val set_receiver : 'msg t -> int -> (Engine.t -> time:float -> 'msg -> unit) -> unit
+(** [set_receiver t dst f] installs the injection handler for shard
+    [dst]: at each barrier, every buffered message addressed to [dst] is
+    handed to [f engine ~time msg] on the calling domain, with the
+    destination engine's clock already at the barrier time (so
+    [Engine.schedule_at engine ~time] is always legal).  Must be set for
+    every shard that receives messages before the first send to it. *)
+
+val send : 'msg t -> src:int -> dst:int -> time:float -> 'msg -> unit
+(** [send t ~src ~dst ~time msg] buffers [msg] for injection into shard
+    [dst] at the next barrier, to take effect at absolute simulated time
+    [time].  [src] names the sending shard — during {!run} it must be
+    the shard whose event handler is executing (handlers know their own
+    shard index; passing another shard's index is a data race).  Before
+    {!run} any [src] is fine (the coordinating domain owns everything).
+    [time] must be at or past the current window's end, i.e. at least
+    [lookahead] after any event in the window — the conservative
+    guarantee; violations raise [Invalid_argument], as does a [dst]
+    with no receiver installed.  Sends to the sending shard itself are
+    allowed and follow the same buffered path. *)
+
+val run : ?gang:Plookup_util.Pool.Gang.t -> until:float -> 'msg t -> int
+(** [run ?gang ~until t] advances all shards to time [until] in
+    lookahead windows and returns the total number of events fired.
+    With [gang], each window's shard executions are distributed over the
+    gang's workers (shard [s] on worker [s mod size]); without it they
+    run sequentially in the calling domain — byte-identically, at any
+    gang size.  Events scheduled strictly after [until] (including
+    buffered sends arriving past it) remain pending, mirroring
+    [Engine.run ~until]; every engine's clock ends at [until].
+
+    The same gang may be shared across consecutive [run] calls and
+    across [Shard.t] values, but a single [Shard.t] must keep the same
+    worker count for its whole life — the stride assignment is part of
+    the determinism contract only in the sense of data-race freedom;
+    results are identical at any size. *)
+
+val pending : _ t -> int
+(** Events pending across all shard engines plus buffered, not yet
+    injected cross-shard messages. *)

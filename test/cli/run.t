@@ -264,3 +264,26 @@ The knobs are validated before any cell runs, on both subcommands:
   $ ../../bin/plookup_cli.exe run day --swr=-1
   plookup: Ctx: swr must be non-negative
   [124]
+
+--shards adds worker domains inside a single run (it composes with
+--jobs, which fans out across runs).  The contract is byte-identical
+output at any value, so the sharded smoke day reproduces exactly the
+rows pinned for the unsharded run above:
+
+  $ ../../bin/plookup_cli.exe day --smoke --shards 2 --csv | head -5
+  strategy,client,success %,p50 ms,crowd p99 ms,crowd p999 ms,skew,shed %,hedge %,stale
+  FullReplication,naive,100.00,31.11,63.04,63.90,1.73,0.00,0.00,0
+  FullReplication,tuned,100.00,31.11,63.04,63.90,1.73,0.00,2.33,0
+  Fixed-40,naive,100.00,24.38,46.24,47.82,1.80,0.00,0.00,0
+  Fixed-40,tuned,100.00,24.38,46.24,47.82,1.80,0.00,0.00,0
+
+A bad shard count is rejected before anything runs, on both
+subcommands (0 is legal: one worker per available core):
+
+  $ ../../bin/plookup_cli.exe run table2 --shards=-1
+  plookup: Ctx.v: shards must be at least 1
+  [124]
+
+  $ ../../bin/plookup_cli.exe day --smoke --shards=-4
+  plookup: Ctx.v: shards must be at least 1
+  [124]

@@ -1,0 +1,273 @@
+(* Unit tests for the conservative sharded driver (Plookup_sim.Shard),
+   the per-stripe up views (Net stripe API) and the Pool.Gang barrier
+   primitive the driver runs on. *)
+
+module Engine = Plookup_sim.Engine
+module Shard = Plookup_sim.Shard
+module Net = Plookup_net.Net
+module Pool = Plookup_util.Pool
+
+(* --- Pool.Gang ----------------------------------------------------- *)
+
+let test_gang_runs_every_worker () =
+  let gang = Pool.Gang.create ~workers:4 in
+  Fun.protect
+    ~finally:(fun () -> Pool.Gang.shutdown gang)
+    (fun () ->
+      Alcotest.(check int) "size" 4 (Pool.Gang.size gang);
+      let hits = Array.make 4 0 in
+      (* Each worker owns its own slot, so the bodies are race-free and
+         the barrier makes the final reads safe. *)
+      for _ = 1 to 10 do
+        Pool.Gang.run gang (fun w -> hits.(w) <- hits.(w) + 1)
+      done;
+      Array.iteri
+        (fun w h -> Alcotest.(check int) (Printf.sprintf "worker %d ran" w) 10 h)
+        hits)
+
+let test_gang_oversubscribed () =
+  (* More workers than cores must still work (and terminate). *)
+  let workers = (4 * Pool.recommended_jobs ()) + 3 in
+  let gang = Pool.Gang.create ~workers in
+  Fun.protect
+    ~finally:(fun () -> Pool.Gang.shutdown gang)
+    (fun () ->
+      let hits = Array.make workers 0 in
+      Pool.Gang.run gang (fun w -> hits.(w) <- hits.(w) + 1);
+      Alcotest.(check int) "all workers ran" workers (Array.fold_left ( + ) 0 hits))
+
+let test_gang_exception_lowest_index () =
+  let gang = Pool.Gang.create ~workers:4 in
+  Fun.protect
+    ~finally:(fun () -> Pool.Gang.shutdown gang)
+    (fun () ->
+      let ran = Array.make 4 false in
+      let raised =
+        try
+          Pool.Gang.run gang (fun w ->
+              ran.(w) <- true;
+              if w = 1 || w = 3 then failwith (Printf.sprintf "worker %d" w));
+          None
+        with Failure m -> Some m
+      in
+      Alcotest.(check (option string)) "lowest failing worker wins" (Some "worker 1")
+        raised;
+      Array.iteri
+        (fun w r -> Alcotest.(check bool) (Printf.sprintf "worker %d ran" w) true r)
+        ran)
+
+let test_gang_validation () =
+  Alcotest.check_raises "workers < 1"
+    (Invalid_argument "Pool.Gang.create: workers must be at least 1") (fun () ->
+      ignore (Pool.Gang.create ~workers:0));
+  let gang = Pool.Gang.create ~workers:2 in
+  Pool.Gang.shutdown gang;
+  Pool.Gang.shutdown gang;
+  (* idempotent *)
+  Alcotest.check_raises "run after shutdown"
+    (Invalid_argument "Pool.Gang.run: gang is shut down") (fun () ->
+      Pool.Gang.run gang (fun _ -> ()))
+
+(* --- Shard driver -------------------------------------------------- *)
+
+let test_shard_validation () =
+  Alcotest.check_raises "shards < 1"
+    (Invalid_argument "Shard.create: shards must be at least 1") (fun () ->
+      ignore (Shard.create ~shards:0 ~lookahead:1. () : unit Shard.t));
+  Alcotest.check_raises "lookahead <= 0"
+    (Invalid_argument "Shard.create: lookahead must be positive") (fun () ->
+      ignore (Shard.create ~shards:2 ~lookahead:0. () : unit Shard.t))
+
+let test_shard_local_events_fire () =
+  let t : unit Shard.t = Shard.create ~shards:3 ~lookahead:2. () in
+  let fired = Array.make 3 0 in
+  for s = 0 to 2 do
+    for k = 1 to 5 do
+      ignore
+        (Engine.schedule_at (Shard.engine t s) ~time:(float_of_int k) (fun _ ->
+             fired.(s) <- fired.(s) + 1))
+    done
+  done;
+  let total = Shard.run ~until:10. t in
+  Alcotest.(check int) "events fired" 15 total;
+  Array.iteri (fun s f -> Alcotest.(check int) (Printf.sprintf "shard %d" s) 5 f) fired;
+  for s = 0 to 2 do
+    Helpers.close (Printf.sprintf "clock %d at horizon" s) 10.
+      (Engine.now (Shard.engine t s))
+  done
+
+let test_shard_cross_send_arrives () =
+  let t : int Shard.t = Shard.create ~shards:2 ~lookahead:1.5 () in
+  let got = ref [] in
+  Shard.set_receiver t 1 (fun eng ~time msg ->
+      ignore (Engine.schedule_at eng ~time (fun e -> got := (Engine.now e, msg) :: !got)));
+  (* Sender: shard 0 fires at t=1.0 and sends a message arriving 1.5
+     later (exactly the lookahead — the tightest legal send). *)
+  ignore
+    (Engine.schedule_at (Shard.engine t 0) ~time:1.0 (fun e ->
+         Shard.send t ~src:0 ~dst:1 ~time:(Engine.now e +. 1.5) 42));
+  ignore (Shard.run ~until:10. t);
+  Alcotest.(check (list (pair (float 1e-9) int))) "message delivered at its time"
+    [ (2.5, 42) ] !got
+
+let test_shard_lookahead_violation () =
+  let t : int Shard.t = Shard.create ~shards:2 ~lookahead:5. () in
+  Shard.set_receiver t 1 (fun _ ~time:_ _ -> ());
+  let violated = ref false in
+  ignore
+    (Engine.schedule_at (Shard.engine t 0) ~time:1.0 (fun e ->
+         (* Arrival before the window barrier: must be rejected. *)
+         try Shard.send t ~src:0 ~dst:1 ~time:(Engine.now e +. 1.) 0
+         with Invalid_argument _ -> violated := true));
+  ignore (Shard.run ~until:6. t);
+  Alcotest.(check bool) "lookahead violation rejected" true !violated
+
+let test_shard_no_receiver () =
+  let t : int Shard.t = Shard.create ~shards:2 ~lookahead:1. () in
+  Alcotest.check_raises "send without receiver"
+    (Invalid_argument "Shard.send: destination shard has no receiver") (fun () ->
+      Shard.send t ~src:0 ~dst:1 ~time:5. 0)
+
+(* A small ping-pong network: every shard periodically sends to every
+   other shard; the transcript of receptions must be identical when
+   driven sequentially and by gangs of several sizes. *)
+let pingpong ~gang_size () =
+  let shards = 4 in
+  let t : (int * int) Shard.t = Shard.create ~shards ~lookahead:1. () in
+  (* One log per shard — state ownership, like every other per-shard
+     structure; a single shared buffer would be a cross-domain race.
+     The logs are concatenated in shard order after the run. *)
+  let logs = Array.init shards (fun _ -> Buffer.create 256) in
+  for dst = 0 to shards - 1 do
+    Shard.set_receiver t dst (fun eng ~time msg ->
+        ignore
+          (Engine.schedule_at eng ~time (fun e ->
+               let src, hop = msg in
+               Buffer.add_string logs.(dst)
+                 (Printf.sprintf "%.1f:%d<-%d#%d;" (Engine.now e) dst src hop);
+               if hop < 3 then
+                 Shard.send t ~src:dst ~dst:src
+                   ~time:(Engine.now e +. 1.)
+                   (dst, hop + 1))))
+  done;
+  for s = 0 to shards - 1 do
+    ignore
+      (Engine.schedule_at (Shard.engine t s) ~time:0.5 (fun e ->
+           for dst = 0 to shards - 1 do
+             if dst <> s then
+               Shard.send t ~src:s ~dst ~time:(Engine.now e +. 1.) (s, 0)
+           done))
+  done;
+  let events = ref 0 in
+  if gang_size = 0 then events := Shard.run ~until:20. t
+  else begin
+    let gang = Pool.Gang.create ~workers:gang_size in
+    Fun.protect
+      ~finally:(fun () -> Pool.Gang.shutdown gang)
+      (fun () -> events := Shard.run ~gang ~until:20. t)
+  end;
+  Printf.sprintf "%d|%s" !events
+    (String.concat "" (Array.to_list (Array.map Buffer.contents logs)))
+
+let test_shard_gang_determinism () =
+  let seq = pingpong ~gang_size:0 () in
+  List.iter
+    (fun gs ->
+      Helpers.check_string
+        (Printf.sprintf "sequential vs gang of %d" gs)
+        seq
+        (pingpong ~gang_size:gs ()))
+    [ 1; 2; 4; 7 ]
+
+(* --- Net stripe views ---------------------------------------------- *)
+
+let test_stripe_views () =
+  let net : (unit, unit) Net.t = Net.create ~n:10 () in
+  Alcotest.(check int) "no views yet" 0 (Net.stripes net);
+  Net.attach_stripe_views net ~stripes:3;
+  Alcotest.(check int) "stripes" 3 (Net.stripes net);
+  (* 10 over 3 stripes: sizes 4, 3, 3. *)
+  Alcotest.(check (pair int int)) "stripe 0 bounds" (0, 4) (Net.stripe_bounds net 0);
+  Alcotest.(check (pair int int)) "stripe 1 bounds" (4, 7) (Net.stripe_bounds net 1);
+  Alcotest.(check (pair int int)) "stripe 2 bounds" (7, 10) (Net.stripe_bounds net 2);
+  Alcotest.(check int) "server 6 is stripe 1" 1 (Net.stripe_of net 6);
+  Alcotest.(check int) "stripe 0 starts full" 4 (Net.stripe_up_count net 0);
+  Net.fail net 1;
+  Net.fail net 5;
+  Alcotest.(check int) "stripe 0 after fail" 3 (Net.stripe_up_count net 0);
+  Alcotest.(check int) "stripe 1 after fail" 2 (Net.stripe_up_count net 1);
+  Alcotest.(check int) "stripe 2 untouched" 3 (Net.stripe_up_count net 2);
+  (* k-th up inside stripe 0 skips the failed server 1. *)
+  Alcotest.(check (list int)) "stripe 0 up servers" [ 0; 2; 3 ]
+    (List.init (Net.stripe_up_count net 0) (Net.stripe_kth_up net 0));
+  Net.recover net 1;
+  Alcotest.(check int) "recover restores" 4 (Net.stripe_up_count net 0);
+  (* Global view is unaffected by the stripe mirrors. *)
+  Alcotest.(check int) "global up count" 9 (Net.up_count net)
+
+let test_stripe_views_oversubscribed () =
+  (* More stripes than servers: tail stripes are empty, never crash. *)
+  let net : (unit, unit) Net.t = Net.create ~n:3 () in
+  Net.attach_stripe_views net ~stripes:5;
+  Alcotest.(check int) "stripes" 5 (Net.stripes net);
+  Alcotest.(check int) "stripe 0 holds one" 1 (Net.stripe_up_count net 0);
+  Alcotest.(check int) "stripe 4 empty" 0 (Net.stripe_up_count net 4);
+  Alcotest.(check (pair int int)) "stripe 4 bounds" (3, 3) (Net.stripe_bounds net 4);
+  Alcotest.(check int) "server 2 stripe" 2 (Net.stripe_of net 2)
+
+let test_stripe_views_validation () =
+  let net : (unit, unit) Net.t = Net.create ~n:4 () in
+  Alcotest.check_raises "stripes < 1"
+    (Invalid_argument "Net.attach_stripe_views: stripes must be at least 1") (fun () ->
+      Net.attach_stripe_views net ~stripes:0);
+  Alcotest.check_raises "no views"
+    (Invalid_argument "Net.stripe_up_count: no stripe views attached") (fun () ->
+      ignore (Net.stripe_up_count net 0));
+  Net.attach_stripe_views net ~stripes:2;
+  Alcotest.check_raises "stripe out of range"
+    (Invalid_argument "Net.stripe_up_count: stripe out of range") (fun () ->
+      ignore (Net.stripe_up_count net 2))
+
+(* --- Shard_sim ----------------------------------------------------- *)
+
+let test_shard_sim_runs () =
+  let r =
+    Plookup_experiments.Shard_sim.run ~n:50 ~entries:200 ~rate:20. ~horizon:50.
+      ~seed:11 ()
+  in
+  Alcotest.(check bool) "lookups happened" true (r.lookups > 0);
+  Alcotest.(check bool) "events fired" true (r.events > r.lookups);
+  Alcotest.(check bool) "most lookups resolve" true (r.found + r.failed > 0);
+  Alcotest.(check bool) "resolved <= issued (rest in flight)" true
+    (r.found + r.failed <= r.lookups);
+  let cross =
+    Array.fold_left
+      (fun acc (s : Plookup_experiments.Shard_sim.stripe_tally) ->
+        acc + s.cross_probes)
+      0 r.per_stripe
+  in
+  Alcotest.(check bool) "cross-stripe traffic exists" true (cross > 0)
+
+let () =
+  Helpers.run "shard"
+    [ ( "gang",
+        [ Alcotest.test_case "runs every worker" `Quick test_gang_runs_every_worker;
+          Alcotest.test_case "oversubscribed" `Quick test_gang_oversubscribed;
+          Alcotest.test_case "exception of lowest worker" `Quick
+            test_gang_exception_lowest_index;
+          Alcotest.test_case "validation and shutdown" `Quick test_gang_validation ] );
+      ( "driver",
+        [ Alcotest.test_case "validation" `Quick test_shard_validation;
+          Alcotest.test_case "local events fire" `Quick test_shard_local_events_fire;
+          Alcotest.test_case "cross-shard send" `Quick test_shard_cross_send_arrives;
+          Alcotest.test_case "lookahead violation" `Quick test_shard_lookahead_violation;
+          Alcotest.test_case "send without receiver" `Quick test_shard_no_receiver;
+          Alcotest.test_case "gang determinism" `Quick test_shard_gang_determinism ] );
+      ( "stripe views",
+        [ Alcotest.test_case "partition and counts" `Quick test_stripe_views;
+          Alcotest.test_case "more stripes than servers" `Quick
+            test_stripe_views_oversubscribed;
+          Alcotest.test_case "validation" `Quick test_stripe_views_validation ] );
+      ( "shard_sim",
+        [ Alcotest.test_case "striped run produces traffic" `Quick test_shard_sim_runs ]
+      ) ]

@@ -1,0 +1,73 @@
+(* The determinism contract behind --shards: intra-run parallelism must
+   never change results.  The experiments the flag threads through (day,
+   table2, churn) are rendered to CSV at shards 1, 2 and 4 and compared
+   verbatim — shards=1 being the unsharded code path, so equality with
+   it is the "byte-for-byte equal to unsharded" guarantee.  The striped
+   data-plane simulation (Shard_sim) is likewise pinned across worker
+   counts, including an oversubscribed gang far beyond the core
+   count. *)
+
+module E = Plookup_experiments
+module Table = Plookup_util.Table
+module Pool = Plookup_util.Pool
+
+let experiment id =
+  match E.Registry.find id with
+  | Some e -> e
+  | None -> Alcotest.failf "experiment %s not registered" id
+
+let csv ~shards e =
+  let ctx = E.Ctx.v ~seed:42 ~scale:0.02 ~shards () in
+  Table.to_csv (e.E.Registry.run ctx)
+
+let case id =
+  let e = experiment id in
+  Alcotest.test_case id `Slow (fun () ->
+      let reference = csv ~shards:1 e in
+      List.iter
+        (fun shards ->
+          Helpers.check_string
+            (Printf.sprintf "%s: shards=1 vs shards=%d" id shards)
+            reference (csv ~shards e))
+        [ 2; 4 ])
+
+(* Oversubscription: far more shard workers than cores (and than the
+   work itself, on small counts) must still give the same bytes. *)
+let oversubscribed_case =
+  Alcotest.test_case "table2 oversubscribed" `Slow (fun () ->
+      let e = experiment "table2" in
+      let shards = (4 * Pool.recommended_jobs ()) + 3 in
+      Helpers.check_string
+        (Printf.sprintf "table2: shards=1 vs shards=%d" shards)
+        (csv ~shards:1 e) (csv ~shards e))
+
+(* Both axes at once: jobs and shards compose without interfering. *)
+let composed_case =
+  Alcotest.test_case "day jobs x shards" `Slow (fun () ->
+      let e = experiment "day" in
+      let run ~jobs ~shards =
+        Table.to_csv (e.E.Registry.run (E.Ctx.v ~seed:42 ~scale:0.02 ~jobs ~shards ()))
+      in
+      Helpers.check_string "day: jobs=1,shards=1 vs jobs=2,shards=2"
+        (run ~jobs:1 ~shards:1) (run ~jobs:2 ~shards:2))
+
+let shard_sim_case =
+  Alcotest.test_case "shard_sim workers" `Slow (fun () ->
+      let digest workers =
+        E.Shard_sim.to_string
+          (E.Shard_sim.run ~workers ~n:120 ~entries:400 ~rate:40. ~horizon:80. ~seed:7
+             ())
+      in
+      let reference = digest 1 in
+      List.iter
+        (fun workers ->
+          Helpers.check_string
+            (Printf.sprintf "shard_sim: workers=1 vs workers=%d" workers)
+            reference (digest workers))
+        [ 2; 4; 16 ])
+
+let () =
+  Helpers.run "shard_determinism"
+    [ ("shards=1 equals shards=2 and 4", List.map case [ "day"; "table2"; "churn" ]);
+      ( "edge cases",
+        [ oversubscribed_case; composed_case; shard_sim_case ] ) ]
